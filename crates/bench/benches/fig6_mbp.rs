@@ -1,0 +1,42 @@
+//! Figure 6 bench: HET construction cost for different MBP (maximum
+//! branching predicates) settings, alongside the reproduced accuracy
+//! trade-off table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::Dataset;
+use std::hint::black_box;
+use xseed_bench::experiments::{fig6, quick_workload};
+use xseed_bench::harness::PreparedDataset;
+use xseed_core::{HetBuilder, KernelBuilder};
+
+const BENCH_SCALE: f64 = 0.05;
+
+fn fig6_benches(c: &mut Criterion) {
+    let workload = quick_workload();
+    let rows = fig6::run(Dataset::Dblp, BENCH_SCALE, &workload);
+    println!("\n{}", fig6::render(Dataset::Dblp, &rows));
+
+    let prepared = PreparedDataset::prepare(Dataset::Dblp, BENCH_SCALE, &workload, 13);
+    let kernel = KernelBuilder::from_document(&prepared.doc);
+
+    let mut group = c.benchmark_group("fig6_het_construction");
+    group.sample_size(10);
+    for mbp in [1usize, 2, 3] {
+        let mut config = prepared.xseed_config();
+        config.max_branching_predicates = mbp;
+        // A permissive threshold exercises the branching enumeration the
+        // way the DBLP experiment of Figure 6 does.
+        config.bsel_threshold = 0.5;
+        group.bench_with_input(BenchmarkId::new("mbp", mbp), &config, |b, config| {
+            b.iter(|| {
+                let builder =
+                    HetBuilder::new(&kernel, &prepared.path_tree, &prepared.storage, config);
+                black_box(builder.build().0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6_benches);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Table 2 bench: synopsis construction cost per dataset.
+//!
+//! Regenerates Table 2 (printed once at startup) and then benchmarks the
+//! three construction paths the table compares — XSEED kernel, XSEED 1BP
+//! HET, and TreeSketch — on a reduced dataset scale so the bench finishes
+//! quickly. The paper's finding to look for: the kernel is built in a
+//! negligible fraction of the time the baselines need, and the HET
+//! dominates XSEED's construction cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{Dataset, WorkloadSpec};
+use std::hint::black_box;
+use treesketch::TreeSketch;
+use xseed_bench::experiments::table2;
+use xseed_bench::harness::PreparedDataset;
+use xseed_core::{HetBuilder, KernelBuilder, XseedConfig};
+
+const BENCH_SCALE: f64 = 0.1;
+
+fn construction_benches(c: &mut Criterion) {
+    // Print the reproduced Table 2 once, at a scale large enough to be
+    // representative but small enough to keep the bench fast.
+    let rows = table2::run(BENCH_SCALE, 50 * 1024);
+    println!("\n{}", table2::render(&rows));
+
+    let spec = WorkloadSpec {
+        branching: 0,
+        complex: 0,
+        max_simple: 0,
+        predicates_per_step: 1,
+    };
+    let mut group = c.benchmark_group("table2_construction");
+    group.sample_size(10);
+    for &dataset in Dataset::table2() {
+        let prepared = PreparedDataset::prepare(dataset, BENCH_SCALE, &spec, 42);
+        let config = prepared.xseed_config();
+
+        group.bench_with_input(
+            BenchmarkId::new("xseed_kernel", dataset.paper_name()),
+            &prepared,
+            |b, p| b.iter(|| black_box(KernelBuilder::from_document(&p.doc))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("xseed_1bp_het", dataset.paper_name()),
+            &prepared,
+            |b, p| {
+                let kernel = KernelBuilder::from_document(&p.doc);
+                b.iter(|| {
+                    let builder = HetBuilder::new(&kernel, &p.path_tree, &p.storage, &config);
+                    black_box(builder.build().0)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("treesketch", dataset.paper_name()),
+            &prepared,
+            |b, p| b.iter(|| black_box(TreeSketch::build(&p.doc, Some(50 * 1024)))),
+        );
+    }
+    group.finish();
+
+    // Also benchmark kernel construction straight from XML text (the SAX
+    // path the paper actually uses), on one representative dataset.
+    let doc = Dataset::XMark10.generate_scaled(BENCH_SCALE);
+    let xml = xmlkit::writer::to_string(&doc);
+    let _ = XseedConfig::default();
+    c.bench_function("table2_construction/kernel_from_sax/XMark10", |b| {
+        b.iter(|| black_box(KernelBuilder::from_xml_str(&xml).unwrap()))
+    });
+}
+
+criterion_group!(benches, construction_benches);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Command-line driver that regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments <table2|table3|fig5|fig6|sec64|all> [--scale S] [--quick]
+//! ```
+//!
+//! * `--scale S` multiplies the synthetic dataset sizes (default 1.0).
+//! * `--quick` uses a reduced workload (150 BP / 150 CP queries instead of
+//!   1,000 each) and a 0.2 dataset scale unless `--scale` is also given.
+
+use datagen::Dataset;
+use xseed_bench::experiments::{self, fig5, fig6, sec64, table2, table3};
+
+struct Options {
+    scale: f64,
+    quick: bool,
+    command: String,
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = String::from("all");
+    let mut scale: Option<f64> = None;
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args.get(i).and_then(|s| s.parse().ok());
+            }
+            "--quick" => quick = true,
+            other if !other.starts_with("--") => command = other.to_string(),
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+        i += 1;
+    }
+    let scale = scale.unwrap_or(if quick { 0.2 } else { experiments::DEFAULT_SCALE });
+    Options {
+        scale,
+        quick,
+        command,
+    }
+}
+
+fn main() {
+    let options = parse_args();
+    let workload = if options.quick {
+        experiments::quick_workload()
+    } else {
+        experiments::default_workload()
+    };
+    println!(
+        "XSEED reproduction experiments (scale {}, {} workload)\n",
+        options.scale,
+        if options.quick { "quick" } else { "full" }
+    );
+
+    let run_table2 = || {
+        let rows = table2::run(options.scale, 50 * 1024);
+        println!("{}\n", table2::render(&rows));
+    };
+    let run_table3 = || {
+        let rows = table3::run(options.scale, &workload);
+        println!("{}\n", table3::render(&rows));
+    };
+    let run_fig5 = || {
+        let rows = fig5::run(Dataset::Dblp, options.scale, &workload);
+        println!("{}\n", fig5::render(Dataset::Dblp, &rows));
+    };
+    let run_fig6 = || {
+        let rows = fig6::run(Dataset::Dblp, options.scale, &workload);
+        println!("{}\n", fig6::render(Dataset::Dblp, &rows));
+    };
+    let run_sec64 = || {
+        let rows = sec64::run(Dataset::table2(), options.scale, &workload);
+        println!("{}\n", sec64::render(&rows));
+    };
+
+    match options.command.as_str() {
+        "table2" => run_table2(),
+        "table3" => run_table3(),
+        "fig5" => run_fig5(),
+        "fig6" => run_fig6(),
+        "sec64" => run_sec64(),
+        "all" => {
+            run_table2();
+            run_table3();
+            run_fig5();
+            run_fig6();
+            run_sec64();
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!("usage: experiments <table2|table3|fig5|fig6|sec64|all> [--scale S] [--quick]");
+            std::process::exit(2);
+        }
+    }
+}

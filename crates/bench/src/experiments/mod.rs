@@ -1,0 +1,46 @@
+//! One module per table/figure of the paper's evaluation (Section 6).
+//!
+//! | Module | Reproduces |
+//! |--------|------------|
+//! | [`table2`] | Table 2 — dataset characteristics, kernel sizes, construction times |
+//! | [`table3`] | Table 3 — RMSE/NRMSE under 25KB/50KB budgets vs. TreeSketch |
+//! | [`fig5`]   | Figure 5 — estimation errors per query type on DBLP |
+//! | [`fig6`]   | Figure 6 — HET construction time and error per MBP setting |
+//! | [`sec64`]  | Section 6.4 — EPT size and estimation-time / query-time ratios |
+//!
+//! Every module exposes a `run(...)` returning structured rows and a
+//! `render(...)` that prints the same table shape as the paper, so results
+//! can be compared side by side (shape and relative ordering, not absolute
+//! numbers — see EXPERIMENTS.md).
+
+pub mod fig5;
+pub mod fig6;
+pub mod sec64;
+pub mod table2;
+pub mod table3;
+
+/// Default generation scale used by the experiment binary. 1.0 corresponds
+/// to the crate's default synthetic dataset sizes (tens of thousands of
+/// elements); unit tests use much smaller scales.
+pub const DEFAULT_SCALE: f64 = 1.0;
+
+/// Default workload sizes for the experiment binary: the paper's 1,000
+/// queries per random class, capped for very path-rich documents.
+pub fn default_workload() -> datagen::WorkloadSpec {
+    datagen::WorkloadSpec {
+        branching: 1_000,
+        complex: 1_000,
+        max_simple: 5_000,
+        predicates_per_step: 1,
+    }
+}
+
+/// Reduced workload for quick runs and benches.
+pub fn quick_workload() -> datagen::WorkloadSpec {
+    datagen::WorkloadSpec {
+        branching: 150,
+        complex: 150,
+        max_simple: 600,
+        predicates_per_step: 1,
+    }
+}

@@ -1,0 +1,141 @@
+//! Table 2: dataset characteristics, XSEED kernel size, and synopsis
+//! construction times (XSEED kernel + 1BP HET vs. TreeSketch).
+
+use crate::harness::{build_treesketch, build_xseed_with_het, PreparedDataset};
+use crate::report::{format_kb, format_secs, TextTable};
+use datagen::{Dataset, WorkloadSpec};
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Dataset name (paper spelling).
+    pub dataset: String,
+    /// Serialized size of the document in bytes.
+    pub total_size_bytes: usize,
+    /// Number of element nodes.
+    pub nodes: usize,
+    /// Average node recursion level.
+    pub avg_recursion: f64,
+    /// Maximum recursion level.
+    pub max_recursion: usize,
+    /// XSEED kernel size in bytes.
+    pub kernel_bytes: usize,
+    /// Kernel construction seconds.
+    pub kernel_seconds: f64,
+    /// 1BP HET construction seconds.
+    pub het_seconds: f64,
+    /// TreeSketch construction seconds (`None` when skipped).
+    pub treesketch_seconds: Option<f64>,
+}
+
+/// Runs the Table 2 experiment over the paper's five datasets.
+///
+/// `scale` scales the synthetic dataset sizes; `treesketch_budget` is the
+/// byte budget given to the baseline (the paper used 50 KB synopses for
+/// its accuracy numbers; construction cost is dominated by the partition
+/// either way).
+pub fn run(scale: f64, treesketch_budget: usize) -> Vec<Table2Row> {
+    Dataset::table2()
+        .iter()
+        .map(|&dataset| run_one(dataset, scale, treesketch_budget))
+        .collect()
+}
+
+/// Runs a single dataset of Table 2.
+pub fn run_one(dataset: Dataset, scale: f64, treesketch_budget: usize) -> Table2Row {
+    // Table 2 does not need a query workload: construction only.
+    let spec = WorkloadSpec {
+        branching: 0,
+        complex: 0,
+        max_simple: 0,
+        predicates_per_step: 1,
+    };
+    let prepared = PreparedDataset::prepare(dataset, scale, &spec, 42);
+    let (kernel, het_time) = build_xseed_with_het(&prepared, None, 1);
+    let treesketch = build_treesketch(&prepared, Some(treesketch_budget));
+    Table2Row {
+        dataset: dataset.paper_name().to_string(),
+        total_size_bytes: prepared.stats.source_bytes,
+        nodes: prepared.stats.element_count,
+        avg_recursion: prepared.stats.avg_recursion_level,
+        max_recursion: prepared.stats.max_recursion_level,
+        kernel_bytes: kernel.value.kernel_size_bytes(),
+        kernel_seconds: kernel.seconds,
+        het_seconds: het_time.seconds,
+        treesketch_seconds: Some(treesketch.seconds),
+    }
+}
+
+/// Renders the rows in the layout of the paper's Table 2.
+pub fn render(rows: &[Table2Row]) -> String {
+    let mut table = TextTable::new([
+        "Dataset",
+        "total size",
+        "# of nodes",
+        "avg/max rec. level",
+        "XSEED kernel size",
+        "XSEED constr. (kernel + HET)",
+        "TreeSketch constr.",
+    ]);
+    for row in rows {
+        table.row([
+            row.dataset.clone(),
+            format_kb(row.total_size_bytes),
+            row.nodes.to_string(),
+            format!("{:.2} / {}", row.avg_recursion, row.max_recursion),
+            format_kb(row.kernel_bytes),
+            format!(
+                "{} + {}",
+                format_secs(row.kernel_seconds),
+                format_secs(row.het_seconds)
+            ),
+            row.treesketch_seconds
+                .map(format_secs)
+                .unwrap_or_else(|| "DNF".to_string()),
+        ]);
+    }
+    format!(
+        "Table 2: dataset characteristics, kernel sizes, construction times\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_dataset_row_is_sensible() {
+        let row = run_one(Dataset::XMark10, 0.05, 50 * 1024);
+        assert_eq!(row.dataset, "XMark10");
+        assert!(row.nodes > 100);
+        assert!(row.kernel_bytes > 100);
+        // The kernel must be far smaller than the document, as in Table 2.
+        assert!(row.kernel_bytes * 10 < row.total_size_bytes);
+        assert!(row.max_recursion >= 1);
+        assert!(row.kernel_seconds >= 0.0 && row.het_seconds >= 0.0);
+    }
+
+    #[test]
+    fn render_contains_every_dataset() {
+        let rows = vec![
+            run_one(Dataset::Dblp, 0.01, 50 * 1024),
+            run_one(Dataset::TreebankSmall, 0.05, 50 * 1024),
+        ];
+        let text = render(&rows);
+        assert!(text.contains("DBLP"));
+        assert!(text.contains("Treebank.05"));
+        assert!(text.contains("XSEED kernel size"));
+    }
+
+    #[test]
+    fn dblp_is_non_recursive_treebank_is_not() {
+        let dblp = run_one(Dataset::Dblp, 0.01, 50 * 1024);
+        assert_eq!(dblp.max_recursion, 0);
+        let treebank = run_one(Dataset::TreebankSmall, 0.05, 50 * 1024);
+        assert!(treebank.max_recursion >= 3);
+        // Treebank's kernel is larger than DBLP's (more recursion levels),
+        // as in Table 2 (2.8KB vs 24.2KB).
+        assert!(treebank.kernel_bytes > dblp.kernel_bytes);
+    }
+}

@@ -1,0 +1,241 @@
+//! Shared experiment plumbing: dataset preparation, ground truth, and
+//! estimator wrappers.
+
+use crate::metrics::Observation;
+use datagen::{Dataset, Workload, WorkloadGenerator, WorkloadSpec};
+use nokstore::{Evaluator, NokStorage, PathTree};
+use std::time::Instant;
+use treesketch::TreeSketch;
+use xmlkit::stats::DocumentStats;
+use xmlkit::tree::Document;
+use xpathkit::ast::PathExpr;
+use xpathkit::classify::QueryClass;
+use xseed_core::{XseedConfig, XseedSynopsis};
+
+/// A dataset prepared for experiments: the document, its exact-evaluation
+/// machinery, a generated workload, and cached ground-truth cardinalities.
+pub struct PreparedDataset {
+    /// Which dataset this is.
+    pub dataset: Dataset,
+    /// The generated document.
+    pub doc: Document,
+    /// Document statistics (Table 2 columns).
+    pub stats: DocumentStats,
+    /// NoK storage for exact evaluation.
+    pub storage: NokStorage,
+    /// The path tree summary.
+    pub path_tree: PathTree,
+    /// The generated workload.
+    pub workload: Workload,
+    /// `(query, actual cardinality, class)` for every workload query.
+    pub ground_truth: Vec<(PathExpr, u64, QueryClass)>,
+}
+
+impl PreparedDataset {
+    /// Generates the dataset at `scale`, builds the exact-evaluation
+    /// structures, generates a workload, and evaluates the ground truth.
+    pub fn prepare(dataset: Dataset, scale: f64, spec: &WorkloadSpec, seed: u64) -> Self {
+        let doc = dataset.generate_scaled(scale);
+        let stats = DocumentStats::compute(&doc);
+        let storage = NokStorage::from_document(&doc);
+        let path_tree = PathTree::from_document(&doc);
+        let workload = WorkloadGenerator::new(&doc, seed).generate(spec);
+        let evaluator = Evaluator::new(&storage);
+        let ground_truth = workload
+            .all()
+            .map(|q| (q.clone(), evaluator.count(q), q.classify()))
+            .collect();
+        PreparedDataset {
+            dataset,
+            doc,
+            stats,
+            storage,
+            path_tree,
+            workload,
+            ground_truth,
+        }
+    }
+
+    /// The estimator configuration the paper uses for this dataset:
+    /// defaults everywhere; for Treebank-class data the recursive preset
+    /// (BSEL_THRESHOLD 0.001) with the cardinality threshold scaled to the
+    /// generated document's size (the paper's 20 corresponds to the full
+    /// 121k-element Treebank.05 sample).
+    pub fn xseed_config(&self) -> XseedConfig {
+        if self.dataset.is_highly_recursive() {
+            XseedConfig::recursive_for_size(self.stats.element_count)
+        } else {
+            XseedConfig::default()
+        }
+    }
+
+    /// Collects `(estimate, actual)` observations for every ground-truth
+    /// query (optionally restricted to one class) using `estimate`.
+    pub fn observations<F>(&self, mut estimate: F, class: Option<QueryClass>) -> Vec<Observation>
+    where
+        F: FnMut(&PathExpr) -> f64,
+    {
+        self.ground_truth
+            .iter()
+            .filter(|(_, _, c)| class.map(|want| want == *c).unwrap_or(true))
+            .map(|(q, actual, _)| Observation {
+                estimated: estimate(q),
+                actual: *actual as f64,
+            })
+            .collect()
+    }
+
+    /// An exact evaluator over the prepared storage.
+    pub fn evaluator(&self) -> Evaluator<'_> {
+        Evaluator::new(&self.storage)
+    }
+}
+
+/// Result of a timed call.
+pub struct Timed<T> {
+    /// The produced value.
+    pub value: T,
+    /// Wall-clock seconds the call took.
+    pub seconds: f64,
+}
+
+/// Times a closure.
+pub fn timed<T>(f: impl FnOnce() -> T) -> Timed<T> {
+    let start = Instant::now();
+    let value = f();
+    Timed {
+        value,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Builds the kernel-only XSEED synopsis, timing construction.
+pub fn build_xseed_kernel(prepared: &PreparedDataset) -> Timed<XseedSynopsis> {
+    let config = prepared.xseed_config();
+    timed(|| XseedSynopsis::build(&prepared.doc, config))
+}
+
+/// Builds the XSEED synopsis with a pre-computed HET under `budget_bytes`,
+/// timing the HET construction separately from the kernel.
+pub fn build_xseed_with_het(
+    prepared: &PreparedDataset,
+    budget_bytes: Option<usize>,
+    max_branching_predicates: usize,
+) -> (Timed<XseedSynopsis>, Timed<()>) {
+    let mut config = prepared.xseed_config();
+    config.memory_budget = budget_bytes;
+    config.max_branching_predicates = max_branching_predicates;
+    let kernel_timed = timed(|| XseedSynopsis::build(&prepared.doc, config.clone()));
+    let het_timed = timed(|| {
+        let builder = xseed_core::HetBuilder::new(
+            kernel_timed.value.kernel(),
+            &prepared.path_tree,
+            &prepared.storage,
+            &config,
+        );
+        builder.build().0
+    });
+    let mut synopsis = kernel_timed.value;
+    synopsis.set_het(het_timed.value);
+    synopsis.set_memory_budget(budget_bytes);
+    (
+        Timed {
+            value: synopsis,
+            seconds: kernel_timed.seconds,
+        },
+        Timed {
+            value: (),
+            seconds: het_timed.seconds,
+        },
+    )
+}
+
+/// Builds a TreeSketch synopsis under `budget_bytes`, timing construction.
+pub fn build_treesketch(prepared: &PreparedDataset, budget_bytes: Option<usize>) -> Timed<TreeSketch> {
+    timed(|| TreeSketch::build(&prepared.doc, budget_bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PreparedDataset {
+        PreparedDataset::prepare(
+            Dataset::XMark10,
+            0.05,
+            &WorkloadSpec {
+                branching: 20,
+                complex: 20,
+                max_simple: 50,
+                predicates_per_step: 1,
+            },
+            1,
+        )
+    }
+
+    #[test]
+    fn prepare_builds_consistent_ground_truth() {
+        let p = tiny();
+        assert_eq!(p.ground_truth.len(), p.workload.len());
+        // Simple-path ground truth must agree with the path tree.
+        for (q, actual, class) in &p.ground_truth {
+            if *class == QueryClass::SimplePath {
+                let labels: Vec<_> = q
+                    .steps
+                    .iter()
+                    .map(|s| p.doc.names().lookup(s.test.name().unwrap()).unwrap())
+                    .collect();
+                assert_eq!(*actual, p.path_tree.simple_path_cardinality(&labels), "{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn observations_filter_by_class() {
+        let p = tiny();
+        let all = p.observations(|_| 1.0, None);
+        let sp = p.observations(|_| 1.0, Some(QueryClass::SimplePath));
+        assert_eq!(all.len(), p.ground_truth.len());
+        assert_eq!(sp.len(), p.workload.simple.len());
+    }
+
+    #[test]
+    fn builders_produce_working_synopses() {
+        let p = tiny();
+        let kernel = build_xseed_kernel(&p);
+        assert!(kernel.value.kernel_size_bytes() > 0);
+        assert!(kernel.seconds >= 0.0);
+        let (xseed, het_time) = build_xseed_with_het(&p, Some(50 * 1024), 1);
+        assert!(xseed.value.het().is_some());
+        assert!(het_time.seconds >= 0.0);
+        let ts = build_treesketch(&p, Some(50 * 1024));
+        assert!(ts.value.size_bytes() > 0);
+        // All three produce finite estimates on the workload.
+        for (q, _, _) in p.ground_truth.iter().take(10) {
+            assert!(kernel.value.estimate(q).is_finite());
+            assert!(xseed.value.estimate(q).is_finite());
+            assert!(ts.value.estimate(q).is_finite());
+        }
+    }
+
+    #[test]
+    fn recursive_datasets_get_recursive_config() {
+        let p = PreparedDataset::prepare(
+            Dataset::TreebankSmall,
+            0.1,
+            &WorkloadSpec {
+                branching: 5,
+                complex: 5,
+                max_simple: 20,
+                predicates_per_step: 1,
+            },
+            2,
+        );
+        // The recursive preset scales the cardinality threshold with the
+        // document size and uses the paper's low BSEL_THRESHOLD.
+        assert!(p.xseed_config().card_threshold >= 1.0);
+        assert_eq!(p.xseed_config().bsel_threshold, 0.001);
+        let q = tiny();
+        assert_eq!(q.xseed_config().card_threshold, 0.0);
+    }
+}

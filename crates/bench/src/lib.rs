@@ -1,0 +1,41 @@
+//! # xseed-bench — the experiment harness of the XSEED reproduction
+//!
+//! This crate regenerates every table and figure of the paper's
+//! evaluation (Section 6) from the synthetic datasets in `datagen`:
+//!
+//! * [`experiments::table2`] — dataset characteristics, kernel sizes,
+//!   construction times (Table 2);
+//! * [`experiments::table3`] — accuracy under 25 KB / 50 KB budgets vs.
+//!   TreeSketch (Table 3);
+//! * [`experiments::fig5`] — per-query-type errors on DBLP (Figure 5);
+//! * [`experiments::fig6`] — MBP settings vs. accuracy and HET
+//!   construction time (Figure 6);
+//! * [`experiments::sec64`] — EPT sizes and estimation/query time ratios
+//!   (Section 6.4).
+//!
+//! Results are printed as text tables with the same row/series structure
+//! as the paper, so the *shape* of the results (who wins, by roughly what
+//! factor) can be compared directly; absolute numbers differ because the
+//! datasets are synthetic, smaller, and the hardware is different (see
+//! EXPERIMENTS.md).
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p xseed-bench --bin experiments -- all
+//! ```
+//!
+//! or individual experiments with `table2`, `table3`, `fig5`, `fig6`,
+//! `sec64`. Criterion benches (one per table/figure) live under
+//! `crates/bench/benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod metrics;
+pub mod report;
+
+pub use harness::PreparedDataset;
+pub use metrics::{ErrorMetrics, Observation};

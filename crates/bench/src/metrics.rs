@@ -1,0 +1,170 @@
+//! Estimation-error metrics (Section 6.3).
+//!
+//! * **RMSE** — root-mean-squared error over the workload,
+//!   `sqrt(Σ(eᵢ − aᵢ)² / n)`.
+//! * **NRMSE** — RMSE normalized by the mean actual result size,
+//!   `RMSE / ā` (adopted from [13]); reported as a percentage in the
+//!   paper's tables.
+//! * **R²** — the coefficient of determination of estimates vs. actuals.
+//! * **OPD** — order-preserving degree: the fraction of query pairs whose
+//!   estimated order agrees with their actual order (ties counted as
+//!   preserved). The paper computes R² and OPD as well but omits them from
+//!   the tables because they are near-perfect for almost all settings.
+
+/// A single (estimated, actual) observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Estimated cardinality.
+    pub estimated: f64,
+    /// Actual cardinality.
+    pub actual: f64,
+}
+
+/// Aggregate error metrics over a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorMetrics {
+    /// Root-mean-squared error.
+    pub rmse: f64,
+    /// Normalized RMSE (fraction, not percent).
+    pub nrmse: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Order-preserving degree.
+    pub opd: f64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl ErrorMetrics {
+    /// Computes all metrics for a set of observations. Returns the default
+    /// (all zeros) for an empty input.
+    pub fn compute(observations: &[Observation]) -> Self {
+        let n = observations.len();
+        if n == 0 {
+            return ErrorMetrics::default();
+        }
+        let nf = n as f64;
+        let sq_err: f64 = observations
+            .iter()
+            .map(|o| (o.estimated - o.actual).powi(2))
+            .sum();
+        let rmse = (sq_err / nf).sqrt();
+        let mean_actual: f64 = observations.iter().map(|o| o.actual).sum::<f64>() / nf;
+        let nrmse = if mean_actual > 0.0 { rmse / mean_actual } else { 0.0 };
+
+        // R² = 1 - SS_res / SS_tot (against the mean of the actuals).
+        let ss_tot: f64 = observations
+            .iter()
+            .map(|o| (o.actual - mean_actual).powi(2))
+            .sum();
+        let r_squared = if ss_tot > 0.0 { 1.0 - sq_err / ss_tot } else { 1.0 };
+
+        ErrorMetrics {
+            rmse,
+            nrmse,
+            r_squared,
+            opd: order_preserving_degree(observations),
+            count: n,
+        }
+    }
+
+    /// NRMSE as a percentage, the way the paper's Table 3 prints it.
+    pub fn nrmse_percent(&self) -> f64 {
+        self.nrmse * 100.0
+    }
+}
+
+/// Fraction of observation pairs whose estimated ordering matches their
+/// actual ordering (pairs tied on either side count as preserved).
+pub fn order_preserving_degree(observations: &[Observation]) -> f64 {
+    let n = observations.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut preserved = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += 1;
+            let actual_order = observations[i].actual.partial_cmp(&observations[j].actual);
+            let est_order = observations[i].estimated.partial_cmp(&observations[j].estimated);
+            match (actual_order, est_order) {
+                (Some(a), Some(e)) => {
+                    if a == e || a == std::cmp::Ordering::Equal || e == std::cmp::Ordering::Equal {
+                        preserved += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    preserved as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(pairs: &[(f64, f64)]) -> Vec<Observation> {
+        pairs
+            .iter()
+            .map(|&(estimated, actual)| Observation { estimated, actual })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_estimates() {
+        let m = ErrorMetrics::compute(&obs(&[(1.0, 1.0), (5.0, 5.0), (10.0, 10.0)]));
+        assert_eq!(m.rmse, 0.0);
+        assert_eq!(m.nrmse, 0.0);
+        assert!((m.r_squared - 1.0).abs() < 1e-12);
+        assert_eq!(m.opd, 1.0);
+        assert_eq!(m.count, 3);
+    }
+
+    #[test]
+    fn rmse_matches_hand_computation() {
+        // Errors 3 and 4 => RMSE = sqrt((9+16)/2) = 3.5355...
+        let m = ErrorMetrics::compute(&obs(&[(4.0, 1.0), (0.0, 4.0)]));
+        assert!((m.rmse - (25.0f64 / 2.0).sqrt()).abs() < 1e-12);
+        // Mean actual = 2.5, NRMSE = rmse / 2.5.
+        assert!((m.nrmse - m.rmse / 2.5).abs() < 1e-12);
+        assert!((m.nrmse_percent() - m.nrmse * 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opd_detects_order_inversions() {
+        // Two queries whose estimated order is inverted.
+        let inverted = obs(&[(10.0, 1.0), (1.0, 10.0)]);
+        assert_eq!(order_preserving_degree(&inverted), 0.0);
+        let preserved = obs(&[(2.0, 1.0), (20.0, 10.0)]);
+        assert_eq!(order_preserving_degree(&preserved), 1.0);
+        // Ties count as preserved.
+        let tied = obs(&[(5.0, 1.0), (5.0, 10.0)]);
+        assert_eq!(order_preserving_degree(&tied), 1.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(ErrorMetrics::compute(&[]), ErrorMetrics::default());
+        let single = ErrorMetrics::compute(&obs(&[(2.0, 3.0)]));
+        assert_eq!(single.count, 1);
+        assert_eq!(single.opd, 1.0);
+        assert!((single.rmse - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_decreases_with_error() {
+        let good = ErrorMetrics::compute(&obs(&[(1.1, 1.0), (5.2, 5.0), (9.9, 10.0)]));
+        let bad = ErrorMetrics::compute(&obs(&[(9.0, 1.0), (1.0, 5.0), (2.0, 10.0)]));
+        assert!(good.r_squared > bad.r_squared);
+        assert!(good.r_squared > 0.9);
+    }
+
+    #[test]
+    fn zero_actuals_do_not_divide_by_zero() {
+        let m = ErrorMetrics::compute(&obs(&[(1.0, 0.0), (2.0, 0.0)]));
+        assert!(m.rmse > 0.0);
+        assert_eq!(m.nrmse, 0.0);
+    }
+}

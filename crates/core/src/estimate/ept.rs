@@ -1,0 +1,193 @@
+//! A materialized expanded path tree (EPT).
+//!
+//! The traveler generates the EPT lazily as an event stream; for matching
+//! it is convenient (and cheap — the EPT is bounded by the cardinality
+//! threshold and is typically a tiny fraction of the document, Section
+//! 6.4) to materialize it into an arena of nodes. The matcher then runs
+//! classic tree-pattern matching over this arena.
+
+use crate::config::XseedConfig;
+use crate::estimate::event::EstimateEvent;
+use crate::estimate::traveler::Traveler;
+use crate::het::table::HyperEdgeTable;
+use crate::kernel::{Kernel, VertexId};
+use xmlkit::names::LabelId;
+
+/// One node of the materialized EPT.
+#[derive(Debug, Clone)]
+pub struct EptNode {
+    /// The kernel vertex this node came from.
+    pub vertex: VertexId,
+    /// Element label.
+    pub label: LabelId,
+    /// Estimated (or HET-provided) cardinality of the rooted path.
+    pub card: f64,
+    /// Forward selectivity of the rooted path.
+    pub fsel: f64,
+    /// Backward selectivity of the rooted path.
+    pub bsel: f64,
+    /// Recursion level of the rooted path.
+    pub level: usize,
+    /// Incremental hash of the rooted label path.
+    pub path_hash: u64,
+    /// Parent node index, `None` for the root.
+    pub parent: Option<usize>,
+    /// Child node indices in generation order.
+    pub children: Vec<usize>,
+}
+
+/// A materialized expanded path tree.
+#[derive(Debug, Clone, Default)]
+pub struct ExpandedPathTree {
+    nodes: Vec<EptNode>,
+}
+
+impl ExpandedPathTree {
+    /// Generates the EPT for `kernel` under `config`, optionally consulting
+    /// a hyper-edge table for simple-path overrides.
+    pub fn generate(kernel: &Kernel, config: &XseedConfig, het: Option<&HyperEdgeTable>) -> Self {
+        let mut traveler = Traveler::new(kernel, config, het);
+        let mut nodes: Vec<EptNode> = Vec::new();
+        let mut stack: Vec<usize> = Vec::new();
+        loop {
+            match traveler.next_event() {
+                EstimateEvent::Open {
+                    vertex,
+                    label,
+                    card,
+                    fsel,
+                    bsel,
+                    level,
+                    path_hash,
+                    ..
+                } => {
+                    let parent = stack.last().copied();
+                    let idx = nodes.len();
+                    nodes.push(EptNode {
+                        vertex,
+                        label,
+                        card,
+                        fsel,
+                        bsel,
+                        level,
+                        path_hash,
+                        parent,
+                        children: Vec::new(),
+                    });
+                    if let Some(p) = parent {
+                        nodes[p].children.push(idx);
+                    }
+                    stack.push(idx);
+                }
+                EstimateEvent::Close { .. } => {
+                    stack.pop();
+                }
+                EstimateEvent::Eos => break,
+            }
+        }
+        ExpandedPathTree { nodes }
+    }
+
+    /// Number of EPT nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the EPT has no nodes (empty kernel).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The root node index (0), if any.
+    pub fn root(&self) -> Option<usize> {
+        (!self.nodes.is_empty()).then_some(0)
+    }
+
+    /// Access a node by index.
+    pub fn node(&self, idx: usize) -> &EptNode {
+        &self.nodes[idx]
+    }
+
+    /// All node indices in generation (preorder) order.
+    pub fn ids(&self) -> impl Iterator<Item = usize> {
+        0..self.nodes.len()
+    }
+
+    /// Children of a node.
+    pub fn children(&self, idx: usize) -> &[usize] {
+        &self.nodes[idx].children
+    }
+
+    /// Descendant indices of `idx` (excluding `idx`), preorder.
+    pub fn descendants(&self, idx: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack: Vec<usize> = self.nodes[idx].children.clone();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            stack.extend_from_slice(&self.nodes[n].children);
+        }
+        out
+    }
+
+    /// Sum of the estimated cardinalities of all nodes — an estimate of the
+    /// total element count reachable through the synopsis.
+    pub fn total_cardinality(&self) -> f64 {
+        self.nodes.iter().map(|n| n.card).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+    use xmlkit::samples::figure2_document;
+
+    fn figure2_ept() -> (Kernel, ExpandedPathTree) {
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        let ept = ExpandedPathTree::generate(&kernel, &XseedConfig::default(), None);
+        (kernel, ept)
+    }
+
+    #[test]
+    fn figure2_shape() {
+        let (kernel, ept) = figure2_ept();
+        assert_eq!(ept.len(), 14);
+        let root = ept.root().unwrap();
+        assert_eq!(kernel.names().name_or_panic(ept.node(root).label), "a");
+        // Root has three children: t, u, c.
+        assert_eq!(ept.children(root).len(), 3);
+        // Parent pointers are consistent with child lists.
+        for idx in ept.ids() {
+            for &c in ept.children(idx) {
+                assert_eq!(ept.node(c).parent, Some(idx));
+            }
+        }
+    }
+
+    #[test]
+    fn descendants_counts() {
+        let (_, ept) = figure2_ept();
+        let root = ept.root().unwrap();
+        assert_eq!(ept.descendants(root).len(), ept.len() - 1);
+    }
+
+    #[test]
+    fn total_cardinality_close_to_element_count() {
+        // The EPT's summed cardinalities should approximate the document
+        // size (36 elements); for Figure 2 the estimate is exact except for
+        // rounding in recursive branches.
+        let (kernel, ept) = figure2_ept();
+        let total = ept.total_cardinality();
+        assert!(total > 0.5 * kernel.element_count() as f64);
+        assert!(total < 1.5 * kernel.element_count() as f64);
+    }
+
+    #[test]
+    fn empty_kernel_gives_empty_ept() {
+        let kernel = Kernel::new();
+        let ept = ExpandedPathTree::generate(&kernel, &XseedConfig::default(), None);
+        assert!(ept.is_empty());
+        assert_eq!(ept.root(), None);
+        assert_eq!(ept.total_cardinality(), 0.0);
+    }
+}

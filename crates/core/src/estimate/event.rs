@@ -1,0 +1,79 @@
+//! Events emitted by the synopsis traveler (Algorithm 2).
+
+use crate::kernel::VertexId;
+use xmlkit::names::LabelId;
+
+/// A Dewey identifier locating an EPT node: the 1-based child ordinal at
+/// every level from the root down to the node, e.g. `1.3.3.1`.
+pub type DeweyId = Vec<u32>;
+
+/// One event of the expanded-path-tree stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimateEvent {
+    /// A synopsis vertex is entered along the current path.
+    Open {
+        /// The kernel vertex being visited.
+        vertex: VertexId,
+        /// The element label of that vertex.
+        label: LabelId,
+        /// Dewey identifier of this EPT node.
+        dewey: DeweyId,
+        /// Estimated cardinality of the rooted path ending here.
+        card: f64,
+        /// Forward selectivity of the path (Definition 5).
+        fsel: f64,
+        /// Backward selectivity of the path (Definition 5).
+        bsel: f64,
+        /// Recursion level of the path ending here.
+        level: usize,
+        /// Incremental hash of the rooted label path (the HET key for the
+        /// simple path ending here).
+        path_hash: u64,
+    },
+    /// The most recently opened vertex is left.
+    Close {
+        /// The kernel vertex being left.
+        vertex: VertexId,
+    },
+    /// The traversal has finished; no further events follow.
+    Eos,
+}
+
+impl EstimateEvent {
+    /// Returns `true` for [`EstimateEvent::Eos`].
+    pub fn is_eos(&self) -> bool {
+        matches!(self, EstimateEvent::Eos)
+    }
+
+    /// The estimated cardinality carried by an open event, if any.
+    pub fn card(&self) -> Option<f64> {
+        match self {
+            EstimateEvent::Open { card, .. } => Some(*card),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let open = EstimateEvent::Open {
+            vertex: VertexId(0),
+            label: LabelId(0),
+            dewey: vec![1],
+            card: 2.5,
+            fsel: 1.0,
+            bsel: 0.5,
+            level: 0,
+            path_hash: 42,
+        };
+        assert!(!open.is_eos());
+        assert_eq!(open.card(), Some(2.5));
+        assert!(EstimateEvent::Eos.is_eos());
+        assert_eq!(EstimateEvent::Eos.card(), None);
+        assert_eq!(EstimateEvent::Close { vertex: VertexId(1) }.card(), None);
+    }
+}

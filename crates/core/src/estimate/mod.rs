@@ -1,0 +1,23 @@
+//! Cardinality estimation over the XSEED kernel (Section 4).
+//!
+//! * [`event`] — the open/close/end-of-stream events produced by the
+//!   traveler, carrying the estimated cardinality and the forward and
+//!   backward selectivities of the current synopsis path.
+//! * [`traveler`] — Algorithm 2: a depth-first traversal of the kernel
+//!   that lazily generates the *expanded path tree* (EPT) as an event
+//!   stream, bounded by the cardinality threshold.
+//! * [`ept`] — a materialized form of the EPT, built by draining the
+//!   traveler; the matcher and several diagnostics work on it.
+//! * [`matcher`] — Algorithm 3: matches a query tree against the EPT and
+//!   sums the estimated cardinalities of the result-node matches,
+//!   multiplying in aggregated backward selectivities for predicates.
+
+pub mod ept;
+pub mod event;
+pub mod matcher;
+pub mod traveler;
+
+pub use ept::{EptNode, ExpandedPathTree};
+pub use event::EstimateEvent;
+pub use matcher::Matcher;
+pub use traveler::Traveler;

@@ -1,0 +1,463 @@
+//! The synopsis traveler (Algorithm 2).
+//!
+//! The traveler walks the kernel depth-first, maintaining the current
+//! synopsis path, its recursion level (via counter stacks), and the
+//! estimated cardinality / forward selectivity / backward selectivity of
+//! the path, and emits [`EstimateEvent`]s — conceptually generating the
+//! expanded path tree (EPT) without storing it.
+//!
+//! Expansion of a child vertex stops (the paper's `END-TRAVELING`) when
+//!
+//! * the recursion level of the extended path exceeds the levels recorded
+//!   on the kernel edge (the estimated cardinality is 0 — Observation 1
+//!   guarantees such paths do not exist in the document), or
+//! * the estimated cardinality falls to or below
+//!   [`card_threshold`](crate::config::XseedConfig::card_threshold), or
+//! * a global cap on generated EPT nodes is hit
+//!   ([`max_ept_nodes`](crate::config::XseedConfig::max_ept_nodes)).
+//!
+//! When a [`HyperEdgeTable`] is supplied, the estimated cardinality and
+//! backward selectivity of a simple path present in the table are replaced
+//! by the recorded actual values (Section 5, "Cardinality estimation").
+
+use crate::config::XseedConfig;
+use crate::counter_stacks::CounterStacks;
+use crate::estimate::event::EstimateEvent;
+use crate::het::hash::{inc_hash, PATH_HASH_SEED};
+use crate::het::table::HyperEdgeTable;
+use crate::kernel::{EdgeId, Kernel, VertexId};
+
+/// One entry of the traveler's `pathTrace` stack: the footprint of a
+/// vertex on the current synopsis path.
+#[derive(Debug, Clone)]
+struct Footprint {
+    vertex: VertexId,
+    card: f64,
+    fsel: f64,
+    bsel: f64,
+    /// Index of the next out-edge of `vertex` to try.
+    next_child: usize,
+    /// Dewey ordinal of this node among its parent's expanded children.
+    dewey_ordinal: u32,
+    /// Number of expanded children so far (to assign dewey ordinals).
+    expanded_children: u32,
+    /// Recursion level of the path ending at this vertex.
+    level: usize,
+    /// Incremental hash of the label path ending at this vertex.
+    path_hash: u64,
+}
+
+/// Streaming generator of the expanded path tree.
+pub struct Traveler<'a> {
+    kernel: &'a Kernel,
+    config: &'a XseedConfig,
+    het: Option<&'a HyperEdgeTable>,
+    path: Vec<Footprint>,
+    recursion: CounterStacks<VertexId>,
+    started: bool,
+    finished: bool,
+    open_events: usize,
+}
+
+impl<'a> Traveler<'a> {
+    /// Creates a traveler over `kernel` with the given configuration and
+    /// an optional hyper-edge table.
+    pub fn new(kernel: &'a Kernel, config: &'a XseedConfig, het: Option<&'a HyperEdgeTable>) -> Self {
+        Traveler {
+            kernel,
+            config,
+            het,
+            path: Vec::new(),
+            recursion: CounterStacks::new(),
+            started: false,
+            finished: false,
+            open_events: 0,
+        }
+    }
+
+    /// Number of open events (EPT nodes) generated so far.
+    pub fn ept_nodes_generated(&self) -> usize {
+        self.open_events
+    }
+
+    /// Produces the next event of the stream (the paper's `NEXT-EVENT`).
+    /// After [`EstimateEvent::Eos`] is returned it is returned forever.
+    pub fn next_event(&mut self) -> EstimateEvent {
+        if self.finished {
+            return EstimateEvent::Eos;
+        }
+        if !self.started {
+            self.started = true;
+            return match self.kernel.root() {
+                Some(root) => self.open_root(root),
+                None => {
+                    self.finished = true;
+                    EstimateEvent::Eos
+                }
+            };
+        }
+        if self.path.is_empty() {
+            self.finished = true;
+            return EstimateEvent::Eos;
+        }
+        self.visit_next_child()
+    }
+
+    /// Drains the stream into a vector (excluding the final EOS); useful in
+    /// tests and for materializing the EPT.
+    pub fn collect_events(mut self) -> Vec<EstimateEvent> {
+        let mut out = Vec::new();
+        loop {
+            let evt = self.next_event();
+            if evt.is_eos() {
+                return out;
+            }
+            out.push(evt);
+        }
+    }
+
+    fn open_root(&mut self, root: VertexId) -> EstimateEvent {
+        let level = self.recursion.push(root);
+        let path_hash = inc_hash(PATH_HASH_SEED, self.kernel.label(root));
+        // The root element always exists exactly once; the HET could still
+        // override it, but by construction its entry would also be 1.
+        let fp = Footprint {
+            vertex: root,
+            card: 1.0,
+            fsel: 1.0,
+            bsel: 1.0,
+            next_child: 0,
+            dewey_ordinal: 1,
+            expanded_children: 0,
+            level,
+            path_hash,
+        };
+        self.path.push(fp);
+        self.open_events += 1;
+        self.open_event_from_top()
+    }
+
+    /// The paper's `VISIT-NEXT-CHILD`: advances the depth-first traversal
+    /// by one event.
+    fn visit_next_child(&mut self) -> EstimateEvent {
+        loop {
+            let top = self.path.last().expect("path checked non-empty");
+            let out_edges = self.kernel.out_edges(top.vertex);
+            if top.next_child >= out_edges.len() || self.open_events >= self.config.max_ept_nodes {
+                // All children handled: close this vertex.
+                let closed = self.path.pop().expect("path checked non-empty");
+                self.recursion.pop(&closed.vertex);
+                if self.path.is_empty() {
+                    // The next call will emit EOS.
+                }
+                return EstimateEvent::Close {
+                    vertex: closed.vertex,
+                };
+            }
+            let edge = out_edges[top.next_child];
+            // Advance the cursor before deciding whether to expand.
+            let top_index = self.path.len() - 1;
+            self.path[top_index].next_child += 1;
+            if let Some(fp) = self.estimate_child(edge) {
+                let ordinal = {
+                    let parent = &mut self.path[top_index];
+                    parent.expanded_children += 1;
+                    parent.expanded_children
+                };
+                let mut fp = fp;
+                fp.dewey_ordinal = ordinal;
+                self.recursion.push(fp.vertex);
+                self.path.push(fp);
+                self.open_events += 1;
+                return self.open_event_from_top();
+            }
+            // Child pruned (END-TRAVELING returned true): keep scanning.
+        }
+    }
+
+    /// The paper's `EST`: computes the footprint of the child reached via
+    /// `edge`, or `None` if traversal should stop there.
+    fn estimate_child(&self, edge: EdgeId) -> Option<Footprint> {
+        let parent = self.path.last().expect("estimate_child needs a parent");
+        let e = self.kernel.edge(edge);
+        let v = e.to;
+        let old_level = self.recursion.recursion_level();
+        let new_level = self.recursion.peek_push(&v);
+        let label = &e.label;
+
+        let path_hash = inc_hash(parent.path_hash, self.kernel.label(v));
+
+        let (mut card, mut bsel) = if new_level < label.levels() {
+            let card = label.child_count(new_level) as f64 * parent.fsel;
+            let parent_in_sum = self.kernel.in_child_sum(parent.vertex, old_level);
+            let bsel = if parent_in_sum == 0 {
+                0.0
+            } else {
+                label.parent_count(new_level) as f64 / parent_in_sum as f64
+            };
+            (card, bsel)
+        } else {
+            // Observation 1: no document path reaches this recursion level.
+            (0.0, 0.0)
+        };
+
+        // HET override for simple paths: use actual values when available.
+        if let Some(het) = self.het {
+            if let Some((actual_card, actual_bsel)) = het.lookup_simple(path_hash) {
+                card = actual_card as f64;
+                bsel = actual_bsel;
+            }
+        }
+
+        if card <= self.config.card_threshold {
+            return None;
+        }
+
+        let v_in_sum = self.kernel.in_child_sum(v, new_level);
+        let fsel = if v_in_sum == 0 {
+            0.0
+        } else {
+            card / v_in_sum as f64
+        };
+
+        Some(Footprint {
+            vertex: v,
+            card,
+            fsel,
+            bsel,
+            next_child: 0,
+            dewey_ordinal: 0,
+            expanded_children: 0,
+            level: new_level,
+            path_hash,
+        })
+    }
+
+    fn open_event_from_top(&self) -> EstimateEvent {
+        let dewey: Vec<u32> = self.path.iter().map(|fp| fp.dewey_ordinal).collect();
+        let top = self.path.last().expect("open event requires a path");
+        EstimateEvent::Open {
+            vertex: top.vertex,
+            label: self.kernel.label(top.vertex),
+            dewey,
+            card: top.card,
+            fsel: top.fsel,
+            bsel: top.bsel,
+            level: top.level,
+            path_hash: top.path_hash,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+    use xmlkit::samples::figure2_document;
+
+    fn figure2_kernel() -> Kernel {
+        KernelBuilder::from_document(&figure2_document())
+    }
+
+    /// Collects `(name, card, fsel, bsel)` for every open event.
+    fn open_tuples(kernel: &Kernel, config: &XseedConfig) -> Vec<(String, f64, f64, f64)> {
+        Traveler::new(kernel, config, None)
+            .collect_events()
+            .into_iter()
+            .filter_map(|e| match e {
+                EstimateEvent::Open {
+                    label, card, fsel, bsel, ..
+                } => Some((
+                    kernel.names().name_or_panic(label).to_string(),
+                    card,
+                    fsel,
+                    bsel,
+                )),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn figure2_ept_matches_paper_dump() {
+        // Section 4 lists the EPT generated from the Figure 2(b) kernel.
+        // Check a representative subset of (card, fsel, bsel) annotations.
+        let kernel = figure2_kernel();
+        let config = XseedConfig::default();
+        let opens = open_tuples(&kernel, &config);
+
+        let approx = |a: f64, b: f64| (a - b).abs() < 1e-9;
+        // Root a: card 1, fsel 1, bsel 1.
+        assert_eq!(opens[0].0, "a");
+        assert!(approx(opens[0].1, 1.0));
+        // The t child of a: card 1, fsel 0.2, bsel 1.
+        let t_under_a = opens
+            .iter()
+            .find(|(name, card, _, _)| name == "t" && approx(*card, 1.0))
+            .expect("t under a present");
+        assert!(approx(t_under_a.2, 0.2));
+        assert!(approx(t_under_a.3, 1.0));
+        // c: card 2, fsel 1, bsel 1.
+        let c = opens.iter().find(|(name, _, _, _)| name == "c").unwrap();
+        assert!(approx(c.1, 2.0));
+        assert!(approx(c.2, 1.0));
+        // s under c: card 5, fsel 1, bsel 1.
+        let s5 = opens
+            .iter()
+            .find(|(name, card, _, _)| name == "s" && approx(*card, 5.0))
+            .expect("s with card 5");
+        assert!(approx(s5.2, 1.0));
+        assert!(approx(s5.3, 1.0));
+        // p under c/s: card 9, fsel 0.75, bsel 1.
+        let p9 = opens
+            .iter()
+            .find(|(name, card, _, _)| name == "p" && approx(*card, 9.0))
+            .expect("p with card 9");
+        assert!(approx(p9.2, 0.75));
+        assert!(approx(p9.3, 1.0));
+        // s at recursion level 1: card 2, fsel 1, bsel 0.4.
+        let s_l1 = opens
+            .iter()
+            .find(|(name, card, _, bsel)| name == "s" && approx(*card, 2.0) && approx(*bsel, 0.4))
+            .expect("recursive s with bsel 0.4");
+        assert!(approx(s_l1.2, 1.0));
+        // Deepest p (recursion level 2 chain): card 3, fsel 1, bsel 1.
+        assert!(opens
+            .iter()
+            .any(|(name, card, fsel, bsel)| name == "p"
+                && approx(*card, 3.0)
+                && approx(*fsel, 1.0)
+                && approx(*bsel, 1.0)));
+        // Total number of EPT nodes in the paper's dump: 14.
+        assert_eq!(opens.len(), 14);
+    }
+
+    #[test]
+    fn events_are_balanced() {
+        let kernel = figure2_kernel();
+        let config = XseedConfig::default();
+        let events = Traveler::new(&kernel, &config, None).collect_events();
+        let opens = events
+            .iter()
+            .filter(|e| matches!(e, EstimateEvent::Open { .. }))
+            .count();
+        let closes = events
+            .iter()
+            .filter(|e| matches!(e, EstimateEvent::Close { .. }))
+            .count();
+        assert_eq!(opens, closes);
+        // Depth never goes negative and ends at zero.
+        let mut depth: i64 = 0;
+        for e in &events {
+            match e {
+                EstimateEvent::Open { .. } => depth += 1,
+                EstimateEvent::Close { .. } => depth -= 1,
+                EstimateEvent::Eos => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn eos_is_sticky() {
+        let kernel = figure2_kernel();
+        let config = XseedConfig::default();
+        let mut t = Traveler::new(&kernel, &config, None);
+        while !t.next_event().is_eos() {}
+        assert!(t.next_event().is_eos());
+        assert!(t.next_event().is_eos());
+    }
+
+    #[test]
+    fn card_threshold_prunes_expansion() {
+        let kernel = figure2_kernel();
+        let default_count = Traveler::new(&kernel, &XseedConfig::default(), None)
+            .collect_events()
+            .iter()
+            .filter(|e| matches!(e, EstimateEvent::Open { .. }))
+            .count();
+        let config = XseedConfig::default().with_card_threshold(2.0);
+        let pruned_count = Traveler::new(&kernel, &config, None)
+            .collect_events()
+            .iter()
+            .filter(|e| matches!(e, EstimateEvent::Open { .. }))
+            .count();
+        assert!(pruned_count < default_count);
+        assert!(pruned_count >= 1);
+    }
+
+    #[test]
+    fn max_ept_nodes_caps_generation() {
+        let kernel = figure2_kernel();
+        let mut config = XseedConfig::default();
+        config.max_ept_nodes = 3;
+        let events = Traveler::new(&kernel, &config, None).collect_events();
+        let opens = events
+            .iter()
+            .filter(|e| matches!(e, EstimateEvent::Open { .. }))
+            .count();
+        assert!(opens <= 3);
+    }
+
+    #[test]
+    fn recursion_does_not_expand_beyond_recorded_levels() {
+        // Observation 1: the traversal cannot derive a path with recursion
+        // level 3 from the Figure 2 kernel, so at most 3 nested s open
+        // events appear on any path.
+        let kernel = figure2_kernel();
+        let config = XseedConfig::default();
+        let events = Traveler::new(&kernel, &config, None).collect_events();
+        let s_label = kernel.names().lookup("s").unwrap();
+        let mut s_depth = 0usize;
+        let mut max_s_depth = 0usize;
+        for e in &events {
+            match e {
+                EstimateEvent::Open { label, .. } if *label == s_label => {
+                    s_depth += 1;
+                    max_s_depth = max_s_depth.max(s_depth);
+                }
+                EstimateEvent::Close { vertex } if kernel.label(*vertex) == s_label => {
+                    s_depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(max_s_depth, 3);
+    }
+
+    #[test]
+    fn empty_kernel_is_immediately_eos() {
+        let kernel = Kernel::new();
+        let config = XseedConfig::default();
+        let mut t = Traveler::new(&kernel, &config, None);
+        assert!(t.next_event().is_eos());
+    }
+
+    #[test]
+    fn het_overrides_simple_path_values() {
+        use crate::het::hash::path_hash;
+        let kernel = figure2_kernel();
+        let names = kernel.names();
+        let l = |n: &str| names.lookup(n).unwrap();
+        // Claim the actual cardinality of /a/c is 7 (it is really 2) and
+        // check the traveler picks it up.
+        let mut het = HyperEdgeTable::new();
+        let key = path_hash(&[l("a"), l("c")]);
+        het.insert_simple(key, 7, 0.9, 100.0);
+        het.rebuild_residency();
+        let config = XseedConfig::default();
+        let events = Traveler::new(&kernel, &config, Some(&het)).collect_events();
+        let c_open = events
+            .iter()
+            .find_map(|e| match e {
+                EstimateEvent::Open { label, card, bsel, .. } if *label == l("c") => {
+                    Some((*card, *bsel))
+                }
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(c_open.0, 7.0);
+        assert_eq!(c_open.1, 0.9);
+    }
+}

@@ -1,0 +1,332 @@
+//! Pre-computation of the hyper-edge table (Section 5, "HET Construction").
+//!
+//! The builder walks the path tree and, for every rooted simple path,
+//! compares the kernel's estimate against the exact cardinality recorded in
+//! the path tree; the resulting error ranks the entry. For path-tree nodes
+//! whose backward selectivity falls below `BSEL_THRESHOLD`, the candidate
+//! *branching* paths that use the node as a (leaf-level) predicate are
+//! enumerated — up to `MBP` predicates per step — and evaluated exactly
+//! with the NoK evaluator to obtain their correlated backward
+//! selectivities.
+
+use crate::config::XseedConfig;
+use crate::estimate::ept::ExpandedPathTree;
+use crate::estimate::matcher::Matcher;
+use crate::het::hash::{correlated_key, path_hash};
+use crate::het::table::HyperEdgeTable;
+use crate::kernel::Kernel;
+use nokstore::{Evaluator, NokStorage, PathTree, PathTreeNodeId};
+use xpathkit::ast::{PathExpr, Step};
+
+/// Upper bound on the number of sibling labels considered when enumerating
+/// multi-predicate (2BP/3BP) combinations for one path-tree node, keeping
+/// the candidate count polynomial even for very wide elements.
+const MAX_SIBLINGS_FOR_COMBOS: usize = 16;
+
+/// Builds hyper-edge tables from a document's exact statistics.
+pub struct HetBuilder<'a> {
+    kernel: &'a Kernel,
+    path_tree: &'a PathTree,
+    storage: &'a NokStorage,
+    config: &'a XseedConfig,
+}
+
+/// Statistics about a build, reported for experiments (Figure 6 plots HET
+/// construction time and entry counts per MBP setting).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HetBuildStats {
+    /// Number of simple-path entries inserted.
+    pub simple_entries: usize,
+    /// Number of correlated (branching) entries inserted.
+    pub correlated_entries: usize,
+    /// Number of exact branching-path evaluations performed.
+    pub exact_evaluations: usize,
+}
+
+impl<'a> HetBuilder<'a> {
+    /// Creates a builder.
+    pub fn new(
+        kernel: &'a Kernel,
+        path_tree: &'a PathTree,
+        storage: &'a NokStorage,
+        config: &'a XseedConfig,
+    ) -> Self {
+        HetBuilder {
+            kernel,
+            path_tree,
+            storage,
+            config,
+        }
+    }
+
+    /// Builds the table, returning it together with build statistics.
+    /// The table's residency is computed against the byte budget left over
+    /// after the kernel (if a budget is configured).
+    pub fn build(&self) -> (HyperEdgeTable, HetBuildStats) {
+        let mut het = HyperEdgeTable::new();
+        let mut stats = HetBuildStats::default();
+
+        // Kernel-only estimates: one EPT shared by all candidate paths.
+        let ept = ExpandedPathTree::generate(self.kernel, self.config, None);
+        let matcher = Matcher::new(self.kernel, &ept, None);
+        let evaluator = Evaluator::new(self.storage);
+        let names = self.storage.names();
+
+        for id in self.path_tree.ids() {
+            let labels = self.path_tree.label_path(id);
+            let path_names: Vec<String> = labels
+                .iter()
+                .map(|&l| names.name_or_panic(l).to_string())
+                .collect();
+            let expr = PathExpr::simple(path_names.clone());
+            let actual = self.path_tree.cardinality(id);
+            let estimated = matcher.estimate(&expr);
+            let error = (estimated - actual as f64).abs();
+            let bsel = self.path_tree.bsel(id);
+            het.insert_simple(path_hash(&labels), actual, bsel, error);
+            stats.simple_entries += 1;
+
+            // Branching candidates: only for poorly selective nodes.
+            if bsel < self.config.bsel_threshold && self.config.max_branching_predicates > 0 {
+                let Some(parent) = self.path_tree.node(id).parent else {
+                    continue;
+                };
+                self.add_branching_candidates(
+                    &mut het,
+                    &mut stats,
+                    &matcher,
+                    &evaluator,
+                    parent,
+                    id,
+                );
+            }
+        }
+
+        het.set_budget(self.remaining_budget());
+        (het, stats)
+    }
+
+    /// Budget left for the HET once the kernel has been accounted for.
+    fn remaining_budget(&self) -> Option<usize> {
+        self.config
+            .memory_budget
+            .map(|total| total.saturating_sub(self.kernel.size_bytes()))
+    }
+
+    /// Enumerates branching paths `parent[pred ...]/result` where `pred_node`
+    /// is one of the predicates, evaluates them exactly, and records their
+    /// correlated backward selectivities.
+    fn add_branching_candidates(
+        &self,
+        het: &mut HyperEdgeTable,
+        stats: &mut HetBuildStats,
+        matcher: &Matcher<'_>,
+        evaluator: &Evaluator<'_>,
+        parent: PathTreeNodeId,
+        pred_node: PathTreeNodeId,
+    ) {
+        let names = self.storage.names();
+        let parent_labels = self.path_tree.label_path(parent);
+        let parent_names: Vec<String> = parent_labels
+            .iter()
+            .map(|&l| names.name_or_panic(l).to_string())
+            .collect();
+        let parent_hash = path_hash(&parent_labels);
+        let pred_label = self.path_tree.node(pred_node).label;
+        let siblings: Vec<PathTreeNodeId> = self
+            .path_tree
+            .node(parent)
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| c != pred_node)
+            .take(MAX_SIBLINGS_FOR_COMBOS)
+            .collect();
+
+        for &result_node in &siblings {
+            let result_label = self.path_tree.node(result_node).label;
+            let result_card = self.path_tree.cardinality(result_node);
+            if result_card == 0 {
+                continue;
+            }
+            // Predicate label sets of size 1..=MBP that include pred_label.
+            let other_preds: Vec<PathTreeNodeId> = siblings
+                .iter()
+                .copied()
+                .filter(|&c| c != result_node)
+                .collect();
+            let combos = predicate_combinations(
+                pred_label,
+                &other_preds
+                    .iter()
+                    .map(|&c| self.path_tree.node(c).label)
+                    .collect::<Vec<_>>(),
+                self.config.max_branching_predicates,
+            );
+            for pred_labels in combos {
+                let pred_name_list: Vec<String> = pred_labels
+                    .iter()
+                    .map(|&l| names.name_or_panic(l).to_string())
+                    .collect();
+                let expr = branching_expr(
+                    &parent_names,
+                    &pred_name_list,
+                    names.name_or_panic(result_label),
+                );
+                let actual = evaluator.count(&expr);
+                stats.exact_evaluations += 1;
+                let estimated = matcher.estimate(&expr);
+                let error = (estimated - actual as f64).abs();
+                let correlated_bsel = actual as f64 / result_card as f64;
+                let key = correlated_key(parent_hash, &pred_labels, result_label);
+                het.insert_correlated(key, actual, correlated_bsel, error);
+                stats.correlated_entries += 1;
+            }
+        }
+    }
+}
+
+/// Builds the expression `/<parent path>[pred1]...[predm]/<result>`.
+fn branching_expr(parent_names: &[String], pred_names: &[String], result_name: &str) -> PathExpr {
+    let mut steps: Vec<Step> = parent_names.iter().map(Step::child).collect();
+    let last = steps.last_mut().expect("parent path is rooted and non-empty");
+    for p in pred_names {
+        last.predicates.push(PathExpr::simple([p.as_str()]));
+    }
+    steps.push(Step::child(result_name));
+    PathExpr::new(steps)
+}
+
+/// All predicate label combinations of size `1..=mbp` that contain
+/// `required`; the remaining labels are drawn (order-insensitively) from
+/// `others`.
+fn predicate_combinations(
+    required: xmlkit::names::LabelId,
+    others: &[xmlkit::names::LabelId],
+    mbp: usize,
+) -> Vec<Vec<xmlkit::names::LabelId>> {
+    let mut out = vec![vec![required]];
+    if mbp <= 1 {
+        return out;
+    }
+    // Size-2 combinations.
+    for (i, &a) in others.iter().enumerate() {
+        out.push(vec![required, a]);
+        if mbp >= 3 {
+            for &b in &others[i + 1..] {
+                out.push(vec![required, a, b]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+    use xmlkit::names::LabelId;
+    use xmlkit::samples::{figure2_document, figure4_document};
+    use xmlkit::Document;
+    use xpathkit::parse;
+
+    fn build_for(doc: &Document, config: &XseedConfig) -> (Kernel, HyperEdgeTable, HetBuildStats) {
+        let kernel = KernelBuilder::from_document(doc);
+        let path_tree = PathTree::from_document(doc);
+        let storage = NokStorage::from_document(doc);
+        let builder = HetBuilder::new(&kernel, &path_tree, &storage, config);
+        let (het, stats) = builder.build();
+        (kernel, het, stats)
+    }
+
+    #[test]
+    fn simple_entries_cover_every_rooted_path() {
+        let doc = figure2_document();
+        let (_, het, stats) = build_for(&doc, &XseedConfig::default());
+        let path_tree = PathTree::from_document(&doc);
+        assert_eq!(stats.simple_entries, path_tree.len());
+        assert!(het.len() >= path_tree.len());
+        // Every simple path is resident with its exact cardinality.
+        let names = doc.names();
+        let l = |n: &str| names.lookup(n).unwrap();
+        let key = path_hash(&[l("a"), l("c"), l("s"), l("s")]);
+        assert_eq!(het.lookup_simple(key).map(|(c, _)| c), Some(2));
+    }
+
+    #[test]
+    fn correlated_entries_created_for_low_bsel_nodes() {
+        // In the Figure 4 document, e under d has bsel 5/14 and f has 11/14;
+        // with a generous threshold both generate branching candidates.
+        let doc = figure4_document();
+        let config = XseedConfig::default().with_bsel_threshold(0.99);
+        let (kernel, het, stats) = build_for(&doc, &config);
+        assert!(stats.correlated_entries > 0);
+        assert!(stats.exact_evaluations >= stats.correlated_entries);
+        // f under /a/b/d has a low backward selectivity (only 2 of the 5 d
+        // elements under b have an f child), so the branching path
+        // /a/b/d[f]/e is enumerated and its true correlated selectivity
+        // recorded.
+        let names = kernel.names();
+        let l = |n: &str| names.lookup(n).unwrap();
+        let parent = path_hash(&[l("a"), l("b"), l("d")]);
+        let key = correlated_key(parent, &[l("f")], l("e"));
+        let bsel = het.lookup_correlated(key);
+        assert!(bsel.is_some());
+        let storage = NokStorage::from_document(&doc);
+        let eval = Evaluator::new(&storage);
+        let actual = eval.count(&parse("/a/b/d[f]/e").unwrap()) as f64;
+        let base = eval.count(&parse("/a/b/d/e").unwrap()) as f64;
+        assert!((bsel.unwrap() - actual / base).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mbp_zero_disables_branching_entries() {
+        let doc = figure4_document();
+        let config = XseedConfig::default()
+            .with_bsel_threshold(0.99)
+            .with_max_branching_predicates(0);
+        let (_, _, stats) = build_for(&doc, &config);
+        assert_eq!(stats.correlated_entries, 0);
+    }
+
+    #[test]
+    fn higher_mbp_generates_more_candidates() {
+        let doc = figure4_document();
+        let config1 = XseedConfig::default().with_bsel_threshold(0.99);
+        let config2 = XseedConfig::default()
+            .with_bsel_threshold(0.99)
+            .with_max_branching_predicates(2);
+        let (_, _, stats1) = build_for(&doc, &config1);
+        let (_, _, stats2) = build_for(&doc, &config2);
+        assert!(stats2.correlated_entries >= stats1.correlated_entries);
+    }
+
+    #[test]
+    fn budget_is_shared_with_kernel() {
+        let doc = figure2_document();
+        let config = XseedConfig::default().with_memory_budget(10_000);
+        let (kernel, het, _) = build_for(&doc, &config);
+        assert_eq!(het.budget(), Some(10_000 - kernel.size_bytes()));
+    }
+
+    #[test]
+    fn predicate_combination_counts() {
+        let req = LabelId(0);
+        let others = [LabelId(1), LabelId(2), LabelId(3)];
+        assert_eq!(predicate_combinations(req, &others, 1).len(), 1);
+        // 1 single + 3 pairs.
+        assert_eq!(predicate_combinations(req, &others, 2).len(), 4);
+        // 1 single + 3 pairs + C(3,2)=3 triples.
+        assert_eq!(predicate_combinations(req, &others, 3).len(), 7);
+    }
+
+    #[test]
+    fn branching_expr_shape() {
+        let expr = branching_expr(
+            &["a".to_string(), "b".to_string()],
+            &["x".to_string(), "y".to_string()],
+            "r",
+        );
+        assert_eq!(expr.to_string(), "/a/b[x][y]/r");
+    }
+}

@@ -1,0 +1,217 @@
+//! Query-feedback population of the hyper-edge table.
+//!
+//! Instead of (or in addition to) pre-computation, the optimizer can feed
+//! back the *actual* cardinality observed after executing a query
+//! (Figure 1, the arrow from the optimizer back to the HET). Simple-path
+//! feedback updates or creates a simple-path entry; feedback for
+//! single-level branching paths of the form `p[q1]...[qm]/r` updates the
+//! corresponding correlated entry. Other query shapes are ignored — their
+//! statistics cannot be attributed to a single hyper-edge.
+
+use crate::het::hash::{correlated_key, path_hash};
+use crate::het::table::HyperEdgeTable;
+use crate::kernel::Kernel;
+use xmlkit::names::LabelId;
+use xpathkit::ast::{Axis, NodeTest, PathExpr};
+
+/// Outcome of a feedback submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedbackOutcome {
+    /// A simple-path entry was inserted or updated.
+    SimplePath,
+    /// A correlated (branching) entry was inserted or updated.
+    Correlated,
+    /// The query shape cannot be stored in the HET and was ignored.
+    Unsupported,
+}
+
+/// Applies query feedback to `het`.
+///
+/// * `expr` — the executed query,
+/// * `estimated` — the synopsis estimate that was used,
+/// * `actual` — the observed cardinality,
+/// * `base_cardinality` — for branching feedback, the cardinality of the
+///   same path without predicates (`p/r`), used to derive the correlated
+///   backward selectivity; pass `None` to fall back to the estimate-based
+///   derivation.
+pub fn record_feedback(
+    het: &mut HyperEdgeTable,
+    kernel: &Kernel,
+    expr: &PathExpr,
+    estimated: f64,
+    actual: u64,
+    base_cardinality: Option<u64>,
+) -> FeedbackOutcome {
+    let error = (estimated - actual as f64).abs();
+    if let Some(labels) = simple_path_labels(kernel, expr) {
+        // The feedback gives the cardinality; the backward selectivity of
+        // the path is not observable from the count alone, so keep a
+        // neutral value unless a base cardinality was provided.
+        let bsel = match base_cardinality {
+            Some(base) if base > 0 => (actual as f64 / base as f64).min(1.0),
+            _ => 1.0,
+        };
+        het.insert_simple(path_hash(&labels), actual, bsel, error);
+        het.rebuild_residency();
+        return FeedbackOutcome::SimplePath;
+    }
+    if let Some((parent_labels, pred_labels, result_label)) = branching_shape(kernel, expr) {
+        let base = base_cardinality.unwrap_or(0);
+        let bsel = if base > 0 {
+            (actual as f64 / base as f64).min(1.0)
+        } else if estimated > 0.0 {
+            (actual as f64 / estimated).min(1.0)
+        } else {
+            1.0
+        };
+        let key = correlated_key(path_hash(&parent_labels), &pred_labels, result_label);
+        het.insert_correlated(key, actual, bsel, error);
+        het.rebuild_residency();
+        return FeedbackOutcome::Correlated;
+    }
+    FeedbackOutcome::Unsupported
+}
+
+/// Label path of a simple path expression (child axes, name tests, no
+/// predicates); `None` if the expression has any other feature or uses a
+/// name unknown to the kernel.
+fn simple_path_labels(kernel: &Kernel, expr: &PathExpr) -> Option<Vec<LabelId>> {
+    let mut labels = Vec::with_capacity(expr.len());
+    for step in &expr.steps {
+        if step.axis != Axis::Child || !step.predicates.is_empty() {
+            return None;
+        }
+        labels.push(resolve(kernel, &step.test)?);
+    }
+    Some(labels)
+}
+
+/// Decomposes `p[q1]...[qm]/r` (all child axes, name tests, single-step
+/// leaf predicates) into `(labels of p, predicate labels, label of r)`.
+fn branching_shape(
+    kernel: &Kernel,
+    expr: &PathExpr,
+) -> Option<(Vec<LabelId>, Vec<LabelId>, LabelId)> {
+    if expr.len() < 2 {
+        return None;
+    }
+    let (last, prefix) = expr.steps.split_last()?;
+    if last.axis != Axis::Child || !last.predicates.is_empty() {
+        return None;
+    }
+    let result_label = resolve(kernel, &last.test)?;
+    let (pred_step, clean_prefix) = prefix.split_last()?;
+    if pred_step.axis != Axis::Child || pred_step.predicates.is_empty() {
+        return None;
+    }
+    let mut parent_labels = Vec::with_capacity(prefix.len());
+    for step in clean_prefix {
+        if step.axis != Axis::Child || !step.predicates.is_empty() {
+            return None;
+        }
+        parent_labels.push(resolve(kernel, &step.test)?);
+    }
+    parent_labels.push(resolve(kernel, &pred_step.test)?);
+    let mut pred_labels = Vec::with_capacity(pred_step.predicates.len());
+    for pred in &pred_step.predicates {
+        if pred.len() != 1 {
+            return None;
+        }
+        let only = &pred.steps[0];
+        if only.axis != Axis::Child || !only.predicates.is_empty() {
+            return None;
+        }
+        pred_labels.push(resolve(kernel, &only.test)?);
+    }
+    Some((parent_labels, pred_labels, result_label))
+}
+
+fn resolve(kernel: &Kernel, test: &NodeTest) -> Option<LabelId> {
+    match test {
+        NodeTest::Name(n) => kernel.names().lookup(n),
+        NodeTest::Wildcard => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+    use xmlkit::samples::figure2_document;
+    use xpathkit::parse;
+
+    fn kernel() -> Kernel {
+        KernelBuilder::from_document(&figure2_document())
+    }
+
+    #[test]
+    fn simple_path_feedback_inserts_entry() {
+        let kernel = kernel();
+        let mut het = HyperEdgeTable::new();
+        let expr = parse("/a/c/s").unwrap();
+        let outcome = record_feedback(&mut het, &kernel, &expr, 7.0, 5, None);
+        assert_eq!(outcome, FeedbackOutcome::SimplePath);
+        let names = kernel.names();
+        let l = |n: &str| names.lookup(n).unwrap();
+        let key = path_hash(&[l("a"), l("c"), l("s")]);
+        assert_eq!(het.lookup_simple(key).map(|(c, _)| c), Some(5));
+    }
+
+    #[test]
+    fn branching_feedback_inserts_correlated_entry() {
+        let kernel = kernel();
+        let mut het = HyperEdgeTable::new();
+        let expr = parse("/a/c/s[t]/p").unwrap();
+        let outcome = record_feedback(&mut het, &kernel, &expr, 3.6, 4, Some(9));
+        assert_eq!(outcome, FeedbackOutcome::Correlated);
+        let names = kernel.names();
+        let l = |n: &str| names.lookup(n).unwrap();
+        let key = correlated_key(path_hash(&[l("a"), l("c"), l("s")]), &[l("t")], l("p"));
+        let bsel = het.lookup_correlated(key).unwrap();
+        assert!((bsel - 4.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_predicate_branching_feedback() {
+        let kernel = kernel();
+        let mut het = HyperEdgeTable::new();
+        let expr = parse("/a/c/s[t][s]/p").unwrap();
+        let outcome = record_feedback(&mut het, &kernel, &expr, 1.44, 2, Some(9));
+        assert_eq!(outcome, FeedbackOutcome::Correlated);
+        assert_eq!(het.len(), 1);
+    }
+
+    #[test]
+    fn unsupported_shapes_are_ignored() {
+        let kernel = kernel();
+        let mut het = HyperEdgeTable::new();
+        for q in ["//s//p", "/a/*/t", "/a/c[s[t]]/p", "/a/c[//t]/s"] {
+            let outcome = record_feedback(&mut het, &kernel, &parse(q).unwrap(), 1.0, 2, None);
+            assert_eq!(outcome, FeedbackOutcome::Unsupported, "query {q}");
+        }
+        assert!(het.is_empty());
+    }
+
+    #[test]
+    fn unknown_names_are_ignored() {
+        let kernel = kernel();
+        let mut het = HyperEdgeTable::new();
+        let outcome =
+            record_feedback(&mut het, &kernel, &parse("/a/zzz").unwrap(), 0.0, 0, None);
+        assert_eq!(outcome, FeedbackOutcome::Unsupported);
+    }
+
+    #[test]
+    fn feedback_updates_existing_entry() {
+        let kernel = kernel();
+        let mut het = HyperEdgeTable::new();
+        let expr = parse("/a/c").unwrap();
+        record_feedback(&mut het, &kernel, &expr, 5.0, 2, None);
+        record_feedback(&mut het, &kernel, &expr, 2.0, 3, None);
+        assert_eq!(het.len(), 1);
+        let names = kernel.names();
+        let l = |n: &str| names.lookup(n).unwrap();
+        let key = path_hash(&[l("a"), l("c")]);
+        assert_eq!(het.lookup_simple(key).map(|(c, _)| c), Some(3));
+    }
+}

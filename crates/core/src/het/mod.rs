@@ -1,0 +1,33 @@
+//! The Hyper-Edge Table (HET), Section 5.
+//!
+//! The kernel's estimates rely on two independence assumptions — ancestor
+//! independence (Example 4) and sibling independence (Example 5). Where
+//! those assumptions break badly, the HET stores the truth:
+//!
+//! * for **simple paths**, the actual cardinality and backward selectivity
+//!   of the rooted path, keyed by an incremental hash of the path;
+//! * for **branching paths** (`p[q]/r`, and with larger MBP settings
+//!   `p[q1][q2]/r`, ...), the *correlated backward selectivity* — the
+//!   fraction of `p/r` results whose parent also has the predicate
+//!   children — keyed by a hash of the parent path and the labels
+//!   involved.
+//!
+//! Entries are ranked by absolute estimation error. Conceptually all of
+//! them live on secondary storage; only the top-k entries that fit the
+//! memory budget are resident and consulted by the estimator, which is how
+//! the synopsis adapts to different memory budgets.
+//!
+//! * [`hash`] — the incremental path hash (`incHash`).
+//! * [`table`] — the table itself with budget-aware residency.
+//! * [`builder`] — pre-computation from the path tree and the exact
+//!   evaluator.
+//! * [`feedback`] — population from optimizer query feedback.
+
+pub mod builder;
+pub mod feedback;
+pub mod hash;
+pub mod table;
+
+pub use builder::HetBuilder;
+pub use hash::{correlated_key, inc_hash, path_hash, PATH_HASH_SEED};
+pub use table::{HetEntryKind, HyperEdgeTable};

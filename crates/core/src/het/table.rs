@@ -1,0 +1,251 @@
+//! The hyper-edge table with budget-aware residency.
+
+use std::collections::HashMap;
+
+/// Bytes charged per resident entry when fitting a memory budget: a 32-bit
+/// hashed key (the paper's choice), a 64-bit cardinality and a 32-bit
+/// selectivity.
+pub const ENTRY_BYTES: usize = 16;
+
+/// The kind of a hyper-edge entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HetEntryKind {
+    /// A rooted simple path: stores actual cardinality and backward
+    /// selectivity.
+    SimplePath,
+    /// A branching path `p[q1]...[qm]/r`: stores the correlated backward
+    /// selectivity (and the actual cardinality, for error ranking and
+    /// inspection).
+    Correlated,
+}
+
+/// One hyper-edge entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HetEntry {
+    /// The path key (see [`crate::het::hash`]).
+    pub key: u64,
+    /// Simple-path or correlated entry.
+    pub kind: HetEntryKind,
+    /// Actual cardinality of the path.
+    pub cardinality: u64,
+    /// Actual (or correlated) backward selectivity.
+    pub bsel: f64,
+    /// Absolute estimation error that this entry corrects; entries with
+    /// larger error are kept resident first.
+    pub error: f64,
+}
+
+/// The hyper-edge table.
+///
+/// All entries ever inserted are retained (the paper keeps them "on
+/// secondary storage"); only the top-k by error that fit the byte budget
+/// are *resident* and visible to [`HyperEdgeTable::lookup_simple`] /
+/// [`HyperEdgeTable::lookup_correlated`].
+#[derive(Debug, Clone, Default)]
+pub struct HyperEdgeTable {
+    entries: Vec<HetEntry>,
+    index: HashMap<(u64, HetEntryKind), usize>,
+    resident_simple: HashMap<u64, usize>,
+    resident_correlated: HashMap<u64, usize>,
+    budget_bytes: Option<usize>,
+}
+
+impl HyperEdgeTable {
+    /// Creates an empty table with no budget (everything resident).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or updates an entry. Residency is recomputed lazily; call
+    /// [`HyperEdgeTable::rebuild_residency`] (or set a budget) after a
+    /// batch of insertions, which the builder and feedback paths do.
+    pub fn insert(&mut self, entry: HetEntry) {
+        match self.index.get(&(entry.key, entry.kind)) {
+            Some(&i) => self.entries[i] = entry,
+            None => {
+                self.index.insert((entry.key, entry.kind), self.entries.len());
+                self.entries.push(entry);
+            }
+        }
+    }
+
+    /// Convenience: inserts a simple-path entry.
+    pub fn insert_simple(&mut self, key: u64, cardinality: u64, bsel: f64, error: f64) {
+        self.insert(HetEntry {
+            key,
+            kind: HetEntryKind::SimplePath,
+            cardinality,
+            bsel,
+            error,
+        });
+    }
+
+    /// Convenience: inserts a correlated (branching) entry.
+    pub fn insert_correlated(&mut self, key: u64, cardinality: u64, bsel: f64, error: f64) {
+        self.insert(HetEntry {
+            key,
+            kind: HetEntryKind::Correlated,
+            cardinality,
+            bsel,
+            error,
+        });
+    }
+
+    /// Sets the byte budget available to the table and recomputes which
+    /// entries are resident. `None` means unlimited.
+    pub fn set_budget(&mut self, budget_bytes: Option<usize>) {
+        self.budget_bytes = budget_bytes;
+        self.rebuild_residency();
+    }
+
+    /// The current byte budget.
+    pub fn budget(&self) -> Option<usize> {
+        self.budget_bytes
+    }
+
+    /// Recomputes the resident set: entries are sorted by decreasing error
+    /// and admitted until the budget is exhausted.
+    pub fn rebuild_residency(&mut self) {
+        self.resident_simple.clear();
+        self.resident_correlated.clear();
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.entries[b]
+                .error
+                .partial_cmp(&self.entries[a].error)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let max_entries = match self.budget_bytes {
+            Some(bytes) => bytes / ENTRY_BYTES,
+            None => usize::MAX,
+        };
+        for &i in order.iter().take(max_entries) {
+            let e = &self.entries[i];
+            match e.kind {
+                HetEntryKind::SimplePath => self.resident_simple.insert(e.key, i),
+                HetEntryKind::Correlated => self.resident_correlated.insert(e.key, i),
+            };
+        }
+    }
+
+    /// Looks up a resident simple-path entry: `(actual cardinality, actual
+    /// backward selectivity)`.
+    pub fn lookup_simple(&self, key: u64) -> Option<(u64, f64)> {
+        self.resident_simple
+            .get(&key)
+            .map(|&i| (self.entries[i].cardinality, self.entries[i].bsel))
+    }
+
+    /// Looks up a resident correlated entry: the correlated backward
+    /// selectivity.
+    pub fn lookup_correlated(&self, key: u64) -> Option<f64> {
+        self.resident_correlated.get(&key).map(|&i| self.entries[i].bsel)
+    }
+
+    /// Number of entries known to the table (resident or not).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the table has no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of resident entries.
+    pub fn resident_len(&self) -> usize {
+        self.resident_simple.len() + self.resident_correlated.len()
+    }
+
+    /// Bytes consumed by the resident entries.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_len() * ENTRY_BYTES
+    }
+
+    /// Iterates over all entries (resident or not), largest error first.
+    pub fn entries_by_error(&self) -> Vec<&HetEntry> {
+        let mut all: Vec<&HetEntry> = self.entries.iter().collect();
+        all.sort_by(|a, b| b.error.partial_cmp(&a.error).unwrap_or(std::cmp::Ordering::Equal));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with(n: usize) -> HyperEdgeTable {
+        let mut t = HyperEdgeTable::new();
+        for i in 0..n {
+            t.insert_simple(i as u64, i as u64 * 10, 0.5, i as f64);
+        }
+        t.rebuild_residency();
+        t
+    }
+
+    #[test]
+    fn unlimited_budget_keeps_everything_resident() {
+        let t = table_with(10);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.resident_len(), 10);
+        assert_eq!(t.lookup_simple(3), Some((30, 0.5)));
+        assert_eq!(t.lookup_simple(99), None);
+    }
+
+    #[test]
+    fn budget_keeps_largest_errors() {
+        let mut t = table_with(10);
+        // Budget for 3 entries.
+        t.set_budget(Some(3 * ENTRY_BYTES));
+        assert_eq!(t.resident_len(), 3);
+        // The entries with the largest errors (keys 9, 8, 7) survive.
+        assert!(t.lookup_simple(9).is_some());
+        assert!(t.lookup_simple(8).is_some());
+        assert!(t.lookup_simple(7).is_some());
+        assert!(t.lookup_simple(0).is_none());
+        // All entries are still known (secondary storage).
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.resident_bytes(), 3 * ENTRY_BYTES);
+        // Raising the budget brings them back.
+        t.set_budget(None);
+        assert_eq!(t.resident_len(), 10);
+    }
+
+    #[test]
+    fn insert_updates_existing_entry() {
+        let mut t = HyperEdgeTable::new();
+        t.insert_simple(7, 100, 0.5, 10.0);
+        t.insert_simple(7, 200, 0.25, 20.0);
+        t.rebuild_residency();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup_simple(7), Some((200, 0.25)));
+    }
+
+    #[test]
+    fn simple_and_correlated_are_separate_namespaces() {
+        let mut t = HyperEdgeTable::new();
+        t.insert_simple(5, 10, 0.9, 1.0);
+        t.insert_correlated(5, 4, 0.35, 2.0);
+        t.rebuild_residency();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup_simple(5), Some((10, 0.9)));
+        assert_eq!(t.lookup_correlated(5), Some(0.35));
+        assert_eq!(t.lookup_correlated(6), None);
+    }
+
+    #[test]
+    fn entries_by_error_sorted() {
+        let t = table_with(5);
+        let errors: Vec<f64> = t.entries_by_error().iter().map(|e| e.error).collect();
+        assert_eq!(errors, vec![4.0, 3.0, 2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_budget_evicts_everything() {
+        let mut t = table_with(4);
+        t.set_budget(Some(0));
+        assert_eq!(t.resident_len(), 0);
+        assert!(t.lookup_simple(3).is_none());
+        assert!(!t.is_empty());
+    }
+}

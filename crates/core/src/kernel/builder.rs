@@ -1,0 +1,264 @@
+//! Single-pass kernel construction (Algorithm 1).
+//!
+//! The builder consumes opening/closing element events — from the SAX
+//! parser, from an in-memory [`Document`], or driven manually — and
+//! maintains:
+//!
+//! * `path_stack`: one entry per currently open element, holding the
+//!   kernel vertex it maps to and the set of `(edge, recursion level)`
+//!   pairs of its children observed so far (used to increment parent
+//!   counts exactly once per parent element when it closes), and
+//! * `rl_counter`: the counter-stacks structure giving the recursion level
+//!   of the current rooted path in O(1).
+
+use super::graph::{EdgeId, Kernel, VertexId};
+use crate::counter_stacks::CounterStacks;
+use xmlkit::sax::{SaxEvent, SaxParser};
+use xmlkit::tree::{Document, NodeId};
+
+/// Streaming builder for the XSEED kernel.
+#[derive(Debug, Default)]
+pub struct KernelBuilder {
+    kernel: Kernel,
+    path_stack: Vec<OpenElement>,
+    rl_counter: CounterStacks<VertexId>,
+}
+
+#[derive(Debug)]
+struct OpenElement {
+    vertex: VertexId,
+    /// Distinct `(edge, recursion level)` pairs of this element's children.
+    child_edges: Vec<(EdgeId, usize)>,
+}
+
+impl KernelBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Processes an opening tag (Algorithm 1, lines 4–15).
+    pub fn open_element(&mut self, name: &str) {
+        let v = self.kernel.get_or_create_vertex(name);
+        self.kernel.add_elements(1);
+        if self.path_stack.is_empty() {
+            self.rl_counter.push(v);
+            if self.kernel.root().is_none() {
+                self.kernel.set_root(v);
+            }
+            self.path_stack.push(OpenElement {
+                vertex: v,
+                child_edges: Vec::new(),
+            });
+        } else {
+            let parent = self.path_stack.last().expect("stack checked non-empty");
+            let u = parent.vertex;
+            let e = self.kernel.get_or_create_edge(u, v);
+            let level = self.rl_counter.push(v);
+            self.kernel.edge_label_mut(e).add_child(level, 1);
+            let parent = self.path_stack.last_mut().expect("stack checked non-empty");
+            if !parent.child_edges.contains(&(e, level)) {
+                parent.child_edges.push((e, level));
+            }
+            self.path_stack.push(OpenElement {
+                vertex: v,
+                child_edges: Vec::new(),
+            });
+        }
+    }
+
+    /// Processes a closing tag (Algorithm 1, lines 16–20).
+    pub fn close_element(&mut self) {
+        let closed = self
+            .path_stack
+            .pop()
+            .expect("close_element without a matching open_element");
+        for (e, level) in closed.child_edges {
+            self.kernel.edge_label_mut(e).add_parent(level, 1);
+        }
+        self.rl_counter.pop(&closed.vertex);
+    }
+
+    /// Current element nesting depth.
+    pub fn depth(&self) -> usize {
+        self.path_stack.len()
+    }
+
+    /// Finishes construction and returns the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if elements are still open — that indicates a bug at the
+    /// call site (unbalanced open/close calls).
+    pub fn finish(self) -> Kernel {
+        assert!(
+            self.path_stack.is_empty(),
+            "kernel builder finished with {} unclosed element(s)",
+            self.path_stack.len()
+        );
+        self.kernel
+    }
+
+    /// Builds a kernel directly from an in-memory document.
+    pub fn from_document(doc: &Document) -> Kernel {
+        let mut builder = KernelBuilder::new();
+        enum Step {
+            Enter(NodeId),
+            Leave,
+        }
+        let mut stack = vec![Step::Enter(doc.root())];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Enter(n) => {
+                    builder.open_element(doc.name(n));
+                    stack.push(Step::Leave);
+                    let children: Vec<NodeId> = doc.children(n).collect();
+                    for c in children.into_iter().rev() {
+                        stack.push(Step::Enter(c));
+                    }
+                }
+                Step::Leave => builder.close_element(),
+            }
+        }
+        builder.finish()
+    }
+
+    /// Builds a kernel by SAX-parsing XML text — the paper's construction
+    /// path (parse once, no in-memory tree needed).
+    pub fn from_xml_str(xml: &str) -> Result<Kernel, xmlkit::Error> {
+        let mut builder = KernelBuilder::new();
+        let mut parser = SaxParser::new(xml);
+        loop {
+            match parser.next_event()? {
+                SaxEvent::StartElement { name, .. } => builder.open_element(&name),
+                SaxEvent::EndElement { .. } => builder.close_element(),
+                SaxEvent::Text(_) | SaxEvent::Comment(_) | SaxEvent::ProcessingInstruction { .. } => {}
+                SaxEvent::Eof => break,
+            }
+        }
+        Ok(builder.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlkit::samples::{figure2_document, FIGURE2_XML};
+
+    fn pairs(kernel: &Kernel, from: &str, to: &str) -> Vec<(u64, u64)> {
+        let u = kernel.vertex_by_name(from).unwrap();
+        let v = kernel.vertex_by_name(to).unwrap();
+        kernel
+            .edge_label(u, v)
+            .unwrap()
+            .iter()
+            .map(|(_, p, c)| (p, c))
+            .collect()
+    }
+
+    #[test]
+    fn figure2_kernel_matches_paper() {
+        // Example 2: the kernel of the Figure 2(a) document must carry
+        // exactly the labels shown in Figure 2(b).
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        assert_eq!(pairs(&kernel, "a", "t"), vec![(1, 1)]);
+        assert_eq!(pairs(&kernel, "a", "u"), vec![(1, 1)]);
+        assert_eq!(pairs(&kernel, "a", "c"), vec![(1, 2)]);
+        assert_eq!(pairs(&kernel, "c", "t"), vec![(2, 2)]);
+        assert_eq!(pairs(&kernel, "c", "p"), vec![(2, 3)]);
+        assert_eq!(pairs(&kernel, "c", "s"), vec![(2, 5)]);
+        assert_eq!(pairs(&kernel, "s", "t"), vec![(2, 2), (1, 1)]);
+        assert_eq!(pairs(&kernel, "s", "p"), vec![(5, 9), (1, 2), (2, 3)]);
+        assert_eq!(pairs(&kernel, "s", "s"), vec![(0, 0), (2, 2), (1, 2)]);
+        assert_eq!(kernel.vertex_count(), 6);
+        assert_eq!(kernel.live_edge_count(), 9);
+        assert_eq!(kernel.element_count(), 36);
+        assert_eq!(kernel.name(kernel.root().unwrap()), "a");
+    }
+
+    #[test]
+    fn sax_and_document_construction_agree() {
+        let from_doc = KernelBuilder::from_document(&figure2_document());
+        let from_sax = KernelBuilder::from_xml_str(FIGURE2_XML).unwrap();
+        assert_eq!(from_doc.vertex_count(), from_sax.vertex_count());
+        assert_eq!(from_doc.live_edge_count(), from_sax.live_edge_count());
+        assert_eq!(from_doc.element_count(), from_sax.element_count());
+        assert_eq!(from_doc.to_string(), from_sax.to_string());
+    }
+
+    #[test]
+    fn observation1_no_overlong_recursive_paths() {
+        // The (s,s) label has 3 entries, so a path with recursion level 3
+        // (four nested s) cannot be derived from the synopsis.
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        let s = kernel.vertex_by_name("s").unwrap();
+        let label = kernel.edge_label(s, s).unwrap();
+        assert_eq!(label.levels(), 3);
+        assert_eq!(label.child_count(3), 0);
+    }
+
+    #[test]
+    fn observation2_out_edges_cover_child_labels() {
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        let c = kernel.vertex_by_name("c").unwrap();
+        // c elements have children labelled t, p, s: three out-edges.
+        assert_eq!(kernel.out_edges(c).len(), 3);
+    }
+
+    #[test]
+    fn observation3_descendant_counts() {
+        // //s//s//p returns 5 elements: the sum of (s,p) child counts at
+        // recursion levels 1 and 2.
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        let s = kernel.vertex_by_name("s").unwrap();
+        let p = kernel.vertex_by_name("p").unwrap();
+        assert_eq!(kernel.edge_label(s, p).unwrap().child_count_from(1), 5);
+    }
+
+    #[test]
+    fn non_recursive_document_has_single_level_labels() {
+        let kernel = KernelBuilder::from_xml_str("<a><b><c/><c/></b><b><c/></b></a>").unwrap();
+        let b = kernel.vertex_by_name("b").unwrap();
+        let c = kernel.vertex_by_name("c").unwrap();
+        let label = kernel.edge_label(b, c).unwrap();
+        assert_eq!(label.levels(), 1);
+        assert_eq!(label.parent_count(0), 2);
+        assert_eq!(label.child_count(0), 3);
+    }
+
+    #[test]
+    fn parent_count_counts_parents_not_children() {
+        // One parent with many same-label children: parent count is 1.
+        let kernel = KernelBuilder::from_xml_str("<a><b/><b/><b/><b/></a>").unwrap();
+        let a = kernel.vertex_by_name("a").unwrap();
+        let b = kernel.vertex_by_name("b").unwrap();
+        let label = kernel.edge_label(a, b).unwrap();
+        assert_eq!(label.parent_count(0), 1);
+        assert_eq!(label.child_count(0), 4);
+    }
+
+    #[test]
+    fn manual_event_driving() {
+        let mut b = KernelBuilder::new();
+        b.open_element("r");
+        assert_eq!(b.depth(), 1);
+        b.open_element("x");
+        b.close_element();
+        b.open_element("x");
+        b.close_element();
+        b.close_element();
+        let k = b.finish();
+        assert_eq!(k.element_count(), 3);
+        let r = k.vertex_by_name("r").unwrap();
+        let x = k.vertex_by_name("x").unwrap();
+        assert_eq!(k.edge_label(r, x).unwrap().child_count(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed element")]
+    fn unbalanced_builder_panics() {
+        let mut b = KernelBuilder::new();
+        b.open_element("r");
+        b.finish();
+    }
+}

@@ -1,0 +1,190 @@
+//! Edge labels: vectors of `(parent_count : child_count)` pairs indexed by
+//! recursion level (Definition 4).
+
+/// The statistics attached to one kernel edge `(u, v)`.
+///
+/// `pairs[i] = (pᵢ, cᵢ)` means: among the rooted paths whose recursion
+/// level (after appending `v`) is `i`, there are `pᵢ` elements mapped to
+/// `u` that have at least one `v` child, and `cᵢ` elements mapped to `v`
+/// in total. Entry 0 always exists once the edge has been observed; deeper
+/// entries are added on demand.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EdgeLabel {
+    pairs: Vec<(u64, u64)>,
+}
+
+impl EdgeLabel {
+    /// Creates an empty label (no recursion levels recorded yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a label from explicit `(parent_count, child_count)` pairs;
+    /// handy in tests and when deserializing.
+    pub fn from_pairs(pairs: Vec<(u64, u64)>) -> Self {
+        EdgeLabel { pairs }
+    }
+
+    /// Number of recursion levels recorded (the paper's `e.label.size()`).
+    pub fn levels(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Returns `true` if no recursion level has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Parent count at recursion level `level` (0 if the level is absent).
+    pub fn parent_count(&self, level: usize) -> u64 {
+        self.pairs.get(level).map(|&(p, _)| p).unwrap_or(0)
+    }
+
+    /// Child count at recursion level `level` (0 if the level is absent).
+    pub fn child_count(&self, level: usize) -> u64 {
+        self.pairs.get(level).map(|&(_, c)| c).unwrap_or(0)
+    }
+
+    /// Sum of child counts over all recursion levels `>= level`
+    /// (Observation 3: the result count of `q//u//v` at recursion level
+    /// `level`).
+    pub fn child_count_from(&self, level: usize) -> u64 {
+        self.pairs.iter().skip(level).map(|&(_, c)| c).sum()
+    }
+
+    /// Total child count over all recursion levels.
+    pub fn total_child_count(&self) -> u64 {
+        self.child_count_from(0)
+    }
+
+    /// Total parent count over all recursion levels.
+    pub fn total_parent_count(&self) -> u64 {
+        self.pairs.iter().map(|&(p, _)| p).sum()
+    }
+
+    /// Increments the child count at `level`, growing the vector if needed.
+    pub fn add_child(&mut self, level: usize, delta: u64) {
+        self.ensure_level(level);
+        self.pairs[level].1 += delta;
+    }
+
+    /// Increments the parent count at `level`, growing the vector if needed.
+    pub fn add_parent(&mut self, level: usize, delta: u64) {
+        self.ensure_level(level);
+        self.pairs[level].0 += delta;
+    }
+
+    /// Decrements the child count at `level`, saturating at zero.
+    pub fn remove_child(&mut self, level: usize, delta: u64) {
+        if let Some(pair) = self.pairs.get_mut(level) {
+            pair.1 = pair.1.saturating_sub(delta);
+        }
+        self.shrink();
+    }
+
+    /// Decrements the parent count at `level`, saturating at zero.
+    pub fn remove_parent(&mut self, level: usize, delta: u64) {
+        if let Some(pair) = self.pairs.get_mut(level) {
+            pair.0 = pair.0.saturating_sub(delta);
+        }
+        self.shrink();
+    }
+
+    /// Iterates over `(level, parent_count, child_count)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64, u64)> + '_ {
+        self.pairs.iter().enumerate().map(|(i, &(p, c))| (i, p, c))
+    }
+
+    /// Returns `true` if every recorded count is zero.
+    pub fn is_zero(&self) -> bool {
+        self.pairs.iter().all(|&(p, c)| p == 0 && c == 0)
+    }
+
+    fn ensure_level(&mut self, level: usize) {
+        if self.pairs.len() <= level {
+            self.pairs.resize(level + 1, (0, 0));
+        }
+    }
+
+    /// Drops empty trailing levels so `levels()` reflects the maximum
+    /// recursion level actually present.
+    fn shrink(&mut self) {
+        while matches!(self.pairs.last(), Some(&(0, 0))) {
+            self.pairs.pop();
+        }
+    }
+}
+
+impl std::fmt::Display for EdgeLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, &(p, c)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}:{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_by_level() {
+        let mut l = EdgeLabel::new();
+        l.add_child(0, 5);
+        l.add_parent(0, 2);
+        l.add_child(2, 3);
+        l.add_parent(2, 1);
+        assert_eq!(l.levels(), 3);
+        assert_eq!(l.child_count(0), 5);
+        assert_eq!(l.parent_count(0), 2);
+        assert_eq!(l.child_count(1), 0);
+        assert_eq!(l.child_count(2), 3);
+        assert_eq!(l.child_count(5), 0);
+    }
+
+    #[test]
+    fn observation3_suffix_sums() {
+        // The (s,p) edge of Figure 2(b): (5:9, 1:2, 2:3).
+        let l = EdgeLabel::from_pairs(vec![(5, 9), (1, 2), (2, 3)]);
+        assert_eq!(l.total_child_count(), 14);
+        // //s//p at recursion level 1: child counts at level 1 and above.
+        assert_eq!(l.child_count_from(1), 5);
+        assert_eq!(l.child_count_from(2), 3);
+        assert_eq!(l.child_count_from(3), 0);
+        assert_eq!(l.total_parent_count(), 8);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let l = EdgeLabel::from_pairs(vec![(0, 0), (2, 2), (1, 2)]);
+        assert_eq!(l.to_string(), "(0:0, 2:2, 1:2)");
+        assert_eq!(EdgeLabel::new().to_string(), "()");
+    }
+
+    #[test]
+    fn removal_saturates_and_shrinks() {
+        let mut l = EdgeLabel::from_pairs(vec![(1, 2), (1, 1)]);
+        l.remove_child(1, 1);
+        l.remove_parent(1, 1);
+        assert_eq!(l.levels(), 1);
+        l.remove_child(0, 10);
+        l.remove_parent(0, 10);
+        assert!(l.is_empty());
+        assert!(l.is_zero());
+        // Removing from a missing level is a no-op.
+        l.remove_child(7, 1);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn iter_levels() {
+        let l = EdgeLabel::from_pairs(vec![(1, 2), (3, 4)]);
+        let v: Vec<_> = l.iter().collect();
+        assert_eq!(v, vec![(0, 1, 2), (1, 3, 4)]);
+    }
+}

@@ -1,0 +1,23 @@
+//! The XSEED kernel: an edge-labeled label-split graph (Definition 4).
+//!
+//! * [`label`] — the per-edge vector of `(parent_count : child_count)`
+//!   pairs indexed by recursion level.
+//! * [`graph`] — the kernel graph itself: one vertex per element name, one
+//!   edge per observed parent/child name pair, plus the selectivity sums
+//!   needed by the estimator.
+//! * [`builder`] — single-pass construction from SAX events or an
+//!   in-memory document (Algorithm 1).
+//! * [`update`] — incremental maintenance: adding or removing a subtree
+//!   without rebuilding the kernel.
+//! * [`serialize`] — a compact binary encoding used both for persistence
+//!   and for honest `size_bytes()` accounting against memory budgets.
+
+pub mod builder;
+pub mod graph;
+pub mod label;
+pub mod serialize;
+pub mod update;
+
+pub use builder::KernelBuilder;
+pub use graph::{EdgeId, Kernel, VertexId};
+pub use label::EdgeLabel;

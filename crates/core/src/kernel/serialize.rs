@@ -1,0 +1,259 @@
+//! Compact binary serialization of the kernel.
+//!
+//! The byte format is also the basis of the kernel's memory accounting:
+//! the paper quotes kernel sizes of a few kilobytes (Table 2), which refer
+//! to a compact on-disk/in-memory encoding rather than pointer-heavy
+//! in-process structures. [`Kernel::size_bytes`] therefore reports the
+//! length of this encoding.
+//!
+//! Format (all integers are LEB128 varints):
+//!
+//! ```text
+//! magic "XSK1"
+//! vertex_count, then per vertex: name_len, name bytes
+//! root_vertex + 1 (0 when the kernel is empty)
+//! element_count
+//! edge_count, then per live edge: from, to, level_count,
+//!                                 then per level: parent_count, child_count
+//! ```
+
+use super::graph::Kernel;
+use super::label::EdgeLabel;
+
+/// Errors that can occur while decoding a serialized kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The magic header was missing or wrong.
+    BadMagic,
+    /// The byte stream ended prematurely or contained an invalid value.
+    Truncated,
+    /// A vertex or edge referenced an out-of-range index.
+    BadIndex,
+    /// A name was not valid UTF-8.
+    BadName,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "bad kernel magic header"),
+            DecodeError::Truncated => write!(f, "kernel byte stream is truncated"),
+            DecodeError::BadIndex => write!(f, "kernel byte stream references an invalid index"),
+            DecodeError::BadName => write!(f, "kernel byte stream contains an invalid name"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const MAGIC: &[u8; 4] = b"XSK1";
+
+impl Kernel {
+    /// Serializes the kernel to its compact binary form.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.live_edge_count() * 12);
+        out.extend_from_slice(MAGIC);
+        write_varint(&mut out, self.vertex_count() as u64);
+        for v in self.vertices() {
+            let name = self.name(v);
+            write_varint(&mut out, name.len() as u64);
+            out.extend_from_slice(name.as_bytes());
+        }
+        write_varint(&mut out, self.root().map(|r| r.0 as u64 + 1).unwrap_or(0));
+        write_varint(&mut out, self.element_count());
+        // Only live edges are persisted.
+        let live: Vec<_> = self
+            .edges()
+            .filter(|&e| {
+                let edge = self.edge(e);
+                self.edge_between(edge.from, edge.to) == Some(e)
+            })
+            .collect();
+        write_varint(&mut out, live.len() as u64);
+        for e in live {
+            let edge = self.edge(e);
+            write_varint(&mut out, edge.from.0 as u64);
+            write_varint(&mut out, edge.to.0 as u64);
+            write_varint(&mut out, edge.label.levels() as u64);
+            for (_, p, c) in edge.label.iter() {
+                write_varint(&mut out, p);
+                write_varint(&mut out, c);
+            }
+        }
+        out
+    }
+
+    /// Reconstructs a kernel from bytes produced by [`Kernel::serialize`].
+    pub fn deserialize(bytes: &[u8]) -> Result<Kernel, DecodeError> {
+        if bytes.len() < 4 || &bytes[..4] != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let mut cursor = Cursor {
+            bytes,
+            pos: MAGIC.len(),
+        };
+        let mut kernel = Kernel::new();
+        let vertex_count = cursor.read_varint()? as usize;
+        let mut ids = Vec::with_capacity(vertex_count);
+        for _ in 0..vertex_count {
+            let len = cursor.read_varint()? as usize;
+            let raw = cursor.read_bytes(len)?;
+            let name = std::str::from_utf8(raw).map_err(|_| DecodeError::BadName)?;
+            ids.push(kernel.get_or_create_vertex(name));
+        }
+        let root = cursor.read_varint()?;
+        if root > 0 {
+            let idx = (root - 1) as usize;
+            let &v = ids.get(idx).ok_or(DecodeError::BadIndex)?;
+            kernel.set_root(v);
+        }
+        let elements = cursor.read_varint()?;
+        kernel.add_elements(elements);
+        let edge_count = cursor.read_varint()? as usize;
+        for _ in 0..edge_count {
+            let from = cursor.read_varint()? as usize;
+            let to = cursor.read_varint()? as usize;
+            let (&u, &v) = (
+                ids.get(from).ok_or(DecodeError::BadIndex)?,
+                ids.get(to).ok_or(DecodeError::BadIndex)?,
+            );
+            let e = kernel.get_or_create_edge(u, v);
+            let levels = cursor.read_varint()? as usize;
+            let mut pairs = Vec::with_capacity(levels);
+            for _ in 0..levels {
+                let p = cursor.read_varint()?;
+                let c = cursor.read_varint()?;
+                pairs.push((p, c));
+            }
+            *kernel.edge_label_mut(e) = EdgeLabel::from_pairs(pairs);
+        }
+        Ok(kernel)
+    }
+
+    /// The memory footprint of the kernel: the length of its compact
+    /// serialized form.
+    pub fn size_bytes(&self) -> usize {
+        self.serialize().len()
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn read_bytes(&mut self, len: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + len > self.bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let out = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+
+    fn read_varint(&mut self) -> Result<u64, DecodeError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            if self.pos >= self.bytes.len() || shift >= 64 {
+                return Err(DecodeError::Truncated);
+            }
+            let byte = self.bytes[self.pos];
+            self.pos += 1;
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+}
+
+/// Writes a LEB128 varint.
+fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::builder::KernelBuilder;
+    use super::*;
+    use xmlkit::samples::figure2_document;
+
+    #[test]
+    fn roundtrip_figure2() {
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        let bytes = kernel.serialize();
+        let back = Kernel::deserialize(&bytes).unwrap();
+        assert_eq!(kernel.to_string(), back.to_string());
+        assert_eq!(kernel.element_count(), back.element_count());
+        assert_eq!(kernel.vertex_count(), back.vertex_count());
+        assert_eq!(
+            kernel.name(kernel.root().unwrap()),
+            back.name(back.root().unwrap())
+        );
+    }
+
+    #[test]
+    fn size_is_small() {
+        // The Figure 2 kernel is tiny: 6 vertices, 9 edges.
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        let size = kernel.size_bytes();
+        assert!(size < 200, "kernel unexpectedly large: {size} bytes");
+        assert!(size > 20);
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for value in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, value);
+            let mut cursor = Cursor {
+                bytes: &buf,
+                pos: 0,
+            };
+            assert_eq!(cursor.read_varint().unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = Kernel::deserialize(b"nope").unwrap_err();
+        assert_eq!(err, DecodeError::BadMagic);
+        let err = Kernel::deserialize(b"XS").unwrap_err();
+        assert_eq!(err, DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        let bytes = kernel.serialize();
+        let err = Kernel::deserialize(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert_eq!(err, DecodeError::Truncated);
+    }
+
+    #[test]
+    fn empty_kernel_roundtrip() {
+        let kernel = Kernel::new();
+        let back = Kernel::deserialize(&kernel.serialize()).unwrap();
+        assert_eq!(back.vertex_count(), 0);
+        assert_eq!(back.root(), None);
+    }
+
+    #[test]
+    fn decode_error_display() {
+        assert!(DecodeError::BadMagic.to_string().contains("magic"));
+        assert!(DecodeError::Truncated.to_string().contains("truncated"));
+        assert!(DecodeError::BadIndex.to_string().contains("index"));
+        assert!(DecodeError::BadName.to_string().contains("name"));
+    }
+}

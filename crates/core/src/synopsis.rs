@@ -1,0 +1,346 @@
+//! The top-level XSEED synopsis: kernel + optional HET + configuration.
+//!
+//! This is the type a query optimizer would hold: build it once from a
+//! document (or from SAX events), optionally pre-compute the hyper-edge
+//! table, give it a memory budget, and ask it for cardinality estimates.
+
+use crate::config::XseedConfig;
+use crate::estimate::ept::ExpandedPathTree;
+use crate::estimate::matcher::Matcher;
+use crate::het::builder::{HetBuildStats, HetBuilder};
+use crate::het::feedback::{record_feedback, FeedbackOutcome};
+use crate::het::table::HyperEdgeTable;
+use crate::kernel::{Kernel, KernelBuilder};
+use nokstore::{NokStorage, PathTree};
+use xmlkit::tree::Document;
+use xpathkit::ast::PathExpr;
+
+/// Result of an estimation call, with diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateReport {
+    /// The estimated cardinality.
+    pub cardinality: f64,
+    /// Number of expanded-path-tree nodes generated for this estimate.
+    pub ept_nodes: usize,
+}
+
+/// The XSEED synopsis.
+#[derive(Debug, Clone)]
+pub struct XseedSynopsis {
+    kernel: Kernel,
+    het: Option<HyperEdgeTable>,
+    config: XseedConfig,
+}
+
+impl XseedSynopsis {
+    /// Builds a kernel-only synopsis from a document.
+    pub fn build(doc: &Document, config: XseedConfig) -> Self {
+        XseedSynopsis {
+            kernel: KernelBuilder::from_document(doc),
+            het: None,
+            config,
+        }
+    }
+
+    /// Builds a kernel-only synopsis by SAX-parsing XML text.
+    pub fn build_from_xml(xml: &str, config: XseedConfig) -> Result<Self, xmlkit::Error> {
+        Ok(XseedSynopsis {
+            kernel: KernelBuilder::from_xml_str(xml)?,
+            het: None,
+            config,
+        })
+    }
+
+    /// Builds the synopsis *and* pre-computes the hyper-edge table from the
+    /// document's exact statistics (path tree + NoK evaluation), honouring
+    /// the configured memory budget.
+    pub fn build_with_het(doc: &Document, config: XseedConfig) -> (Self, HetBuildStats) {
+        let kernel = KernelBuilder::from_document(doc);
+        let path_tree = PathTree::from_document(doc);
+        let storage = NokStorage::from_document(doc);
+        let builder = HetBuilder::new(&kernel, &path_tree, &storage, &config);
+        let (het, stats) = builder.build();
+        (
+            XseedSynopsis {
+                kernel,
+                het: Some(het),
+                config,
+            },
+            stats,
+        )
+    }
+
+    /// Wraps an existing kernel (e.g. one deserialized from disk).
+    pub fn from_kernel(kernel: Kernel, config: XseedConfig) -> Self {
+        XseedSynopsis {
+            kernel,
+            het: None,
+            config,
+        }
+    }
+
+    /// Attaches (or replaces) a hyper-edge table.
+    pub fn set_het(&mut self, het: HyperEdgeTable) {
+        self.het = Some(het);
+    }
+
+    /// Drops the hyper-edge table, leaving the bare kernel.
+    pub fn clear_het(&mut self) {
+        self.het = None;
+    }
+
+    /// The kernel.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The hyper-edge table, if any.
+    pub fn het(&self) -> Option<&HyperEdgeTable> {
+        self.het.as_ref()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &XseedConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (e.g. to raise the cardinality
+    /// threshold for a highly recursive document).
+    pub fn config_mut(&mut self) -> &mut XseedConfig {
+        &mut self.config
+    }
+
+    /// Estimates the cardinality of a path expression.
+    pub fn estimate(&self, expr: &PathExpr) -> f64 {
+        self.estimate_with_stats(expr).cardinality
+    }
+
+    /// Estimates the cardinality of a path expression, also reporting the
+    /// number of EPT nodes generated (the quantity Section 6.4 tracks).
+    pub fn estimate_with_stats(&self, expr: &PathExpr) -> EstimateReport {
+        let ept = ExpandedPathTree::generate(&self.kernel, &self.config, self.het.as_ref());
+        let matcher = Matcher::new(&self.kernel, &ept, self.het.as_ref());
+        EstimateReport {
+            cardinality: matcher.estimate(expr),
+            ept_nodes: ept.len(),
+        }
+    }
+
+    /// Creates a reusable estimator that materializes the EPT once; useful
+    /// when estimating many queries against an unchanged synopsis.
+    pub fn estimator(&self) -> SynopsisEstimator<'_> {
+        let ept = ExpandedPathTree::generate(&self.kernel, &self.config, self.het.as_ref());
+        SynopsisEstimator {
+            synopsis: self,
+            ept,
+        }
+    }
+
+    /// Feeds back the actual cardinality of an executed query (Figure 1's
+    /// feedback arrow). Creates the HET on first use. Returns what kind of
+    /// entry (if any) was recorded.
+    pub fn record_feedback(
+        &mut self,
+        expr: &PathExpr,
+        actual: u64,
+        base_cardinality: Option<u64>,
+    ) -> FeedbackOutcome {
+        let estimated = self.estimate(expr);
+        let het = self.het.get_or_insert_with(HyperEdgeTable::new);
+        let outcome = record_feedback(het, &self.kernel, expr, estimated, actual, base_cardinality);
+        // Re-apply the budget in case the new entry displaced others.
+        let budget = self
+            .config
+            .memory_budget
+            .map(|total| total.saturating_sub(self.kernel.size_bytes()));
+        het.set_budget(budget);
+        outcome
+    }
+
+    /// Changes the total memory budget (kernel + HET) and re-trims the HET
+    /// residency accordingly. The kernel itself is never dropped — it is
+    /// the irreducible part of the synopsis.
+    pub fn set_memory_budget(&mut self, bytes: Option<usize>) {
+        self.config.memory_budget = bytes;
+        if let Some(het) = &mut self.het {
+            let budget = bytes.map(|total| total.saturating_sub(self.kernel.size_bytes()));
+            het.set_budget(budget);
+        }
+    }
+
+    /// Bytes used by the kernel (compact serialized form).
+    pub fn kernel_size_bytes(&self) -> usize {
+        self.kernel.size_bytes()
+    }
+
+    /// Bytes used by the resident HET entries.
+    pub fn het_resident_bytes(&self) -> usize {
+        self.het.as_ref().map(|h| h.resident_bytes()).unwrap_or(0)
+    }
+
+    /// Total memory footprint of the synopsis.
+    pub fn size_bytes(&self) -> usize {
+        self.kernel_size_bytes() + self.het_resident_bytes()
+    }
+}
+
+/// A reusable estimator holding a materialized EPT.
+pub struct SynopsisEstimator<'a> {
+    synopsis: &'a XseedSynopsis,
+    ept: ExpandedPathTree,
+}
+
+impl<'a> SynopsisEstimator<'a> {
+    /// Estimates the cardinality of a path expression.
+    pub fn estimate(&self, expr: &PathExpr) -> f64 {
+        Matcher::new(&self.synopsis.kernel, &self.ept, self.synopsis.het.as_ref()).estimate(expr)
+    }
+
+    /// Number of nodes in the materialized EPT.
+    pub fn ept_len(&self) -> usize {
+        self.ept.len()
+    }
+
+    /// The materialized expanded path tree.
+    pub fn ept(&self) -> &ExpandedPathTree {
+        &self.ept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nokstore::Evaluator;
+    use xmlkit::samples::{figure2_document, figure4_document};
+    use xpathkit::parse;
+
+    #[test]
+    fn kernel_only_estimates() {
+        let doc = figure2_document();
+        let synopsis = XseedSynopsis::build(&doc, XseedConfig::default());
+        assert!((synopsis.estimate(&parse("/a/c/s").unwrap()) - 5.0).abs() < 1e-6);
+        assert!((synopsis.estimate(&parse("/a/c/s/s/t").unwrap()) - 1.0).abs() < 1e-6);
+        assert!(synopsis.het().is_none());
+        assert!(synopsis.size_bytes() > 0);
+        assert_eq!(synopsis.size_bytes(), synopsis.kernel_size_bytes());
+    }
+
+    #[test]
+    fn build_from_xml_matches_build_from_document() {
+        let doc = figure2_document();
+        let a = XseedSynopsis::build(&doc, XseedConfig::default());
+        let b =
+            XseedSynopsis::build_from_xml(xmlkit::samples::FIGURE2_XML, XseedConfig::default())
+                .unwrap();
+        let q = parse("//s//p").unwrap();
+        assert!((a.estimate(&q) - b.estimate(&q)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn het_improves_branching_estimates_on_correlated_data() {
+        // The Figure 4 document has strong parent/sibling correlations that
+        // the bare kernel misestimates; the HET must reduce the error.
+        let doc = figure4_document();
+        let storage = NokStorage::from_document(&doc);
+        let eval = Evaluator::new(&storage);
+        let queries = ["/a/b/d/e", "/a/c/d/f", "/a/b/d[f]/e", "/a/c/d[f]/e"];
+
+        let bare = XseedSynopsis::build(&doc, XseedConfig::default());
+        let (with_het, stats) =
+            XseedSynopsis::build_with_het(&doc, XseedConfig::default().with_bsel_threshold(0.99));
+        assert!(stats.simple_entries > 0);
+
+        let mut bare_error = 0.0;
+        let mut het_error = 0.0;
+        for q in queries {
+            let expr = parse(q).unwrap();
+            let actual = eval.count(&expr) as f64;
+            bare_error += (bare.estimate(&expr) - actual).abs();
+            het_error += (with_het.estimate(&expr) - actual).abs();
+        }
+        assert!(
+            het_error < bare_error,
+            "HET should reduce total error: {het_error} vs {bare_error}"
+        );
+        // Simple paths present in the HET are answered exactly.
+        let expr = parse("/a/b/d/e").unwrap();
+        assert!((with_het.estimate(&expr) - eval.count(&expr) as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn memory_budget_shrinks_het_not_kernel() {
+        let doc = figure4_document();
+        let (mut synopsis, _) =
+            XseedSynopsis::build_with_het(&doc, XseedConfig::default().with_bsel_threshold(0.99));
+        let full = synopsis.size_bytes();
+        let kernel_bytes = synopsis.kernel_size_bytes();
+        assert!(full > kernel_bytes);
+        synopsis.set_memory_budget(Some(kernel_bytes + 32));
+        assert!(synopsis.size_bytes() <= kernel_bytes + 32);
+        assert_eq!(synopsis.kernel_size_bytes(), kernel_bytes);
+        // Restoring an unlimited budget brings entries back.
+        synopsis.set_memory_budget(None);
+        assert_eq!(synopsis.size_bytes(), full);
+    }
+
+    #[test]
+    fn feedback_creates_het_and_improves_estimate() {
+        let doc = figure4_document();
+        let storage = NokStorage::from_document(&doc);
+        let eval = Evaluator::new(&storage);
+        let mut synopsis = XseedSynopsis::build(&doc, XseedConfig::default());
+        let expr = parse("/a/b/d/e").unwrap();
+        let actual = eval.count(&expr);
+        let before = synopsis.estimate(&expr);
+        assert!((before - actual as f64).abs() > 1e-6);
+        let outcome = synopsis.record_feedback(&expr, actual, None);
+        assert_eq!(outcome, FeedbackOutcome::SimplePath);
+        let after = synopsis.estimate(&expr);
+        assert!((after - actual as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn estimator_reuse_matches_one_shot() {
+        let doc = figure2_document();
+        let synopsis = XseedSynopsis::build(&doc, XseedConfig::default());
+        let estimator = synopsis.estimator();
+        for q in ["/a/c/s", "//s//p", "/a/c/s[t]/p", "/a/*"] {
+            let expr = parse(q).unwrap();
+            assert!((estimator.estimate(&expr) - synopsis.estimate(&expr)).abs() < 1e-9);
+        }
+        assert_eq!(estimator.ept_len(), 14);
+        assert_eq!(estimator.ept().len(), 14);
+    }
+
+    #[test]
+    fn estimate_with_stats_reports_ept_size() {
+        let doc = figure2_document();
+        let synopsis = XseedSynopsis::build(&doc, XseedConfig::default());
+        let report = synopsis.estimate_with_stats(&parse("//p").unwrap());
+        assert_eq!(report.ept_nodes, 14);
+        assert!((report.cardinality - 17.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn card_threshold_reduces_ept() {
+        let doc = figure2_document();
+        let mut config = XseedConfig::default();
+        config.card_threshold = 2.0;
+        let synopsis = XseedSynopsis::build(&doc, config);
+        let report = synopsis.estimate_with_stats(&parse("//p").unwrap());
+        assert!(report.ept_nodes < 14);
+    }
+
+    #[test]
+    fn kernel_roundtrip_through_serialization() {
+        let doc = figure2_document();
+        let synopsis = XseedSynopsis::build(&doc, XseedConfig::default());
+        let bytes = synopsis.kernel().serialize();
+        let restored = XseedSynopsis::from_kernel(
+            Kernel::deserialize(&bytes).unwrap(),
+            XseedConfig::default(),
+        );
+        let q = parse("/a/c/s[t]/p").unwrap();
+        assert!((synopsis.estimate(&q) - restored.estimate(&q)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,200 @@
+//! The dataset catalogue used by the experiments.
+//!
+//! Each variant corresponds to one of the datasets of Table 2 of the
+//! paper (plus the additional families mentioned in Section 6.1), mapped
+//! to a synthetic generator and a default scale chosen so the whole
+//! experiment suite runs in minutes on a laptop while preserving the
+//! relative size ordering of the originals (XMark100 ≈ 10 × XMark10,
+//! Treebank ≈ 20 × Treebank.05, and so on).
+
+use crate::{dblp, swissprot, tpch, treebank, xbench, xmark};
+use xmlkit::tree::Document;
+
+/// The datasets of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// DBLP bibliography: simple, no recursion (169 MB in the paper).
+    Dblp,
+    /// XMark auction site at the 10 MB scale: complex, small recursion.
+    XMark10,
+    /// XMark auction site at the 100 MB scale.
+    XMark100,
+    /// SwissProt protein database: simple, no recursion.
+    SwissProt,
+    /// TPC-H exported as XML: simple, no recursion.
+    Tpch,
+    /// XBench TC/MD: complex, small recursion.
+    XBench,
+    /// 5% sample of Treebank: complex, high recursion.
+    TreebankSmall,
+    /// Full Treebank: complex, high recursion.
+    Treebank,
+}
+
+impl Dataset {
+    /// Every dataset in the catalogue.
+    pub fn all() -> &'static [Dataset] {
+        &[
+            Dataset::Dblp,
+            Dataset::XMark10,
+            Dataset::XMark100,
+            Dataset::SwissProt,
+            Dataset::Tpch,
+            Dataset::XBench,
+            Dataset::TreebankSmall,
+            Dataset::Treebank,
+        ]
+    }
+
+    /// The datasets reported in Table 2 of the paper.
+    pub fn table2() -> &'static [Dataset] {
+        &[
+            Dataset::Dblp,
+            Dataset::XMark10,
+            Dataset::XMark100,
+            Dataset::TreebankSmall,
+            Dataset::Treebank,
+        ]
+    }
+
+    /// The datasets reported in Table 3 of the paper.
+    pub fn table3() -> &'static [Dataset] {
+        &[
+            Dataset::Dblp,
+            Dataset::XMark10,
+            Dataset::XMark100,
+            Dataset::TreebankSmall,
+        ]
+    }
+
+    /// The name the paper uses for this dataset.
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            Dataset::Dblp => "DBLP",
+            Dataset::XMark10 => "XMark10",
+            Dataset::XMark100 => "XMark100",
+            Dataset::SwissProt => "SwissProt",
+            Dataset::Tpch => "TPC-H",
+            Dataset::XBench => "XBench TC/MD",
+            Dataset::TreebankSmall => "Treebank.05",
+            Dataset::Treebank => "Treebank",
+        }
+    }
+
+    /// The paper's own category for the dataset.
+    pub fn category(&self) -> &'static str {
+        match self {
+            Dataset::Dblp | Dataset::SwissProt | Dataset::Tpch => "simple, no recursion",
+            Dataset::XMark10 | Dataset::XMark100 | Dataset::XBench => {
+                "complex, small degree of recursion"
+            }
+            Dataset::TreebankSmall | Dataset::Treebank => "complex, high degree of recursion",
+        }
+    }
+
+    /// `true` for the Treebank-class datasets, which need the recursive
+    /// estimator configuration (higher cardinality threshold, lower
+    /// backward-selectivity threshold).
+    pub fn is_highly_recursive(&self) -> bool {
+        matches!(self, Dataset::TreebankSmall | Dataset::Treebank)
+    }
+
+    /// Generates the dataset at its default scale.
+    pub fn generate(&self) -> Document {
+        self.generate_scaled(1.0)
+    }
+
+    /// Generates the dataset with sizes multiplied by `scale` (clamped so
+    /// at least a handful of records are produced). `scale = 1.0` is the
+    /// default experiment size; smaller values are useful in unit tests.
+    pub fn generate_scaled(&self, scale: f64) -> Document {
+        let scaled = |n: usize| ((n as f64 * scale).round() as usize).max(4);
+        match self {
+            Dataset::Dblp => dblp::generate(&dblp::DblpConfig {
+                records: scaled(12_000),
+                ..Default::default()
+            }),
+            Dataset::XMark10 => xmark::generate(&xmark::XmarkConfig {
+                items: scaled(700),
+                ..Default::default()
+            }),
+            Dataset::XMark100 => xmark::generate(&xmark::XmarkConfig {
+                items: scaled(7_000),
+                seed: 0x0A_7C + 1,
+                ..Default::default()
+            }),
+            Dataset::SwissProt => swissprot::generate(&swissprot::SwissProtConfig {
+                entries: scaled(3_000),
+                ..Default::default()
+            }),
+            Dataset::Tpch => tpch::generate(&tpch::TpchConfig {
+                orders: scaled(2_500),
+                ..Default::default()
+            }),
+            Dataset::XBench => xbench::generate(&xbench::XbenchConfig {
+                articles: scaled(1_200),
+                ..Default::default()
+            }),
+            Dataset::TreebankSmall => treebank::generate(&treebank::TreebankConfig {
+                sentences: scaled(350),
+                ..Default::default()
+            }),
+            Dataset::Treebank => treebank::generate(&treebank::TreebankConfig {
+                sentences: scaled(7_000),
+                seed: 0x7EEB + 1,
+                ..Default::default()
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.paper_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlkit::stats::DocumentStats;
+
+    #[test]
+    fn catalogue_lists_are_consistent() {
+        assert_eq!(Dataset::all().len(), 8);
+        assert_eq!(Dataset::table2().len(), 5);
+        assert_eq!(Dataset::table3().len(), 4);
+        for d in Dataset::table2() {
+            assert!(Dataset::all().contains(d));
+        }
+    }
+
+    #[test]
+    fn paper_names_and_categories() {
+        assert_eq!(Dataset::Dblp.paper_name(), "DBLP");
+        assert_eq!(Dataset::TreebankSmall.paper_name(), "Treebank.05");
+        assert_eq!(Dataset::Dblp.category(), "simple, no recursion");
+        assert!(Dataset::Treebank.is_highly_recursive());
+        assert!(!Dataset::XMark10.is_highly_recursive());
+        assert_eq!(Dataset::XMark10.to_string(), "XMark10");
+    }
+
+    #[test]
+    fn scaled_generation_respects_categories() {
+        // Use tiny scales to keep the test fast.
+        let dblp = Dataset::Dblp.generate_scaled(0.02);
+        assert_eq!(DocumentStats::compute(&dblp).max_recursion_level, 0);
+        let treebank = Dataset::TreebankSmall.generate_scaled(0.2);
+        assert!(DocumentStats::compute(&treebank).max_recursion_level >= 3);
+        let xmark = Dataset::XMark10.generate_scaled(0.1);
+        let r = DocumentStats::compute(&xmark).max_recursion_level;
+        assert!(r >= 1 && r <= 2);
+    }
+
+    #[test]
+    fn xmark100_is_larger_than_xmark10() {
+        let small = Dataset::XMark10.generate_scaled(0.05);
+        let large = Dataset::XMark100.generate_scaled(0.05);
+        assert!(large.element_count() > 5 * small.element_count());
+    }
+}

@@ -1,0 +1,244 @@
+//! A DBLP-like bibliography document.
+//!
+//! DBLP is the canonical "simple, non-recursive" dataset of the paper's
+//! taxonomy: a flat root with millions of publication records, each a
+//! shallow subtree of bibliographic fields. The generator reproduces the
+//! traits that matter for cardinality estimation:
+//!
+//! * a handful of record kinds (`article`, `inproceedings`, `proceedings`,
+//!   `phdthesis`, `www`) with very different frequencies,
+//! * per-kind field sets with optional fields of varying selectivity,
+//! * the sibling correlation the paper calls out explicitly: `article`
+//!   records that have a `pages` field almost always also have a
+//!   `publisher`/`journal`, which breaks the kernel's sibling
+//!   independence assumption (Section 6.3 discusses
+//!   `/dblp/article[pages]/publisher`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xmlkit::tree::{Document, DocumentBuilder};
+
+/// Configuration for the DBLP generator.
+#[derive(Debug, Clone)]
+pub struct DblpConfig {
+    /// Number of publication records.
+    pub records: usize,
+    /// RNG seed (generation is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        DblpConfig {
+            records: 12_000,
+            seed: 0xD8_1F,
+        }
+    }
+}
+
+/// Generates a DBLP-like document.
+pub fn generate(config: &DblpConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = DocumentBuilder::new();
+    b.start_element("dblp");
+    for _ in 0..config.records {
+        let kind = rng.random_range(0..100u32);
+        match kind {
+            0..=54 => article(&mut b, &mut rng),
+            55..=84 => inproceedings(&mut b, &mut rng),
+            85..=92 => proceedings(&mut b, &mut rng),
+            93..=96 => phdthesis(&mut b, &mut rng),
+            _ => www(&mut b, &mut rng),
+        }
+    }
+    b.end_element();
+    b.finish().expect("generator produces balanced documents")
+}
+
+fn field(b: &mut DocumentBuilder, name: &str, text: usize) {
+    b.start_element(name);
+    b.text_len(text);
+    b.end_element();
+}
+
+fn authors(b: &mut DocumentBuilder, rng: &mut StdRng, max: usize) {
+    let n = rng.random_range(1..=max);
+    for _ in 0..n {
+        field(b, "author", 14);
+    }
+}
+
+fn article(b: &mut DocumentBuilder, rng: &mut StdRng) {
+    b.start_element("article");
+    authors(b, rng, 5);
+    field(b, "title", 60);
+    field(b, "year", 4);
+    // The pages/journal/publisher correlation: records with pages almost
+    // always carry the venue fields too.
+    let has_pages = rng.random_bool(0.55);
+    if has_pages {
+        field(b, "pages", 9);
+        field(b, "journal", 30);
+        if rng.random_bool(0.9) {
+            field(b, "publisher", 20);
+        }
+        if rng.random_bool(0.7) {
+            field(b, "volume", 3);
+        }
+    } else {
+        // Electronic-only records: mostly just a URL.
+        if rng.random_bool(0.05) {
+            field(b, "publisher", 20);
+        }
+        if rng.random_bool(0.6) {
+            field(b, "ee", 40);
+        }
+    }
+    if rng.random_bool(0.5) {
+        field(b, "url", 35);
+    }
+    // Rare fields: their backward selectivity is below the paper's
+    // BSEL_THRESHOLD of 0.1, so the HET builder enumerates branching
+    // paths around them.
+    if rng.random_bool(0.06) {
+        field(b, "note", 25);
+    }
+    if rng.random_bool(0.04) {
+        field(b, "cdrom", 15);
+    }
+    citations(b, rng, 12);
+    b.end_element();
+}
+
+fn inproceedings(b: &mut DocumentBuilder, rng: &mut StdRng) {
+    b.start_element("inproceedings");
+    authors(b, rng, 6);
+    field(b, "title", 65);
+    field(b, "booktitle", 25);
+    field(b, "year", 4);
+    if rng.random_bool(0.85) {
+        field(b, "pages", 9);
+    }
+    if rng.random_bool(0.55) {
+        field(b, "ee", 40);
+    }
+    if rng.random_bool(0.4) {
+        field(b, "crossref", 20);
+    }
+    if rng.random_bool(0.05) {
+        field(b, "cdrom", 15);
+    }
+    citations(b, rng, 8);
+    b.end_element();
+}
+
+/// Citation lists: about a third of the records carry a `cite` list of
+/// widely varying length, which is what gives real DBLP its structural
+/// variety (and makes count-stable partitions large).
+fn citations(b: &mut DocumentBuilder, rng: &mut StdRng, max: usize) {
+    if rng.random_bool(0.35) {
+        let n = rng.random_range(1..=max);
+        for _ in 0..n {
+            field(b, "cite", 10);
+        }
+    }
+}
+
+fn proceedings(b: &mut DocumentBuilder, rng: &mut StdRng) {
+    b.start_element("proceedings");
+    let editors = rng.random_range(1..=3usize);
+    for _ in 0..editors {
+        field(b, "editor", 14);
+    }
+    field(b, "title", 70);
+    field(b, "booktitle", 25);
+    field(b, "year", 4);
+    field(b, "publisher", 20);
+    if rng.random_bool(0.8) {
+        field(b, "isbn", 13);
+    }
+    if rng.random_bool(0.6) {
+        field(b, "series", 25);
+    }
+    b.end_element();
+}
+
+fn phdthesis(b: &mut DocumentBuilder, rng: &mut StdRng) {
+    b.start_element("phdthesis");
+    field(b, "author", 14);
+    field(b, "title", 70);
+    field(b, "year", 4);
+    field(b, "school", 30);
+    if rng.random_bool(0.3) {
+        field(b, "publisher", 20);
+    }
+    b.end_element();
+}
+
+fn www(b: &mut DocumentBuilder, rng: &mut StdRng) {
+    b.start_element("www");
+    authors(b, rng, 3);
+    field(b, "title", 20);
+    field(b, "url", 40);
+    if rng.random_bool(0.2) {
+        field(b, "note", 25);
+    }
+    b.end_element();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlkit::stats::DocumentStats;
+
+    fn small() -> Document {
+        generate(&DblpConfig {
+            records: 500,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn is_non_recursive_and_shallow() {
+        let doc = small();
+        let stats = DocumentStats::compute(&doc);
+        assert_eq!(stats.max_recursion_level, 0);
+        assert_eq!(stats.max_depth, 3);
+        assert!(stats.element_count > 2_000);
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = generate(&DblpConfig { records: 200, seed: 1 });
+        let b = generate(&DblpConfig { records: 200, seed: 1 });
+        let c = generate(&DblpConfig { records: 200, seed: 2 });
+        assert!(a.structurally_equal(&b));
+        assert!(!a.structurally_equal(&c));
+    }
+
+    #[test]
+    fn pages_publisher_correlation_exists() {
+        // Articles with pages should mostly have a publisher; articles
+        // without pages mostly should not.
+        let doc = small();
+        let storage = nokstore::NokStorage::from_document(&doc);
+        let eval = nokstore::Evaluator::new(&storage);
+        let with_pages = eval.count(&xpathkit::parse("/dblp/article[pages]").unwrap()) as f64;
+        let with_both =
+            eval.count(&xpathkit::parse("/dblp/article[pages][publisher]").unwrap()) as f64;
+        let articles = eval.count(&xpathkit::parse("/dblp/article").unwrap()) as f64;
+        let with_publisher = eval.count(&xpathkit::parse("/dblp/article[publisher]").unwrap()) as f64;
+        assert!(with_pages > 0.0 && articles > 0.0);
+        // P(publisher | pages) must be much larger than P(publisher).
+        assert!(with_both / with_pages > 1.5 * (with_publisher / articles));
+    }
+
+    #[test]
+    fn record_kinds_present() {
+        let doc = small();
+        let names = doc.names();
+        for kind in ["article", "inproceedings", "proceedings", "phdthesis", "www"] {
+            assert!(names.lookup(kind).is_some(), "missing record kind {kind}");
+        }
+    }
+}

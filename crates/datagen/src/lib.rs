@@ -1,0 +1,44 @@
+//! # datagen — synthetic datasets and query workloads for the experiments
+//!
+//! The paper evaluates XSEED on real and benchmark datasets (DBLP,
+//! XMark 10/100 MB, SwissProt, TPC-H, NASA, XBench TC/MD, Treebank).
+//! Those files are not redistributable here, so this crate generates
+//! **synthetic equivalents**: deterministic, seeded documents that
+//! reproduce each dataset's *structural shape* — element vocabulary,
+//! fan-out distributions, optional/repeating elements, and (crucially for
+//! XSEED) the recursion profile. Structural cardinality estimation depends
+//! only on that shape, so the substitution exercises the same code paths;
+//! see DESIGN.md for the substitution rationale.
+//!
+//! * [`dataset`] — the catalogue of datasets with paper-aligned names and
+//!   default scales ([`dataset::Dataset`]).
+//! * [`dblp`], [`xmark`], [`treebank`], [`swissprot`], [`tpch`],
+//!   [`xbench`] — one generator per dataset family.
+//! * [`workload`] — SP/BP/CP query workload generation (Section 6.1):
+//!   all simple paths plus randomly generated branching and complex
+//!   queries, with configurable predicates-per-step (1BP/2BP/3BP).
+//!
+//! ```
+//! use datagen::dataset::Dataset;
+//! use datagen::workload::{WorkloadGenerator, WorkloadSpec};
+//!
+//! let doc = Dataset::XMark10.generate_scaled(0.05);
+//! assert!(doc.element_count() > 100);
+//! let workload = WorkloadGenerator::new(&doc, 42).generate(&WorkloadSpec::small());
+//! assert!(!workload.branching.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod dblp;
+pub mod swissprot;
+pub mod tpch;
+pub mod treebank;
+pub mod workload;
+pub mod xbench;
+pub mod xmark;
+
+pub use dataset::Dataset;
+pub use workload::{Workload, WorkloadGenerator, WorkloadSpec};

@@ -1,0 +1,120 @@
+//! A TPC-H-like relational-data-in-XML document.
+//!
+//! The paper's TPC-H dataset is the relational benchmark exported as XML:
+//! perfectly regular, flat records — the easiest possible case for any
+//! synopsis, included to anchor the "simple" end of the spectrum.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xmlkit::tree::{Document, DocumentBuilder};
+
+/// Configuration for the TPC-H generator.
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    /// Number of `orders` rows; `lineitem` and `customer` scale from it.
+    pub orders: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            orders: 2_500,
+            seed: 0x79C4,
+        }
+    }
+}
+
+/// Generates a TPC-H-like document.
+pub fn generate(config: &TpchConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = DocumentBuilder::new();
+    b.start_element("tpch");
+
+    b.start_element("customers");
+    for _ in 0..config.orders / 4 {
+        b.start_element("customer");
+        for (name, len) in [
+            ("custkey", 6),
+            ("name", 18),
+            ("address", 25),
+            ("nationkey", 2),
+            ("phone", 15),
+            ("acctbal", 8),
+            ("mktsegment", 10),
+        ] {
+            field(&mut b, name, len);
+        }
+        b.end_element();
+    }
+    b.end_element();
+
+    b.start_element("orders");
+    for _ in 0..config.orders {
+        b.start_element("order");
+        for (name, len) in [
+            ("orderkey", 8),
+            ("custkey", 6),
+            ("orderstatus", 1),
+            ("totalprice", 9),
+            ("orderdate", 10),
+            ("orderpriority", 8),
+        ] {
+            field(&mut b, name, len);
+        }
+        // Line items nested inside their order (the common XML export).
+        let lines = rng.random_range(1..=7usize);
+        for _ in 0..lines {
+            b.start_element("lineitem");
+            for (name, len) in [
+                ("partkey", 7),
+                ("suppkey", 6),
+                ("quantity", 2),
+                ("extendedprice", 9),
+                ("discount", 4),
+                ("tax", 4),
+                ("shipdate", 10),
+            ] {
+                field(&mut b, name, len);
+            }
+            b.end_element();
+        }
+        b.end_element();
+    }
+    b.end_element();
+
+    b.end_element();
+    b.finish().expect("generator produces balanced documents")
+}
+
+fn field(b: &mut DocumentBuilder, name: &str, text: usize) {
+    b.start_element(name);
+    b.text_len(text);
+    b.end_element();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlkit::stats::DocumentStats;
+
+    #[test]
+    fn flat_and_regular() {
+        let doc = generate(&TpchConfig {
+            orders: 100,
+            seed: 1,
+        });
+        let stats = DocumentStats::compute(&doc);
+        assert_eq!(stats.max_recursion_level, 0);
+        assert_eq!(stats.max_depth, 5);
+        assert!(stats.element_count > 1_000);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&TpchConfig { orders: 40, seed: 6 });
+        let b = generate(&TpchConfig { orders: 40, seed: 6 });
+        assert!(a.structurally_equal(&b));
+    }
+}

@@ -1,0 +1,155 @@
+//! A Treebank-like deeply recursive document.
+//!
+//! The Penn Treebank XML encoding marks up parsed English sentences with
+//! nested grammatical categories (`S`, `NP`, `VP`, `PP`, `SBAR`, ...). It
+//! is the paper's "complex with a high degree of recursion" dataset: the
+//! same non-terminals nest inside each other many levels deep (average
+//! node recursion level ≈ 1.3, maximum 8–10), which is precisely the
+//! regime where recursion-oblivious synopses collapse. The generator
+//! produces random parse-tree shaped documents with a controlled maximum
+//! recursion depth.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xmlkit::tree::{Document, DocumentBuilder};
+
+/// Configuration for the Treebank generator.
+#[derive(Debug, Clone)]
+pub struct TreebankConfig {
+    /// Number of sentences.
+    pub sentences: usize,
+    /// Maximum nesting depth of the grammar expansion (controls the
+    /// document recursion level, which ends up a little below this).
+    pub max_depth: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TreebankConfig {
+    fn default() -> Self {
+        TreebankConfig {
+            sentences: 800,
+            max_depth: 12,
+            seed: 0x7EEB,
+        }
+    }
+}
+
+/// Non-terminal grammatical categories (these recurse).
+const NON_TERMINALS: [&str; 8] = ["S", "NP", "VP", "PP", "SBAR", "ADJP", "ADVP", "WHNP"];
+/// Terminal part-of-speech tags (leaves).
+const TERMINALS: [&str; 10] = ["NN", "NNS", "NNP", "VB", "VBD", "DT", "IN", "JJ", "RB", "PRP"];
+
+/// Generates a Treebank-like document.
+pub fn generate(config: &TreebankConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = DocumentBuilder::new();
+    b.start_element("FILE");
+    for _ in 0..config.sentences {
+        b.start_element("EMPTY");
+        expand(&mut b, &mut rng, "S", 1, config.max_depth);
+        b.end_element();
+    }
+    b.end_element();
+    b.finish().expect("generator produces balanced documents")
+}
+
+/// Recursively expands a non-terminal.
+fn expand(b: &mut DocumentBuilder, rng: &mut StdRng, symbol: &str, depth: usize, max_depth: usize) {
+    b.start_element(symbol);
+    if depth >= max_depth {
+        terminal(b, rng);
+        b.end_element();
+        return;
+    }
+    let children = rng.random_range(1..=3usize);
+    for _ in 0..children {
+        // Deeper levels become increasingly likely to terminate, producing
+        // the long-tailed recursion-depth distribution Treebank shows.
+        let continue_probability = 0.62_f64.powf(depth as f64 / 3.0);
+        if rng.random_bool(continue_probability) {
+            let next = NON_TERMINALS[rng.random_range(0..NON_TERMINALS.len())];
+            expand(b, rng, next, depth + 1, max_depth);
+        } else {
+            terminal(b, rng);
+        }
+    }
+    b.end_element();
+}
+
+fn terminal(b: &mut DocumentBuilder, rng: &mut StdRng) {
+    let tag = TERMINALS[rng.random_range(0..TERMINALS.len())];
+    b.start_element(tag);
+    b.text_len(rng.random_range(2..=12usize));
+    b.end_element();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlkit::stats::DocumentStats;
+
+    fn small() -> Document {
+        generate(&TreebankConfig {
+            sentences: 150,
+            max_depth: 12,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn is_highly_recursive() {
+        let doc = small();
+        let stats = DocumentStats::compute(&doc);
+        assert!(
+            stats.max_recursion_level >= 4,
+            "max recursion level {} too small",
+            stats.max_recursion_level
+        );
+        assert!(
+            stats.avg_recursion_level > 0.4,
+            "avg recursion level {} too small",
+            stats.avg_recursion_level
+        );
+        assert!(stats.max_depth >= 8);
+    }
+
+    #[test]
+    fn recursive_queries_have_matches() {
+        let doc = small();
+        let storage = nokstore::NokStorage::from_document(&doc);
+        let eval = nokstore::Evaluator::new(&storage);
+        assert!(eval.count(&xpathkit::parse("//NP//NP").unwrap()) > 0);
+        assert!(eval.count(&xpathkit::parse("//S//VP//NP").unwrap()) > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&TreebankConfig {
+            sentences: 50,
+            max_depth: 10,
+            seed: 9,
+        });
+        let b = generate(&TreebankConfig {
+            sentences: 50,
+            max_depth: 10,
+            seed: 9,
+        });
+        assert!(a.structurally_equal(&b));
+    }
+
+    #[test]
+    fn sentence_count_scales_size() {
+        let a = generate(&TreebankConfig {
+            sentences: 50,
+            max_depth: 10,
+            seed: 1,
+        });
+        let b = generate(&TreebankConfig {
+            sentences: 500,
+            max_depth: 10,
+            seed: 1,
+        });
+        assert!(b.element_count() > 5 * a.element_count());
+    }
+}

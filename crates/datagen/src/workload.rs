@@ -1,0 +1,360 @@
+//! Query workload generation (Section 6.1).
+//!
+//! For each dataset the paper uses three workload classes:
+//!
+//! * **SP** — *all* possible simple path queries (one per distinct rooted
+//!   label path, i.e. per path-tree node);
+//! * **BP** — 1,000 randomly generated branching path queries (`/` axes
+//!   with predicates);
+//! * **CP** — 1,000 randomly generated complex path queries (`//` axes,
+//!   wildcards, and possibly predicates).
+//!
+//! To exercise HETs with different MBP settings the paper additionally
+//! generates 2BP/3BP (and 2CP/3CP) workloads with up to two or three
+//! predicates per step. Queries are generated from the document's path
+//! tree, so they are non-trivial (they address paths that exist), like the
+//! sample query `//regions/australia/item[shipping]/location`.
+
+use nokstore::{PathTree, PathTreeNodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xmlkit::tree::Document;
+use xpathkit::ast::{Axis, NodeTest, PathExpr, Step};
+use xpathkit::classify::QueryClass;
+
+/// How many queries of each random class to generate, and their shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Number of random branching path (BP) queries.
+    pub branching: usize,
+    /// Number of random complex path (CP) queries.
+    pub complex: usize,
+    /// Cap on the number of simple path queries (the paper uses all of
+    /// them; very path-rich documents such as Treebank benefit from a cap
+    /// when running quick experiments).
+    pub max_simple: usize,
+    /// Maximum number of predicates attached to a single step (the
+    /// workload-side MBP: 1 for BP/CP, 2 for 2BP/2CP, 3 for 3BP/3CP).
+    pub predicates_per_step: usize,
+}
+
+impl WorkloadSpec {
+    /// The paper's workload: all SP queries plus 1,000 BP and 1,000 CP.
+    pub fn paper() -> Self {
+        WorkloadSpec {
+            branching: 1_000,
+            complex: 1_000,
+            max_simple: usize::MAX,
+            predicates_per_step: 1,
+        }
+    }
+
+    /// A reduced workload for fast experiments and tests.
+    pub fn small() -> Self {
+        WorkloadSpec {
+            branching: 100,
+            complex: 100,
+            max_simple: 400,
+            predicates_per_step: 1,
+        }
+    }
+
+    /// Returns the same spec with a different number of predicates per
+    /// step (2BP/3BP workloads).
+    pub fn with_predicates_per_step(mut self, n: usize) -> Self {
+        self.predicates_per_step = n.max(1);
+        self
+    }
+}
+
+/// A generated workload, split by query class.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    /// All (or capped) simple path queries.
+    pub simple: Vec<PathExpr>,
+    /// Random branching path queries.
+    pub branching: Vec<PathExpr>,
+    /// Random complex path queries.
+    pub complex: Vec<PathExpr>,
+}
+
+impl Workload {
+    /// Total number of queries.
+    pub fn len(&self) -> usize {
+        self.simple.len() + self.branching.len() + self.complex.len()
+    }
+
+    /// Returns `true` if the workload contains no queries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over every query in the workload (SP, then BP, then CP).
+    pub fn all(&self) -> impl Iterator<Item = &PathExpr> {
+        self.simple
+            .iter()
+            .chain(self.branching.iter())
+            .chain(self.complex.iter())
+    }
+
+    /// The queries of one class.
+    pub fn of_class(&self, class: QueryClass) -> &[PathExpr] {
+        match class {
+            QueryClass::SimplePath => &self.simple,
+            QueryClass::BranchingPath => &self.branching,
+            QueryClass::ComplexPath => &self.complex,
+        }
+    }
+}
+
+/// Generates workloads from a document's path tree.
+pub struct WorkloadGenerator<'a> {
+    doc: &'a Document,
+    path_tree: PathTree,
+    seed: u64,
+}
+
+impl<'a> WorkloadGenerator<'a> {
+    /// Creates a generator for `doc`; `seed` makes generation
+    /// deterministic.
+    pub fn new(doc: &'a Document, seed: u64) -> Self {
+        WorkloadGenerator {
+            doc,
+            path_tree: PathTree::from_document(doc),
+            seed,
+        }
+    }
+
+    /// Generates a workload according to `spec`.
+    pub fn generate(&self, spec: &WorkloadSpec) -> Workload {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let simple = self.simple_queries(spec.max_simple);
+        let branching = self.random_queries(&mut rng, spec.branching, spec.predicates_per_step, false);
+        let complex = self.random_queries(&mut rng, spec.complex, spec.predicates_per_step, true);
+        Workload {
+            simple,
+            branching,
+            complex,
+        }
+    }
+
+    /// All simple path queries (one per path-tree node), capped.
+    fn simple_queries(&self, cap: usize) -> Vec<PathExpr> {
+        self.path_tree
+            .all_simple_paths(self.doc.names())
+            .into_iter()
+            .map(|(expr, _)| expr)
+            .take(cap)
+            .collect()
+    }
+
+    /// Random BP (when `complex` is false) or CP (when true) queries.
+    fn random_queries(
+        &self,
+        rng: &mut StdRng,
+        count: usize,
+        predicates_per_step: usize,
+        complex: bool,
+    ) -> Vec<PathExpr> {
+        // Candidate spine paths: path-tree nodes of depth >= 2.
+        let candidates: Vec<PathTreeNodeId> = self
+            .path_tree
+            .ids()
+            .filter(|&id| self.path_tree.label_path(id).len() >= 2)
+            .collect();
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let names = self.doc.names();
+        let mut out = Vec::with_capacity(count);
+        // Cap the attempts so degenerate documents cannot loop forever.
+        let mut attempts = 0usize;
+        while out.len() < count && attempts < count * 20 {
+            attempts += 1;
+            let target = candidates[rng.random_range(0..candidates.len())];
+            let spine: Vec<PathTreeNodeId> = self.rooted_chain(target);
+            let mut steps: Vec<Step> = Vec::with_capacity(spine.len());
+            for &node in &spine {
+                let name = names.name_or_panic(self.path_tree.node(node).label).to_string();
+                steps.push(Step::child(name));
+            }
+            // Attach predicates: pick a step (not the last) whose path-tree
+            // node has more than one child, then add up to
+            // `predicates_per_step` sibling labels as predicates.
+            let mut attached = false;
+            for (i, &node) in spine.iter().enumerate().rev().skip(1) {
+                let children = &self.path_tree.node(node).children;
+                if children.len() < 2 {
+                    continue;
+                }
+                let next_label = self.path_tree.node(spine[i + 1]).label;
+                let mut sibling_labels: Vec<String> = children
+                    .iter()
+                    .filter(|&&c| self.path_tree.node(c).label != next_label)
+                    .map(|&c| names.name_or_panic(self.path_tree.node(c).label).to_string())
+                    .collect();
+                if sibling_labels.is_empty() {
+                    continue;
+                }
+                let n_preds = rng.random_range(1..=predicates_per_step.min(sibling_labels.len()));
+                for _ in 0..n_preds {
+                    let idx = rng.random_range(0..sibling_labels.len());
+                    let label = sibling_labels.swap_remove(idx);
+                    steps[i].predicates.push(PathExpr::simple([label]));
+                }
+                attached = true;
+                break;
+            }
+            if !complex && !attached {
+                // A BP query must have at least one predicate.
+                continue;
+            }
+            if complex {
+                self.complicate(rng, &mut steps);
+            }
+            out.push(PathExpr::new(steps));
+        }
+        out
+    }
+
+    /// Turns a branching/simple spine into a complex query: descendant
+    /// axes, possibly a dropped prefix, and occasional wildcards.
+    fn complicate(&self, rng: &mut StdRng, steps: &mut Vec<Step>) {
+        // Drop a prefix and start with a descendant axis, like the sample
+        // query //regions/australia/item[shipping]/location.
+        if steps.len() > 2 && rng.random_bool(0.6) {
+            let drop = rng.random_range(1..steps.len() - 1);
+            steps.drain(0..drop);
+        }
+        steps[0].axis = Axis::Descendant;
+        for step in steps.iter_mut().skip(1) {
+            if rng.random_bool(0.25) {
+                step.axis = Axis::Descendant;
+            }
+            if rng.random_bool(0.1) {
+                step.test = NodeTest::Wildcard;
+            }
+        }
+    }
+
+    /// The path-tree nodes from the root down to `target`.
+    fn rooted_chain(&self, target: PathTreeNodeId) -> Vec<PathTreeNodeId> {
+        let mut rev = Vec::new();
+        let mut cur = Some(target);
+        while let Some(id) = cur {
+            rev.push(id);
+            cur = self.path_tree.node(id).parent;
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use nokstore::{Evaluator, NokStorage};
+
+    fn xmark() -> Document {
+        Dataset::XMark10.generate_scaled(0.1)
+    }
+
+    #[test]
+    fn classes_are_correct() {
+        let doc = xmark();
+        let workload = WorkloadGenerator::new(&doc, 1).generate(&WorkloadSpec::small());
+        assert!(!workload.simple.is_empty());
+        assert!(!workload.branching.is_empty());
+        assert!(!workload.complex.is_empty());
+        for q in &workload.simple {
+            assert_eq!(q.classify(), QueryClass::SimplePath, "{q}");
+        }
+        for q in &workload.branching {
+            assert_eq!(q.classify(), QueryClass::BranchingPath, "{q}");
+        }
+        for q in &workload.complex {
+            assert_eq!(q.classify(), QueryClass::ComplexPath, "{q}");
+        }
+    }
+
+    #[test]
+    fn simple_queries_cover_every_rooted_path() {
+        let doc = xmark();
+        let spec = WorkloadSpec {
+            max_simple: usize::MAX,
+            ..WorkloadSpec::small()
+        };
+        let workload = WorkloadGenerator::new(&doc, 1).generate(&spec);
+        let pt = PathTree::from_document(&doc);
+        assert_eq!(workload.simple.len(), pt.len());
+    }
+
+    #[test]
+    fn generated_queries_are_mostly_non_trivial() {
+        // The paper stresses its random queries are non-trivial; spine
+        // paths are drawn from the path tree, so the vast majority of BP
+        // queries (and a solid share of CP queries) must have matches.
+        let doc = xmark();
+        let storage = NokStorage::from_document(&doc);
+        let eval = Evaluator::new(&storage);
+        let spec = WorkloadSpec {
+            branching: 40,
+            complex: 40,
+            max_simple: 10,
+            predicates_per_step: 1,
+        };
+        let workload = WorkloadGenerator::new(&doc, 7).generate(&spec);
+        let non_empty = workload
+            .branching
+            .iter()
+            .filter(|q| eval.count(q) > 0)
+            .count();
+        assert!(
+            non_empty * 2 > workload.branching.len(),
+            "only {non_empty}/{} BP queries have matches",
+            workload.branching.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let doc = xmark();
+        let a = WorkloadGenerator::new(&doc, 9).generate(&WorkloadSpec::small());
+        let b = WorkloadGenerator::new(&doc, 9).generate(&WorkloadSpec::small());
+        let c = WorkloadGenerator::new(&doc, 10).generate(&WorkloadSpec::small());
+        assert_eq!(a.branching, b.branching);
+        assert_eq!(a.complex, b.complex);
+        assert_ne!(a.branching, c.branching);
+    }
+
+    #[test]
+    fn predicates_per_step_respected() {
+        let doc = xmark();
+        let spec = WorkloadSpec::small().with_predicates_per_step(3);
+        let workload = WorkloadGenerator::new(&doc, 5).generate(&spec);
+        assert!(workload
+            .branching
+            .iter()
+            .all(|q| q.max_predicates_per_step() <= 3));
+        // With 3 allowed, at least some query should actually use > 1.
+        assert!(workload
+            .branching
+            .iter()
+            .any(|q| q.max_predicates_per_step() > 1));
+    }
+
+    #[test]
+    fn of_class_and_len() {
+        let doc = xmark();
+        let w = WorkloadGenerator::new(&doc, 2).generate(&WorkloadSpec::small());
+        assert_eq!(
+            w.len(),
+            w.simple.len() + w.branching.len() + w.complex.len()
+        );
+        assert_eq!(w.of_class(QueryClass::SimplePath).len(), w.simple.len());
+        assert_eq!(w.of_class(QueryClass::ComplexPath).len(), w.complex.len());
+        assert!(!w.is_empty());
+        assert_eq!(w.all().count(), w.len());
+    }
+}

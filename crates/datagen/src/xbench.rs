@@ -1,0 +1,140 @@
+//! An XBench-TC/MD-like document.
+//!
+//! XBench (Yao, Özsu, Khandelwal) generates families of text-centric and
+//! data-centric documents. The paper groups it with XMark as "complex with
+//! a small degree of recursion". The generator here mimics the
+//! text-centric multi-document (TC/MD) flavour: a catalogue of articles
+//! with nested sections that may recurse one or two levels.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xmlkit::tree::{Document, DocumentBuilder};
+
+/// Configuration for the XBench generator.
+#[derive(Debug, Clone)]
+pub struct XbenchConfig {
+    /// Number of articles in the catalogue.
+    pub articles: usize,
+    /// Maximum section nesting depth.
+    pub max_section_depth: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for XbenchConfig {
+    fn default() -> Self {
+        XbenchConfig {
+            articles: 1_200,
+            max_section_depth: 3,
+            seed: 0xBE_7C,
+        }
+    }
+}
+
+/// Generates an XBench-like document.
+pub fn generate(config: &XbenchConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = DocumentBuilder::new();
+    b.start_element("catalog");
+    for _ in 0..config.articles {
+        article(&mut b, &mut rng, config);
+    }
+    b.end_element();
+    b.finish().expect("generator produces balanced documents")
+}
+
+fn field(b: &mut DocumentBuilder, name: &str, text: usize) {
+    b.start_element(name);
+    b.text_len(text);
+    b.end_element();
+}
+
+fn article(b: &mut DocumentBuilder, rng: &mut StdRng, config: &XbenchConfig) {
+    b.start_element("article");
+    b.start_element("prolog");
+    field(b, "title", 50);
+    let authors = rng.random_range(1..=4usize);
+    for _ in 0..authors {
+        b.start_element("author");
+        field(b, "name", 16);
+        if rng.random_bool(0.5) {
+            field(b, "affiliation", 30);
+        }
+        b.end_element();
+    }
+    field(b, "dateline", 10);
+    if rng.random_bool(0.6) {
+        let keywords = rng.random_range(1..=5usize);
+        for _ in 0..keywords {
+            field(b, "keyword", 10);
+        }
+    }
+    b.end_element();
+
+    b.start_element("body");
+    let sections = rng.random_range(1..=4usize);
+    for _ in 0..sections {
+        section(b, rng, config, 1);
+    }
+    b.end_element();
+
+    if rng.random_bool(0.4) {
+        b.start_element("epilog");
+        let refs = rng.random_range(1..=6usize);
+        for _ in 0..refs {
+            field(b, "reference", 40);
+        }
+        b.end_element();
+    }
+    b.end_element();
+}
+
+fn section(b: &mut DocumentBuilder, rng: &mut StdRng, config: &XbenchConfig, depth: usize) {
+    b.start_element("section");
+    field(b, "heading", 25);
+    let paragraphs = rng.random_range(1..=4usize);
+    for _ in 0..paragraphs {
+        field(b, "p", 120);
+    }
+    if depth < config.max_section_depth && rng.random_bool(0.35) {
+        let subsections = rng.random_range(1..=2usize);
+        for _ in 0..subsections {
+            section(b, rng, config, depth + 1);
+        }
+    }
+    b.end_element();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlkit::stats::DocumentStats;
+
+    #[test]
+    fn small_recursion_from_nested_sections() {
+        let doc = generate(&XbenchConfig {
+            articles: 150,
+            max_section_depth: 3,
+            seed: 4,
+        });
+        let stats = DocumentStats::compute(&doc);
+        assert!(stats.max_recursion_level >= 1);
+        assert!(stats.max_recursion_level <= 3);
+        assert!(stats.element_count > 1_500);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&XbenchConfig {
+            articles: 30,
+            max_section_depth: 3,
+            seed: 8,
+        });
+        let b = generate(&XbenchConfig {
+            articles: 30,
+            max_section_depth: 3,
+            seed: 8,
+        });
+        assert!(a.structurally_equal(&b));
+    }
+}

@@ -1,0 +1,367 @@
+//! An XMark-like auction-site document.
+//!
+//! XMark (Schmidt et al.) models an online auction site: regions with
+//! items, people, categories, and open/closed auctions. The paper
+//! classifies it as "complex with a small degree of recursion": the only
+//! recursive structure is the `description`/`parlist`/`listitem` nesting
+//! (average recursion level 0.04, maximum 1 in the 10/100 MB instances).
+//! The generator reproduces that structure and lets the overall size be
+//! scaled so that both the "XMark10" and "XMark100" configurations can be
+//! produced.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xmlkit::tree::{Document, DocumentBuilder};
+
+/// Configuration for the XMark generator.
+#[derive(Debug, Clone)]
+pub struct XmarkConfig {
+    /// Number of items across all regions; the other entity counts scale
+    /// proportionally, mirroring XMark's scale factor.
+    pub items: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Maximum depth of the parlist/listitem recursion.
+    pub max_parlist_depth: usize,
+}
+
+impl Default for XmarkConfig {
+    fn default() -> Self {
+        XmarkConfig {
+            items: 2_000,
+            seed: 0x0A_7C,
+            max_parlist_depth: 2,
+        }
+    }
+}
+
+const REGIONS: [&str; 6] = [
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
+
+/// Generates an XMark-like document.
+pub fn generate(config: &XmarkConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = DocumentBuilder::new();
+    b.start_element("site");
+
+    // Regions and their items.
+    b.start_element("regions");
+    for (i, region) in REGIONS.iter().enumerate() {
+        b.start_element(region);
+        let share = region_share(i, config.items);
+        for _ in 0..share {
+            item(&mut b, &mut rng, config);
+        }
+        b.end_element();
+    }
+    b.end_element();
+
+    // Categories.
+    b.start_element("categories");
+    let categories = (config.items / 20).max(4);
+    for _ in 0..categories {
+        b.start_element("category");
+        field(&mut b, "name", 15);
+        description(&mut b, &mut rng, config, 0);
+        b.end_element();
+    }
+    b.end_element();
+
+    // Category graph.
+    b.start_element("catgraph");
+    for _ in 0..categories {
+        b.start_element("edge");
+        field(&mut b, "from", 6);
+        field(&mut b, "to", 6);
+        b.end_element();
+    }
+    b.end_element();
+
+    // People.
+    b.start_element("people");
+    let people = config.items / 2 + 10;
+    for _ in 0..people {
+        person(&mut b, &mut rng);
+    }
+    b.end_element();
+
+    // Open auctions.
+    b.start_element("open_auctions");
+    let open = config.items / 2;
+    for _ in 0..open {
+        open_auction(&mut b, &mut rng, config);
+    }
+    b.end_element();
+
+    // Closed auctions.
+    b.start_element("closed_auctions");
+    let closed = config.items / 3;
+    for _ in 0..closed {
+        closed_auction(&mut b, &mut rng, config);
+    }
+    b.end_element();
+
+    b.end_element();
+    b.finish().expect("generator produces balanced documents")
+}
+
+fn region_share(index: usize, items: usize) -> usize {
+    // Uneven split like real XMark: europe and namerica carry most items.
+    let weights = [5usize, 15, 5, 35, 30, 10];
+    (items * weights[index] / 100).max(1)
+}
+
+fn field(b: &mut DocumentBuilder, name: &str, text: usize) {
+    b.start_element(name);
+    b.text_len(text);
+    b.end_element();
+}
+
+fn item(b: &mut DocumentBuilder, rng: &mut StdRng, config: &XmarkConfig) {
+    b.start_element("item");
+    field(b, "location", 12);
+    field(b, "quantity", 2);
+    field(b, "name", 18);
+    field(b, "payment", 20);
+    description(b, rng, config, 0);
+    if rng.random_bool(0.75) {
+        field(b, "shipping", 25);
+    }
+    let incategories = rng.random_range(1..=4usize);
+    for _ in 0..incategories {
+        field(b, "incategory", 6);
+    }
+    if rng.random_bool(0.6) {
+        b.start_element("mailbox");
+        let mails = rng.random_range(0..=3usize);
+        for _ in 0..mails {
+            b.start_element("mail");
+            field(b, "from", 15);
+            field(b, "to", 15);
+            field(b, "date", 10);
+            field(b, "text", 60);
+            b.end_element();
+        }
+        b.end_element();
+    }
+    b.end_element();
+}
+
+/// The recursive description structure: description → text | parlist,
+/// parlist → listitem+, listitem → text | parlist.
+fn description(b: &mut DocumentBuilder, rng: &mut StdRng, config: &XmarkConfig, depth: usize) {
+    b.start_element("description");
+    if depth < config.max_parlist_depth && rng.random_bool(0.25) {
+        parlist(b, rng, config, depth);
+    } else {
+        field(b, "text", 80);
+    }
+    b.end_element();
+}
+
+fn parlist(b: &mut DocumentBuilder, rng: &mut StdRng, config: &XmarkConfig, depth: usize) {
+    b.start_element("parlist");
+    let items = rng.random_range(1..=3usize);
+    for _ in 0..items {
+        b.start_element("listitem");
+        if depth + 1 < config.max_parlist_depth && rng.random_bool(0.3) {
+            parlist(b, rng, config, depth + 1);
+        } else {
+            field(b, "text", 40);
+        }
+        b.end_element();
+    }
+    b.end_element();
+}
+
+fn person(b: &mut DocumentBuilder, rng: &mut StdRng) {
+    b.start_element("person");
+    field(b, "name", 16);
+    field(b, "emailaddress", 25);
+    if rng.random_bool(0.6) {
+        field(b, "phone", 12);
+    }
+    if rng.random_bool(0.5) {
+        b.start_element("address");
+        field(b, "street", 20);
+        field(b, "city", 12);
+        field(b, "country", 12);
+        field(b, "zipcode", 6);
+        b.end_element();
+    }
+    if rng.random_bool(0.3) {
+        field(b, "homepage", 30);
+    }
+    if rng.random_bool(0.4) {
+        field(b, "creditcard", 19);
+    }
+    if rng.random_bool(0.7) {
+        b.start_element("profile");
+        let interests = rng.random_range(0..=4usize);
+        for _ in 0..interests {
+            field(b, "interest", 6);
+        }
+        if rng.random_bool(0.5) {
+            field(b, "education", 15);
+        }
+        field(b, "gender", 6);
+        field(b, "business", 3);
+        if rng.random_bool(0.6) {
+            field(b, "age", 2);
+        }
+        b.end_element();
+    }
+    if rng.random_bool(0.5) {
+        b.start_element("watches");
+        let watches = rng.random_range(1..=3usize);
+        for _ in 0..watches {
+            field(b, "watch", 6);
+        }
+        b.end_element();
+    }
+    b.end_element();
+}
+
+fn open_auction(b: &mut DocumentBuilder, rng: &mut StdRng, config: &XmarkConfig) {
+    b.start_element("open_auction");
+    field(b, "initial", 6);
+    if rng.random_bool(0.4) {
+        field(b, "reserve", 6);
+    }
+    let bidders = rng.random_range(0..=5usize);
+    for _ in 0..bidders {
+        b.start_element("bidder");
+        field(b, "date", 10);
+        field(b, "time", 8);
+        field(b, "personref", 8);
+        field(b, "increase", 5);
+        b.end_element();
+    }
+    field(b, "current", 6);
+    if rng.random_bool(0.3) {
+        field(b, "privacy", 4);
+    }
+    field(b, "itemref", 8);
+    field(b, "seller", 8);
+    annotation(b, rng, config);
+    field(b, "quantity", 2);
+    field(b, "type", 8);
+    b.start_element("interval");
+    field(b, "start", 10);
+    field(b, "end", 10);
+    b.end_element();
+    b.end_element();
+}
+
+fn closed_auction(b: &mut DocumentBuilder, rng: &mut StdRng, config: &XmarkConfig) {
+    b.start_element("closed_auction");
+    field(b, "seller", 8);
+    field(b, "buyer", 8);
+    field(b, "itemref", 8);
+    field(b, "price", 7);
+    field(b, "date", 10);
+    field(b, "quantity", 2);
+    field(b, "type", 8);
+    annotation(b, rng, config);
+    b.end_element();
+}
+
+fn annotation(b: &mut DocumentBuilder, rng: &mut StdRng, config: &XmarkConfig) {
+    b.start_element("annotation");
+    field(b, "author", 8);
+    description(b, rng, config, 0);
+    if rng.random_bool(0.5) {
+        field(b, "happiness", 2);
+    }
+    b.end_element();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlkit::stats::DocumentStats;
+
+    fn small() -> Document {
+        generate(&XmarkConfig {
+            items: 150,
+            seed: 11,
+            max_parlist_depth: 2,
+        })
+    }
+
+    #[test]
+    fn has_small_recursion() {
+        let doc = small();
+        let stats = DocumentStats::compute(&doc);
+        // parlist nesting gives recursion level >= 1 but stays small.
+        assert!(stats.max_recursion_level >= 1);
+        assert!(stats.max_recursion_level <= 2);
+        assert!(stats.avg_recursion_level < 0.2);
+    }
+
+    #[test]
+    fn paper_sample_query_is_non_trivial() {
+        // //regions/australia/item[shipping]/location is the sample CP
+        // query of Section 6.1; it must have matches.
+        let doc = small();
+        let storage = nokstore::NokStorage::from_document(&doc);
+        let eval = nokstore::Evaluator::new(&storage);
+        let q = xpathkit::parse("//regions/australia/item[shipping]/location").unwrap();
+        assert!(eval.count(&q) > 0);
+    }
+
+    #[test]
+    fn scaling_grows_linearly() {
+        let small = generate(&XmarkConfig {
+            items: 100,
+            seed: 3,
+            max_parlist_depth: 2,
+        });
+        let large = generate(&XmarkConfig {
+            items: 1_000,
+            seed: 3,
+            max_parlist_depth: 2,
+        });
+        let ratio = large.element_count() as f64 / small.element_count() as f64;
+        assert!(ratio > 6.0 && ratio < 14.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&XmarkConfig {
+            items: 80,
+            seed: 5,
+            max_parlist_depth: 2,
+        });
+        let b = generate(&XmarkConfig {
+            items: 80,
+            seed: 5,
+            max_parlist_depth: 2,
+        });
+        assert!(a.structurally_equal(&b));
+    }
+
+    #[test]
+    fn all_major_sections_present() {
+        let doc = small();
+        let names = doc.names();
+        for name in [
+            "site",
+            "regions",
+            "categories",
+            "people",
+            "open_auctions",
+            "closed_auctions",
+            "parlist",
+            "listitem",
+        ] {
+            assert!(names.lookup(name).is_some(), "missing section {name}");
+        }
+    }
+}

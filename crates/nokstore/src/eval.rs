@@ -1,0 +1,272 @@
+//! Exact evaluation of structural path expressions over [`NokStorage`].
+//!
+//! This plays the role of the NoK pattern-matching operator in the paper:
+//! it produces *actual* cardinalities, which are needed to
+//!
+//! * populate the Hyper-Edge Table with true cardinalities and correlated
+//!   backward selectivities,
+//! * compute the estimation-error metrics of Section 6.3, and
+//! * provide the "actual query execution time" denominator of Section 6.4.
+//!
+//! The evaluator is a straightforward structural-join-free tree walk: each
+//! location step maps the current candidate set to children or descendants
+//! matching the step's node test, and branching predicates are checked
+//! existentially per candidate. Candidate sets are kept sorted and
+//! deduplicated, so the result of [`Evaluator::matches`] is the set of
+//! distinct elements returned by the query, in document order.
+
+use crate::storage::{NokStorage, Pos};
+use xpathkit::ast::{Axis, NodeTest, PathExpr, Step};
+
+/// Exact evaluator over a [`NokStorage`].
+#[derive(Debug, Clone, Copy)]
+pub struct Evaluator<'a> {
+    storage: &'a NokStorage,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator over `storage`.
+    pub fn new(storage: &'a NokStorage) -> Self {
+        Evaluator { storage }
+    }
+
+    /// The underlying storage.
+    pub fn storage(&self) -> &'a NokStorage {
+        self.storage
+    }
+
+    /// Returns the distinct elements matching `expr`, in document order.
+    pub fn matches(&self, expr: &PathExpr) -> Vec<Pos> {
+        let mut candidates = self.initial_candidates(&expr.steps[0]);
+        candidates.retain(|&p| self.satisfies_predicates(p, &expr.steps[0]));
+        for step in &expr.steps[1..] {
+            candidates = self.advance(&candidates, step);
+        }
+        candidates
+    }
+
+    /// Returns the cardinality of `expr` (the number of distinct elements
+    /// it returns).
+    pub fn count(&self, expr: &PathExpr) -> u64 {
+        self.matches(expr).len() as u64
+    }
+
+    /// Evaluates the candidates for the first location step, which is
+    /// anchored at the (virtual) document node.
+    fn initial_candidates(&self, step: &Step) -> Vec<Pos> {
+        match step.axis {
+            Axis::Child => {
+                let root = self.storage.root();
+                if self.test_matches(&step.test, root) {
+                    vec![root]
+                } else {
+                    Vec::new()
+                }
+            }
+            Axis::Descendant => {
+                // Descendants of the document node: every element.
+                (0..self.storage.len())
+                    .filter(|&p| self.test_matches(&step.test, p))
+                    .collect()
+            }
+        }
+    }
+
+    /// Maps `candidates` through one location step (axis + test +
+    /// predicates), returning a sorted, deduplicated candidate set.
+    fn advance(&self, candidates: &[Pos], step: &Step) -> Vec<Pos> {
+        let mut next = Vec::new();
+        match step.axis {
+            Axis::Child => {
+                for &c in candidates {
+                    for child in self.storage.children(c) {
+                        if self.test_matches(&step.test, child)
+                            && self.satisfies_predicates(child, step)
+                        {
+                            next.push(child);
+                        }
+                    }
+                }
+            }
+            Axis::Descendant => {
+                for &c in candidates {
+                    for d in self.storage.descendants(c) {
+                        if self.test_matches(&step.test, d)
+                            && self.satisfies_predicates(d, step)
+                        {
+                            next.push(d);
+                        }
+                    }
+                }
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        next
+    }
+
+    /// Checks all branching predicates of `step` against the element at
+    /// `pos`.
+    fn satisfies_predicates(&self, pos: Pos, step: &Step) -> bool {
+        step.predicates.iter().all(|p| self.exists_relative(pos, p))
+    }
+
+    /// Existential check of a relative path expression anchored at `pos`.
+    fn exists_relative(&self, pos: Pos, rel: &PathExpr) -> bool {
+        self.exists_steps(pos, &rel.steps)
+    }
+
+    fn exists_steps(&self, pos: Pos, steps: &[Step]) -> bool {
+        let Some((step, rest)) = steps.split_first() else {
+            return true;
+        };
+        match step.axis {
+            Axis::Child => {
+                for child in self.storage.children(pos) {
+                    if self.test_matches(&step.test, child)
+                        && self.satisfies_predicates(child, step)
+                        && self.exists_steps(child, rest)
+                    {
+                        return true;
+                    }
+                }
+                false
+            }
+            Axis::Descendant => {
+                for d in self.storage.descendants(pos) {
+                    if self.test_matches(&step.test, d)
+                        && self.satisfies_predicates(d, step)
+                        && self.exists_steps(d, rest)
+                    {
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    #[inline]
+    fn test_matches(&self, test: &NodeTest, pos: Pos) -> bool {
+        match test {
+            NodeTest::Wildcard => true,
+            NodeTest::Name(n) => match self.storage.names().lookup(n) {
+                Some(id) => self.storage.label(pos) == id,
+                // A name that never occurs in the document matches nothing.
+                None => false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::NokStorage;
+    use xmlkit::Document;
+    use xpathkit::parse;
+
+    /// The XML tree of Figure 2(a) in the paper.
+    fn figure2_storage() -> NokStorage {
+        NokStorage::from_document(&xmlkit::samples::figure2_document())
+    }
+
+    fn count(s: &NokStorage, q: &str) -> u64 {
+        Evaluator::new(s).count(&parse(q).unwrap())
+    }
+
+    #[test]
+    fn simple_paths() {
+        let s = figure2_storage();
+        assert_eq!(count(&s, "/a"), 1);
+        assert_eq!(count(&s, "/a/c"), 2);
+        assert_eq!(count(&s, "/a/c/s"), 5);
+        assert_eq!(count(&s, "/a/c/s/s"), 2);
+        assert_eq!(count(&s, "/a/t"), 1);
+        assert_eq!(count(&s, "/a/u"), 1);
+        assert_eq!(count(&s, "/nonexistent"), 0);
+        assert_eq!(count(&s, "/a/missing"), 0);
+    }
+
+    #[test]
+    fn descendant_queries() {
+        let s = figure2_storage();
+        // Observation 3 of the paper: //s//s//p returns 5 elements on the
+        // Figure 2(a) tree.
+        assert_eq!(count(&s, "//s//s//p"), 5);
+        assert_eq!(count(&s, "//c"), 2);
+        assert_eq!(count(&s, "//s"), 9);
+    }
+
+    #[test]
+    fn wildcard_queries() {
+        let s = figure2_storage();
+        let total = s.len() as u64;
+        assert_eq!(count(&s, "//*"), total);
+        assert_eq!(count(&s, "/a/*"), 4);
+        assert_eq!(count(&s, "/*"), 1);
+    }
+
+    #[test]
+    fn branching_queries() {
+        let s = NokStorage::from_document(
+            &Document::parse_str("<r><x><k/><v/></x><x><k/></x><x><v/></x></r>").unwrap(),
+        );
+        assert_eq!(count(&s, "/r/x"), 3);
+        assert_eq!(count(&s, "/r/x[k]"), 2);
+        assert_eq!(count(&s, "/r/x[k][v]"), 1);
+        assert_eq!(count(&s, "/r/x[k]/v"), 1);
+        assert_eq!(count(&s, "/r[x]"), 1);
+        assert_eq!(count(&s, "/r[missing]"), 0);
+    }
+
+    #[test]
+    fn nested_predicates() {
+        let s = NokStorage::from_document(
+            &Document::parse_str("<r><a><b><c/></b></a><a><b/></a></r>").unwrap(),
+        );
+        assert_eq!(count(&s, "/r/a[b[c]]"), 1);
+        assert_eq!(count(&s, "/r/a[b]"), 2);
+        assert_eq!(count(&s, "/r/a[//c]"), 1);
+    }
+
+    #[test]
+    fn descendant_predicate_and_duplicates() {
+        // //s//p from nested s nodes: the same p is reachable from several
+        // s ancestors but must be counted once.
+        let s = NokStorage::from_document(
+            &Document::parse_str("<a><s><s><p/></s></s></a>").unwrap(),
+        );
+        assert_eq!(count(&s, "//s//p"), 1);
+        // Both s elements have a descendant p, so //s[//p] returns 2.
+        assert_eq!(count(&s, "//s[//p]"), 2);
+        assert_eq!(count(&s, "//s[p]"), 1);
+    }
+
+    #[test]
+    fn matches_are_document_order_unique() {
+        let s = figure2_storage();
+        let eval = Evaluator::new(&s);
+        let m = eval.matches(&parse("//s//p").unwrap());
+        let mut sorted = m.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(m, sorted);
+    }
+
+    #[test]
+    fn recursive_query_on_recursive_document() {
+        let s = figure2_storage();
+        // //s//s: s elements that have an s ancestor.
+        assert_eq!(count(&s, "//s//s"), 4);
+        // //s//s//s: recursion level 2.
+        assert_eq!(count(&s, "//s//s//s"), 2);
+    }
+
+    #[test]
+    fn unknown_names_match_nothing() {
+        let s = figure2_storage();
+        assert_eq!(count(&s, "//zzz"), 0);
+        assert_eq!(count(&s, "/a/c[zzz]"), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # nokstore — NoK-style storage, exact evaluation, and the path tree
+//!
+//! XSEED's Hyper-Edge Table is built from *actual* cardinalities, and the
+//! paper's efficiency experiments (Section 6.4) compare estimation time to
+//! *actual query execution* time. Both require an exact query processor
+//! over the XML data. The paper uses the authors' NoK physical storage and
+//! pattern-matching operator [14] together with the *path tree* summary
+//! [1]; this crate provides equivalents built from scratch:
+//!
+//! * [`storage`] — a succinct, preorder-array physical representation of
+//!   the element tree ([`storage::NokStorage`]): one label per node plus a
+//!   subtree-size array, giving constant-time first-child / next-sibling /
+//!   following navigation without pointers.
+//! * [`eval`] — an exact evaluator for structural path expressions over
+//!   that storage ([`eval::Evaluator`]): returns the precise cardinality
+//!   (and optionally the matching node set) for SP/BP/CP queries.
+//! * [`path_tree`] — the path tree summary ([`path_tree::PathTree`]): one
+//!   node per distinct rooted label path, annotated with its cardinality
+//!   and backward selectivity, used by the HET builder and as a cheap
+//!   source of exact simple-path cardinalities.
+//!
+//! ```
+//! use xmlkit::Document;
+//! use nokstore::{NokStorage, Evaluator};
+//!
+//! let doc = Document::parse_str("<a><b><c/></b><b/></a>").unwrap();
+//! let storage = NokStorage::from_document(&doc);
+//! let eval = Evaluator::new(&storage);
+//! assert_eq!(eval.count(&xpathkit::parse("/a/b").unwrap()), 2);
+//! assert_eq!(eval.count(&xpathkit::parse("/a/b[c]").unwrap()), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod path_tree;
+pub mod storage;
+
+pub use eval::Evaluator;
+pub use path_tree::{PathTree, PathTreeNode, PathTreeNodeId};
+pub use storage::NokStorage;

@@ -1,0 +1,358 @@
+//! The path tree summary (Aboulnaga et al. [1]).
+//!
+//! The path tree has one node per *distinct rooted label path* of the
+//! document. Every node is annotated with
+//!
+//! * its **cardinality** — the number of document elements whose rooted
+//!   path equals this node's path, and
+//! * the number of **parents with this child** — how many elements on the
+//!   parent's path have at least one child with this node's label, which
+//!   gives the **backward selectivity** of the path
+//!   (`bsel = parents_with_child / parent.cardinality`, Definition 5).
+//!
+//! The HET builder (Section 5) walks this tree to find the simple paths
+//! whose kernel estimates are worst, and uses the backward selectivities to
+//! decide which branching paths to evaluate exactly.
+
+use crate::storage::NokStorage;
+use xmlkit::names::LabelId;
+use xmlkit::tree::Document;
+use xpathkit::ast::PathExpr;
+
+/// Index of a node in the [`PathTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathTreeNodeId(pub u32);
+
+impl PathTreeNodeId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One node of the path tree: a distinct rooted label path.
+#[derive(Debug, Clone)]
+pub struct PathTreeNode {
+    /// Label of the last step of the path.
+    pub label: LabelId,
+    /// Parent path, `None` for the root path.
+    pub parent: Option<PathTreeNodeId>,
+    /// Children, one per distinct child label occurring under this path.
+    pub children: Vec<PathTreeNodeId>,
+    /// Number of document elements with exactly this rooted path.
+    pub cardinality: u64,
+    /// Number of elements on the *parent* path that have at least one child
+    /// with this node's label.
+    pub parents_with_child: u64,
+}
+
+/// The path tree of a document.
+#[derive(Debug, Clone)]
+pub struct PathTree {
+    nodes: Vec<PathTreeNode>,
+    root: PathTreeNodeId,
+}
+
+impl PathTree {
+    /// Builds the path tree of `doc`.
+    pub fn from_document(doc: &Document) -> Self {
+        Self::build(
+            doc.label(doc.root()),
+            |node| {
+                doc.children(xmlkit::tree::NodeId(node as u32))
+                    .map(|c| (doc.label(c), c.index()))
+                    .collect()
+            },
+            doc.root().index(),
+        )
+    }
+
+    /// Builds the path tree directly from a [`NokStorage`].
+    pub fn from_storage(storage: &NokStorage) -> Self {
+        Self::build(
+            storage.label(storage.root()),
+            |node| storage.children(node).map(|c| (storage.label(c), c)).collect(),
+            storage.root(),
+        )
+    }
+
+    /// Generic builder over any tree exposed as a `children(node)` closure
+    /// returning `(label, node)` pairs in document order.
+    fn build<F>(root_label: LabelId, children_of: F, root_node: usize) -> Self
+    where
+        F: Fn(usize) -> Vec<(LabelId, usize)>,
+    {
+        let mut nodes = vec![PathTreeNode {
+            label: root_label,
+            parent: None,
+            children: Vec::new(),
+            cardinality: 1,
+            parents_with_child: 1,
+        }];
+        let root = PathTreeNodeId(0);
+
+        // Stack of (document node, corresponding path tree node).
+        let mut stack: Vec<(usize, PathTreeNodeId)> = vec![(root_node, root)];
+        while let Some((doc_node, pt_node)) = stack.pop() {
+            let kids = children_of(doc_node);
+            // Distinct labels among this element's children: each counts
+            // once towards parents_with_child of the corresponding path
+            // tree child.
+            let mut seen_labels: Vec<LabelId> = Vec::new();
+            for (label, child_doc_node) in kids {
+                let child_pt = match nodes[pt_node.index()]
+                    .children
+                    .iter()
+                    .copied()
+                    .find(|&c| nodes[c.index()].label == label)
+                {
+                    Some(existing) => existing,
+                    None => {
+                        let id = PathTreeNodeId(nodes.len() as u32);
+                        nodes.push(PathTreeNode {
+                            label,
+                            parent: Some(pt_node),
+                            children: Vec::new(),
+                            cardinality: 0,
+                            parents_with_child: 0,
+                        });
+                        nodes[pt_node.index()].children.push(id);
+                        id
+                    }
+                };
+                nodes[child_pt.index()].cardinality += 1;
+                if !seen_labels.contains(&label) {
+                    seen_labels.push(label);
+                    nodes[child_pt.index()].parents_with_child += 1;
+                }
+                stack.push((child_doc_node, child_pt));
+            }
+        }
+
+        PathTree { nodes, root }
+    }
+
+    /// The root node (the path consisting of just the document root).
+    pub fn root(&self) -> PathTreeNodeId {
+        self.root
+    }
+
+    /// Number of distinct rooted label paths.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the tree is empty (never the case once built).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node.
+    #[inline]
+    pub fn node(&self, id: PathTreeNodeId) -> &PathTreeNode {
+        &self.nodes[id.index()]
+    }
+
+    /// The cardinality annotation of `id`.
+    pub fn cardinality(&self, id: PathTreeNodeId) -> u64 {
+        self.node(id).cardinality
+    }
+
+    /// Backward selectivity of `id`: the proportion of elements on the
+    /// parent path that have at least one child with this node's label.
+    /// The root has backward selectivity 1.
+    pub fn bsel(&self, id: PathTreeNodeId) -> f64 {
+        match self.node(id).parent {
+            None => 1.0,
+            Some(parent) => {
+                let parent_card = self.node(parent).cardinality;
+                if parent_card == 0 {
+                    0.0
+                } else {
+                    self.node(id).parents_with_child as f64 / parent_card as f64
+                }
+            }
+        }
+    }
+
+    /// The rooted label path of `id`, root first.
+    pub fn label_path(&self, id: PathTreeNodeId) -> Vec<LabelId> {
+        let mut rev = Vec::new();
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            rev.push(self.node(n).label);
+            cur = self.node(n).parent;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Looks up the node for an exact rooted label path, if it exists.
+    pub fn lookup(&self, path: &[LabelId]) -> Option<PathTreeNodeId> {
+        let (&first, rest) = path.split_first()?;
+        if self.node(self.root).label != first {
+            return None;
+        }
+        let mut cur = self.root;
+        for &label in rest {
+            cur = self
+                .node(cur)
+                .children
+                .iter()
+                .copied()
+                .find(|&c| self.node(c).label == label)?;
+        }
+        Some(cur)
+    }
+
+    /// The exact cardinality of a rooted simple path given as label ids, or
+    /// 0 if the path does not occur in the document.
+    pub fn simple_path_cardinality(&self, path: &[LabelId]) -> u64 {
+        self.lookup(path).map(|id| self.cardinality(id)).unwrap_or(0)
+    }
+
+    /// Iterates over all node ids in creation order (root first).
+    pub fn ids(&self) -> impl Iterator<Item = PathTreeNodeId> {
+        (0..self.nodes.len() as u32).map(PathTreeNodeId)
+    }
+
+    /// Enumerates every rooted simple path as a [`PathExpr`] (using element
+    /// names from `names`), paired with its exact cardinality. This is the
+    /// "all possible SP queries" workload of Section 6.1.
+    pub fn all_simple_paths(&self, names: &xmlkit::names::NameTable) -> Vec<(PathExpr, u64)> {
+        self.ids()
+            .map(|id| {
+                let path: Vec<String> = self
+                    .label_path(id)
+                    .into_iter()
+                    .map(|l| names.name_or_panic(l).to_string())
+                    .collect();
+                (PathExpr::simple(path), self.cardinality(id))
+            })
+            .collect()
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<PathTreeNode>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.children.len() * std::mem::size_of::<PathTreeNodeId>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+    use crate::storage::NokStorage;
+    use xmlkit::samples::figure2_document;
+    use xmlkit::Document;
+
+    #[test]
+    fn simple_document_paths() {
+        let doc = Document::parse_str("<a><b/><b><c/></b><d/></a>").unwrap();
+        let pt = PathTree::from_document(&doc);
+        // Paths: /a, /a/b, /a/b/c, /a/d
+        assert_eq!(pt.len(), 4);
+        let names = doc.names();
+        let a = names.lookup("a").unwrap();
+        let b = names.lookup("b").unwrap();
+        let c = names.lookup("c").unwrap();
+        let d = names.lookup("d").unwrap();
+        assert_eq!(pt.simple_path_cardinality(&[a]), 1);
+        assert_eq!(pt.simple_path_cardinality(&[a, b]), 2);
+        assert_eq!(pt.simple_path_cardinality(&[a, b, c]), 1);
+        assert_eq!(pt.simple_path_cardinality(&[a, d]), 1);
+        assert_eq!(pt.simple_path_cardinality(&[a, c]), 0);
+    }
+
+    #[test]
+    fn bsel_matches_definition() {
+        // 3 x elements under r; 2 of them have a k child.
+        let doc = Document::parse_str("<r><x><k/><k/></x><x><k/></x><x/></r>").unwrap();
+        let pt = PathTree::from_document(&doc);
+        let names = doc.names();
+        let r = names.lookup("r").unwrap();
+        let x = names.lookup("x").unwrap();
+        let k = names.lookup("k").unwrap();
+        let k_node = pt.lookup(&[r, x, k]).unwrap();
+        assert_eq!(pt.cardinality(k_node), 3);
+        // bsel(/r/x/k) = |/r/x[k]| / |/r/x| = 2/3.
+        assert!((pt.bsel(k_node) - 2.0 / 3.0).abs() < 1e-9);
+        let x_node = pt.lookup(&[r, x]).unwrap();
+        assert!((pt.bsel(x_node) - 1.0).abs() < 1e-9);
+        assert!((pt.bsel(pt.root()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure2_path_tree() {
+        let doc = figure2_document();
+        let pt = PathTree::from_document(&doc);
+        let names = doc.names();
+        let l = |n: &str| names.lookup(n).unwrap();
+        assert_eq!(pt.simple_path_cardinality(&[l("a"), l("c"), l("s")]), 5);
+        assert_eq!(
+            pt.simple_path_cardinality(&[l("a"), l("c"), l("s"), l("s")]),
+            2
+        );
+        assert_eq!(
+            pt.simple_path_cardinality(&[l("a"), l("c"), l("s"), l("s"), l("t")]),
+            1
+        );
+    }
+
+    #[test]
+    fn path_tree_cardinalities_agree_with_exact_evaluator() {
+        let doc = figure2_document();
+        let pt = PathTree::from_document(&doc);
+        let storage = NokStorage::from_document(&doc);
+        let eval = Evaluator::new(&storage);
+        for (expr, card) in pt.all_simple_paths(doc.names()) {
+            assert_eq!(eval.count(&expr), card, "mismatch for {expr}");
+        }
+    }
+
+    #[test]
+    fn from_storage_equals_from_document() {
+        let doc = figure2_document();
+        let pt1 = PathTree::from_document(&doc);
+        let pt2 = PathTree::from_storage(&NokStorage::from_document(&doc));
+        assert_eq!(pt1.len(), pt2.len());
+        for id in pt1.ids() {
+            let path = pt1.label_path(id);
+            let other = pt2.lookup(&path).expect("path must exist in both");
+            assert_eq!(pt1.cardinality(id), pt2.cardinality(other));
+            assert!((pt1.bsel(id) - pt2.bsel(other)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sum_of_cardinalities_is_element_count() {
+        let doc = figure2_document();
+        let pt = PathTree::from_document(&doc);
+        let total: u64 = pt.ids().map(|id| pt.cardinality(id)).sum();
+        assert_eq!(total, doc.element_count() as u64);
+    }
+
+    #[test]
+    fn lookup_rejects_wrong_root() {
+        let doc = Document::parse_str("<a><b/></a>").unwrap();
+        let pt = PathTree::from_document(&doc);
+        let b = doc.names().lookup("b").unwrap();
+        assert!(pt.lookup(&[b]).is_none());
+        assert!(pt.lookup(&[]).is_none());
+    }
+
+    #[test]
+    fn recursive_paths_are_distinct() {
+        let doc = Document::parse_str("<a><s><s><s/></s></s></a>").unwrap();
+        let pt = PathTree::from_document(&doc);
+        // /a, /a/s, /a/s/s, /a/s/s/s are four distinct paths.
+        assert_eq!(pt.len(), 4);
+        assert!(pt.heap_bytes() > 0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Succinct preorder storage of the element tree.
+//!
+//! The NoK storage scheme of the paper stores the document as a compact
+//! preorder byte sequence that supports streaming navigation. We keep the
+//! same spirit with two parallel arrays indexed by preorder position:
+//!
+//! * `labels[i]`   — the interned element name of node `i`,
+//! * `subtree[i]`  — the number of nodes in the subtree rooted at `i`
+//!   (including `i` itself).
+//!
+//! These two arrays are sufficient for all structural navigation:
+//!
+//! * the first child of `i` (if any) is `i + 1`,
+//! * the next sibling of `i` (if any) is `i + subtree[i]`,
+//! * the subtree of `i` occupies the contiguous range
+//!   `i .. i + subtree[i]`, which makes descendant iteration a simple
+//!   range scan — exactly the property the NoK pattern-matching operator
+//!   exploits by scanning the storage once.
+//!
+//! A parent array is kept as well; it is not required for forward
+//! navigation but makes ancestor checks and rooted-path reconstruction
+//! O(depth).
+
+use xmlkit::names::{LabelId, NameTable};
+use xmlkit::tree::{Document, NodeId};
+
+/// Preorder position of a node in the storage.
+pub type Pos = usize;
+
+/// Succinct preorder representation of an XML element tree.
+#[derive(Debug, Clone)]
+pub struct NokStorage {
+    labels: Vec<LabelId>,
+    subtree: Vec<u32>,
+    parent: Vec<u32>,
+    depth: Vec<u16>,
+    names: NameTable,
+}
+
+/// Sentinel parent value for the root node.
+const NO_PARENT: u32 = u32::MAX;
+
+impl NokStorage {
+    /// Builds the storage from an in-memory document tree.
+    pub fn from_document(doc: &Document) -> Self {
+        let n = doc.element_count();
+        let mut labels = Vec::with_capacity(n);
+        let mut subtree = vec![0u32; n];
+        let mut parent = vec![NO_PARENT; n];
+        let mut depth = vec![0u16; n];
+
+        // Map document NodeId -> preorder position while walking.
+        let mut pos_of = vec![u32::MAX; n];
+        enum Step {
+            Enter(NodeId, u32, u16),
+            Leave(Pos),
+        }
+        let mut stack = vec![Step::Enter(doc.root(), NO_PARENT, 1)];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Enter(node, par, d) => {
+                    let pos = labels.len();
+                    pos_of[node.index()] = pos as u32;
+                    labels.push(doc.label(node));
+                    parent[pos] = par;
+                    depth[pos] = d;
+                    stack.push(Step::Leave(pos));
+                    let children: Vec<NodeId> = doc.children(node).collect();
+                    for c in children.into_iter().rev() {
+                        stack.push(Step::Enter(c, pos as u32, d + 1));
+                    }
+                }
+                Step::Leave(pos) => {
+                    subtree[pos] = (labels.len() - pos) as u32;
+                }
+            }
+        }
+
+        NokStorage {
+            labels,
+            subtree,
+            parent,
+            depth,
+            names: doc.names().clone(),
+        }
+    }
+
+    /// Number of element nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if the storage holds no nodes (never the case for
+    /// storages built from a document).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The root node's position (always 0).
+    pub fn root(&self) -> Pos {
+        0
+    }
+
+    /// The label of the node at `pos`.
+    #[inline]
+    pub fn label(&self, pos: Pos) -> LabelId {
+        self.labels[pos]
+    }
+
+    /// The element name of the node at `pos`.
+    pub fn name(&self, pos: Pos) -> &str {
+        self.names.name_or_panic(self.labels[pos])
+    }
+
+    /// The name table shared with the source document.
+    pub fn names(&self) -> &NameTable {
+        &self.names
+    }
+
+    /// Size of the subtree rooted at `pos` (including `pos`).
+    #[inline]
+    pub fn subtree_size(&self, pos: Pos) -> usize {
+        self.subtree[pos] as usize
+    }
+
+    /// Parent position, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, pos: Pos) -> Option<Pos> {
+        let p = self.parent[pos];
+        (p != NO_PARENT).then_some(p as Pos)
+    }
+
+    /// Depth of the node (root = 1).
+    #[inline]
+    pub fn depth(&self, pos: Pos) -> usize {
+        self.depth[pos] as usize
+    }
+
+    /// First child, if any.
+    #[inline]
+    pub fn first_child(&self, pos: Pos) -> Option<Pos> {
+        (self.subtree[pos] > 1).then_some(pos + 1)
+    }
+
+    /// Next sibling, if any.
+    #[inline]
+    pub fn next_sibling(&self, pos: Pos) -> Option<Pos> {
+        let next = pos + self.subtree[pos] as usize;
+        match self.parent(pos) {
+            Some(par) => {
+                let end = par + self.subtree[par] as usize;
+                (next < end).then_some(next)
+            }
+            None => None,
+        }
+    }
+
+    /// Iterates over the children of `pos` in document order.
+    pub fn children(&self, pos: Pos) -> ChildIter<'_> {
+        ChildIter {
+            storage: self,
+            next: self.first_child(pos),
+        }
+    }
+
+    /// Iterates over all descendants of `pos` (excluding `pos`) in
+    /// document order. Thanks to the preorder layout this is a contiguous
+    /// range scan.
+    pub fn descendants(&self, pos: Pos) -> std::ops::Range<Pos> {
+        (pos + 1)..(pos + self.subtree[pos] as usize)
+    }
+
+    /// Returns `true` if `anc` is a proper ancestor of `desc`.
+    pub fn is_ancestor(&self, anc: Pos, desc: Pos) -> bool {
+        anc < desc && desc < anc + self.subtree[anc] as usize
+    }
+
+    /// The rooted label path ending at `pos`, root first.
+    pub fn rooted_path(&self, pos: Pos) -> Vec<LabelId> {
+        let mut path = Vec::with_capacity(self.depth(pos));
+        let mut cur = Some(pos);
+        while let Some(p) = cur {
+            path.push(self.labels[p]);
+            cur = self.parent(p);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Approximate heap bytes of the storage (the "data storage" footprint
+    /// the paper's Figure 1 refers to).
+    pub fn heap_bytes(&self) -> usize {
+        self.labels.len() * std::mem::size_of::<LabelId>()
+            + self.subtree.len() * 4
+            + self.parent.len() * 4
+            + self.depth.len() * 2
+            + self.names.heap_bytes()
+    }
+}
+
+/// Iterator over the children of a node.
+pub struct ChildIter<'a> {
+    storage: &'a NokStorage,
+    next: Option<Pos>,
+}
+
+impl<'a> Iterator for ChildIter<'a> {
+    type Item = Pos;
+
+    fn next(&mut self) -> Option<Pos> {
+        let cur = self.next?;
+        self.next = self.storage.next_sibling(cur);
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlkit::Document;
+
+    fn storage(xml: &str) -> NokStorage {
+        NokStorage::from_document(&Document::parse_str(xml).unwrap())
+    }
+
+    #[test]
+    fn preorder_layout() {
+        let s = storage("<a><b><c/></b><d/></a>");
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.name(0), "a");
+        assert_eq!(s.name(1), "b");
+        assert_eq!(s.name(2), "c");
+        assert_eq!(s.name(3), "d");
+        assert_eq!(s.subtree_size(0), 4);
+        assert_eq!(s.subtree_size(1), 2);
+        assert_eq!(s.subtree_size(2), 1);
+    }
+
+    #[test]
+    fn navigation() {
+        let s = storage("<a><b><c/></b><d/></a>");
+        assert_eq!(s.first_child(0), Some(1));
+        assert_eq!(s.first_child(2), None);
+        assert_eq!(s.next_sibling(1), Some(3));
+        assert_eq!(s.next_sibling(3), None);
+        assert_eq!(s.parent(0), None);
+        assert_eq!(s.parent(3), Some(0));
+        assert_eq!(s.depth(0), 1);
+        assert_eq!(s.depth(2), 3);
+    }
+
+    #[test]
+    fn children_iter() {
+        let s = storage("<r><a/><b><x/></b><c/></r>");
+        let kids: Vec<&str> = s.children(0).map(|p| s.name(p)).collect();
+        assert_eq!(kids, vec!["a", "b", "c"]);
+        assert!(s.children(1).next().is_none());
+    }
+
+    #[test]
+    fn descendants_range() {
+        let s = storage("<a><b><c/></b><d/></a>");
+        assert_eq!(s.descendants(0), 1..4);
+        assert_eq!(s.descendants(1), 2..3);
+        assert_eq!(s.descendants(2), 3..3);
+    }
+
+    #[test]
+    fn ancestor_checks() {
+        let s = storage("<a><b><c/></b><d/></a>");
+        assert!(s.is_ancestor(0, 2));
+        assert!(s.is_ancestor(1, 2));
+        assert!(!s.is_ancestor(1, 3));
+        assert!(!s.is_ancestor(2, 1));
+        assert!(!s.is_ancestor(2, 2));
+    }
+
+    #[test]
+    fn rooted_path() {
+        let s = storage("<a><b><c/></b></a>");
+        let path: Vec<&str> = s
+            .rooted_path(2)
+            .into_iter()
+            .map(|l| s.names().name(l).unwrap())
+            .collect();
+        assert_eq!(path, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn single_node_document() {
+        let s = storage("<only/>");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.first_child(0), None);
+        assert_eq!(s.next_sibling(0), None);
+        assert!(s.descendants(0).is_empty());
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn heap_bytes_reasonable() {
+        let s = storage("<a><b/><c/></a>");
+        // 3 nodes * (4 + 4 + 4 + 2) bytes plus the name table.
+        assert!(s.heap_bytes() >= 3 * 14);
+    }
+}

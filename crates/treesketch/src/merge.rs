@@ -1,0 +1,216 @@
+//! Greedy merging of summary classes to fit a memory budget.
+//!
+//! The original TreeSketch formulates budgeted summarization as an
+//! optimization problem (NP-hard) and applies heuristic clustering; the
+//! paper notes the resulting construction times are prohibitive on large
+//! or complex data (Table 2 reports hours, or DNF for Treebank). This
+//! implementation uses a simpler greedy scheme that preserves the
+//! essential behaviour — same-label classes with similar child statistics
+//! are merged first, and statistics become averages — while keeping
+//! construction fast enough to run the experiments:
+//!
+//! 1. group classes by label;
+//! 2. within a group, sort by total average child count (a cheap scalar
+//!    signature of the class's structure);
+//! 3. merge adjacent pairs, weights proportional to class sizes;
+//! 4. repeat passes until the summary fits the byte budget or no further
+//!    merge is possible (one class per label).
+
+use crate::summary::{SummaryClass, SummaryEdge, SummaryGraph};
+use std::collections::HashMap;
+
+/// Merges classes of `summary` until its serialized size fits
+/// `budget_bytes` (or until every label has a single class). Returns the
+/// number of merge operations performed.
+pub fn merge_to_budget(summary: &mut SummaryGraph, budget_bytes: usize) -> usize {
+    let mut merges = 0;
+    // Each pass halves (roughly) the number of classes per label; a
+    // logarithmic number of passes suffices, but guard against stalls.
+    for _ in 0..64 {
+        if summary.size_bytes() <= budget_bytes {
+            break;
+        }
+        let performed = merge_pass(summary);
+        merges += performed;
+        if performed == 0 {
+            break;
+        }
+    }
+    merges
+}
+
+/// One merging pass: merge adjacent same-label classes. Returns the number
+/// of merges performed.
+fn merge_pass(summary: &mut SummaryGraph) -> usize {
+    let class_count = summary.class_count();
+    if class_count <= 1 {
+        return 0;
+    }
+
+    // Order classes within each label group by total average child count.
+    let mut by_label: HashMap<u32, Vec<u32>> = HashMap::new();
+    for c in summary.classes() {
+        by_label
+            .entry(summary.class(c).label.0)
+            .or_default()
+            .push(c);
+    }
+    for group in by_label.values_mut() {
+        group.sort_by(|&a, &b| {
+            let ta: f64 = summary.out_edges(a).iter().map(|e| e.avg_count).sum();
+            let tb: f64 = summary.out_edges(b).iter().map(|e| e.avg_count).sum();
+            ta.partial_cmp(&tb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+
+    // Union-find-lite: target[c] = representative class after this pass.
+    let mut target: Vec<u32> = (0..class_count as u32).collect();
+    let mut merges = 0;
+    for group in by_label.values() {
+        let mut i = 0;
+        while i + 1 < group.len() {
+            target[group[i + 1] as usize] = group[i];
+            merges += 1;
+            i += 2;
+        }
+    }
+    if merges == 0 {
+        return 0;
+    }
+
+    // Compact representatives into new dense ids.
+    let mut new_id: Vec<Option<u32>> = vec![None; class_count];
+    let mut next = 0u32;
+    for c in 0..class_count as u32 {
+        let rep = target[c as usize];
+        if new_id[rep as usize].is_none() {
+            new_id[rep as usize] = Some(next);
+            next += 1;
+        }
+    }
+    let resolve = |c: u32| new_id[target[c as usize] as usize].expect("representative assigned");
+
+    // Rebuild classes.
+    let mut new_classes: Vec<SummaryClass> = Vec::with_capacity(next as usize);
+    for _ in 0..next {
+        new_classes.push(SummaryClass {
+            label: xmlkit::names::LabelId(0),
+            count: 0,
+        });
+    }
+    for c in summary.classes() {
+        let id = resolve(c) as usize;
+        new_classes[id].label = summary.class(c).label;
+        new_classes[id].count += summary.class(c).count;
+    }
+
+    // Rebuild edges with size-weighted averaging of source statistics and
+    // summation over merged targets.
+    let mut totals: HashMap<(u32, u32), f64> = HashMap::new();
+    let mut with_child: HashMap<(u32, u32), f64> = HashMap::new();
+    for c in summary.classes() {
+        let src = resolve(c);
+        let src_count = summary.class(c).count as f64;
+        for e in summary.out_edges(c) {
+            let dst = resolve(e.to);
+            *totals.entry((src, dst)).or_insert(0.0) += e.avg_count * src_count;
+            *with_child.entry((src, dst)).or_insert(0.0) += e.presence * src_count;
+        }
+    }
+    let mut new_edges: Vec<Vec<SummaryEdge>> = vec![Vec::new(); next as usize];
+    for ((src, dst), total) in &totals {
+        let src_count = new_classes[*src as usize].count as f64;
+        new_edges[*src as usize].push(SummaryEdge {
+            to: *dst,
+            avg_count: total / src_count,
+            presence: (with_child[&(*src, *dst)] / src_count).min(1.0),
+        });
+    }
+    for edges in &mut new_edges {
+        edges.sort_by_key(|e| e.to);
+    }
+
+    let new_root = resolve(summary.root_class());
+    summary.replace(new_classes, new_edges, new_root);
+    merges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::CountStablePartition;
+    use xmlkit::samples::figure2_document;
+    use xmlkit::Document;
+
+    fn build(doc: &Document) -> SummaryGraph {
+        let p = CountStablePartition::compute(doc);
+        SummaryGraph::from_partition(doc, &p)
+    }
+
+    #[test]
+    fn merging_reaches_minimum_when_budget_is_tiny() {
+        let doc = figure2_document();
+        let mut summary = build(&doc);
+        merge_to_budget(&mut summary, 1);
+        // At most one class per label remains.
+        assert!(summary.class_count() <= doc.names().len());
+        // Element counts are preserved.
+        let total: u64 = summary.classes().map(|c| summary.class(c).count).sum();
+        assert_eq!(total, doc.element_count() as u64);
+    }
+
+    #[test]
+    fn merging_preserves_child_totals() {
+        // Total expected children (count * avg) is invariant under merging.
+        let doc = figure2_document();
+        let unmerged = build(&doc);
+        let expected: f64 = unmerged
+            .classes()
+            .map(|c| {
+                let n = unmerged.class(c).count as f64;
+                unmerged.out_edges(c).iter().map(|e| e.avg_count * n).sum::<f64>()
+            })
+            .sum();
+        let mut merged = build(&doc);
+        merge_to_budget(&mut merged, 1);
+        let got: f64 = merged
+            .classes()
+            .map(|c| {
+                let n = merged.class(c).count as f64;
+                merged.out_edges(c).iter().map(|e| e.avg_count * n).sum::<f64>()
+            })
+            .sum();
+        assert!((expected - got).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_merge_needed_when_budget_is_large() {
+        let doc = figure2_document();
+        let mut summary = build(&doc);
+        let before = summary.class_count();
+        let merges = merge_to_budget(&mut summary, usize::MAX);
+        assert_eq!(merges, 0);
+        assert_eq!(summary.class_count(), before);
+    }
+
+    #[test]
+    fn presence_stays_within_unit_interval() {
+        let doc = figure2_document();
+        let mut summary = build(&doc);
+        merge_to_budget(&mut summary, 1);
+        for c in summary.classes() {
+            for e in summary.out_edges(c) {
+                assert!(e.presence > 0.0 && e.presence <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn root_class_survives_merging() {
+        let doc = figure2_document();
+        let mut summary = build(&doc);
+        merge_to_budget(&mut summary, 1);
+        let root = summary.root_class();
+        assert_eq!(summary.names().name(summary.class(root).label), Some("a"));
+    }
+}

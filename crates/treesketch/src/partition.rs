@@ -1,0 +1,160 @@
+//! Count-stable partition of the document elements.
+//!
+//! A partition of the element set is *count stable* when, for any two
+//! classes `U` and `V`, every element of `U` has the same number of
+//! children in `V`. TreeSketch starts from the coarsest count-stable
+//! refinement of the label partition (computed here by iterated signature
+//! refinement) because a summary built on it answers twig queries exactly;
+//! the budgeted synopsis is obtained afterwards by merging classes.
+
+use std::collections::HashMap;
+use xmlkit::tree::{Document, NodeId};
+
+/// A partition of the document's elements into classes, each class holding
+/// elements with the same label and (recursively) count-identical child
+/// distributions.
+#[derive(Debug, Clone)]
+pub struct CountStablePartition {
+    /// Class id of every element, indexed by `NodeId` index.
+    class_of: Vec<u32>,
+    /// Number of classes.
+    class_count: usize,
+}
+
+impl CountStablePartition {
+    /// Computes the coarsest count-stable refinement of the label
+    /// partition by fixpoint signature refinement.
+    pub fn compute(doc: &Document) -> Self {
+        let n = doc.element_count();
+        // Initial partition: by label.
+        let mut class_of: Vec<u32> = (0..n)
+            .map(|i| doc.label(NodeId(i as u32)).0)
+            .collect();
+        let mut class_count = doc.names().len();
+
+        loop {
+            // Signature of an element: (its class, sorted (child class, count) pairs).
+            let mut signatures: HashMap<(u32, Vec<(u32, u32)>), u32> = HashMap::new();
+            let mut next_class_of = vec![0u32; n];
+            let mut next_count = 0u32;
+            for i in 0..n {
+                let node = NodeId(i as u32);
+                let mut child_counts: HashMap<u32, u32> = HashMap::new();
+                for c in doc.children(node) {
+                    *child_counts.entry(class_of[c.index()]).or_insert(0) += 1;
+                }
+                let mut child_vec: Vec<(u32, u32)> = child_counts.into_iter().collect();
+                child_vec.sort_unstable();
+                let key = (class_of[i], child_vec);
+                let id = *signatures.entry(key).or_insert_with(|| {
+                    let id = next_count;
+                    next_count += 1;
+                    id
+                });
+                next_class_of[i] = id;
+            }
+            let stabilized = next_count as usize == class_count;
+            class_of = next_class_of;
+            class_count = next_count as usize;
+            if stabilized {
+                break;
+            }
+        }
+
+        CountStablePartition {
+            class_of,
+            class_count,
+        }
+    }
+
+    /// Class of an element.
+    pub fn class_of(&self, node: NodeId) -> u32 {
+        self.class_of[node.index()]
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.class_count
+    }
+
+    /// Number of elements.
+    pub fn element_count(&self) -> usize {
+        self.class_of.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlkit::samples::figure2_document;
+    use xmlkit::Document;
+
+    #[test]
+    fn identical_subtrees_share_a_class() {
+        let doc = Document::parse_str("<r><x><k/></x><x><k/></x></r>").unwrap();
+        let p = CountStablePartition::compute(&doc);
+        let xs: Vec<NodeId> = doc
+            .preorder()
+            .filter(|&n| doc.name(n) == "x")
+            .collect();
+        assert_eq!(p.class_of(xs[0]), p.class_of(xs[1]));
+    }
+
+    #[test]
+    fn different_child_counts_split_classes() {
+        let doc = Document::parse_str("<r><x><k/><k/></x><x><k/></x><x/></r>").unwrap();
+        let p = CountStablePartition::compute(&doc);
+        let xs: Vec<NodeId> = doc
+            .preorder()
+            .filter(|&n| doc.name(n) == "x")
+            .collect();
+        assert_ne!(p.class_of(xs[0]), p.class_of(xs[1]));
+        assert_ne!(p.class_of(xs[1]), p.class_of(xs[2]));
+        assert_ne!(p.class_of(xs[0]), p.class_of(xs[2]));
+    }
+
+    #[test]
+    fn classes_never_mix_labels() {
+        let doc = figure2_document();
+        let p = CountStablePartition::compute(&doc);
+        let mut label_of_class: HashMap<u32, &str> = HashMap::new();
+        for n in doc.preorder() {
+            let class = p.class_of(n);
+            let name = doc.name(n);
+            if let Some(prev) = label_of_class.insert(class, name) {
+                assert_eq!(prev, name, "class {class} mixes labels");
+            }
+        }
+    }
+
+    #[test]
+    fn count_stability_holds() {
+        // Every element of a class has the same per-class child counts.
+        let doc = figure2_document();
+        let p = CountStablePartition::compute(&doc);
+        let mut reference: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
+        for n in doc.preorder() {
+            let mut counts: HashMap<u32, u32> = HashMap::new();
+            for c in doc.children(n) {
+                *counts.entry(p.class_of(c)).or_insert(0) += 1;
+            }
+            let mut vec: Vec<(u32, u32)> = counts.into_iter().collect();
+            vec.sort_unstable();
+            match reference.get(&p.class_of(n)) {
+                Some(prev) => assert_eq!(prev, &vec),
+                None => {
+                    reference.insert(p.class_of(n), vec);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_size_bounds() {
+        let doc = figure2_document();
+        let p = CountStablePartition::compute(&doc);
+        assert!(p.class_count() >= doc.names().len());
+        assert!(p.class_count() <= doc.element_count());
+        assert_eq!(p.element_count(), doc.element_count());
+    }
+}

@@ -1,0 +1,239 @@
+//! The TreeSketch summary graph.
+//!
+//! One node per partition class, annotated with the class's element count;
+//! one directed edge per observed (parent class, child class) pair,
+//! annotated with
+//!
+//! * the **average child count** — how many children in the target class
+//!   an element of the source class has on average, and
+//! * the **presence fraction** — the fraction of source-class elements
+//!   with at least one child in the target class (1.0 on an unmerged
+//!   count-stable partition, possibly lower after merging).
+//!
+//! Unlike the XSEED kernel, none of these statistics are indexed by
+//! recursion level.
+
+use crate::partition::CountStablePartition;
+use std::collections::HashMap;
+use xmlkit::names::{LabelId, NameTable};
+use xmlkit::tree::Document;
+
+/// A class (node) of the summary graph.
+#[derive(Debug, Clone)]
+pub struct SummaryClass {
+    /// The element label shared by all members of the class.
+    pub label: LabelId,
+    /// Number of document elements in the class.
+    pub count: u64,
+}
+
+/// An edge of the summary graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SummaryEdge {
+    /// Target class.
+    pub to: u32,
+    /// Average number of children in the target class per source element.
+    pub avg_count: f64,
+    /// Fraction of source elements with at least one child in the target
+    /// class.
+    pub presence: f64,
+}
+
+/// The TreeSketch summary graph.
+#[derive(Debug, Clone)]
+pub struct SummaryGraph {
+    classes: Vec<SummaryClass>,
+    /// Out-edges per class.
+    out_edges: Vec<Vec<SummaryEdge>>,
+    root_class: u32,
+    names: NameTable,
+}
+
+impl SummaryGraph {
+    /// Builds the summary graph of `doc` over `partition`.
+    pub fn from_partition(doc: &Document, partition: &CountStablePartition) -> Self {
+        let class_count = partition.class_count();
+        let mut counts = vec![0u64; class_count];
+        let mut labels = vec![LabelId(0); class_count];
+        // child_totals[(u, v)] = total children in v over elements of u;
+        // parents_with[(u, v)] = number of u elements with >= 1 child in v.
+        let mut child_totals: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut parents_with: HashMap<(u32, u32), u64> = HashMap::new();
+
+        for node in doc.preorder() {
+            let u = partition.class_of(node);
+            counts[u as usize] += 1;
+            labels[u as usize] = doc.label(node);
+            let mut local: HashMap<u32, u64> = HashMap::new();
+            for child in doc.children(node) {
+                let v = partition.class_of(child);
+                *local.entry(v).or_insert(0) += 1;
+            }
+            for (v, cnt) in local {
+                *child_totals.entry((u, v)).or_insert(0) += cnt;
+                *parents_with.entry((u, v)).or_insert(0) += 1;
+            }
+        }
+
+        let classes: Vec<SummaryClass> = counts
+            .iter()
+            .zip(labels.iter())
+            .map(|(&count, &label)| SummaryClass { label, count })
+            .collect();
+        let mut out_edges: Vec<Vec<SummaryEdge>> = vec![Vec::new(); class_count];
+        for ((u, v), total) in &child_totals {
+            let source_count = counts[*u as usize] as f64;
+            let with = parents_with[&(*u, *v)] as f64;
+            out_edges[*u as usize].push(SummaryEdge {
+                to: *v,
+                avg_count: *total as f64 / source_count,
+                presence: with / source_count,
+            });
+        }
+        for edges in &mut out_edges {
+            edges.sort_by_key(|e| e.to);
+        }
+
+        SummaryGraph {
+            classes,
+            out_edges,
+            root_class: partition.class_of(doc.root()),
+            names: doc.names().clone(),
+        }
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.out_edges.iter().map(Vec::len).sum()
+    }
+
+    /// The class containing the document root.
+    pub fn root_class(&self) -> u32 {
+        self.root_class
+    }
+
+    /// Access a class.
+    pub fn class(&self, id: u32) -> &SummaryClass {
+        &self.classes[id as usize]
+    }
+
+    /// Out-edges of a class.
+    pub fn out_edges(&self, id: u32) -> &[SummaryEdge] {
+        &self.out_edges[id as usize]
+    }
+
+    /// All class ids.
+    pub fn classes(&self) -> impl Iterator<Item = u32> {
+        0..self.classes.len() as u32
+    }
+
+    /// The shared name table.
+    pub fn names(&self) -> &NameTable {
+        &self.names
+    }
+
+    /// Label id for an element name, if it occurs in the document.
+    pub fn label_of(&self, name: &str) -> Option<LabelId> {
+        self.names.lookup(name)
+    }
+
+    /// Memory footprint: 8 bytes per class (label + element count) and 12
+    /// bytes per edge (target id + two packed statistics), plus the name
+    /// strings — the same accounting style used for the XSEED kernel.
+    pub fn size_bytes(&self) -> usize {
+        let name_bytes: usize = self.names.iter().map(|(_, n)| n.len()).sum();
+        8 * self.class_count() + 12 * self.edge_count() + name_bytes
+    }
+
+    // -------------------------------------------------------------
+    // Mutation used by the merging pass
+    // -------------------------------------------------------------
+
+    /// Replaces the classes and edges wholesale (used by merging).
+    pub(crate) fn replace(
+        &mut self,
+        classes: Vec<SummaryClass>,
+        out_edges: Vec<Vec<SummaryEdge>>,
+        root_class: u32,
+    ) {
+        debug_assert_eq!(classes.len(), out_edges.len());
+        self.classes = classes;
+        self.out_edges = out_edges;
+        self.root_class = root_class;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlkit::samples::figure2_document;
+    use xmlkit::Document;
+
+    fn summary(xml: &str) -> (Document, SummaryGraph) {
+        let doc = Document::parse_str(xml).unwrap();
+        let p = CountStablePartition::compute(&doc);
+        let s = SummaryGraph::from_partition(&doc, &p);
+        (doc, s)
+    }
+
+    #[test]
+    fn counts_sum_to_document_size() {
+        let (doc, s) = summary("<r><x><k/><k/></x><x><k/></x><x/></r>");
+        let total: u64 = s.classes().map(|c| s.class(c).count).sum();
+        assert_eq!(total, doc.element_count() as u64);
+    }
+
+    #[test]
+    fn unmerged_edges_have_full_presence() {
+        let (_, s) = summary("<r><x><k/><k/></x><x><k/></x><x/></r>");
+        for c in s.classes() {
+            for e in s.out_edges(c) {
+                assert!((e.presence - 1.0).abs() < 1e-9);
+                assert!(e.avg_count >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn root_class_is_singleton() {
+        let doc = figure2_document();
+        let p = CountStablePartition::compute(&doc);
+        let s = SummaryGraph::from_partition(&doc, &p);
+        assert_eq!(s.class(s.root_class()).count, 1);
+        assert_eq!(s.names().name(s.class(s.root_class()).label), Some("a"));
+    }
+
+    #[test]
+    fn size_grows_with_classes() {
+        let (_, small) = summary("<r><x/></r>");
+        let doc = figure2_document();
+        let p = CountStablePartition::compute(&doc);
+        let big = SummaryGraph::from_partition(&doc, &p);
+        assert!(big.size_bytes() > small.size_bytes());
+        assert!(small.size_bytes() > 0);
+    }
+
+    #[test]
+    fn edge_statistics_are_averages() {
+        // Two x elements: one with 2 k children, one with 1; plus an empty x.
+        let (_, s) = summary("<r><x><k/><k/></x><x><k/></x><x/></r>");
+        // In the count-stable partition the three x elements are in three
+        // different classes, each with exact counts.
+        let k_label = s.label_of("k").unwrap();
+        let mut avgs: Vec<f64> = Vec::new();
+        for c in s.classes() {
+            for e in s.out_edges(c) {
+                if s.class(e.to).label == k_label {
+                    avgs.push(e.avg_count);
+                }
+            }
+        }
+        avgs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(avgs, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Error types shared by the XML substrate.
+
+use std::fmt;
+
+/// Convenience result alias used throughout `xmlkit`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while parsing or manipulating XML documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The parser encountered a syntactic problem in the XML text.
+    ///
+    /// Carries a human-readable message and the byte offset at which the
+    /// problem was detected.
+    Syntax {
+        /// Description of the problem.
+        message: String,
+        /// Byte offset into the input where the problem was detected.
+        offset: usize,
+    },
+    /// A closing tag did not match the innermost open element.
+    MismatchedTag {
+        /// The element name that was open.
+        expected: String,
+        /// The element name found in the closing tag.
+        found: String,
+        /// Byte offset of the offending closing tag.
+        offset: usize,
+    },
+    /// The document ended while elements were still open.
+    UnexpectedEof {
+        /// Names of the elements still open, outermost first.
+        open_elements: Vec<String>,
+    },
+    /// The document contains more than one root element or content outside
+    /// the root element.
+    MultipleRoots {
+        /// Byte offset of the second root element.
+        offset: usize,
+    },
+    /// The document contains no element at all.
+    EmptyDocument,
+    /// An operation referenced a node id that does not belong to the
+    /// document (for example, after using an id from a different document).
+    InvalidNodeId {
+        /// The offending node id (raw index).
+        id: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Syntax { message, offset } => {
+                write!(f, "XML syntax error at byte {offset}: {message}")
+            }
+            Error::MismatchedTag {
+                expected,
+                found,
+                offset,
+            } => write!(
+                f,
+                "mismatched closing tag at byte {offset}: expected </{expected}>, found </{found}>"
+            ),
+            Error::UnexpectedEof { open_elements } => write!(
+                f,
+                "unexpected end of document with {} unclosed element(s): {}",
+                open_elements.len(),
+                open_elements.join(", ")
+            ),
+            Error::MultipleRoots { offset } => {
+                write!(f, "unexpected second root element at byte {offset}")
+            }
+            Error::EmptyDocument => write!(f, "document contains no element"),
+            Error::InvalidNodeId { id } => write!(f, "invalid node id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_syntax() {
+        let e = Error::Syntax {
+            message: "bad".into(),
+            offset: 7,
+        };
+        assert_eq!(e.to_string(), "XML syntax error at byte 7: bad");
+    }
+
+    #[test]
+    fn display_mismatch() {
+        let e = Error::MismatchedTag {
+            expected: "a".into(),
+            found: "b".into(),
+            offset: 3,
+        };
+        assert!(e.to_string().contains("</a>"));
+        assert!(e.to_string().contains("</b>"));
+    }
+
+    #[test]
+    fn display_eof() {
+        let e = Error::UnexpectedEof {
+            open_elements: vec!["a".into(), "b".into()],
+        };
+        assert!(e.to_string().contains("2 unclosed"));
+    }
+
+    #[test]
+    fn display_empty_and_roots() {
+        assert!(Error::EmptyDocument.to_string().contains("no element"));
+        assert!(Error::MultipleRoots { offset: 10 }.to_string().contains("second root"));
+        assert!(Error::InvalidNodeId { id: 4 }.to_string().contains('4'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<Error>();
+    }
+}

@@ -1,0 +1,176 @@
+//! Element-name interning.
+//!
+//! The paper maps element names to a compact alphabet (Section 2,
+//! Example 1): `f(article) = a`, `f(title) = t`, and so on. Internally
+//! every component of this reproduction works with small integer
+//! [`LabelId`]s instead of strings; the [`NameTable`] owns the bijection.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A compact integer identifier for an element name.
+///
+/// Label ids are dense: the first distinct name interned receives id 0,
+/// the second id 1, and so on. This makes them directly usable as vector
+/// indices in the synopsis structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelId(pub u32);
+
+impl LabelId {
+    /// Returns the raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A bidirectional mapping between element names and [`LabelId`]s.
+///
+/// Interning is idempotent: interning the same name twice returns the same
+/// id. Lookup by name and by id are both O(1).
+#[derive(Debug, Clone, Default)]
+pub struct NameTable {
+    by_name: HashMap<String, LabelId>,
+    by_id: Vec<String>,
+}
+
+impl NameTable {
+    /// Creates an empty name table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its label id. Repeated calls with the same
+    /// name return the same id.
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = LabelId(self.by_id.len() as u32);
+        self.by_id.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Returns the id of `name` if it has been interned.
+    pub fn lookup(&self, name: &str) -> Option<LabelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the name associated with `id`, if any.
+    pub fn name(&self, id: LabelId) -> Option<&str> {
+        self.by_id.get(id.index()).map(|s| s.as_str())
+    }
+
+    /// Returns the name associated with `id`, panicking with a clear
+    /// message if the id is unknown. Intended for display code where the
+    /// id is known to come from this table.
+    pub fn name_or_panic(&self, id: LabelId) -> &str {
+        self.name(id)
+            .unwrap_or_else(|| panic!("label id {id} not present in name table"))
+    }
+
+    /// Number of distinct names interned so far.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Returns `true` if no names have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterates over `(LabelId, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (LabelId(i as u32), s.as_str()))
+    }
+
+    /// Approximate number of heap bytes used by the table. Used when
+    /// reporting synopsis sizes that embed a name table.
+    pub fn heap_bytes(&self) -> usize {
+        let strings: usize = self.by_id.iter().map(|s| s.len()).sum();
+        // Each name is stored twice (map key + vector entry) plus map/vec
+        // bookkeeping; a conservative constant per entry covers that.
+        2 * strings + self.by_id.len() * 48
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = NameTable::new();
+        let a = t.intern("article");
+        let b = t.intern("title");
+        let a2 = t.intern("article");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut t = NameTable::new();
+        for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+            assert_eq!(t.intern(name).index(), i);
+        }
+    }
+
+    #[test]
+    fn lookup_and_name_roundtrip() {
+        let mut t = NameTable::new();
+        let id = t.intern("chapter");
+        assert_eq!(t.lookup("chapter"), Some(id));
+        assert_eq!(t.lookup("missing"), None);
+        assert_eq!(t.name(id), Some("chapter"));
+        assert_eq!(t.name(LabelId(99)), None);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut t = NameTable::new();
+        t.intern("x");
+        t.intern("y");
+        let collected: Vec<_> = t.iter().map(|(id, n)| (id.index(), n.to_string())).collect();
+        assert_eq!(collected, vec![(0, "x".to_string()), (1, "y".to_string())]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = NameTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.name(LabelId(0)), None);
+    }
+
+    #[test]
+    fn heap_bytes_grows() {
+        let mut t = NameTable::new();
+        let e = t.heap_bytes();
+        t.intern("some-element-name");
+        assert!(t.heap_bytes() > e);
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn name_or_panic_panics() {
+        let t = NameTable::new();
+        t.name_or_panic(LabelId(3));
+    }
+
+    #[test]
+    fn display_label() {
+        assert_eq!(LabelId(7).to_string(), "#7");
+    }
+}

@@ -1,0 +1,131 @@
+//! Sample documents taken from the paper, used by tests, examples, and
+//! documentation across the workspace.
+
+use crate::tree::Document;
+
+/// The XML tree of **Figure 2(a)** of the paper (the `article` document of
+/// Example 1, with element names mapped to the compact alphabet
+/// `a`/`t`/`u`/`c`/`p`/`s`).
+///
+/// The document is constructed so that its XSEED kernel is exactly the
+/// kernel of Figure 2(b):
+///
+/// * `(a,t) = (1:1)`, `(a,u) = (1:1)`, `(a,c) = (1:2)`
+/// * `(c,t) = (2:2)`, `(c,p) = (2:3)`, `(c,s) = (2:5)`
+/// * `(s,t) = (2:2, 1:1)`
+/// * `(s,p) = (5:9, 1:2, 2:3)`
+/// * `(s,s) = (0:0, 2:2, 1:2)`
+///
+/// It contains 36 elements: 1 `a`, 6 `t`, 1 `u`, 2 `c`, 9 `s`, 17 `p`, with
+/// a maximum recursion level of 2 (three nested `s` elements).
+pub fn figure2_document() -> Document {
+    Document::parse_str(FIGURE2_XML).expect("the Figure 2(a) sample is well-formed")
+}
+
+/// The serialized form of [`figure2_document`].
+pub const FIGURE2_XML: &str = "<a>\
+<t/>\
+<u/>\
+<c>\
+<t/>\
+<p/>\
+<s><t/><p/><p/><s><t/><p/><p/></s></s>\
+<s><p/><p/></s>\
+</c>\
+<c>\
+<t/>\
+<p/><p/>\
+<s><t/><p/><p/><s><s><p/><p/></s><s><p/></s></s></s>\
+<s><p/><p/></s>\
+<s><p/></s>\
+</c>\
+</a>";
+
+/// A document exhibiting the ancestor/sibling correlations of **Figure 4**
+/// and Examples 4–5 of the paper.
+///
+/// Its XSEED kernel has the same shape as Figure 4 — `a` over `b` and `c`,
+/// both leading to `d`, which has `e` and `f` children — and the
+/// distribution of `e`/`f` children is strongly correlated with whether the
+/// `d`'s parent is a `b` or a `c`, so the kernel's independence assumption
+/// produces visible estimation errors that the Hyper-Edge Table repairs.
+///
+/// Concretely: `d` elements under `b` mostly have `e` children, while `d`
+/// elements under `c` mostly have `f` children.
+pub fn figure4_document() -> Document {
+    let mut xml = String::from("<a>");
+    // 3 b elements; 2 of them have d children (5 d total under b).
+    // d-under-b: rich in e (2 e each), poor in f.
+    xml.push_str("<b>");
+    for _ in 0..3 {
+        xml.push_str("<d><e/><e/><e/><e/></d>");
+    }
+    xml.push_str("</b>");
+    xml.push_str("<b>");
+    for _ in 0..2 {
+        xml.push_str("<d><e/><e/><e/><e/><f/></d>");
+    }
+    xml.push_str("</b>");
+    xml.push_str("<b/>");
+    // 4 c elements; 3 of them have d children (9 d total under c).
+    // d-under-c: rich in f, poor in e.
+    xml.push_str("<c>");
+    for _ in 0..3 {
+        xml.push_str("<d><f/><f/><f/><f/><f/><f/></d>");
+    }
+    xml.push_str("</c>");
+    xml.push_str("<c>");
+    for _ in 0..3 {
+        xml.push_str("<d><f/><f/><f/><f/><f/></d>");
+    }
+    xml.push_str("</c>");
+    xml.push_str("<c>");
+    for _ in 0..3 {
+        xml.push_str("<d><f/><f/><f/><f/></d>");
+    }
+    xml.push_str("</c>");
+    xml.push_str("<c/>");
+    xml.push_str("</a>");
+    Document::parse_str(&xml).expect("the Figure 4 sample is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DocumentStats;
+
+    #[test]
+    fn figure2_element_counts() {
+        let doc = figure2_document();
+        assert_eq!(doc.element_count(), 36);
+        let hist = doc.label_histogram();
+        let count = |name: &str| hist[doc.names().lookup(name).unwrap().index()];
+        assert_eq!(count("a"), 1);
+        assert_eq!(count("t"), 6);
+        assert_eq!(count("u"), 1);
+        assert_eq!(count("c"), 2);
+        assert_eq!(count("s"), 9);
+        assert_eq!(count("p"), 17);
+    }
+
+    #[test]
+    fn figure2_recursion_level() {
+        let doc = figure2_document();
+        let stats = DocumentStats::compute(&doc);
+        assert_eq!(stats.max_recursion_level, 2);
+        assert!(stats.avg_recursion_level > 0.0);
+    }
+
+    #[test]
+    fn figure4_shape() {
+        let doc = figure4_document();
+        let hist = doc.label_histogram();
+        let count = |name: &str| hist[doc.names().lookup(name).unwrap().index()];
+        assert_eq!(count("a"), 1);
+        assert_eq!(count("b"), 3);
+        assert_eq!(count("c"), 4);
+        assert_eq!(count("d"), 14);
+        assert_eq!(count("e"), 20);
+        assert_eq!(count("f"), 47);
+    }
+}

@@ -1,0 +1,268 @@
+//! Document statistics, including the recursion-level machinery of
+//! Definition 1 of the paper.
+//!
+//! * The **path recursion level (PRL)** of a rooted path is the maximum
+//!   number of occurrences of any label on the path, minus one.
+//! * The **recursion level of a node** is the PRL of the rooted path ending
+//!   at that node.
+//! * The **document recursion level (DRL)** is the maximum PRL over all
+//!   rooted paths — equivalently, the maximum node recursion level.
+//!
+//! These notions drive both the XSEED kernel (edge labels are indexed by
+//! recursion level) and the dataset characterization of Table 2
+//! (avg/max recursion level per dataset).
+
+use crate::names::LabelId;
+use crate::tree::{Document, NodeId};
+use std::collections::HashMap;
+
+/// Aggregate statistics about a document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocumentStats {
+    /// Total number of element nodes.
+    pub element_count: usize,
+    /// Number of distinct element names.
+    pub distinct_labels: usize,
+    /// Maximum element depth (root = 1).
+    pub max_depth: usize,
+    /// Average element depth.
+    pub avg_depth: f64,
+    /// Average node recursion level (Definition 1).
+    pub avg_recursion_level: f64,
+    /// Document recursion level: maximum node recursion level.
+    pub max_recursion_level: usize,
+    /// Number of distinct rooted label paths (the size of the path tree).
+    pub distinct_rooted_paths: usize,
+    /// Serialized size in bytes (exact when parsed from text).
+    pub source_bytes: usize,
+}
+
+impl DocumentStats {
+    /// Computes statistics for `doc` in a single DFS pass.
+    pub fn compute(doc: &Document) -> Self {
+        let mut walker = RecursionWalker::new();
+        let mut depth_sum = 0usize;
+        let mut max_depth = 0usize;
+        let mut rl_sum = 0usize;
+        let mut max_rl = 0usize;
+        let mut count = 0usize;
+        let mut path_set: HashMap<u64, ()> = HashMap::new();
+        let mut path_hash_stack: Vec<u64> = Vec::new();
+
+        // Iterative DFS with explicit enter/leave so the walker's label
+        // counts mirror the current rooted path.
+        enum Step {
+            Enter(NodeId),
+            Leave(NodeId),
+        }
+        let mut stack = vec![Step::Enter(doc.root())];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Enter(n) => {
+                    let label = doc.label(n);
+                    let rl = walker.push(label);
+                    let depth = walker.depth();
+                    count += 1;
+                    depth_sum += depth;
+                    max_depth = max_depth.max(depth);
+                    rl_sum += rl;
+                    max_rl = max_rl.max(rl);
+
+                    let parent_hash = path_hash_stack.last().copied().unwrap_or(0xcbf2_9ce4_8422_2325);
+                    let h = fnv_step(parent_hash, label.0);
+                    path_hash_stack.push(h);
+                    path_set.insert(h, ());
+
+                    stack.push(Step::Leave(n));
+                    let children: Vec<NodeId> = doc.children(n).collect();
+                    for c in children.into_iter().rev() {
+                        stack.push(Step::Enter(c));
+                    }
+                }
+                Step::Leave(n) => {
+                    walker.pop(doc.label(n));
+                    path_hash_stack.pop();
+                }
+            }
+        }
+
+        DocumentStats {
+            element_count: count,
+            distinct_labels: doc.names().len(),
+            max_depth,
+            avg_depth: depth_sum as f64 / count as f64,
+            avg_recursion_level: rl_sum as f64 / count as f64,
+            max_recursion_level: max_rl,
+            distinct_rooted_paths: path_set.len(),
+            source_bytes: doc.source_bytes(),
+        }
+    }
+}
+
+/// One FNV-1a hashing step folding a label id into a running path hash.
+#[inline]
+fn fnv_step(hash: u64, label: u32) -> u64 {
+    let mut h = hash;
+    for b in label.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Tracks the recursion level of the current rooted path during a DFS walk.
+///
+/// This is the simple (hash-map based) sibling of the counter-stacks
+/// structure of Figure 3: it keeps, for each label, the number of
+/// occurrences on the current rooted path, plus the maximum occurrence
+/// count, recomputing the maximum lazily on pops.
+#[derive(Debug, Default)]
+pub struct RecursionWalker {
+    counts: HashMap<LabelId, usize>,
+    depth: usize,
+    /// Histogram of occurrence counts: `occ_hist[k]` = number of labels
+    /// occurring exactly `k` times on the current path (index 0 unused).
+    occ_hist: Vec<usize>,
+    current_max: usize,
+}
+
+impl RecursionWalker {
+    /// Creates a walker with an empty path.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes `label` onto the current path; returns the recursion level of
+    /// the path *including* the new node.
+    pub fn push(&mut self, label: LabelId) -> usize {
+        let c = self.counts.entry(label).or_insert(0);
+        let old = *c;
+        *c += 1;
+        let new = *c;
+        if self.occ_hist.len() <= new {
+            self.occ_hist.resize(new + 1, 0);
+        }
+        if old > 0 {
+            self.occ_hist[old] -= 1;
+        }
+        self.occ_hist[new] += 1;
+        self.current_max = self.current_max.max(new);
+        self.depth += 1;
+        self.current_max - 1
+    }
+
+    /// Pops `label` from the current path (must mirror the matching push).
+    pub fn pop(&mut self, label: LabelId) {
+        let c = self
+            .counts
+            .get_mut(&label)
+            .expect("pop of a label that was never pushed");
+        let old = *c;
+        *c -= 1;
+        self.occ_hist[old] -= 1;
+        if *c > 0 {
+            self.occ_hist[old - 1] += 1;
+        } else {
+            self.counts.remove(&label);
+        }
+        // The maximum can only have decreased if its histogram bucket
+        // emptied; scan downwards (cheap: max recursion levels are small).
+        while self.current_max > 0 && self.occ_hist[self.current_max] == 0 {
+            self.current_max -= 1;
+        }
+        self.depth -= 1;
+    }
+
+    /// Current path depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Recursion level of the current path (0 for an empty path).
+    pub fn recursion_level(&self) -> usize {
+        self.current_max.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Document;
+
+    #[test]
+    fn non_recursive_document() {
+        let doc = Document::parse_str("<a><b/><c><d/></c></a>").unwrap();
+        let s = DocumentStats::compute(&doc);
+        assert_eq!(s.element_count, 4);
+        assert_eq!(s.distinct_labels, 4);
+        assert_eq!(s.max_recursion_level, 0);
+        assert_eq!(s.avg_recursion_level, 0.0);
+        assert_eq!(s.max_depth, 3);
+        assert_eq!(s.distinct_rooted_paths, 4);
+    }
+
+    #[test]
+    fn recursive_document_levels() {
+        // Path (a,c,s,s,s,p) has three s nodes => recursion level 2.
+        let doc = Document::parse_str("<a><c><s><s><s><p/></s></s></s></c></a>").unwrap();
+        let s = DocumentStats::compute(&doc);
+        assert_eq!(s.max_recursion_level, 2);
+        assert!(s.avg_recursion_level > 0.0);
+    }
+
+    #[test]
+    fn paper_example_prl() {
+        // From Section 2.1: (a,c,s,p) has PRL 0; (a,c,s,s,s,p) has PRL 2.
+        let mut w = RecursionWalker::new();
+        let a = LabelId(0);
+        let c = LabelId(1);
+        let s = LabelId(2);
+        let p = LabelId(3);
+        assert_eq!(w.push(a), 0);
+        assert_eq!(w.push(c), 0);
+        assert_eq!(w.push(s), 0);
+        assert_eq!(w.push(p), 0);
+        w.pop(p);
+        assert_eq!(w.push(s), 1);
+        assert_eq!(w.push(s), 2);
+        assert_eq!(w.push(p), 2);
+        assert_eq!(w.recursion_level(), 2);
+    }
+
+    #[test]
+    fn walker_push_pop_restores_state() {
+        let mut w = RecursionWalker::new();
+        let x = LabelId(7);
+        w.push(x);
+        w.push(x);
+        assert_eq!(w.recursion_level(), 1);
+        w.pop(x);
+        assert_eq!(w.recursion_level(), 0);
+        w.pop(x);
+        assert_eq!(w.recursion_level(), 0);
+        assert_eq!(w.depth(), 0);
+    }
+
+    #[test]
+    fn distinct_rooted_paths_counts_label_paths() {
+        // Two <b/> children under the same parent share a rooted label path.
+        let doc = Document::parse_str("<a><b/><b/><c><b/></c></a>").unwrap();
+        let s = DocumentStats::compute(&doc);
+        // Paths: /a, /a/b, /a/c, /a/c/b
+        assert_eq!(s.distinct_rooted_paths, 4);
+    }
+
+    #[test]
+    fn avg_depth_simple() {
+        let doc = Document::parse_str("<a><b/></a>").unwrap();
+        let s = DocumentStats::compute(&doc);
+        assert!((s.avg_depth - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "never pushed")]
+    fn pop_unpushed_label_panics() {
+        let mut w = RecursionWalker::new();
+        w.pop(LabelId(0));
+    }
+}

@@ -1,0 +1,165 @@
+//! Serialization of [`Document`](crate::tree::Document)s back to XML text.
+//!
+//! The synthetic dataset generators build [`Document`]s programmatically;
+//! this module turns them into XML text so the full pipeline (SAX parse →
+//! kernel construction) is exercised exactly as it would be on real data
+//! files. A compact mode (no indentation) and a pretty mode are provided.
+
+use crate::tree::{Document, NodeId};
+
+/// Formatting options for [`write_document`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOptions {
+    /// Emit a leading `<?xml version="1.0"?>` declaration.
+    pub declaration: bool,
+    /// Indent nested elements by two spaces per level and put each element
+    /// on its own line. When `false`, the output is a single line.
+    pub pretty: bool,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions {
+            declaration: false,
+            pretty: false,
+        }
+    }
+}
+
+/// Serializes `doc` to XML text with the given options.
+///
+/// Elements with no children and no text are written as self-closing tags.
+/// Recorded text lengths are materialized as filler characters (`x`), so
+/// the byte size of the output approximates the original document size;
+/// the structural shape — which is all the synopsis cares about — is exact.
+pub fn write_document(doc: &Document, options: WriteOptions) -> String {
+    let mut out = String::with_capacity(doc.element_count() * 8);
+    if options.declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if options.pretty {
+            out.push('\n');
+        }
+    }
+    write_node(doc, doc.root(), options, 0, &mut out);
+    if options.pretty {
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes `doc` compactly (no declaration, no indentation).
+pub fn to_string(doc: &Document) -> String {
+    write_document(doc, WriteOptions::default())
+}
+
+fn write_node(doc: &Document, id: NodeId, options: WriteOptions, level: usize, out: &mut String) {
+    let name = doc.name(id);
+    let node = doc.node(id);
+    let has_children = node.first_child.is_some();
+    let has_text = node.text_bytes > 0;
+
+    if options.pretty {
+        if level > 0 {
+            out.push('\n');
+        }
+        for _ in 0..level {
+            out.push_str("  ");
+        }
+    }
+    out.push('<');
+    out.push_str(name);
+    if !has_children && !has_text {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    if has_text {
+        for _ in 0..node.text_bytes {
+            out.push('x');
+        }
+    }
+    for child in doc.children(id) {
+        write_node(doc, child, options, level + 1, out);
+    }
+    if options.pretty && has_children {
+        out.push('\n');
+        for _ in 0..level {
+            out.push_str("  ");
+        }
+    }
+    out.push_str("</");
+    out.push_str(name);
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{Document, DocumentBuilder};
+
+    #[test]
+    fn roundtrip_compact() {
+        let original = "<a><b/><c><d/></c></a>";
+        let doc = Document::parse_str(original).unwrap();
+        let text = to_string(&doc);
+        assert_eq!(text, original);
+        let reparsed = Document::parse_str(&text).unwrap();
+        assert!(doc.structurally_equal(&reparsed));
+    }
+
+    #[test]
+    fn text_is_materialized_as_filler() {
+        let doc = Document::parse_str("<a>hello</a>").unwrap();
+        let text = to_string(&doc);
+        assert_eq!(text, "<a>xxxxx</a>");
+    }
+
+    #[test]
+    fn declaration_and_pretty() {
+        let doc = Document::parse_str("<a><b/></a>").unwrap();
+        let text = write_document(
+            &doc,
+            WriteOptions {
+                declaration: true,
+                pretty: true,
+            },
+        );
+        assert!(text.starts_with("<?xml"));
+        assert!(text.contains("\n  <b/>"));
+        let reparsed = Document::parse_str(&text).unwrap();
+        assert!(doc.structurally_equal(&reparsed));
+    }
+
+    #[test]
+    fn roundtrip_builder_document() {
+        let mut b = DocumentBuilder::new();
+        b.start_element("root");
+        for _ in 0..3 {
+            b.start_element("item");
+            b.start_element("name");
+            b.text_len(4);
+            b.end_element();
+            b.end_element();
+        }
+        b.end_element();
+        let doc = b.finish().unwrap();
+        let text = to_string(&doc);
+        let reparsed = Document::parse_str(&text).unwrap();
+        assert!(doc.structurally_equal(&reparsed));
+        assert_eq!(reparsed.element_count(), 7);
+    }
+
+    #[test]
+    fn pretty_roundtrip_preserves_structure() {
+        let doc = Document::parse_str("<r><a><b/><c/></a><d/></r>").unwrap();
+        let pretty = write_document(
+            &doc,
+            WriteOptions {
+                declaration: false,
+                pretty: true,
+            },
+        );
+        let reparsed = Document::parse_str(&pretty).unwrap();
+        assert!(doc.structurally_equal(&reparsed));
+    }
+}

@@ -1,0 +1,304 @@
+//! Abstract syntax for the structural path expression language.
+//!
+//! A [`PathExpr`] is an absolute path: a non-empty list of [`Step`]s, each
+//! carrying an [`Axis`] (how the step relates to the previous one), a
+//! [`NodeTest`] (name or wildcard), and zero or more branching predicates.
+//! A predicate is itself a *relative* [`PathExpr`] evaluated from the
+//! context of its step (its first step's axis indicates `/` or `//`).
+
+use std::fmt;
+
+/// The axis connecting a location step to its context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// The `/` axis: matches children of the context node.
+    Child,
+    /// The `//` axis: matches descendants (at any depth ≥ 1) of the
+    /// context node.
+    Descendant,
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::Child => write!(f, "/"),
+            Axis::Descendant => write!(f, "//"),
+        }
+    }
+}
+
+/// The node test of a location step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeTest {
+    /// A name test: matches elements with exactly this name.
+    Name(String),
+    /// The wildcard `*`: matches elements with any name.
+    Wildcard,
+}
+
+impl NodeTest {
+    /// Returns the element name if this is a name test.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            NodeTest::Name(n) => Some(n),
+            NodeTest::Wildcard => None,
+        }
+    }
+
+    /// Returns `true` if this test matches the given element name.
+    pub fn matches(&self, element_name: &str) -> bool {
+        match self {
+            NodeTest::Name(n) => n == element_name,
+            NodeTest::Wildcard => true,
+        }
+    }
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Name(n) => write!(f, "{n}"),
+            NodeTest::Wildcard => write!(f, "*"),
+        }
+    }
+}
+
+/// One location step: axis, node test, and branching predicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// How this step relates to the previous step (or to the root for the
+    /// first step of an absolute path).
+    pub axis: Axis,
+    /// The node test.
+    pub test: NodeTest,
+    /// Branching predicates, each a relative path expression.
+    pub predicates: Vec<PathExpr>,
+}
+
+impl Step {
+    /// Creates a step with no predicates.
+    pub fn new(axis: Axis, test: NodeTest) -> Self {
+        Step {
+            axis,
+            test,
+            predicates: Vec::new(),
+        }
+    }
+
+    /// Creates a `/name` step.
+    pub fn child(name: impl Into<String>) -> Self {
+        Step::new(Axis::Child, NodeTest::Name(name.into()))
+    }
+
+    /// Creates a `//name` step.
+    pub fn descendant(name: impl Into<String>) -> Self {
+        Step::new(Axis::Descendant, NodeTest::Name(name.into()))
+    }
+
+    /// Adds a predicate and returns the modified step (builder style).
+    pub fn with_predicate(mut self, pred: PathExpr) -> Self {
+        self.predicates.push(pred);
+        self
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.axis, self.test)?;
+        for p in &self.predicates {
+            write!(f, "[{}]", p.display_relative())?;
+        }
+        Ok(())
+    }
+}
+
+/// A path expression: a non-empty sequence of steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathExpr {
+    /// The location steps in order.
+    pub steps: Vec<Step>,
+}
+
+impl PathExpr {
+    /// Creates a path from steps. Panics if `steps` is empty — an empty
+    /// path expression is not representable in the language.
+    pub fn new(steps: Vec<Step>) -> Self {
+        assert!(!steps.is_empty(), "a path expression must have at least one step");
+        PathExpr { steps }
+    }
+
+    /// Builds a simple path `/s1/s2/.../sn` from names.
+    pub fn simple<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let steps: Vec<Step> = names.into_iter().map(|n| Step::child(n)).collect();
+        PathExpr::new(steps)
+    }
+
+    /// Number of location steps (spine length, not counting predicates).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Always `false`: path expressions are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total number of node tests including those inside predicates.
+    pub fn node_test_count(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| 1 + s.predicates.iter().map(PathExpr::node_test_count).sum::<usize>())
+            .sum()
+    }
+
+    /// Maximum number of predicates on any single step (the paper's MBP
+    /// dimension of a workload).
+    pub fn max_predicates_per_step(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| {
+                let own = s.predicates.len();
+                let nested = s
+                    .predicates
+                    .iter()
+                    .map(PathExpr::max_predicates_per_step)
+                    .max()
+                    .unwrap_or(0);
+                own.max(nested)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Returns `true` if any step (including inside predicates) uses the
+    /// descendant axis.
+    pub fn has_descendant_axis(&self) -> bool {
+        self.steps.iter().any(|s| {
+            s.axis == Axis::Descendant || s.predicates.iter().any(PathExpr::has_descendant_axis)
+        })
+    }
+
+    /// Returns `true` if any step (including inside predicates) uses a
+    /// wildcard node test.
+    pub fn has_wildcard(&self) -> bool {
+        self.steps.iter().any(|s| {
+            s.test == NodeTest::Wildcard || s.predicates.iter().any(PathExpr::has_wildcard)
+        })
+    }
+
+    /// Returns `true` if any step carries a predicate.
+    pub fn has_predicates(&self) -> bool {
+        self.steps.iter().any(|s| !s.predicates.is_empty())
+    }
+
+    /// Renders the path without a leading axis on the first step when that
+    /// axis is `/` — the form used inside predicates (`[shipping]` rather
+    /// than `[/shipping]`).
+    pub fn display_relative(&self) -> String {
+        let mut out = String::new();
+        for (i, step) in self.steps.iter().enumerate() {
+            if i == 0 && step.axis == Axis::Child {
+                out.push_str(&format!("{}", step.test));
+                for p in &step.predicates {
+                    out.push_str(&format!("[{}]", p.display_relative()));
+                }
+            } else {
+                out.push_str(&step.to_string());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for step in &self.steps {
+            write!(f, "{step}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_simple() {
+        let p = PathExpr::simple(["a", "b", "c"]);
+        assert_eq!(p.to_string(), "/a/b/c");
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn display_with_predicate_and_descendant() {
+        let pred = PathExpr::simple(["shipping"]);
+        let p = PathExpr::new(vec![
+            Step::descendant("regions"),
+            Step::child("item").with_predicate(pred),
+            Step::child("location"),
+        ]);
+        assert_eq!(p.to_string(), "//regions/item[shipping]/location");
+    }
+
+    #[test]
+    fn node_test_count_includes_predicates() {
+        let pred = PathExpr::simple(["x", "y"]);
+        let p = PathExpr::new(vec![Step::child("a").with_predicate(pred), Step::child("b")]);
+        assert_eq!(p.node_test_count(), 4);
+    }
+
+    #[test]
+    fn max_predicates_per_step() {
+        let p = PathExpr::new(vec![
+            Step::child("a")
+                .with_predicate(PathExpr::simple(["x"]))
+                .with_predicate(PathExpr::simple(["y"])),
+            Step::child("b"),
+        ]);
+        assert_eq!(p.max_predicates_per_step(), 2);
+        assert_eq!(PathExpr::simple(["a"]).max_predicates_per_step(), 0);
+    }
+
+    #[test]
+    fn feature_detection() {
+        let sp = PathExpr::simple(["a", "b"]);
+        assert!(!sp.has_descendant_axis());
+        assert!(!sp.has_wildcard());
+        assert!(!sp.has_predicates());
+
+        let cp = PathExpr::new(vec![
+            Step::descendant("a"),
+            Step::new(Axis::Child, NodeTest::Wildcard),
+        ]);
+        assert!(cp.has_descendant_axis());
+        assert!(cp.has_wildcard());
+    }
+
+    #[test]
+    fn wildcard_matches_everything() {
+        assert!(NodeTest::Wildcard.matches("anything"));
+        assert!(NodeTest::Name("a".into()).matches("a"));
+        assert!(!NodeTest::Name("a".into()).matches("b"));
+        assert_eq!(NodeTest::Name("a".into()).name(), Some("a"));
+        assert_eq!(NodeTest::Wildcard.name(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_path_panics() {
+        PathExpr::new(vec![]);
+    }
+
+    #[test]
+    fn relative_display_strips_leading_slash() {
+        let p = PathExpr::simple(["a", "b"]);
+        assert_eq!(p.display_relative(), "a/b");
+        let p2 = PathExpr::new(vec![Step::descendant("a")]);
+        assert_eq!(p2.display_relative(), "//a");
+    }
+}

@@ -1,0 +1,208 @@
+//! The paper's query taxonomy (Section 2.1) and query recursion level.
+//!
+//! * **Simple path (SP)** — a linear path with only `/` axes and no
+//!   predicates, e.g. `/a/c/s/t`.
+//! * **Branching path (BP)** — contains branching predicates but still only
+//!   `/` axes, e.g. `/a/c[s]/t`.
+//! * **Complex path (CP)** — contains `//` axes and/or wildcards (and
+//!   possibly predicates), e.g. `//c/s[//p]/t` or `/a/*/t`.
+//!
+//! A path expression is **recursive** with respect to a document when an
+//! element of the document could match more than one of its node tests
+//! (Definition 2); structurally that requires `//` axes, either with a
+//! repeated name test or with the `//*//*` wildcard pattern. The **query
+//! recursion level (QRL)** mirrors the document-side PRL: the maximum
+//! number of occurrences of the same descendant-axis node test along any
+//! root-to-leaf path of the query tree, minus one.
+
+use crate::ast::{Axis, NodeTest, PathExpr, Step};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The workload class of a path expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// Linear path, `/` axes only, no predicates.
+    SimplePath,
+    /// Predicates present, but only `/` axes and no wildcards.
+    BranchingPath,
+    /// Uses `//` axes and/or wildcards.
+    ComplexPath,
+}
+
+impl fmt::Display for QueryClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryClass::SimplePath => write!(f, "SP"),
+            QueryClass::BranchingPath => write!(f, "BP"),
+            QueryClass::ComplexPath => write!(f, "CP"),
+        }
+    }
+}
+
+impl PathExpr {
+    /// Classifies this expression per the paper's taxonomy.
+    pub fn classify(&self) -> QueryClass {
+        if self.has_descendant_axis() || self.has_wildcard() {
+            QueryClass::ComplexPath
+        } else if self.has_predicates() {
+            QueryClass::BranchingPath
+        } else {
+            QueryClass::SimplePath
+        }
+    }
+
+    /// Returns `true` if the expression is *potentially recursive*
+    /// (Definition 2): some document element could match more than one of
+    /// its node tests. Structurally this requires two descendant-axis
+    /// steps along one root-to-leaf query path whose node tests can match
+    /// the same element — identical names, two wildcards, or a wildcard
+    /// paired with any name test.
+    pub fn is_potentially_recursive(&self) -> bool {
+        self.recursion_analysis().overlapping
+    }
+
+    /// Query recursion level (QRL): the maximum number of occurrences of
+    /// the same descendant-axis node test along any root-to-leaf path of
+    /// the query tree, minus one.
+    pub fn query_recursion_level(&self) -> usize {
+        self.recursion_analysis().max_same_test.saturating_sub(1)
+    }
+
+    fn recursion_analysis(&self) -> RecursionAnalysis {
+        fn walk(steps: &[Step], state: &mut WalkState, out: &mut RecursionAnalysis) {
+            let Some((step, rest)) = steps.split_first() else {
+                return;
+            };
+            let mut bumped_name: Option<String> = None;
+            let mut bumped_wildcard = false;
+            if step.axis == Axis::Descendant {
+                match &step.test {
+                    NodeTest::Name(n) => {
+                        let prior = state.name_counts.get(n).copied().unwrap_or(0);
+                        if prior >= 1 || state.wildcards >= 1 {
+                            out.overlapping = true;
+                        }
+                        let c = state.name_counts.entry(n.clone()).or_insert(0);
+                        *c += 1;
+                        out.max_same_test = out.max_same_test.max(*c);
+                        bumped_name = Some(n.clone());
+                    }
+                    NodeTest::Wildcard => {
+                        if state.wildcards >= 1 || state.name_steps >= 1 {
+                            out.overlapping = true;
+                        }
+                        state.wildcards += 1;
+                        out.max_same_test = out.max_same_test.max(state.wildcards);
+                        bumped_wildcard = true;
+                    }
+                }
+                if let NodeTest::Name(_) = &step.test {
+                    state.name_steps += 1;
+                }
+            }
+            // Predicates branch off the current node: each predicate forms
+            // its own root-to-leaf extension of the current path.
+            for pred in &step.predicates {
+                walk(&pred.steps, state, out);
+            }
+            walk(rest, state, out);
+            if let Some(n) = bumped_name {
+                if let Some(c) = state.name_counts.get_mut(&n) {
+                    *c -= 1;
+                }
+                state.name_steps -= 1;
+            }
+            if bumped_wildcard {
+                state.wildcards -= 1;
+            }
+        }
+        let mut state = WalkState::default();
+        let mut out = RecursionAnalysis::default();
+        walk(&self.steps, &mut state, &mut out);
+        out
+    }
+}
+
+/// Running per-path state for the recursion analysis walk.
+#[derive(Debug, Default)]
+struct WalkState {
+    /// Occurrences of each name test with a descendant axis on the current
+    /// root-to-leaf path.
+    name_counts: HashMap<String, usize>,
+    /// Number of descendant-axis name-test steps on the current path.
+    name_steps: usize,
+    /// Number of descendant-axis wildcard steps on the current path.
+    wildcards: usize,
+}
+
+/// Output of the recursion analysis walk.
+#[derive(Debug, Default)]
+struct RecursionAnalysis {
+    /// Maximum number of identical descendant-axis node tests on one path.
+    max_same_test: usize,
+    /// Whether two descendant-axis steps on one path could match the same
+    /// element.
+    overlapping: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn classify_simple() {
+        assert_eq!(parse("/a/b/c").unwrap().classify(), QueryClass::SimplePath);
+    }
+
+    #[test]
+    fn classify_branching() {
+        assert_eq!(parse("/a/b[c]/d").unwrap().classify(), QueryClass::BranchingPath);
+        assert_eq!(parse("/a[b][c]").unwrap().classify(), QueryClass::BranchingPath);
+    }
+
+    #[test]
+    fn classify_complex() {
+        assert_eq!(parse("//a/b").unwrap().classify(), QueryClass::ComplexPath);
+        assert_eq!(parse("/a/*/b").unwrap().classify(), QueryClass::ComplexPath);
+        assert_eq!(parse("/a/b[//c]").unwrap().classify(), QueryClass::ComplexPath);
+    }
+
+    #[test]
+    fn display_classes() {
+        assert_eq!(QueryClass::SimplePath.to_string(), "SP");
+        assert_eq!(QueryClass::BranchingPath.to_string(), "BP");
+        assert_eq!(QueryClass::ComplexPath.to_string(), "CP");
+    }
+
+    #[test]
+    fn recursion_levels() {
+        // From the paper: //s//s is recursive.
+        assert_eq!(parse("//s//s").unwrap().query_recursion_level(), 1);
+        assert!(parse("//s//s").unwrap().is_potentially_recursive());
+        // Simple and branching paths can never be recursive.
+        assert_eq!(parse("/a/s/s").unwrap().query_recursion_level(), 0);
+        assert!(!parse("/a/s/s").unwrap().is_potentially_recursive());
+        // //*//* is recursive even on non-recursive documents.
+        assert!(parse("//*//*").unwrap().is_potentially_recursive());
+        // A single descendant step is not recursive.
+        assert!(!parse("//a/b").unwrap().is_potentially_recursive());
+        // Deeper repetition raises the level.
+        assert_eq!(parse("//s//s//s").unwrap().query_recursion_level(), 2);
+    }
+
+    #[test]
+    fn recursion_in_predicates_counts() {
+        // The predicate extends the rooted path in the query tree.
+        assert_eq!(parse("//s[//s]").unwrap().query_recursion_level(), 1);
+        // Two predicates on different branches do not stack.
+        assert_eq!(parse("//a[//s][//s]").unwrap().query_recursion_level(), 0);
+    }
+
+    #[test]
+    fn wildcard_interacts_with_names() {
+        // //* followed by //s: the wildcard could match an s element.
+        assert!(parse("//*//s").unwrap().is_potentially_recursive());
+    }
+}

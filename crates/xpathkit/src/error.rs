@@ -1,0 +1,51 @@
+//! Parse errors for path expressions.
+
+use std::fmt;
+
+/// Result alias for path-expression parsing.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+/// An error encountered while tokenizing or parsing a path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Character offset in the input where the error was detected.
+    pub offset: usize,
+}
+
+impl ParseError {
+    /// Creates a new parse error.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "path expression error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ParseError::new("unexpected token", 4);
+        assert!(e.to_string().contains("offset 4"));
+        assert!(e.to_string().contains("unexpected token"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<ParseError>();
+    }
+}

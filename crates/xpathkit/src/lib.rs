@@ -1,0 +1,40 @@
+//! # xpathkit — the structural XPath subset used by XSEED
+//!
+//! The paper estimates cardinalities for *structural* path queries: location
+//! steps over the child (`/`) and descendant (`//`) axes with name tests,
+//! wildcards (`*`), and branching predicates (`[...]`) whose contents are
+//! themselves relative structural paths. This crate implements that
+//! language from scratch:
+//!
+//! * [`lexer`] — tokenizer for path expression strings,
+//! * [`parser`] — recursive-descent parser producing an [`ast::PathExpr`],
+//! * [`ast`] — the abstract syntax: steps, axes, node tests, predicates,
+//! * [`classify`] — the paper's query taxonomy (simple / branching /
+//!   complex path expressions, Section 2.1) and query recursion level,
+//! * [`query_tree`] — conversion of a parsed expression into the query
+//!   tree (tree pattern) consumed by the matcher (Algorithm 3).
+//!
+//! ```
+//! use xpathkit::parse;
+//! use xpathkit::classify::QueryClass;
+//!
+//! let q = parse("//regions/australia/item[shipping]/location").unwrap();
+//! assert_eq!(q.classify(), QueryClass::ComplexPath);
+//! assert_eq!(q.to_string(), "//regions/australia/item[shipping]/location");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod classify;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod query_tree;
+
+pub use ast::{Axis, NodeTest, PathExpr, Step};
+pub use classify::QueryClass;
+pub use error::{ParseError, Result};
+pub use parser::parse;
+pub use query_tree::{QueryTree, QueryTreeNode, QtnId};

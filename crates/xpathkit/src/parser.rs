@@ -1,0 +1,264 @@
+//! Recursive-descent parser for structural path expressions.
+//!
+//! Grammar (EBNF):
+//!
+//! ```text
+//! path       := step+
+//! step       := axis nodetest predicate*
+//! axis       := "/" | "//"
+//! nodetest   := NAME | "*"
+//! predicate  := "[" rel_path "]"
+//! rel_path   := rel_first step*          (first step may omit the axis,
+//! rel_first  := axis? nodetest predicate* in which case it defaults to "/")
+//! ```
+//!
+//! An absolute path must start with `/` or `//`. Inside predicates the
+//! leading axis is optional and defaults to the child axis, matching the
+//! paper's notation (`item[shipping]/location`).
+
+use crate::ast::{Axis, NodeTest, PathExpr, Step};
+use crate::error::{ParseError, Result};
+use crate::lexer::{tokenize, SpannedToken, Token};
+
+/// Parses an absolute path expression such as
+/// `//regions/australia/item[shipping]/location`.
+pub fn parse(input: &str) -> Result<PathExpr> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser {
+        tokens: &tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
+    let expr = p.parse_absolute_path()?;
+    if p.pos != p.tokens.len() {
+        return Err(ParseError::new(
+            "trailing tokens after path expression",
+            p.current_offset(),
+        ));
+    }
+    Ok(expr)
+}
+
+struct Parser<'a> {
+    tokens: &'a [SpannedToken],
+    pos: usize,
+    input_len: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn current_offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.offset)
+            .unwrap_or(self.input_len)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.tokens.get(self.pos).map(|t| &t.token);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn parse_absolute_path(&mut self) -> Result<PathExpr> {
+        let mut steps = Vec::new();
+        // The first step must begin with an explicit axis.
+        match self.peek() {
+            Some(Token::Slash) | Some(Token::DoubleSlash) => {}
+            _ => {
+                return Err(ParseError::new(
+                    "an absolute path must start with '/' or '//'",
+                    self.current_offset(),
+                ));
+            }
+        }
+        while matches!(self.peek(), Some(Token::Slash) | Some(Token::DoubleSlash)) {
+            steps.push(self.parse_step()?);
+        }
+        if steps.is_empty() {
+            return Err(ParseError::new("empty path expression", self.current_offset()));
+        }
+        Ok(PathExpr::new(steps))
+    }
+
+    /// Parses a step that begins with an explicit axis token.
+    fn parse_step(&mut self) -> Result<Step> {
+        let axis = match self.bump() {
+            Some(Token::Slash) => Axis::Child,
+            Some(Token::DoubleSlash) => Axis::Descendant,
+            _ => unreachable!("parse_step called without a leading axis token"),
+        };
+        let test = self.parse_node_test()?;
+        let predicates = self.parse_predicates()?;
+        Ok(Step {
+            axis,
+            test,
+            predicates,
+        })
+    }
+
+    fn parse_node_test(&mut self) -> Result<NodeTest> {
+        match self.bump() {
+            Some(Token::Name(n)) => Ok(NodeTest::Name(n.clone())),
+            Some(Token::Star) => Ok(NodeTest::Wildcard),
+            _ => Err(ParseError::new(
+                "expected an element name or '*'",
+                self.current_offset(),
+            )),
+        }
+    }
+
+    fn parse_predicates(&mut self) -> Result<Vec<PathExpr>> {
+        let mut predicates = Vec::new();
+        while matches!(self.peek(), Some(Token::LBracket)) {
+            self.bump();
+            let pred = self.parse_relative_path()?;
+            match self.bump() {
+                Some(Token::RBracket) => predicates.push(pred),
+                _ => {
+                    return Err(ParseError::new(
+                        "expected ']' to close predicate",
+                        self.current_offset(),
+                    ))
+                }
+            }
+        }
+        Ok(predicates)
+    }
+
+    /// Parses the relative path inside a predicate. The first step may
+    /// omit its axis (defaulting to the child axis).
+    fn parse_relative_path(&mut self) -> Result<PathExpr> {
+        let mut steps = Vec::new();
+        let first = match self.peek() {
+            Some(Token::Slash) | Some(Token::DoubleSlash) => self.parse_step()?,
+            Some(Token::Name(_)) | Some(Token::Star) => {
+                let test = self.parse_node_test()?;
+                let predicates = self.parse_predicates()?;
+                Step {
+                    axis: Axis::Child,
+                    test,
+                    predicates,
+                }
+            }
+            _ => {
+                return Err(ParseError::new(
+                    "expected a path inside predicate",
+                    self.current_offset(),
+                ))
+            }
+        };
+        steps.push(first);
+        while matches!(self.peek(), Some(Token::Slash) | Some(Token::DoubleSlash)) {
+            steps.push(self.parse_step()?);
+        }
+        Ok(PathExpr::new(steps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Axis, NodeTest};
+
+    #[test]
+    fn simple_path() {
+        let p = parse("/a/c/s/s/t").unwrap();
+        assert_eq!(p.len(), 5);
+        assert!(p.steps.iter().all(|s| s.axis == Axis::Child));
+        assert_eq!(p.to_string(), "/a/c/s/s/t");
+    }
+
+    #[test]
+    fn descendant_path() {
+        let p = parse("//s//s//p").unwrap();
+        assert_eq!(p.len(), 3);
+        assert!(p.steps.iter().all(|s| s.axis == Axis::Descendant));
+    }
+
+    #[test]
+    fn wildcard_steps() {
+        let p = parse("//*//*").unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.steps.iter().all(|s| s.test == NodeTest::Wildcard));
+    }
+
+    #[test]
+    fn paper_sample_query() {
+        let p = parse("//regions/australia/item[shipping]/location").unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.steps[2].predicates.len(), 1);
+        assert_eq!(p.to_string(), "//regions/australia/item[shipping]/location");
+    }
+
+    #[test]
+    fn nested_predicates() {
+        let p = parse("/a[b[c]/d]/e").unwrap();
+        assert_eq!(p.len(), 2);
+        let pred = &p.steps[0].predicates[0];
+        assert_eq!(pred.len(), 2);
+        assert_eq!(pred.steps[0].predicates.len(), 1);
+        assert_eq!(p.to_string(), "/a[b[c]/d]/e");
+    }
+
+    #[test]
+    fn multiple_predicates_per_step() {
+        let p = parse("/dblp/article[pages][publisher]/title").unwrap();
+        assert_eq!(p.steps[1].predicates.len(), 2);
+        assert_eq!(p.to_string(), "/dblp/article[pages][publisher]/title");
+    }
+
+    #[test]
+    fn predicate_with_descendant_axis() {
+        let p = parse("/a[//b]/c").unwrap();
+        assert_eq!(p.steps[0].predicates[0].steps[0].axis, Axis::Descendant);
+        assert_eq!(p.to_string(), "/a[//b]/c");
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        for q in [
+            "/a/b/c",
+            "//a//b",
+            "/a[b]/c",
+            "//site/regions/*[item]/name",
+            "/a[b/c][d]/e[f]",
+        ] {
+            let p = parse(q).unwrap();
+            assert_eq!(p.to_string(), q);
+            let p2 = parse(&p.to_string()).unwrap();
+            assert_eq!(p, p2);
+        }
+    }
+
+    #[test]
+    fn error_missing_leading_axis() {
+        assert!(parse("a/b").is_err());
+    }
+
+    #[test]
+    fn error_empty() {
+        assert!(parse("").is_err());
+        assert!(parse("/").is_err());
+    }
+
+    #[test]
+    fn error_unclosed_predicate() {
+        assert!(parse("/a[b").is_err());
+    }
+
+    #[test]
+    fn error_trailing_tokens() {
+        assert!(parse("/a]b").is_err());
+    }
+
+    #[test]
+    fn error_empty_predicate() {
+        assert!(parse("/a[]/b").is_err());
+    }
+}

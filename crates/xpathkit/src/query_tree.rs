@@ -1,0 +1,277 @@
+//! The query tree (tree-pattern) representation used by the matcher.
+//!
+//! A parsed [`PathExpr`] is linear text; the estimator (Algorithm 3 of the
+//! paper) works on its *query tree*: a rooted tree of query tree nodes
+//! (QTNs), one per node test, where the main path forms the **spine** and
+//! each predicate hangs off its step as a branch. The last spine node is
+//! the **result node** — the node whose matches are counted.
+//!
+//! The tree is stored as an arena ([`QueryTree`]) with stable [`QtnId`]s so
+//! that estimator state (output queues, match flags) can live in parallel
+//! vectors owned by the matcher rather than inside the query tree itself.
+
+use crate::ast::{Axis, NodeTest, PathExpr};
+use std::fmt;
+
+/// Index of a node within a [`QueryTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QtnId(pub u32);
+
+impl QtnId {
+    /// Raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for QtnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// One node of the query tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryTreeNode {
+    /// The node test this QTN must match.
+    pub test: NodeTest,
+    /// The axis connecting this QTN to its parent (for the root, the axis
+    /// of the first location step relative to the document root).
+    pub axis: Axis,
+    /// Parent QTN, `None` for the root.
+    pub parent: Option<QtnId>,
+    /// Children in the order predicates/spine were written. The spine
+    /// child (if any) is listed after the predicate children.
+    pub children: Vec<QtnId>,
+    /// `true` if this node lies on a predicate branch (it constrains the
+    /// match but its own matches are not returned).
+    pub is_predicate: bool,
+}
+
+/// An arena-allocated query tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryTree {
+    nodes: Vec<QueryTreeNode>,
+    root: QtnId,
+    result: QtnId,
+}
+
+impl QueryTree {
+    /// Builds the query tree of `expr`.
+    pub fn from_expr(expr: &PathExpr) -> Self {
+        let mut nodes: Vec<QueryTreeNode> = Vec::with_capacity(expr.node_test_count());
+        let (root, result) = build_spine(expr, None, false, &mut nodes);
+        QueryTree {
+            nodes,
+            root,
+            result,
+        }
+    }
+
+    /// The root QTN (corresponding to the first location step).
+    pub fn root(&self) -> QtnId {
+        self.root
+    }
+
+    /// The result QTN (last step of the main path).
+    pub fn result(&self) -> QtnId {
+        self.result
+    }
+
+    /// Number of QTNs.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the tree has no nodes (never the case for trees
+    /// built from a [`PathExpr`]).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node.
+    #[inline]
+    pub fn node(&self, id: QtnId) -> &QueryTreeNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Children of `id`.
+    pub fn children(&self, id: QtnId) -> &[QtnId] {
+        &self.node(id).children
+    }
+
+    /// Iterates over all QTN ids in creation (spine-then-predicate DFS)
+    /// order.
+    pub fn ids(&self) -> impl Iterator<Item = QtnId> {
+        (0..self.nodes.len() as u32).map(QtnId)
+    }
+
+    /// All QTNs on the result spine, root first.
+    pub fn spine(&self) -> Vec<QtnId> {
+        let mut rev = Vec::new();
+        let mut cur = Some(self.result);
+        while let Some(id) = cur {
+            rev.push(id);
+            cur = self.node(id).parent;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// The predicate children of `id` (children flagged `is_predicate`).
+    pub fn predicate_children(&self, id: QtnId) -> Vec<QtnId> {
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(|&c| self.node(c).is_predicate)
+            .collect()
+    }
+
+    /// The spine child of `id`, if `id` is on the spine and not the result
+    /// node.
+    pub fn spine_child(&self, id: QtnId) -> Option<QtnId> {
+        self.children(id)
+            .iter()
+            .copied()
+            .find(|&c| !self.node(c).is_predicate)
+    }
+
+    /// Returns the descendant QTN ids of `id` (not including `id`).
+    pub fn descendants(&self, id: QtnId) -> Vec<QtnId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<QtnId> = self.children(id).to_vec();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            stack.extend_from_slice(self.children(n));
+        }
+        out
+    }
+
+    /// Number of leaf QTNs.
+    pub fn leaf_count(&self) -> usize {
+        self.ids().filter(|&id| self.children(id).is_empty()).count()
+    }
+}
+
+/// Builds the chain of QTNs for `expr`, attaching the first step to
+/// `parent`. Returns `(first, last)` ids of the chain.
+fn build_spine(
+    expr: &PathExpr,
+    parent: Option<QtnId>,
+    is_predicate: bool,
+    nodes: &mut Vec<QueryTreeNode>,
+) -> (QtnId, QtnId) {
+    let mut first: Option<QtnId> = None;
+    let mut prev: Option<QtnId> = parent;
+    for step in &expr.steps {
+        let id = QtnId(nodes.len() as u32);
+        nodes.push(QueryTreeNode {
+            test: step.test.clone(),
+            axis: step.axis,
+            parent: prev,
+            children: Vec::new(),
+            is_predicate,
+        });
+        if let Some(p) = prev {
+            nodes[p.index()].children.push(id);
+        }
+        if first.is_none() {
+            first = Some(id);
+        }
+        // Predicates hang off this step as predicate branches.
+        for pred in &step.predicates {
+            build_spine(pred, Some(id), true, nodes);
+        }
+        prev = Some(id);
+    }
+    let first = first.expect("path expressions are non-empty");
+    (first, prev.expect("path expressions are non-empty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn simple_path_is_a_chain() {
+        let qt = QueryTree::from_expr(&parse("/a/b/c").unwrap());
+        assert_eq!(qt.len(), 3);
+        let spine = qt.spine();
+        assert_eq!(spine.len(), 3);
+        assert_eq!(qt.root(), spine[0]);
+        assert_eq!(qt.result(), spine[2]);
+        assert_eq!(qt.node(qt.root()).test, NodeTest::Name("a".into()));
+        assert_eq!(qt.node(qt.result()).test, NodeTest::Name("c".into()));
+        assert!(qt.ids().all(|id| !qt.node(id).is_predicate));
+    }
+
+    #[test]
+    fn predicates_become_branches() {
+        let qt = QueryTree::from_expr(&parse("/a/b[x][y]/c").unwrap());
+        assert_eq!(qt.len(), 5);
+        let spine = qt.spine();
+        assert_eq!(spine.len(), 3);
+        let b = spine[1];
+        assert_eq!(qt.children(b).len(), 3); // x, y, c
+        assert_eq!(qt.predicate_children(b).len(), 2);
+        assert_eq!(qt.spine_child(b), Some(spine[2]));
+        // The result node is c, not a predicate.
+        assert!(!qt.node(qt.result()).is_predicate);
+        assert_eq!(qt.node(qt.result()).test, NodeTest::Name("c".into()));
+    }
+
+    #[test]
+    fn nested_predicates() {
+        let qt = QueryTree::from_expr(&parse("/a[b[c]/d]/e").unwrap());
+        assert_eq!(qt.len(), 5);
+        // a has children: b (predicate), e (spine).
+        let a = qt.root();
+        assert_eq!(qt.children(a).len(), 2);
+        let preds = qt.predicate_children(a);
+        assert_eq!(preds.len(), 1);
+        let b = preds[0];
+        // b has children c (predicate of b inside the predicate path) and d.
+        assert_eq!(qt.children(b).len(), 2);
+        // Everything under the predicate branch is flagged as predicate.
+        for d in qt.descendants(b) {
+            assert!(qt.node(d).is_predicate);
+        }
+        assert!(qt.node(b).is_predicate);
+    }
+
+    #[test]
+    fn axes_preserved() {
+        let qt = QueryTree::from_expr(&parse("//a/b[//c]").unwrap());
+        assert_eq!(qt.node(qt.root()).axis, Axis::Descendant);
+        let spine = qt.spine();
+        assert_eq!(qt.node(spine[1]).axis, Axis::Child);
+        let pred = qt.predicate_children(spine[1])[0];
+        assert_eq!(qt.node(pred).axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn result_of_branching_path_ending_in_predicate() {
+        // /a/b[c] — the result node is b (the predicate only filters).
+        let qt = QueryTree::from_expr(&parse("/a/b[c]").unwrap());
+        assert_eq!(qt.node(qt.result()).test, NodeTest::Name("b".into()));
+        assert_eq!(qt.leaf_count(), 1);
+    }
+
+    #[test]
+    fn descendants_and_leaves() {
+        let qt = QueryTree::from_expr(&parse("/a/b[x][y]/c").unwrap());
+        let a = qt.root();
+        assert_eq!(qt.descendants(a).len(), 4);
+        assert_eq!(qt.leaf_count(), 3); // x, y, c
+        assert!(!qt.is_empty());
+    }
+
+    #[test]
+    fn wildcard_node() {
+        let qt = QueryTree::from_expr(&parse("/a/*/c").unwrap());
+        let spine = qt.spine();
+        assert_eq!(qt.node(spine[1]).test, NodeTest::Wildcard);
+    }
+}

@@ -1,0 +1,67 @@
+//! Self-tuning via query feedback (Figure 1's feedback arrow).
+//!
+//! Instead of pre-computing the hyper-edge table, the optimizer can feed
+//! the actual cardinalities observed after execution back into the
+//! synopsis. This example runs a feedback loop on a correlated document
+//! and shows the estimation error shrinking query by query.
+//!
+//! Run with: `cargo run --release --example query_feedback`
+
+use xseed::prelude::*;
+
+fn main() {
+    // The Figure 4 style document: strong parent/sibling correlations that
+    // the bare kernel cannot capture.
+    let doc = xmlkit::samples::figure4_document();
+    let storage = NokStorage::from_document(&doc);
+    let evaluator = Evaluator::new(&storage);
+    let mut synopsis = XseedSynopsis::build(&doc, XseedConfig::default());
+
+    let queries = [
+        "/a/b/d/e",
+        "/a/c/d/e",
+        "/a/b/d/f",
+        "/a/c/d/f",
+        "/a/b/d[f]/e",
+        "/a/c/d[f]/e",
+    ];
+
+    println!("Round 1: kernel-only estimates (no feedback yet)");
+    let mut first_round_error = 0.0;
+    for text in queries {
+        let query = parse_query(text).unwrap();
+        let estimate = synopsis.estimate(&query);
+        let actual = evaluator.count(&query);
+        first_round_error += (estimate - actual as f64).abs();
+        println!("  {text:<14} estimate {estimate:>8.2}   actual {actual:>4}");
+
+        // The optimizer executed the query; feed the truth back. For the
+        // branching queries we also pass the unpredicated base cardinality
+        // so the correlated backward selectivity can be derived.
+        let base = match text {
+            "/a/b/d[f]/e" => Some(evaluator.count(&parse_query("/a/b/d/e").unwrap())),
+            "/a/c/d[f]/e" => Some(evaluator.count(&parse_query("/a/c/d/e").unwrap())),
+            _ => None,
+        };
+        synopsis.record_feedback(&query, actual, base);
+    }
+
+    println!("\nRound 2: the same queries after feedback");
+    let mut second_round_error = 0.0;
+    for text in queries {
+        let query = parse_query(text).unwrap();
+        let estimate = synopsis.estimate(&query);
+        let actual = evaluator.count(&query);
+        second_round_error += (estimate - actual as f64).abs();
+        println!("  {text:<14} estimate {estimate:>8.2}   actual {actual:>4}");
+    }
+
+    println!(
+        "\nTotal absolute error: {first_round_error:.2} before feedback, {second_round_error:.2} after."
+    );
+    println!(
+        "HET now holds {} entries ({} bytes resident).",
+        synopsis.het().map(|h| h.len()).unwrap_or(0),
+        synopsis.het_resident_bytes()
+    );
+}

@@ -1,0 +1,43 @@
+//! Quickstart: build an XSEED synopsis for a small document and compare
+//! its estimates with exact answers.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use xseed::prelude::*;
+
+fn main() {
+    // The article document of the paper's Example 1 / Figure 2(a).
+    let doc = xmlkit::samples::figure2_document();
+    println!(
+        "Document: {} elements, {} distinct names",
+        doc.element_count(),
+        doc.names().len()
+    );
+
+    // Build the kernel-only synopsis — one SAX pass, a few hundred bytes.
+    let synopsis = XseedSynopsis::build(&doc, XseedConfig::default());
+    println!(
+        "XSEED kernel: {} bytes\n{}",
+        synopsis.kernel_size_bytes(),
+        synopsis.kernel()
+    );
+
+    // Exact evaluation for comparison.
+    let storage = NokStorage::from_document(&doc);
+    let evaluator = Evaluator::new(&storage);
+
+    let queries = [
+        "/a/c/s/s/t", // Example 3 of the paper
+        "/a/c/s",
+        "//s//s//p", // Observation 3
+        "/a/c/s[t]/p",
+        "//p",
+    ];
+    println!("{:<16} {:>10} {:>10}", "query", "estimate", "actual");
+    for text in queries {
+        let query = parse_query(text).expect("query parses");
+        let estimate = synopsis.estimate(&query);
+        let actual = evaluator.count(&query);
+        println!("{text:<16} {estimate:>10.2} {actual:>10}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Integration tests reproducing the worked examples of the paper
+//! end-to-end through the public facade API.
+
+use xseed::prelude::*;
+
+/// Example 2 / Figure 2(b): the kernel built from the Figure 2(a) document
+/// carries exactly the edge labels printed in the paper.
+#[test]
+fn example2_kernel_labels() {
+    let doc = xseed::xmlkit::samples::figure2_document();
+    let synopsis = XseedSynopsis::build(&doc, XseedConfig::default());
+    let rendered = synopsis.kernel().to_string();
+    for expected in [
+        "a -> c (1:2)",
+        "c -> s (2:5)",
+        "s -> s (0:0, 2:2, 1:2)",
+        "s -> p (5:9, 1:2, 2:3)",
+        "s -> t (2:2, 1:1)",
+    ] {
+        assert!(rendered.contains(expected), "kernel missing edge `{expected}`:\n{rendered}");
+    }
+}
+
+/// Example 3: the estimated cardinality of /a/c/s/s/t over the Figure 2
+/// kernel is 1, with the intermediate path cardinalities 1, 2, 5, 2.
+#[test]
+fn example3_estimation_walkthrough() {
+    let doc = xseed::xmlkit::samples::figure2_document();
+    let synopsis = XseedSynopsis::build(&doc, XseedConfig::default());
+    for (query, expected) in [
+        ("/a", 1.0),
+        ("/a/c", 2.0),
+        ("/a/c/s", 5.0),
+        ("/a/c/s/s", 2.0),
+        ("/a/c/s/s/t", 1.0),
+    ] {
+        let estimate = synopsis.estimate(&parse_query(query).unwrap());
+        assert!(
+            (estimate - expected).abs() < 1e-6,
+            "{query}: estimated {estimate}, expected {expected}"
+        );
+    }
+}
+
+/// Observation 3: the result count of //s//s//p equals the sum of the
+/// (s,p) child counts at recursion levels 1 and above — which is also the
+/// exact answer on the document.
+#[test]
+fn observation3_recursive_descendant_count() {
+    let doc = xseed::xmlkit::samples::figure2_document();
+    let synopsis = XseedSynopsis::build(&doc, XseedConfig::default());
+    let storage = NokStorage::from_document(&doc);
+    let evaluator = Evaluator::new(&storage);
+    let query = parse_query("//s//s//p").unwrap();
+    assert_eq!(evaluator.count(&query), 5);
+    assert!((synopsis.estimate(&query) - 5.0).abs() < 1e-6);
+}
+
+/// Examples 4 and 5: on a document with ancestor/sibling correlations, the
+/// kernel's independence assumptions produce errors, and HET entries for
+/// the affected paths repair them (Table 1's role).
+#[test]
+fn examples4_and_5_het_repairs_independence_errors() {
+    let doc = xseed::xmlkit::samples::figure4_document();
+    let storage = NokStorage::from_document(&doc);
+    let evaluator = Evaluator::new(&storage);
+    let queries = ["/a/b/d/e", "/a/c/d/f", "/a/b/d[f]/e"];
+
+    let bare = XseedSynopsis::build(&doc, XseedConfig::default());
+    let (with_het, _) = XseedSynopsis::build_with_het(
+        &doc,
+        XseedConfig::default().with_bsel_threshold(0.99),
+    );
+
+    let mut bare_error = 0.0;
+    let mut het_error = 0.0;
+    for text in queries {
+        let query = parse_query(text).unwrap();
+        let actual = evaluator.count(&query) as f64;
+        bare_error += (bare.estimate(&query) - actual).abs();
+        het_error += (with_het.estimate(&query) - actual).abs();
+    }
+    assert!(bare_error > 1.0, "the correlated document must fool the bare kernel");
+    assert!(
+        het_error < 0.25 * bare_error,
+        "HET error {het_error} should be far below kernel error {bare_error}"
+    );
+}
+
+/// Section 2.1: path and query recursion levels of the running examples.
+#[test]
+fn section21_recursion_definitions() {
+    let doc = xseed::xmlkit::samples::figure2_document();
+    let stats = DocumentStats::compute(&doc);
+    assert_eq!(stats.max_recursion_level, 2);
+
+    let recursive = parse_query("//s//s").unwrap();
+    assert!(recursive.is_potentially_recursive());
+    assert_eq!(recursive.classify(), QueryClass::ComplexPath);
+    let simple = parse_query("/a/c/s/s").unwrap();
+    assert!(!simple.is_potentially_recursive());
+    assert_eq!(simple.classify(), QueryClass::SimplePath);
+    let wildcard = parse_query("//*//*").unwrap();
+    assert!(wildcard.is_potentially_recursive());
+}
+
+/// The paper's sample CP query shape parses, classifies, and round-trips.
+#[test]
+fn section61_sample_query() {
+    let q = parse_query("//regions/australia/item[shipping]/location").unwrap();
+    assert_eq!(q.classify(), QueryClass::ComplexPath);
+    assert_eq!(q.to_string(), "//regions/australia/item[shipping]/location");
+}

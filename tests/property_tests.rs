@@ -1,0 +1,199 @@
+//! Property-based tests over randomly generated documents and queries,
+//! checking the invariants the synopsis design relies on.
+
+use proptest::prelude::*;
+use xseed::prelude::*;
+
+/// Strategy: a small random XML document described as a nested tree over a
+/// tiny alphabet (so recursion and repeated labels actually happen).
+fn arb_document() -> impl Strategy<Value = Document> {
+    // A tree of label indices with bounded depth/size.
+    let leaf = (0u8..5).prop_map(|l| Tree {
+        label: l,
+        children: vec![],
+    });
+    let tree = leaf.prop_recursive(4, 60, 5, |inner| {
+        ((0u8..5), prop::collection::vec(inner, 0..5)).prop_map(|(label, children)| Tree {
+            label,
+            children,
+        })
+    });
+    tree.prop_map(|t| {
+        let mut builder = xseed::xmlkit::tree::DocumentBuilder::new();
+        build(&t, &mut builder);
+        builder.finish().expect("generated tree is balanced")
+    })
+}
+
+#[derive(Debug, Clone)]
+struct Tree {
+    label: u8,
+    children: Vec<Tree>,
+}
+
+fn build(tree: &Tree, builder: &mut xseed::xmlkit::tree::DocumentBuilder) {
+    const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
+    builder.start_element(NAMES[tree.label as usize]);
+    for child in &tree.children {
+        build(child, builder);
+    }
+    builder.end_element();
+}
+
+/// Strategy: a random simple or descendant path over the same alphabet.
+fn arb_query() -> impl Strategy<Value = PathExpr> {
+    let step = (0u8..5, prop::bool::ANY, prop::bool::ANY);
+    prop::collection::vec(step, 1..5).prop_map(|steps| {
+        const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
+        let steps = steps
+            .into_iter()
+            .map(|(label, descendant, wildcard)| xseed::xpathkit::Step {
+                axis: if descendant {
+                    xseed::xpathkit::Axis::Descendant
+                } else {
+                    xseed::xpathkit::Axis::Child
+                },
+                test: if wildcard {
+                    xseed::xpathkit::NodeTest::Wildcard
+                } else {
+                    xseed::xpathkit::NodeTest::Name(NAMES[label as usize].to_string())
+                },
+                predicates: vec![],
+            })
+            .collect();
+        PathExpr::new(steps)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The XML writer and SAX parser round-trip every generated document.
+    #[test]
+    fn writer_parser_roundtrip(doc in arb_document()) {
+        let text = xseed::xmlkit::writer::to_string(&doc);
+        let reparsed = Document::parse_str(&text).unwrap();
+        prop_assert!(doc.structurally_equal(&reparsed));
+    }
+
+    /// Kernel construction is insensitive to the construction path
+    /// (in-memory document vs. SAX text).
+    #[test]
+    fn kernel_construction_paths_agree(doc in arb_document()) {
+        let text = xseed::xmlkit::writer::to_string(&doc);
+        let from_doc = xseed::xseed_core::KernelBuilder::from_document(&doc);
+        let from_text = xseed::xseed_core::KernelBuilder::from_xml_str(&text).unwrap();
+        prop_assert_eq!(from_doc.to_string(), from_text.to_string());
+    }
+
+    /// The kernel's total element count and per-vertex cardinalities match
+    /// the document exactly (they are exact counters, not estimates).
+    #[test]
+    fn kernel_counts_are_exact(doc in arb_document()) {
+        let kernel = xseed::xseed_core::KernelBuilder::from_document(&doc);
+        prop_assert_eq!(kernel.element_count(), doc.element_count() as u64);
+        let hist = doc.label_histogram();
+        for (label, count) in hist.iter().enumerate() {
+            let label = xseed::xmlkit::names::LabelId(label as u32);
+            if let Some(vertex) = kernel.vertex_by_label(label) {
+                if Some(vertex) != kernel.root() {
+                    prop_assert_eq!(kernel.vertex_cardinality(vertex), *count as u64);
+                }
+            }
+        }
+    }
+
+    /// Kernel serialization round-trips.
+    #[test]
+    fn kernel_serialization_roundtrip(doc in arb_document()) {
+        let kernel = xseed::xseed_core::KernelBuilder::from_document(&doc);
+        let back = xseed::xseed_core::Kernel::deserialize(&kernel.serialize()).unwrap();
+        prop_assert_eq!(kernel.to_string(), back.to_string());
+        prop_assert_eq!(kernel.element_count(), back.element_count());
+    }
+
+    /// Estimates are always finite and non-negative, and simple rooted
+    /// label paths taken from the document itself are estimated exactly
+    /// when the synopsis carries a full HET.
+    #[test]
+    fn estimates_are_finite_and_simple_paths_exact(doc in arb_document(), query in arb_query()) {
+        let (synopsis, _) = XseedSynopsis::build_with_het(&doc, XseedConfig::default());
+        let estimate = synopsis.estimate(&query);
+        prop_assert!(estimate.is_finite());
+        prop_assert!(estimate >= 0.0);
+
+        let path_tree = PathTree::from_document(&doc);
+        for (expr, actual) in path_tree.all_simple_paths(doc.names()) {
+            let est = synopsis.estimate(&expr);
+            prop_assert!((est - actual as f64).abs() < 1e-6,
+                "{} estimated {} actual {}", expr, est, actual);
+        }
+    }
+
+    /// The exact evaluator agrees with the path tree on every rooted
+    /// simple path of the document.
+    #[test]
+    fn evaluator_agrees_with_path_tree(doc in arb_document()) {
+        let storage = NokStorage::from_document(&doc);
+        let evaluator = Evaluator::new(&storage);
+        let path_tree = PathTree::from_document(&doc);
+        for (expr, actual) in path_tree.all_simple_paths(doc.names()) {
+            prop_assert_eq!(evaluator.count(&expr), actual);
+        }
+    }
+
+    /// Estimation over a wildcard descendant query is always finite and
+    /// at least 1 (the root always matches). When the document is flat
+    /// (depth ≤ 2) the kernel admits no false-positive paths and the
+    /// estimate equals the element count exactly; deeper documents may
+    /// deviate because the label-split graph can contain cycles that do
+    /// not correspond to document paths (Observation 1).
+    #[test]
+    fn wildcard_descendant_counts_every_element(doc in arb_document()) {
+        let synopsis = XseedSynopsis::build(&doc, XseedConfig::default());
+        let q = parse_query("//*").unwrap();
+        let est = synopsis.estimate(&q);
+        prop_assert!(est.is_finite());
+        prop_assert!(est >= 1.0);
+        if doc.max_depth() <= 2 {
+            prop_assert!((est - doc.element_count() as f64).abs() < 1e-6,
+                "flat-document //* estimate {} vs {}", est, doc.element_count());
+        }
+    }
+
+    /// Adding then removing a random subtree restores every edge statistic
+    /// and the element count (vertices introduced for brand-new labels may
+    /// remain as empty tombstones, so the comparison is on edges).
+    #[test]
+    fn add_remove_subtree_roundtrip(doc in arb_document(), subtree in arb_document()) {
+        let original = xseed::xseed_core::KernelBuilder::from_document(&doc);
+        let mut kernel = original.clone();
+        let root_name = doc.name(doc.root()).to_string();
+        kernel.add_subtree(&[root_name.as_str()], &subtree).unwrap();
+        kernel.remove_subtree(&[root_name.as_str()], &subtree).unwrap();
+        let edges_of = |k: &xseed::xseed_core::Kernel| {
+            k.to_string().lines().skip(1).map(String::from).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(edges_of(&kernel), edges_of(&original));
+        prop_assert_eq!(kernel.element_count(), original.element_count());
+    }
+
+    /// Query parsing round-trips through Display for generated queries.
+    #[test]
+    fn query_display_parse_roundtrip(query in arb_query()) {
+        let text = query.to_string();
+        let reparsed = parse_query(&text).unwrap();
+        prop_assert_eq!(query, reparsed);
+    }
+
+    /// The exact evaluator never returns more matches for a query with an
+    /// extra predicate than for the same query without it.
+    #[test]
+    fn predicates_are_monotone(doc in arb_document()) {
+        let storage = NokStorage::from_document(&doc);
+        let evaluator = Evaluator::new(&storage);
+        let base = parse_query("//a/b").unwrap();
+        let constrained = parse_query("//a[c]/b").unwrap();
+        prop_assert!(evaluator.count(&constrained) <= evaluator.count(&base));
+    }
+}
