@@ -35,7 +35,11 @@ fn parse_args() -> Options {
         }
         i += 1;
     }
-    let scale = scale.unwrap_or(if quick { 0.2 } else { experiments::DEFAULT_SCALE });
+    let scale = scale.unwrap_or(if quick {
+        0.2
+    } else {
+        experiments::DEFAULT_SCALE
+    });
     Options {
         scale,
         quick,
@@ -92,7 +96,9 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: experiments <table2|table3|fig5|fig6|sec64|all> [--scale S] [--quick]");
+            eprintln!(
+                "usage: experiments <table2|table3|fig5|fig6|sec64|all> [--scale S] [--quick]"
+            );
             std::process::exit(2);
         }
     }

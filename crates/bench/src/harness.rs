@@ -151,7 +151,10 @@ pub fn build_xseed_with_het(
 }
 
 /// Builds a TreeSketch synopsis under `budget_bytes`, timing construction.
-pub fn build_treesketch(prepared: &PreparedDataset, budget_bytes: Option<usize>) -> Timed<TreeSketch> {
+pub fn build_treesketch(
+    prepared: &PreparedDataset,
+    budget_bytes: Option<usize>,
+) -> Timed<TreeSketch> {
     timed(|| TreeSketch::build(&prepared.doc, budget_bytes))
 }
 

@@ -50,14 +50,22 @@ impl ErrorMetrics {
             .sum();
         let rmse = (sq_err / nf).sqrt();
         let mean_actual: f64 = observations.iter().map(|o| o.actual).sum::<f64>() / nf;
-        let nrmse = if mean_actual > 0.0 { rmse / mean_actual } else { 0.0 };
+        let nrmse = if mean_actual > 0.0 {
+            rmse / mean_actual
+        } else {
+            0.0
+        };
 
         // R² = 1 - SS_res / SS_tot (against the mean of the actuals).
         let ss_tot: f64 = observations
             .iter()
             .map(|o| (o.actual - mean_actual).powi(2))
             .sum();
-        let r_squared = if ss_tot > 0.0 { 1.0 - sq_err / ss_tot } else { 1.0 };
+        let r_squared = if ss_tot > 0.0 {
+            1.0 - sq_err / ss_tot
+        } else {
+            1.0
+        };
 
         ErrorMetrics {
             rmse,
@@ -87,14 +95,13 @@ pub fn order_preserving_degree(observations: &[Observation]) -> f64 {
         for j in (i + 1)..n {
             total += 1;
             let actual_order = observations[i].actual.partial_cmp(&observations[j].actual);
-            let est_order = observations[i].estimated.partial_cmp(&observations[j].estimated);
-            match (actual_order, est_order) {
-                (Some(a), Some(e)) => {
-                    if a == e || a == std::cmp::Ordering::Equal || e == std::cmp::Ordering::Equal {
-                        preserved += 1;
-                    }
+            let est_order = observations[i]
+                .estimated
+                .partial_cmp(&observations[j].estimated);
+            if let (Some(a), Some(e)) = (actual_order, est_order) {
+                if a == e || a == std::cmp::Ordering::Equal || e == std::cmp::Ordering::Equal {
+                    preserved += 1;
                 }
-                _ => {}
             }
         }
     }

@@ -93,10 +93,11 @@ impl<T: Eq + Hash + Clone> CounterStacks<T> {
         if *count == 0 {
             self.counts.remove(item);
         }
-        let popped = self.stacks[occurrence - 1]
+        // Items at the same occurrence level are interchangeable, so the
+        // popped value need not equal `item`.
+        self.stacks[occurrence - 1]
             .pop()
             .expect("stack for this occurrence level must be non-empty");
-        debug_assert!(&popped == item || true, "items at the same level are interchangeable");
         while self.non_empty > 0 && self.stacks[self.non_empty - 1].is_empty() {
             self.non_empty -= 1;
         }

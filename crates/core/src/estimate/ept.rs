@@ -7,7 +7,7 @@
 //! classic tree-pattern matching over this arena.
 
 use crate::config::XseedConfig;
-use crate::estimate::event::EstimateEvent;
+use crate::estimate::event::{DeweyId, EstimateEvent};
 use crate::estimate::traveler::Traveler;
 use crate::het::table::HyperEdgeTable;
 use crate::kernel::{Kernel, VertexId};
@@ -30,6 +30,9 @@ pub struct EptNode {
     pub level: usize,
     /// Incremental hash of the rooted label path.
     pub path_hash: u64,
+    /// 1-based ordinal among the parent's expanded children (the last
+    /// Dewey component; see [`ExpandedPathTree::dewey`]).
+    pub dewey_ordinal: u32,
     /// Parent node index, `None` for the root.
     pub parent: Option<usize>,
     /// Child node indices in generation order.
@@ -59,7 +62,7 @@ impl ExpandedPathTree {
                     bsel,
                     level,
                     path_hash,
-                    ..
+                    dewey_ordinal,
                 } => {
                     let parent = stack.last().copied();
                     let idx = nodes.len();
@@ -71,6 +74,7 @@ impl ExpandedPathTree {
                         bsel,
                         level,
                         path_hash,
+                        dewey_ordinal,
                         parent,
                         children: Vec::new(),
                     });
@@ -118,6 +122,20 @@ impl ExpandedPathTree {
         &self.nodes[idx].children
     }
 
+    /// The full Dewey identifier of a node, reconstructed on demand from
+    /// the parent chain (events only carry the last component, so the
+    /// stream itself never allocates).
+    pub fn dewey(&self, idx: usize) -> DeweyId {
+        let mut rev = Vec::new();
+        let mut cur = Some(idx);
+        while let Some(i) = cur {
+            rev.push(self.nodes[i].dewey_ordinal);
+            cur = self.nodes[i].parent;
+        }
+        rev.reverse();
+        rev
+    }
+
     /// Descendant indices of `idx` (excluding `idx`), preorder.
     pub fn descendants(&self, idx: usize) -> Vec<usize> {
         let mut out = Vec::new();
@@ -161,6 +179,27 @@ mod tests {
             for &c in ept.children(idx) {
                 assert_eq!(ept.node(c).parent, Some(idx));
             }
+        }
+    }
+
+    #[test]
+    fn dewey_paths_reconstruct() {
+        let (_, ept) = figure2_ept();
+        let root = ept.root().unwrap();
+        assert_eq!(ept.dewey(root), vec![1]);
+        // Children of the root are 1.1, 1.2, 1.3 in generation order.
+        for (i, &c) in ept.children(root).iter().enumerate() {
+            assert_eq!(ept.dewey(c), vec![1, i as u32 + 1]);
+        }
+        // Depth of the Dewey path equals the node's depth in the tree.
+        for idx in ept.ids() {
+            let mut depth = 1;
+            let mut cur = ept.node(idx).parent;
+            while let Some(p) = cur {
+                depth += 1;
+                cur = ept.node(p).parent;
+            }
+            assert_eq!(ept.dewey(idx).len(), depth);
         }
     }
 

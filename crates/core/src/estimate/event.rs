@@ -5,6 +5,12 @@ use xmlkit::names::LabelId;
 
 /// A Dewey identifier locating an EPT node: the 1-based child ordinal at
 /// every level from the root down to the node, e.g. `1.3.3.1`.
+///
+/// Open events carry only the *last* component (the node's ordinal among
+/// its expanded siblings), so that producing an event never allocates;
+/// full Dewey paths are reconstructed on demand from a materialized
+/// [`crate::estimate::ept::ExpandedPathTree`] via
+/// [`crate::estimate::ept::ExpandedPathTree::dewey`].
 pub type DeweyId = Vec<u32>;
 
 /// One event of the expanded-path-tree stream.
@@ -16,8 +22,9 @@ pub enum EstimateEvent {
         vertex: VertexId,
         /// The element label of that vertex.
         label: LabelId,
-        /// Dewey identifier of this EPT node.
-        dewey: DeweyId,
+        /// 1-based ordinal of this node among its parent's expanded
+        /// children (the last Dewey component).
+        dewey_ordinal: u32,
         /// Estimated cardinality of the rooted path ending here.
         card: f64,
         /// Forward selectivity of the path (Definition 5).
@@ -63,7 +70,7 @@ mod tests {
         let open = EstimateEvent::Open {
             vertex: VertexId(0),
             label: LabelId(0),
-            dewey: vec![1],
+            dewey_ordinal: 1,
             card: 2.5,
             fsel: 1.0,
             bsel: 0.5,
@@ -74,6 +81,12 @@ mod tests {
         assert_eq!(open.card(), Some(2.5));
         assert!(EstimateEvent::Eos.is_eos());
         assert_eq!(EstimateEvent::Eos.card(), None);
-        assert_eq!(EstimateEvent::Close { vertex: VertexId(1) }.card(), None);
+        assert_eq!(
+            EstimateEvent::Close {
+                vertex: VertexId(1)
+            }
+            .card(),
+            None
+        );
     }
 }

@@ -11,13 +11,20 @@
 //! * [`matcher`] — Algorithm 3: matches a query tree against the EPT and
 //!   sums the estimated cardinalities of the result-node matches,
 //!   multiplying in aggregated backward selectivities for predicates.
+//! * [`streaming`] — the fused hot path: Algorithm 3 run directly on the
+//!   event stream over a [`crate::kernel::FrozenKernel`] snapshot, with no
+//!   EPT arena and reachability-based subtree pruning. This is what
+//!   [`crate::synopsis::XseedSynopsis::estimate`] uses; the materialized
+//!   [`matcher`] remains the differential-testing oracle.
 
 pub mod ept;
 pub mod event;
 pub mod matcher;
+pub mod streaming;
 pub mod traveler;
 
 pub use ept::{EptNode, ExpandedPathTree};
 pub use event::EstimateEvent;
 pub use matcher::Matcher;
+pub use streaming::StreamingMatcher;
 pub use traveler::Traveler;

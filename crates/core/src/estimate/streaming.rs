@@ -1,0 +1,1116 @@
+//! The streaming matcher: Algorithm 3 fused with Algorithm 2.
+//!
+//! [`crate::estimate::matcher::Matcher`] materializes the whole expanded
+//! path tree (EPT) into an arena and then tree-walks it with per-node state
+//! vectors. This module runs the same match **directly on the traveler's
+//! event stream** over a [`FrozenKernel`] snapshot: frontier states advance
+//! on `Open`, unwind on `Close`, and `estimate()` never allocates an EPT
+//! arena at all.
+//!
+//! ## The event-stream matching loop
+//!
+//! The traversal is the traveler's depth-first walk (same child order, same
+//! `card_threshold` / Observation-1 / `max_ept_nodes` stopping rules, same
+//! per-path HET overrides), inlined over the frozen CSR arrays. Each open
+//! frame carries the footprint of its synopsis path (card / fsel / bsel /
+//! recursion level / path hash) plus the frontier states its children
+//! inherit — exactly the `(spine index, accumulated predicate factor)`
+//! pairs the materialized matcher clones per child, but stored once in a
+//! stack-disciplined scratch buffer and freed by truncation on `Close`.
+//!
+//! Two ideas make a *single pass* sufficient where the materialized matcher
+//! looks ahead into the arena:
+//!
+//! * **Deferred predicate cells.** A predicate factor anchored at node `n`
+//!   depends on `n`'s subtree, which the stream has not produced yet when
+//!   `n` opens. Each such factor becomes a *cell* — a slot resolved when
+//!   `n` closes — and candidate values carry `(known factor, cell list)`
+//!   pairs instead of plain numbers. Because a candidate created inside
+//!   `n`'s subtree can only be *used* (summed into the total) after the
+//!   whole stream ends, every cell is resolved before it is read. Taking
+//!   the maximum over candidates at the very end is exact: all later
+//!   operations multiply by non-negative factors, and `max` distributes
+//!   over those.
+//! * **Bottom-up embedding tables.** While a predicate evaluation is
+//!   pending, every frame maintains, per compiled predicate node `q`, the
+//!   best child-axis embedding `gc[q]` and best descendant-axis embedding
+//!   `gd[q]` seen among its closed children. Folding a closing child `c`
+//!   into its parent (`gc[q] ← max(gc[q], f(q, c))` on a label match,
+//!   `gd[q] ← max(gd[q], bsel(c)·gd_c[q])` always) reproduces the
+//!   materialized matcher's recursive best-embedding search without ever
+//!   revisiting a node. The tables are only maintained while an anchor is
+//!   pending, so predicate-free (or fully HET-covered) queries pay nothing.
+//!
+//! ## Pruning with reachable-label bitsets
+//!
+//! Before opening a child vertex `v`, the matcher checks whether any
+//! frontier state could still complete inside `v`'s subtree: state `i`
+//! needs every named label of spine steps `i..` to occur at or below `v`
+//! ([`FrozenKernel::reaches_all`]). If no state passes — and no predicate
+//! evaluation is pending, which would need the full subtree — the subtree
+//! is skipped wholesale. Skipping never changes the estimate (the skipped
+//! region cannot produce a result match), but it does mean the node count
+//! reported by [`StreamingMatcher::estimate_with_stats`] is the number of
+//! nodes *visited*, a lower bound on the materialized EPT size; when
+//! `max_ept_nodes` truncates a degenerate synopsis, the streaming and
+//! materialized paths may therefore truncate at different frontiers.
+//!
+//! The snapshot is valid until the kernel is mutated; see
+//! [`crate::synopsis::XseedSynopsis::kernel_mut`] for the invalidation
+//! contract.
+
+use crate::config::XseedConfig;
+use crate::het::hash::{correlated_key, inc_hash, PATH_HASH_SEED};
+use crate::het::table::HyperEdgeTable;
+use crate::kernel::{FrozenKernel, VertexId};
+use xmlkit::names::{LabelId, NameTable};
+use xpathkit::ast::{Axis, NodeTest, PathExpr};
+use xpathkit::query_tree::{QtnId, QueryTree};
+
+/// A resolved node test: wildcard, a concrete label, or a name absent from
+/// the document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Test {
+    Any,
+    Label(LabelId),
+    Never,
+}
+
+impl Test {
+    #[inline]
+    fn matches(self, label: LabelId) -> bool {
+        match self {
+            Test::Any => true,
+            Test::Label(l) => l == label,
+            Test::Never => false,
+        }
+    }
+}
+
+/// One compiled predicate node (flattened across the whole query).
+#[derive(Debug)]
+struct PredNode {
+    test: Test,
+    axis: Axis,
+    /// Indices of child predicate nodes.
+    children: Vec<u32>,
+    /// The label when this predicate is a single child-axis name step (the
+    /// shape the HET stores).
+    single_label: Option<LabelId>,
+}
+
+/// One compiled spine step.
+#[derive(Debug)]
+struct SpineStep {
+    test: Test,
+    axis: Axis,
+    /// Compiled predicate roots hanging off this step.
+    pred_roots: Vec<u32>,
+    /// All predicate labels when every predicate is a single child-axis
+    /// name step (enables the whole-step correlated HET lookup).
+    all_simple: Option<Vec<LabelId>>,
+    /// Label of the child-axis name-test spine successor, if any (the `r`
+    /// of the HET's `p[q1]...[qm]/r` shape).
+    sibling: Option<LabelId>,
+}
+
+/// A query compiled against a kernel's label space.
+#[derive(Debug)]
+struct CompiledQuery {
+    spine: Vec<SpineStep>,
+    preds: Vec<PredNode>,
+    /// `dead[i]`: no state at spine index `i` can ever reach the result
+    /// (some later step names an absent label, or carries a predicate that
+    /// does).
+    dead: Vec<bool>,
+    /// Per spine index, a `label_words`-sized bitset of the labels required
+    /// by steps `i..` (named spine tests only).
+    req_masks: Vec<u64>,
+    label_words: usize,
+}
+
+impl CompiledQuery {
+    fn req_mask(&self, idx: usize) -> &[u64] {
+        &self.req_masks[idx * self.label_words..(idx + 1) * self.label_words]
+    }
+}
+
+/// One candidate value of a frontier state: a known factor times a product
+/// of not-yet-resolved predicate cells.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    value: f64,
+    cells_start: u32,
+    cells_len: u32,
+}
+
+/// One frontier state: a spine index plus its candidate values.
+#[derive(Debug, Clone, Copy)]
+struct State {
+    idx: u32,
+    cand_start: u32,
+    cand_len: u32,
+}
+
+/// A pending predicate evaluation: cell `cell` resolves to the best
+/// embedding of predicate root `pred` under the anchoring frame.
+#[derive(Debug, Clone, Copy)]
+struct Anchor {
+    pred: u32,
+    cell: u32,
+}
+
+/// A deferred contribution: `card` times the best resolved candidate.
+#[derive(Debug, Clone, Copy)]
+struct Contrib {
+    card: f64,
+    cand_start: u32,
+    cand_len: u32,
+}
+
+/// One open vertex of the streamed traversal.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    vertex: VertexId,
+    fsel: f64,
+    bsel: f64,
+    path_hash: u64,
+    /// Next out slot of `vertex` to try.
+    next_slot: u32,
+    end_slot: u32,
+    /// Frontier states this frame's children inherit.
+    states_start: u32,
+    states_end: u32,
+    /// Truncation marks into the candidate / cell-ref stacks.
+    cands_mark: u32,
+    cell_refs_mark: u32,
+    /// Start of this frame's `gc`/`gd` tables in the table stack
+    /// (`u32::MAX` when tables are inactive here).
+    pred_start: u32,
+    /// Cells anchored at this frame, resolved at its close.
+    anchors_start: u32,
+    tables_active: bool,
+}
+
+/// The candidate footprint of a child vertex, mirroring the traveler's
+/// `EST` computation.
+struct Footprint {
+    vertex: VertexId,
+    card: f64,
+    fsel: f64,
+    bsel: f64,
+    path_hash: u64,
+}
+
+const NO_TABLES: u32 = u32::MAX;
+
+/// Streams the expanded path tree over a [`FrozenKernel`] and matches a
+/// query against it in the same pass. Reusable across queries: the scratch
+/// buffers grow to the high-water mark of the frontier and stay allocated.
+pub struct StreamingMatcher<'a> {
+    frozen: &'a FrozenKernel,
+    names: &'a NameTable,
+    config: &'a XseedConfig,
+    het: Option<&'a HyperEdgeTable>,
+    // Scratch, stack-disciplined (truncated on frame close).
+    frames: Vec<Frame>,
+    states: Vec<State>,
+    cands: Vec<Candidate>,
+    cell_refs: Vec<u32>,
+    tables: Vec<f64>,
+    anchors: Vec<Anchor>,
+    // Scratch, per query (cleared on entry).
+    cells: Vec<f64>,
+    contribs: Vec<Contrib>,
+    contrib_cands: Vec<Candidate>,
+    contrib_cells: Vec<u32>,
+    // Scratch, per open (cleared per node).
+    produced: Vec<(u32, f64, u32, u32)>,
+    produced_cells: Vec<u32>,
+    node_cells: Vec<(u32, u32)>,
+    // Recursion tracking (Figure 3 semantics over flat arrays).
+    rec_counts: Vec<u32>,
+    rec_occ: Vec<u32>,
+    rec_max: usize,
+    opens: usize,
+}
+
+impl<'a> StreamingMatcher<'a> {
+    /// Creates a matcher over a frozen snapshot. `names` must be the name
+    /// table of the kernel the snapshot was taken from.
+    pub fn new(
+        frozen: &'a FrozenKernel,
+        names: &'a NameTable,
+        config: &'a XseedConfig,
+        het: Option<&'a HyperEdgeTable>,
+    ) -> Self {
+        StreamingMatcher {
+            frozen,
+            names,
+            config,
+            het,
+            frames: Vec::new(),
+            states: Vec::new(),
+            cands: Vec::new(),
+            cell_refs: Vec::new(),
+            tables: Vec::new(),
+            anchors: Vec::new(),
+            cells: Vec::new(),
+            contribs: Vec::new(),
+            contrib_cands: Vec::new(),
+            contrib_cells: Vec::new(),
+            produced: Vec::new(),
+            produced_cells: Vec::new(),
+            node_cells: Vec::new(),
+            rec_counts: vec![0; frozen.vertex_count()],
+            rec_occ: Vec::new(),
+            rec_max: 0,
+            opens: 0,
+        }
+    }
+
+    /// Estimates the cardinality of a path expression.
+    pub fn estimate(&mut self, expr: &PathExpr) -> f64 {
+        self.estimate_with_stats(expr).0
+    }
+
+    /// Estimates the cardinality, also reporting the number of EPT nodes
+    /// *visited* by the streamed traversal (a lower bound on the
+    /// materialized EPT size, thanks to reachability pruning).
+    pub fn estimate_with_stats(&mut self, expr: &PathExpr) -> (f64, usize) {
+        // Section 5 fast path: a simple path resident in the HET is
+        // answered exactly from the table (identical to Matcher::estimate).
+        if let Some(het) = self.het {
+            if let Some(actual) = het.answer_simple_path(self.names, expr) {
+                return (actual, 0);
+            }
+        }
+        let Some(root) = self.frozen.root() else {
+            return (0.0, 0);
+        };
+        let query = self.compile(expr);
+        self.reset();
+
+        // Seed the root's incoming frontier: spine index 0, factor 1.
+        let incoming_start = self.states.len() as u32;
+        if !query.dead[0] {
+            let cand = self.cands.len() as u32;
+            self.cands.push(Candidate {
+                value: 1.0,
+                cells_start: 0,
+                cells_len: 0,
+            });
+            self.states.push(State {
+                idx: 0,
+                cand_start: cand,
+                cand_len: 1,
+            });
+        }
+        let incoming_end = self.states.len() as u32;
+
+        let root_fp = Footprint {
+            vertex: root,
+            card: 1.0,
+            fsel: 1.0,
+            bsel: 1.0,
+            path_hash: inc_hash(PATH_HASH_SEED, self.frozen.label(root)),
+        };
+        self.rec_push(root);
+        self.open_frame(root_fp, incoming_start, incoming_end, &query);
+
+        while let Some(frame) = self.frames.last().copied() {
+            if self.opens >= self.config.max_ept_nodes || frame.next_slot >= frame.end_slot {
+                self.close_top(&query);
+                continue;
+            }
+            let slot = frame.next_slot as usize;
+            let top = self.frames.len() - 1;
+            self.frames[top].next_slot += 1;
+
+            let child = self.frozen.slot_target(slot);
+            let Some(fp) = self.child_footprint(&frame, slot, child) else {
+                continue;
+            };
+            if !frame.tables_active && !self.any_state_viable(&frame, child, &query) {
+                continue;
+            }
+            self.rec_push(child);
+            self.open_frame(fp, frame.states_start, frame.states_end, &query);
+        }
+
+        let total = self.sum_contributions();
+        (total, self.opens)
+    }
+
+    // ------------------------------------------------------------------
+    // Query compilation
+    // ------------------------------------------------------------------
+
+    fn resolve_test(&self, test: &NodeTest) -> Test {
+        match test {
+            NodeTest::Wildcard => Test::Any,
+            NodeTest::Name(n) => match self.names.lookup(n) {
+                Some(l) => Test::Label(l),
+                None => Test::Never,
+            },
+        }
+    }
+
+    fn compile_pred(&self, qt: &QueryTree, id: QtnId, preds: &mut Vec<PredNode>) -> u32 {
+        let node = qt.node(id);
+        let test = self.resolve_test(&node.test);
+        let my_idx = preds.len() as u32;
+        preds.push(PredNode {
+            test,
+            axis: node.axis,
+            children: Vec::new(),
+            single_label: None,
+        });
+        let children: Vec<u32> = qt
+            .children(id)
+            .iter()
+            .map(|&c| self.compile_pred(qt, c, preds))
+            .collect();
+        let single_label = if node.axis == Axis::Child && children.is_empty() {
+            match test {
+                Test::Label(l) => Some(l),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        let slot = &mut preds[my_idx as usize];
+        slot.children = children;
+        slot.single_label = single_label;
+        my_idx
+    }
+
+    fn pred_has_never(&self, preds: &[PredNode], root: u32) -> bool {
+        let node = &preds[root as usize];
+        node.test == Test::Never || node.children.iter().any(|&c| self.pred_has_never(preds, c))
+    }
+
+    fn compile(&self, expr: &PathExpr) -> CompiledQuery {
+        let qt = QueryTree::from_expr(expr);
+        let spine_ids = qt.spine();
+        let mut preds: Vec<PredNode> = Vec::new();
+        let mut spine: Vec<SpineStep> = Vec::with_capacity(spine_ids.len());
+
+        for (i, &sid) in spine_ids.iter().enumerate() {
+            let node = qt.node(sid);
+            let pred_roots: Vec<u32> = qt
+                .predicate_children(sid)
+                .iter()
+                .map(|&p| self.compile_pred(&qt, p, &mut preds))
+                .collect();
+            let all_simple = pred_roots
+                .iter()
+                .map(|&p| preds[p as usize].single_label)
+                .collect::<Option<Vec<LabelId>>>()
+                .filter(|labels| !labels.is_empty());
+            let sibling = spine_ids.get(i + 1).and_then(|&next| {
+                let n = qt.node(next);
+                if n.axis != Axis::Child {
+                    return None;
+                }
+                match &n.test {
+                    NodeTest::Name(name) => self.names.lookup(name),
+                    NodeTest::Wildcard => None,
+                }
+            });
+            spine.push(SpineStep {
+                test: self.resolve_test(&node.test),
+                axis: node.axis,
+                pred_roots,
+                all_simple,
+                sibling,
+            });
+        }
+
+        // Dead suffixes: a state can only complete if every later spine
+        // test (and every predicate tree along the way) can match at all.
+        let mut dead = vec![false; spine.len()];
+        let mut blocked = false;
+        for i in (0..spine.len()).rev() {
+            let step = &spine[i];
+            if step.test == Test::Never
+                || step
+                    .pred_roots
+                    .iter()
+                    .any(|&p| self.pred_has_never(&preds, p))
+            {
+                blocked = true;
+            }
+            dead[i] = blocked;
+        }
+
+        // Required-label masks, as suffix unions of the named spine tests.
+        let label_words = self.frozen.label_words();
+        let mut req_masks = vec![0u64; spine.len() * label_words];
+        let mut suffix = vec![0u64; label_words];
+        for i in (0..spine.len()).rev() {
+            if let Test::Label(l) = spine[i].test {
+                suffix[l.index() / 64] |= 1u64 << (l.index() % 64);
+            }
+            req_masks[i * label_words..(i + 1) * label_words].copy_from_slice(&suffix);
+        }
+
+        CompiledQuery {
+            spine,
+            preds,
+            dead,
+            req_masks,
+            label_words,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Traversal
+    // ------------------------------------------------------------------
+
+    fn reset(&mut self) {
+        self.frames.clear();
+        self.states.clear();
+        self.cands.clear();
+        self.cell_refs.clear();
+        self.tables.clear();
+        self.anchors.clear();
+        self.cells.clear();
+        self.contribs.clear();
+        self.contrib_cands.clear();
+        self.contrib_cells.clear();
+        self.rec_counts.clear();
+        self.rec_counts.resize(self.frozen.vertex_count(), 0);
+        self.rec_occ.clear();
+        self.rec_max = 0;
+        self.opens = 0;
+    }
+
+    #[inline]
+    fn rec_level(&self) -> usize {
+        self.rec_max.saturating_sub(1)
+    }
+
+    #[inline]
+    fn rec_peek_push(&self, v: VertexId) -> usize {
+        let occurrence = self.rec_counts[v.index()] as usize + 1;
+        occurrence.max(self.rec_max) - 1
+    }
+
+    fn rec_push(&mut self, v: VertexId) {
+        let count = &mut self.rec_counts[v.index()];
+        *count += 1;
+        let c = *count as usize;
+        if self.rec_occ.len() <= c {
+            self.rec_occ.resize(c + 1, 0);
+        }
+        self.rec_occ[c] += 1;
+        if c > self.rec_max {
+            self.rec_max = c;
+        }
+    }
+
+    fn rec_pop(&mut self, v: VertexId) {
+        let count = &mut self.rec_counts[v.index()];
+        let c = *count as usize;
+        *count -= 1;
+        self.rec_occ[c] -= 1;
+        while self.rec_max > 0 && self.rec_occ[self.rec_max] == 0 {
+            self.rec_max -= 1;
+        }
+    }
+
+    /// The traveler's `EST`: footprint of the child reached through `slot`,
+    /// or `None` when traversal stops there (threshold or Observation 1).
+    fn child_footprint(&self, parent: &Frame, slot: usize, child: VertexId) -> Option<Footprint> {
+        let old_level = self.rec_level();
+        let new_level = self.rec_peek_push(child);
+        let path_hash = inc_hash(parent.path_hash, self.frozen.label(child));
+
+        let (mut card, mut bsel) = if new_level < self.frozen.slot_levels(slot) {
+            let card = self.frozen.slot_child_count(slot, new_level) as f64 * parent.fsel;
+            let parent_in_sum = self.frozen.in_child_sum(parent.vertex, old_level);
+            let bsel = if parent_in_sum == 0 {
+                0.0
+            } else {
+                self.frozen.slot_parent_count(slot, new_level) as f64 / parent_in_sum as f64
+            };
+            (card, bsel)
+        } else {
+            (0.0, 0.0)
+        };
+
+        if let Some(het) = self.het {
+            if let Some((actual_card, actual_bsel)) = het.lookup_simple(path_hash) {
+                card = actual_card as f64;
+                bsel = actual_bsel;
+            }
+        }
+
+        if card <= self.config.card_threshold {
+            return None;
+        }
+
+        let v_in_sum = self.frozen.in_child_sum(child, new_level);
+        let fsel = if v_in_sum == 0 {
+            0.0
+        } else {
+            card / v_in_sum as f64
+        };
+
+        Some(Footprint {
+            vertex: child,
+            card,
+            fsel,
+            bsel,
+            path_hash,
+        })
+    }
+
+    /// Whether any inherited frontier state could still complete inside the
+    /// subtree of `child` (reachability prune; see the module docs).
+    fn any_state_viable(&self, parent: &Frame, child: VertexId, query: &CompiledQuery) -> bool {
+        self.states[parent.states_start as usize..parent.states_end as usize]
+            .iter()
+            .any(|s| {
+                self.frozen
+                    .reaches_all(child, query.req_mask(s.idx as usize))
+            })
+    }
+
+    /// Opens a frame for `fp`, processing the inherited frontier states
+    /// exactly as the materialized matcher processes one EPT node.
+    fn open_frame(
+        &mut self,
+        fp: Footprint,
+        incoming_start: u32,
+        incoming_end: u32,
+        query: &CompiledQuery,
+    ) {
+        self.opens += 1;
+        let label = self.frozen.label(fp.vertex);
+        let states_start = self.states.len() as u32;
+        let cands_mark = self.cands.len() as u32;
+        let cell_refs_mark = self.cell_refs.len() as u32;
+        let anchors_start = self.anchors.len() as u32;
+        let spine_len = query.spine.len() as u32;
+
+        self.produced.clear();
+        self.produced_cells.clear();
+        self.node_cells.clear();
+        let mut contrib_here: Option<(u32, u32)> = None; // range in contrib_cands
+
+        for si in incoming_start as usize..incoming_end as usize {
+            let state = self.states[si];
+            let i = state.idx as usize;
+            let step = &query.spine[i];
+            if step.test.matches(label) {
+                if let Some((known, cells_start, cells_len)) =
+                    self.step_factor(step, fp.path_hash, query)
+                {
+                    if i as u32 + 1 == spine_len {
+                        // Result reached: defer `card × max(candidates)`.
+                        let start = self.contrib_cands.len() as u32;
+                        for ci in state.cand_start..state.cand_start + state.cand_len {
+                            let cand = self.cands[ci as usize];
+                            let cs = self.contrib_cells.len() as u32;
+                            for r in cand.cells_start..cand.cells_start + cand.cells_len {
+                                let cell = self.cell_refs[r as usize];
+                                self.contrib_cells.push(cell);
+                            }
+                            for r in cells_start..cells_start + cells_len {
+                                let cell = self.produced_cells[r as usize];
+                                self.contrib_cells.push(cell);
+                            }
+                            self.contrib_cands.push(Candidate {
+                                value: cand.value * known,
+                                cells_start: cs,
+                                cells_len: cand.cells_len + cells_len,
+                            });
+                        }
+                        let end = self.contrib_cands.len() as u32;
+                        contrib_here = match contrib_here {
+                            None => Some((start, end)),
+                            Some((s, _)) => Some((s, end)),
+                        };
+                    } else if !query.dead[i + 1] {
+                        for ci in state.cand_start..state.cand_start + state.cand_len {
+                            let cand = self.cands[ci as usize];
+                            let pc = self.produced_cells.len() as u32;
+                            for r in cand.cells_start..cand.cells_start + cand.cells_len {
+                                let cell = self.cell_refs[r as usize];
+                                self.produced_cells.push(cell);
+                            }
+                            for r in cells_start..cells_start + cells_len {
+                                let cell = self.produced_cells[r as usize];
+                                self.produced_cells.push(cell);
+                            }
+                            self.produced.push((
+                                i as u32 + 1,
+                                cand.value * known,
+                                pc,
+                                cand.cells_len + cells_len,
+                            ));
+                        }
+                    }
+                }
+            }
+            if step.axis == Axis::Descendant {
+                // Descendant states survive downwards unchanged.
+                for ci in state.cand_start..state.cand_start + state.cand_len {
+                    let cand = self.cands[ci as usize];
+                    let pc = self.produced_cells.len() as u32;
+                    for r in cand.cells_start..cand.cells_start + cand.cells_len {
+                        let cell = self.cell_refs[r as usize];
+                        self.produced_cells.push(cell);
+                    }
+                    self.produced
+                        .push((state.idx, cand.value, pc, cand.cells_len));
+                }
+            }
+        }
+
+        if let Some((start, end)) = contrib_here {
+            self.contribs.push(Contrib {
+                card: fp.card,
+                cand_start: start,
+                cand_len: end - start,
+            });
+        }
+
+        // Group produced entries into the frame's child-state list, merging
+        // pure (cell-free) candidates per spine index by max — exactly the
+        // materialized matcher's `push_state`.
+        let mut p = 0;
+        while p < self.produced.len() {
+            let idx = self.produced[p].0;
+            if self.states[states_start as usize..]
+                .iter()
+                .any(|s| s.idx == idx)
+            {
+                p += 1;
+                continue;
+            }
+            let cand_start = self.cands.len() as u32;
+            let mut pure: Option<f64> = None;
+            for q in p..self.produced.len() {
+                let (qidx, value, pc, plen) = self.produced[q];
+                if qidx != idx {
+                    continue;
+                }
+                if plen == 0 {
+                    pure = Some(pure.map_or(value, |v: f64| v.max(value)));
+                } else {
+                    let cs = self.cell_refs.len() as u32;
+                    for r in pc..pc + plen {
+                        let cell = self.produced_cells[r as usize];
+                        self.cell_refs.push(cell);
+                    }
+                    self.cands.push(Candidate {
+                        value,
+                        cells_start: cs,
+                        cells_len: plen,
+                    });
+                }
+            }
+            if let Some(v) = pure {
+                self.cands.push(Candidate {
+                    value: v,
+                    cells_start: 0,
+                    cells_len: 0,
+                });
+            }
+            self.states.push(State {
+                idx,
+                cand_start,
+                cand_len: self.cands.len() as u32 - cand_start,
+            });
+            p += 1;
+        }
+
+        let own_cells = self.anchors.len() as u32 > anchors_start;
+        let parent_active = self.frames.last().is_some_and(|f| f.tables_active);
+        let tables_active = parent_active || own_cells;
+        let pred_start = if tables_active {
+            let start = self.tables.len() as u32;
+            self.tables
+                .resize(self.tables.len() + 2 * query.preds.len(), 0.0);
+            start
+        } else {
+            NO_TABLES
+        };
+
+        self.frames.push(Frame {
+            vertex: fp.vertex,
+            fsel: fp.fsel,
+            bsel: fp.bsel,
+            path_hash: fp.path_hash,
+            next_slot: self.frozen.out_slots(fp.vertex).start as u32,
+            end_slot: self.frozen.out_slots(fp.vertex).end as u32,
+            states_start,
+            states_end: self.states.len() as u32,
+            cands_mark,
+            cell_refs_mark,
+            pred_start,
+            anchors_start,
+            tables_active,
+        });
+    }
+
+    /// The combined predicate factor of `step` anchored at the node being
+    /// opened: `Some((known, produced_cells range))`, or `None` when the
+    /// factor is known to be zero (the state must not advance). Mirrors
+    /// `Matcher::predicate_factor` with embeddings deferred to cells.
+    fn step_factor(
+        &mut self,
+        step: &SpineStep,
+        anchor_hash: u64,
+        query: &CompiledQuery,
+    ) -> Option<(f64, u32, u32)> {
+        if step.pred_roots.is_empty() {
+            return Some((1.0, 0, 0));
+        }
+
+        // Whole-step correlated HET entry: used verbatim when present.
+        if let (Some(het), Some(simple), Some(sibling)) = (self.het, &step.all_simple, step.sibling)
+        {
+            if let Some(factor) =
+                het.lookup_correlated(correlated_key(anchor_hash, simple, sibling))
+            {
+                if factor > 0.0 {
+                    return Some((factor, 0, 0));
+                }
+                return None;
+            }
+        }
+
+        let mut known = 1.0f64;
+        let cells_start = self.produced_cells.len() as u32;
+        let mut cells_len = 0u32;
+        for &pr in &step.pred_roots {
+            // Per-predicate correlated entry.
+            let single = match (
+                self.het,
+                query.preds[pr as usize].single_label,
+                step.sibling,
+            ) {
+                (Some(het), Some(label), Some(sibling)) => {
+                    het.lookup_correlated(correlated_key(anchor_hash, &[label], sibling))
+                }
+                _ => None,
+            };
+            match single {
+                Some(bsel) => {
+                    if bsel <= 0.0 {
+                        self.produced_cells.truncate(cells_start as usize);
+                        return None;
+                    }
+                    known *= bsel.min(1.0);
+                }
+                None => {
+                    let cell = self.cell_for(pr);
+                    self.produced_cells.push(cell);
+                    cells_len += 1;
+                }
+            }
+        }
+        Some((known, cells_start, cells_len))
+    }
+
+    /// Returns the cell for `pred` anchored at the node currently being
+    /// opened, creating (and registering) it on first use.
+    fn cell_for(&mut self, pred: u32) -> u32 {
+        if let Some(&(_, cell)) = self.node_cells.iter().find(|&&(p, _)| p == pred) {
+            return cell;
+        }
+        let cell = self.cells.len() as u32;
+        self.cells.push(f64::NAN);
+        self.anchors.push(Anchor { pred, cell });
+        self.node_cells.push((pred, cell));
+        cell
+    }
+
+    /// Closes the top frame: resolves its anchored cells, folds its
+    /// embedding tables into its parent, and truncates the scratch stacks.
+    fn close_top(&mut self, query: &CompiledQuery) {
+        let frame = self.frames.pop().expect("close requires an open frame");
+        self.rec_pop(frame.vertex);
+
+        if frame.tables_active {
+            let p_count = query.preds.len();
+            let base = frame.pred_start as usize;
+            let label = self.frozen.label(frame.vertex);
+
+            // Resolve cells anchored here: the best embedding of the
+            // predicate root under this frame (child axis -> gc,
+            // descendant axis -> gd).
+            for a in frame.anchors_start as usize..self.anchors.len() {
+                let Anchor { pred, cell } = self.anchors[a];
+                let value = match query.preds[pred as usize].axis {
+                    Axis::Child => self.tables[base + pred as usize],
+                    Axis::Descendant => self.tables[base + p_count + pred as usize],
+                };
+                self.cells[cell as usize] = value;
+            }
+
+            // Fold into the parent: parent.gc/gd absorb f(q, this) and the
+            // bsel-weighted descendant table.
+            if let Some(parent) = self.frames.last() {
+                if parent.tables_active {
+                    let p_base = parent.pred_start as usize;
+                    for q in 0..p_count {
+                        let f_q = self.exact_factor(query, q, base, p_count, frame.bsel);
+                        if query.preds[q].test.matches(label) {
+                            let gc = &mut self.tables[p_base + q];
+                            if f_q > *gc {
+                                *gc = f_q;
+                            }
+                            let gd = &mut self.tables[p_base + p_count + q];
+                            if f_q > *gd {
+                                *gd = f_q;
+                            }
+                        }
+                        let through = frame.bsel * self.tables[base + p_count + q];
+                        let gd = &mut self.tables[p_base + p_count + q];
+                        if through > *gd {
+                            *gd = through;
+                        }
+                    }
+                }
+            }
+            self.tables.truncate(base);
+        }
+
+        self.anchors.truncate(frame.anchors_start as usize);
+        self.states.truncate(frame.states_start as usize);
+        self.cands.truncate(frame.cands_mark as usize);
+        self.cell_refs.truncate(frame.cell_refs_mark as usize);
+    }
+
+    /// `f(q, node)` of the bottom-up embedding recurrence: the node's bsel
+    /// times the clamped best embeddings of `q`'s children below it
+    /// (mirrors `Matcher::factor_at`).
+    fn exact_factor(
+        &self,
+        query: &CompiledQuery,
+        q: usize,
+        base: usize,
+        p_count: usize,
+        bsel: f64,
+    ) -> f64 {
+        let mut factor = bsel;
+        for &child in &query.preds[q].children {
+            let sub = match query.preds[child as usize].axis {
+                Axis::Child => self.tables[base + child as usize],
+                Axis::Descendant => self.tables[base + p_count + child as usize],
+            };
+            if sub <= 0.0 {
+                return 0.0;
+            }
+            factor *= sub.min(1.0);
+        }
+        factor
+    }
+
+    /// Evaluates the deferred contributions once all cells are resolved.
+    fn sum_contributions(&self) -> f64 {
+        let mut total = 0.0;
+        for contrib in &self.contribs {
+            let mut best = 0.0f64;
+            for ci in contrib.cand_start..contrib.cand_start + contrib.cand_len {
+                let cand = self.contrib_cands[ci as usize];
+                let mut value = cand.value;
+                for r in cand.cells_start..cand.cells_start + cand.cells_len {
+                    let cell = self.contrib_cells[r as usize] as usize;
+                    let resolved = self.cells[cell];
+                    debug_assert!(!resolved.is_nan(), "cell read before resolution");
+                    if resolved <= 0.0 {
+                        value = 0.0;
+                        break;
+                    }
+                    value *= resolved.min(1.0);
+                }
+                best = best.max(value);
+            }
+            total += contrib.card * best;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::ept::ExpandedPathTree;
+    use crate::estimate::matcher::Matcher;
+    use crate::het::hash::path_hash;
+    use crate::kernel::{Kernel, KernelBuilder};
+    use xmlkit::samples::{figure2_document, figure4_document};
+    use xpathkit::parse;
+
+    fn assert_matches_materialized(
+        kernel: &Kernel,
+        het: Option<&HyperEdgeTable>,
+        queries: &[&str],
+    ) {
+        let config = XseedConfig::default();
+        let ept = ExpandedPathTree::generate(kernel, &config, het);
+        let matcher = Matcher::new(kernel, &ept, het);
+        let frozen = FrozenKernel::freeze(kernel);
+        let mut streaming = StreamingMatcher::new(&frozen, kernel.names(), &config, het);
+        for q in queries {
+            let expr = parse(q).unwrap();
+            let expected = matcher.estimate(&expr);
+            let got = streaming.estimate(&expr);
+            assert!(
+                (expected - got).abs() < 1e-9,
+                "{q}: streaming {got} != materialized {expected}"
+            );
+        }
+    }
+
+    const FIGURE2_QUERIES: &[&str] = &[
+        "/a",
+        "/a/c",
+        "/a/c/s",
+        "/a/c/s/s",
+        "/a/c/s/s/t",
+        "/a/c/s/p",
+        "/a/t",
+        "/a/u",
+        "/c",
+        "/zzz",
+        "/a/zzz",
+        "//c",
+        "//s",
+        "//p",
+        "//*",
+        "/a/*",
+        "//s//s//p",
+        "//s//s//s//s",
+        "/a/c/s[t]",
+        "/a/c/s[t]/p",
+        "/a/c/s[t][s]/p",
+        "/a/c[s[s]]",
+        "/a/c[//t]",
+        "/a/c[zzz]",
+        "//s[p]/t",
+        "//*[s]/p",
+        "/a//s[t//p]/p",
+        "//c[s/s]//t",
+    ];
+
+    #[test]
+    fn streaming_matches_materialized_on_figure2() {
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        assert_matches_materialized(&kernel, None, FIGURE2_QUERIES);
+    }
+
+    #[test]
+    fn streaming_matches_materialized_on_figure4() {
+        let kernel = KernelBuilder::from_document(&figure4_document());
+        assert_matches_materialized(
+            &kernel,
+            None,
+            &[
+                "/a/b/d/e",
+                "/a/c/d/f",
+                "/a/b/d[f]/e",
+                "/a/c/d[f]/e",
+                "//d[e][f]",
+                "//d//*",
+                "/a/*/d[e]/f",
+            ],
+        );
+    }
+
+    #[test]
+    fn streaming_matches_materialized_with_het() {
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        let names = kernel.names();
+        let l = |n: &str| names.lookup(n).unwrap();
+        let mut het = HyperEdgeTable::new();
+        // Simple-path override (a fake actual for /a/c) plus a correlated
+        // entry for s[t]/p.
+        het.insert_simple(path_hash(&[l("a"), l("c")]), 7, 0.9, 100.0);
+        let anchor = path_hash(&[l("a"), l("c"), l("s")]);
+        het.insert_correlated(correlated_key(anchor, &[l("t")], l("p")), 9, 1.0, 50.0);
+        het.rebuild_residency();
+        assert_matches_materialized(&kernel, Some(&het), FIGURE2_QUERIES);
+    }
+
+    #[test]
+    fn known_figure2_estimates() {
+        // Spot-check absolute values from the paper against the streaming
+        // path (not just agreement with the oracle).
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        let frozen = FrozenKernel::freeze(&kernel);
+        let config = XseedConfig::default();
+        let mut m = StreamingMatcher::new(&frozen, kernel.names(), &config, None);
+        for (q, expected) in [
+            ("/a/c/s", 5.0),
+            ("/a/c/s/s/t", 1.0),
+            ("//p", 17.0),
+            ("//*", 36.0),
+            ("/a/c/s[t]/p", 3.6),
+            ("/a/c/s[t][s]/p", 1.44),
+            ("/a/c[s[s]]", 0.8),
+        ] {
+            let est = m.estimate(&parse(q).unwrap());
+            assert!((est - expected).abs() < 1e-9, "{q}: {est} != {expected}");
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_visited_nodes_without_changing_estimates() {
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        let frozen = FrozenKernel::freeze(&kernel);
+        let config = XseedConfig::default();
+        let mut m = StreamingMatcher::new(&frozen, kernel.names(), &config, None);
+        // /a/c/s/p: the t and u subtrees cannot contain the result labels.
+        let (est, visited) = m.estimate_with_stats(&parse("/a/c/s/p").unwrap());
+        assert!((est - 9.0).abs() < 1e-9);
+        assert!(visited < 14, "visited {visited} of 14 EPT nodes");
+        assert!(visited > 0);
+        // A wildcard query visits everything the materialized EPT holds.
+        let (_, all) = m.estimate_with_stats(&parse("//*").unwrap());
+        assert_eq!(all, 14);
+    }
+
+    #[test]
+    fn empty_kernel_estimates_zero() {
+        let kernel = Kernel::new();
+        let frozen = FrozenKernel::freeze(&kernel);
+        let config = XseedConfig::default();
+        let mut m = StreamingMatcher::new(&frozen, kernel.names(), &config, None);
+        assert_eq!(m.estimate(&parse("/a").unwrap()), 0.0);
+    }
+
+    #[test]
+    fn matcher_is_reusable_across_queries() {
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        let frozen = FrozenKernel::freeze(&kernel);
+        let config = XseedConfig::default();
+        let mut m = StreamingMatcher::new(&frozen, kernel.names(), &config, None);
+        // Interleave predicate-heavy and simple queries to shake the
+        // scratch reuse.
+        for _ in 0..3 {
+            assert!((m.estimate(&parse("/a/c/s[t][s]/p").unwrap()) - 1.44).abs() < 1e-9);
+            assert!((m.estimate(&parse("//p").unwrap()) - 17.0).abs() < 1e-9);
+            assert!((m.estimate(&parse("/a/c").unwrap()) - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn max_ept_nodes_caps_traversal() {
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        let frozen = FrozenKernel::freeze(&kernel);
+        let config = XseedConfig {
+            max_ept_nodes: 3,
+            ..XseedConfig::default()
+        };
+        let mut m = StreamingMatcher::new(&frozen, kernel.names(), &config, None);
+        let (_, visited) = m.estimate_with_stats(&parse("//*").unwrap());
+        assert!(visited <= 3);
+    }
+}

@@ -62,7 +62,11 @@ pub struct Traveler<'a> {
 impl<'a> Traveler<'a> {
     /// Creates a traveler over `kernel` with the given configuration and
     /// an optional hyper-edge table.
-    pub fn new(kernel: &'a Kernel, config: &'a XseedConfig, het: Option<&'a HyperEdgeTable>) -> Self {
+    pub fn new(
+        kernel: &'a Kernel,
+        config: &'a XseedConfig,
+        het: Option<&'a HyperEdgeTable>,
+    ) -> Self {
         Traveler {
             kernel,
             config,
@@ -106,7 +110,10 @@ impl<'a> Traveler<'a> {
     /// Drains the stream into a vector (excluding the final EOS); useful in
     /// tests and for materializing the EPT.
     pub fn collect_events(mut self) -> Vec<EstimateEvent> {
-        let mut out = Vec::new();
+        // Two events (open + close) per EPT node; the kernel's live edge
+        // count is a cheap lower bound on the node count, so pre-reserve
+        // from it instead of growing from empty.
+        let mut out = Vec::with_capacity(2 * self.kernel.live_edge_count() + 2);
         loop {
             let evt = self.next_event();
             if evt.is_eos() {
@@ -144,12 +151,10 @@ impl<'a> Traveler<'a> {
             let top = self.path.last().expect("path checked non-empty");
             let out_edges = self.kernel.out_edges(top.vertex);
             if top.next_child >= out_edges.len() || self.open_events >= self.config.max_ept_nodes {
-                // All children handled: close this vertex.
+                // All children handled: close this vertex. Once the path
+                // empties, the next call emits EOS.
                 let closed = self.path.pop().expect("path checked non-empty");
                 self.recursion.pop(&closed.vertex);
-                if self.path.is_empty() {
-                    // The next call will emit EOS.
-                }
                 return EstimateEvent::Close {
                     vertex: closed.vertex,
                 };
@@ -234,12 +239,11 @@ impl<'a> Traveler<'a> {
     }
 
     fn open_event_from_top(&self) -> EstimateEvent {
-        let dewey: Vec<u32> = self.path.iter().map(|fp| fp.dewey_ordinal).collect();
         let top = self.path.last().expect("open event requires a path");
         EstimateEvent::Open {
             vertex: top.vertex,
             label: self.kernel.label(top.vertex),
-            dewey,
+            dewey_ordinal: top.dewey_ordinal,
             card: top.card,
             fsel: top.fsel,
             bsel: top.bsel,
@@ -266,7 +270,11 @@ mod tests {
             .into_iter()
             .filter_map(|e| match e {
                 EstimateEvent::Open {
-                    label, card, fsel, bsel, ..
+                    label,
+                    card,
+                    fsel,
+                    bsel,
+                    ..
                 } => Some((
                     kernel.names().name_or_panic(label).to_string(),
                     card,
@@ -322,12 +330,10 @@ mod tests {
             .expect("recursive s with bsel 0.4");
         assert!(approx(s_l1.2, 1.0));
         // Deepest p (recursion level 2 chain): card 3, fsel 1, bsel 1.
-        assert!(opens
-            .iter()
-            .any(|(name, card, fsel, bsel)| name == "p"
-                && approx(*card, 3.0)
-                && approx(*fsel, 1.0)
-                && approx(*bsel, 1.0)));
+        assert!(opens.iter().any(|(name, card, fsel, bsel)| name == "p"
+            && approx(*card, 3.0)
+            && approx(*fsel, 1.0)
+            && approx(*bsel, 1.0)));
         // Total number of EPT nodes in the paper's dump: 14.
         assert_eq!(opens.len(), 14);
     }
@@ -390,8 +396,10 @@ mod tests {
     #[test]
     fn max_ept_nodes_caps_generation() {
         let kernel = figure2_kernel();
-        let mut config = XseedConfig::default();
-        config.max_ept_nodes = 3;
+        let config = XseedConfig {
+            max_ept_nodes: 3,
+            ..XseedConfig::default()
+        };
         let events = Traveler::new(&kernel, &config, None).collect_events();
         let opens = events
             .iter()
@@ -451,9 +459,9 @@ mod tests {
         let c_open = events
             .iter()
             .find_map(|e| match e {
-                EstimateEvent::Open { label, card, bsel, .. } if *label == l("c") => {
-                    Some((*card, *bsel))
-                }
+                EstimateEvent::Open {
+                    label, card, bsel, ..
+                } if *label == l("c") => Some((*card, *bsel)),
                 _ => None,
             })
             .unwrap();

@@ -92,12 +92,7 @@ impl<'a> HetBuilder<'a> {
                     continue;
                 };
                 self.add_branching_candidates(
-                    &mut het,
-                    &mut stats,
-                    &matcher,
-                    &evaluator,
-                    parent,
-                    id,
+                    &mut het, &mut stats, &matcher, &evaluator, parent, id,
                 );
             }
         }
@@ -189,7 +184,9 @@ impl<'a> HetBuilder<'a> {
 /// Builds the expression `/<parent path>[pred1]...[predm]/<result>`.
 fn branching_expr(parent_names: &[String], pred_names: &[String], result_name: &str) -> PathExpr {
     let mut steps: Vec<Step> = parent_names.iter().map(Step::child).collect();
-    let last = steps.last_mut().expect("parent path is rooted and non-empty");
+    let last = steps
+        .last_mut()
+        .expect("parent path is rooted and non-empty");
     for p in pred_names {
         last.predicates.push(PathExpr::simple([p.as_str()]));
     }

@@ -43,7 +43,8 @@ pub fn record_feedback(
     base_cardinality: Option<u64>,
 ) -> FeedbackOutcome {
     let error = (estimated - actual as f64).abs();
-    if let Some(labels) = simple_path_labels(kernel, expr) {
+    // Shared shape definition with the matchers' fast paths.
+    if let Some(key) = crate::het::hash::simple_path_hash(kernel.names(), expr) {
         // The feedback gives the cardinality; the backward selectivity of
         // the path is not observable from the count alone, so keep a
         // neutral value unless a base cardinality was provided.
@@ -51,7 +52,7 @@ pub fn record_feedback(
             Some(base) if base > 0 => (actual as f64 / base as f64).min(1.0),
             _ => 1.0,
         };
-        het.insert_simple(path_hash(&labels), actual, bsel, error);
+        het.insert_simple(key, actual, bsel, error);
         het.rebuild_residency();
         return FeedbackOutcome::SimplePath;
     }
@@ -70,20 +71,6 @@ pub fn record_feedback(
         return FeedbackOutcome::Correlated;
     }
     FeedbackOutcome::Unsupported
-}
-
-/// Label path of a simple path expression (child axes, name tests, no
-/// predicates); `None` if the expression has any other feature or uses a
-/// name unknown to the kernel.
-fn simple_path_labels(kernel: &Kernel, expr: &PathExpr) -> Option<Vec<LabelId>> {
-    let mut labels = Vec::with_capacity(expr.len());
-    for step in &expr.steps {
-        if step.axis != Axis::Child || !step.predicates.is_empty() {
-            return None;
-        }
-        labels.push(resolve(kernel, &step.test)?);
-    }
-    Some(labels)
 }
 
 /// Decomposes `p[q1]...[qm]/r` (all child axes, name tests, single-step
@@ -196,8 +183,7 @@ mod tests {
     fn unknown_names_are_ignored() {
         let kernel = kernel();
         let mut het = HyperEdgeTable::new();
-        let outcome =
-            record_feedback(&mut het, &kernel, &parse("/a/zzz").unwrap(), 0.0, 0, None);
+        let outcome = record_feedback(&mut het, &kernel, &parse("/a/zzz").unwrap(), 0.0, 0, None);
         assert_eq!(outcome, FeedbackOutcome::Unsupported);
     }
 

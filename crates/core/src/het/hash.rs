@@ -8,7 +8,8 @@
 //! essentially impossible at the path counts involved. Budget accounting
 //! still charges 4 bytes per key, matching the paper's figure.
 
-use xmlkit::names::LabelId;
+use xmlkit::names::{LabelId, NameTable};
+use xpathkit::ast::{Axis, NodeTest, PathExpr};
 
 /// Initial hash value for the empty path (the FNV-1a offset basis).
 pub const PATH_HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
@@ -31,10 +32,37 @@ pub fn path_hash(labels: &[LabelId]) -> u64 {
     labels.iter().fold(PATH_HASH_SEED, |h, &l| inc_hash(h, l))
 }
 
+/// The path hash of a rooted *simple* path expression — child axes, name
+/// tests, no predicates — or `None` if the expression has any other shape
+/// or names a label absent from `names`. The hash is folded incrementally
+/// step by step, so the check allocates nothing and bails at the first
+/// non-simple step.
+///
+/// This is the single definition of "HET-answerable simple path", shared
+/// by the matchers' direct-lookup fast paths and by feedback recording so
+/// they can never drift apart.
+pub fn simple_path_hash(names: &NameTable, expr: &PathExpr) -> Option<u64> {
+    let mut hash = PATH_HASH_SEED;
+    for step in &expr.steps {
+        if step.axis != Axis::Child || !step.predicates.is_empty() {
+            return None;
+        }
+        match &step.test {
+            NodeTest::Name(n) => hash = inc_hash(hash, names.lookup(n)?),
+            NodeTest::Wildcard => return None,
+        }
+    }
+    Some(hash)
+}
+
 /// Key of a correlated (branching) hyper-edge `p[q1]...[qm]/r`: the hash of
 /// the parent path `p`, folded with the predicate labels (in sorted order,
 /// so `[q1][q2]` and `[q2][q1]` share a key) and the result sibling label.
-pub fn correlated_key(parent_path_hash: u64, predicates: &[LabelId], result_sibling: LabelId) -> u64 {
+pub fn correlated_key(
+    parent_path_hash: u64,
+    predicates: &[LabelId],
+    result_sibling: LabelId,
+) -> u64 {
     let mut sorted: Vec<LabelId> = predicates.to_vec();
     sorted.sort_unstable();
     let mut h = parent_path_hash ^ 0x9e37_79b9_7f4a_7c15;
@@ -67,7 +95,10 @@ mod tests {
             path_hash(&[LabelId(0), LabelId(1)]),
             path_hash(&[LabelId(1), LabelId(0)])
         );
-        assert_ne!(path_hash(&[LabelId(0)]), path_hash(&[LabelId(0), LabelId(0)]));
+        assert_ne!(
+            path_hash(&[LabelId(0)]),
+            path_hash(&[LabelId(0), LabelId(0)])
+        );
         assert_ne!(path_hash(&[]), path_hash(&[LabelId(0)]));
     }
 

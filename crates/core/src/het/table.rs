@@ -1,5 +1,10 @@
 //! The hyper-edge table with budget-aware residency.
+//!
+//! The resident-entry indexes are keyed by 64-bit path hashes and sit on
+//! the estimator's per-node hot path (one lookup per traveler `Open`), so
+//! they use the packed-key [`FastMap`] instead of a SipHash `HashMap`.
 
+use crate::kernel::FastMap;
 use std::collections::HashMap;
 
 /// Bytes charged per resident entry when fitting a memory budget: a 32-bit
@@ -45,8 +50,8 @@ pub struct HetEntry {
 pub struct HyperEdgeTable {
     entries: Vec<HetEntry>,
     index: HashMap<(u64, HetEntryKind), usize>,
-    resident_simple: HashMap<u64, usize>,
-    resident_correlated: HashMap<u64, usize>,
+    resident_simple: FastMap,
+    resident_correlated: FastMap,
     budget_bytes: Option<usize>,
 }
 
@@ -63,7 +68,8 @@ impl HyperEdgeTable {
         match self.index.get(&(entry.key, entry.kind)) {
             Some(&i) => self.entries[i] = entry,
             None => {
-                self.index.insert((entry.key, entry.kind), self.entries.len());
+                self.index
+                    .insert((entry.key, entry.kind), self.entries.len());
                 self.entries.push(entry);
             }
         }
@@ -106,8 +112,6 @@ impl HyperEdgeTable {
     /// Recomputes the resident set: entries are sorted by decreasing error
     /// and admitted until the budget is exhausted.
     pub fn rebuild_residency(&mut self) {
-        self.resident_simple.clear();
-        self.resident_correlated.clear();
         let mut order: Vec<usize> = (0..self.entries.len()).collect();
         order.sort_by(|&a, &b| {
             self.entries[b]
@@ -119,11 +123,17 @@ impl HyperEdgeTable {
             Some(bytes) => bytes / ENTRY_BYTES,
             None => usize::MAX,
         };
+        let admitted = || order.iter().take(max_entries).map(|&i| &self.entries[i]);
+        let simple = admitted()
+            .filter(|e| e.kind == HetEntryKind::SimplePath)
+            .count();
+        self.resident_simple = FastMap::with_capacity(simple);
+        self.resident_correlated = FastMap::with_capacity(order.len().min(max_entries) - simple);
         for &i in order.iter().take(max_entries) {
             let e = &self.entries[i];
             match e.kind {
-                HetEntryKind::SimplePath => self.resident_simple.insert(e.key, i),
-                HetEntryKind::Correlated => self.resident_correlated.insert(e.key, i),
+                HetEntryKind::SimplePath => self.resident_simple.insert(e.key, i as u32),
+                HetEntryKind::Correlated => self.resident_correlated.insert(e.key, i as u32),
             };
         }
     }
@@ -131,15 +141,35 @@ impl HyperEdgeTable {
     /// Looks up a resident simple-path entry: `(actual cardinality, actual
     /// backward selectivity)`.
     pub fn lookup_simple(&self, key: u64) -> Option<(u64, f64)> {
-        self.resident_simple
-            .get(&key)
-            .map(|&i| (self.entries[i].cardinality, self.entries[i].bsel))
+        self.resident_simple.get(key).map(|i| {
+            (
+                self.entries[i as usize].cardinality,
+                self.entries[i as usize].bsel,
+            )
+        })
+    }
+
+    /// The direct answer for a rooted *simple path expression* (child
+    /// axes, name tests, no predicates) with a resident entry: the actual
+    /// cardinality (Section 5, "Cardinality estimation"). Allocation-free;
+    /// this is the one fast path shared by both matchers, so the streaming
+    /// estimator and its materialized differential-testing oracle cannot
+    /// drift apart.
+    pub fn answer_simple_path(
+        &self,
+        names: &xmlkit::names::NameTable,
+        expr: &xpathkit::ast::PathExpr,
+    ) -> Option<f64> {
+        let hash = crate::het::hash::simple_path_hash(names, expr)?;
+        self.lookup_simple(hash).map(|(card, _)| card as f64)
     }
 
     /// Looks up a resident correlated entry: the correlated backward
     /// selectivity.
     pub fn lookup_correlated(&self, key: u64) -> Option<f64> {
-        self.resident_correlated.get(&key).map(|&i| self.entries[i].bsel)
+        self.resident_correlated
+            .get(key)
+            .map(|i| self.entries[i as usize].bsel)
     }
 
     /// Number of entries known to the table (resident or not).
@@ -165,7 +195,11 @@ impl HyperEdgeTable {
     /// Iterates over all entries (resident or not), largest error first.
     pub fn entries_by_error(&self) -> Vec<&HetEntry> {
         let mut all: Vec<&HetEntry> = self.entries.iter().collect();
-        all.sort_by(|a, b| b.error.partial_cmp(&a.error).unwrap_or(std::cmp::Ordering::Equal));
+        all.sort_by(|a, b| {
+            b.error
+                .partial_cmp(&a.error)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         all
     }
 }

@@ -132,7 +132,9 @@ impl KernelBuilder {
             match parser.next_event()? {
                 SaxEvent::StartElement { name, .. } => builder.open_element(&name),
                 SaxEvent::EndElement { .. } => builder.close_element(),
-                SaxEvent::Text(_) | SaxEvent::Comment(_) | SaxEvent::ProcessingInstruction { .. } => {}
+                SaxEvent::Text(_)
+                | SaxEvent::Comment(_)
+                | SaxEvent::ProcessingInstruction { .. } => {}
                 SaxEvent::Eof => break,
             }
         }

@@ -212,7 +212,8 @@ impl Kernel {
 
     /// The label of the edge `(u, v)`, if present.
     pub fn edge_label(&self, u: VertexId, v: VertexId) -> Option<&EdgeLabel> {
-        self.edge_between(u, v).map(|e| &self.edges[e.index()].label)
+        self.edge_between(u, v)
+            .map(|e| &self.edges[e.index()].label)
     }
 
     /// `S_v` at a recursion level (Definition 5): the sum of child counts
@@ -257,19 +258,38 @@ impl Kernel {
     /// reused; the kernel keeps tombstones internally, which is fine for
     /// an in-memory synopsis whose size accounting is based on the
     /// serialized form.
+    ///
+    /// Runs in one pass over the edges: the adjacency lists are rebuilt
+    /// from scratch rather than `retain`-scanned per dead edge (the old
+    /// path was O(E·deg) and dominated bulk subtree removals).
     pub fn prune_zero_edges(&mut self) {
-        let zero: Vec<EdgeId> = self
-            .edges()
-            .filter(|&e| self.edges[e.index()].label.is_zero())
-            .collect();
-        for e in zero {
-            let Edge { from, to, .. } = self.edges[e.index()];
-            self.vertices[from.index()].out_edges.retain(|&x| x != e);
-            self.vertices[to.index()].in_edges.retain(|&x| x != e);
-            self.edge_index.remove(&(from, to));
-            // Leave the edge record in place as a tombstone with an empty
-            // label; it no longer participates in traversal or sizing.
-            self.edges[e.index()].label = EdgeLabel::new();
+        if !self
+            .edge_index
+            .values()
+            .any(|&e| self.edges[e.index()].label.is_zero())
+        {
+            return;
+        }
+        for vertex in &mut self.vertices {
+            vertex.out_edges.clear();
+            vertex.in_edges.clear();
+        }
+        for (i, edge) in self.edges.iter_mut().enumerate() {
+            let e = EdgeId(i as u32);
+            let key = (edge.from, edge.to);
+            if edge.label.is_zero() {
+                // Only unlink the index entry if it still points at this
+                // edge — a pruned-then-recreated edge pair leaves an older
+                // tombstone with the same endpoints behind.
+                if self.edge_index.get(&key) == Some(&e) {
+                    self.edge_index.remove(&key);
+                }
+                // Normalize the tombstone to an empty label.
+                edge.label = EdgeLabel::new();
+            } else if self.edge_index.get(&key) == Some(&e) {
+                self.vertices[edge.from.index()].out_edges.push(e);
+                self.vertices[edge.to.index()].in_edges.push(e);
+            }
         }
     }
 

@@ -11,13 +11,18 @@
 //!   without rebuilding the kernel.
 //! * [`serialize`] — a compact binary encoding used both for persistence
 //!   and for honest `size_bytes()` accounting against memory budgets.
+//! * [`frozen`] — a read-optimized CSR snapshot (flat out-edge arrays,
+//!   precomputed selectivity denominators, reachable-label bitsets) taken
+//!   once per kernel version and consumed by the streaming estimator.
 
 pub mod builder;
+pub mod frozen;
 pub mod graph;
 pub mod label;
 pub mod serialize;
 pub mod update;
 
 pub use builder::KernelBuilder;
+pub use frozen::{FastMap, FrozenKernel};
 pub use graph::{EdgeId, Kernel, VertexId};
 pub use label::EdgeLabel;

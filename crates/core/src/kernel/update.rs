@@ -31,7 +31,9 @@ pub enum UpdateError {
 impl std::fmt::Display for UpdateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            UpdateError::InvalidContext { unknown: Some(name) } => {
+            UpdateError::InvalidContext {
+                unknown: Some(name),
+            } => {
                 write!(f, "context path mentions unknown element '{name}'")
             }
             UpdateError::InvalidContext { unknown: None } => {
@@ -55,7 +57,11 @@ impl Kernel {
     /// parent count ends up over-counted by one. Removal with the same
     /// arguments is exactly symmetric, so add followed by remove always
     /// restores the kernel.
-    pub fn add_subtree(&mut self, context_path: &[&str], subtree: &Document) -> Result<(), UpdateError> {
+    pub fn add_subtree(
+        &mut self,
+        context_path: &[&str],
+        subtree: &Document,
+    ) -> Result<(), UpdateError> {
         self.apply_subtree(context_path, subtree, true)
     }
 
@@ -245,9 +251,7 @@ mod tests {
         let err = kernel.add_subtree(&[], &subtree).unwrap_err();
         assert!(matches!(err, UpdateError::InvalidContext { unknown: None }));
         let err = kernel.add_subtree(&["a", "nope"], &subtree).unwrap_err();
-        assert!(
-            matches!(err, UpdateError::InvalidContext { unknown: Some(ref n) } if n == "nope")
-        );
+        assert!(matches!(err, UpdateError::InvalidContext { unknown: Some(ref n) } if n == "nope"));
         assert!(!err.to_string().is_empty());
     }
 }

@@ -7,11 +7,13 @@
 use crate::config::XseedConfig;
 use crate::estimate::ept::ExpandedPathTree;
 use crate::estimate::matcher::Matcher;
+use crate::estimate::streaming::StreamingMatcher;
 use crate::het::builder::{HetBuildStats, HetBuilder};
 use crate::het::feedback::{record_feedback, FeedbackOutcome};
 use crate::het::table::HyperEdgeTable;
-use crate::kernel::{Kernel, KernelBuilder};
+use crate::kernel::{FrozenKernel, Kernel, KernelBuilder};
 use nokstore::{NokStorage, PathTree};
+use std::sync::OnceLock;
 use xmlkit::tree::Document;
 use xpathkit::ast::PathExpr;
 
@@ -20,35 +22,61 @@ use xpathkit::ast::PathExpr;
 pub struct EstimateReport {
     /// The estimated cardinality.
     pub cardinality: f64,
-    /// Number of expanded-path-tree nodes generated for this estimate.
+    /// Number of expanded-path-tree nodes the streaming traversal visited
+    /// for this estimate — at most (and, without reachability pruning,
+    /// exactly) the size of the materialized EPT.
     pub ept_nodes: usize,
 }
 
 /// The XSEED synopsis.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct XseedSynopsis {
     kernel: Kernel,
     het: Option<HyperEdgeTable>,
     config: XseedConfig,
+    /// Lazily built read-optimized snapshot serving the estimate hot path;
+    /// invalidated whenever the kernel is mutated (see
+    /// [`XseedSynopsis::kernel_mut`]).
+    frozen: OnceLock<FrozenKernel>,
+}
+
+impl Clone for XseedSynopsis {
+    fn clone(&self) -> Self {
+        let frozen = OnceLock::new();
+        if let Some(snapshot) = self.frozen.get() {
+            let _ = frozen.set(snapshot.clone());
+        }
+        XseedSynopsis {
+            kernel: self.kernel.clone(),
+            het: self.het.clone(),
+            config: self.config.clone(),
+            frozen,
+        }
+    }
 }
 
 impl XseedSynopsis {
+    fn new(kernel: Kernel, het: Option<HyperEdgeTable>, config: XseedConfig) -> Self {
+        XseedSynopsis {
+            kernel,
+            het,
+            config,
+            frozen: OnceLock::new(),
+        }
+    }
+
     /// Builds a kernel-only synopsis from a document.
     pub fn build(doc: &Document, config: XseedConfig) -> Self {
-        XseedSynopsis {
-            kernel: KernelBuilder::from_document(doc),
-            het: None,
-            config,
-        }
+        XseedSynopsis::new(KernelBuilder::from_document(doc), None, config)
     }
 
     /// Builds a kernel-only synopsis by SAX-parsing XML text.
     pub fn build_from_xml(xml: &str, config: XseedConfig) -> Result<Self, xmlkit::Error> {
-        Ok(XseedSynopsis {
-            kernel: KernelBuilder::from_xml_str(xml)?,
-            het: None,
+        Ok(XseedSynopsis::new(
+            KernelBuilder::from_xml_str(xml)?,
+            None,
             config,
-        })
+        ))
     }
 
     /// Builds the synopsis *and* pre-computes the hyper-edge table from the
@@ -60,23 +88,12 @@ impl XseedSynopsis {
         let storage = NokStorage::from_document(doc);
         let builder = HetBuilder::new(&kernel, &path_tree, &storage, &config);
         let (het, stats) = builder.build();
-        (
-            XseedSynopsis {
-                kernel,
-                het: Some(het),
-                config,
-            },
-            stats,
-        )
+        (XseedSynopsis::new(kernel, Some(het), config), stats)
     }
 
     /// Wraps an existing kernel (e.g. one deserialized from disk).
     pub fn from_kernel(kernel: Kernel, config: XseedConfig) -> Self {
-        XseedSynopsis {
-            kernel,
-            het: None,
-            config,
-        }
+        XseedSynopsis::new(kernel, None, config)
     }
 
     /// Attaches (or replaces) a hyper-edge table.
@@ -92,6 +109,21 @@ impl XseedSynopsis {
     /// The kernel.
     pub fn kernel(&self) -> &Kernel {
         &self.kernel
+    }
+
+    /// Mutable access to the kernel (e.g. for incremental subtree updates).
+    /// Taking it **invalidates the frozen snapshot**, which is rebuilt
+    /// lazily on the next estimate; batch kernel updates accordingly.
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        self.frozen = OnceLock::new();
+        &mut self.kernel
+    }
+
+    /// The read-optimized snapshot serving the estimate hot path, built on
+    /// first use and cached until the kernel is mutated.
+    pub fn frozen_kernel(&self) -> &FrozenKernel {
+        self.frozen
+            .get_or_init(|| FrozenKernel::freeze(&self.kernel))
     }
 
     /// The hyper-edge table, if any.
@@ -111,23 +143,40 @@ impl XseedSynopsis {
     }
 
     /// Estimates the cardinality of a path expression.
+    ///
+    /// Runs the streaming matcher over the frozen kernel snapshot: no EPT
+    /// arena is materialized, and the snapshot is shared by every estimate
+    /// until the kernel changes.
     pub fn estimate(&self, expr: &PathExpr) -> f64 {
-        self.estimate_with_stats(expr).cardinality
+        self.streaming_matcher().estimate(expr)
     }
 
     /// Estimates the cardinality of a path expression, also reporting the
-    /// number of EPT nodes generated (the quantity Section 6.4 tracks).
+    /// number of EPT nodes visited (the quantity Section 6.4 tracks).
     pub fn estimate_with_stats(&self, expr: &PathExpr) -> EstimateReport {
-        let ept = ExpandedPathTree::generate(&self.kernel, &self.config, self.het.as_ref());
-        let matcher = Matcher::new(&self.kernel, &ept, self.het.as_ref());
+        let (cardinality, ept_nodes) = self.streaming_matcher().estimate_with_stats(expr);
         EstimateReport {
-            cardinality: matcher.estimate(expr),
-            ept_nodes: ept.len(),
+            cardinality,
+            ept_nodes,
         }
     }
 
-    /// Creates a reusable estimator that materializes the EPT once; useful
-    /// when estimating many queries against an unchanged synopsis.
+    /// Creates a streaming matcher over the frozen snapshot. Reusing one
+    /// matcher across many queries keeps its scratch buffers warm; each
+    /// [`XseedSynopsis::estimate`] call otherwise creates a fresh one.
+    pub fn streaming_matcher(&self) -> StreamingMatcher<'_> {
+        StreamingMatcher::new(
+            self.frozen_kernel(),
+            self.kernel.names(),
+            &self.config,
+            self.het.as_ref(),
+        )
+    }
+
+    /// Creates a reusable estimator that materializes the EPT once — the
+    /// API-compatible arena path, kept as the differential-testing oracle
+    /// for the streaming matcher and for callers that want to inspect the
+    /// EPT itself.
     pub fn estimator(&self) -> SynopsisEstimator<'_> {
         let ept = ExpandedPathTree::generate(&self.kernel, &self.config, self.het.as_ref());
         SynopsisEstimator {
@@ -229,9 +278,8 @@ mod tests {
     fn build_from_xml_matches_build_from_document() {
         let doc = figure2_document();
         let a = XseedSynopsis::build(&doc, XseedConfig::default());
-        let b =
-            XseedSynopsis::build_from_xml(xmlkit::samples::FIGURE2_XML, XseedConfig::default())
-                .unwrap();
+        let b = XseedSynopsis::build_from_xml(xmlkit::samples::FIGURE2_XML, XseedConfig::default())
+            .unwrap();
         let q = parse("//s//p").unwrap();
         assert!((a.estimate(&q) - b.estimate(&q)).abs() < 1e-9);
     }
@@ -313,19 +361,55 @@ mod tests {
     }
 
     #[test]
-    fn estimate_with_stats_reports_ept_size() {
+    fn estimate_with_stats_reports_visited_nodes() {
         let doc = figure2_document();
         let synopsis = XseedSynopsis::build(&doc, XseedConfig::default());
+        // //p prunes the t/u subtrees (no p below them), so the streaming
+        // traversal visits fewer nodes than the 14-node materialized EPT.
         let report = synopsis.estimate_with_stats(&parse("//p").unwrap());
-        assert_eq!(report.ept_nodes, 14);
+        assert!(report.ept_nodes > 0 && report.ept_nodes < 14);
         assert!((report.cardinality - 17.0).abs() < 1e-6);
+        // A wildcard query visits the full EPT.
+        let report = synopsis.estimate_with_stats(&parse("//*").unwrap());
+        assert_eq!(report.ept_nodes, 14);
+        assert_eq!(synopsis.estimator().ept_len(), 14);
+    }
+
+    #[test]
+    fn kernel_mut_invalidates_frozen_snapshot() {
+        let doc = figure2_document();
+        let mut synopsis = XseedSynopsis::build(&doc, XseedConfig::default());
+        assert!((synopsis.estimate(&parse("/a/c/s").unwrap()) - 5.0).abs() < 1e-9);
+        // Graft a brand-new child under the root through the synopsis; the
+        // snapshot must be rebuilt so the new edge is visible.
+        let root_name = synopsis
+            .kernel()
+            .name(synopsis.kernel().root().unwrap())
+            .to_string();
+        let subtree = xmlkit::Document::parse_str("<zzz/>").unwrap();
+        synopsis
+            .kernel_mut()
+            .add_subtree(&[root_name.as_str()], &subtree)
+            .unwrap();
+        assert!((synopsis.estimate(&parse("/a/zzz").unwrap()) - 1.0).abs() < 1e-9);
+        // The unrelated estimate is unchanged.
+        assert!((synopsis.estimate(&parse("/a/c/s").unwrap()) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clone_preserves_estimates() {
+        let doc = figure2_document();
+        let synopsis = XseedSynopsis::build(&doc, XseedConfig::default());
+        let q = parse("/a/c/s[t]/p").unwrap();
+        let warm = synopsis.estimate(&q); // populate the snapshot cache
+        let cloned = synopsis.clone();
+        assert!((cloned.estimate(&q) - warm).abs() < 1e-12);
     }
 
     #[test]
     fn card_threshold_reduces_ept() {
         let doc = figure2_document();
-        let mut config = XseedConfig::default();
-        config.card_threshold = 2.0;
+        let config = XseedConfig::default().with_card_threshold(2.0);
         let synopsis = XseedSynopsis::build(&doc, config);
         let report = synopsis.estimate_with_stats(&parse("//p").unwrap());
         assert!(report.ept_nodes < 14);

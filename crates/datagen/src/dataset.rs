@@ -188,7 +188,7 @@ mod tests {
         assert!(DocumentStats::compute(&treebank).max_recursion_level >= 3);
         let xmark = Dataset::XMark10.generate_scaled(0.1);
         let r = DocumentStats::compute(&xmark).max_recursion_level;
-        assert!(r >= 1 && r <= 2);
+        assert!((1..=2).contains(&r));
     }
 
     #[test]

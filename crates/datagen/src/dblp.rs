@@ -209,9 +209,18 @@ mod tests {
 
     #[test]
     fn deterministic_for_a_seed() {
-        let a = generate(&DblpConfig { records: 200, seed: 1 });
-        let b = generate(&DblpConfig { records: 200, seed: 1 });
-        let c = generate(&DblpConfig { records: 200, seed: 2 });
+        let a = generate(&DblpConfig {
+            records: 200,
+            seed: 1,
+        });
+        let b = generate(&DblpConfig {
+            records: 200,
+            seed: 1,
+        });
+        let c = generate(&DblpConfig {
+            records: 200,
+            seed: 2,
+        });
         assert!(a.structurally_equal(&b));
         assert!(!a.structurally_equal(&c));
     }
@@ -227,7 +236,8 @@ mod tests {
         let with_both =
             eval.count(&xpathkit::parse("/dblp/article[pages][publisher]").unwrap()) as f64;
         let articles = eval.count(&xpathkit::parse("/dblp/article").unwrap()) as f64;
-        let with_publisher = eval.count(&xpathkit::parse("/dblp/article[publisher]").unwrap()) as f64;
+        let with_publisher =
+            eval.count(&xpathkit::parse("/dblp/article[publisher]").unwrap()) as f64;
         assert!(with_pages > 0.0 && articles > 0.0);
         // P(publisher | pages) must be much larger than P(publisher).
         assert!(with_both / with_pages > 1.5 * (with_publisher / articles));
@@ -237,7 +247,13 @@ mod tests {
     fn record_kinds_present() {
         let doc = small();
         let names = doc.names();
-        for kind in ["article", "inproceedings", "proceedings", "phdthesis", "www"] {
+        for kind in [
+            "article",
+            "inproceedings",
+            "proceedings",
+            "phdthesis",
+            "www",
+        ] {
             assert!(names.lookup(kind).is_some(), "missing record kind {kind}");
         }
     }

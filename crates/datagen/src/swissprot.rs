@@ -26,7 +26,9 @@ impl Default for SwissProtConfig {
     }
 }
 
-const FEATURE_KINDS: [&str; 6] = ["DOMAIN", "CHAIN", "BINDING", "SIGNAL", "TRANSMEM", "CONFLICT"];
+const FEATURE_KINDS: [&str; 6] = [
+    "DOMAIN", "CHAIN", "BINDING", "SIGNAL", "TRANSMEM", "CONFLICT",
+];
 
 /// Generates a SwissProt-like document.
 pub fn generate(config: &SwissProtConfig) -> Document {
@@ -115,8 +117,14 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = generate(&SwissProtConfig { entries: 50, seed: 2 });
-        let b = generate(&SwissProtConfig { entries: 50, seed: 2 });
+        let a = generate(&SwissProtConfig {
+            entries: 50,
+            seed: 2,
+        });
+        let b = generate(&SwissProtConfig {
+            entries: 50,
+            seed: 2,
+        });
         assert!(a.structurally_equal(&b));
     }
 }

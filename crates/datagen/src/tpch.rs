@@ -113,8 +113,14 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = generate(&TpchConfig { orders: 40, seed: 6 });
-        let b = generate(&TpchConfig { orders: 40, seed: 6 });
+        let a = generate(&TpchConfig {
+            orders: 40,
+            seed: 6,
+        });
+        let b = generate(&TpchConfig {
+            orders: 40,
+            seed: 6,
+        });
         assert!(a.structurally_equal(&b));
     }
 }

@@ -38,7 +38,9 @@ impl Default for TreebankConfig {
 /// Non-terminal grammatical categories (these recurse).
 const NON_TERMINALS: [&str; 8] = ["S", "NP", "VP", "PP", "SBAR", "ADJP", "ADVP", "WHNP"];
 /// Terminal part-of-speech tags (leaves).
-const TERMINALS: [&str; 10] = ["NN", "NNS", "NNP", "VB", "VBD", "DT", "IN", "JJ", "RB", "PRP"];
+const TERMINALS: [&str; 10] = [
+    "NN", "NNS", "NNP", "VB", "VBD", "DT", "IN", "JJ", "RB", "PRP",
+];
 
 /// Generates a Treebank-like document.
 pub fn generate(config: &TreebankConfig) -> Document {

@@ -129,7 +129,8 @@ impl<'a> WorkloadGenerator<'a> {
     pub fn generate(&self, spec: &WorkloadSpec) -> Workload {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let simple = self.simple_queries(spec.max_simple);
-        let branching = self.random_queries(&mut rng, spec.branching, spec.predicates_per_step, false);
+        let branching =
+            self.random_queries(&mut rng, spec.branching, spec.predicates_per_step, false);
         let complex = self.random_queries(&mut rng, spec.complex, spec.predicates_per_step, true);
         Workload {
             simple,
@@ -175,7 +176,9 @@ impl<'a> WorkloadGenerator<'a> {
             let spine: Vec<PathTreeNodeId> = self.rooted_chain(target);
             let mut steps: Vec<Step> = Vec::with_capacity(spine.len());
             for &node in &spine {
-                let name = names.name_or_panic(self.path_tree.node(node).label).to_string();
+                let name = names
+                    .name_or_panic(self.path_tree.node(node).label)
+                    .to_string();
                 steps.push(Step::child(name));
             }
             // Attach predicates: pick a step (not the last) whose path-tree
@@ -191,7 +194,11 @@ impl<'a> WorkloadGenerator<'a> {
                 let mut sibling_labels: Vec<String> = children
                     .iter()
                     .filter(|&&c| self.path_tree.node(c).label != next_label)
-                    .map(|&c| names.name_or_panic(self.path_tree.node(c).label).to_string())
+                    .map(|&c| {
+                        names
+                            .name_or_panic(self.path_tree.node(c).label)
+                            .to_string()
+                    })
                     .collect();
                 if sibling_labels.is_empty() {
                     continue;

@@ -91,9 +91,7 @@ impl<'a> Evaluator<'a> {
             Axis::Descendant => {
                 for &c in candidates {
                     for d in self.storage.descendants(c) {
-                        if self.test_matches(&step.test, d)
-                            && self.satisfies_predicates(d, step)
-                        {
+                        if self.test_matches(&step.test, d) && self.satisfies_predicates(d, step) {
                             next.push(d);
                         }
                     }
@@ -234,9 +232,8 @@ mod tests {
     fn descendant_predicate_and_duplicates() {
         // //s//p from nested s nodes: the same p is reachable from several
         // s ancestors but must be counted once.
-        let s = NokStorage::from_document(
-            &Document::parse_str("<a><s><s><p/></s></s></a>").unwrap(),
-        );
+        let s =
+            NokStorage::from_document(&Document::parse_str("<a><s><s><p/></s></s></a>").unwrap());
         assert_eq!(count(&s, "//s//p"), 1);
         // Both s elements have a descendant p, so //s[//p] returns 2.
         assert_eq!(count(&s, "//s[//p]"), 2);

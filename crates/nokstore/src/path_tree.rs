@@ -72,7 +72,12 @@ impl PathTree {
     pub fn from_storage(storage: &NokStorage) -> Self {
         Self::build(
             storage.label(storage.root()),
-            |node| storage.children(node).map(|c| (storage.label(c), c)).collect(),
+            |node| {
+                storage
+                    .children(node)
+                    .map(|c| (storage.label(c), c))
+                    .collect()
+            },
             storage.root(),
         )
     }
@@ -209,7 +214,9 @@ impl PathTree {
     /// The exact cardinality of a rooted simple path given as label ids, or
     /// 0 if the path does not occur in the document.
     pub fn simple_path_cardinality(&self, path: &[LabelId]) -> u64 {
-        self.lookup(path).map(|id| self.cardinality(id)).unwrap_or(0)
+        self.lookup(path)
+            .map(|id| self.cardinality(id))
+            .unwrap_or(0)
     }
 
     /// Iterates over all node ids in creation order (root first).

@@ -168,7 +168,11 @@ mod tests {
             .classes()
             .map(|c| {
                 let n = unmerged.class(c).count as f64;
-                unmerged.out_edges(c).iter().map(|e| e.avg_count * n).sum::<f64>()
+                unmerged
+                    .out_edges(c)
+                    .iter()
+                    .map(|e| e.avg_count * n)
+                    .sum::<f64>()
             })
             .sum();
         let mut merged = build(&doc);
@@ -177,7 +181,11 @@ mod tests {
             .classes()
             .map(|c| {
                 let n = merged.class(c).count as f64;
-                merged.out_edges(c).iter().map(|e| e.avg_count * n).sum::<f64>()
+                merged
+                    .out_edges(c)
+                    .iter()
+                    .map(|e| e.avg_count * n)
+                    .sum::<f64>()
             })
             .sum();
         assert!((expected - got).abs() < 1e-6);

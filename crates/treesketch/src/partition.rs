@@ -27,9 +27,7 @@ impl CountStablePartition {
     pub fn compute(doc: &Document) -> Self {
         let n = doc.element_count();
         // Initial partition: by label.
-        let mut class_of: Vec<u32> = (0..n)
-            .map(|i| doc.label(NodeId(i as u32)).0)
-            .collect();
+        let mut class_of: Vec<u32> = (0..n).map(|i| doc.label(NodeId(i as u32)).0).collect();
         let mut class_count = doc.names().len();
 
         loop {
@@ -93,10 +91,7 @@ mod tests {
     fn identical_subtrees_share_a_class() {
         let doc = Document::parse_str("<r><x><k/></x><x><k/></x></r>").unwrap();
         let p = CountStablePartition::compute(&doc);
-        let xs: Vec<NodeId> = doc
-            .preorder()
-            .filter(|&n| doc.name(n) == "x")
-            .collect();
+        let xs: Vec<NodeId> = doc.preorder().filter(|&n| doc.name(n) == "x").collect();
         assert_eq!(p.class_of(xs[0]), p.class_of(xs[1]));
     }
 
@@ -104,10 +99,7 @@ mod tests {
     fn different_child_counts_split_classes() {
         let doc = Document::parse_str("<r><x><k/><k/></x><x><k/></x><x/></r>").unwrap();
         let p = CountStablePartition::compute(&doc);
-        let xs: Vec<NodeId> = doc
-            .preorder()
-            .filter(|&n| doc.name(n) == "x")
-            .collect();
+        let xs: Vec<NodeId> = doc.preorder().filter(|&n| doc.name(n) == "x").collect();
         assert_ne!(p.class_of(xs[0]), p.class_of(xs[1]));
         assert_ne!(p.class_of(xs[1]), p.class_of(xs[2]));
         assert_ne!(p.class_of(xs[0]), p.class_of(xs[2]));

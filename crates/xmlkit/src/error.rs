@@ -114,7 +114,9 @@ mod tests {
     #[test]
     fn display_empty_and_roots() {
         assert!(Error::EmptyDocument.to_string().contains("no element"));
-        assert!(Error::MultipleRoots { offset: 10 }.to_string().contains("second root"));
+        assert!(Error::MultipleRoots { offset: 10 }
+            .to_string()
+            .contains("second root"));
         assert!(Error::InvalidNodeId { id: 4 }.to_string().contains('4'));
     }
 

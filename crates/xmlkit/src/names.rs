@@ -142,7 +142,10 @@ mod tests {
         let mut t = NameTable::new();
         t.intern("x");
         t.intern("y");
-        let collected: Vec<_> = t.iter().map(|(id, n)| (id.index(), n.to_string())).collect();
+        let collected: Vec<_> = t
+            .iter()
+            .map(|(id, n)| (id.index(), n.to_string()))
+            .collect();
         assert_eq!(collected, vec![(0, "x".to_string()), (1, "y".to_string())]);
     }
 

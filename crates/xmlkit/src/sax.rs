@@ -653,7 +653,9 @@ mod tests {
 
     #[test]
     fn mismatched_tags_error() {
-        let err = SaxParser::new("<a><b></a></b>").collect_events().unwrap_err();
+        let err = SaxParser::new("<a><b></a></b>")
+            .collect_events()
+            .unwrap_err();
         assert!(matches!(err, Error::MismatchedTag { .. }));
     }
 
@@ -728,7 +730,9 @@ mod tests {
 
     #[test]
     fn unquoted_attribute_is_error() {
-        let err = SaxParser::new("<a attr=1></a>").collect_events().unwrap_err();
+        let err = SaxParser::new("<a attr=1></a>")
+            .collect_events()
+            .unwrap_err();
         assert!(matches!(err, Error::Syntax { .. }));
     }
 

@@ -68,7 +68,10 @@ impl DocumentStats {
                     rl_sum += rl;
                     max_rl = max_rl.max(rl);
 
-                    let parent_hash = path_hash_stack.last().copied().unwrap_or(0xcbf2_9ce4_8422_2325);
+                    let parent_hash = path_hash_stack
+                        .last()
+                        .copied()
+                        .unwrap_or(0xcbf2_9ce4_8422_2325);
                     let h = fnv_step(parent_hash, label.0);
                     path_hash_stack.push(h);
                     path_set.insert(h, ());

@@ -122,7 +122,9 @@ impl Document {
 
     /// Checked access to a node.
     pub fn get(&self, id: NodeId) -> Result<&Node> {
-        self.nodes.get(id.index()).ok_or(Error::InvalidNodeId { id: id.index() })
+        self.nodes
+            .get(id.index())
+            .ok_or(Error::InvalidNodeId { id: id.index() })
     }
 
     /// The interned label of `id`.
@@ -336,8 +338,9 @@ impl DocumentBuilder {
     /// Records `len` bytes of text inside the currently open element.
     pub fn text_len(&mut self, len: usize) {
         if let Some(&cur) = self.stack.last() {
-            self.nodes[cur.index()].text_bytes =
-                self.nodes[cur.index()].text_bytes.saturating_add(len as u32);
+            self.nodes[cur.index()].text_bytes = self.nodes[cur.index()]
+                .text_bytes
+                .saturating_add(len as u32);
             self.estimated_bytes += len;
         }
     }
@@ -366,7 +369,11 @@ impl DocumentBuilder {
                 open_elements: self
                     .stack
                     .iter()
-                    .map(|&id| self.names.name_or_panic(self.nodes[id.index()].label).to_string())
+                    .map(|&id| {
+                        self.names
+                            .name_or_panic(self.nodes[id.index()].label)
+                            .to_string()
+                    })
                     .collect(),
             });
         }

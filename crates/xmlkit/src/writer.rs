@@ -8,22 +8,13 @@
 use crate::tree::{Document, NodeId};
 
 /// Formatting options for [`write_document`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WriteOptions {
     /// Emit a leading `<?xml version="1.0"?>` declaration.
     pub declaration: bool,
     /// Indent nested elements by two spaces per level and put each element
     /// on its own line. When `false`, the output is a single line.
     pub pretty: bool,
-}
-
-impl Default for WriteOptions {
-    fn default() -> Self {
-        WriteOptions {
-            declaration: false,
-            pretty: false,
-        }
-    }
 }
 
 /// Serializes `doc` to XML text with the given options.

@@ -123,7 +123,10 @@ impl PathExpr {
     /// Creates a path from steps. Panics if `steps` is empty — an empty
     /// path expression is not representable in the language.
     pub fn new(steps: Vec<Step>) -> Self {
-        assert!(!steps.is_empty(), "a path expression must have at least one step");
+        assert!(
+            !steps.is_empty(),
+            "a path expression must have at least one step"
+        );
         PathExpr { steps }
     }
 
@@ -151,7 +154,13 @@ impl PathExpr {
     pub fn node_test_count(&self) -> usize {
         self.steps
             .iter()
-            .map(|s| 1 + s.predicates.iter().map(PathExpr::node_test_count).sum::<usize>())
+            .map(|s| {
+                1 + s
+                    .predicates
+                    .iter()
+                    .map(PathExpr::node_test_count)
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -248,7 +257,10 @@ mod tests {
     #[test]
     fn node_test_count_includes_predicates() {
         let pred = PathExpr::simple(["x", "y"]);
-        let p = PathExpr::new(vec![Step::child("a").with_predicate(pred), Step::child("b")]);
+        let p = PathExpr::new(vec![
+            Step::child("a").with_predicate(pred),
+            Step::child("b"),
+        ]);
         assert_eq!(p.node_test_count(), 4);
     }
 

@@ -158,15 +158,24 @@ mod tests {
 
     #[test]
     fn classify_branching() {
-        assert_eq!(parse("/a/b[c]/d").unwrap().classify(), QueryClass::BranchingPath);
-        assert_eq!(parse("/a[b][c]").unwrap().classify(), QueryClass::BranchingPath);
+        assert_eq!(
+            parse("/a/b[c]/d").unwrap().classify(),
+            QueryClass::BranchingPath
+        );
+        assert_eq!(
+            parse("/a[b][c]").unwrap().classify(),
+            QueryClass::BranchingPath
+        );
     }
 
     #[test]
     fn classify_complex() {
         assert_eq!(parse("//a/b").unwrap().classify(), QueryClass::ComplexPath);
         assert_eq!(parse("/a/*/b").unwrap().classify(), QueryClass::ComplexPath);
-        assert_eq!(parse("/a/b[//c]").unwrap().classify(), QueryClass::ComplexPath);
+        assert_eq!(
+            parse("/a/b[//c]").unwrap().classify(),
+            QueryClass::ComplexPath
+        );
     }
 
     #[test]

@@ -37,4 +37,4 @@ pub use ast::{Axis, NodeTest, PathExpr, Step};
 pub use classify::QueryClass;
 pub use error::{ParseError, Result};
 pub use parser::parse;
-pub use query_tree::{QueryTree, QueryTreeNode, QtnId};
+pub use query_tree::{QtnId, QueryTree, QueryTreeNode};

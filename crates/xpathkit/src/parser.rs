@@ -81,7 +81,10 @@ impl<'a> Parser<'a> {
             steps.push(self.parse_step()?);
         }
         if steps.is_empty() {
-            return Err(ParseError::new("empty path expression", self.current_offset()));
+            return Err(ParseError::new(
+                "empty path expression",
+                self.current_offset(),
+            ));
         }
         Ok(PathExpr::new(steps))
     }

@@ -150,7 +150,9 @@ impl QueryTree {
 
     /// Number of leaf QTNs.
     pub fn leaf_count(&self) -> usize {
-        self.ids().filter(|&id| self.children(id).is_empty()).count()
+        self.ids()
+            .filter(|&id| self.children(id).is_empty())
+            .count()
     }
 }
 

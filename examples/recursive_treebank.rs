@@ -20,8 +20,7 @@ fn main() {
     // The paper raises CARD_THRESHOLD (to 20 for the 121k-element
     // Treebank.05) so the expanded path tree stays small; the scaled
     // preset picks the equivalent threshold for this document's size.
-    let config =
-        XseedConfig::recursive_for_size(doc.element_count()).with_memory_budget(25 * 1024);
+    let config = XseedConfig::recursive_for_size(doc.element_count()).with_memory_budget(25 * 1024);
     let (synopsis, _) = XseedSynopsis::build_with_het(&doc, config);
     let sketch = TreeSketch::build(&doc, Some(25 * 1024));
     println!(
@@ -30,12 +29,15 @@ fn main() {
         synopsis.kernel_size_bytes(),
         sketch.size_bytes()
     );
+    let ept_len = synopsis.estimator().ept_len();
     let report = synopsis.estimate_with_stats(&parse_query("//S").unwrap());
     println!(
-        "Expanded path tree: {} nodes for a {}-element document ({:.2}%)\n",
-        report.ept_nodes,
+        "Expanded path tree: {} nodes for a {}-element document ({:.2}%); \
+         //S visits {} of them\n",
+        ept_len,
         doc.element_count(),
-        100.0 * report.ept_nodes as f64 / doc.element_count() as f64
+        100.0 * ept_len as f64 / doc.element_count() as f64,
+        report.ept_nodes
     );
 
     let storage = NokStorage::from_document(&doc);

@@ -45,7 +45,11 @@ fn xmark_pipeline_produces_reasonable_errors() {
         "NRMSE {} unexpectedly high for XMark with HET",
         metrics.nrmse
     );
-    assert!(metrics.opd > 0.7, "order preservation {} too low", metrics.opd);
+    assert!(
+        metrics.opd > 0.7,
+        "order preservation {} too low",
+        metrics.opd
+    );
 }
 
 #[test]
@@ -90,7 +94,10 @@ fn incremental_update_tracks_document_changes() {
     kernel.add_subtree(&["catalog"], &article).unwrap();
     let after = XseedSynopsis::from_kernel(kernel.clone(), XseedConfig::default())
         .estimate(&parse_query("/catalog/article").unwrap());
-    assert!((after - before - 1.0).abs() < 1e-6, "before {before}, after {after}");
+    assert!(
+        (after - before - 1.0).abs() < 1e-6,
+        "before {before}, after {after}"
+    );
 
     // Removing it restores the original estimate.
     kernel.remove_subtree(&["catalog"], &article).unwrap();
@@ -117,7 +124,10 @@ fn serialized_synopsis_can_be_shipped_to_an_optimizer() {
         predicates_per_step: 1,
     });
     for q in workload.all() {
-        assert!((original.estimate(q) - restored.estimate(q)).abs() < 1e-9, "{q}");
+        assert!(
+            (original.estimate(q) - restored.estimate(q)).abs() < 1e-9,
+            "{q}"
+        );
     }
 }
 

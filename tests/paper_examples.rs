@@ -17,7 +17,10 @@ fn example2_kernel_labels() {
         "s -> p (5:9, 1:2, 2:3)",
         "s -> t (2:2, 1:1)",
     ] {
-        assert!(rendered.contains(expected), "kernel missing edge `{expected}`:\n{rendered}");
+        assert!(
+            rendered.contains(expected),
+            "kernel missing edge `{expected}`:\n{rendered}"
+        );
     }
 }
 
@@ -67,10 +70,8 @@ fn examples4_and_5_het_repairs_independence_errors() {
     let queries = ["/a/b/d/e", "/a/c/d/f", "/a/b/d[f]/e"];
 
     let bare = XseedSynopsis::build(&doc, XseedConfig::default());
-    let (with_het, _) = XseedSynopsis::build_with_het(
-        &doc,
-        XseedConfig::default().with_bsel_threshold(0.99),
-    );
+    let (with_het, _) =
+        XseedSynopsis::build_with_het(&doc, XseedConfig::default().with_bsel_threshold(0.99));
 
     let mut bare_error = 0.0;
     let mut het_error = 0.0;
@@ -80,7 +81,10 @@ fn examples4_and_5_het_repairs_independence_errors() {
         bare_error += (bare.estimate(&query) - actual).abs();
         het_error += (with_het.estimate(&query) - actual).abs();
     }
-    assert!(bare_error > 1.0, "the correlated document must fool the bare kernel");
+    assert!(
+        bare_error > 1.0,
+        "the correlated document must fool the bare kernel"
+    );
     assert!(
         het_error < 0.25 * bare_error,
         "HET error {het_error} should be far below kernel error {bare_error}"

@@ -13,10 +13,8 @@ fn arb_document() -> impl Strategy<Value = Document> {
         children: vec![],
     });
     let tree = leaf.prop_recursive(4, 60, 5, |inner| {
-        ((0u8..5), prop::collection::vec(inner, 0..5)).prop_map(|(label, children)| Tree {
-            label,
-            children,
-        })
+        ((0u8..5), prop::collection::vec(inner, 0..5))
+            .prop_map(|(label, children)| Tree { label, children })
     });
     tree.prop_map(|t| {
         let mut builder = xseed::xmlkit::tree::DocumentBuilder::new();
@@ -195,5 +193,150 @@ proptest! {
         let base = parse_query("//a/b").unwrap();
         let constrained = parse_query("//a[c]/b").unwrap();
         prop_assert!(evaluator.count(&constrained) <= evaluator.count(&base));
+    }
+}
+
+/// Strategy: a random query that may carry branching predicates (single or
+/// nested one level), exercising the streaming matcher's deferred
+/// predicate-evaluation machinery.
+fn arb_pred_query() -> impl Strategy<Value = PathExpr> {
+    let pred_step = (0u8..5, prop::bool::ANY);
+    let pred = prop::collection::vec(pred_step, 1..3);
+    let step = (
+        0u8..5,
+        prop::bool::ANY,
+        prop::bool::ANY,
+        prop::collection::vec(pred, 0..3),
+    );
+    prop::collection::vec(step, 1..5).prop_map(|steps| {
+        const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
+        let steps = steps
+            .into_iter()
+            .map(
+                |(label, descendant, wildcard, preds)| xseed::xpathkit::Step {
+                    axis: if descendant {
+                        xseed::xpathkit::Axis::Descendant
+                    } else {
+                        xseed::xpathkit::Axis::Child
+                    },
+                    test: if wildcard {
+                        xseed::xpathkit::NodeTest::Wildcard
+                    } else {
+                        xseed::xpathkit::NodeTest::Name(NAMES[label as usize].to_string())
+                    },
+                    predicates: preds
+                        .into_iter()
+                        .map(|pred_steps| {
+                            PathExpr::new(
+                                pred_steps
+                                    .into_iter()
+                                    .map(|(l, desc)| xseed::xpathkit::Step {
+                                        axis: if desc {
+                                            xseed::xpathkit::Axis::Descendant
+                                        } else {
+                                            xseed::xpathkit::Axis::Child
+                                        },
+                                        test: xseed::xpathkit::NodeTest::Name(
+                                            NAMES[l as usize].to_string(),
+                                        ),
+                                        predicates: vec![],
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                },
+            )
+            .collect();
+        PathExpr::new(steps)
+    })
+}
+
+/// Tolerance for streaming-vs-materialized agreement: 1e-9 absolute, with
+/// an ulp-scale relative term for large cardinalities (the two paths
+/// multiply identical factors in slightly different associations).
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9 + 1e-12 * a.abs().max(b.abs())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The streaming matcher over the frozen kernel produces exactly the
+    /// estimates of the materialized-EPT matcher, with and without a HET
+    /// attached, over random documents and random (predicate-bearing)
+    /// queries. A small positive cardinality threshold keeps the EPT of
+    /// highly recursive random documents bounded; when the node cap still
+    /// truncates generation the two paths may legitimately truncate at
+    /// different frontiers, so those rare cases are skipped.
+    #[test]
+    fn streaming_equals_materialized_oracle(
+        doc in arb_document(),
+        queries in prop::collection::vec(arb_pred_query(), 1..8),
+    ) {
+        let config = XseedConfig::default().with_card_threshold(0.5);
+        let bare = XseedSynopsis::build(&doc, config.clone());
+        let (with_het, _) = XseedSynopsis::build_with_het(&doc, config);
+        for synopsis in [&bare, &with_het] {
+            let oracle = synopsis.estimator();
+            if oracle.ept_len() >= synopsis.config().max_ept_nodes {
+                continue;
+            }
+            let mut streaming = synopsis.streaming_matcher();
+            for query in &queries {
+                let expected = oracle.estimate(query);
+                let got = streaming.estimate(query);
+                prop_assert!(
+                    close(expected, got),
+                    "{} (het: {}): streaming {} != materialized {}",
+                    query, synopsis.het().is_some(), got, expected
+                );
+            }
+        }
+    }
+}
+
+/// The streaming matcher agrees with the materialized oracle on realistic
+/// SP/BP/CP workloads over the paper's synthetic datasets — a
+/// non-recursive one with the default configuration and the
+/// Treebank-style recursive one with the paper's recursive preset — with
+/// and without a HET.
+#[test]
+fn streaming_matches_materialized_on_datagen_workloads() {
+    use xseed::datagen::{Dataset, WorkloadSpec};
+
+    let scenarios = [
+        (Dataset::XMark10, 0.02, None),
+        (Dataset::Dblp, 0.01, None),
+        (Dataset::TreebankSmall, 0.02, Some(())),
+    ];
+    for (dataset, scale, recursive) in scenarios {
+        let doc = dataset.generate_scaled(scale);
+        let config = match recursive {
+            Some(()) => XseedConfig::recursive_for_size(doc.element_count()),
+            None => XseedConfig::default(),
+        };
+        let workload = WorkloadGenerator::new(&doc, 0xBEEF).generate(&WorkloadSpec::small());
+        assert!(!workload.is_empty());
+
+        let bare = XseedSynopsis::build(&doc, config.clone());
+        let (with_het, _) = XseedSynopsis::build_with_het(&doc, config);
+        for synopsis in [&bare, &with_het] {
+            let oracle = synopsis.estimator();
+            assert!(
+                oracle.ept_len() < synopsis.config().max_ept_nodes,
+                "{dataset:?}: EPT hit the node cap; raise card_threshold in this scenario"
+            );
+            let mut streaming = synopsis.streaming_matcher();
+            for query in workload.all() {
+                let expected = oracle.estimate(query);
+                let got = streaming.estimate(query);
+                assert!(
+                    close(expected, got),
+                    "{dataset:?} {query} (het: {}): streaming {got} != materialized {expected}",
+                    synopsis.het().is_some()
+                );
+            }
+        }
     }
 }
