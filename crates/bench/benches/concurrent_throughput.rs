@@ -1,0 +1,236 @@
+//! Concurrent estimation-service throughput.
+//!
+//! Measures aggregate estimates/sec of the [`xseed_service::Service`]
+//! pipeline (catalog snapshot → sharded plan cache → per-worker queues →
+//! shared-frontier-memo batch executor) at 1/2/4/8 workers over SP/BP/CP
+//! workloads, against the pre-service single-threaded client baseline
+//! (parse the text, call `XseedSynopsis::estimate` — the PR 1 usage
+//! pattern). Results land in `BENCH_concurrent_throughput.json` at the
+//! workspace root.
+//!
+//! Worker scaling is bounded by the cores the container actually grants
+//! (`cpus_available` in the JSON): the snapshot sharing, queues, and
+//! stealing are exercised at every worker count regardless, but wall-clock
+//! speedup from threads alone cannot exceed the core count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{Dataset, WorkloadGenerator, WorkloadSpec};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use xpathkit::QueryClass;
+use xseed_bench::report::json_throughput_entry;
+use xseed_core::{XseedConfig, XseedSynopsis};
+use xseed_service::{Catalog, Service, ServiceConfig};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Scenario {
+    name: &'static str,
+    synopsis: XseedSynopsis,
+    /// (workload label, query texts): per paper class plus the full mix.
+    workloads: Vec<(&'static str, Vec<String>)>,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for (name, dataset, scale, recursive, split_classes) in [
+        ("xmark", Dataset::XMark10, 0.25, false, true),
+        ("treebank", Dataset::TreebankSmall, 0.1, true, false),
+    ] {
+        let doc = dataset.generate_scaled(scale);
+        let config = if recursive {
+            XseedConfig::recursive_for_size(doc.element_count())
+        } else {
+            XseedConfig::default()
+        };
+        let synopsis = XseedSynopsis::build(&doc, config);
+        let workload = WorkloadGenerator::new(&doc, 0x5EED).generate(&WorkloadSpec::small());
+        let mut workloads: Vec<(&'static str, Vec<String>)> = Vec::new();
+        if split_classes {
+            for (label, class) in [
+                ("SP", QueryClass::SimplePath),
+                ("BP", QueryClass::BranchingPath),
+                ("CP", QueryClass::ComplexPath),
+            ] {
+                let texts: Vec<String> = workload
+                    .of_class(class)
+                    .iter()
+                    .map(|q| q.to_string())
+                    .collect();
+                assert!(!texts.is_empty(), "{name}: empty {label} workload");
+                workloads.push((label, texts));
+            }
+        }
+        workloads.push(("ALL", workload.all().map(|q| q.to_string()).collect()));
+        out.push(Scenario {
+            name,
+            synopsis,
+            workloads,
+        });
+    }
+    out
+}
+
+/// Times `pass` (one full run over the workload, returning the number of
+/// estimates produced) until it has run for ~250 ms, returning ns per
+/// estimate. One untimed warm-up pass populates caches.
+fn time_passes(mut pass: impl FnMut() -> usize) -> f64 {
+    let mut estimates = pass();
+    assert!(estimates > 0);
+    estimates = 0;
+    let start = Instant::now();
+    let mut rounds = 0u32;
+    loop {
+        estimates += pass();
+        rounds += 1;
+        if start.elapsed().as_millis() >= 250 && rounds >= 2 {
+            break;
+        }
+    }
+    start.elapsed().as_nanos() as f64 / estimates as f64
+}
+
+/// The pre-service client: parse each text and run a one-shot estimate.
+fn naive_pass(synopsis: &XseedSynopsis, texts: &[String]) -> usize {
+    let mut sink = 0.0;
+    for text in texts {
+        let expr = xpathkit::parse(text).expect("workload query parses");
+        sink += synopsis.estimate(&expr);
+    }
+    std::hint::black_box(sink);
+    texts.len()
+}
+
+fn service_pass(service: &Service, doc: &str, texts: &[String]) -> usize {
+    let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+    let estimates = service.estimate_batch(doc, &refs).expect("batch estimate");
+    std::hint::black_box(estimates.len());
+    texts.len()
+}
+
+struct WorkloadResult {
+    label: &'static str,
+    queries: usize,
+    baseline_ns: f64,
+    /// Parallel to `WORKER_COUNTS`.
+    worker_ns: Vec<f64>,
+}
+
+fn concurrent_benches(c: &mut Criterion) {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let scenarios = scenarios();
+    let mut report = String::from("{\n  \"bench\": \"concurrent_throughput\",\n");
+    let counts = WORKER_COUNTS
+        .iter()
+        .map(|w| w.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = write!(report, "  \"cpus_available\": {cpus},\n  \"worker_counts\": [{counts}],\n  \"baseline\": \"single-threaded parse + one-shot XseedSynopsis::estimate per query (pre-service client)\",\n  \"note\": \"worker scaling is bounded by cpus_available; service wins over the baseline come from the plan cache, snapshot sharing, and the per-batch frontier memo\",\n  \"datasets\": {{\n");
+
+    // Criterion-visible spot check: one-shot service estimate latency.
+    {
+        let mut group = c.benchmark_group("concurrent_throughput");
+        group.sample_size(10);
+        for scenario in &scenarios {
+            let catalog = Arc::new(Catalog::new());
+            catalog.insert(scenario.name, scenario.synopsis.clone());
+            let service = Service::new(catalog, ServiceConfig::with_workers(2));
+            let (_, texts) = scenario.workloads.last().expect("ALL workload");
+            group.bench_with_input(
+                BenchmarkId::new("service_estimate", scenario.name),
+                &(),
+                |b, _| b.iter(|| service.estimate(scenario.name, &texts[0]).unwrap()),
+            );
+        }
+        group.finish();
+    }
+
+    for (si, scenario) in scenarios.iter().enumerate() {
+        let mut results: Vec<WorkloadResult> = Vec::new();
+        for (label, texts) in &scenario.workloads {
+            let baseline_ns = time_passes(|| naive_pass(&scenario.synopsis, texts));
+            let mut worker_ns = Vec::new();
+            for &workers in &WORKER_COUNTS {
+                let catalog = Arc::new(Catalog::new());
+                catalog.insert(scenario.name, scenario.synopsis.clone());
+                let service = Service::new(catalog, ServiceConfig::with_workers(workers));
+                let ns = time_passes(|| service_pass(&service, scenario.name, texts));
+                worker_ns.push(ns);
+            }
+            println!(
+                "{}/{}: {} queries | naive 1-thread {:.0} ns | service {:?} ns for {:?} workers",
+                scenario.name,
+                label,
+                texts.len(),
+                baseline_ns,
+                worker_ns.iter().map(|n| n.round()).collect::<Vec<_>>(),
+                WORKER_COUNTS,
+            );
+            results.push(WorkloadResult {
+                label,
+                queries: texts.len(),
+                baseline_ns,
+                worker_ns,
+            });
+        }
+
+        let all = results.last().expect("ALL workload result");
+        let w1 = all.worker_ns[0];
+        let w8 = all.worker_ns[WORKER_COUNTS.len() - 1];
+        let _ = write!(
+            report,
+            "    \"{}\": {{\n      \"workloads\": {{\n",
+            scenario.name
+        );
+        for (wi, w) in results.iter().enumerate() {
+            let _ = write!(
+                report,
+                "        \"{}\": {{\n          \"queries\": {},\n          \
+                 \"single_thread_baseline\": {},\n          \"service_workers\": {{",
+                w.label,
+                w.queries,
+                json_throughput_entry(w.baseline_ns),
+            );
+            for (i, &workers) in WORKER_COUNTS.iter().enumerate() {
+                let _ = write!(
+                    report,
+                    "\n            \"{}\": {}{}",
+                    workers,
+                    json_throughput_entry(w.worker_ns[i]),
+                    if i + 1 == WORKER_COUNTS.len() {
+                        ""
+                    } else {
+                        ","
+                    }
+                );
+            }
+            let _ = write!(
+                report,
+                "\n          }}\n        }}{}\n",
+                if wi + 1 == results.len() { "" } else { "," }
+            );
+        }
+        let _ = write!(
+            report,
+            "      }},\n      \"aggregate_speedup_8_workers_vs_baseline\": {:.2},\n      \
+             \"aggregate_scaling_8_vs_1_workers\": {:.2}\n    }}{}\n",
+            all.baseline_ns / w8,
+            w1 / w8,
+            if si + 1 == scenarios.len() { "" } else { "," }
+        );
+    }
+    report.push_str("  }\n}\n");
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_concurrent_throughput.json"
+    );
+    std::fs::write(path, &report).expect("write BENCH_concurrent_throughput.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, concurrent_benches);
+criterion_main!(benches);

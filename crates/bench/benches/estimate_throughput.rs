@@ -12,6 +12,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::{Dataset, WorkloadGenerator, WorkloadSpec};
 use std::time::Instant;
 use xpathkit::ast::PathExpr;
+use xseed_bench::report::json_throughput_entry;
 use xseed_core::{ExpandedPathTree, Matcher, XseedConfig, XseedSynopsis};
 
 struct Scenario {
@@ -74,17 +75,10 @@ fn time_per_estimate(queries: &[PathExpr], mut f: impl FnMut(&PathExpr) -> f64) 
     start.elapsed().as_nanos() as f64 / (rounds as f64 * queries.len() as f64)
 }
 
-fn json_entry(ns: f64) -> String {
-    format!(
-        "{{\"ns_per_estimate\": {:.1}, \"estimates_per_sec\": {:.1}}}",
-        ns,
-        1e9 / ns
-    )
-}
-
-fn write_baseline(results: &[(String, usize, f64, f64, f64, f64)]) {
+#[allow(clippy::type_complexity)]
+fn write_baseline(results: &[(String, usize, f64, f64, f64, f64, f64)]) {
     let mut body = String::from("{\n  \"bench\": \"estimate_throughput\",\n  \"datasets\": {\n");
-    for (i, (name, queries, regen, streaming, batched_mat, batched_stream)) in
+    for (i, (name, queries, regen, streaming, batched_mat, batched_stream, batched_memo)) in
         results.iter().enumerate()
     {
         body.push_str(&format!(
@@ -93,12 +87,16 @@ fn write_baseline(results: &[(String, usize, f64, f64, f64, f64)]) {
              \"one_shot_streaming\": {},\n      \
              \"batched_materialized\": {},\n      \
              \"batched_streaming\": {},\n      \
-             \"speedup_one_shot\": {:.2}\n    }}{}\n",
-            json_entry(*regen),
-            json_entry(*streaming),
-            json_entry(*batched_mat),
-            json_entry(*batched_stream),
+             \"batched_streaming_memo\": {},\n      \
+             \"speedup_one_shot\": {:.2},\n      \
+             \"memo_vs_materialized\": {:.2}\n    }}{}\n",
+            json_throughput_entry(*regen),
+            json_throughput_entry(*streaming),
+            json_throughput_entry(*batched_mat),
+            json_throughput_entry(*batched_stream),
+            json_throughput_entry(*batched_memo),
             regen / streaming,
+            batched_mat / batched_memo,
             if i + 1 == results.len() { "" } else { "," }
         ));
     }
@@ -146,9 +144,15 @@ fn throughput_benches(c: &mut Criterion) {
             let mut matcher = s.streaming_matcher();
             time_per_estimate(qs, |q| matcher.estimate(q))
         };
+        let batched_memo = {
+            let mut matcher = s.streaming_matcher();
+            matcher.enable_batch_memo();
+            time_per_estimate(qs, |q| matcher.estimate(q))
+        };
         println!(
             "{}: {} queries | regen {:.0} ns | streaming {:.0} ns ({:.1}x) | \
-             batched materialized {:.0} ns | batched streaming {:.0} ns",
+             batched materialized {:.0} ns | batched streaming {:.0} ns | \
+             batched streaming+memo {:.0} ns ({:.2}x vs materialized)",
             scenario.name,
             qs.len(),
             regen,
@@ -156,6 +160,8 @@ fn throughput_benches(c: &mut Criterion) {
             regen / streaming,
             batched_mat,
             batched_stream,
+            batched_memo,
+            batched_mat / batched_memo,
         );
         results.push((
             scenario.name.to_string(),
@@ -164,6 +170,7 @@ fn throughput_benches(c: &mut Criterion) {
             streaming,
             batched_mat,
             batched_stream,
+            batched_memo,
         ));
     }
     write_baseline(&results);

@@ -93,6 +93,16 @@ pub fn format_secs(seconds: f64) -> String {
     }
 }
 
+/// JSON object fragment for a throughput measurement, shared by the
+/// `BENCH_*.json`-writing benches so their number formats cannot drift.
+pub fn json_throughput_entry(ns_per_estimate: f64) -> String {
+    format!(
+        "{{\"ns_per_estimate\": {:.1}, \"estimates_per_sec\": {:.1}}}",
+        ns_per_estimate,
+        1e9 / ns_per_estimate
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,5 +26,5 @@ pub mod traveler;
 pub use ept::{EptNode, ExpandedPathTree};
 pub use event::EstimateEvent;
 pub use matcher::Matcher;
-pub use streaming::StreamingMatcher;
+pub use streaming::{FrontierMemo, StreamingMatcher};
 pub use traveler::Traveler;

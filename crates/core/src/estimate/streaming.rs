@@ -63,6 +63,7 @@ use crate::config::XseedConfig;
 use crate::het::hash::{correlated_key, inc_hash, PATH_HASH_SEED};
 use crate::het::table::HyperEdgeTable;
 use crate::kernel::{FrozenKernel, VertexId};
+use std::sync::Arc;
 use xmlkit::names::{LabelId, NameTable};
 use xpathkit::ast::{Axis, NodeTest, PathExpr};
 use xpathkit::query_tree::{QtnId, QueryTree};
@@ -175,7 +176,8 @@ struct Frame {
     fsel: f64,
     bsel: f64,
     path_hash: u64,
-    /// Next out slot of `vertex` to try.
+    /// Next child cursor of `vertex`: a frozen out-slot in streaming mode,
+    /// a memo index during replay.
     next_slot: u32,
     end_slot: u32,
     /// Frontier states this frame's children inherit.
@@ -200,6 +202,88 @@ struct Footprint {
     fsel: f64,
     bsel: f64,
     path_hash: u64,
+}
+
+/// One memoized traversal position: the frontier the traveler computed for
+/// a `(vertex, recursion level)` pair along one expansion path, stored in
+/// pre-order with the subtree extent so pruned replays can skip it in O(1).
+#[derive(Debug, Clone, Copy)]
+struct MemoNode {
+    vertex: VertexId,
+    card: f64,
+    fsel: f64,
+    bsel: f64,
+    path_hash: u64,
+    /// One past the last memo index of this node's subtree (pre-order).
+    subtree_end: u32,
+}
+
+impl MemoNode {
+    #[inline]
+    fn footprint(&self) -> Footprint {
+        Footprint {
+            vertex: self.vertex,
+            card: self.card,
+            fsel: self.fsel,
+            bsel: self.bsel,
+            path_hash: self.path_hash,
+        }
+    }
+}
+
+/// A per-batch memo of the traveler's full expansion: every
+/// `(vertex, recursion level)` position the traversal reaches, with its
+/// computed frontier footprint (card / fsel / bsel / path hash), laid out
+/// in pre-order with subtree extents.
+///
+/// The expansion is *query-independent* (which children open depends only
+/// on the synopsis, the config thresholds, and the HET overrides), so one
+/// memo serves every query estimated against the same snapshot: replaying
+/// a query over the memo skips the recursion-level counter stacks, the
+/// per-slot footprint arithmetic, and the HET path-hash probes that the
+/// cold streaming pass pays per node. Reachability pruning still applies
+/// during replay — a subtree that cannot complete any frontier state is
+/// skipped via its stored extent.
+///
+/// The memo is valid for exactly one frozen snapshot + config + HET
+/// combination; take a fresh one (or a fresh [`StreamingMatcher`]) after
+/// the kernel epoch changes. When `max_ept_nodes` truncates a degenerate
+/// synopsis, the memo truncates at the materialized EPT's frontier, which
+/// may differ from the cold streaming pass's pruned frontier (the same
+/// caveat as the materialized oracle; see the module docs).
+#[derive(Debug, Clone)]
+pub struct FrontierMemo {
+    nodes: Vec<MemoNode>,
+    /// Vertex and slot counts of the snapshot the memo was built from,
+    /// used to catch cross-snapshot reuse in debug builds.
+    vertex_count: usize,
+    slot_count: usize,
+}
+
+impl FrontierMemo {
+    /// Builds the memo for a snapshot by running the traveler's expansion
+    /// once (no query matching).
+    pub fn build(
+        frozen: &FrozenKernel,
+        config: &XseedConfig,
+        het: Option<&HyperEdgeTable>,
+    ) -> Self {
+        // The expansion never consults the name table, so an empty one is
+        // sufficient for the throwaway matcher driving the build.
+        let names = NameTable::new();
+        let mut matcher = StreamingMatcher::new(frozen, &names, config, het);
+        matcher.build_memo_nodes()
+    }
+
+    /// Number of memoized traversal positions (the materialized EPT size).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` when the snapshot has no root to expand.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
 }
 
 const NO_TABLES: u32 = u32::MAX;
@@ -233,6 +317,9 @@ pub struct StreamingMatcher<'a> {
     rec_occ: Vec<u32>,
     rec_max: usize,
     opens: usize,
+    /// When set, estimates replay the memoized expansion instead of
+    /// re-deriving footprints per node (see [`FrontierMemo`]).
+    memo: Option<Arc<FrontierMemo>>,
 }
 
 impl<'a> StreamingMatcher<'a> {
@@ -266,7 +353,35 @@ impl<'a> StreamingMatcher<'a> {
             rec_occ: Vec::new(),
             rec_max: 0,
             opens: 0,
+            memo: None,
         }
+    }
+
+    /// Switches the matcher to batched (memoized) mode: the traveler's
+    /// expansion is recorded once and every subsequent estimate replays it.
+    /// Worth it from the second query of a batch onwards; a no-op when a
+    /// memo is already installed.
+    pub fn enable_batch_memo(&mut self) {
+        if self.memo.is_none() {
+            let memo = self.build_memo_nodes();
+            self.memo = Some(Arc::new(memo));
+        }
+    }
+
+    /// Installs a pre-built (possibly shared) frontier memo.
+    ///
+    /// The memo must have been built from the same frozen snapshot,
+    /// config, and HET this matcher was created over; estimates are
+    /// undefined otherwise. That compatibility is the **caller's
+    /// contract** — only the snapshot's vertex and slot counts are
+    /// sanity-checked (in debug builds), which cannot catch e.g. a config
+    /// or HET that differs over an identically shaped graph. Obtaining
+    /// matchers through [`crate::synopsis::SynopsisSnapshot::batch_matcher`]
+    /// upholds the contract by construction (one bundle owns both).
+    pub fn set_frontier_memo(&mut self, memo: Arc<FrontierMemo>) {
+        debug_assert_eq!(memo.vertex_count, self.frozen.vertex_count());
+        debug_assert_eq!(memo.slot_count, self.frozen.slot_count());
+        self.memo = Some(memo);
     }
 
     /// Estimates the cardinality of a path expression.
@@ -308,6 +423,25 @@ impl<'a> StreamingMatcher<'a> {
         }
         let incoming_end = self.states.len() as u32;
 
+        if let Some(memo) = self.memo.clone() {
+            self.run_replay(&memo, incoming_start, incoming_end, &query);
+        } else {
+            self.run_stream(root, incoming_start, incoming_end, &query);
+        }
+
+        let total = self.sum_contributions();
+        (total, self.opens)
+    }
+
+    /// The cold traversal: streams the traveler's expansion and matches in
+    /// the same pass (see the module docs).
+    fn run_stream(
+        &mut self,
+        root: VertexId,
+        incoming_start: u32,
+        incoming_end: u32,
+        query: &CompiledQuery,
+    ) {
         let root_fp = Footprint {
             vertex: root,
             card: 1.0,
@@ -316,11 +450,19 @@ impl<'a> StreamingMatcher<'a> {
             path_hash: inc_hash(PATH_HASH_SEED, self.frozen.label(root)),
         };
         self.rec_push(root);
-        self.open_frame(root_fp, incoming_start, incoming_end, &query);
+        let slots = self.frozen.out_slots(root);
+        self.open_frame(
+            root_fp,
+            incoming_start,
+            incoming_end,
+            query,
+            slots.start as u32,
+            slots.end as u32,
+        );
 
         while let Some(frame) = self.frames.last().copied() {
             if self.opens >= self.config.max_ept_nodes || frame.next_slot >= frame.end_slot {
-                self.close_top(&query);
+                self.close_top(query);
                 continue;
             }
             let slot = frame.next_slot as usize;
@@ -328,18 +470,159 @@ impl<'a> StreamingMatcher<'a> {
             self.frames[top].next_slot += 1;
 
             let child = self.frozen.slot_target(slot);
-            let Some(fp) = self.child_footprint(&frame, slot, child) else {
+            let Some(fp) =
+                self.child_footprint(frame.vertex, frame.fsel, frame.path_hash, slot, child)
+            else {
                 continue;
             };
-            if !frame.tables_active && !self.any_state_viable(&frame, child, &query) {
+            if !frame.tables_active && !self.any_state_viable(&frame, child, query) {
                 continue;
             }
             self.rec_push(child);
-            self.open_frame(fp, frame.states_start, frame.states_end, &query);
+            let slots = self.frozen.out_slots(fp.vertex);
+            self.open_frame(
+                fp,
+                frame.states_start,
+                frame.states_end,
+                query,
+                slots.start as u32,
+                slots.end as u32,
+            );
+        }
+    }
+
+    /// The batched traversal: replays the memoized expansion, skipping
+    /// footprint arithmetic and recursion tracking entirely. Frame slot
+    /// cursors index memo nodes instead of frozen out-slots; advancing a
+    /// cursor jumps over the child's whole pre-order extent, so pruning a
+    /// subtree costs O(1).
+    fn run_replay(
+        &mut self,
+        memo: &FrontierMemo,
+        incoming_start: u32,
+        incoming_end: u32,
+        query: &CompiledQuery,
+    ) {
+        let nodes = &memo.nodes;
+        let Some(root) = nodes.first() else {
+            return;
+        };
+        self.open_frame(
+            root.footprint(),
+            incoming_start,
+            incoming_end,
+            query,
+            1,
+            root.subtree_end,
+        );
+
+        while let Some(frame) = self.frames.last().copied() {
+            if frame.next_slot >= frame.end_slot {
+                self.close_top(query);
+                continue;
+            }
+            let m = frame.next_slot as usize;
+            let node = nodes[m];
+            let top = self.frames.len() - 1;
+            self.frames[top].next_slot = node.subtree_end;
+            if !frame.tables_active && !self.any_state_viable(&frame, node.vertex, query) {
+                continue;
+            }
+            self.open_frame(
+                node.footprint(),
+                frame.states_start,
+                frame.states_end,
+                query,
+                m as u32 + 1,
+                node.subtree_end,
+            );
+        }
+    }
+
+    /// Runs the traveler's expansion once, recording every opened node in
+    /// pre-order with its subtree extent — the build step of
+    /// [`FrontierMemo`]. Uses (and then resets) this matcher's recursion
+    /// tracker; no query matching happens here.
+    fn build_memo_nodes(&mut self) -> FrontierMemo {
+        self.rec_counts.clear();
+        self.rec_counts.resize(self.frozen.vertex_count(), 0);
+        self.rec_occ.clear();
+        self.rec_max = 0;
+
+        struct BuildFrame {
+            node: u32,
+            vertex: VertexId,
+            fsel: f64,
+            path_hash: u64,
+            next_slot: u32,
+            end_slot: u32,
         }
 
-        let total = self.sum_contributions();
-        (total, self.opens)
+        let mut nodes: Vec<MemoNode> = Vec::new();
+        let mut stack: Vec<BuildFrame> = Vec::new();
+        if let Some(root) = self.frozen.root() {
+            let path_hash = inc_hash(PATH_HASH_SEED, self.frozen.label(root));
+            self.rec_push(root);
+            nodes.push(MemoNode {
+                vertex: root,
+                card: 1.0,
+                fsel: 1.0,
+                bsel: 1.0,
+                path_hash,
+                subtree_end: 0,
+            });
+            let slots = self.frozen.out_slots(root);
+            stack.push(BuildFrame {
+                node: 0,
+                vertex: root,
+                fsel: 1.0,
+                path_hash,
+                next_slot: slots.start as u32,
+                end_slot: slots.end as u32,
+            });
+
+            while let Some(top) = stack.last_mut() {
+                if nodes.len() >= self.config.max_ept_nodes || top.next_slot >= top.end_slot {
+                    let done = stack.pop().expect("non-empty stack");
+                    self.rec_pop(done.vertex);
+                    nodes[done.node as usize].subtree_end = nodes.len() as u32;
+                    continue;
+                }
+                let slot = top.next_slot as usize;
+                top.next_slot += 1;
+                let (pv, pf, ph) = (top.vertex, top.fsel, top.path_hash);
+
+                let child = self.frozen.slot_target(slot);
+                let Some(fp) = self.child_footprint(pv, pf, ph, slot, child) else {
+                    continue;
+                };
+                self.rec_push(child);
+                let node = nodes.len() as u32;
+                nodes.push(MemoNode {
+                    vertex: fp.vertex,
+                    card: fp.card,
+                    fsel: fp.fsel,
+                    bsel: fp.bsel,
+                    path_hash: fp.path_hash,
+                    subtree_end: 0,
+                });
+                let slots = self.frozen.out_slots(fp.vertex);
+                stack.push(BuildFrame {
+                    node,
+                    vertex: fp.vertex,
+                    fsel: fp.fsel,
+                    path_hash: fp.path_hash,
+                    next_slot: slots.start as u32,
+                    end_slot: slots.end as u32,
+                });
+            }
+        }
+
+        FrontierMemo {
+            nodes,
+            vertex_count: self.frozen.vertex_count(),
+            slot_count: self.frozen.slot_count(),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -522,14 +805,21 @@ impl<'a> StreamingMatcher<'a> {
 
     /// The traveler's `EST`: footprint of the child reached through `slot`,
     /// or `None` when traversal stops there (threshold or Observation 1).
-    fn child_footprint(&self, parent: &Frame, slot: usize, child: VertexId) -> Option<Footprint> {
+    fn child_footprint(
+        &self,
+        parent_vertex: VertexId,
+        parent_fsel: f64,
+        parent_path_hash: u64,
+        slot: usize,
+        child: VertexId,
+    ) -> Option<Footprint> {
         let old_level = self.rec_level();
         let new_level = self.rec_peek_push(child);
-        let path_hash = inc_hash(parent.path_hash, self.frozen.label(child));
+        let path_hash = inc_hash(parent_path_hash, self.frozen.label(child));
 
         let (mut card, mut bsel) = if new_level < self.frozen.slot_levels(slot) {
-            let card = self.frozen.slot_child_count(slot, new_level) as f64 * parent.fsel;
-            let parent_in_sum = self.frozen.in_child_sum(parent.vertex, old_level);
+            let card = self.frozen.slot_child_count(slot, new_level) as f64 * parent_fsel;
+            let parent_in_sum = self.frozen.in_child_sum(parent_vertex, old_level);
             let bsel = if parent_in_sum == 0 {
                 0.0
             } else {
@@ -580,12 +870,16 @@ impl<'a> StreamingMatcher<'a> {
 
     /// Opens a frame for `fp`, processing the inherited frontier states
     /// exactly as the materialized matcher processes one EPT node.
+    /// `children_start..children_end` is the frame's child cursor range —
+    /// frozen out-slots in streaming mode, memo indices during replay.
     fn open_frame(
         &mut self,
         fp: Footprint,
         incoming_start: u32,
         incoming_end: u32,
         query: &CompiledQuery,
+        children_start: u32,
+        children_end: u32,
     ) {
         self.opens += 1;
         let label = self.frozen.label(fp.vertex);
@@ -745,8 +1039,8 @@ impl<'a> StreamingMatcher<'a> {
             fsel: fp.fsel,
             bsel: fp.bsel,
             path_hash: fp.path_hash,
-            next_slot: self.frozen.out_slots(fp.vertex).start as u32,
-            end_slot: self.frozen.out_slots(fp.vertex).end as u32,
+            next_slot: children_start,
+            end_slot: children_end,
             states_start,
             states_end: self.states.len() as u32,
             cands_mark,
@@ -834,7 +1128,11 @@ impl<'a> StreamingMatcher<'a> {
     /// embedding tables into its parent, and truncates the scratch stacks.
     fn close_top(&mut self, query: &CompiledQuery) {
         let frame = self.frames.pop().expect("close requires an open frame");
-        self.rec_pop(frame.vertex);
+        // Replay never touches the recursion tracker (levels are baked into
+        // the memo), so there is nothing to pop in memoized mode.
+        if self.memo.is_none() {
+            self.rec_pop(frame.vertex);
+        }
 
         if frame.tables_active {
             let p_count = query.preds.len();
@@ -1099,6 +1397,120 @@ mod tests {
             assert!((m.estimate(&parse("//p").unwrap()) - 17.0).abs() < 1e-9);
             assert!((m.estimate(&parse("/a/c").unwrap()) - 2.0).abs() < 1e-9);
         }
+    }
+
+    fn assert_memo_matches_streaming(
+        kernel: &Kernel,
+        het: Option<&HyperEdgeTable>,
+        config: &XseedConfig,
+        queries: &[&str],
+    ) {
+        let frozen = FrozenKernel::freeze(kernel);
+        let mut cold = StreamingMatcher::new(&frozen, kernel.names(), config, het);
+        let mut memoized = StreamingMatcher::new(&frozen, kernel.names(), config, het);
+        memoized.enable_batch_memo();
+        for q in queries {
+            let expr = parse(q).unwrap();
+            let expected = cold.estimate(&expr);
+            let got = memoized.estimate(&expr);
+            assert!(
+                (expected - got).abs() < 1e-9,
+                "{q}: memoized {got} != streaming {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn memo_replay_matches_streaming_on_figure2() {
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        assert_memo_matches_streaming(&kernel, None, &XseedConfig::default(), FIGURE2_QUERIES);
+    }
+
+    #[test]
+    fn memo_replay_matches_streaming_on_figure4() {
+        let kernel = KernelBuilder::from_document(&figure4_document());
+        assert_memo_matches_streaming(
+            &kernel,
+            None,
+            &XseedConfig::default(),
+            &[
+                "/a/b/d/e",
+                "/a/c/d/f",
+                "/a/b/d[f]/e",
+                "/a/c/d[f]/e",
+                "//d[e][f]",
+                "//d//*",
+                "/a/*/d[e]/f",
+            ],
+        );
+    }
+
+    #[test]
+    fn memo_replay_matches_streaming_with_het() {
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        let names = kernel.names();
+        let l = |n: &str| names.lookup(n).unwrap();
+        let mut het = HyperEdgeTable::new();
+        het.insert_simple(path_hash(&[l("a"), l("c")]), 7, 0.9, 100.0);
+        let anchor = path_hash(&[l("a"), l("c"), l("s")]);
+        het.insert_correlated(correlated_key(anchor, &[l("t")], l("p")), 9, 1.0, 50.0);
+        het.rebuild_residency();
+        assert_memo_matches_streaming(
+            &kernel,
+            Some(&het),
+            &XseedConfig::default(),
+            FIGURE2_QUERIES,
+        );
+    }
+
+    #[test]
+    fn memo_replay_matches_streaming_with_card_threshold() {
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        assert_memo_matches_streaming(
+            &kernel,
+            None,
+            &XseedConfig::default().with_card_threshold(2.0),
+            FIGURE2_QUERIES,
+        );
+    }
+
+    #[test]
+    fn memo_size_equals_materialized_ept() {
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        let frozen = FrozenKernel::freeze(&kernel);
+        let config = XseedConfig::default();
+        let memo = FrontierMemo::build(&frozen, &config, None);
+        let ept = ExpandedPathTree::generate(&kernel, &config, None);
+        assert_eq!(memo.len(), ept.len());
+        assert!(!memo.is_empty());
+    }
+
+    #[test]
+    fn memo_respects_max_ept_nodes() {
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        let frozen = FrozenKernel::freeze(&kernel);
+        let config = XseedConfig {
+            max_ept_nodes: 3,
+            ..XseedConfig::default()
+        };
+        let memo = FrontierMemo::build(&frozen, &config, None);
+        assert!(memo.len() <= 3);
+        let mut m = StreamingMatcher::new(&frozen, kernel.names(), &config, None);
+        m.set_frontier_memo(std::sync::Arc::new(memo));
+        let (_, visited) = m.estimate_with_stats(&parse("//*").unwrap());
+        assert!(visited <= 3);
+    }
+
+    #[test]
+    fn memo_on_empty_kernel() {
+        let kernel = Kernel::new();
+        let frozen = FrozenKernel::freeze(&kernel);
+        let config = XseedConfig::default();
+        let memo = FrontierMemo::build(&frozen, &config, None);
+        assert!(memo.is_empty());
+        let mut m = StreamingMatcher::new(&frozen, kernel.names(), &config, None);
+        m.enable_batch_memo();
+        assert_eq!(m.estimate(&parse("/a").unwrap()), 0.0);
     }
 
     #[test]

@@ -354,6 +354,12 @@ impl FrozenKernel {
         }
     }
 
+    /// Total number of out slots (edges) across all vertices.
+    #[inline]
+    pub fn slot_count(&self) -> usize {
+        self.out_to.len()
+    }
+
     /// The contiguous out-slot range of `v` (kernel insertion order).
     #[inline]
     pub fn out_slots(&self, v: VertexId) -> std::ops::Range<usize> {

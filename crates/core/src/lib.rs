@@ -45,7 +45,9 @@ pub mod synopsis;
 
 pub use config::XseedConfig;
 pub use counter_stacks::CounterStacks;
-pub use estimate::{EstimateEvent, ExpandedPathTree, Matcher, StreamingMatcher, Traveler};
+pub use estimate::{
+    EstimateEvent, ExpandedPathTree, FrontierMemo, Matcher, StreamingMatcher, Traveler,
+};
 pub use het::{HetBuilder, HyperEdgeTable};
 pub use kernel::{EdgeLabel, FrozenKernel, Kernel, KernelBuilder};
-pub use synopsis::{EstimateReport, SynopsisEstimator, XseedSynopsis};
+pub use synopsis::{EstimateReport, SynopsisEstimator, SynopsisSnapshot, XseedSynopsis};

@@ -7,13 +7,14 @@
 use crate::config::XseedConfig;
 use crate::estimate::ept::ExpandedPathTree;
 use crate::estimate::matcher::Matcher;
-use crate::estimate::streaming::StreamingMatcher;
+use crate::estimate::streaming::{FrontierMemo, StreamingMatcher};
 use crate::het::builder::{HetBuildStats, HetBuilder};
 use crate::het::feedback::{record_feedback, FeedbackOutcome};
 use crate::het::table::HyperEdgeTable;
 use crate::kernel::{FrozenKernel, Kernel, KernelBuilder};
 use nokstore::{NokStorage, PathTree};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
+use xmlkit::names::NameTable;
 use xmlkit::tree::Document;
 use xpathkit::ast::PathExpr;
 
@@ -32,37 +33,63 @@ pub struct EstimateReport {
 #[derive(Debug)]
 pub struct XseedSynopsis {
     kernel: Kernel,
-    het: Option<HyperEdgeTable>,
+    /// Shared so snapshot publication is an `Arc` bump; mutated in place
+    /// only when uniquely owned (copy-on-write via [`Arc::make_mut`]).
+    het: Option<Arc<HyperEdgeTable>>,
     config: XseedConfig,
+    /// Epoch counter: bumped by every mutation that can change estimates
+    /// ([`XseedSynopsis::kernel_mut`], HET/config changes), so published
+    /// [`SynopsisSnapshot`]s can be told apart from the current state.
+    epoch: u64,
     /// Lazily built read-optimized snapshot serving the estimate hot path;
-    /// invalidated whenever the kernel is mutated (see
-    /// [`XseedSynopsis::kernel_mut`]).
-    frozen: OnceLock<FrozenKernel>,
+    /// shared (`Arc`) so concurrent readers keep estimating against a
+    /// consistent snapshot across kernel updates. Invalidated whenever the
+    /// kernel is mutated (see [`XseedSynopsis::kernel_mut`]).
+    frozen: OnceLock<Arc<FrozenKernel>>,
+    /// Lazily built self-contained snapshot bundle handed to concurrent
+    /// estimation services; invalidated with `frozen` plus on HET/config
+    /// mutations.
+    snapshot: OnceLock<SynopsisSnapshot>,
 }
 
 impl Clone for XseedSynopsis {
     fn clone(&self) -> Self {
         let frozen = OnceLock::new();
-        if let Some(snapshot) = self.frozen.get() {
-            let _ = frozen.set(snapshot.clone());
+        if let Some(shared) = self.frozen.get() {
+            let _ = frozen.set(shared.clone());
+        }
+        let snapshot = OnceLock::new();
+        if let Some(snap) = self.snapshot.get() {
+            let _ = snapshot.set(snap.clone());
         }
         XseedSynopsis {
             kernel: self.kernel.clone(),
             het: self.het.clone(),
             config: self.config.clone(),
+            epoch: self.epoch,
             frozen,
+            snapshot,
         }
     }
 }
 
 impl XseedSynopsis {
-    fn new(kernel: Kernel, het: Option<HyperEdgeTable>, config: XseedConfig) -> Self {
+    fn new(kernel: Kernel, het: Option<Arc<HyperEdgeTable>>, config: XseedConfig) -> Self {
         XseedSynopsis {
             kernel,
             het,
             config,
+            epoch: 0,
             frozen: OnceLock::new(),
+            snapshot: OnceLock::new(),
         }
+    }
+
+    /// Bumps the epoch and drops the published snapshot bundle. Every
+    /// `&mut self` method that can change estimates must call this.
+    fn invalidate_snapshot(&mut self) {
+        self.epoch += 1;
+        self.snapshot = OnceLock::new();
     }
 
     /// Builds a kernel-only synopsis from a document.
@@ -88,7 +115,10 @@ impl XseedSynopsis {
         let storage = NokStorage::from_document(doc);
         let builder = HetBuilder::new(&kernel, &path_tree, &storage, &config);
         let (het, stats) = builder.build();
-        (XseedSynopsis::new(kernel, Some(het), config), stats)
+        (
+            XseedSynopsis::new(kernel, Some(Arc::new(het)), config),
+            stats,
+        )
     }
 
     /// Wraps an existing kernel (e.g. one deserialized from disk).
@@ -98,11 +128,13 @@ impl XseedSynopsis {
 
     /// Attaches (or replaces) a hyper-edge table.
     pub fn set_het(&mut self, het: HyperEdgeTable) {
-        self.het = Some(het);
+        self.invalidate_snapshot();
+        self.het = Some(Arc::new(het));
     }
 
     /// Drops the hyper-edge table, leaving the bare kernel.
     pub fn clear_het(&mut self) {
+        self.invalidate_snapshot();
         self.het = None;
     }
 
@@ -112,23 +144,78 @@ impl XseedSynopsis {
     }
 
     /// Mutable access to the kernel (e.g. for incremental subtree updates).
-    /// Taking it **invalidates the frozen snapshot**, which is rebuilt
-    /// lazily on the next estimate; batch kernel updates accordingly.
+    /// Taking it **bumps the epoch and invalidates the frozen snapshot**,
+    /// which is rebuilt lazily on the next estimate; batch kernel updates
+    /// accordingly. Snapshots handed out earlier (via
+    /// [`XseedSynopsis::snapshot`] or [`XseedSynopsis::shared_frozen_kernel`])
+    /// are unaffected: they keep estimating against their own consistent
+    /// pre-update state.
     pub fn kernel_mut(&mut self) -> &mut Kernel {
+        self.invalidate_snapshot();
         self.frozen = OnceLock::new();
         &mut self.kernel
+    }
+
+    /// Epoch counter of the current estimate state: starts at 0 and is
+    /// bumped by every mutation that can change estimates (kernel updates,
+    /// HET attachment/feedback, config changes).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Raises the epoch to at least `to` (dropping the cached snapshot
+    /// when it actually moves). Used when this synopsis *replaces* another
+    /// one under the same published name — e.g. a catalog re-`LOAD` — so
+    /// observed epochs never regress or collide across the swap.
+    pub fn advance_epoch(&mut self, to: u64) {
+        if self.epoch < to {
+            self.epoch = to;
+            self.snapshot = OnceLock::new();
+        }
     }
 
     /// The read-optimized snapshot serving the estimate hot path, built on
     /// first use and cached until the kernel is mutated.
     pub fn frozen_kernel(&self) -> &FrozenKernel {
+        self.shared_frozen()
+    }
+
+    /// Shared handle to the frozen snapshot. Cloning the `Arc` is the
+    /// race-proof way to keep estimating across concurrent updates: a
+    /// handle taken before [`XseedSynopsis::kernel_mut`] still points at
+    /// the pre-update snapshot.
+    pub fn shared_frozen_kernel(&self) -> Arc<FrozenKernel> {
+        self.shared_frozen().clone()
+    }
+
+    fn shared_frozen(&self) -> &Arc<FrozenKernel> {
         self.frozen
-            .get_or_init(|| FrozenKernel::freeze(&self.kernel))
+            .get_or_init(|| Arc::new(FrozenKernel::freeze(&self.kernel)))
+    }
+
+    /// Publishes the current estimate state as a self-contained,
+    /// epoch-stamped, `Send + Sync` snapshot bundle (frozen kernel, name
+    /// table, config, HET). The bundle is cached until the next mutation,
+    /// so repeated calls between updates hand out the same cheap `Arc`
+    /// clone; see [`SynopsisSnapshot`].
+    pub fn snapshot(&self) -> SynopsisSnapshot {
+        self.snapshot
+            .get_or_init(|| SynopsisSnapshot {
+                inner: Arc::new(SnapshotInner {
+                    epoch: self.epoch,
+                    frozen: self.shared_frozen_kernel(),
+                    names: self.kernel.names().clone(),
+                    config: self.config.clone(),
+                    het: self.het.clone(),
+                    memo: OnceLock::new(),
+                }),
+            })
+            .clone()
     }
 
     /// The hyper-edge table, if any.
     pub fn het(&self) -> Option<&HyperEdgeTable> {
-        self.het.as_ref()
+        self.het.as_deref()
     }
 
     /// The configuration.
@@ -139,6 +226,7 @@ impl XseedSynopsis {
     /// Mutable access to the configuration (e.g. to raise the cardinality
     /// threshold for a highly recursive document).
     pub fn config_mut(&mut self) -> &mut XseedConfig {
+        self.invalidate_snapshot();
         &mut self.config
     }
 
@@ -161,6 +249,15 @@ impl XseedSynopsis {
         }
     }
 
+    /// Estimates a whole batch of queries over one shared frontier memo
+    /// (the traveler's expansion recorded once per epoch and replayed per
+    /// query), returning the estimates in input order. The memo is cached
+    /// on the published snapshot, so repeated batches between updates pay
+    /// the expansion exactly once.
+    pub fn estimate_batch(&self, exprs: &[PathExpr]) -> Vec<f64> {
+        self.snapshot().estimate_batch(exprs)
+    }
+
     /// Creates a streaming matcher over the frozen snapshot. Reusing one
     /// matcher across many queries keeps its scratch buffers warm; each
     /// [`XseedSynopsis::estimate`] call otherwise creates a fresh one.
@@ -169,7 +266,7 @@ impl XseedSynopsis {
             self.frozen_kernel(),
             self.kernel.names(),
             &self.config,
-            self.het.as_ref(),
+            self.het.as_deref(),
         )
     }
 
@@ -178,7 +275,7 @@ impl XseedSynopsis {
     /// for the streaming matcher and for callers that want to inspect the
     /// EPT itself.
     pub fn estimator(&self) -> SynopsisEstimator<'_> {
-        let ept = ExpandedPathTree::generate(&self.kernel, &self.config, self.het.as_ref());
+        let ept = ExpandedPathTree::generate(&self.kernel, &self.config, self.het.as_deref());
         SynopsisEstimator {
             synopsis: self,
             ept,
@@ -194,8 +291,12 @@ impl XseedSynopsis {
         actual: u64,
         base_cardinality: Option<u64>,
     ) -> FeedbackOutcome {
+        self.invalidate_snapshot();
         let estimated = self.estimate(expr);
-        let het = self.het.get_or_insert_with(HyperEdgeTable::new);
+        let het = Arc::make_mut(
+            self.het
+                .get_or_insert_with(|| Arc::new(HyperEdgeTable::new())),
+        );
         let outcome = record_feedback(het, &self.kernel, expr, estimated, actual, base_cardinality);
         // Re-apply the budget in case the new entry displaced others.
         let budget = self
@@ -210,8 +311,10 @@ impl XseedSynopsis {
     /// residency accordingly. The kernel itself is never dropped — it is
     /// the irreducible part of the synopsis.
     pub fn set_memory_budget(&mut self, bytes: Option<usize>) {
+        self.invalidate_snapshot();
         self.config.memory_budget = bytes;
         if let Some(het) = &mut self.het {
+            let het = Arc::make_mut(het);
             let budget = bytes.map(|total| total.saturating_sub(self.kernel.size_bytes()));
             het.set_budget(budget);
         }
@@ -224,12 +327,125 @@ impl XseedSynopsis {
 
     /// Bytes used by the resident HET entries.
     pub fn het_resident_bytes(&self) -> usize {
-        self.het.as_ref().map(|h| h.resident_bytes()).unwrap_or(0)
+        self.het.as_deref().map(|h| h.resident_bytes()).unwrap_or(0)
     }
 
     /// Total memory footprint of the synopsis.
     pub fn size_bytes(&self) -> usize {
         self.kernel_size_bytes() + self.het_resident_bytes()
+    }
+}
+
+/// A self-contained, epoch-stamped publication of a synopsis' estimate
+/// state: the frozen kernel (shared by `Arc`), the name table, the config,
+/// and the HET, plus a lazily built [`FrontierMemo`] for batched
+/// estimation.
+///
+/// The bundle is immutable and `Send + Sync`: any number of threads can
+/// estimate from one snapshot concurrently without locks, and a snapshot
+/// taken before [`XseedSynopsis::kernel_mut`] keeps answering from its own
+/// consistent pre-update state while the synopsis publishes a new one.
+/// Cloning is an `Arc` bump.
+#[derive(Debug, Clone)]
+pub struct SynopsisSnapshot {
+    inner: Arc<SnapshotInner>,
+}
+
+#[derive(Debug)]
+struct SnapshotInner {
+    epoch: u64,
+    frozen: Arc<FrozenKernel>,
+    names: NameTable,
+    config: XseedConfig,
+    het: Option<Arc<HyperEdgeTable>>,
+    /// Built on first batched estimate, then shared by every worker
+    /// estimating from this snapshot.
+    memo: OnceLock<Arc<FrontierMemo>>,
+}
+
+impl SynopsisSnapshot {
+    /// Epoch of the synopsis state this snapshot was taken from.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch
+    }
+
+    /// The frozen kernel.
+    pub fn frozen(&self) -> &FrozenKernel {
+        &self.inner.frozen
+    }
+
+    /// The element-name table the snapshot's queries resolve against.
+    pub fn names(&self) -> &NameTable {
+        &self.inner.names
+    }
+
+    /// The estimator configuration captured with the snapshot.
+    pub fn config(&self) -> &XseedConfig {
+        &self.inner.config
+    }
+
+    /// The hyper-edge table captured with the snapshot, if any.
+    pub fn het(&self) -> Option<&HyperEdgeTable> {
+        self.inner.het.as_deref()
+    }
+
+    /// A streaming matcher over this snapshot. Each worker thread should
+    /// hold its own matcher (scratch buffers are per-matcher); the
+    /// underlying snapshot data is shared.
+    pub fn matcher(&self) -> StreamingMatcher<'_> {
+        StreamingMatcher::new(self.frozen(), self.names(), self.config(), self.het())
+    }
+
+    /// A streaming matcher with this snapshot's shared frontier memo
+    /// installed — the batch hot path. The memo is built on first use and
+    /// cached for the snapshot's lifetime.
+    pub fn batch_matcher(&self) -> StreamingMatcher<'_> {
+        let mut matcher = self.matcher();
+        matcher.set_frontier_memo(self.frontier_memo().clone());
+        matcher
+    }
+
+    /// The matcher a batch of `batch_len` queries should use — the single
+    /// home of the memo-activation policy: memoized replay for real
+    /// batches, the cold streaming pass for 0/1 queries. Singles stay
+    /// cold even when a memo already exists: a lone query is cheaper
+    /// without the replay setup, and — more importantly — when
+    /// `max_ept_nodes` truncates a degenerate synopsis the memo and cold
+    /// frontiers can differ (see [`FrontierMemo`]), so switching a
+    /// single-query path onto the memo mid-lifetime would make one
+    /// snapshot answer the same query two ways.
+    pub fn matcher_for_batch(&self, batch_len: usize) -> StreamingMatcher<'_> {
+        if batch_len > 1 {
+            self.batch_matcher()
+        } else {
+            self.matcher()
+        }
+    }
+
+    /// The shared frontier memo (the traveler's expansion recorded once),
+    /// built on first use.
+    pub fn frontier_memo(&self) -> &Arc<FrontierMemo> {
+        self.inner.memo.get_or_init(|| {
+            Arc::new(FrontierMemo::build(
+                self.frozen(),
+                self.config(),
+                self.het(),
+            ))
+        })
+    }
+
+    /// Estimates one query (one-shot matcher; for many queries prefer
+    /// [`SynopsisSnapshot::matcher`] or [`SynopsisSnapshot::estimate_batch`]).
+    pub fn estimate(&self, expr: &PathExpr) -> f64 {
+        self.matcher().estimate(expr)
+    }
+
+    /// Estimates a batch of queries over the shared frontier memo,
+    /// returning estimates in input order. Matcher selection follows
+    /// [`SynopsisSnapshot::matcher_for_batch`].
+    pub fn estimate_batch(&self, exprs: &[PathExpr]) -> Vec<f64> {
+        let mut matcher = self.matcher_for_batch(exprs.len());
+        exprs.iter().map(|q| matcher.estimate(q)).collect()
     }
 }
 
@@ -242,7 +458,12 @@ pub struct SynopsisEstimator<'a> {
 impl<'a> SynopsisEstimator<'a> {
     /// Estimates the cardinality of a path expression.
     pub fn estimate(&self, expr: &PathExpr) -> f64 {
-        Matcher::new(&self.synopsis.kernel, &self.ept, self.synopsis.het.as_ref()).estimate(expr)
+        Matcher::new(
+            &self.synopsis.kernel,
+            &self.ept,
+            self.synopsis.het.as_deref(),
+        )
+        .estimate(expr)
     }
 
     /// Number of nodes in the materialized EPT.
@@ -413,6 +634,77 @@ mod tests {
         let synopsis = XseedSynopsis::build(&doc, config);
         let report = synopsis.estimate_with_stats(&parse("//p").unwrap());
         assert!(report.ept_nodes < 14);
+    }
+
+    #[test]
+    fn snapshot_is_send_sync_and_epoch_stamped() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SynopsisSnapshot>();
+
+        let doc = figure2_document();
+        let mut synopsis = XseedSynopsis::build(&doc, XseedConfig::default());
+        assert_eq!(synopsis.epoch(), 0);
+        let snap = synopsis.snapshot();
+        assert_eq!(snap.epoch(), 0);
+        // Repeated snapshots between mutations share the same bundle.
+        let again = synopsis.snapshot();
+        assert!(Arc::ptr_eq(&snap.inner, &again.inner));
+
+        let _ = synopsis.kernel_mut();
+        assert_eq!(synopsis.epoch(), 1);
+        assert_eq!(synopsis.snapshot().epoch(), 1);
+        // HET/config mutations bump too.
+        synopsis.set_memory_budget(Some(1 << 20));
+        assert_eq!(synopsis.epoch(), 2);
+        let _ = synopsis.config_mut();
+        assert_eq!(synopsis.epoch(), 3);
+    }
+
+    #[test]
+    fn snapshot_survives_kernel_update() {
+        // A snapshot taken before an update keeps estimating against its
+        // own consistent pre-update state (the race-proofing contract).
+        let doc = figure2_document();
+        let mut synopsis = XseedSynopsis::build(&doc, XseedConfig::default());
+        let q = parse("/a/c/s").unwrap();
+        let snap = synopsis.snapshot();
+        let before = snap.estimate(&q);
+        assert!((before - 5.0).abs() < 1e-9);
+
+        let root_name = synopsis
+            .kernel()
+            .name(synopsis.kernel().root().unwrap())
+            .to_string();
+        let subtree = xmlkit::Document::parse_str("<zzz/>").unwrap();
+        synopsis
+            .kernel_mut()
+            .add_subtree(&[root_name.as_str()], &subtree)
+            .unwrap();
+
+        // The synopsis sees the new edge; the old snapshot does not.
+        assert!((synopsis.estimate(&parse("/a/zzz").unwrap()) - 1.0).abs() < 1e-9);
+        assert_eq!(snap.estimate(&parse("/a/zzz").unwrap()), 0.0);
+        assert!((snap.estimate(&q) - before).abs() < 1e-12);
+        assert!(snap.epoch() < synopsis.epoch());
+    }
+
+    #[test]
+    fn synopsis_estimate_batch_matches_estimate() {
+        let doc = figure2_document();
+        let synopsis = XseedSynopsis::build(&doc, XseedConfig::default());
+        let queries: Vec<_> = ["/a/c/s", "//s//p", "/a/c/s[t]/p", "/a/*", "//*"]
+            .iter()
+            .map(|q| parse(q).unwrap())
+            .collect();
+        let batch = synopsis.estimate_batch(&queries);
+        for (expr, got) in queries.iter().zip(&batch) {
+            assert!((synopsis.estimate(expr) - got).abs() < 1e-9);
+        }
+        // The snapshot's frontier memo is cached across batch calls.
+        let snap = synopsis.snapshot();
+        let memo = snap.frontier_memo().clone();
+        let _ = snap.estimate_batch(&queries);
+        assert!(Arc::ptr_eq(&memo, snap.frontier_memo()));
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! `xseed-serve` — the XSEED estimation daemon.
+//!
+//! Speaks the line protocol of [`xseed_service::protocol`] over stdin
+//! (default) or TCP (`--tcp ADDR`, one thread per connection, all sharing
+//! one worker pool and catalog):
+//!
+//! ```text
+//! xseed-serve [--workers N] [--tcp 127.0.0.1:7878]
+//! ```
+//!
+//! Example session:
+//!
+//! ```text
+//! $ printf 'LOAD demo builtin:xmark@0.05\nEST demo //item\nQUIT\n' | xseed-serve
+//! OK loaded name=demo epoch=0 vertices=… elements=…
+//! OK …
+//! OK bye
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::Arc;
+use xseed_service::protocol::{handle_line, ProtocolOptions, Response};
+use xseed_service::{Catalog, Service, ServiceConfig};
+
+struct Args {
+    workers: Option<usize>,
+    tcp: Option<String>,
+    allow_fs_load: bool,
+}
+
+const USAGE: &str = "usage: xseed-serve [--workers N] [--tcp ADDR] [--allow-fs-load]";
+
+/// `Ok(None)` means `--help` was requested.
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        workers: None,
+        tcp: None,
+        allow_fs_load: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a count")?;
+                args.workers = Some(v.parse().map_err(|_| format!("bad worker count '{v}'"))?);
+            }
+            "--tcp" => {
+                args.tcp = Some(it.next().ok_or("--tcp needs an address")?);
+            }
+            "--allow-fs-load" => args.allow_fs_load = true,
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn serve_stream(
+    service: &Service,
+    options: &ProtocolOptions,
+    input: impl BufRead,
+    mut output: impl Write,
+) {
+    for line in input.lines() {
+        let Ok(line) = line else { return };
+        match handle_line(service, &line, options) {
+            Response::Line(reply) => {
+                if writeln!(output, "{reply}")
+                    .and_then(|()| output.flush())
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Response::Silent => {}
+            Response::Quit => {
+                let _ = writeln!(output, "OK bye");
+                let _ = output.flush();
+                return;
+            }
+        }
+    }
+}
+
+fn serve_tcp(service: Arc<Service>, options: ProtocolOptions, addr: &str) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    eprintln!("xseed-serve listening on {}", listener.local_addr()?);
+    let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        let stream: TcpStream = stream?;
+        let service = service.clone();
+        let options = options.clone();
+        sessions.retain(|h| !h.is_finished());
+        sessions.push(std::thread::spawn(move || {
+            let reader = BufReader::new(match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => return,
+            });
+            serve_stream(&service, &options, reader, stream);
+        }));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = match args.workers {
+        Some(n) => ServiceConfig::with_workers(n),
+        None => ServiceConfig::default(),
+    };
+    eprintln!(
+        "xseed-serve: {} estimation worker(s); type HELP for commands",
+        config.workers
+    );
+    let service = Arc::new(Service::new(Arc::new(Catalog::new()), config));
+
+    match args.tcp {
+        Some(addr) => {
+            // Network sessions only read server files when explicitly
+            // allowed; builtin dataset scales stay capped either way.
+            let mut options = ProtocolOptions::remote();
+            options.allow_fs_load = args.allow_fs_load;
+            if let Err(e) = serve_tcp(service, options, &addr) {
+                eprintln!("tcp server error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => {
+            let stdin = std::io::stdin();
+            serve_stream(
+                &service,
+                &ProtocolOptions::local(),
+                stdin.lock(),
+                std::io::stdout().lock(),
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

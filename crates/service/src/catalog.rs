@@ -1,0 +1,385 @@
+//! The synopsis catalog: many named documents, epoch-versioned snapshots.
+//!
+//! A [`Catalog`] is the shared registry an estimation service reads from.
+//! The name map itself is only ever held briefly (insert/lookup/remove of
+//! `Arc`'d entries); each entry carries its own locks, so work on one
+//! document never stalls another:
+//!
+//! * the **read path** ([`Catalog::snapshot`]) clones the entry's
+//!   published [`SynopsisSnapshot`] under a brief per-entry read lock and
+//!   then never synchronizes again — estimation itself is lock-free;
+//! * the **write path** ([`Catalog::update`]) runs the mutation and the
+//!   snapshot rebuild (including the kernel re-freeze) under that entry's
+//!   mutex only, then swaps the published snapshot in one brief write.
+//!   In-flight estimates holding the previous snapshot simply finish
+//!   against the epoch they started with.
+//!
+//! Epochs never regress for a name: re-registering a document under an
+//! existing name ([`Catalog::insert`]) advances the new synopsis past the
+//! replaced entry's epoch — and removed names remember their last epoch —
+//! so `(name, epoch)` remains a valid staleness key across swaps,
+//! including remove + re-insert.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+use xmlkit::tree::Document;
+use xseed_core::{SynopsisSnapshot, XseedConfig, XseedSynopsis};
+
+struct Entry {
+    /// The build/update side, locked only by writers.
+    synopsis: Mutex<XseedSynopsis>,
+    /// The read side: swapped atomically when an update publishes.
+    published: RwLock<SynopsisSnapshot>,
+}
+
+impl Entry {
+    fn published(&self) -> SynopsisSnapshot {
+        self.published
+            .read()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .clone()
+    }
+}
+
+/// A concurrent registry of named synopses. See the module docs.
+#[derive(Default)]
+pub struct Catalog {
+    entries: RwLock<HashMap<String, Arc<Entry>>>,
+    /// Per-name publication ledger: the highest epoch ever published for
+    /// each name. Every publish (insert *or* update) claims its epoch
+    /// through this one lock, so two racing publishes — even an update
+    /// racing an insert that detaches its entry — can never hand out the
+    /// same `(name, epoch)` for different synopsis states, and the
+    /// staleness key survives remove + re-insert.
+    ledger: Mutex<HashMap<String, u64>>,
+}
+
+/// Summary of one catalog entry, as reported by [`Catalog::info`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocumentInfo {
+    /// The entry's name.
+    pub name: String,
+    /// Epoch of the published snapshot.
+    pub epoch: u64,
+    /// Synopsis-graph vertices in the published snapshot.
+    pub vertices: usize,
+    /// Elements of the summarized document(s).
+    pub elements: u64,
+    /// Total synopsis footprint (kernel + resident HET) in bytes.
+    pub size_bytes: usize,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    fn entry(&self, name: &str) -> Option<Arc<Entry>> {
+        self.entries
+            .read()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .get(name)
+            .cloned()
+    }
+
+    /// Claims a publication epoch for `name`: raises the synopsis past
+    /// every epoch previously published under the name (when the synopsis
+    /// state changed or lags the ledger) and records the claim. The first
+    /// publication of a fresh name keeps the synopsis' own epoch.
+    fn claim_epoch(&self, name: &str, synopsis: &mut XseedSynopsis, state_changed: bool) {
+        let mut ledger = self
+            .ledger
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        if let Some(&last) = ledger.get(name) {
+            if state_changed || synopsis.epoch() < last {
+                synopsis.advance_epoch(last + 1);
+            }
+        }
+        ledger.insert(name.to_string(), synopsis.epoch());
+    }
+
+    /// Registers (or replaces) a synopsis under `name` and publishes its
+    /// snapshot, which is also returned. When replacing, the new synopsis
+    /// is advanced past the replaced entry's epoch so observers keyed on
+    /// `(name, epoch)` see the swap. The initial freeze happens outside
+    /// the name-map lock.
+    pub fn insert(&self, name: &str, synopsis: XseedSynopsis) -> SynopsisSnapshot {
+        self.insert_with_cap(name, synopsis, None)
+            .expect("uncapped insert cannot be rejected")
+    }
+
+    /// Like [`Catalog::insert`], but refuses to *create* a new entry when
+    /// the catalog already holds `max_documents` (replacing an existing
+    /// name always succeeds). The capacity check and the map insert
+    /// happen under one write lock, so concurrent sessions cannot race
+    /// past the cap. Returns `None` when rejected.
+    pub fn insert_capped(
+        &self,
+        name: &str,
+        synopsis: XseedSynopsis,
+        max_documents: usize,
+    ) -> Option<SynopsisSnapshot> {
+        self.insert_with_cap(name, synopsis, Some(max_documents))
+    }
+
+    fn insert_with_cap(
+        &self,
+        name: &str,
+        mut synopsis: XseedSynopsis,
+        max_documents: Option<usize>,
+    ) -> Option<SynopsisSnapshot> {
+        // Claiming through the ledger makes the epoch unique for the name
+        // even against racing publishes; the freeze inside `snapshot()`
+        // then runs outside the name-map lock. If two inserts race, the
+        // last map write wins the published slot (both epochs stay
+        // distinct, so stale keys never collide). A claim for an insert
+        // the cap then rejects is harmless: the ledger only pushes later
+        // epochs upward.
+        self.claim_epoch(name, &mut synopsis, true);
+        let snapshot = synopsis.snapshot();
+        let mut entries = self
+            .entries
+            .write()
+            .unwrap_or_else(|poison| poison.into_inner());
+        if let Some(max) = max_documents {
+            if !entries.contains_key(name) && entries.len() >= max {
+                return None;
+            }
+        }
+        entries.insert(
+            name.to_string(),
+            Arc::new(Entry {
+                synopsis: Mutex::new(synopsis),
+                published: RwLock::new(snapshot.clone()),
+            }),
+        );
+        Some(snapshot)
+    }
+
+    /// Builds a kernel-only synopsis from a document and registers it.
+    pub fn load_document(
+        &self,
+        name: &str,
+        doc: &Document,
+        config: XseedConfig,
+    ) -> SynopsisSnapshot {
+        self.insert(name, XseedSynopsis::build(doc, config))
+    }
+
+    /// SAX-parses XML text, builds a synopsis, and registers it.
+    pub fn load_xml(
+        &self,
+        name: &str,
+        xml: &str,
+        config: XseedConfig,
+    ) -> Result<SynopsisSnapshot, xmlkit::Error> {
+        let synopsis = XseedSynopsis::build_from_xml(xml, config)?;
+        Ok(self.insert(name, synopsis))
+    }
+
+    /// The published snapshot of `name`, if registered. This is the read
+    /// path: the returned snapshot is self-contained and lock-free.
+    pub fn snapshot(&self, name: &str) -> Option<SynopsisSnapshot> {
+        self.entry(name).map(|e| e.published())
+    }
+
+    /// Applies `mutate` to the synopsis registered under `name`, then
+    /// rebuilds and publishes a fresh snapshot (bumping the epoch if the
+    /// mutation invalidated estimate state). Returns the mutation's result
+    /// and the newly published snapshot. Only this entry's locks are
+    /// taken — readers and writers of other documents are unaffected, and
+    /// in-flight estimates holding the previous snapshot finish
+    /// undisturbed. If `name` is concurrently replaced via
+    /// [`Catalog::insert`], the replacement wins the published slot.
+    pub fn update<R>(
+        &self,
+        name: &str,
+        mutate: impl FnOnce(&mut XseedSynopsis) -> R,
+    ) -> Option<(R, SynopsisSnapshot)> {
+        let entry = self.entry(name)?;
+        let mut synopsis = entry
+            .synopsis
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        let epoch_before = synopsis.epoch();
+        let result = mutate(&mut synopsis);
+        let state_changed = synopsis.epoch() != epoch_before;
+        // Claim the published epoch through the ledger so a racing
+        // publish (e.g. an insert replacing this name) can never share it.
+        self.claim_epoch(name, &mut synopsis, state_changed);
+        // Rebuild (re-freeze) and publish while still holding this
+        // entry's mutex: racing updates therefore publish in mutation
+        // order, and a slower earlier update can never overwrite a newer
+        // published snapshot. The write lock itself is held only for the
+        // swap.
+        let snapshot = synopsis.snapshot();
+        *entry
+            .published
+            .write()
+            .unwrap_or_else(|poison| poison.into_inner()) = snapshot.clone();
+        drop(synopsis);
+        Some((result, snapshot))
+    }
+
+    /// Removes an entry; returns `true` if it existed. Snapshots already
+    /// handed out keep working — removal only unpublishes the name. The
+    /// ledger keeps the name's publication history, so a future
+    /// re-registration still publishes a strictly later epoch.
+    pub fn remove(&self, name: &str) -> bool {
+        self.entries
+            .write()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .remove(name)
+            .is_some()
+    }
+
+    /// Number of registered documents.
+    pub fn len(&self) -> usize {
+        self.entries
+            .read()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .len()
+    }
+
+    /// Returns `true` when no documents are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-entry summaries, sorted by name. Taking each entry's synopsis
+    /// lock briefly (for the byte sizes) may wait behind an in-progress
+    /// update of that entry, but never blocks the read path.
+    pub fn info(&self) -> Vec<DocumentInfo> {
+        let entries: Vec<(String, Arc<Entry>)> = self
+            .entries
+            .read()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .iter()
+            .map(|(name, e)| (name.clone(), e.clone()))
+            .collect();
+        let mut out: Vec<DocumentInfo> = entries
+            .into_iter()
+            .map(|(name, e)| {
+                let snapshot = e.published();
+                let size_bytes = e
+                    .synopsis
+                    .lock()
+                    .unwrap_or_else(|poison| poison.into_inner())
+                    .size_bytes();
+                DocumentInfo {
+                    name,
+                    epoch: snapshot.epoch(),
+                    vertices: snapshot.frozen().vertex_count(),
+                    elements: snapshot.frozen().element_count(),
+                    size_bytes,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpathkit::parse;
+
+    fn sample_catalog() -> Catalog {
+        let catalog = Catalog::new();
+        catalog
+            .load_xml("fig2", xmlkit::samples::FIGURE2_XML, XseedConfig::default())
+            .unwrap();
+        catalog
+    }
+
+    #[test]
+    fn insert_snapshot_roundtrip() {
+        let catalog = sample_catalog();
+        assert_eq!(catalog.len(), 1);
+        assert!(!catalog.is_empty());
+        let snap = catalog.snapshot("fig2").unwrap();
+        assert_eq!(snap.epoch(), 0);
+        assert!((snap.estimate(&parse("/a/c/s").unwrap()) - 5.0).abs() < 1e-9);
+        assert!(catalog.snapshot("missing").is_none());
+    }
+
+    #[test]
+    fn update_publishes_new_epoch_and_preserves_old_snapshots() {
+        let catalog = sample_catalog();
+        let old = catalog.snapshot("fig2").unwrap();
+
+        let (_, fresh) = catalog
+            .update("fig2", |syn| {
+                let root = syn.kernel().name(syn.kernel().root().unwrap()).to_string();
+                let subtree = xmlkit::Document::parse_str("<zzz/>").unwrap();
+                syn.kernel_mut().add_subtree(&[root.as_str()], &subtree)
+            })
+            .unwrap();
+
+        assert!(fresh.epoch() > old.epoch());
+        let q = parse("/a/zzz").unwrap();
+        assert_eq!(old.estimate(&q), 0.0);
+        assert!((fresh.estimate(&q) - 1.0).abs() < 1e-9);
+        // The catalog now serves the fresh snapshot.
+        assert_eq!(catalog.snapshot("fig2").unwrap().epoch(), fresh.epoch());
+        assert!(catalog.update("missing", |_| ()).is_none());
+    }
+
+    #[test]
+    fn replacing_an_entry_never_regresses_its_epoch() {
+        let catalog = sample_catalog();
+        // Advance fig2 to epoch 3 through updates.
+        for _ in 0..3 {
+            let _ = catalog.update("fig2", |syn| syn.config_mut().card_threshold = 0.0);
+        }
+        assert_eq!(catalog.snapshot("fig2").unwrap().epoch(), 3);
+        // Re-LOADing the name with a brand-new synopsis (epoch 0 on its
+        // own) must publish a *later* epoch, not reset to 0.
+        let replaced = catalog
+            .load_xml("fig2", "<a><b/></a>", XseedConfig::default())
+            .unwrap();
+        assert_eq!(replaced.epoch(), 4);
+        let snap = catalog.snapshot("fig2").unwrap();
+        assert_eq!(snap.epoch(), 4);
+        // And it really is the new document.
+        assert!((snap.estimate(&parse("/a/b").unwrap()) - 1.0).abs() < 1e-9);
+        assert_eq!(snap.estimate(&parse("/a/c/s").unwrap()), 0.0);
+    }
+
+    #[test]
+    fn remove_then_reinsert_still_advances_epoch() {
+        let catalog = sample_catalog();
+        let _ = catalog.update("fig2", |syn| syn.config_mut().card_threshold = 0.0);
+        let _ = catalog.update("fig2", |syn| syn.config_mut().card_threshold = 0.0);
+        assert_eq!(catalog.snapshot("fig2").unwrap().epoch(), 2);
+        assert!(catalog.remove("fig2"));
+        assert!(catalog.snapshot("fig2").is_none());
+        // Re-registering the name publishes a strictly later epoch even
+        // though the entry was gone in between.
+        let snap = catalog
+            .load_xml("fig2", "<a><b/></a>", XseedConfig::default())
+            .unwrap();
+        assert_eq!(snap.epoch(), 3);
+    }
+
+    #[test]
+    fn info_reports_entries() {
+        let catalog = sample_catalog();
+        catalog
+            .load_xml("tiny", "<r><x/></r>", XseedConfig::default())
+            .unwrap();
+        let info = catalog.info();
+        assert_eq!(info.len(), 2);
+        assert_eq!(info[0].name, "fig2");
+        assert_eq!(info[1].name, "tiny");
+        assert!(info[0].vertices > 0);
+        assert!(info[0].elements > 0);
+        assert!(info[0].size_bytes > 0);
+        assert!(catalog.remove("tiny"));
+        assert!(!catalog.remove("tiny"));
+        assert_eq!(catalog.len(), 1);
+    }
+}

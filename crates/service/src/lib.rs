@@ -1,0 +1,63 @@
+//! # xseed-service — concurrent multi-synopsis estimation over shared snapshots
+//!
+//! The XSEED paper pitches estimation fast enough to sit inside a query
+//! optimizer's hot loop; this crate is the serving layer that turns the
+//! single-threaded `FrozenKernel` + `StreamingMatcher` pipeline into a
+//! multi-document, multi-threaded estimation *service* — the daemon shape
+//! that DBMS cardinality-estimation benchmarks (and summary-as-a-service
+//! estimators) measure:
+//!
+//! * [`catalog`] — a [`Catalog`] of named synopses (XMark, DBLP, Treebank,
+//!   user-loaded documents) that publishes epoch-versioned
+//!   [`xseed_core::SynopsisSnapshot`]s. Readers clone an `Arc` and never
+//!   lock again; writers mutate the synopsis and publish a fresh snapshot,
+//!   so in-flight estimates keep answering from their own consistent
+//!   pre-update state.
+//! * [`plan_cache`] — a sharded LRU [`PlanCache`] from query text to
+//!   parsed-and-classified [`xpathkit::QueryPlan`]s, so repeated queries
+//!   skip the parser across all worker threads without a global lock.
+//! * [`batch`] — the batch executor: one snapshot pass per batch via the
+//!   snapshot's shared frontier memo (the traveler's expansion recorded
+//!   once per epoch, replayed per query).
+//! * [`service`] — the [`Service`] front end: a worker thread pool with
+//!   per-worker sharded request queues and work stealing, dispatching
+//!   single estimates and batches over catalog snapshots.
+//! * [`protocol`] — the line protocol (`LOAD` / `EST` / `BATCH` / `STATS`)
+//!   spoken by the `xseed-serve` binary over stdin or TCP.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xseed_service::{Catalog, Service, ServiceConfig};
+//! use xseed_core::{XseedConfig, XseedSynopsis};
+//!
+//! let catalog = Arc::new(Catalog::new());
+//! let doc = xmlkit::Document::parse_str(
+//!     "<lib><book><title/><author/></book><book><title/></book></lib>",
+//! ).unwrap();
+//! catalog.insert("lib", XseedSynopsis::build(&doc, XseedConfig::default()));
+//!
+//! let service = Service::new(catalog, ServiceConfig::with_workers(2));
+//! let est = service.estimate("lib", "/lib/book/title").unwrap();
+//! assert!((est - 2.0).abs() < 1e-9);
+//! let batch = service
+//!     .estimate_batch("lib", &["/lib/book", "/lib/book[author]/title"])
+//!     .unwrap();
+//! assert_eq!(batch.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod catalog;
+pub mod plan_cache;
+pub mod protocol;
+pub mod service;
+
+pub use batch::execute_batch;
+pub use catalog::{Catalog, DocumentInfo};
+pub use plan_cache::{PlanCache, PlanCacheStats};
+pub use protocol::{handle_line, run_script, ProtocolOptions, Response};
+pub use service::{PendingEstimate, Service, ServiceConfig, ServiceError, ServiceStats};

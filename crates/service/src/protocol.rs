@@ -1,0 +1,442 @@
+//! The line protocol spoken by `xseed-serve`.
+//!
+//! One request per line, one `OK …` / `ERR …` response line per request —
+//! trivially drivable from a shell pipe, `nc`, or an optimizer sidecar:
+//!
+//! ```text
+//! LOAD <name> <spec> [recursive]   register a document
+//! EST <name> <query>               estimate one query
+//! BATCH <name> <q1> ; <q2> ; …     estimate a batch (one snapshot pass)
+//! STATS                            service + catalog counters
+//! HELP                             command summary
+//! QUIT                             close the session
+//! ```
+//!
+//! `<spec>` is either a filesystem path to an XML document or
+//! `builtin:<dataset>[@scale]` for the synthetic evaluation datasets
+//! (`xmark`, `dblp`, `treebank`, `swissprot`, `tpch`, `xbench`), e.g.
+//! `builtin:xmark@0.1`. The optional `recursive` flag (implied for the
+//! builtin Treebank) selects the paper's highly-recursive configuration.
+
+use crate::service::Service;
+use datagen::Dataset;
+use std::fmt::Write as _;
+use xseed_core::{XseedConfig, XseedSynopsis};
+
+/// Outcome of one protocol line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Reply to send back to the client.
+    Line(String),
+    /// Nothing to send (blank line or `#` comment).
+    Silent,
+    /// The client asked to close the session.
+    Quit,
+}
+
+impl Response {
+    fn ok(body: impl Into<String>) -> Response {
+        Response::Line(format!("OK {}", body.into()))
+    }
+
+    fn err(body: impl std::fmt::Display) -> Response {
+        Response::Line(format!("ERR {body}"))
+    }
+
+    /// The reply text, if any.
+    pub fn text(&self) -> Option<&str> {
+        match self {
+            Response::Line(s) => Some(s),
+            Response::Silent | Response::Quit => None,
+        }
+    }
+}
+
+const HELP: &str = "commands: LOAD <name> <path|builtin:dataset[@scale]> [recursive] | \
+                    EST <name> <query> | BATCH <name> <q1> ; <q2> ; ... | STATS | HELP | QUIT";
+
+/// Per-session protocol policy.
+#[derive(Debug, Clone)]
+pub struct ProtocolOptions {
+    /// Permit `LOAD <name> <path>` reads from the server's filesystem.
+    /// Local (stdin) sessions allow this; network sessions must opt in
+    /// explicitly (`--allow-fs-load`), since it lets any connected client
+    /// read server-side files into a synopsis.
+    pub allow_fs_load: bool,
+    /// Upper bound accepted for `builtin:<dataset>@<scale>`, bounding the
+    /// memory a single LOAD can make the generator allocate.
+    pub max_builtin_scale: f64,
+    /// Maximum number of catalog documents `LOAD` may create in this
+    /// session's catalog (`None` = unlimited). Re-LOADing an existing
+    /// name never counts against it. Bounds total server memory a
+    /// network client can pin by looping `LOAD` with fresh names.
+    pub max_documents: Option<usize>,
+}
+
+impl ProtocolOptions {
+    /// Policy for a trusted local session (filesystem loads allowed).
+    pub fn local() -> Self {
+        ProtocolOptions {
+            allow_fs_load: true,
+            max_builtin_scale: 4.0,
+            max_documents: None,
+        }
+    }
+
+    /// Policy for a network session: no filesystem loads, capped builtin
+    /// scales.
+    pub fn remote() -> Self {
+        ProtocolOptions {
+            allow_fs_load: false,
+            max_builtin_scale: 4.0,
+            max_documents: Some(64),
+        }
+    }
+}
+
+impl Default for ProtocolOptions {
+    fn default() -> Self {
+        ProtocolOptions::local()
+    }
+}
+
+/// Handles one protocol line against `service` under `options`. Empty
+/// lines and `#` comments get no reply.
+pub fn handle_line(service: &Service, line: &str, options: &ProtocolOptions) -> Response {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Response::Silent;
+    }
+    let (command, rest) = match line.split_once(char::is_whitespace) {
+        Some((c, r)) => (c, r.trim()),
+        None => (line, ""),
+    };
+    match command.to_ascii_uppercase().as_str() {
+        "LOAD" => handle_load(service, rest, options),
+        "EST" => handle_est(service, rest),
+        "BATCH" => handle_batch(service, rest),
+        "STATS" => handle_stats(service),
+        "HELP" => Response::ok(HELP),
+        "QUIT" | "EXIT" => Response::Quit,
+        other => Response::err(format_args!("unknown command '{other}' ({HELP})")),
+    }
+}
+
+fn handle_load(service: &Service, args: &str, options: &ProtocolOptions) -> Response {
+    let mut parts = args.split_whitespace();
+    let (Some(name), Some(spec)) = (parts.next(), parts.next()) else {
+        return Response::err("LOAD needs: LOAD <name> <path|builtin:dataset[@scale]>");
+    };
+    let mut recursive = false;
+    for flag in parts {
+        match flag.to_ascii_lowercase().as_str() {
+            "recursive" => recursive = true,
+            other => return Response::err(format_args!("unknown LOAD flag '{other}'")),
+        }
+    }
+    // Fast-path rejection before generating/parsing anything; the
+    // authoritative (atomic) check happens inside `insert_capped` below.
+    if let Some(max) = options.max_documents {
+        let catalog = service.catalog();
+        if catalog.snapshot(name).is_none() && catalog.len() >= max {
+            return Response::err(format_args!(
+                "catalog document limit reached ({max}); re-LOAD an existing name instead"
+            ));
+        }
+    }
+
+    let synopsis = if let Some(builtin) = spec.strip_prefix("builtin:") {
+        match build_builtin(builtin, recursive, options) {
+            Ok(s) => s,
+            Err(e) => return Response::err(e),
+        }
+    } else {
+        if !options.allow_fs_load {
+            return Response::err(
+                "filesystem LOAD is disabled for this session (use builtin:… \
+                 or start the server with --allow-fs-load)",
+            );
+        }
+        let xml = match std::fs::read_to_string(spec) {
+            Ok(xml) => xml,
+            Err(e) => return Response::err(format_args!("cannot read '{spec}': {e}")),
+        };
+        let config = if recursive {
+            XseedConfig::recursive_document()
+        } else {
+            XseedConfig::default()
+        };
+        match XseedSynopsis::build_from_xml(&xml, config) {
+            Ok(s) => s,
+            Err(e) => return Response::err(format_args!("cannot parse '{spec}': {e}")),
+        }
+    };
+
+    let snapshot = match options.max_documents {
+        Some(max) => match service.catalog().insert_capped(name, synopsis, max) {
+            Some(snapshot) => snapshot,
+            None => {
+                return Response::err(format_args!(
+                    "catalog document limit reached ({max}); re-LOAD an existing name instead"
+                ))
+            }
+        },
+        None => service.catalog().insert(name, synopsis),
+    };
+    Response::ok(format!(
+        "loaded name={name} epoch={} vertices={} elements={}",
+        snapshot.epoch(),
+        snapshot.frozen().vertex_count(),
+        snapshot.frozen().element_count(),
+    ))
+}
+
+fn build_builtin(
+    spec: &str,
+    recursive: bool,
+    options: &ProtocolOptions,
+) -> Result<XseedSynopsis, String> {
+    let (name, scale) = match spec.split_once('@') {
+        Some((n, s)) => {
+            let scale: f64 = s
+                .parse()
+                .map_err(|_| format!("bad builtin scale '{s}' (want e.g. 0.1)"))?;
+            (n, scale)
+        }
+        None => (spec, 0.1),
+    };
+    if !scale.is_finite() || scale <= 0.0 || scale > options.max_builtin_scale {
+        return Err(format!(
+            "builtin scale {scale} out of range (0, {}]",
+            options.max_builtin_scale
+        ));
+    }
+    let dataset = match name.to_ascii_lowercase().as_str() {
+        "xmark" => Dataset::XMark10,
+        "dblp" => Dataset::Dblp,
+        "treebank" => Dataset::TreebankSmall,
+        "swissprot" => Dataset::SwissProt,
+        "tpch" => Dataset::Tpch,
+        "xbench" => Dataset::XBench,
+        other => {
+            return Err(format!(
+                "unknown builtin '{other}' (xmark|dblp|treebank|swissprot|tpch|xbench)"
+            ))
+        }
+    };
+    let doc = dataset.generate_scaled(scale);
+    let config = if recursive || dataset.is_highly_recursive() {
+        XseedConfig::recursive_for_size(doc.element_count())
+    } else {
+        XseedConfig::default()
+    };
+    Ok(XseedSynopsis::build(&doc, config))
+}
+
+fn handle_est(service: &Service, args: &str) -> Response {
+    let Some((name, query)) = args.split_once(char::is_whitespace) else {
+        return Response::err("EST needs: EST <name> <query>");
+    };
+    match service.estimate(name, query.trim()) {
+        Ok(est) => Response::ok(format_est(est)),
+        Err(e) => Response::err(e),
+    }
+}
+
+fn handle_batch(service: &Service, args: &str) -> Response {
+    let Some((name, rest)) = args.split_once(char::is_whitespace) else {
+        return Response::err("BATCH needs: BATCH <name> <q1> ; <q2> ; ...");
+    };
+    let queries: Vec<&str> = rest
+        .split(';')
+        .map(str::trim)
+        .filter(|q| !q.is_empty())
+        .collect();
+    if queries.is_empty() {
+        return Response::err("BATCH needs at least one query");
+    }
+    match service.estimate_batch(name, &queries) {
+        Ok(estimates) => {
+            let mut body = format!("n={}", estimates.len());
+            for est in estimates {
+                let _ = write!(body, " {}", format_est(est));
+            }
+            Response::ok(body)
+        }
+        Err(e) => Response::err(e),
+    }
+}
+
+fn handle_stats(service: &Service) -> Response {
+    let stats = service.stats();
+    let mut body = format!(
+        "workers={} executed={} batches={} steals={} plan_hits={} plan_misses={} plan_entries={} docs={}",
+        stats.workers,
+        stats.total_executed(),
+        stats.batches,
+        stats.steals,
+        stats.plan_cache.hits,
+        stats.plan_cache.misses,
+        stats.plan_cache.entries,
+        service.catalog().len(),
+    );
+    for info in service.catalog().info() {
+        let _ = write!(
+            body,
+            " doc:{}@{}[vertices={},elements={},bytes={}]",
+            info.name, info.epoch, info.vertices, info.elements, info.size_bytes
+        );
+    }
+    Response::Line(format!("OK {body}"))
+}
+
+fn format_est(est: f64) -> String {
+    // Integral estimates print without a trailing ".0"; fractional ones
+    // keep full precision.
+    if est.fract() == 0.0 && est.abs() < 1e15 {
+        format!("{}", est as i64)
+    } else {
+        format!("{est}")
+    }
+}
+
+/// Convenience for driving a whole scripted session (used by tests and
+/// the CI smoke run): feeds each line to [`handle_line`], returning the
+/// responses up to and including the first `QUIT`.
+pub fn run_script(service: &Service, script: &str) -> Vec<String> {
+    let options = ProtocolOptions::local();
+    let mut out = Vec::new();
+    for line in script.lines() {
+        match handle_line(service, line, &options) {
+            Response::Line(reply) => out.push(reply),
+            Response::Silent => {}
+            Response::Quit => {
+                out.push("OK bye".to_string());
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::service::ServiceConfig;
+    use std::sync::Arc;
+
+    fn service() -> Service {
+        let catalog = Arc::new(Catalog::new());
+        catalog
+            .load_xml("fig2", xmlkit::samples::FIGURE2_XML, XseedConfig::default())
+            .unwrap();
+        Service::new(catalog, ServiceConfig::with_workers(2))
+    }
+
+    fn reply(service: &Service, line: &str) -> String {
+        handle_line(service, line, &ProtocolOptions::local())
+            .text()
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn est_and_batch_roundtrip() {
+        let service = service();
+        assert_eq!(reply(&service, "EST fig2 /a/c/s"), "OK 5");
+        let batch = reply(&service, "BATCH fig2 /a/c/s ; //p ; /a/zzz");
+        assert_eq!(batch, "OK n=3 5 17 0");
+        assert!(reply(&service, "EST fig2 /a/c/s[t]/p").starts_with("OK 3.6"));
+    }
+
+    #[test]
+    fn load_builtin_and_estimate() {
+        let service = service();
+        let loaded = reply(&service, "LOAD bank builtin:treebank@0.02");
+        assert!(
+            loaded.starts_with("OK loaded name=bank epoch=0"),
+            "{loaded}"
+        );
+        let est = reply(&service, "EST bank //S");
+        assert!(est.starts_with("OK "), "{est}");
+        assert!(reply(&service, "LOAD x builtin:nope").starts_with("ERR "));
+        assert!(reply(&service, "LOAD x builtin:xmark@huh").starts_with("ERR "));
+        assert!(reply(&service, "LOAD x /no/such/file.xml").starts_with("ERR "));
+    }
+
+    #[test]
+    fn errors_and_help_and_quit() {
+        let service = service();
+        assert!(reply(&service, "EST nope /a").starts_with("ERR unknown document"));
+        assert!(reply(&service, "EST fig2 /[").starts_with("ERR parse error"));
+        assert!(reply(&service, "BATCH fig2").starts_with("ERR "));
+        assert!(reply(&service, "FROB x").starts_with("ERR unknown command"));
+        assert!(reply(&service, "HELP").contains("BATCH"));
+        let local = ProtocolOptions::local();
+        assert_eq!(handle_line(&service, "# comment", &local), Response::Silent);
+        assert_eq!(handle_line(&service, "   ", &local), Response::Silent);
+        assert_eq!(handle_line(&service, "QUIT", &local), Response::Quit);
+        assert_eq!(handle_line(&service, "quit", &local), Response::Quit);
+    }
+
+    #[test]
+    fn remote_sessions_cannot_read_server_files_or_oversize_builtins() {
+        let service = service();
+        let remote = ProtocolOptions::remote();
+        let denied = handle_line(&service, "LOAD x /etc/hostname", &remote);
+        assert!(denied.text().unwrap().starts_with("ERR filesystem LOAD"));
+        let oversized = handle_line(&service, "LOAD x builtin:xmark@100000", &remote);
+        assert!(oversized.text().unwrap().contains("out of range"));
+        let nan = handle_line(&service, "LOAD x builtin:xmark@NaN", &remote);
+        assert!(nan.text().unwrap().starts_with("ERR "));
+        // In-range builtins still load remotely.
+        let ok = handle_line(&service, "LOAD x builtin:xmark@0.05", &remote);
+        assert!(ok.text().unwrap().starts_with("OK loaded"), "{ok:?}");
+    }
+
+    #[test]
+    fn remote_sessions_cannot_grow_the_catalog_without_bound() {
+        let service = service();
+        let capped = ProtocolOptions {
+            max_documents: Some(2),
+            ..ProtocolOptions::remote()
+        };
+        // One slot left (fig2 is pre-loaded).
+        let ok = handle_line(&service, "LOAD extra builtin:dblp@0.02", &capped);
+        assert!(ok.text().unwrap().starts_with("OK loaded"), "{ok:?}");
+        let denied = handle_line(&service, "LOAD third builtin:dblp@0.02", &capped);
+        assert!(
+            denied
+                .text()
+                .unwrap()
+                .starts_with("ERR catalog document limit"),
+            "{denied:?}"
+        );
+        // Replacing an existing name is always allowed.
+        let replaced = handle_line(&service, "LOAD extra builtin:dblp@0.02", &capped);
+        assert!(
+            replaced.text().unwrap().starts_with("OK loaded"),
+            "{replaced:?}"
+        );
+    }
+
+    #[test]
+    fn stats_reports_docs() {
+        let service = service();
+        let _ = reply(&service, "EST fig2 //p");
+        let stats = reply(&service, "STATS");
+        assert!(stats.contains("workers=2"), "{stats}");
+        assert!(stats.contains("doc:fig2@0"), "{stats}");
+        assert!(stats.contains("executed=1"), "{stats}");
+    }
+
+    #[test]
+    fn scripted_session_runs_to_quit() {
+        let service = service();
+        let replies = run_script(&service, "EST fig2 /a/c/s\nSTATS\nQUIT\nEST fig2 //p\n");
+        assert_eq!(replies.len(), 3);
+        assert_eq!(replies[0], "OK 5");
+        assert_eq!(replies[2], "OK bye");
+    }
+}

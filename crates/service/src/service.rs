@@ -1,0 +1,523 @@
+//! The estimation service: a worker pool over the catalog.
+//!
+//! A [`Service`] owns `N` worker threads. Each worker has its **own**
+//! request queue (a mutex + condvar pair — sharded, so submitters and
+//! workers touching different queues never contend), and requests are
+//! spread round-robin across the queues. An idle worker first drains its
+//! own queue, then **steals** from the back of its siblings' queues before
+//! sleeping, so one hot queue cannot strand work while other workers idle.
+//!
+//! Requests are resolved on the submitting thread — catalog snapshot
+//! lookup (an `Arc` clone) and plan-cache lookup (sharded LRU) are both
+//! cheap — so a queued job is entirely self-contained: snapshot + plans +
+//! reply channel. Workers therefore never touch the catalog and are
+//! immune to concurrent `LOAD`s/updates: they estimate against whatever
+//! epoch the request was resolved at.
+//!
+//! Batches are split into per-worker chunks ([`Service::estimate_batch`]),
+//! each executed as one snapshot pass over the shared frontier memo (see
+//! [`crate::batch`]); the memo is built once per snapshot epoch and shared
+//! by all workers.
+
+use crate::batch::execute_batch;
+use crate::catalog::Catalog;
+use crate::plan_cache::{PlanCache, PlanCacheStats};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use xpathkit::{ParseError, QueryPlan};
+use xseed_core::SynopsisSnapshot;
+
+/// Fallback interval at which an idle worker re-checks its siblings'
+/// queues for stealable work. Pushes notify the target queue *and* one
+/// sibling (see [`Shared::push`]), so steal latency is normally condvar
+/// wake-up time; this poll only backstops the case where every notified
+/// worker was already busy, and is long enough that an idle daemon stays
+/// essentially asleep.
+const STEAL_POLL: Duration = Duration::from_millis(50);
+
+/// Errors surfaced by [`Service`] calls.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The named document is not registered in the catalog.
+    UnknownDocument(String),
+    /// The query text failed to parse.
+    Parse(ParseError),
+    /// The worker pool shut down before answering.
+    Disconnected,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownDocument(name) => write!(f, "unknown document '{name}'"),
+            ServiceError::Parse(err) => write!(f, "parse error: {err}"),
+            ServiceError::Disconnected => write!(f, "service workers shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<ParseError> for ServiceError {
+    fn from(err: ParseError) -> Self {
+        ServiceError::Parse(err)
+    }
+}
+
+/// Configuration of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads (and request-queue shards). Clamped to at least 1.
+    pub workers: usize,
+    /// Total plan-cache capacity (plans), spread over the cache shards.
+    pub plan_cache_capacity: usize,
+    /// Plan-cache shards; defaults to `4 × workers` to keep shard
+    /// contention negligible.
+    pub plan_cache_shards: usize,
+}
+
+impl ServiceConfig {
+    /// A configuration with `workers` worker threads and defaults for the
+    /// plan cache.
+    pub fn with_workers(workers: usize) -> Self {
+        let workers = workers.max(1);
+        ServiceConfig {
+            workers,
+            plan_cache_capacity: 4096,
+            plan_cache_shards: workers * 4,
+        }
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ServiceConfig::with_workers(workers)
+    }
+}
+
+/// One self-contained unit of work: estimate `plans` against `snapshot`
+/// and send the results (tagged with `chunk` for reassembly) to `reply`.
+struct Job {
+    snapshot: SynopsisSnapshot,
+    plans: Vec<Arc<QueryPlan>>,
+    /// Length of the whole logical batch this job is a chunk of; drives
+    /// the memo policy uniformly across all chunks (see [`execute_batch`]).
+    batch_len: usize,
+    chunk: usize,
+    reply: mpsc::Sender<(usize, Vec<f64>)>,
+}
+
+struct QueueShard {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+}
+
+struct Shared {
+    queues: Vec<QueueShard>,
+    shutdown: AtomicBool,
+    steals: AtomicU64,
+    batches: AtomicU64,
+    executed: Vec<AtomicU64>,
+}
+
+impl Shared {
+    fn push(&self, queue: usize, job: Job) {
+        let shard = &self.queues[queue];
+        shard
+            .jobs
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .push_back(job);
+        shard.ready.notify_one();
+        // Also wake one sibling: if the owner is mid-job, the neighbour
+        // steals immediately instead of waiting out its fallback poll.
+        if self.queues.len() > 1 {
+            self.queues[(queue + 1) % self.queues.len()]
+                .ready
+                .notify_one();
+        }
+    }
+
+    fn pop_own(&self, worker: usize) -> Option<Job> {
+        self.queues[worker]
+            .jobs
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .pop_front()
+    }
+
+    /// Steals from the back of a sibling queue (the opposite end from the
+    /// owner, minimizing contention and keeping stolen work coarse).
+    fn steal(&self, thief: usize) -> Option<Job> {
+        let n = self.queues.len();
+        for offset in 1..n {
+            let victim = (thief + offset) % n;
+            let job = self.queues[victim]
+                .jobs
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .pop_back();
+            if job.is_some() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return job;
+            }
+        }
+        None
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, id: usize) {
+    loop {
+        if let Some(job) = shared.pop_own(id).or_else(|| shared.steal(id)) {
+            let results = execute_batch(&job.snapshot, &job.plans, job.batch_len);
+            shared.executed[id].fetch_add(job.plans.len() as u64, Ordering::Relaxed);
+            shared.batches.fetch_add(1, Ordering::Relaxed);
+            // A dropped receiver just means the caller gave up waiting.
+            let _ = job.reply.send((job.chunk, results));
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let shard = &shared.queues[id];
+        let guard = shard
+            .jobs
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        if guard.is_empty() && !shared.shutdown.load(Ordering::Acquire) {
+            // Bounded wait: our own queue wakes us via the condvar, but
+            // stealable work lands on sibling queues without notifying us.
+            let _ = shard
+                .ready
+                .wait_timeout(guard, STEAL_POLL)
+                .unwrap_or_else(|poison| poison.into_inner());
+        }
+    }
+}
+
+/// A handle to an estimate submitted with [`Service::submit`]; resolve it
+/// with [`PendingEstimate::wait`].
+pub struct PendingEstimate {
+    rx: mpsc::Receiver<(usize, Vec<f64>)>,
+}
+
+impl PendingEstimate {
+    /// Blocks until the worker pool answers.
+    pub fn wait(self) -> Result<f64, ServiceError> {
+        let (_, results) = self.rx.recv().map_err(|_| ServiceError::Disconnected)?;
+        results.first().copied().ok_or(ServiceError::Disconnected)
+    }
+}
+
+/// A point-in-time view of the service counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Worker thread count.
+    pub workers: usize,
+    /// Estimates executed per worker (index = worker id).
+    pub executed: Vec<u64>,
+    /// Jobs a worker took from a sibling's queue.
+    pub steals: u64,
+    /// Jobs executed in total (single estimates count as 1-query batches).
+    pub batches: u64,
+    /// Plan-cache counters.
+    pub plan_cache: PlanCacheStats,
+}
+
+impl ServiceStats {
+    /// Total estimates executed across all workers.
+    pub fn total_executed(&self) -> u64 {
+        self.executed.iter().sum()
+    }
+}
+
+/// The multi-threaded estimation service. See the module docs.
+pub struct Service {
+    catalog: Arc<Catalog>,
+    plans: Arc<PlanCache>,
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    next_queue: AtomicUsize,
+}
+
+impl Service {
+    /// Starts a service with `config.workers` worker threads reading from
+    /// `catalog`.
+    pub fn new(catalog: Arc<Catalog>, config: ServiceConfig) -> Self {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..workers)
+                .map(|_| QueueShard {
+                    jobs: Mutex::new(VecDeque::new()),
+                    ready: Condvar::new(),
+                })
+                .collect(),
+            shutdown: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let handles = (0..workers)
+            .map(|id| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("xseed-worker-{id}"))
+                    .spawn(move || worker_loop(shared, id))
+                    .expect("spawn estimation worker")
+            })
+            .collect();
+        Service {
+            catalog,
+            plans: Arc::new(PlanCache::new(
+                config.plan_cache_shards,
+                config.plan_cache_capacity,
+            )),
+            shared,
+            handles,
+            next_queue: AtomicUsize::new(0),
+        }
+    }
+
+    /// The catalog this service estimates from.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The shared plan cache.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    /// Worker thread count.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    fn resolve(&self, doc: &str) -> Result<SynopsisSnapshot, ServiceError> {
+        self.catalog
+            .snapshot(doc)
+            .ok_or_else(|| ServiceError::UnknownDocument(doc.to_string()))
+    }
+
+    /// Submits one query for estimation against `doc`'s current snapshot,
+    /// round-robined onto a worker queue. Returns immediately.
+    pub fn submit(&self, doc: &str, query: &str) -> Result<PendingEstimate, ServiceError> {
+        let queue = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.workers();
+        self.submit_pinned(queue, doc, query)
+    }
+
+    /// Like [`Service::submit`], but pinned to a specific worker queue —
+    /// callers with document-affinity (or tests exercising the stealing
+    /// path) can direct related requests at one shard.
+    pub fn submit_pinned(
+        &self,
+        queue: usize,
+        doc: &str,
+        query: &str,
+    ) -> Result<PendingEstimate, ServiceError> {
+        let snapshot = self.resolve(doc)?;
+        let plan = self.plans.get_or_parse(query)?;
+        let (tx, rx) = mpsc::channel();
+        self.shared.push(
+            queue % self.workers(),
+            Job {
+                snapshot,
+                plans: vec![plan],
+                batch_len: 1,
+                chunk: 0,
+                reply: tx,
+            },
+        );
+        Ok(PendingEstimate { rx })
+    }
+
+    /// Estimates one query, blocking until a worker answers.
+    pub fn estimate(&self, doc: &str, query: &str) -> Result<f64, ServiceError> {
+        self.submit(doc, query)?.wait()
+    }
+
+    /// Estimates a batch of queries against one snapshot of `doc`,
+    /// splitting it into per-worker chunks that execute as shared-memo
+    /// snapshot passes. Results come back in input order. The whole batch
+    /// is resolved against a single epoch: a concurrent update to `doc`
+    /// never mixes epochs within one batch.
+    pub fn estimate_batch(&self, doc: &str, queries: &[&str]) -> Result<Vec<f64>, ServiceError> {
+        let snapshot = self.resolve(doc)?;
+        let plans = queries
+            .iter()
+            .map(|q| self.plans.get_or_parse(q))
+            .collect::<Result<Vec<_>, _>>()?;
+        if plans.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // Per-worker chunks, but never so fine that queue/channel overhead
+        // dominates the estimates themselves.
+        const MIN_CHUNK: usize = 8;
+        let workers = self.workers();
+        let chunks = workers.min(plans.len().div_ceil(MIN_CHUNK)).max(1);
+        let chunk_size = plans.len().div_ceil(chunks);
+
+        let (tx, rx) = mpsc::channel();
+        let base = self.next_queue.fetch_add(chunks, Ordering::Relaxed);
+        for (i, chunk) in plans.chunks(chunk_size).enumerate() {
+            self.shared.push(
+                (base + i) % workers,
+                Job {
+                    snapshot: snapshot.clone(),
+                    plans: chunk.to_vec(),
+                    batch_len: plans.len(),
+                    chunk: i,
+                    reply: tx.clone(),
+                },
+            );
+        }
+        drop(tx);
+
+        let mut gathered: Vec<Option<Vec<f64>>> = vec![None; plans.len().div_ceil(chunk_size)];
+        for _ in 0..gathered.len() {
+            let (chunk, results) = rx.recv().map_err(|_| ServiceError::Disconnected)?;
+            gathered[chunk] = Some(results);
+        }
+        Ok(gathered.into_iter().flatten().flatten().collect())
+    }
+
+    /// Current service counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            workers: self.workers(),
+            executed: self
+                .shared
+                .executed
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            plan_cache: self.plans.stats(),
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for shard in &self.shared.queues {
+            shard.ready.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xseed_core::{XseedConfig, XseedSynopsis};
+
+    fn fig2_service(workers: usize) -> Service {
+        let catalog = Arc::new(Catalog::new());
+        catalog
+            .load_xml("fig2", xmlkit::samples::FIGURE2_XML, XseedConfig::default())
+            .unwrap();
+        Service::new(catalog, ServiceConfig::with_workers(workers))
+    }
+
+    #[test]
+    fn estimate_matches_direct_synopsis() {
+        let service = fig2_service(2);
+        let direct =
+            XseedSynopsis::build_from_xml(xmlkit::samples::FIGURE2_XML, XseedConfig::default())
+                .unwrap();
+        for q in ["/a/c/s", "//s//p", "/a/c/s[t]/p", "//*"] {
+            let got = service.estimate("fig2", q).unwrap();
+            let expected = direct.estimate(&xpathkit::parse(q).unwrap());
+            assert!((got - expected).abs() < 1e-9, "{q}");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.total_executed(), 4);
+        assert_eq!(stats.plan_cache.misses, 4);
+    }
+
+    #[test]
+    fn batch_preserves_input_order_across_chunks() {
+        let service = fig2_service(4);
+        let queries: Vec<String> = ["/a/c/s", "//s//p", "/a/c/s[t]/p", "//*", "/a/*", "//p"]
+            .iter()
+            .cycle()
+            .take(48)
+            .map(|q| q.to_string())
+            .collect();
+        let refs: Vec<&str> = queries.iter().map(|s| s.as_str()).collect();
+        let batch = service.estimate_batch("fig2", &refs).unwrap();
+        assert_eq!(batch.len(), refs.len());
+        for (q, got) in refs.iter().zip(&batch) {
+            let single = service.estimate("fig2", q).unwrap();
+            assert!((single - got).abs() < 1e-9, "{q}");
+        }
+        assert!(service.estimate_batch("fig2", &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_document_and_parse_errors() {
+        let service = fig2_service(1);
+        assert!(matches!(
+            service.estimate("nope", "/a"),
+            Err(ServiceError::UnknownDocument(_))
+        ));
+        assert!(matches!(
+            service.estimate("fig2", "/["),
+            Err(ServiceError::Parse(_))
+        ));
+        // Errors render.
+        assert!(format!("{}", ServiceError::Disconnected).contains("shut down"));
+    }
+
+    #[test]
+    fn pinned_submissions_are_stolen_by_idle_workers() {
+        let service = fig2_service(4);
+        // Pile everything onto worker 0's queue; with 4 workers the
+        // siblings must steal at least some of it.
+        let pending: Vec<PendingEstimate> = (0..64)
+            .map(|_| service.submit_pinned(0, "fig2", "//s//p").unwrap())
+            .collect();
+        for p in pending {
+            p.wait().unwrap();
+        }
+        let stats = service.stats();
+        assert_eq!(stats.total_executed(), 64);
+        assert!(
+            stats.steals > 0 || stats.executed[0] == 64,
+            "either siblings stole or worker 0 drained everything: {stats:?}"
+        );
+        // On a multi-queue pile-up the plan cache should have one miss.
+        assert_eq!(stats.plan_cache.misses, 1);
+        assert_eq!(stats.plan_cache.hits, 63);
+    }
+
+    #[test]
+    fn estimates_span_epochs_consistently() {
+        let service = fig2_service(2);
+        let before = service.estimate("fig2", "/a/zzz").unwrap();
+        assert_eq!(before, 0.0);
+        let (grafted, _) = service
+            .catalog()
+            .update("fig2", |syn| {
+                let root = syn.kernel().name(syn.kernel().root().unwrap()).to_string();
+                let subtree = xmlkit::Document::parse_str("<zzz/>").unwrap();
+                syn.kernel_mut().add_subtree(&[root.as_str()], &subtree)
+            })
+            .unwrap();
+        grafted.unwrap();
+        let after = service.estimate("fig2", "/a/zzz").unwrap();
+        assert!((after - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,212 @@
+//! Concurrency guarantees of the estimation service:
+//!
+//! * many threads estimating from one shared frozen snapshot produce
+//!   **bit-identical** results to a single-threaded run (the snapshot is
+//!   immutable — there is nothing to race on);
+//! * snapshots taken before an update keep estimating their own epoch;
+//! * plan-cache hits are indistinguishable from fresh parses.
+
+use std::sync::Arc;
+use std::thread;
+use xpathkit::PathExpr;
+use xseed_core::{SynopsisSnapshot, XseedConfig, XseedSynopsis};
+use xseed_service::{Catalog, PlanCache, Service, ServiceConfig};
+
+use datagen::{Dataset, WorkloadGenerator, WorkloadSpec};
+
+const THREADS: usize = 8;
+
+fn scenario(dataset: Dataset, scale: f64) -> (XseedSynopsis, Vec<PathExpr>) {
+    let doc = dataset.generate_scaled(scale);
+    let config = if dataset.is_highly_recursive() {
+        XseedConfig::recursive_for_size(doc.element_count())
+    } else {
+        XseedConfig::default()
+    };
+    let synopsis = XseedSynopsis::build(&doc, config);
+    let workload = WorkloadGenerator::new(&doc, 0xC0FFEE).generate(&WorkloadSpec::small());
+    let queries: Vec<PathExpr> = workload.all().cloned().collect();
+    assert!(!queries.is_empty());
+    (synopsis, queries)
+}
+
+/// Runs the workload single-threaded, then from `THREADS` threads sharing
+/// the same snapshot, and compares every estimate bit for bit.
+fn assert_threads_bit_identical(dataset: Dataset, scale: f64) {
+    let (synopsis, queries) = scenario(dataset, scale);
+    let snapshot: SynopsisSnapshot = synopsis.snapshot();
+
+    // Single-threaded reference over the same snapshot (cold matcher).
+    let reference: Vec<u64> = {
+        let mut matcher = snapshot.matcher();
+        queries
+            .iter()
+            .map(|q| matcher.estimate(q).to_bits())
+            .collect()
+    };
+
+    let queries = Arc::new(queries);
+    let results: Vec<Vec<u64>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|i| {
+                let snapshot = snapshot.clone();
+                let queries = queries.clone();
+                scope.spawn(move || {
+                    // Half the threads use the shared-memo batch path, half
+                    // the cold streaming path — both must agree bit-exactly.
+                    let mut matcher = if i % 2 == 0 {
+                        snapshot.batch_matcher()
+                    } else {
+                        snapshot.matcher()
+                    };
+                    queries
+                        .iter()
+                        .map(|q| matcher.estimate(q).to_bits())
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (t, thread_results) in results.iter().enumerate() {
+        assert_eq!(
+            thread_results, &reference,
+            "{dataset:?}: thread {t} diverged from the single-threaded run"
+        );
+    }
+}
+
+#[test]
+fn xmark_eight_threads_bit_identical() {
+    assert_threads_bit_identical(Dataset::XMark10, 0.05);
+}
+
+#[test]
+fn dblp_eight_threads_bit_identical() {
+    assert_threads_bit_identical(Dataset::Dblp, 0.02);
+}
+
+#[test]
+fn treebank_eight_threads_bit_identical() {
+    assert_threads_bit_identical(Dataset::TreebankSmall, 0.05);
+}
+
+#[test]
+fn service_concurrent_clients_match_direct_estimates() {
+    let (synopsis, queries) = scenario(Dataset::XMark10, 0.05);
+    let direct: Vec<u64> = queries
+        .iter()
+        .map(|q| synopsis.estimate(q).to_bits())
+        .collect();
+    let texts: Vec<String> = queries.iter().map(|q| q.to_string()).collect();
+
+    let catalog = Arc::new(Catalog::new());
+    catalog.insert("xmark", synopsis);
+    let service = Service::new(catalog, ServiceConfig::with_workers(4));
+
+    thread::scope(|scope| {
+        for _ in 0..4 {
+            let service = &service;
+            let texts = &texts;
+            let direct = &direct;
+            scope.spawn(move || {
+                let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+                let batch = service.estimate_batch("xmark", &refs).unwrap();
+                for ((text, est), expected) in refs.iter().zip(&batch).zip(direct) {
+                    assert_eq!(est.to_bits(), *expected, "{text}");
+                }
+            });
+        }
+    });
+    assert!(service.stats().total_executed() >= 4 * queries.len() as u64);
+}
+
+#[test]
+fn updates_do_not_disturb_inflight_snapshots() {
+    let (synopsis, queries) = scenario(Dataset::Dblp, 0.02);
+    let catalog = Arc::new(Catalog::new());
+    let published = catalog.insert("dblp", synopsis);
+    let reference: Vec<u64> = queries
+        .iter()
+        .map(|q| published.estimate(q).to_bits())
+        .collect();
+
+    thread::scope(|scope| {
+        // Readers hammer the pre-update snapshot...
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let snapshot = published.clone();
+                let queries = &queries;
+                let reference = &reference;
+                scope.spawn(move || {
+                    for _ in 0..3 {
+                        let mut matcher = snapshot.matcher();
+                        for (q, expected) in queries.iter().zip(reference) {
+                            assert_eq!(matcher.estimate(q).to_bits(), *expected);
+                        }
+                    }
+                })
+            })
+            .collect();
+        // ...while the writer repeatedly grafts subtrees and republishes.
+        let catalog = &catalog;
+        scope.spawn(move || {
+            for i in 0..5 {
+                let (res, fresh) = catalog
+                    .update("dblp", |syn| {
+                        let root = syn.kernel().name(syn.kernel().root().unwrap()).to_string();
+                        let subtree = xmlkit::Document::parse_str(&format!("<extra{i}/>")).unwrap();
+                        syn.kernel_mut().add_subtree(&[root.as_str()], &subtree)
+                    })
+                    .unwrap();
+                res.unwrap();
+                assert_eq!(fresh.epoch(), i + 1);
+            }
+        });
+        for r in readers {
+            r.join().unwrap();
+        }
+    });
+
+    // The published snapshot advanced; the old one is still epoch 0.
+    assert_eq!(catalog.snapshot("dblp").unwrap().epoch(), 5);
+    assert_eq!(published.epoch(), 0);
+}
+
+mod plan_cache_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Query texts drawn from a real generated workload (plus noise in the
+    /// form of extra whitespace-free variants), so the property covers the
+    /// SP/BP/CP shapes the service actually sees.
+    fn workload_texts() -> Vec<String> {
+        let doc = Dataset::XMark10.generate_scaled(0.02);
+        let workload = WorkloadGenerator::new(&doc, 0x5EED).generate(&WorkloadSpec::small());
+        workload.all().map(|q| q.to_string()).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn cache_hits_equal_fresh_parses(picks in prop::collection::vec(0usize..1000, 1..20)) {
+            let texts = workload_texts();
+            let cache = PlanCache::new(4, 256);
+            for pick in picks {
+                let text = &texts[pick % texts.len()];
+                let cached = cache.get_or_parse(text).unwrap();
+                let fresh = xpathkit::parse(text).unwrap();
+                prop_assert_eq!(cached.expr(), &fresh);
+                prop_assert_eq!(cached.class(), fresh.classify());
+                prop_assert_eq!(cached.text(), text.as_str());
+                // A second lookup is a hit handing out the same plan.
+                let again = cache.get_or_parse(text).unwrap();
+                prop_assert!(Arc::ptr_eq(&cached, &again));
+            }
+            let stats = cache.stats();
+            prop_assert_eq!(stats.misses as usize, stats.entries);
+        }
+    }
+}

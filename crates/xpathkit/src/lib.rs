@@ -12,7 +12,9 @@
 //! * [`classify`] — the paper's query taxonomy (simple / branching /
 //!   complex path expressions, Section 2.1) and query recursion level,
 //! * [`query_tree`] — conversion of a parsed expression into the query
-//!   tree (tree pattern) consumed by the matcher (Algorithm 3).
+//!   tree (tree pattern) consumed by the matcher (Algorithm 3),
+//! * [`plan`] — cacheable parsed-and-classified plans ([`plan::QueryPlan`]),
+//!   the entry point estimation services cache instead of re-parsing.
 //!
 //! ```
 //! use xpathkit::parse;
@@ -31,10 +33,12 @@ pub mod classify;
 pub mod error;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod query_tree;
 
 pub use ast::{Axis, NodeTest, PathExpr, Step};
 pub use classify::QueryClass;
 pub use error::{ParseError, Result};
 pub use parser::parse;
+pub use plan::QueryPlan;
 pub use query_tree::{QtnId, QueryTree, QueryTreeNode};

@@ -1,0 +1,85 @@
+//! Cacheable parsed-query plans.
+//!
+//! An estimation service parses the same query strings over and over; a
+//! [`QueryPlan`] bundles everything derivable from the text alone — the
+//! parsed [`PathExpr`] and its [`QueryClass`] — into one immutable,
+//! `Send + Sync` value that a plan cache can hand out behind an `Arc`
+//! without re-parsing or re-classifying. Equality (and the retained
+//! `text`) make cache hits verifiable against fresh parses.
+
+use crate::ast::PathExpr;
+use crate::classify::QueryClass;
+use crate::error::Result;
+use crate::parser::parse;
+
+/// A parsed and classified query, ready for caching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPlan {
+    text: String,
+    expr: PathExpr,
+    class: QueryClass,
+}
+
+impl QueryPlan {
+    /// Parses and classifies `text` in one step — the cacheable entry
+    /// point: everything a cache needs to serve later lookups is computed
+    /// here, once.
+    pub fn parse(text: &str) -> Result<Self> {
+        let expr = parse(text)?;
+        let class = expr.classify();
+        Ok(QueryPlan {
+            text: text.to_string(),
+            expr,
+            class,
+        })
+    }
+
+    /// The original query text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The parsed expression.
+    pub fn expr(&self) -> &PathExpr {
+        &self.expr
+    }
+
+    /// The paper's SP/BP/CP classification, computed at parse time.
+    pub fn class(&self) -> QueryClass {
+        self.class
+    }
+
+    /// Consumes the plan, returning the expression.
+    pub fn into_expr(self) -> PathExpr {
+        self.expr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_matches_fresh_parse() {
+        for q in ["/a/b/c", "//site//item[payment]", "/a/*/b[c][d]/e"] {
+            let plan = QueryPlan::parse(q).unwrap();
+            let fresh = parse(q).unwrap();
+            assert_eq!(plan.expr(), &fresh);
+            assert_eq!(plan.class(), fresh.classify());
+            assert_eq!(plan.text(), q);
+            assert_eq!(plan.clone().into_expr(), fresh);
+        }
+    }
+
+    #[test]
+    fn plan_propagates_parse_errors() {
+        assert!(QueryPlan::parse("not a query [[").is_err());
+        assert!(QueryPlan::parse("").is_err());
+    }
+
+    #[test]
+    fn plan_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QueryPlan>();
+    }
+}

@@ -12,6 +12,7 @@
 //! | [`xseed_core`] | **the XSEED synopsis**: kernel, estimator, hyper-edge table |
 //! | [`treesketch`] | the TreeSketch baseline synopsis |
 //! | [`datagen`] | synthetic datasets and SP/BP/CP workloads |
+//! | [`xseed_service`] | the concurrent estimation service (catalog, worker pool, `xseed-serve`) |
 //! | [`xseed_bench`] | the experiment harness regenerating every table and figure |
 //!
 //! ## Quickstart
@@ -43,6 +44,7 @@ pub use xmlkit;
 pub use xpathkit;
 pub use xseed_bench;
 pub use xseed_core;
+pub use xseed_service;
 
 /// The most commonly used types, importable with `use xseed::prelude::*`.
 pub mod prelude {
@@ -52,6 +54,7 @@ pub mod prelude {
     pub use xmlkit::stats::DocumentStats;
     pub use xmlkit::{Document, SaxParser};
     pub use xpathkit::parse as parse_query;
-    pub use xpathkit::{PathExpr, QueryClass};
-    pub use xseed_core::{XseedConfig, XseedSynopsis};
+    pub use xpathkit::{PathExpr, QueryClass, QueryPlan};
+    pub use xseed_core::{SynopsisSnapshot, XseedConfig, XseedSynopsis};
+    pub use xseed_service::{Catalog, Service, ServiceConfig};
 }
