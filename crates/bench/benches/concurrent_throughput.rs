@@ -5,8 +5,11 @@
 //! shared-frontier-memo batch executor) at 1/2/4/8 workers over SP/BP/CP
 //! workloads, against the pre-service single-threaded client baseline
 //! (parse the text, call `XseedSynopsis::estimate` — the PR 1 usage
-//! pattern). Results land in `BENCH_concurrent_throughput.json` at the
-//! workspace root.
+//! pattern). Also measures the per-snapshot **compiled-query cache**
+//! (batched passes with `estimate_plan` vs compiling every estimate from
+//! its expression) and the **overload** fast-fail path (shed-decision
+//! latency and bound enforcement with the worker fenced). Results land in
+//! `BENCH_concurrent_throughput.json` at the workspace root.
 //!
 //! Worker scaling is bounded by the cores the container actually grants
 //! (`cpus_available` in the JSON): the snapshot sharing, queues, and
@@ -18,10 +21,10 @@ use datagen::{Dataset, WorkloadGenerator, WorkloadSpec};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
-use xpathkit::QueryClass;
+use xpathkit::{PathExpr, QueryClass, QueryPlan};
 use xseed_bench::report::json_throughput_entry;
-use xseed_core::{XseedConfig, XseedSynopsis};
-use xseed_service::{Catalog, Service, ServiceConfig};
+use xseed_core::{SynopsisSnapshot, XseedConfig, XseedSynopsis};
+use xseed_service::{Catalog, Service, ServiceConfig, ServiceError};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -109,6 +112,84 @@ fn service_pass(service: &Service, doc: &str, texts: &[String]) -> usize {
     texts.len()
 }
 
+/// Batched pass compiling every estimate from its expression — the
+/// compiled-cache-**off** shape (what the batch executor did before the
+/// per-snapshot compiled cache existed).
+fn compiled_off_pass(snapshot: &SynopsisSnapshot, exprs: &[PathExpr]) -> usize {
+    let mut matcher = snapshot.matcher_for_batch(exprs.len());
+    let mut sink = 0.0;
+    for expr in exprs {
+        sink += matcher.estimate(expr);
+    }
+    std::hint::black_box(sink);
+    exprs.len()
+}
+
+/// Batched pass through `estimate_plan` — the compiled-cache-**on** shape:
+/// after the warm-up pass every estimate is a compiled-cache hit.
+fn compiled_on_pass(snapshot: &SynopsisSnapshot, plans: &[Arc<QueryPlan>]) -> usize {
+    let mut matcher = snapshot.matcher_for_batch(plans.len());
+    let mut sink = 0.0;
+    for plan in plans {
+        sink += matcher.estimate_plan(plan);
+    }
+    std::hint::black_box(sink);
+    plans.len()
+}
+
+struct OverloadResult {
+    queue_capacity: usize,
+    submitted: usize,
+    accepted: usize,
+    shed: usize,
+    peak_queued: usize,
+    shed_decision_ns: f64,
+    drained_ok: bool,
+}
+
+/// Floods a 1-worker service (fenced, so admission is deterministic) past
+/// its queue budget and measures the shed fast-fail path.
+fn overload_scenario(synopsis: &XseedSynopsis, doc: &'static str, query: &str) -> OverloadResult {
+    const CAPACITY: usize = 64;
+    const FLOOD: usize = 50_000;
+    let catalog = Arc::new(Catalog::new());
+    catalog.insert(doc, synopsis.clone());
+    let service = Service::new(
+        catalog,
+        ServiceConfig::with_workers(1).with_queue_capacity(CAPACITY),
+    );
+    let pause = service.pause_worker(0);
+    pause.wait_until_paused();
+
+    let mut pendings = Vec::with_capacity(CAPACITY);
+    // Fill the budget first so the timed loop below measures pure sheds.
+    for _ in 0..CAPACITY {
+        pendings.push(service.submit(doc, query).expect("budget not full yet"));
+    }
+    let start = Instant::now();
+    for _ in 0..FLOOD {
+        match service.submit(doc, query) {
+            Ok(p) => pendings.push(p),
+            Err(ServiceError::Overloaded { .. }) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    let shed_decision_ns = start.elapsed().as_nanos() as f64 / FLOOD as f64;
+
+    pause.resume();
+    let drained_ok = pendings.into_iter().all(|p| p.wait().is_ok());
+    let stats = service.stats();
+    OverloadResult {
+        queue_capacity: CAPACITY,
+        submitted: CAPACITY + FLOOD,
+        accepted: stats.accepted as usize,
+        shed: stats.shed as usize,
+        peak_queued: stats.peak_queued,
+        shed_decision_ns,
+        drained_ok,
+    }
+}
+
 struct WorkloadResult {
     label: &'static str,
     queries: usize,
@@ -128,7 +209,7 @@ fn concurrent_benches(c: &mut Criterion) {
         .map(|w| w.to_string())
         .collect::<Vec<_>>()
         .join(", ");
-    let _ = write!(report, "  \"cpus_available\": {cpus},\n  \"worker_counts\": [{counts}],\n  \"baseline\": \"single-threaded parse + one-shot XseedSynopsis::estimate per query (pre-service client)\",\n  \"note\": \"worker scaling is bounded by cpus_available; service wins over the baseline come from the plan cache, snapshot sharing, and the per-batch frontier memo\",\n  \"datasets\": {{\n");
+    let _ = write!(report, "  \"cpus_available\": {cpus},\n  \"worker_counts\": [{counts}],\n  \"baseline\": \"single-threaded parse + one-shot XseedSynopsis::estimate per query (pre-service client)\",\n  \"note\": \"worker scaling is bounded by cpus_available; service wins over the baseline come from the plan cache, the per-snapshot compiled-query cache, snapshot sharing, and the per-batch frontier memo\",\n  \"datasets\": {{\n");
 
     // Criterion-visible spot check: one-shot service estimate latency.
     {
@@ -177,6 +258,30 @@ fn concurrent_benches(c: &mut Criterion) {
             });
         }
 
+        // Compiled-plan cache on/off over the full workload: same batched
+        // snapshot pass (shared frontier memo), the only difference being
+        // whether each estimate recompiles its query or reuses the cached
+        // compilation.
+        let (cached_on_ns, cached_off_ns) = {
+            let (_, texts) = scenario.workloads.last().expect("ALL workload");
+            let exprs: Vec<PathExpr> = texts
+                .iter()
+                .map(|t| xpathkit::parse(t).expect("workload query parses"))
+                .collect();
+            let plans: Vec<Arc<QueryPlan>> = texts
+                .iter()
+                .map(|t| Arc::new(QueryPlan::parse(t).expect("workload query parses")))
+                .collect();
+            let snapshot = scenario.synopsis.snapshot();
+            let off = time_passes(|| compiled_off_pass(&snapshot, &exprs));
+            let on = time_passes(|| compiled_on_pass(&snapshot, &plans));
+            println!(
+                "{}/compiled_plan_cache: off {off:.0} ns | on {on:.0} ns per estimate",
+                scenario.name
+            );
+            (on, off)
+        };
+
         let all = results.last().expect("ALL workload result");
         let w1 = all.worker_ns[0];
         let w8 = all.worker_ns[WORKER_COUNTS.len() - 1];
@@ -215,14 +320,64 @@ fn concurrent_benches(c: &mut Criterion) {
         }
         let _ = write!(
             report,
-            "      }},\n      \"aggregate_speedup_8_workers_vs_baseline\": {:.2},\n      \
+            "      }},\n      \"compiled_plan_cache\": {{\n        \
+             \"comparison\": \"one batched snapshot pass over the ALL workload; off = compile per estimate, on = estimate_plan via the per-snapshot compiled cache (warm)\",\n        \
+             \"off\": {},\n        \"on\": {},\n        \
+             \"savings_ns_per_estimate\": {:.1},\n        \"speedup\": {:.3}\n      }},\n",
+            json_throughput_entry(cached_off_ns),
+            json_throughput_entry(cached_on_ns),
+            cached_off_ns - cached_on_ns,
+            cached_off_ns / cached_on_ns,
+        );
+        let _ = write!(
+            report,
+            "      \"aggregate_speedup_8_workers_vs_baseline\": {:.2},\n      \
              \"aggregate_scaling_8_vs_1_workers\": {:.2}\n    }}{}\n",
             all.baseline_ns / w8,
             w1 / w8,
             if si + 1 == scenarios.len() { "" } else { "," }
         );
     }
-    report.push_str("  }\n}\n");
+    report.push_str("  },\n");
+
+    // Overload: flood a fenced 1-worker service past its queue budget and
+    // measure the shed fast-fail path (what a flooding client pays per
+    // OVERLOADED reply, before protocol I/O).
+    {
+        let scenario = &scenarios[0];
+        let (_, texts) = scenario.workloads.last().expect("ALL workload");
+        let result = overload_scenario(&scenario.synopsis, "overload_doc", &texts[0]);
+        assert!(result.drained_ok, "admitted estimates must drain");
+        assert_eq!(result.accepted, result.queue_capacity);
+        assert_eq!(result.peak_queued, result.queue_capacity);
+        println!(
+            "overload: {} submitted, {} accepted, {} shed, peak queue {} / {}, \
+             shed decision {:.0} ns",
+            result.submitted,
+            result.accepted,
+            result.shed,
+            result.peak_queued,
+            result.queue_capacity,
+            result.shed_decision_ns
+        );
+        let _ = write!(
+            report,
+            "  \"overload\": {{\n    \
+             \"scenario\": \"1 worker fenced, queue_capacity {} queries, then {} flooding submits\",\n    \
+             \"submitted\": {},\n    \"accepted\": {},\n    \"shed\": {},\n    \
+             \"peak_queued\": {},\n    \"shed_decision_ns\": {:.1},\n    \
+             \"note\": \"accepted == queue_capacity and peak_queued never exceeds it: admission is exact; shed_decision_ns is the client-side cost of one structured OVERLOADED rejection\"\n  }}\n",
+            result.queue_capacity,
+            result.submitted - result.queue_capacity,
+            result.submitted,
+            result.accepted,
+            result.shed,
+            result.peak_queued,
+            result.shed_decision_ns,
+        );
+    }
+    report.push('}');
+    report.push('\n');
 
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

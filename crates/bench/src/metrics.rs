@@ -3,7 +3,7 @@
 //! * **RMSE** — root-mean-squared error over the workload,
 //!   `sqrt(Σ(eᵢ − aᵢ)² / n)`.
 //! * **NRMSE** — RMSE normalized by the mean actual result size,
-//!   `RMSE / ā` (adopted from [13]); reported as a percentage in the
+//!   `RMSE / ā` (adopted from the paper's reference \[13\]); reported as a percentage in the
 //!   paper's tables.
 //! * **R²** — the coefficient of determination of estimates vs. actuals.
 //! * **OPD** — order-preserving degree: the fraction of query pairs whose

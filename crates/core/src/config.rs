@@ -28,6 +28,13 @@ pub struct XseedConfig {
     /// synopses. The paper controls this indirectly via `card_threshold`;
     /// the explicit cap keeps worst cases bounded.
     pub max_ept_nodes: usize,
+    /// Capacity (in compiled queries) of the per-snapshot compiled-query
+    /// cache serving [`crate::estimate::StreamingMatcher::estimate_plan`].
+    /// A serving-layer knob rather than an estimator parameter: size it to
+    /// the distinct-query working set of the workload (each entry is a
+    /// few hundred bytes). The cache is created lazily, so synopses never
+    /// used through cached plans pay nothing.
+    pub compiled_cache_capacity: usize,
 }
 
 impl Default for XseedConfig {
@@ -38,6 +45,7 @@ impl Default for XseedConfig {
             max_branching_predicates: 1,
             memory_budget: None,
             max_ept_nodes: 200_000,
+            compiled_cache_capacity: 4096,
         }
     }
 }

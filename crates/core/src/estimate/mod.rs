@@ -26,5 +26,7 @@ pub mod traveler;
 pub use ept::{EptNode, ExpandedPathTree};
 pub use event::EstimateEvent;
 pub use matcher::Matcher;
-pub use streaming::{FrontierMemo, StreamingMatcher};
+pub use streaming::{
+    CompiledCacheStats, CompiledPlanCache, CompiledQuery, FrontierMemo, StreamingMatcher,
+};
 pub use traveler::Traveler;

@@ -63,10 +63,13 @@ use crate::config::XseedConfig;
 use crate::het::hash::{correlated_key, inc_hash, PATH_HASH_SEED};
 use crate::het::table::HyperEdgeTable;
 use crate::kernel::{FrozenKernel, VertexId};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use xmlkit::names::{LabelId, NameTable};
 use xpathkit::ast::{Axis, NodeTest, PathExpr};
 use xpathkit::query_tree::{QtnId, QueryTree};
+use xpathkit::QueryPlan;
 
 /// A resolved node test: wildcard, a concrete label, or a name absent from
 /// the document.
@@ -115,9 +118,21 @@ struct SpineStep {
     sibling: Option<LabelId>,
 }
 
-/// A query compiled against a kernel's label space.
+/// A query compiled (label-resolved) against one snapshot's label space:
+/// the spine steps and flattened predicate nodes with their node tests
+/// resolved to [`LabelId`]s, dead-suffix flags, and the per-step
+/// required-label bitsets driving reachability pruning.
+///
+/// A compiled query is only meaningful for the `(FrozenKernel, NameTable)`
+/// pair it was compiled against — label ids and bitset widths are
+/// snapshot-specific — which is why the caching layer
+/// ([`CompiledPlanCache`]) lives *inside* each
+/// [`crate::synopsis::SynopsisSnapshot`]: an epoch bump publishes a fresh
+/// snapshot with a fresh (empty) cache, so invalidation needs no extra
+/// machinery. The struct is opaque; obtain one through
+/// [`StreamingMatcher::estimate_plan`] or the cache.
 #[derive(Debug)]
-struct CompiledQuery {
+pub struct CompiledQuery {
     spine: Vec<SpineStep>,
     preds: Vec<PredNode>,
     /// `dead[i]`: no state at spine index `i` can ever reach the result
@@ -286,6 +301,154 @@ impl FrontierMemo {
     }
 }
 
+/// Counters and occupancy of a [`CompiledPlanCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompiledCacheStats {
+    /// Lookups answered with an already-compiled query.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Compiled queries currently resident.
+    pub entries: usize,
+}
+
+#[derive(Default)]
+struct CompiledShard {
+    map: HashMap<u64, CachedCompiled>,
+    tick: u64,
+}
+
+struct CachedCompiled {
+    compiled: Arc<CompiledQuery>,
+    last_used: u64,
+}
+
+/// A per-snapshot cache of label-resolved [`CompiledQuery`]s, keyed by
+/// [`QueryPlan::id`] — plan-cache hits skip recompilation entirely.
+///
+/// Sharded by plan id with per-shard mutexes and tick-stamped LRU
+/// eviction, mirroring the service-layer plan cache: concurrent workers
+/// estimating different plans rarely touch the same lock, and compilation
+/// always happens *outside* any lock (two racing compiles of one plan
+/// produce identical artifacts; the first insert wins and the loser's is
+/// dropped).
+///
+/// A compiled query is only valid for the snapshot whose label space it
+/// was resolved against, so the cache is owned by the snapshot bundle
+/// ([`crate::synopsis::SynopsisSnapshot`]): a kernel/config/HET mutation
+/// bumps the epoch, publishes a fresh snapshot, and thereby starts from an
+/// empty cache — invalidation falls out of the existing epoch machinery.
+pub struct CompiledPlanCache {
+    shards: Box<[Mutex<CompiledShard>]>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for CompiledPlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("CompiledPlanCache")
+            .field("shards", &self.shards.len())
+            .field("shard_capacity", &self.shard_capacity)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl CompiledPlanCache {
+    /// Creates a cache of `shards` independent shards holding about
+    /// `capacity` compiled queries in total. Both values are clamped to at
+    /// least 1.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1);
+        CompiledPlanCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(CompiledShard::default()))
+                .collect(),
+            shard_capacity: capacity.div_ceil(shards).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, plan_id: u64) -> &Mutex<CompiledShard> {
+        &self.shards[(plan_id % self.shards.len() as u64) as usize]
+    }
+
+    /// Returns the compiled form of the plan with identity `plan_id`,
+    /// running `compile` (outside any lock) and caching the result on a
+    /// miss.
+    pub fn get_or_compile(
+        &self,
+        plan_id: u64,
+        compile: impl FnOnce() -> CompiledQuery,
+    ) -> Arc<CompiledQuery> {
+        {
+            let mut shard = self
+                .shard_for(plan_id)
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner());
+            shard.tick += 1;
+            let tick = shard.tick;
+            if let Some(cached) = shard.map.get_mut(&plan_id) {
+                cached.last_used = tick;
+                let compiled = cached.compiled.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return compiled;
+            }
+        }
+
+        let compiled = Arc::new(compile());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self
+            .shard_for(plan_id)
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        shard.tick += 1;
+        let tick = shard.tick;
+        if !shard.map.contains_key(&plan_id) {
+            if shard.map.len() >= self.shard_capacity {
+                if let Some(oldest) = shard
+                    .map
+                    .iter()
+                    .min_by_key(|(_, c)| c.last_used)
+                    .map(|(&k, _)| k)
+                {
+                    shard.map.remove(&oldest);
+                }
+            }
+            shard.map.insert(
+                plan_id,
+                CachedCompiled {
+                    compiled: compiled.clone(),
+                    last_used: tick,
+                },
+            );
+        }
+        compiled
+    }
+
+    /// Current hit/miss counters and occupancy.
+    pub fn stats(&self) -> CompiledCacheStats {
+        CompiledCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| {
+                    s.lock()
+                        .unwrap_or_else(|poison| poison.into_inner())
+                        .map
+                        .len()
+                })
+                .sum(),
+        }
+    }
+}
+
 const NO_TABLES: u32 = u32::MAX;
 
 /// Streams the expanded path tree over a [`FrozenKernel`] and matches a
@@ -320,6 +483,9 @@ pub struct StreamingMatcher<'a> {
     /// When set, estimates replay the memoized expansion instead of
     /// re-deriving footprints per node (see [`FrontierMemo`]).
     memo: Option<Arc<FrontierMemo>>,
+    /// When set, [`StreamingMatcher::estimate_plan`] reuses compiled
+    /// queries across estimates (see [`CompiledPlanCache`]).
+    compiled_cache: Option<Arc<CompiledPlanCache>>,
 }
 
 impl<'a> StreamingMatcher<'a> {
@@ -354,6 +520,7 @@ impl<'a> StreamingMatcher<'a> {
             rec_max: 0,
             opens: 0,
             memo: None,
+            compiled_cache: None,
         }
     }
 
@@ -384,26 +551,82 @@ impl<'a> StreamingMatcher<'a> {
         self.memo = Some(memo);
     }
 
+    /// Installs a shared per-snapshot compiled-query cache consulted by
+    /// [`StreamingMatcher::estimate_plan`]. The cache must hold queries
+    /// compiled against the same snapshot (frozen kernel + name table)
+    /// this matcher was created over — the same caller's contract as
+    /// [`StreamingMatcher::set_frontier_memo`], upheld by construction
+    /// when matchers come from
+    /// [`crate::synopsis::SynopsisSnapshot::matcher`].
+    pub fn set_compiled_cache(&mut self, cache: Arc<CompiledPlanCache>) {
+        self.compiled_cache = Some(cache);
+    }
+
     /// Estimates the cardinality of a path expression.
     pub fn estimate(&mut self, expr: &PathExpr) -> f64 {
         self.estimate_with_stats(expr).0
+    }
+
+    /// Estimates a cached [`QueryPlan`], reusing its compiled
+    /// (label-resolved) form across calls when a [`CompiledPlanCache`] is
+    /// installed — the service hot path: a plan-cache hit then skips both
+    /// the parse *and* the compilation. Without a cache this is equivalent
+    /// to `estimate(plan.expr())`.
+    pub fn estimate_plan(&mut self, plan: &QueryPlan) -> f64 {
+        self.estimate_plan_with_stats(plan).0
+    }
+
+    /// [`StreamingMatcher::estimate_plan`] with the visited-node count of
+    /// [`StreamingMatcher::estimate_with_stats`].
+    pub fn estimate_plan_with_stats(&mut self, plan: &QueryPlan) -> (f64, usize) {
+        if let Some(answer) = self.answer_without_traversal(plan.expr()) {
+            return answer;
+        }
+        match self.compiled_cache.clone() {
+            Some(cache) => {
+                let compiled = cache.get_or_compile(plan.id(), || self.compile(plan.expr()));
+                self.run_compiled(&compiled)
+            }
+            None => {
+                let query = self.compile(plan.expr());
+                self.run_compiled(&query)
+            }
+        }
     }
 
     /// Estimates the cardinality, also reporting the number of EPT nodes
     /// *visited* by the streamed traversal (a lower bound on the
     /// materialized EPT size, thanks to reachability pruning).
     pub fn estimate_with_stats(&mut self, expr: &PathExpr) -> (f64, usize) {
-        // Section 5 fast path: a simple path resident in the HET is
-        // answered exactly from the table (identical to Matcher::estimate).
+        if let Some(answer) = self.answer_without_traversal(expr) {
+            return answer;
+        }
+        let query = self.compile(expr);
+        self.run_compiled(&query)
+    }
+
+    /// The pre-traversal answers shared by the expression and plan entry
+    /// points: the Section 5 HET fast path (a simple path resident in the
+    /// table is answered exactly, identical to `Matcher::estimate`) and
+    /// the empty-kernel case.
+    fn answer_without_traversal(&self, expr: &PathExpr) -> Option<(f64, usize)> {
         if let Some(het) = self.het {
             if let Some(actual) = het.answer_simple_path(self.names, expr) {
-                return (actual, 0);
+                return Some((actual, 0));
             }
         }
+        if self.frozen.root().is_none() {
+            return Some((0.0, 0));
+        }
+        None
+    }
+
+    /// Runs the streamed (or memo-replayed) match of an already-compiled
+    /// query and sums the contributions.
+    fn run_compiled(&mut self, query: &CompiledQuery) -> (f64, usize) {
         let Some(root) = self.frozen.root() else {
             return (0.0, 0);
         };
-        let query = self.compile(expr);
         self.reset();
 
         // Seed the root's incoming frontier: spine index 0, factor 1.
@@ -424,9 +647,9 @@ impl<'a> StreamingMatcher<'a> {
         let incoming_end = self.states.len() as u32;
 
         if let Some(memo) = self.memo.clone() {
-            self.run_replay(&memo, incoming_start, incoming_end, &query);
+            self.run_replay(&memo, incoming_start, incoming_end, query);
         } else {
-            self.run_stream(root, incoming_start, incoming_end, &query);
+            self.run_stream(root, incoming_start, incoming_end, query);
         }
 
         let total = self.sum_contributions();
@@ -1511,6 +1734,84 @@ mod tests {
         let mut m = StreamingMatcher::new(&frozen, kernel.names(), &config, None);
         m.enable_batch_memo();
         assert_eq!(m.estimate(&parse("/a").unwrap()), 0.0);
+    }
+
+    #[test]
+    fn estimate_plan_matches_estimate_with_and_without_cache() {
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        let frozen = FrozenKernel::freeze(&kernel);
+        let config = XseedConfig::default();
+        let cache = Arc::new(CompiledPlanCache::new(2, 64));
+        let mut cached = StreamingMatcher::new(&frozen, kernel.names(), &config, None);
+        cached.set_compiled_cache(cache.clone());
+        let mut uncached = StreamingMatcher::new(&frozen, kernel.names(), &config, None);
+        for q in FIGURE2_QUERIES {
+            let plan = QueryPlan::parse(q).unwrap();
+            let expected = uncached.estimate(plan.expr());
+            // Two cached runs: the second must hit the compiled cache and
+            // both must be bit-identical to the plain expression path.
+            assert_eq!(cached.estimate_plan(&plan).to_bits(), expected.to_bits());
+            assert_eq!(cached.estimate_plan(&plan).to_bits(), expected.to_bits());
+            assert_eq!(
+                uncached.estimate_plan(&plan).to_bits(),
+                expected.to_bits(),
+                "{q}: cache-less estimate_plan must equal estimate"
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses as usize, FIGURE2_QUERIES.len());
+        assert_eq!(stats.hits as usize, FIGURE2_QUERIES.len());
+        assert_eq!(stats.entries, FIGURE2_QUERIES.len().min(64));
+    }
+
+    #[test]
+    fn compiled_cache_keys_on_plan_identity_not_text() {
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        let frozen = FrozenKernel::freeze(&kernel);
+        let config = XseedConfig::default();
+        let cache = Arc::new(CompiledPlanCache::new(1, 8));
+        let mut m = StreamingMatcher::new(&frozen, kernel.names(), &config, None);
+        m.set_compiled_cache(cache.clone());
+        let a = QueryPlan::parse("/a/c/s").unwrap();
+        let b = QueryPlan::parse("/a/c/s").unwrap();
+        assert_eq!(m.estimate_plan(&a), m.estimate_plan(&b));
+        // Distinct parses are distinct identities: two compilations.
+        assert_eq!(cache.stats().misses, 2);
+        // A clone shares the identity: pure hit.
+        let _ = m.estimate_plan(&a.clone());
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn compiled_cache_evicts_least_recently_used() {
+        let cache = CompiledPlanCache::new(1, 2);
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        let frozen = FrozenKernel::freeze(&kernel);
+        let config = XseedConfig::default();
+        let m = StreamingMatcher::new(&frozen, kernel.names(), &config, None);
+        let m = &m;
+        let compile = |text: &str| {
+            let expr = parse(text).unwrap();
+            move || m.compile(&expr)
+        };
+        cache.get_or_compile(1, compile("/a"));
+        cache.get_or_compile(2, compile("/a/c"));
+        cache.get_or_compile(1, compile("/a")); // refresh 1
+        cache.get_or_compile(3, compile("/a/c/s")); // evicts 2
+        assert_eq!(cache.stats().entries, 2);
+        let before = cache.stats().misses;
+        cache.get_or_compile(2, compile("/a/c")); // recompiles, evicts 1
+        assert_eq!(cache.stats().misses, before + 1);
+        let hits = cache.stats().hits;
+        cache.get_or_compile(3, compile("/a/c/s")); // still resident
+        assert_eq!(cache.stats().hits, hits + 1);
+    }
+
+    #[test]
+    fn compiled_cache_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompiledPlanCache>();
     }
 
     #[test]

@@ -46,7 +46,8 @@ pub mod synopsis;
 pub use config::XseedConfig;
 pub use counter_stacks::CounterStacks;
 pub use estimate::{
-    EstimateEvent, ExpandedPathTree, FrontierMemo, Matcher, StreamingMatcher, Traveler,
+    CompiledCacheStats, CompiledPlanCache, CompiledQuery, EstimateEvent, ExpandedPathTree,
+    FrontierMemo, Matcher, StreamingMatcher, Traveler,
 };
 pub use het::{HetBuilder, HyperEdgeTable};
 pub use kernel::{EdgeLabel, FrozenKernel, Kernel, KernelBuilder};

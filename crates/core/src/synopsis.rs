@@ -7,7 +7,9 @@
 use crate::config::XseedConfig;
 use crate::estimate::ept::ExpandedPathTree;
 use crate::estimate::matcher::Matcher;
-use crate::estimate::streaming::{FrontierMemo, StreamingMatcher};
+use crate::estimate::streaming::{
+    CompiledCacheStats, CompiledPlanCache, FrontierMemo, StreamingMatcher,
+};
 use crate::het::builder::{HetBuildStats, HetBuilder};
 use crate::het::feedback::{record_feedback, FeedbackOutcome};
 use crate::het::table::HyperEdgeTable;
@@ -208,6 +210,7 @@ impl XseedSynopsis {
                     config: self.config.clone(),
                     het: self.het.clone(),
                     memo: OnceLock::new(),
+                    compiled: OnceLock::new(),
                 }),
             })
             .clone()
@@ -361,6 +364,13 @@ struct SnapshotInner {
     /// Built on first batched estimate, then shared by every worker
     /// estimating from this snapshot.
     memo: OnceLock<Arc<FrontierMemo>>,
+    /// Per-snapshot compiled-query cache (plan id → label-resolved
+    /// [`crate::estimate::streaming::CompiledQuery`]), created on first
+    /// use and shared by every matcher handed out from this snapshot. An
+    /// epoch bump publishes a fresh snapshot and thereby a fresh cache, so
+    /// stale compilations can never outlive the label space they were
+    /// resolved against.
+    compiled: OnceLock<Arc<CompiledPlanCache>>,
 }
 
 impl SynopsisSnapshot {
@@ -389,11 +399,40 @@ impl SynopsisSnapshot {
         self.inner.het.as_deref()
     }
 
-    /// A streaming matcher over this snapshot. Each worker thread should
-    /// hold its own matcher (scratch buffers are per-matcher); the
-    /// underlying snapshot data is shared.
+    /// A streaming matcher over this snapshot, with the snapshot's shared
+    /// compiled-query cache installed (so
+    /// [`StreamingMatcher::estimate_plan`] reuses label-resolved
+    /// compilations across all matchers of this snapshot). Each worker
+    /// thread should hold its own matcher (scratch buffers are
+    /// per-matcher); the underlying snapshot data is shared.
     pub fn matcher(&self) -> StreamingMatcher<'_> {
-        StreamingMatcher::new(self.frozen(), self.names(), self.config(), self.het())
+        let mut matcher =
+            StreamingMatcher::new(self.frozen(), self.names(), self.config(), self.het());
+        matcher.set_compiled_cache(self.compiled_cache().clone());
+        matcher
+    }
+
+    /// Counters of the compiled-query cache **without forcing its
+    /// creation** — the read monitoring should use: a snapshot never
+    /// estimated through cached plans reports zeros and allocates
+    /// nothing.
+    pub fn compiled_cache_stats(&self) -> CompiledCacheStats {
+        self.inner
+            .compiled
+            .get()
+            .map(|cache| cache.stats())
+            .unwrap_or_default()
+    }
+
+    /// The snapshot's shared compiled-query cache, created on first use.
+    /// Capacity comes from [`XseedConfig::compiled_cache_capacity`].
+    pub fn compiled_cache(&self) -> &Arc<CompiledPlanCache> {
+        self.inner.compiled.get_or_init(|| {
+            Arc::new(CompiledPlanCache::new(
+                8,
+                self.inner.config.compiled_cache_capacity,
+            ))
+        })
     }
 
     /// A streaming matcher with this snapshot's shared frontier memo
@@ -438,6 +477,14 @@ impl SynopsisSnapshot {
     /// [`SynopsisSnapshot::matcher`] or [`SynopsisSnapshot::estimate_batch`]).
     pub fn estimate(&self, expr: &PathExpr) -> f64 {
         self.matcher().estimate(expr)
+    }
+
+    /// Estimates one cached plan through the snapshot's compiled-query
+    /// cache: a repeat of the same [`xpathkit::QueryPlan`] (same identity)
+    /// skips recompilation entirely. One-shot matcher; for many plans
+    /// prefer [`SynopsisSnapshot::matcher`].
+    pub fn estimate_plan(&self, plan: &xpathkit::QueryPlan) -> f64 {
+        self.matcher().estimate_plan(plan)
     }
 
     /// Estimates a batch of queries over the shared frontier memo,
@@ -686,6 +733,23 @@ mod tests {
         assert_eq!(snap.estimate(&parse("/a/zzz").unwrap()), 0.0);
         assert!((snap.estimate(&q) - before).abs() < 1e-12);
         assert!(snap.epoch() < synopsis.epoch());
+    }
+
+    #[test]
+    fn compiled_cache_stats_do_not_force_the_cache() {
+        let doc = figure2_document();
+        let synopsis = XseedSynopsis::build(&doc, XseedConfig::default());
+        let snap = synopsis.snapshot();
+        // Reading stats on an untouched snapshot reports zeros (and, per
+        // the implementation, allocates nothing).
+        assert_eq!(snap.compiled_cache_stats(), Default::default());
+        assert!(
+            snap.inner.compiled.get().is_none(),
+            "stats must not allocate"
+        );
+        let plan = xpathkit::QueryPlan::parse("/a/c/s").unwrap();
+        assert!((snap.estimate_plan(&plan) - 5.0).abs() < 1e-9);
+        assert_eq!(snap.compiled_cache_stats().misses, 1);
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! paper's efficiency experiments (Section 6.4) compare estimation time to
 //! *actual query execution* time. Both require an exact query processor
 //! over the XML data. The paper uses the authors' NoK physical storage and
-//! pattern-matching operator [14] together with the *path tree* summary
-//! [1]; this crate provides equivalents built from scratch:
+//! pattern-matching operator \[14\] together with the *path tree* summary
+//! \[1\]; this crate provides equivalents built from scratch:
 //!
 //! * [`storage`] — a succinct, preorder-array physical representation of
 //!   the element tree ([`storage::NokStorage`]): one label per node plus a

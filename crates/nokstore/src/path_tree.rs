@@ -1,4 +1,4 @@
-//! The path tree summary (Aboulnaga et al. [1]).
+//! The path tree summary (Aboulnaga et al. \[1\]).
 //!
 //! The path tree has one node per *distinct rooted label path* of the
 //! document. Every node is annotated with

@@ -1,6 +1,6 @@
 //! The batch executor: many queries, one snapshot pass.
 //!
-//! A batch is estimated by a single [`StreamingMatcher`] with the
+//! A batch is estimated by a single [`xseed_core::StreamingMatcher`] with the
 //! snapshot's shared [`xseed_core::FrontierMemo`] installed: the
 //! traveler's expansion is recorded once per snapshot epoch and each query
 //! replays it, skipping the per-node footprint arithmetic and recursion
@@ -8,6 +8,11 @@
 //! across the whole batch. Batches homogeneous in query class get the
 //! best locality (simple paths may even short-circuit through the HET),
 //! but heterogeneity only costs the reuse, never correctness.
+//!
+//! Plans are estimated through the snapshot's compiled-query cache
+//! ([`xseed_core::CompiledPlanCache`]): a plan seen before on this
+//! snapshot skips label resolution entirely, so a plan-cache hit pays
+//! neither the parse nor the compile on the hot path.
 
 use std::sync::Arc;
 use xpathkit::QueryPlan;
@@ -30,7 +35,7 @@ pub fn execute_batch(
     let mut matcher = snapshot.matcher_for_batch(policy_len.max(batch.len()));
     batch
         .iter()
-        .map(|plan| matcher.estimate(plan.expr()))
+        .map(|plan| matcher.estimate_plan(plan))
         .collect()
 }
 

@@ -1,12 +1,28 @@
 //! `xseed-serve` — the XSEED estimation daemon.
 //!
 //! Speaks the line protocol of [`xseed_service::protocol`] over stdin
-//! (default) or TCP (`--tcp ADDR`, one thread per connection, all sharing
-//! one worker pool and catalog):
+//! (default) or TCP (`--tcp ADDR`, one thread per admitted connection,
+//! all sharing one worker pool and catalog). The complete protocol
+//! reference lives in `docs/PROTOCOL.md`, the tuning guide in
+//! `docs/OPERATIONS.md`.
 //!
 //! ```text
-//! xseed-serve [--workers N] [--tcp 127.0.0.1:7878]
+//! xseed-serve [--workers N] [--queue-capacity Q] [--tcp ADDR]
+//!             [--max-connections C] [--idle-timeout SECS]
+//!             [--allow-fs-load]
 //! ```
+//!
+//! * `--workers N` — estimation worker threads (default: the CPU count).
+//! * `--queue-capacity Q` — per-worker queue budget in queries (default
+//!   1024); requests past the budget get an `OVERLOADED` reply.
+//! * `--tcp ADDR` — serve TCP instead of stdin, e.g. `127.0.0.1:7878`.
+//! * `--max-connections C` — TCP sessions served concurrently (default
+//!   64); excess connections are refused with one `OVERLOADED` line.
+//! * `--idle-timeout SECS` — close TCP sessions idle for this long
+//!   (default 300; 0 disables).
+//! * `--allow-fs-load` — permit `LOAD <name> <path>` filesystem reads for
+//!   TCP sessions (stdin sessions always may; see the security note in
+//!   `docs/PROTOCOL.md`).
 //!
 //! Example session:
 //!
@@ -17,91 +33,56 @@
 //! OK bye
 //! ```
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
 use std::sync::Arc;
-use xseed_service::protocol::{handle_line, ProtocolOptions, Response};
-use xseed_service::{Catalog, Service, ServiceConfig};
+use std::time::Duration;
+use xseed_service::protocol::ProtocolOptions;
+use xseed_service::{serve_stream, Catalog, ServerConfig, Service, ServiceConfig, TcpServer};
 
 struct Args {
     workers: Option<usize>,
+    queue_capacity: Option<usize>,
     tcp: Option<String>,
+    max_connections: usize,
+    idle_timeout_secs: u64,
     allow_fs_load: bool,
 }
 
-const USAGE: &str = "usage: xseed-serve [--workers N] [--tcp ADDR] [--allow-fs-load]";
+const USAGE: &str = "usage: xseed-serve [--workers N] [--queue-capacity Q] [--tcp ADDR] \
+                     [--max-connections C] [--idle-timeout SECS] [--allow-fs-load]";
 
 /// `Ok(None)` means `--help` was requested.
 fn parse_args() -> Result<Option<Args>, String> {
     let mut args = Args {
         workers: None,
+        queue_capacity: None,
         tcp: None,
+        max_connections: 64,
+        idle_timeout_secs: 300,
         allow_fs_load: false,
     };
     let mut it = std::env::args().skip(1);
+    let parse = |flag: &str, value: Option<String>| -> Result<u64, String> {
+        let v = value.ok_or(format!("{flag} needs a value"))?;
+        v.parse().map_err(|_| format!("bad {flag} value '{v}'"))
+    };
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--workers" => {
-                let v = it.next().ok_or("--workers needs a count")?;
-                args.workers = Some(v.parse().map_err(|_| format!("bad worker count '{v}'"))?);
+            "--workers" => args.workers = Some(parse("--workers", it.next())? as usize),
+            "--queue-capacity" => {
+                args.queue_capacity = Some(parse("--queue-capacity", it.next())? as usize)
             }
-            "--tcp" => {
-                args.tcp = Some(it.next().ok_or("--tcp needs an address")?);
+            "--tcp" => args.tcp = Some(it.next().ok_or("--tcp needs an address")?),
+            "--max-connections" => {
+                args.max_connections = parse("--max-connections", it.next())? as usize
             }
+            "--idle-timeout" => args.idle_timeout_secs = parse("--idle-timeout", it.next())?,
             "--allow-fs-load" => args.allow_fs_load = true,
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
     Ok(Some(args))
-}
-
-fn serve_stream(
-    service: &Service,
-    options: &ProtocolOptions,
-    input: impl BufRead,
-    mut output: impl Write,
-) {
-    for line in input.lines() {
-        let Ok(line) = line else { return };
-        match handle_line(service, &line, options) {
-            Response::Line(reply) => {
-                if writeln!(output, "{reply}")
-                    .and_then(|()| output.flush())
-                    .is_err()
-                {
-                    return;
-                }
-            }
-            Response::Silent => {}
-            Response::Quit => {
-                let _ = writeln!(output, "OK bye");
-                let _ = output.flush();
-                return;
-            }
-        }
-    }
-}
-
-fn serve_tcp(service: Arc<Service>, options: ProtocolOptions, addr: &str) -> std::io::Result<()> {
-    let listener = TcpListener::bind(addr)?;
-    eprintln!("xseed-serve listening on {}", listener.local_addr()?);
-    let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    for stream in listener.incoming() {
-        let stream: TcpStream = stream?;
-        let service = service.clone();
-        let options = options.clone();
-        sessions.retain(|h| !h.is_finished());
-        sessions.push(std::thread::spawn(move || {
-            let reader = BufReader::new(match stream.try_clone() {
-                Ok(s) => s,
-                Err(_) => return,
-            });
-            serve_stream(&service, &options, reader, stream);
-        }));
-    }
-    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -117,13 +98,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let config = match args.workers {
+    let mut config = match args.workers {
         Some(n) => ServiceConfig::with_workers(n),
         None => ServiceConfig::default(),
     };
+    if let Some(q) = args.queue_capacity {
+        config = config.with_queue_capacity(q);
+    }
     eprintln!(
-        "xseed-serve: {} estimation worker(s); type HELP for commands",
-        config.workers
+        "xseed-serve: {} estimation worker(s), queue budget {} queries/worker; \
+         type HELP for commands",
+        config.workers, config.queue_capacity
     );
     let service = Arc::new(Service::new(Arc::new(Catalog::new()), config));
 
@@ -133,7 +118,24 @@ fn main() -> ExitCode {
             // allowed; builtin dataset scales stay capped either way.
             let mut options = ProtocolOptions::remote();
             options.allow_fs_load = args.allow_fs_load;
-            if let Err(e) = serve_tcp(service, options, &addr) {
+            let server_config = ServerConfig {
+                max_connections: args.max_connections,
+                idle_timeout: (args.idle_timeout_secs > 0)
+                    .then(|| Duration::from_secs(args.idle_timeout_secs)),
+                options,
+            };
+            let server = match TcpServer::bind(&addr, server_config) {
+                Ok(server) => server,
+                Err(e) => {
+                    eprintln!("cannot bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match server.local_addr() {
+                Ok(local) => eprintln!("xseed-serve listening on {local}"),
+                Err(e) => eprintln!("xseed-serve listening (address unavailable: {e})"),
+            }
+            if let Err(e) = server.run(service) {
                 eprintln!("tcp server error: {e}");
                 return ExitCode::FAILURE;
             }

@@ -67,6 +67,11 @@ pub struct DocumentInfo {
     pub elements: u64,
     /// Total synopsis footprint (kernel + resident HET) in bytes.
     pub size_bytes: usize,
+    /// Hits of the published snapshot's compiled-query cache.
+    pub compiled_hits: u64,
+    /// Misses (compilations) of the published snapshot's compiled-query
+    /// cache.
+    pub compiled_misses: u64,
 }
 
 impl Catalog {
@@ -268,12 +273,15 @@ impl Catalog {
                     .lock()
                     .unwrap_or_else(|poison| poison.into_inner())
                     .size_bytes();
+                let compiled = snapshot.compiled_cache_stats();
                 DocumentInfo {
                     name,
                     epoch: snapshot.epoch(),
                     vertices: snapshot.frozen().vertex_count(),
                     elements: snapshot.frozen().element_count(),
                     size_bytes,
+                    compiled_hits: compiled.hits,
+                    compiled_misses: compiled.misses,
                 }
             })
             .collect();

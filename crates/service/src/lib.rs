@@ -20,10 +20,48 @@
 //!   snapshot's shared frontier memo (the traveler's expansion recorded
 //!   once per epoch, replayed per query).
 //! * [`service`] — the [`Service`] front end: a worker thread pool with
-//!   per-worker sharded request queues and work stealing, dispatching
-//!   single estimates and batches over catalog snapshots.
+//!   per-worker **bounded** request queues, admission control that sheds
+//!   excess load with [`ServiceError::Overloaded`], and work stealing,
+//!   dispatching single estimates and batches over catalog snapshots.
 //! * [`protocol`] — the line protocol (`LOAD` / `EST` / `BATCH` / `STATS`)
-//!   spoken by the `xseed-serve` binary over stdin or TCP.
+//!   spoken by the `xseed-serve` binary, including the structured
+//!   `OVERLOADED` shed reply (full reference: `docs/PROTOCOL.md`).
+//! * [`server`] — the session front ends: stdin streams and the bounded
+//!   TCP accept loop (connection limit + idle-session timeout).
+//!
+//! ## Architecture
+//!
+//! A request travels left to right; every stage is bounded, and each box
+//! on the estimate path is lock-free or sharded:
+//!
+//! ```text
+//!  clients                    admission                workers (N threads)
+//! ┌──────────┐  conn limit   ┌──────────────┐  shed?  ┌────────────────────┐
+//! │ stdin /  │──────────────▶│ resolve:     │───────▶ │ q0 ▸▸▸ ─┐ steal    │
+//! │ TCP      │  idle timeout │  snapshot    │  OVER-  │ q1 ▸    ─┼─▶ exec  │
+//! │ sessions │               │  (Arc clone) │  LOADED │ …        │  batch  │
+//! └──────────┘               │  plan cache  │         │ qN-1 ▸▸ ─┘         │
+//!                            │  queue budget│         └─────────┬──────────┘
+//!                            └──────┬───────┘                   │
+//!                                   │ resolve at submit         │ estimate
+//!                            ┌──────▼───────────────────────────▼──────────┐
+//!                            │ Catalog: name → epoch-versioned snapshot    │
+//!                            │  SynopsisSnapshot = frozen CSR kernel + HET │
+//!                            │   + config + shared FrontierMemo            │
+//!                            │   + per-snapshot CompiledPlanCache          │
+//!                            └─────────────────────────────────────────────┘
+//! ```
+//!
+//! Requests are resolved *at submit time* (snapshot `Arc` clone +
+//! sharded-LRU plan-cache lookup), so queued jobs are self-contained and
+//! workers never touch the catalog; a `LOAD`/update publishes a fresh
+//! epoch while in-flight jobs finish on the epoch they started with. The
+//! queue budget is reserved before anything is enqueued — excess load
+//! degrades into an immediate structured `OVERLOADED` reply rather than
+//! an unbounded queue. On the hot path, a plan-cache hit also hits the
+//! snapshot's compiled-query cache, skipping label resolution; epoch
+//! bumps invalidate it for free because a new snapshot starts with a new
+//! cache.
 //!
 //! ## Quick example
 //!
@@ -54,10 +92,14 @@ pub mod batch;
 pub mod catalog;
 pub mod plan_cache;
 pub mod protocol;
+pub mod server;
 pub mod service;
 
 pub use batch::execute_batch;
 pub use catalog::{Catalog, DocumentInfo};
 pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use protocol::{handle_line, run_script, ProtocolOptions, Response};
-pub use service::{PendingEstimate, Service, ServiceConfig, ServiceError, ServiceStats};
+pub use server::{serve_stream, ServerConfig, TcpServer};
+pub use service::{
+    PendingEstimate, Service, ServiceConfig, ServiceError, ServiceStats, WorkerPause,
+};

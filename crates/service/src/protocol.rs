@@ -1,7 +1,8 @@
 //! The line protocol spoken by `xseed-serve`.
 //!
-//! One request per line, one `OK …` / `ERR …` response line per request —
-//! trivially drivable from a shell pipe, `nc`, or an optimizer sidecar:
+//! One request per line, one `OK …` / `ERR …` / `OVERLOADED …` response
+//! line per request — trivially drivable from a shell pipe, `nc`, or an
+//! optimizer sidecar:
 //!
 //! ```text
 //! LOAD <name> <spec> [recursive]   register a document
@@ -17,8 +18,15 @@
 //! (`xmark`, `dblp`, `treebank`, `swissprot`, `tpch`, `xbench`), e.g.
 //! `builtin:xmark@0.1`. The optional `recursive` flag (implied for the
 //! builtin Treebank) selects the paper's highly-recursive configuration.
+//!
+//! `EST`/`BATCH` requests that admission control sheds (queue budget
+//! exhausted — see [`crate::service`]) get a structured
+//! `OVERLOADED queued=<n> capacity=<n>` reply instead of `ERR`: the
+//! request was well-formed and retryable, the server just refused to
+//! queue it. The complete grammar, every reply form, and the security
+//! notes live in `docs/PROTOCOL.md`.
 
-use crate::service::Service;
+use crate::service::{Service, ServiceError};
 use datagen::Dataset;
 use std::fmt::Write as _;
 use xseed_core::{XseedConfig, XseedSynopsis};
@@ -41,6 +49,18 @@ impl Response {
 
     fn err(body: impl std::fmt::Display) -> Response {
         Response::Line(format!("ERR {body}"))
+    }
+
+    /// The reply for a [`ServiceError`]: sheds become the structured
+    /// `OVERLOADED` form (retryable, not a client mistake), everything
+    /// else is an `ERR`.
+    fn service_err(err: ServiceError) -> Response {
+        match err {
+            ServiceError::Overloaded { queued, capacity } => {
+                Response::Line(format!("OVERLOADED queued={queued} capacity={capacity}"))
+            }
+            other => Response::err(other),
+        }
     }
 
     /// The reply text, if any.
@@ -239,7 +259,7 @@ fn handle_est(service: &Service, args: &str) -> Response {
     };
     match service.estimate(name, query.trim()) {
         Ok(est) => Response::ok(format_est(est)),
-        Err(e) => Response::err(e),
+        Err(e) => Response::service_err(e),
     }
 }
 
@@ -263,18 +283,24 @@ fn handle_batch(service: &Service, args: &str) -> Response {
             }
             Response::ok(body)
         }
-        Err(e) => Response::err(e),
+        Err(e) => Response::service_err(e),
     }
 }
 
 fn handle_stats(service: &Service) -> Response {
     let stats = service.stats();
     let mut body = format!(
-        "workers={} executed={} batches={} steals={} plan_hits={} plan_misses={} plan_entries={} docs={}",
+        "workers={} executed={} batches={} steals={} accepted={} shed={} queued={} \
+         peak_queued={} queue_capacity={} plan_hits={} plan_misses={} plan_entries={} docs={}",
         stats.workers,
         stats.total_executed(),
         stats.batches,
         stats.steals,
+        stats.accepted,
+        stats.shed,
+        stats.queued,
+        stats.peak_queued,
+        stats.queue_capacity,
         stats.plan_cache.hits,
         stats.plan_cache.misses,
         stats.plan_cache.entries,
@@ -283,8 +309,14 @@ fn handle_stats(service: &Service) -> Response {
     for info in service.catalog().info() {
         let _ = write!(
             body,
-            " doc:{}@{}[vertices={},elements={},bytes={}]",
-            info.name, info.epoch, info.vertices, info.elements, info.size_bytes
+            " doc:{}@{}[vertices={},elements={},bytes={},compiled_hits={},compiled_misses={}]",
+            info.name,
+            info.epoch,
+            info.vertices,
+            info.elements,
+            info.size_bytes,
+            info.compiled_hits,
+            info.compiled_misses
         );
     }
     Response::Line(format!("OK {body}"))
@@ -429,6 +461,28 @@ mod tests {
         assert!(stats.contains("workers=2"), "{stats}");
         assert!(stats.contains("doc:fig2@0"), "{stats}");
         assert!(stats.contains("executed=1"), "{stats}");
+        assert!(stats.contains("accepted=1 shed=0 queued=0"), "{stats}");
+        assert!(stats.contains("queue_capacity=1024"), "{stats}");
+        assert!(stats.contains("compiled_hits="), "{stats}");
+    }
+
+    #[test]
+    fn overloaded_batches_get_the_structured_reply() {
+        let catalog = Arc::new(Catalog::new());
+        catalog
+            .load_xml("fig2", xmlkit::samples::FIGURE2_XML, XseedConfig::default())
+            .unwrap();
+        let service = Service::new(
+            catalog,
+            ServiceConfig::with_workers(1).with_queue_capacity(4),
+        );
+        // A batch larger than the whole queue budget can never be
+        // admitted: the shed is deterministic and structured.
+        let shed = reply(&service, "BATCH fig2 //p ; //p ; //p ; //p ; //p");
+        assert_eq!(shed, "OVERLOADED queued=0 capacity=4");
+        // The counters show the pressure; a fitting batch still runs.
+        assert!(reply(&service, "STATS").contains("shed=5"));
+        assert_eq!(reply(&service, "BATCH fig2 //p ; //p"), "OK n=2 17 17");
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! Session serving: stdin/stdout streams and the bounded TCP front end.
+//!
+//! [`serve_stream`] drives one protocol session over any `BufRead`/`Write`
+//! pair (the stdin mode of `xseed-serve`, and the per-connection loop of
+//! the TCP mode). [`TcpServer`] is the production front end: a bounded
+//! accept loop enforcing
+//!
+//! * a **connection limit** ([`ServerConfig::max_connections`]): a client
+//!   arriving past the limit receives one structured
+//!   `OVERLOADED connections=<n> max=<m>` line and is disconnected —
+//!   never silently dropped, and never admitted to grow the thread count
+//!   without bound; and
+//! * an **idle-session timeout** ([`ServerConfig::idle_timeout`]): a
+//!   connection that sends nothing for the configured duration receives
+//!   `ERR idle timeout, closing` and is dropped, so abandoned sockets
+//!   cannot pin server threads (or their session slots) forever; and
+//! * a **request-line length cap** (64 KiB): a line that long with no
+//!   newline gets `ERR request line exceeds … bytes, closing`, so a
+//!   client trickling an endless line can neither grow the read buffer
+//!   without bound nor ride under the idle timeout indefinitely.
+//!
+//! Both bounds compose with the per-worker queue budgets inside
+//! [`crate::service`]: the connection limit caps *who may talk*, the
+//! queue budget caps *how much queued work they may pile up*, and
+//! everything past either bound degrades into an explicit protocol reply
+//! instead of an unbounded queue. See `docs/OPERATIONS.md` for sizing
+//! guidance.
+
+use crate::protocol::{handle_line, ProtocolOptions, Response};
+use crate::service::Service;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of a [`TcpServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum concurrently served connections; arrivals past the limit
+    /// are refused with an `OVERLOADED connections=…` line. Clamped to at
+    /// least 1.
+    pub max_connections: usize,
+    /// Close a session after this long without a complete request line
+    /// (`None` = never). The client is told (`ERR idle timeout, closing`)
+    /// before the socket closes.
+    pub idle_timeout: Option<Duration>,
+    /// Per-session protocol policy (filesystem loads, builtin scale caps,
+    /// document limits).
+    pub options: ProtocolOptions,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            idle_timeout: Some(Duration::from_secs(300)),
+            options: ProtocolOptions::remote(),
+        }
+    }
+}
+
+/// Drives one protocol session: reads request lines from `input`, writes
+/// one reply line per request to `output`, returns on `QUIT`, EOF, or an
+/// I/O error. This is the stdin mode of `xseed-serve`; TCP sessions go
+/// through [`TcpServer`], which adds the idle timeout around the reads.
+pub fn serve_stream(
+    service: &Service,
+    options: &ProtocolOptions,
+    input: impl BufRead,
+    mut output: impl Write,
+) {
+    for line in input.lines() {
+        let Ok(line) = line else { return };
+        if !write_response(&mut output, handle_line(service, &line, options)) {
+            return;
+        }
+    }
+}
+
+/// Writes one response; `false` when the session should end (client quit
+/// or the socket went away).
+fn write_response(output: &mut impl Write, response: Response) -> bool {
+    match response {
+        Response::Line(reply) => writeln!(output, "{reply}")
+            .and_then(|()| output.flush())
+            .is_ok(),
+        Response::Silent => true,
+        Response::Quit => {
+            let _ = writeln!(output, "OK bye");
+            let _ = output.flush();
+            false
+        }
+    }
+}
+
+/// Counts live sessions; an RAII guard releases a slot when its session
+/// thread finishes, so refused connections never leak capacity.
+struct ConnectionSlots {
+    live: AtomicUsize,
+    max: usize,
+}
+
+struct SlotGuard(Arc<ConnectionSlots>);
+
+impl ConnectionSlots {
+    /// Claims a slot, or reports the occupancy that refused the claim.
+    fn try_claim(self: &Arc<Self>) -> Result<SlotGuard, usize> {
+        self.live
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |live| {
+                (live < self.max).then_some(live + 1)
+            })
+            .map(|_| SlotGuard(self.clone()))
+    }
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.live.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The bounded TCP front end. See the module docs.
+pub struct TcpServer {
+    listener: TcpListener,
+    config: ServerConfig,
+}
+
+impl TcpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`; port 0 picks a free port).
+    pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<Self> {
+        Ok(TcpServer {
+            listener: TcpListener::bind(addr)?,
+            config,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and serves connections forever (one thread per admitted
+    /// session, all sharing `service`'s worker pool and catalog).
+    ///
+    /// Accept errors never take the daemon down: they are reported on
+    /// stderr and the loop continues after a short pause (transient
+    /// conditions like a client resetting between SYN and `accept`, or
+    /// fd exhaustion, resolve themselves; the pause keeps a persistent
+    /// error from spinning hot). The `io::Result` return exists for
+    /// future fatal-shutdown paths and is currently never an `Err`.
+    pub fn run(&self, service: Arc<Service>) -> std::io::Result<()> {
+        let slots = Arc::new(ConnectionSlots {
+            live: AtomicUsize::new(0),
+            max: self.config.max_connections.max(1),
+        });
+        let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            let mut stream: TcpStream = match stream {
+                Ok(stream) => stream,
+                Err(e) => {
+                    eprintln!("xseed-serve: accept failed (continuing): {e}");
+                    std::thread::sleep(Duration::from_millis(100));
+                    continue;
+                }
+            };
+            sessions.retain(|h| !h.is_finished());
+            let slot = match slots.try_claim() {
+                Ok(slot) => slot,
+                Err(live) => {
+                    // Refuse loudly: one structured line, then close.
+                    let _ = writeln!(stream, "OVERLOADED connections={live} max={}", slots.max);
+                    continue;
+                }
+            };
+            let service = service.clone();
+            let options = self.config.options.clone();
+            let idle = self.config.idle_timeout;
+            sessions.push(std::thread::spawn(move || {
+                serve_tcp_session(&service, &options, stream, idle);
+                drop(slot);
+            }));
+        }
+        Ok(())
+    }
+}
+
+/// Longest request line a TCP session may send. Far above any legitimate
+/// request (the longest verb is a `BATCH` of a few hundred queries), and
+/// it bounds the per-session read buffer: without a cap, a client
+/// trickling bytes with no `\n` would grow the line buffer without limit
+/// *and* dodge the idle timeout (each byte arrives "in time").
+const MAX_LINE_BYTES: u64 = 64 * 1024;
+
+/// One TCP session: [`serve_stream`] semantics plus the idle timeout and
+/// the request-line length cap.
+fn serve_tcp_session(
+    service: &Service,
+    options: &ProtocolOptions,
+    stream: TcpStream,
+    idle_timeout: Option<Duration>,
+) {
+    if stream.set_read_timeout(idle_timeout).is_err() {
+        return;
+    }
+    let mut output = match stream.try_clone() {
+        Ok(out) => out,
+        Err(_) => return,
+    };
+    let mut input = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // The cap is re-armed per line; a line that fills it without a
+        // terminating newline is oversized (EOF exactly at the boundary
+        // is indistinguishable and closed the same way).
+        match std::io::Read::take(&mut input, MAX_LINE_BYTES).read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(n) => {
+                if n as u64 == MAX_LINE_BYTES && !line.ends_with('\n') {
+                    let _ = writeln!(
+                        output,
+                        "ERR request line exceeds {MAX_LINE_BYTES} bytes, closing"
+                    );
+                    return;
+                }
+                if !write_response(&mut output, handle_line(service, &line, options)) {
+                    return;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Idle too long (or a partial line stalled past the
+                // timeout): tell the client and hang up.
+                let _ = writeln!(output, "ERR idle timeout, closing");
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::service::ServiceConfig;
+    use xseed_core::XseedConfig;
+
+    fn service() -> Arc<Service> {
+        let catalog = Arc::new(Catalog::new());
+        catalog
+            .load_xml("fig2", xmlkit::samples::FIGURE2_XML, XseedConfig::default())
+            .unwrap();
+        Arc::new(Service::new(catalog, ServiceConfig::with_workers(1)))
+    }
+
+    #[test]
+    fn serve_stream_runs_a_session_to_quit() {
+        let service = service();
+        let input = b"EST fig2 /a/c/s\nQUIT\nEST fig2 //p\n";
+        let mut output = Vec::new();
+        serve_stream(&service, &ProtocolOptions::local(), &input[..], &mut output);
+        assert_eq!(String::from_utf8(output).unwrap(), "OK 5\nOK bye\n");
+    }
+
+    #[test]
+    fn serve_stream_stops_at_eof() {
+        let service = service();
+        let mut output = Vec::new();
+        serve_stream(
+            &service,
+            &ProtocolOptions::local(),
+            &b"# just a comment\n"[..],
+            &mut output,
+        );
+        assert!(output.is_empty());
+    }
+
+    #[test]
+    fn connection_slots_release_on_drop() {
+        let slots = Arc::new(ConnectionSlots {
+            live: AtomicUsize::new(0),
+            max: 2,
+        });
+        let a = slots.try_claim().unwrap();
+        let _b = slots.try_claim().unwrap();
+        assert_eq!(slots.try_claim().err(), Some(2));
+        drop(a);
+        assert!(slots.try_claim().is_ok());
+    }
+}

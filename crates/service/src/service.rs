@@ -18,6 +18,23 @@
 //! each executed as one snapshot pass over the shared frontier memo (see
 //! [`crate::batch`]); the memo is built once per snapshot epoch and shared
 //! by all workers.
+//!
+//! ## Backpressure and admission control
+//!
+//! Every queue is **bounded**: [`ServiceConfig::queue_capacity`] queries
+//! per worker. Admission happens on the submitting thread *before*
+//! anything is enqueued — a request's cost (1 for a single estimate, the
+//! query count for a batch) is reserved against a queue's remaining
+//! budget, falling back to sibling queues when the preferred one is full.
+//! When no queue can take it, the request is **shed**: the submitter gets
+//! [`ServiceError::Overloaded`] immediately (the daemon turns it into the
+//! protocol's `OVERLOADED` reply), nothing is partially enqueued, and
+//! in-flight work is untouched. Batches are admitted all-or-nothing: a
+//! partially reserved batch releases its reservations and sheds whole, so
+//! a client never receives a truncated result. The
+//! accepted/shed/queued/peak-queued counters are surfaced through
+//! [`Service::stats`] (and the `STATS` protocol verb) so operators can
+//! see pressure before it becomes failure.
 
 use crate::batch::execute_batch;
 use crate::catalog::Catalog;
@@ -46,6 +63,17 @@ pub enum ServiceError {
     UnknownDocument(String),
     /// The query text failed to parse.
     Parse(ParseError),
+    /// The request was shed by admission control: no worker queue had
+    /// room for its cost. Nothing was enqueued; retrying after a backoff
+    /// is safe. `queued` is the total number of queries queued across all
+    /// workers at shed time, `capacity` the total queue budget
+    /// (`workers × queue_capacity`).
+    Overloaded {
+        /// Queries queued across all worker queues when the shed happened.
+        queued: usize,
+        /// Total queue budget the service will accept.
+        capacity: usize,
+    },
     /// The worker pool shut down before answering.
     Disconnected,
 }
@@ -55,6 +83,10 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::UnknownDocument(name) => write!(f, "unknown document '{name}'"),
             ServiceError::Parse(err) => write!(f, "parse error: {err}"),
+            ServiceError::Overloaded { queued, capacity } => write!(
+                f,
+                "overloaded: {queued} queries queued against a budget of {capacity}"
+            ),
             ServiceError::Disconnected => write!(f, "service workers shut down"),
         }
     }
@@ -73,6 +105,12 @@ impl From<ParseError> for ServiceError {
 pub struct ServiceConfig {
     /// Worker threads (and request-queue shards). Clamped to at least 1.
     pub workers: usize,
+    /// Queue budget per worker, **in queries** (a batch of `n` queries
+    /// costs `n`), clamped to at least 1. Requests beyond the budget are
+    /// shed with [`ServiceError::Overloaded`] instead of growing queues
+    /// without bound; a single batch larger than one queue's budget can
+    /// never be admitted. See the module docs.
+    pub queue_capacity: usize,
     /// Total plan-cache capacity (plans), spread over the cache shards.
     pub plan_cache_capacity: usize,
     /// Plan-cache shards; defaults to `4 × workers` to keep shard
@@ -82,14 +120,21 @@ pub struct ServiceConfig {
 
 impl ServiceConfig {
     /// A configuration with `workers` worker threads and defaults for the
-    /// plan cache.
+    /// queue budget and plan cache.
     pub fn with_workers(workers: usize) -> Self {
         let workers = workers.max(1);
         ServiceConfig {
             workers,
+            queue_capacity: 1024,
             plan_cache_capacity: 4096,
             plan_cache_shards: workers * 4,
         }
+    }
+
+    /// Sets the per-worker queue budget (builder style).
+    pub fn with_queue_capacity(mut self, queries: usize) -> Self {
+        self.queue_capacity = queries.max(1);
+        self
     }
 }
 
@@ -114,27 +159,95 @@ struct Job {
     reply: mpsc::Sender<(usize, Vec<f64>)>,
 }
 
+/// A queued entry: an estimation job, or a fence pausing the worker that
+/// reaches it (see [`Service::pause_worker`]).
+enum Work {
+    Estimate(Job),
+    Fence {
+        /// Signalled (by dropping) when the worker reaches the fence.
+        reached: mpsc::Sender<()>,
+        /// The worker blocks here until the pause guard drops its sender.
+        release: mpsc::Receiver<()>,
+    },
+}
+
 struct QueueShard {
-    jobs: Mutex<VecDeque<Job>>,
+    jobs: Mutex<VecDeque<Work>>,
     ready: Condvar,
+    /// Queries reserved against this queue's budget (queued jobs plus
+    /// admission reservations not yet pushed). Fences cost nothing.
+    depth: AtomicUsize,
 }
 
 struct Shared {
     queues: Vec<QueueShard>,
+    /// Per-queue admission budget, in queries.
+    queue_capacity: usize,
     shutdown: AtomicBool,
     steals: AtomicU64,
     batches: AtomicU64,
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    peak_queued: AtomicUsize,
     executed: Vec<AtomicU64>,
 }
 
 impl Shared {
-    fn push(&self, queue: usize, job: Job) {
+    /// Reserves `cost` queries of `queue`'s budget; `false` when it does
+    /// not fit. Admission is the *only* path that grows a queue, so the
+    /// bound holds regardless of worker/stealer interleavings.
+    fn try_reserve(&self, queue: usize, cost: usize) -> bool {
+        self.queues[queue]
+            .depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |depth| {
+                (cost <= self.queue_capacity.saturating_sub(depth)).then_some(depth + cost)
+            })
+            .is_ok()
+    }
+
+    fn release(&self, queue: usize, cost: usize) {
+        self.queues[queue].depth.fetch_sub(cost, Ordering::Relaxed);
+    }
+
+    fn total_queued(&self) -> usize {
+        self.queues
+            .iter()
+            .map(|q| q.depth.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn note_peak(&self) {
+        self.peak_queued
+            .fetch_max(self.total_queued(), Ordering::Relaxed);
+    }
+
+    /// Finds a queue with room for `cost`, preferring `preferred` and —
+    /// unless `pinned` — falling back to siblings. Reserves the budget on
+    /// success; the caller must then `push` (or `release` on abort).
+    fn admit(&self, preferred: usize, cost: usize, pinned: bool) -> Option<usize> {
+        let n = self.queues.len();
+        let preferred = preferred % n;
+        if self.try_reserve(preferred, cost) {
+            return Some(preferred);
+        }
+        if !pinned {
+            for offset in 1..n {
+                let queue = (preferred + offset) % n;
+                if self.try_reserve(queue, cost) {
+                    return Some(queue);
+                }
+            }
+        }
+        None
+    }
+
+    fn push(&self, queue: usize, work: Work) {
         let shard = &self.queues[queue];
         shard
             .jobs
             .lock()
             .unwrap_or_else(|poison| poison.into_inner())
-            .push_back(job);
+            .push_back(work);
         shard.ready.notify_one();
         // Also wake one sibling: if the owner is mid-job, the neighbour
         // steals immediately instead of waiting out its fallback poll.
@@ -145,28 +258,38 @@ impl Shared {
         }
     }
 
-    fn pop_own(&self, worker: usize) -> Option<Job> {
-        self.queues[worker]
+    fn pop_own(&self, worker: usize) -> Option<Work> {
+        let work = self.queues[worker]
             .jobs
             .lock()
             .unwrap_or_else(|poison| poison.into_inner())
-            .pop_front()
+            .pop_front();
+        if let Some(Work::Estimate(job)) = &work {
+            self.release(worker, job.plans.len());
+        }
+        work
     }
 
     /// Steals from the back of a sibling queue (the opposite end from the
     /// owner, minimizing contention and keeping stolen work coarse).
-    fn steal(&self, thief: usize) -> Option<Job> {
+    /// Fences are never stolen — they pause the queue's *owner* — so a
+    /// victim whose back entry is a fence is skipped.
+    fn steal(&self, thief: usize) -> Option<Work> {
         let n = self.queues.len();
         for offset in 1..n {
             let victim = (thief + offset) % n;
-            let job = self.queues[victim]
+            let mut jobs = self.queues[victim]
                 .jobs
                 .lock()
-                .unwrap_or_else(|poison| poison.into_inner())
-                .pop_back();
-            if job.is_some() {
+                .unwrap_or_else(|poison| poison.into_inner());
+            if matches!(jobs.back(), Some(Work::Estimate(_))) {
+                let work = jobs.pop_back();
+                drop(jobs);
+                if let Some(Work::Estimate(job)) = &work {
+                    self.release(victim, job.plans.len());
+                }
                 self.steals.fetch_add(1, Ordering::Relaxed);
-                return job;
+                return work;
             }
         }
         None
@@ -175,13 +298,33 @@ impl Shared {
 
 fn worker_loop(shared: Arc<Shared>, id: usize) {
     loop {
-        if let Some(job) = shared.pop_own(id).or_else(|| shared.steal(id)) {
-            let results = execute_batch(&job.snapshot, &job.plans, job.batch_len);
-            shared.executed[id].fetch_add(job.plans.len() as u64, Ordering::Relaxed);
-            shared.batches.fetch_add(1, Ordering::Relaxed);
-            // A dropped receiver just means the caller gave up waiting.
-            let _ = job.reply.send((job.chunk, results));
-            continue;
+        match shared.pop_own(id).or_else(|| shared.steal(id)) {
+            Some(Work::Estimate(job)) => {
+                let results = execute_batch(&job.snapshot, &job.plans, job.batch_len);
+                shared.executed[id].fetch_add(job.plans.len() as u64, Ordering::Relaxed);
+                shared.batches.fetch_add(1, Ordering::Relaxed);
+                // A dropped receiver just means the caller gave up waiting.
+                let _ = job.reply.send((job.chunk, results));
+                continue;
+            }
+            Some(Work::Fence { reached, release }) => {
+                drop(reached);
+                // Held until the pause guard drops its sender — but never
+                // past shutdown, so dropping the Service while a guard is
+                // alive cannot hang the join in [`Service::drop`].
+                loop {
+                    match release.recv_timeout(STEAL_POLL) {
+                        Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            if shared.shutdown.load(Ordering::Acquire) {
+                                break;
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            None => {}
         }
         if shared.shutdown.load(Ordering::Acquire) {
             return;
@@ -221,12 +364,22 @@ impl PendingEstimate {
 pub struct ServiceStats {
     /// Worker thread count.
     pub workers: usize,
+    /// Per-worker queue budget, in queries.
+    pub queue_capacity: usize,
     /// Estimates executed per worker (index = worker id).
     pub executed: Vec<u64>,
     /// Jobs a worker took from a sibling's queue.
     pub steals: u64,
     /// Jobs executed in total (single estimates count as 1-query batches).
     pub batches: u64,
+    /// Queries admitted by admission control since startup.
+    pub accepted: u64,
+    /// Queries shed with [`ServiceError::Overloaded`] since startup.
+    pub shed: u64,
+    /// Queries currently queued (reserved budget) across all workers.
+    pub queued: usize,
+    /// High-water mark of [`ServiceStats::queued`] since startup.
+    pub peak_queued: usize,
     /// Plan-cache counters.
     pub plan_cache: PlanCacheStats,
 }
@@ -257,11 +410,16 @@ impl Service {
                 .map(|_| QueueShard {
                     jobs: Mutex::new(VecDeque::new()),
                     ready: Condvar::new(),
+                    depth: AtomicUsize::new(0),
                 })
                 .collect(),
+            queue_capacity: config.queue_capacity.max(1),
             shutdown: AtomicBool::new(false),
             steals: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            peak_queued: AtomicUsize::new(0),
             executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         });
         let handles = (0..workers)
@@ -307,35 +465,89 @@ impl Service {
     }
 
     /// Submits one query for estimation against `doc`'s current snapshot,
-    /// round-robined onto a worker queue. Returns immediately.
+    /// round-robined onto a worker queue (falling back to siblings when
+    /// the preferred queue is full). Returns immediately;
+    /// [`ServiceError::Overloaded`] when every queue's budget is
+    /// exhausted.
     pub fn submit(&self, doc: &str, query: &str) -> Result<PendingEstimate, ServiceError> {
         let queue = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.workers();
-        self.submit_pinned(queue, doc, query)
+        self.submit_inner(queue, doc, query, false)
     }
 
     /// Like [`Service::submit`], but pinned to a specific worker queue —
     /// callers with document-affinity (or tests exercising the stealing
-    /// path) can direct related requests at one shard.
+    /// path) can direct related requests at one shard. Pinned requests do
+    /// not fall back: a full pinned queue sheds immediately.
     pub fn submit_pinned(
         &self,
         queue: usize,
         doc: &str,
         query: &str,
     ) -> Result<PendingEstimate, ServiceError> {
+        self.submit_inner(queue, doc, query, true)
+    }
+
+    fn submit_inner(
+        &self,
+        queue: usize,
+        doc: &str,
+        query: &str,
+        pinned: bool,
+    ) -> Result<PendingEstimate, ServiceError> {
         let snapshot = self.resolve(doc)?;
         let plan = self.plans.get_or_parse(query)?;
+        let Some(queue) = self.shared.admit(queue, 1, pinned) else {
+            return Err(self.shed(1));
+        };
+        self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+        self.shared.note_peak();
         let (tx, rx) = mpsc::channel();
         self.shared.push(
-            queue % self.workers(),
-            Job {
+            queue,
+            Work::Estimate(Job {
                 snapshot,
                 plans: vec![plan],
                 batch_len: 1,
                 chunk: 0,
                 reply: tx,
-            },
+            }),
         );
         Ok(PendingEstimate { rx })
+    }
+
+    /// Records a shed of `cost` queries and builds the overload error.
+    fn shed(&self, cost: usize) -> ServiceError {
+        self.shared.shed.fetch_add(cost as u64, Ordering::Relaxed);
+        ServiceError::Overloaded {
+            queued: self.shared.total_queued(),
+            capacity: self.shared.queue_capacity * self.workers(),
+        }
+    }
+
+    /// Pauses the worker that owns `queue`: a fence is enqueued (bypassing
+    /// the queue budget) and the worker parks on it until the returned
+    /// guard is dropped. Jobs queued behind the fence stay queued — on a
+    /// multi-worker service siblings may steal them, so pausing *all*
+    /// workers quiesces the pool for maintenance. Used by the overload
+    /// tests to make shedding deterministic.
+    ///
+    /// Shutdown overrides the fence: dropping the [`Service`] while a
+    /// guard is alive releases the parked worker (within the fence's
+    /// poll interval) instead of hanging the join.
+    pub fn pause_worker(&self, queue: usize) -> WorkerPause {
+        let (reached_tx, reached_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel();
+        self.shared.push(
+            queue % self.workers(),
+            Work::Fence {
+                reached: reached_tx,
+                release: release_rx,
+            },
+        );
+        WorkerPause {
+            _release: release_tx,
+            reached: reached_rx,
+        }
     }
 
     /// Estimates one query, blocking until a worker answers.
@@ -348,6 +560,12 @@ impl Service {
     /// snapshot passes. Results come back in input order. The whole batch
     /// is resolved against a single epoch: a concurrent update to `doc`
     /// never mixes epochs within one batch.
+    ///
+    /// Admission is all-or-nothing: either every chunk fits the queue
+    /// budgets and the batch runs whole, or nothing is enqueued and the
+    /// call sheds with [`ServiceError::Overloaded`]. A batch larger than
+    /// the total queue budget therefore always sheds — split it client
+    /// side.
     pub fn estimate_batch(&self, doc: &str, queries: &[&str]) -> Result<Vec<f64>, ServiceError> {
         let snapshot = self.resolve(doc)?;
         let plans = queries
@@ -365,18 +583,37 @@ impl Service {
         let chunks = workers.min(plans.len().div_ceil(MIN_CHUNK)).max(1);
         let chunk_size = plans.len().div_ceil(chunks);
 
-        let (tx, rx) = mpsc::channel();
+        // Reserve budget for every chunk before enqueueing anything, so a
+        // shed batch leaves no partial work behind.
         let base = self.next_queue.fetch_add(chunks, Ordering::Relaxed);
+        let mut placements: Vec<(usize, usize)> = Vec::with_capacity(chunks);
         for (i, chunk) in plans.chunks(chunk_size).enumerate() {
+            match self.shared.admit(base + i, chunk.len(), false) {
+                Some(queue) => placements.push((queue, chunk.len())),
+                None => {
+                    for &(queue, cost) in &placements {
+                        self.shared.release(queue, cost);
+                    }
+                    return Err(self.shed(plans.len()));
+                }
+            }
+        }
+        self.shared
+            .accepted
+            .fetch_add(plans.len() as u64, Ordering::Relaxed);
+        self.shared.note_peak();
+
+        let (tx, rx) = mpsc::channel();
+        for ((i, chunk), &(queue, _)) in plans.chunks(chunk_size).enumerate().zip(&placements) {
             self.shared.push(
-                (base + i) % workers,
-                Job {
+                queue,
+                Work::Estimate(Job {
                     snapshot: snapshot.clone(),
                     plans: chunk.to_vec(),
                     batch_len: plans.len(),
                     chunk: i,
                     reply: tx.clone(),
-                },
+                }),
             );
         }
         drop(tx);
@@ -393,6 +630,7 @@ impl Service {
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             workers: self.workers(),
+            queue_capacity: self.shared.queue_capacity,
             executed: self
                 .shared
                 .executed
@@ -401,9 +639,32 @@ impl Service {
                 .collect(),
             steals: self.shared.steals.load(Ordering::Relaxed),
             batches: self.shared.batches.load(Ordering::Relaxed),
+            accepted: self.shared.accepted.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            queued: self.shared.total_queued(),
+            peak_queued: self.shared.peak_queued.load(Ordering::Relaxed),
             plan_cache: self.plans.stats(),
         }
     }
+}
+
+/// Guard returned by [`Service::pause_worker`]. The paused worker resumes
+/// when the guard is dropped (or [`WorkerPause::resume`] is called).
+pub struct WorkerPause {
+    _release: mpsc::Sender<()>,
+    reached: mpsc::Receiver<()>,
+}
+
+impl WorkerPause {
+    /// Blocks until the worker has actually reached the fence (i.e. it is
+    /// parked and will execute nothing queued behind it).
+    pub fn wait_until_paused(&self) {
+        // The worker *drops* its end on arrival; RecvError is the signal.
+        let _ = self.reached.recv();
+    }
+
+    /// Resumes the worker (equivalent to dropping the guard).
+    pub fn resume(self) {}
 }
 
 impl Drop for Service {
@@ -501,6 +762,94 @@ mod tests {
         // On a multi-queue pile-up the plan cache should have one miss.
         assert_eq!(stats.plan_cache.misses, 1);
         assert_eq!(stats.plan_cache.hits, 63);
+    }
+
+    fn fig2_service_with(config: ServiceConfig) -> Service {
+        let catalog = Arc::new(Catalog::new());
+        catalog
+            .load_xml("fig2", xmlkit::samples::FIGURE2_XML, XseedConfig::default())
+            .unwrap();
+        Service::new(catalog, config)
+    }
+
+    #[test]
+    fn batch_exceeding_total_budget_sheds_whole() {
+        let service = fig2_service_with(ServiceConfig::with_workers(2).with_queue_capacity(4));
+        let queries: Vec<&str> = std::iter::repeat_n("/a/c/s", 20).collect();
+        let err = service.estimate_batch("fig2", &queries).unwrap_err();
+        assert!(
+            matches!(err, ServiceError::Overloaded { capacity: 8, .. }),
+            "{err}"
+        );
+        let stats = service.stats();
+        assert_eq!(stats.shed, 20);
+        assert_eq!(stats.accepted, 0);
+        assert_eq!(stats.queued, 0, "shed batches must release reservations");
+        // A batch that fits still runs.
+        assert_eq!(
+            service.estimate_batch("fig2", &queries[..4]).unwrap().len(),
+            4
+        );
+        assert_eq!(service.stats().accepted, 4);
+    }
+
+    #[test]
+    fn paused_worker_makes_sheds_deterministic() {
+        let service = fig2_service_with(ServiceConfig::with_workers(1).with_queue_capacity(2));
+        let pause = service.pause_worker(0);
+        pause.wait_until_paused();
+
+        let mut pending = Vec::new();
+        let mut sheds = 0;
+        for _ in 0..5 {
+            match service.submit("fig2", "/a/c/s") {
+                Ok(p) => pending.push(p),
+                Err(ServiceError::Overloaded { queued, capacity }) => {
+                    assert_eq!((queued, capacity), (2, 2));
+                    sheds += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert_eq!((pending.len(), sheds), (2, 3));
+        let stats = service.stats();
+        assert_eq!((stats.accepted, stats.shed), (2, 3));
+        assert_eq!((stats.queued, stats.peak_queued), (2, 2));
+
+        pause.resume();
+        for p in pending {
+            assert!((p.wait().unwrap() - 5.0).abs() < 1e-9);
+        }
+        assert_eq!(service.stats().queued, 0);
+    }
+
+    #[test]
+    fn dropping_the_service_releases_a_live_fence() {
+        let service = fig2_service_with(ServiceConfig::with_workers(1));
+        let pause = service.pause_worker(0);
+        pause.wait_until_paused();
+        // Shutdown must override the fence: this would hang forever if
+        // the parked worker only listened to the guard.
+        drop(service);
+        drop(pause);
+    }
+
+    #[test]
+    fn siblings_steal_past_a_fence() {
+        let service = fig2_service_with(ServiceConfig::with_workers(2));
+        let pause = service.pause_worker(0);
+        pause.wait_until_paused();
+        // Work pinned behind the fence is stolen by the idle sibling.
+        let pending: Vec<PendingEstimate> = (0..8)
+            .map(|_| service.submit_pinned(0, "fig2", "//p").unwrap())
+            .collect();
+        for p in pending {
+            assert!((p.wait().unwrap() - 17.0).abs() < 1e-9);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.executed[0], 0, "paused worker must not execute");
+        assert_eq!(stats.executed[1], 8);
+        drop(pause);
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! The example session transcripts, asserted instead of hand-maintained:
+//! `examples/serve_session.txt` / `examples/overload_session.txt` are run
+//! through the protocol layer with the same configuration the CI smoke
+//! run passes to the binary, and every reply must match the committed
+//! `.expected` transcript byte for byte. When a protocol change breaks
+//! these, regenerate the transcripts (the session files say how) instead
+//! of editing them by hand.
+
+use std::sync::Arc;
+use xseed_service::{run_script, Catalog, Service, ServiceConfig};
+
+fn example(name: &str) -> String {
+    let path = format!("{}/../../examples/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn assert_transcript(session_file: &str, expected_file: &str, config: ServiceConfig) {
+    let service = Service::new(Arc::new(Catalog::new()), config);
+    let replies = run_script(&service, &example(session_file));
+    let expected_text = example(expected_file);
+    let expected: Vec<&str> = expected_text.lines().collect();
+    assert_eq!(
+        replies, expected,
+        "{session_file} drifted from {expected_file}; regenerate the expected transcript"
+    );
+}
+
+#[test]
+fn serve_session_matches_expected_transcript() {
+    // Must mirror the smoke run: `xseed-serve --workers 1`.
+    assert_transcript(
+        "serve_session.txt",
+        "serve_session.expected",
+        ServiceConfig::with_workers(1),
+    );
+}
+
+#[test]
+fn overload_session_matches_expected_transcript() {
+    // Must mirror: `xseed-serve --workers 1 --queue-capacity 8`.
+    assert_transcript(
+        "overload_session.txt",
+        "overload_session.expected",
+        ServiceConfig::with_workers(1).with_queue_capacity(8),
+    );
+}
+
+#[test]
+fn overload_session_actually_demonstrates_a_shed() {
+    let expected = example("overload_session.expected");
+    assert!(
+        expected.lines().any(|l| l.starts_with("OVERLOADED ")),
+        "the overload session must exercise the OVERLOADED reply"
+    );
+}

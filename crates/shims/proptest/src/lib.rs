@@ -200,7 +200,7 @@ pub mod prop {
         use crate::{Strategy, TestRng};
         use std::ops::{Range, RangeInclusive};
 
-        /// Sizes accepted by [`vec`].
+        /// Sizes accepted by [`vec()`].
         pub trait SizeRange {
             /// Draws a length.
             fn pick(&self, rng: &mut TestRng) -> usize;

@@ -1,4 +1,4 @@
-//! Serialization of [`Document`](crate::tree::Document)s back to XML text.
+//! Serialization of [`Document`]s back to XML text.
 //!
 //! The synthetic dataset generators build [`Document`]s programmatically;
 //! this module turns them into XML text so the full pipeline (SAX parse →

@@ -11,14 +11,32 @@ use crate::ast::PathExpr;
 use crate::classify::QueryClass;
 use crate::error::Result;
 use crate::parser::parse;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide plan-identity counter; see [`QueryPlan::id`].
+static NEXT_PLAN_ID: AtomicU64 = AtomicU64::new(0);
 
 /// A parsed and classified query, ready for caching.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct QueryPlan {
+    /// Unique identity of this parse (shared by clones, never reused).
+    id: u64,
     text: String,
     expr: PathExpr,
     class: QueryClass,
 }
+
+/// Equality is *semantic* — two plans are equal when they parsed the same
+/// text to the same expression and class — so cache hits remain verifiable
+/// against fresh parses. The identity ([`QueryPlan::id`]) deliberately
+/// does not participate.
+impl PartialEq for QueryPlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.text == other.text && self.expr == other.expr && self.class == other.class
+    }
+}
+
+impl Eq for QueryPlan {}
 
 impl QueryPlan {
     /// Parses and classifies `text` in one step — the cacheable entry
@@ -28,10 +46,22 @@ impl QueryPlan {
         let expr = parse(text)?;
         let class = expr.classify();
         Ok(QueryPlan {
+            id: NEXT_PLAN_ID.fetch_add(1, Ordering::Relaxed),
             text: text.to_string(),
             expr,
             class,
         })
+    }
+
+    /// A process-unique identity for this plan, assigned at parse time and
+    /// shared by clones. Downstream caches (e.g. a per-snapshot
+    /// compiled-query cache) can key on it without hashing the query text:
+    /// ids are handed out by a monotone counter and never reused, so a
+    /// stale key can never alias a different plan. Two independent parses
+    /// of the same text get different ids — the worst case is a redundant
+    /// recompilation, never a wrong answer.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// The original query text.
@@ -81,5 +111,16 @@ mod tests {
     fn plan_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<QueryPlan>();
+    }
+
+    #[test]
+    fn plan_identity_is_unique_per_parse_and_shared_by_clones() {
+        let a = QueryPlan::parse("/a/b").unwrap();
+        let b = QueryPlan::parse("/a/b").unwrap();
+        // Equal plans (same text), distinct identities.
+        assert_eq!(a, b);
+        assert_ne!(a.id(), b.id());
+        // Clones keep the identity: they share the compiled artifacts.
+        assert_eq!(a.clone().id(), a.id());
     }
 }

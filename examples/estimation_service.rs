@@ -1,7 +1,8 @@
 //! The estimation service end to end: a catalog of named synopses, a
 //! worker pool estimating from shared snapshots, batches over one
-//! snapshot pass, and a live update that republishes a new epoch without
-//! disturbing in-flight readers.
+//! snapshot pass, admission control shedding excess load, and a live
+//! update that republishes a new epoch without disturbing in-flight
+//! readers.
 //!
 //! Run with `cargo run --release --example estimation_service`.
 
@@ -68,13 +69,34 @@ fn main() {
         old.estimate(&q)
     );
 
+    // Admission control: a batch larger than the whole queue budget is
+    // shed with a structured error instead of queueing without bound —
+    // the daemon turns this into the protocol's OVERLOADED reply.
+    let tiny = Service::new(
+        catalog.clone(),
+        ServiceConfig::with_workers(1).with_queue_capacity(4),
+    );
+    match tiny.estimate_batch("xmark", &refs) {
+        Err(ServiceError::Overloaded { queued, capacity }) => println!(
+            "a {}-query batch against a {capacity}-query budget sheds \
+             (queued={queued}) — retry smaller or later",
+            refs.len()
+        ),
+        other => println!("unexpected admission result: {other:?}"),
+    }
+
     let stats = service.stats();
     println!(
-        "service stats: {} workers, {} estimates, {} batches, {} steals, plan cache {}/{} hits",
+        "service stats: {} workers, {} estimates, {} batches, {} steals, \
+         {} accepted / {} shed (peak queue {} of {}), plan cache {}/{} hits",
         stats.workers,
         stats.total_executed(),
         stats.batches,
         stats.steals,
+        stats.accepted,
+        stats.shed,
+        stats.peak_queued,
+        stats.queue_capacity * stats.workers,
         stats.plan_cache.hits,
         stats.plan_cache.hits + stats.plan_cache.misses,
     );

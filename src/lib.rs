@@ -56,5 +56,5 @@ pub mod prelude {
     pub use xpathkit::parse as parse_query;
     pub use xpathkit::{PathExpr, QueryClass, QueryPlan};
     pub use xseed_core::{SynopsisSnapshot, XseedConfig, XseedSynopsis};
-    pub use xseed_service::{Catalog, Service, ServiceConfig};
+    pub use xseed_service::{Catalog, Service, ServiceConfig, ServiceError};
 }
