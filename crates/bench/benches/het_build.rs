@@ -1,0 +1,190 @@
+//! HET-construction bench: the old EPT-materializing builder vs the
+//! streaming-driven builder, on the canonical datasets.
+//!
+//! The "old" rows run [`ReferenceHetBuilder`] (materialized EPT, one arena
+//! match per candidate, one NoK document walk per branching candidate —
+//! the pre-rewrite algorithm, retained as the differential oracle); the
+//! "new" rows run the production [`HetBuilder`] (frontier memo recorded
+//! once, all simple-path estimates from a single replay pass, all
+//! branching truths from a single batched NoK pass). Results — including
+//! the old/new speedup per dataset — are written to
+//! `BENCH_het_build.json` at the workspace root.
+//!
+//! Set `HET_BUILD_SMOKE=1` to run a single iteration per row and skip the
+//! JSON write (the CI smoke mode keeping the builder path exercised).
+
+use datagen::Dataset;
+use nokstore::{NokStorage, PathTree};
+use std::time::Instant;
+use xseed_core::het::builder::reference::ReferenceHetBuilder;
+use xseed_core::{HetBuildStats, HetBuilder, HyperEdgeTable, KernelBuilder, XseedConfig};
+
+struct Scenario {
+    name: &'static str,
+    dataset: Dataset,
+    scale: f64,
+    recursive: bool,
+    /// Override of `bsel_threshold`; the canonical rows keep the paper's
+    /// preset, the `*_branching` rows raise it so the batched-NoK
+    /// candidate path is measured on every dataset (under the presets,
+    /// XMark and Treebank select no branching candidates at all).
+    bsel_threshold: Option<f64>,
+}
+
+const SCENARIOS: [Scenario; 5] = [
+    Scenario {
+        name: "xmark",
+        dataset: Dataset::XMark10,
+        scale: 0.25,
+        recursive: false,
+        bsel_threshold: None,
+    },
+    Scenario {
+        name: "xmark_branching",
+        dataset: Dataset::XMark10,
+        scale: 0.25,
+        recursive: false,
+        bsel_threshold: Some(0.5),
+    },
+    Scenario {
+        name: "dblp",
+        dataset: Dataset::Dblp,
+        scale: 0.1,
+        recursive: false,
+        bsel_threshold: None,
+    },
+    Scenario {
+        name: "treebank",
+        dataset: Dataset::TreebankSmall,
+        scale: 0.1,
+        recursive: true,
+        bsel_threshold: None,
+    },
+    Scenario {
+        name: "treebank_branching",
+        dataset: Dataset::TreebankSmall,
+        scale: 0.1,
+        recursive: true,
+        bsel_threshold: Some(0.5),
+    },
+];
+
+/// Median wall-clock milliseconds of `build` over `rounds` runs (the
+/// first run is a discarded warm-up when rounds > 1).
+fn time_build_ms<R>(rounds: usize, mut build: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..rounds.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(build());
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    if samples.len() > 1 {
+        samples.remove(0); // cold warm-up run
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    name: &'static str,
+    elements: usize,
+    old_ms: f64,
+    new_ms: f64,
+    stats: HetBuildStats,
+}
+
+fn write_report(rows: &[Row]) {
+    let mut body = String::from("{\n  \"bench\": \"het_build\",\n  \"datasets\": {\n");
+    for (i, row) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    \"{}\": {{\n      \"elements\": {},\n      \
+             \"old_ept_nok_build_ms\": {:.3},\n      \
+             \"new_streaming_build_ms\": {:.3},\n      \
+             \"speedup\": {:.2},\n      \
+             \"simple_entries\": {},\n      \
+             \"correlated_entries\": {},\n      \
+             \"exact_evaluations\": {},\n      \
+             \"candidate_nodes\": {}\n    }}{}\n",
+            row.name,
+            row.elements,
+            row.old_ms,
+            row.new_ms,
+            row.old_ms / row.new_ms,
+            row.stats.simple_entries,
+            row.stats.correlated_entries,
+            row.stats.exact_evaluations,
+            row.stats.candidate_nodes,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  }\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_het_build.json");
+    std::fs::write(path, body).expect("write BENCH_het_build.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let smoke = std::env::var_os("HET_BUILD_SMOKE").is_some();
+    let rounds = if smoke { 1 } else { 5 };
+    let mut rows = Vec::new();
+
+    for scenario in &SCENARIOS {
+        let doc = scenario.dataset.generate_scaled(scenario.scale);
+        let mut config = if scenario.recursive {
+            XseedConfig::recursive_for_size(doc.element_count())
+        } else {
+            XseedConfig::default()
+        };
+        if let Some(bsel) = scenario.bsel_threshold {
+            config.bsel_threshold = bsel;
+        }
+        let kernel = KernelBuilder::from_document(&doc);
+        let path_tree = PathTree::from_document(&doc);
+        let storage = NokStorage::from_document(&doc);
+
+        let old_ms = time_build_ms(rounds, || {
+            ReferenceHetBuilder::new(&kernel, &path_tree, &storage, &config).build()
+        });
+        let new_ms = time_build_ms(rounds, || {
+            HetBuilder::new(&kernel, &path_tree, &storage, &config).build()
+        });
+
+        // The timed result must be the real thing: re-build once and hold
+        // the table so the timing loops cannot be optimized into no-ops,
+        // and double-check the two builders still agree on size.
+        let (streamed, stats): (HyperEdgeTable, HetBuildStats) =
+            HetBuilder::new(&kernel, &path_tree, &storage, &config).build();
+        let (oracle, _) = ReferenceHetBuilder::new(&kernel, &path_tree, &storage, &config).build();
+        assert_eq!(
+            streamed.len(),
+            oracle.len(),
+            "{}: builders diverged",
+            scenario.name
+        );
+
+        println!(
+            "het_build/{name}: elements={el} old={old_ms:.3} ms new={new_ms:.3} ms \
+             speedup={speedup:.2}x (simple={simple}, correlated={corr}, evals={evals})",
+            name = scenario.name,
+            el = doc.element_count(),
+            speedup = old_ms / new_ms,
+            simple = stats.simple_entries,
+            corr = stats.correlated_entries,
+            evals = stats.exact_evaluations,
+        );
+        rows.push(Row {
+            name: scenario.name,
+            elements: doc.element_count(),
+            old_ms,
+            new_ms,
+            stats,
+        });
+    }
+
+    if smoke {
+        println!("HET_BUILD_SMOKE set: skipping BENCH_het_build.json write");
+    } else {
+        write_report(&rows);
+    }
+}

@@ -299,6 +299,27 @@ impl FrontierMemo {
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }
+
+    /// The kernel's estimate of **every** rooted simple path, computed in
+    /// one pass over the recorded expansion: a simple-path query `/l1/…/ln`
+    /// is estimated by the matcher as the sum of `card` over the expansion
+    /// positions whose rooted label path equals the query (each position
+    /// contributes `card × 1` — no predicates, no descendant states — and
+    /// positions are visited in the same pre-order), so accumulating `card`
+    /// per path hash replays the frontier once for *all* candidates instead
+    /// of once per candidate. This is what lets the HET builder
+    /// ([`crate::het::builder::HetBuilder`]) pay O(expansion) for its
+    /// simple-path error ranking instead of O(paths × expansion).
+    ///
+    /// Keys are [`crate::het::hash::path_hash`] values — the same keys the
+    /// HET stores — and a path absent from the map has estimate 0.
+    pub fn simple_path_estimates(&self) -> HashMap<u64, f64> {
+        let mut totals: HashMap<u64, f64> = HashMap::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            *totals.entry(node.path_hash).or_insert(0.0) += node.card;
+        }
+        totals
+    }
 }
 
 /// Counters and occupancy of a [`CompiledPlanCache`].
@@ -1722,6 +1743,40 @@ mod tests {
         m.set_frontier_memo(std::sync::Arc::new(memo));
         let (_, visited) = m.estimate_with_stats(&parse("//*").unwrap());
         assert!(visited <= 3);
+    }
+
+    #[test]
+    fn simple_path_estimates_match_per_query_streaming() {
+        for (doc, config) in [
+            (figure2_document(), XseedConfig::default()),
+            (
+                figure2_document(),
+                XseedConfig::default().with_card_threshold(2.0),
+            ),
+            (figure4_document(), XseedConfig::default()),
+        ] {
+            let kernel = KernelBuilder::from_document(&doc);
+            let frozen = FrozenKernel::freeze(&kernel);
+            let memo = FrontierMemo::build(&frozen, &config, None);
+            let totals = memo.simple_path_estimates();
+            let mut m = StreamingMatcher::new(&frozen, kernel.names(), &config, None);
+            let path_tree = nokstore::PathTree::from_document(&doc);
+            for id in path_tree.ids() {
+                let labels = path_tree.label_path(id);
+                let names: Vec<String> = labels
+                    .iter()
+                    .map(|&l| kernel.names().name_or_panic(l).to_string())
+                    .collect();
+                let expr = xpathkit::ast::PathExpr::simple(names);
+                let expected = m.estimate(&expr);
+                let got = totals.get(&path_hash(&labels)).copied().unwrap_or(0.0);
+                assert_eq!(
+                    got.to_bits(),
+                    expected.to_bits(),
+                    "{expr}: aggregated {got} != streamed {expected}"
+                );
+            }
+        }
     }
 
     #[test]

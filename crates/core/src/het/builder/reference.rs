@@ -1,0 +1,164 @@
+//! The original EPT-materializing HET construction, retained **only** as
+//! the differential-testing oracle and the "old" row of the `het_build`
+//! bench.
+//!
+//! This is the pre-streaming algorithm: materialize the full expanded path
+//! tree, run the arena [`Matcher`] once per candidate path, and evaluate
+//! every branching candidate with its own NoK tree walk over the document.
+//! Production construction ([`super::HetBuilder`]) never materializes an
+//! EPT — it must stay entry-for-entry identical to this oracle (asserted
+//! by unit and property tests), which is the contract that let the
+//! streaming rewrite delete the materialized path from `build_with_het`.
+
+use crate::config::XseedConfig;
+use crate::estimate::ept::ExpandedPathTree;
+use crate::estimate::matcher::Matcher;
+use crate::het::builder::HetBuildStats;
+use crate::het::hash::{correlated_key, path_hash};
+use crate::het::table::HyperEdgeTable;
+use crate::kernel::Kernel;
+use nokstore::{Evaluator, NokStorage, PathTree, PathTreeNodeId};
+use xpathkit::ast::PathExpr;
+
+/// The pre-streaming builder (see the module docs). Behavior matches
+/// [`super::HetBuilder`] with the default [`super::BselThresholdStrategy`].
+pub struct ReferenceHetBuilder<'a> {
+    kernel: &'a Kernel,
+    path_tree: &'a PathTree,
+    storage: &'a NokStorage,
+    config: &'a XseedConfig,
+}
+
+impl<'a> ReferenceHetBuilder<'a> {
+    /// Creates a reference builder.
+    pub fn new(
+        kernel: &'a Kernel,
+        path_tree: &'a PathTree,
+        storage: &'a NokStorage,
+        config: &'a XseedConfig,
+    ) -> Self {
+        ReferenceHetBuilder {
+            kernel,
+            path_tree,
+            storage,
+            config,
+        }
+    }
+
+    /// Builds the table the original way: one materialized EPT shared by
+    /// all candidates, one NoK evaluation per branching candidate.
+    pub fn build(&self) -> (HyperEdgeTable, HetBuildStats) {
+        let mut het = HyperEdgeTable::new();
+        let mut stats = HetBuildStats::default();
+
+        let ept = ExpandedPathTree::generate(self.kernel, self.config, None);
+        let matcher = Matcher::new(self.kernel, &ept, None);
+        let evaluator = Evaluator::new(self.storage);
+        let names = self.storage.names();
+
+        for id in self.path_tree.ids() {
+            let labels = self.path_tree.label_path(id);
+            let path_names: Vec<String> = labels
+                .iter()
+                .map(|&l| names.name_or_panic(l).to_string())
+                .collect();
+            let expr = PathExpr::simple(path_names.clone());
+            let actual = self.path_tree.cardinality(id);
+            let estimated = matcher.estimate(&expr);
+            let error = (estimated - actual as f64).abs();
+            let bsel = self.path_tree.bsel(id);
+            het.insert_simple(path_hash(&labels), actual, bsel, error);
+            stats.simple_entries += 1;
+
+            // Branching candidates: only for poorly selective nodes.
+            if bsel < self.config.bsel_threshold && self.config.max_branching_predicates > 0 {
+                let Some(parent) = self.path_tree.node(id).parent else {
+                    continue;
+                };
+                stats.candidate_nodes += 1;
+                self.add_branching_candidates(
+                    &mut het, &mut stats, &matcher, &evaluator, parent, id,
+                );
+            }
+        }
+
+        let budget = self
+            .config
+            .memory_budget
+            .map(|total| total.saturating_sub(self.kernel.size_bytes()));
+        het.set_budget(budget);
+        (het, stats)
+    }
+
+    /// Enumerates branching paths `parent[pred ...]/result` where `pred_node`
+    /// is one of the predicates, evaluates them exactly, and records their
+    /// correlated backward selectivities.
+    fn add_branching_candidates(
+        &self,
+        het: &mut HyperEdgeTable,
+        stats: &mut HetBuildStats,
+        matcher: &Matcher<'_>,
+        evaluator: &Evaluator<'_>,
+        parent: PathTreeNodeId,
+        pred_node: PathTreeNodeId,
+    ) {
+        let names = self.storage.names();
+        let parent_labels = self.path_tree.label_path(parent);
+        let parent_names: Vec<String> = parent_labels
+            .iter()
+            .map(|&l| names.name_or_panic(l).to_string())
+            .collect();
+        let parent_hash = path_hash(&parent_labels);
+        let pred_label = self.path_tree.node(pred_node).label;
+        let siblings: Vec<PathTreeNodeId> = self
+            .path_tree
+            .node(parent)
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| c != pred_node)
+            .take(super::MAX_SIBLINGS_FOR_COMBOS)
+            .collect();
+
+        for &result_node in &siblings {
+            let result_label = self.path_tree.node(result_node).label;
+            let result_card = self.path_tree.cardinality(result_node);
+            if result_card == 0 {
+                continue;
+            }
+            // Predicate label sets of size 1..=MBP that include pred_label.
+            let other_preds: Vec<PathTreeNodeId> = siblings
+                .iter()
+                .copied()
+                .filter(|&c| c != result_node)
+                .collect();
+            let combos = super::predicate_combinations(
+                pred_label,
+                &other_preds
+                    .iter()
+                    .map(|&c| self.path_tree.node(c).label)
+                    .collect::<Vec<_>>(),
+                self.config.max_branching_predicates,
+            );
+            for pred_labels in combos {
+                let pred_name_list: Vec<String> = pred_labels
+                    .iter()
+                    .map(|&l| names.name_or_panic(l).to_string())
+                    .collect();
+                let expr = super::branching_expr(
+                    &parent_names,
+                    &pred_name_list,
+                    names.name_or_panic(result_label),
+                );
+                let actual = evaluator.count(&expr);
+                stats.exact_evaluations += 1;
+                let estimated = matcher.estimate(&expr);
+                let error = (estimated - actual as f64).abs();
+                let correlated_bsel = actual as f64 / result_card as f64;
+                let key = correlated_key(parent_hash, &pred_labels, result_label);
+                het.insert_correlated(key, actual, correlated_bsel, error);
+                stats.correlated_entries += 1;
+            }
+        }
+    }
+}

@@ -19,8 +19,10 @@
 //!
 //! * [`hash`] — the incremental path hash (`incHash`).
 //! * [`table`] — the table itself with budget-aware residency.
-//! * [`builder`] — pre-computation from the path tree and the exact
-//!   evaluator.
+//! * [`builder`] — streaming pre-computation from the path tree, the
+//!   frontier-memo replay, and the batched exact evaluator (the original
+//!   EPT-materializing construction survives only as the differential
+//!   oracle in [`builder::reference`]).
 //! * [`feedback`] — population from optimizer query feedback.
 
 pub mod builder;
@@ -28,6 +30,9 @@ pub mod feedback;
 pub mod hash;
 pub mod table;
 
-pub use builder::HetBuilder;
+pub use builder::{
+    BselThresholdStrategy, CandidateContext, CandidateStrategy, HetBuildStats, HetBuilder,
+    PerLevelBudgetStrategy, TopKErrorStrategy,
+};
 pub use hash::{correlated_key, inc_hash, path_hash, PATH_HASH_SEED};
 pub use table::{HetEntryKind, HyperEdgeTable};

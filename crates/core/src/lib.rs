@@ -49,6 +49,9 @@ pub use estimate::{
     CompiledCacheStats, CompiledPlanCache, CompiledQuery, EstimateEvent, ExpandedPathTree,
     FrontierMemo, Matcher, StreamingMatcher, Traveler,
 };
-pub use het::{HetBuilder, HyperEdgeTable};
+pub use het::{
+    BselThresholdStrategy, CandidateContext, CandidateStrategy, HetBuildStats, HetBuilder,
+    HyperEdgeTable, PerLevelBudgetStrategy, TopKErrorStrategy,
+};
 pub use kernel::{EdgeLabel, FrozenKernel, Kernel, KernelBuilder};
 pub use synopsis::{EstimateReport, SynopsisEstimator, SynopsisSnapshot, XseedSynopsis};

@@ -109,18 +109,59 @@ impl XseedSynopsis {
     }
 
     /// Builds the synopsis *and* pre-computes the hyper-edge table from the
-    /// document's exact statistics (path tree + NoK evaluation), honouring
-    /// the configured memory budget.
+    /// document's exact statistics (path tree + streaming NoK evaluation),
+    /// honouring the configured memory budget. Construction is driven by
+    /// the streaming matcher — one frontier expansion recorded and
+    /// replayed per candidate, no materialized EPT; see
+    /// [`crate::het::builder`].
     pub fn build_with_het(doc: &Document, config: XseedConfig) -> (Self, HetBuildStats) {
+        Self::build_with_het_strategy(doc, config, crate::het::BselThresholdStrategy)
+    }
+
+    /// [`XseedSynopsis::build_with_het`] with an explicit candidate
+    /// strategy choosing which path-tree nodes get branching entries (e.g.
+    /// [`crate::het::TopKErrorStrategy`] to bound construction cost).
+    pub fn build_with_het_strategy(
+        doc: &Document,
+        config: XseedConfig,
+        strategy: impl crate::het::CandidateStrategy + 'static,
+    ) -> (Self, HetBuildStats) {
         let kernel = KernelBuilder::from_document(doc);
         let path_tree = PathTree::from_document(doc);
         let storage = NokStorage::from_document(doc);
-        let builder = HetBuilder::new(&kernel, &path_tree, &storage, &config);
-        let (het, stats) = builder.build();
+        let (het, stats) = HetBuilder::new(&kernel, &path_tree, &storage, &config)
+            .with_strategy(strategy)
+            .build();
         (
             XseedSynopsis::new(kernel, Some(Arc::new(het)), config),
             stats,
         )
+    }
+
+    /// Rebuilds the hyper-edge table in place from `doc`'s exact
+    /// statistics using the streaming builder, replacing any existing
+    /// table and **bumping the epoch** (via [`XseedSynopsis::set_het`]),
+    /// so snapshots published afterwards carry the fresh table while
+    /// earlier ones keep estimating with the old one. `doc` must be the
+    /// document this synopsis' kernel summarizes — after incremental
+    /// kernel updates, pass the post-update document.
+    pub fn rebuild_het(&mut self, doc: &Document) -> HetBuildStats {
+        self.rebuild_het_with_strategy(doc, crate::het::BselThresholdStrategy)
+    }
+
+    /// [`XseedSynopsis::rebuild_het`] with an explicit candidate strategy.
+    pub fn rebuild_het_with_strategy(
+        &mut self,
+        doc: &Document,
+        strategy: impl crate::het::CandidateStrategy + 'static,
+    ) -> HetBuildStats {
+        let path_tree = PathTree::from_document(doc);
+        let storage = NokStorage::from_document(doc);
+        let (het, stats) = HetBuilder::new(&self.kernel, &path_tree, &storage, &self.config)
+            .with_strategy(strategy)
+            .build();
+        self.set_het(het);
+        stats
     }
 
     /// Wraps an existing kernel (e.g. one deserialized from disk).
@@ -597,6 +638,47 @@ mod tests {
         // Restoring an unlimited budget brings entries back.
         synopsis.set_memory_budget(None);
         assert_eq!(synopsis.size_bytes(), full);
+    }
+
+    #[test]
+    fn rebuild_het_bumps_epoch_and_improves_estimates() {
+        let doc = figure4_document();
+        let storage = NokStorage::from_document(&doc);
+        let eval = Evaluator::new(&storage);
+        let mut synopsis =
+            XseedSynopsis::build(&doc, XseedConfig::default().with_bsel_threshold(0.99));
+        let expr = parse("/a/b/d/e").unwrap();
+        let actual = eval.count(&expr) as f64;
+        assert!((synopsis.estimate(&expr) - actual).abs() > 1e-6);
+
+        // A snapshot taken before the rebuild keeps its kernel-only state.
+        let old_snap = synopsis.snapshot();
+        let epoch_before = synopsis.epoch();
+        let stats = synopsis.rebuild_het(&doc);
+        assert!(stats.simple_entries > 0);
+        assert!(synopsis.epoch() > epoch_before);
+        assert!((synopsis.estimate(&expr) - actual).abs() < 1e-6);
+        assert!((old_snap.estimate(&expr) - actual).abs() > 1e-6);
+        assert!(synopsis.snapshot().epoch() > old_snap.epoch());
+
+        // Strategy-bounded rebuilds go through the same path.
+        let stats =
+            synopsis.rebuild_het_with_strategy(&doc, crate::het::TopKErrorStrategy { k: 1 });
+        assert!(stats.candidate_nodes <= 1);
+    }
+
+    #[test]
+    fn build_with_het_strategy_matches_default_for_bsel_threshold() {
+        let doc = figure4_document();
+        let config = XseedConfig::default().with_bsel_threshold(0.99);
+        let (a, stats_a) = XseedSynopsis::build_with_het(&doc, config.clone());
+        let (b, stats_b) =
+            XseedSynopsis::build_with_het_strategy(&doc, config, crate::het::BselThresholdStrategy);
+        assert_eq!(stats_a, stats_b);
+        for q in ["/a/b/d/e", "/a/b/d[f]/e", "//d[e][f]"] {
+            let expr = parse(q).unwrap();
+            assert_eq!(a.estimate(&expr).to_bits(), b.estimate(&expr).to_bits());
+        }
     }
 
     #[test]

@@ -15,8 +15,28 @@
 //! deduplicated, so the result of [`Evaluator::matches`] is the set of
 //! distinct elements returned by the query, in document order.
 
+use crate::path_tree::{PathTree, PathTreeNodeId};
 use crate::storage::{NokStorage, Pos};
+use xmlkit::names::LabelId;
 use xpathkit::ast::{Axis, NodeTest, PathExpr, Step};
+
+/// One branching-path candidate `p[q1]...[qm]/r` in the shape the HET
+/// builder enumerates: the anchor `p` is a rooted simple path (identified
+/// by its [`PathTree`] node), every predicate `qi` is a single child-label
+/// existence test, and the result `r` is a child label of the anchor.
+///
+/// [`Evaluator::count_branching_batch`] evaluates any number of these in
+/// **one streaming pass** over the storage, where the step-by-step
+/// [`Evaluator::count`] would walk the document once per candidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchingSpec {
+    /// Path-tree node of the anchor path `p`.
+    pub parent: PathTreeNodeId,
+    /// Predicate child labels `q1..qm` (all must occur as children).
+    pub predicates: Vec<LabelId>,
+    /// Result child label `r`.
+    pub result: LabelId,
+}
 
 /// Exact evaluator over a [`NokStorage`].
 #[derive(Debug, Clone, Copy)]
@@ -144,6 +164,74 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// Exact cardinalities of many branching-path candidates in **one**
+    /// streaming pass over the storage (the NoK operator's single-scan
+    /// trick applied to HET construction).
+    ///
+    /// For each [`BranchingSpec`] this returns exactly
+    /// `count(/p[q1]...[qm]/r)`: the walk keeps the document position and
+    /// its path-tree node in lockstep, and at every element whose path has
+    /// candidates it tallies the children by label once — a candidate's
+    /// count grows by the number of `r` children whenever every predicate
+    /// label is present. Counts are exact because an element matches the
+    /// anchor path `p` iff its path-tree node is `spec.parent`, each
+    /// predicate is an existential child-label test, and distinct result
+    /// elements have distinct parents (no dedup needed).
+    ///
+    /// `path_tree` must be the path tree of the *same document* as the
+    /// storage. Cost: one document traversal plus
+    /// O(candidates-at-node × predicates) per visited element, independent
+    /// of the number of candidates sharing a traversal.
+    pub fn count_branching_batch(&self, path_tree: &PathTree, specs: &[BranchingSpec]) -> Vec<u64> {
+        let mut counts = vec![0u64; specs.len()];
+        if specs.is_empty() || self.storage.is_empty() {
+            return counts;
+        }
+        // Candidates grouped by their anchor path-tree node.
+        let mut by_parent: Vec<Vec<u32>> = vec![Vec::new(); path_tree.len()];
+        for (i, spec) in specs.iter().enumerate() {
+            by_parent[spec.parent.index()].push(i as u32);
+        }
+        // Reusable per-element child-label tally (stamped via `touched`).
+        let mut child_counts: Vec<u64> = vec![0; self.storage.names().len()];
+        let mut touched: Vec<LabelId> = Vec::new();
+
+        let mut stack: Vec<(Pos, PathTreeNodeId)> = vec![(self.storage.root(), path_tree.root())];
+        while let Some((pos, pt)) = stack.pop() {
+            let candidates = &by_parent[pt.index()];
+            for child in self.storage.children(pos) {
+                let label = self.storage.label(child);
+                let child_pt = path_tree
+                    .node(pt)
+                    .children
+                    .iter()
+                    .copied()
+                    .find(|&c| path_tree.node(c).label == label)
+                    .expect("path tree covers every rooted path of its document");
+                if !candidates.is_empty() {
+                    if child_counts[label.index()] == 0 {
+                        touched.push(label);
+                    }
+                    child_counts[label.index()] += 1;
+                }
+                stack.push((child, child_pt));
+            }
+            if !candidates.is_empty() {
+                for &si in candidates {
+                    let spec = &specs[si as usize];
+                    if spec.predicates.iter().all(|p| child_counts[p.index()] > 0) {
+                        counts[si as usize] += child_counts[spec.result.index()];
+                    }
+                }
+                for &l in &touched {
+                    child_counts[l.index()] = 0;
+                }
+                touched.clear();
+            }
+        }
+        counts
+    }
+
     #[inline]
     fn test_matches(&self, test: &NodeTest, pos: Pos) -> bool {
         match test {
@@ -265,5 +353,88 @@ mod tests {
         let s = figure2_storage();
         assert_eq!(count(&s, "//zzz"), 0);
         assert_eq!(count(&s, "/a/c[zzz]"), 0);
+    }
+
+    use crate::path_tree::PathTree;
+    use crate::BranchingSpec;
+    use xpathkit::ast::{PathExpr, Step};
+
+    /// Enumerates every `parent[preds ⊆ siblings]/result` candidate of a
+    /// document (up to `mbp` predicates) and checks the one-pass batch
+    /// counter against the per-candidate step evaluator.
+    fn assert_batch_matches_per_candidate(doc: &xmlkit::Document, mbp: usize) {
+        let storage = NokStorage::from_document(doc);
+        let path_tree = PathTree::from_document(doc);
+        let eval = Evaluator::new(&storage);
+        let names = storage.names();
+        let mut specs = Vec::new();
+        let mut exprs = Vec::new();
+        for parent in path_tree.ids() {
+            let kids = &path_tree.node(parent).children;
+            for &result in kids {
+                for &p1 in kids {
+                    for &p2 in kids {
+                        let mut preds = vec![path_tree.node(p1).label];
+                        if mbp >= 2 && p2 != p1 {
+                            preds.push(path_tree.node(p2).label);
+                        }
+                        let parent_names: Vec<String> = path_tree
+                            .label_path(parent)
+                            .iter()
+                            .map(|&l| names.name_or_panic(l).to_string())
+                            .collect();
+                        let mut steps: Vec<Step> = parent_names.iter().map(Step::child).collect();
+                        for p in &preds {
+                            steps
+                                .last_mut()
+                                .unwrap()
+                                .predicates
+                                .push(PathExpr::simple([names.name_or_panic(*p)]));
+                        }
+                        steps.push(Step::child(
+                            names.name_or_panic(path_tree.node(result).label),
+                        ));
+                        exprs.push(PathExpr::new(steps));
+                        specs.push(BranchingSpec {
+                            parent,
+                            predicates: preds,
+                            result: path_tree.node(result).label,
+                        });
+                    }
+                }
+            }
+        }
+        let batch = eval.count_branching_batch(&path_tree, &specs);
+        for ((spec, expr), got) in specs.iter().zip(&exprs).zip(&batch) {
+            let expected = eval.count(expr);
+            assert_eq!(
+                *got, expected,
+                "batch count for {expr} ({spec:?}) disagrees with the evaluator"
+            );
+        }
+    }
+
+    #[test]
+    fn branching_batch_matches_evaluator_on_figure2() {
+        assert_batch_matches_per_candidate(&xmlkit::samples::figure2_document(), 2);
+    }
+
+    #[test]
+    fn branching_batch_matches_evaluator_on_nested_doc() {
+        let doc = Document::parse_str(
+            "<r><x><k/><v/><k/></x><x><k/></x><x><v/><w><k/><v/></w></x><y><x><k/><v/></x></y></r>",
+        )
+        .unwrap();
+        assert_batch_matches_per_candidate(&doc, 2);
+    }
+
+    #[test]
+    fn branching_batch_empty_specs() {
+        let s = figure2_storage();
+        let doc = xmlkit::samples::figure2_document();
+        let pt = PathTree::from_document(&doc);
+        assert!(Evaluator::new(&s)
+            .count_branching_batch(&pt, &[])
+            .is_empty());
     }
 }

@@ -37,6 +37,6 @@ pub mod eval;
 pub mod path_tree;
 pub mod storage;
 
-pub use eval::Evaluator;
+pub use eval::{BranchingSpec, Evaluator};
 pub use path_tree::{PathTree, PathTreeNode, PathTreeNodeId};
 pub use storage::NokStorage;

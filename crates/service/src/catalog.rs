@@ -228,6 +228,24 @@ impl Catalog {
         Some((result, snapshot))
     }
 
+    /// Rebuilds the hyper-edge table of `name` from `doc`'s exact
+    /// statistics using the streaming builder and republishes: the epoch
+    /// bumps (the HET swap invalidates estimate state) and a fresh
+    /// snapshot is installed, while readers keep estimating from the
+    /// previously published snapshot for the whole (potentially long)
+    /// build — the construction runs under this entry's writer mutex
+    /// only, and the published slot's write lock is held just for the
+    /// final swap. `doc` must be the document the synopsis summarizes.
+    /// Returns the build statistics and the new snapshot, or `None` when
+    /// the name is not registered.
+    pub fn rebuild_het(
+        &self,
+        name: &str,
+        doc: &Document,
+    ) -> Option<(xseed_core::HetBuildStats, SynopsisSnapshot)> {
+        self.update(name, |synopsis| synopsis.rebuild_het(doc))
+    }
+
     /// Removes an entry; returns `true` if it existed. Snapshots already
     /// handed out keep working — removal only unpublishes the name. The
     /// ledger keeps the name's publication history, so a future
@@ -371,6 +389,31 @@ mod tests {
             .load_xml("fig2", "<a><b/></a>", XseedConfig::default())
             .unwrap();
         assert_eq!(snap.epoch(), 3);
+    }
+
+    #[test]
+    fn rebuild_het_bumps_epoch_and_keeps_old_snapshots_serving() {
+        let catalog = Catalog::new();
+        let doc = xmlkit::samples::figure4_document();
+        catalog.load_document(
+            "fig4",
+            &doc,
+            XseedConfig::default().with_bsel_threshold(0.99),
+        );
+        let old = catalog.snapshot("fig4").unwrap();
+        let q = parse("/a/b/d/e").unwrap();
+        let kernel_only = old.estimate(&q);
+
+        let (stats, fresh) = catalog.rebuild_het("fig4", &doc).unwrap();
+        assert!(stats.simple_entries > 0);
+        assert!(fresh.epoch() > old.epoch());
+        assert!(fresh.het().is_some());
+        // In-flight readers of the old snapshot are undisturbed; the new
+        // snapshot answers the simple path exactly (20 = actual |/a/b/d/e|).
+        assert_eq!(old.estimate(&q).to_bits(), kernel_only.to_bits());
+        assert!((fresh.estimate(&q) - 20.0).abs() < 1e-9);
+        assert_eq!(catalog.snapshot("fig4").unwrap().epoch(), fresh.epoch());
+        assert!(catalog.rebuild_het("missing", &doc).is_none());
     }
 
     #[test]

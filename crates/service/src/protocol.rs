@@ -8,10 +8,14 @@
 //! LOAD <name> <spec> [recursive]   register a document
 //! EST <name> <query>               estimate one query
 //! BATCH <name> <q1> ; <q2> ; …     estimate a batch (one snapshot pass)
-//! STATS                            service + catalog counters
+//! STATS [json]                     service + catalog counters
 //! HELP                             command summary
 //! QUIT                             close the session
 //! ```
+//!
+//! `STATS` emits `key=value` pairs; `STATS json` emits the same counters
+//! as one JSON object (`docs` becomes an array of per-document objects),
+//! so monitoring scrapers don't have to parse the flat form.
 //!
 //! `<spec>` is either a filesystem path to an XML document or
 //! `builtin:<dataset>[@scale]` for the synthetic evaluation datasets
@@ -73,7 +77,8 @@ impl Response {
 }
 
 const HELP: &str = "commands: LOAD <name> <path|builtin:dataset[@scale]> [recursive] | \
-                    EST <name> <query> | BATCH <name> <q1> ; <q2> ; ... | STATS | HELP | QUIT";
+                    EST <name> <query> | BATCH <name> <q1> ; <q2> ; ... | STATS [json] | \
+                    HELP | QUIT";
 
 /// Per-session protocol policy.
 #[derive(Debug, Clone)]
@@ -135,7 +140,7 @@ pub fn handle_line(service: &Service, line: &str, options: &ProtocolOptions) -> 
         "LOAD" => handle_load(service, rest, options),
         "EST" => handle_est(service, rest),
         "BATCH" => handle_batch(service, rest),
-        "STATS" => handle_stats(service),
+        "STATS" => handle_stats(service, rest),
         "HELP" => Response::ok(HELP),
         "QUIT" | "EXIT" => Response::Quit,
         other => Response::err(format_args!("unknown command '{other}' ({HELP})")),
@@ -287,7 +292,17 @@ fn handle_batch(service: &Service, args: &str) -> Response {
     }
 }
 
-fn handle_stats(service: &Service) -> Response {
+fn handle_stats(service: &Service, args: &str) -> Response {
+    match args.trim() {
+        "" => handle_stats_flat(service),
+        mode if mode.eq_ignore_ascii_case("json") => handle_stats_json(service),
+        other => Response::err(format_args!(
+            "unknown STATS mode '{other}' (use STATS or STATS json)"
+        )),
+    }
+}
+
+fn handle_stats_flat(service: &Service) -> Response {
     let stats = service.stats();
     let mut body = format!(
         "workers={} executed={} batches={} steals={} accepted={} shed={} queued={} \
@@ -320,6 +335,66 @@ fn handle_stats(service: &Service) -> Response {
         );
     }
     Response::Line(format!("OK {body}"))
+}
+
+/// `STATS json`: the same counters as the flat form, as one JSON object.
+/// Serialized by hand (the workspace has no serde); every key mirrors its
+/// `key=value` twin, and the per-document trailer becomes a `docs` array.
+fn handle_stats_json(service: &Service) -> Response {
+    let stats = service.stats();
+    let mut body = format!(
+        "{{\"workers\":{},\"executed\":{},\"batches\":{},\"steals\":{},\"accepted\":{},\
+         \"shed\":{},\"queued\":{},\"peak_queued\":{},\"queue_capacity\":{},\
+         \"plan_hits\":{},\"plan_misses\":{},\"plan_entries\":{},\"docs\":[",
+        stats.workers,
+        stats.total_executed(),
+        stats.batches,
+        stats.steals,
+        stats.accepted,
+        stats.shed,
+        stats.queued,
+        stats.peak_queued,
+        stats.queue_capacity,
+        stats.plan_cache.hits,
+        stats.plan_cache.misses,
+        stats.plan_cache.entries,
+    );
+    for (i, info) in service.catalog().info().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(
+            body,
+            "{{\"name\":\"{}\",\"epoch\":{},\"vertices\":{},\"elements\":{},\"bytes\":{},\
+             \"compiled_hits\":{},\"compiled_misses\":{}}}",
+            json_escape(&info.name),
+            info.epoch,
+            info.vertices,
+            info.elements,
+            info.size_bytes,
+            info.compiled_hits,
+            info.compiled_misses,
+        );
+    }
+    body.push_str("]}");
+    Response::Line(format!("OK {body}"))
+}
+
+/// Escapes a string for embedding in a JSON string literal (document
+/// names come from client-supplied LOAD arguments).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn format_est(est: f64) -> String {
@@ -464,6 +539,42 @@ mod tests {
         assert!(stats.contains("accepted=1 shed=0 queued=0"), "{stats}");
         assert!(stats.contains("queue_capacity=1024"), "{stats}");
         assert!(stats.contains("compiled_hits="), "{stats}");
+    }
+
+    #[test]
+    fn stats_json_mirrors_flat_counters() {
+        let service = service();
+        let _ = reply(&service, "EST fig2 //p");
+        let json = reply(&service, "STATS json");
+        assert!(json.starts_with("OK {"), "{json}");
+        assert!(json.ends_with('}'), "{json}");
+        // Same counters as the flat form, structurally embedded.
+        assert!(json.contains("\"workers\":2"), "{json}");
+        assert!(json.contains("\"executed\":1"), "{json}");
+        assert!(json.contains("\"queue_capacity\":1024"), "{json}");
+        assert!(
+            json.contains("\"docs\":[{\"name\":\"fig2\",\"epoch\":0,"),
+            "{json}"
+        );
+        assert!(json.contains("\"compiled_misses\":"), "{json}");
+        // Braces and brackets balance (no serde, so guard the hand-rolled
+        // serializer against drift).
+        let body = json.strip_prefix("OK ").unwrap();
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let opens = body.matches(open).count();
+            let closes = body.matches(close).count();
+            assert_eq!(opens, closes, "unbalanced {open}{close} in {json}");
+        }
+        // Mode is case-insensitive; anything else is an error.
+        assert!(reply(&service, "STATS JSON").starts_with("OK {"));
+        assert!(reply(&service, "STATS xml").starts_with("ERR unknown STATS mode"));
+    }
+
+    #[test]
+    fn stats_json_escapes_document_names() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\tnl\n"), "tab\\u0009nl\\u000a");
     }
 
     #[test]

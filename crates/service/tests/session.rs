@@ -46,6 +46,35 @@ fn overload_session_matches_expected_transcript() {
 }
 
 #[test]
+fn serve_session_exercises_stats_json() {
+    // The committed transcript must cover the structured STATS variant,
+    // and its reply must be one well-formed JSON object per the protocol
+    // docs: `OK {...}` with a docs array naming every loaded document.
+    let session = example("serve_session.txt");
+    assert!(
+        session.lines().any(|l| l.trim() == "STATS json"),
+        "serve_session.txt must include a STATS json request"
+    );
+    let expected = example("serve_session.expected");
+    let json_line = expected
+        .lines()
+        .find(|l| l.starts_with("OK {"))
+        .expect("expected transcript carries the STATS json reply");
+    let body = json_line.strip_prefix("OK ").unwrap();
+    assert!(body.ends_with('}'), "{json_line}");
+    for (open, close) in [('{', '}'), ('[', ']')] {
+        assert_eq!(
+            body.matches(open).count(),
+            body.matches(close).count(),
+            "unbalanced {open}{close} in {json_line}"
+        );
+    }
+    for key in ["\"workers\":", "\"docs\":[", "\"name\":\"auctions\""] {
+        assert!(body.contains(key), "missing {key} in {json_line}");
+    }
+}
+
+#[test]
 fn overload_session_actually_demonstrates_a_shed() {
     let expected = example("overload_session.expected");
     assert!(

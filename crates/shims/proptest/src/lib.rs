@@ -7,10 +7,16 @@
 //! strategies, `prop::collection::vec`, `prop::bool::ANY`, and the
 //! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
 //!
-//! Differences from real proptest: there is **no shrinking** — a failing
-//! case is reported with its case number and the deterministic per-test
-//! seed, which is enough to reproduce it (generation is a pure function of
-//! the test name and case index).
+//! Differences from real proptest: shrinking is **basic** rather than
+//! integrated — on a failure the runner greedily applies
+//! [`Strategy::shrink`] candidates (integers halve toward the range start,
+//! vectors drop suffixes and shrink elements, tuples shrink component-wise)
+//! until no candidate still fails, then reports the minimized input.
+//! Strategies built with `prop_map` / `prop_recursive` do not shrink
+//! (mapping functions are not invertible), so a failing case built through
+//! them is reported as generated; the case number and the deterministic
+//! per-test seed always reproduce it exactly (generation is a pure
+//! function of the test name and case index).
 
 #![forbid(unsafe_code)]
 
@@ -78,6 +84,14 @@ pub trait Strategy {
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Simplification candidates for `value`, most aggressive first; the
+    /// failure runner greedily walks to the first candidate that still
+    /// fails ([`shrink_failure`]). The default (no candidates) is correct
+    /// for strategies that cannot shrink, e.g. mapped ones.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -128,6 +142,10 @@ impl<V> Strategy for Box<dyn Strategy<Value = V>> {
     fn generate(&self, rng: &mut TestRng) -> V {
         (**self).generate(rng)
     }
+
+    fn shrink(&self, value: &V) -> Vec<V> {
+        (**self).shrink(value)
+    }
 }
 
 /// Strategy returned by [`Strategy::prop_map`].
@@ -170,6 +188,23 @@ macro_rules! impl_range_strategy {
                 let span = (self.end - self.start) as u64;
                 self.start + rng.below(span) as $t
             }
+
+            /// Integers halve toward the range start (toward zero for the
+            /// usual `0..n` ranges): `start`, the midpoint, `value - 1`.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                let mut out: Vec<$t> = Vec::new();
+                for candidate in [
+                    self.start,
+                    self.start + (v.saturating_sub(self.start)) / 2,
+                    v.saturating_sub(1),
+                ] {
+                    if candidate < v && !out.contains(&candidate) {
+                        out.push(candidate);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
@@ -177,8 +212,11 @@ macro_rules! impl_range_strategy {
 impl_range_strategy!(u8, u16, u32, u64, usize);
 
 macro_rules! impl_tuple_strategy {
-    ($(($($name:ident),+)),+ $(,)?) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($($name:ident => $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
 
             #[allow(non_snake_case)]
@@ -186,11 +224,30 @@ macro_rules! impl_tuple_strategy {
                 let ($($name,)+) = self;
                 ($($name.generate(rng),)+)
             }
+
+            /// Component-wise shrinking: each component's candidates with
+            /// the other components held fixed.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     )+};
 }
 
-impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+impl_tuple_strategy!(
+    (A => 0),
+    (A => 0, B => 1),
+    (A => 0, B => 1, C => 2),
+    (A => 0, B => 1, C => 2, D => 3),
+);
 
 /// Sub-strategies namespaced like the real crate (`prop::collection::vec`,
 /// `prop::bool::ANY`).
@@ -204,10 +261,18 @@ pub mod prop {
         pub trait SizeRange {
             /// Draws a length.
             fn pick(&self, rng: &mut TestRng) -> usize;
+
+            /// The smallest admissible length (shrinking never drops a
+            /// vector below it).
+            fn lower_bound(&self) -> usize;
         }
 
         impl SizeRange for usize {
             fn pick(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+
+            fn lower_bound(&self) -> usize {
                 *self
             }
         }
@@ -217,11 +282,19 @@ pub mod prop {
                 assert!(self.start < self.end, "cannot sample empty range");
                 self.start + rng.below((self.end - self.start) as u64) as usize
             }
+
+            fn lower_bound(&self) -> usize {
+                self.start
+            }
         }
 
         impl SizeRange for RangeInclusive<usize> {
             fn pick(&self, rng: &mut TestRng) -> usize {
                 self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+            }
+
+            fn lower_bound(&self) -> usize {
+                *self.start()
             }
         }
 
@@ -236,12 +309,41 @@ pub mod prop {
             VecStrategy { element, size }
         }
 
-        impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R>
+        where
+            S::Value: Clone,
+        {
             type Value = Vec<S::Value>;
 
             fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
                 let n = self.size.pick(rng);
                 (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+
+            /// Vectors drop suffixes (down to the size range's lower
+            /// bound, most aggressive first), then shrink elements in
+            /// place through the element strategy.
+            fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+                let min = self.size.lower_bound();
+                let mut out: Vec<Vec<S::Value>> = Vec::new();
+                if value.len() > min {
+                    let mut keep = |n: usize| {
+                        if n < value.len() && out.iter().all(|v| v.len() != n) {
+                            out.push(value[..n].to_vec());
+                        }
+                    };
+                    keep(min);
+                    keep(min + (value.len() - min) / 2);
+                    keep(value.len() - 1);
+                }
+                for (i, element) in value.iter().enumerate() {
+                    for candidate in self.element.shrink(element) {
+                        let mut next = value.clone();
+                        next[i] = candidate;
+                        out.push(next);
+                    }
+                }
+                out
             }
         }
     }
@@ -262,6 +364,14 @@ pub mod prop {
 
             fn generate(&self, rng: &mut TestRng) -> bool {
                 rng.bool()
+            }
+
+            fn shrink(&self, value: &bool) -> Vec<bool> {
+                if *value {
+                    vec![false]
+                } else {
+                    Vec::new()
+                }
             }
         }
     }
@@ -312,6 +422,66 @@ impl fmt::Display for TestCaseError {
     }
 }
 
+/// Greedily minimizes a failing input: repeatedly asks the strategy for
+/// shrink candidates of the current failure and walks to the first
+/// candidate that still fails, until none does (or a step bound is hit,
+/// guarding against pathological shrink graphs). Returns the minimized
+/// input, the failure it produced, and the number of accepted steps.
+///
+/// Used by the [`proptest!`] runner; public so shrink behavior is testable
+/// directly.
+pub fn shrink_failure<S, F>(
+    strategy: &S,
+    mut value: S::Value,
+    mut error: TestCaseError,
+    run: &F,
+) -> (S::Value, TestCaseError, u32)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    const MAX_STEPS: u32 = 1_000;
+    let mut steps = 0u32;
+    'outer: while steps < MAX_STEPS {
+        for candidate in strategy.shrink(&value) {
+            if let Err(err) = run(&candidate) {
+                value = candidate;
+                error = err;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, error, steps)
+}
+
+/// Drives one property: generates `config.cases` inputs from `strategy`,
+/// runs `run` on each, and on the first failure minimizes the input via
+/// [`shrink_failure`] before panicking with the minimized case. This is
+/// the engine behind [`proptest!`]; the macro packs all declared arguments
+/// into one tuple strategy so every argument shrinks component-wise.
+pub fn run_cases<S, F>(name: &str, config: ProptestConfig, strategy: S, run: F)
+where
+    S: Strategy,
+    S::Value: fmt::Debug,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    for case in 0..config.cases {
+        let values = strategy.generate(&mut rng);
+        if let Err(first) = run(&values) {
+            let (minimal, error, steps) = shrink_failure(&strategy, values, first, &run);
+            panic!(
+                "property '{name}' failed at case {}/{}: {error} \
+                 (shrunk {steps} steps; minimal input: {minimal:?})",
+                case + 1,
+                config.cases,
+            );
+        }
+    }
+}
+
 /// Everything the macros need, importable with `use proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
@@ -321,7 +491,8 @@ pub mod prelude {
 }
 
 /// Declares property tests, mirroring proptest's macro. Each function body
-/// runs `config.cases` times over freshly generated inputs.
+/// runs `config.cases` times over freshly generated inputs; a failing case
+/// is minimized through [`shrink_failure`] before being reported.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -339,19 +510,18 @@ macro_rules! __proptest_impl {
         $(
             $(#[$meta])*
             fn $name() {
-                let config: $crate::ProptestConfig = $config;
-                let mut rng = $crate::TestRng::from_name(stringify!($name));
-                for case in 0..config.cases {
-                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
-                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
-                        (|| { $body Ok(()) })();
-                    if let Err(err) = outcome {
-                        panic!(
-                            "property '{}' failed at case {}/{}: {}",
-                            stringify!($name), case + 1, config.cases, err,
-                        );
-                    }
-                }
+                $crate::run_cases(
+                    stringify!($name),
+                    $config,
+                    // All argument strategies as one tuple strategy, so a
+                    // failure shrinks every argument component-wise.
+                    ($( ($strategy), )+),
+                    |values| {
+                        #[allow(unused_parens)]
+                        let ($($arg,)+) = ::std::clone::Clone::clone(values);
+                        (|| { $body Ok(()) })()
+                    },
+                );
             }
         )*
     };
@@ -439,7 +609,7 @@ mod tests {
 
     #[test]
     fn recursive_strategy_bounds_depth() {
-        #[derive(Debug)]
+        #[derive(Debug, Clone)]
         struct Node {
             children: Vec<Node>,
         }
@@ -475,6 +645,83 @@ mod tests {
             #[allow(unused)]
             fn inner(x in 0u32..4) {
                 prop_assert!(x < 2, "x was {}", x);
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    fn integer_shrink_halves_toward_start() {
+        let strat = 0u32..1000;
+        let candidates = crate::Strategy::shrink(&strat, &100);
+        assert_eq!(candidates, vec![0, 50, 99]);
+        assert!(crate::Strategy::shrink(&strat, &0).is_empty());
+        // Non-zero range starts shrink toward the start, not zero.
+        let offset = 10u32..1000;
+        assert_eq!(crate::Strategy::shrink(&offset, &12), vec![10, 11]);
+    }
+
+    #[test]
+    fn vec_shrink_drops_suffixes_and_shrinks_elements() {
+        let strat = prop::collection::vec(0u32..10, 2..6usize);
+        let value = vec![3, 7, 1, 9];
+        let candidates = crate::Strategy::shrink(&strat, &value);
+        // Suffix drops respect the lower bound of 2.
+        assert!(candidates.contains(&vec![3, 7]));
+        assert!(candidates.contains(&vec![3, 7, 1]));
+        assert!(candidates.iter().all(|v| v.len() >= 2));
+        // Element shrinks keep the length.
+        assert!(candidates.contains(&vec![0, 7, 1, 9]));
+        // A minimal value has no candidates.
+        assert!(crate::Strategy::shrink(&strat, &vec![0, 0]).is_empty());
+    }
+
+    #[test]
+    fn shrink_failure_minimizes_to_the_boundary() {
+        // Fails for x >= 17: greedy shrinking must land exactly on 17.
+        let strat = (0u32..1000,);
+        let run = |v: &(u32,)| {
+            if v.0 >= 17 {
+                Err(crate::TestCaseError::fail("too big"))
+            } else {
+                Ok(())
+            }
+        };
+        let start = (612u32,);
+        assert!(run(&start).is_err());
+        let (minimal, _, steps) =
+            crate::shrink_failure(&strat, start, crate::TestCaseError::fail("seed"), &run);
+        assert_eq!(minimal, (17,));
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn shrink_failure_drops_vec_suffixes() {
+        let strat = (prop::collection::vec(0u32..100, 0..20usize),);
+        // Fails whenever the vec contains a value >= 50.
+        let run = |v: &(Vec<u32>,)| {
+            if v.0.iter().any(|&x| x >= 50) {
+                Err(crate::TestCaseError::fail("has a big element"))
+            } else {
+                Ok(())
+            }
+        };
+        let start = (vec![80, 1, 2, 99, 4, 6],);
+        let (minimal, _, _) =
+            crate::shrink_failure(&strat, start, crate::TestCaseError::fail("seed"), &run);
+        // Suffix drops strip the passing tail, element halving then walks
+        // the survivor down to the failure boundary.
+        assert_eq!(minimal, (vec![50],));
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal input")]
+    fn macro_reports_minimized_input() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            #[allow(unused)]
+            fn inner(x in 0u32..1000) {
+                prop_assert!(x < 20, "x was {}", x);
             }
         }
         inner();

@@ -1,0 +1,222 @@
+//! Accuracy regression suite: committed golden fixtures pin the
+//! estimator's per-query output and aggregate error on the three
+//! canonical workloads, so a future change cannot silently degrade
+//! estimation quality (cf. the regression discipline argued for by the
+//! cardinality-estimation benchmark literature).
+//!
+//! Each scenario builds the synopsis **with** its HET (the full
+//! estimation stack), runs the deterministic SP/BP/CP workload, and
+//! checks against `tests/fixtures/<name>.golden`:
+//!
+//! * every per-query estimate must match the committed value (tight
+//!   tolerance — this catches any estimator drift, better or worse);
+//! * the aggregate NRMSE must not exceed the committed value by more
+//!   than 5% (the headroom exists only so a justified estimator change
+//!   can land together with regenerated fixtures).
+//!
+//! Regenerate the fixtures with
+//! `UPDATE_GOLDEN=1 cargo test --test accuracy` after an *intentional*
+//! accuracy change, and commit the diff — reviewers then see exactly
+//! which estimates moved.
+
+use xseed::prelude::*;
+
+/// Workload seed; changing it invalidates every fixture.
+const SEED: u64 = 0xACC0;
+
+struct Scenario {
+    name: &'static str,
+    dataset: Dataset,
+    scale: f64,
+    recursive: bool,
+}
+
+const SCENARIOS: [Scenario; 3] = [
+    Scenario {
+        name: "xmark",
+        dataset: Dataset::XMark10,
+        scale: 0.02,
+        recursive: false,
+    },
+    Scenario {
+        name: "dblp",
+        dataset: Dataset::Dblp,
+        scale: 0.01,
+        recursive: false,
+    },
+    Scenario {
+        name: "treebank",
+        dataset: Dataset::TreebankSmall,
+        scale: 0.02,
+        recursive: true,
+    },
+];
+
+struct Measured {
+    /// `(query text, estimate, actual)` in workload order.
+    rows: Vec<(String, f64, u64)>,
+    nrmse: f64,
+}
+
+fn measure(scenario: &Scenario) -> Measured {
+    let doc = scenario.dataset.generate_scaled(scenario.scale);
+    let config = if scenario.recursive {
+        XseedConfig::recursive_for_size(doc.element_count())
+    } else {
+        XseedConfig::default()
+    };
+    let workload = WorkloadGenerator::new(&doc, SEED).generate(&WorkloadSpec::small());
+    assert!(!workload.is_empty());
+    let (synopsis, stats) = XseedSynopsis::build_with_het(&doc, config);
+    assert!(stats.simple_entries > 0);
+
+    let storage = NokStorage::from_document(&doc);
+    let eval = Evaluator::new(&storage);
+    let mut matcher = synopsis.streaming_matcher();
+    let rows: Vec<(String, f64, u64)> = workload
+        .all()
+        .map(|q| (q.to_string(), matcher.estimate(q), eval.count(q)))
+        .collect();
+
+    // NRMSE: root-mean-squared error normalized by the mean actual
+    // cardinality of the workload.
+    let n = rows.len() as f64;
+    let mse = rows
+        .iter()
+        .map(|(_, est, act)| (est - *act as f64).powi(2))
+        .sum::<f64>()
+        / n;
+    let mean_actual = rows.iter().map(|(_, _, act)| *act as f64).sum::<f64>() / n;
+    assert!(mean_actual > 0.0, "degenerate workload: all actuals zero");
+    Measured {
+        nrmse: mse.sqrt() / mean_actual,
+        rows,
+    }
+}
+
+fn fixture_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(format!("{name}.golden"))
+}
+
+fn render(scenario: &Scenario, measured: &Measured) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# accuracy golden for {name}: dataset={dataset:?} scale={scale} seed={SEED:#x} \
+         queries={n}\n\
+         # regenerate with: UPDATE_GOLDEN=1 cargo test --test accuracy\n",
+        name = scenario.name,
+        dataset = scenario.dataset,
+        scale = scenario.scale,
+        n = measured.rows.len(),
+    ));
+    out.push_str(&format!("nrmse\t{:.9}\n", measured.nrmse));
+    for (query, est, actual) in &measured.rows {
+        out.push_str(&format!("q\t{query}\t{est:.9}\t{actual}\n"));
+    }
+    out
+}
+
+struct Golden {
+    rows: Vec<(String, f64, u64)>,
+    nrmse: f64,
+}
+
+fn parse_golden(name: &str, text: &str) -> Golden {
+    let mut rows = Vec::new();
+    let mut nrmse = None;
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields.as_slice() {
+            ["nrmse", value] => nrmse = Some(value.parse::<f64>().unwrap()),
+            ["q", query, est, actual] => rows.push((
+                query.to_string(),
+                est.parse::<f64>().unwrap(),
+                actual.parse::<u64>().unwrap(),
+            )),
+            other => panic!("{name}.golden: malformed line {other:?}"),
+        }
+    }
+    Golden {
+        rows,
+        nrmse: nrmse.unwrap_or_else(|| panic!("{name}.golden: missing nrmse line")),
+    }
+}
+
+fn check(scenario: &Scenario) {
+    let measured = measure(scenario);
+    let path = fixture_path(scenario.name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, render(scenario, &measured)).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with UPDATE_GOLDEN=1 cargo test --test accuracy",
+            path.display()
+        )
+    });
+    let golden = parse_golden(scenario.name, &text);
+
+    assert_eq!(
+        measured.rows.len(),
+        golden.rows.len(),
+        "{}: workload size changed (did the generator or seed change?)",
+        scenario.name
+    );
+    for (i, ((query, est, actual), (g_query, g_est, g_actual))) in
+        measured.rows.iter().zip(&golden.rows).enumerate()
+    {
+        assert_eq!(
+            query, g_query,
+            "{}: query {i} changed — workload generation drifted",
+            scenario.name
+        );
+        assert_eq!(
+            actual, g_actual,
+            "{}: {query}: actual cardinality changed — dataset generation drifted",
+            scenario.name
+        );
+        // Golden values are printed with 9 fractional digits, so compare
+        // against the committed rounding, not full f64 precision.
+        let tolerance = 2e-9 + 1e-9 * est.abs();
+        assert!(
+            (est - g_est).abs() <= tolerance,
+            "{}: {query}: estimate {est} drifted from golden {g_est}",
+            scenario.name
+        );
+    }
+    assert!(
+        measured.nrmse.is_finite(),
+        "{}: NRMSE must be finite",
+        scenario.name
+    );
+    assert!(
+        measured.nrmse <= golden.nrmse * 1.05 + 1e-9,
+        "{}: aggregate NRMSE regressed: {} vs golden {} — estimation quality degraded",
+        scenario.name,
+        measured.nrmse,
+        golden.nrmse
+    );
+}
+
+#[test]
+fn xmark_accuracy_matches_golden() {
+    check(&SCENARIOS[0]);
+}
+
+#[test]
+fn dblp_accuracy_matches_golden() {
+    check(&SCENARIOS[1]);
+}
+
+#[test]
+fn treebank_accuracy_matches_golden() {
+    check(&SCENARIOS[2]);
+}

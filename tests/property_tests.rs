@@ -296,6 +296,113 @@ proptest! {
     }
 }
 
+/// Builds the HET for `doc` twice — with the production streaming builder
+/// and with the retained EPT+NoK reference oracle — and asserts the two
+/// tables are entry-for-entry identical: same keys and kinds, exact
+/// cardinalities and backward selectivities bit-for-bit (both derive them
+/// from the same integer statistics), and errors equal up to the
+/// float-association noise between the streaming and materialized
+/// estimate paths.
+fn assert_streaming_het_matches_reference(
+    doc: &Document,
+    config: &xseed::xseed_core::XseedConfig,
+) -> Result<(), TestCaseError> {
+    use xseed::xseed_core::het::builder::reference::ReferenceHetBuilder;
+    use xseed::xseed_core::HetBuilder;
+
+    let kernel = xseed::xseed_core::KernelBuilder::from_document(doc);
+    let path_tree = PathTree::from_document(doc);
+    let storage = NokStorage::from_document(doc);
+    let (streamed, new_stats) = HetBuilder::new(&kernel, &path_tree, &storage, config).build();
+    let (oracle, old_stats) =
+        ReferenceHetBuilder::new(&kernel, &path_tree, &storage, config).build();
+
+    prop_assert_eq!(new_stats.simple_entries, old_stats.simple_entries);
+    prop_assert_eq!(new_stats.correlated_entries, old_stats.correlated_entries);
+    prop_assert_eq!(new_stats.exact_evaluations, old_stats.exact_evaluations);
+    prop_assert_eq!(new_stats.candidate_nodes, old_stats.candidate_nodes);
+    prop_assert_eq!(streamed.len(), oracle.len());
+    prop_assert_eq!(streamed.budget(), oracle.budget());
+
+    let index = |t: &xseed::xseed_core::HyperEdgeTable| {
+        t.entries_by_error()
+            .into_iter()
+            .map(|e| ((e.key, e.kind), (e.cardinality, e.bsel, e.error)))
+            .collect::<std::collections::HashMap<_, _>>()
+    };
+    let a = index(&streamed);
+    let b = index(&oracle);
+    prop_assert_eq!(a.len(), b.len());
+    for (k, (card_a, bsel_a, err_a)) in &a {
+        let Some((card_b, bsel_b, err_b)) = b.get(k) else {
+            return Err(TestCaseError::fail(format!("oracle misses entry {k:?}")));
+        };
+        prop_assert_eq!(card_a, card_b, "cardinality for {:?}", k);
+        prop_assert_eq!(bsel_a.to_bits(), bsel_b.to_bits(), "bsel for {:?}", k);
+        prop_assert!(
+            close(*err_a, *err_b),
+            "error for {:?}: streamed {} vs oracle {}",
+            k,
+            err_a,
+            err_b
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The streaming-driven HET builder produces a table entry-for-entry
+    /// identical to the old EPT+NoK reference construction on random
+    /// documents, across MBP settings and with/without `card_threshold`
+    /// truncation of the expansion.
+    #[test]
+    fn streaming_het_build_equals_reference_on_random_docs(doc in arb_document()) {
+        for config in [
+            XseedConfig::default(),
+            XseedConfig::default().with_bsel_threshold(0.9),
+            XseedConfig::default()
+                .with_bsel_threshold(0.9)
+                .with_max_branching_predicates(2),
+            // card_threshold truncation: the frontier stops early on both
+            // paths (the memo truncates at the materialized frontier).
+            XseedConfig::default()
+                .with_bsel_threshold(0.9)
+                .with_card_threshold(2.0),
+        ] {
+            assert_streaming_het_matches_reference(&doc, &config)?;
+        }
+    }
+}
+
+/// The streaming-driven HET builder matches the reference construction on
+/// the paper's canonical XMark/DBLP/Treebank documents, with and without
+/// `card_threshold` truncation.
+#[test]
+fn streaming_het_build_equals_reference_on_datagen_workloads() {
+    use xseed::datagen::Dataset;
+
+    // `None` = the recursive preset scaled to the generated document (the
+    // preset needs the element count, so it is computed after generation).
+    let scenarios: [(Dataset, f64, Option<XseedConfig>); 4] = [
+        (Dataset::XMark10, 0.02, Some(XseedConfig::default())),
+        (
+            Dataset::XMark10,
+            0.02,
+            Some(XseedConfig::default().with_card_threshold(2.0)),
+        ),
+        (Dataset::Dblp, 0.01, Some(XseedConfig::default())),
+        (Dataset::TreebankSmall, 0.02, None),
+    ];
+    for (dataset, scale, config) in scenarios {
+        let doc = dataset.generate_scaled(scale);
+        let config = config.unwrap_or_else(|| XseedConfig::recursive_for_size(doc.element_count()));
+        assert_streaming_het_matches_reference(&doc, &config)
+            .unwrap_or_else(|e| panic!("{dataset:?}: {e}"));
+    }
+}
+
 /// The streaming matcher agrees with the materialized oracle on realistic
 /// SP/BP/CP workloads over the paper's synthetic datasets — a
 /// non-recursive one with the default configuration and the
