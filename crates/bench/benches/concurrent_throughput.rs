@@ -15,6 +15,11 @@
 //! (`cpus_available` in the JSON): the snapshot sharing, queues, and
 //! stealing are exercised at every worker count regardless, but wall-clock
 //! speedup from threads alone cannot exceed the core count.
+//!
+//! Set `CONCURRENT_SMOKE=1` to run a single pass per measurement and skip
+//! the JSON write (the CI smoke mode keeping the whole service pipeline —
+//! catalog, queues, stealing, compiled cache, overload shed — compiling
+//! and exercised).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::{Dataset, WorkloadGenerator, WorkloadSpec};
@@ -75,19 +80,27 @@ fn scenarios() -> Vec<Scenario> {
     out
 }
 
+/// `true` when the CI smoke mode is active: one pass per measurement,
+/// no criterion sampling, no JSON write.
+fn smoke() -> bool {
+    std::env::var_os("CONCURRENT_SMOKE").is_some()
+}
+
 /// Times `pass` (one full run over the workload, returning the number of
 /// estimates produced) until it has run for ~250 ms, returning ns per
-/// estimate. One untimed warm-up pass populates caches.
+/// estimate. One untimed warm-up pass populates caches. In smoke mode a
+/// single timed pass follows the warm-up instead of the sampling loop.
 fn time_passes(mut pass: impl FnMut() -> usize) -> f64 {
     let mut estimates = pass();
     assert!(estimates > 0);
     estimates = 0;
+    let single_round = smoke();
     let start = Instant::now();
     let mut rounds = 0u32;
     loop {
         estimates += pass();
         rounds += 1;
-        if start.elapsed().as_millis() >= 250 && rounds >= 2 {
+        if single_round || (start.elapsed().as_millis() >= 250 && rounds >= 2) {
             break;
         }
     }
@@ -211,8 +224,10 @@ fn concurrent_benches(c: &mut Criterion) {
         .join(", ");
     let _ = write!(report, "  \"cpus_available\": {cpus},\n  \"worker_counts\": [{counts}],\n  \"baseline\": \"single-threaded parse + one-shot XseedSynopsis::estimate per query (pre-service client)\",\n  \"note\": \"worker scaling is bounded by cpus_available; service wins over the baseline come from the plan cache, the per-snapshot compiled-query cache, snapshot sharing, and the per-batch frontier memo\",\n  \"datasets\": {{\n");
 
-    // Criterion-visible spot check: one-shot service estimate latency.
-    {
+    // Criterion-visible spot check: one-shot service estimate latency
+    // (skipped in smoke mode — the measured passes below already cover
+    // the same path once).
+    if !smoke() {
         let mut group = c.benchmark_group("concurrent_throughput");
         group.sample_size(10);
         for scenario in &scenarios {
@@ -379,6 +394,10 @@ fn concurrent_benches(c: &mut Criterion) {
     report.push('}');
     report.push('\n');
 
+    if smoke() {
+        println!("CONCURRENT_SMOKE set: skipping BENCH_concurrent_throughput.json write");
+        return;
+    }
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../BENCH_concurrent_throughput.json"

@@ -7,6 +7,10 @@
 //! estimates/sec for both behaviors on an XMark workload and a recursive
 //! Treebank-style workload, and records the results (and the one-shot
 //! speedup) in `BENCH_estimate_throughput.json` at the workspace root.
+//!
+//! Set `ESTIMATE_SMOKE=1` to run a single pass per measurement and skip
+//! the JSON write (the CI smoke mode keeping every measured path —
+//! regenerating, streaming, batched, memoized — compiling and exercised).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::{Dataset, WorkloadGenerator, WorkloadSpec};
@@ -52,7 +56,15 @@ fn estimate_regenerating(synopsis: &XseedSynopsis, query: &PathExpr) -> f64 {
     Matcher::new(synopsis.kernel(), &ept, synopsis.het()).estimate(query)
 }
 
-/// Times `f` run over every query, returning ns per estimate.
+/// `true` when the CI smoke mode is active: one pass per measurement,
+/// no criterion sampling, no JSON write.
+fn smoke() -> bool {
+    std::env::var_os("ESTIMATE_SMOKE").is_some()
+}
+
+/// Times `f` run over every query, returning ns per estimate. In smoke
+/// mode a single timed pass follows the warm-up instead of the ~200 ms
+/// sampling loop.
 fn time_per_estimate(queries: &[PathExpr], mut f: impl FnMut(&PathExpr) -> f64) -> f64 {
     // Warm up once (builds caches), then time enough rounds to cover at
     // least ~200 ms.
@@ -60,6 +72,7 @@ fn time_per_estimate(queries: &[PathExpr], mut f: impl FnMut(&PathExpr) -> f64) 
     for q in queries {
         sink += f(q);
     }
+    let single_round = smoke();
     let mut rounds = 0u32;
     let start = Instant::now();
     loop {
@@ -67,7 +80,7 @@ fn time_per_estimate(queries: &[PathExpr], mut f: impl FnMut(&PathExpr) -> f64) 
             sink += f(q);
         }
         rounds += 1;
-        if start.elapsed().as_millis() >= 200 && rounds >= 2 {
+        if single_round || (start.elapsed().as_millis() >= 200 && rounds >= 2) {
             break;
         }
     }
@@ -113,23 +126,27 @@ fn throughput_benches(c: &mut Criterion) {
     let scenarios = scenarios();
     let mut results = Vec::new();
 
-    let mut group = c.benchmark_group("estimate_throughput");
-    group.sample_size(10);
-    for scenario in &scenarios {
-        let s = &scenario.synopsis;
-        let qs = &scenario.queries;
-        group.bench_with_input(
-            BenchmarkId::new("one_shot_regenerate", scenario.name),
-            &(),
-            |b, _| b.iter(|| estimate_regenerating(s, &qs[0])),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("one_shot_streaming", scenario.name),
-            &(),
-            |b, _| b.iter(|| s.estimate(&qs[0])),
-        );
+    // The criterion sampling adds nothing in smoke mode — the measured
+    // passes below already exercise every code path once.
+    if !smoke() {
+        let mut group = c.benchmark_group("estimate_throughput");
+        group.sample_size(10);
+        for scenario in &scenarios {
+            let s = &scenario.synopsis;
+            let qs = &scenario.queries;
+            group.bench_with_input(
+                BenchmarkId::new("one_shot_regenerate", scenario.name),
+                &(),
+                |b, _| b.iter(|| estimate_regenerating(s, &qs[0])),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("one_shot_streaming", scenario.name),
+                &(),
+                |b, _| b.iter(|| s.estimate(&qs[0])),
+            );
+        }
+        group.finish();
     }
-    group.finish();
 
     for scenario in &scenarios {
         let s = &scenario.synopsis;
@@ -173,7 +190,11 @@ fn throughput_benches(c: &mut Criterion) {
             batched_memo,
         ));
     }
-    write_baseline(&results);
+    if smoke() {
+        println!("ESTIMATE_SMOKE set: skipping BENCH_estimate_throughput.json write");
+    } else {
+        write_baseline(&results);
+    }
 }
 
 criterion_group!(benches, throughput_benches);

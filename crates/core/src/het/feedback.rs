@@ -11,7 +11,7 @@
 use crate::het::hash::{correlated_key, path_hash};
 use crate::het::table::HyperEdgeTable;
 use crate::kernel::Kernel;
-use xmlkit::names::LabelId;
+use xmlkit::names::{LabelId, NameTable};
 use xpathkit::ast::{Axis, NodeTest, PathExpr};
 
 /// Outcome of a feedback submission.
@@ -23,6 +23,125 @@ pub enum FeedbackOutcome {
     Correlated,
     /// The query shape cannot be stored in the HET and was ignored.
     Unsupported,
+}
+
+impl FeedbackOutcome {
+    /// The stable wire token for this outcome (`simple` / `correlated` /
+    /// `unsupported`) — what the serving layer's `FEEDBACK` reply carries.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FeedbackOutcome::SimplePath => "simple",
+            FeedbackOutcome::Correlated => "correlated",
+            FeedbackOutcome::Unsupported => "unsupported",
+        }
+    }
+}
+
+impl std::fmt::Display for FeedbackOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The storable hyper-edge a query shape maps to, resolved against a
+/// name table. This is the shared decision between [`classify`]
+/// (shape-only, no mutation) and [`record_feedback`] (applies the
+/// observation), so the two can never disagree. Within one name table
+/// the analysis runs once — the synopsis derives the shape and hands it
+/// to [`record_shape`]. (A caller that classified against a *different*
+/// table — e.g. a published snapshot's, outside any lock — re-derives at
+/// recording time so the stored keys always match the state being
+/// mutated.)
+pub(crate) enum FeedbackShape {
+    Simple(u64),
+    Correlated {
+        parent_labels: Vec<LabelId>,
+        pred_labels: Vec<LabelId>,
+        result_label: LabelId,
+    },
+    Unsupported,
+}
+
+impl FeedbackShape {
+    pub(crate) fn outcome(&self) -> FeedbackOutcome {
+        match self {
+            FeedbackShape::Simple(_) => FeedbackOutcome::SimplePath,
+            FeedbackShape::Correlated { .. } => FeedbackOutcome::Correlated,
+            FeedbackShape::Unsupported => FeedbackOutcome::Unsupported,
+        }
+    }
+}
+
+pub(crate) fn feedback_shape(names: &NameTable, expr: &PathExpr) -> FeedbackShape {
+    if let Some(key) = crate::het::hash::simple_path_hash(names, expr) {
+        return FeedbackShape::Simple(key);
+    }
+    if let Some((parent_labels, pred_labels, result_label)) = branching_shape(names, expr) {
+        return FeedbackShape::Correlated {
+            parent_labels,
+            pred_labels,
+            result_label,
+        };
+    }
+    FeedbackShape::Unsupported
+}
+
+/// Applies an already-classified shape to `het`. The companion of
+/// [`feedback_shape`]: together they are [`record_feedback`], split so a
+/// caller can classify once (possibly lock-free, against a published
+/// snapshot's names) and record later without re-deriving the shape.
+pub(crate) fn record_shape(
+    het: &mut HyperEdgeTable,
+    shape: FeedbackShape,
+    estimated: f64,
+    actual: u64,
+    base_cardinality: Option<u64>,
+) -> FeedbackOutcome {
+    let error = (estimated - actual as f64).abs();
+    match shape {
+        FeedbackShape::Simple(key) => {
+            // The feedback gives the cardinality; the backward selectivity
+            // of the path is not observable from the count alone, so keep
+            // a neutral value unless a base cardinality was provided.
+            let bsel = match base_cardinality {
+                Some(base) if base > 0 => (actual as f64 / base as f64).min(1.0),
+                _ => 1.0,
+            };
+            het.insert_simple(key, actual, bsel, error);
+            het.rebuild_residency();
+            FeedbackOutcome::SimplePath
+        }
+        FeedbackShape::Correlated {
+            parent_labels,
+            pred_labels,
+            result_label,
+        } => {
+            let base = base_cardinality.unwrap_or(0);
+            let bsel = if base > 0 {
+                (actual as f64 / base as f64).min(1.0)
+            } else if estimated > 0.0 {
+                (actual as f64 / estimated).min(1.0)
+            } else {
+                1.0
+            };
+            let key = correlated_key(path_hash(&parent_labels), &pred_labels, result_label);
+            het.insert_correlated(key, actual, bsel, error);
+            het.rebuild_residency();
+            FeedbackOutcome::Correlated
+        }
+        FeedbackShape::Unsupported => FeedbackOutcome::Unsupported,
+    }
+}
+
+/// The outcome feeding back `expr` *would* have, without touching any
+/// table: whether the query maps to a simple-path entry, a correlated
+/// entry, or no storable hyper-edge at all. Needs only the name table,
+/// so it can run lock-free against a published snapshot. Callers that
+/// must avoid side effects for unsupported shapes (e.g. an epoch-bumping
+/// synopsis update) check this first; [`record_feedback`] makes the same
+/// decision through the same shape analysis.
+pub fn classify(names: &NameTable, expr: &PathExpr) -> FeedbackOutcome {
+    feedback_shape(names, expr).outcome()
 }
 
 /// Applies query feedback to `het`.
@@ -42,41 +161,21 @@ pub fn record_feedback(
     actual: u64,
     base_cardinality: Option<u64>,
 ) -> FeedbackOutcome {
-    let error = (estimated - actual as f64).abs();
-    // Shared shape definition with the matchers' fast paths.
-    if let Some(key) = crate::het::hash::simple_path_hash(kernel.names(), expr) {
-        // The feedback gives the cardinality; the backward selectivity of
-        // the path is not observable from the count alone, so keep a
-        // neutral value unless a base cardinality was provided.
-        let bsel = match base_cardinality {
-            Some(base) if base > 0 => (actual as f64 / base as f64).min(1.0),
-            _ => 1.0,
-        };
-        het.insert_simple(key, actual, bsel, error);
-        het.rebuild_residency();
-        return FeedbackOutcome::SimplePath;
-    }
-    if let Some((parent_labels, pred_labels, result_label)) = branching_shape(kernel, expr) {
-        let base = base_cardinality.unwrap_or(0);
-        let bsel = if base > 0 {
-            (actual as f64 / base as f64).min(1.0)
-        } else if estimated > 0.0 {
-            (actual as f64 / estimated).min(1.0)
-        } else {
-            1.0
-        };
-        let key = correlated_key(path_hash(&parent_labels), &pred_labels, result_label);
-        het.insert_correlated(key, actual, bsel, error);
-        het.rebuild_residency();
-        return FeedbackOutcome::Correlated;
-    }
-    FeedbackOutcome::Unsupported
+    // Shared shape definition with the matchers' fast paths (and with
+    // `classify`).
+    record_shape(
+        het,
+        feedback_shape(kernel.names(), expr),
+        estimated,
+        actual,
+        base_cardinality,
+    )
 }
 
 /// Decomposes `p[q1]...[qm]/r` (all child axes, name tests, single-step
 /// leaf predicates) into `(labels of p, predicate labels, label of r)`.
 fn branching_shape(
-    kernel: &Kernel,
+    names: &NameTable,
     expr: &PathExpr,
 ) -> Option<(Vec<LabelId>, Vec<LabelId>, LabelId)> {
     if expr.len() < 2 {
@@ -86,7 +185,7 @@ fn branching_shape(
     if last.axis != Axis::Child || !last.predicates.is_empty() {
         return None;
     }
-    let result_label = resolve(kernel, &last.test)?;
+    let result_label = resolve(names, &last.test)?;
     let (pred_step, clean_prefix) = prefix.split_last()?;
     if pred_step.axis != Axis::Child || pred_step.predicates.is_empty() {
         return None;
@@ -96,9 +195,9 @@ fn branching_shape(
         if step.axis != Axis::Child || !step.predicates.is_empty() {
             return None;
         }
-        parent_labels.push(resolve(kernel, &step.test)?);
+        parent_labels.push(resolve(names, &step.test)?);
     }
-    parent_labels.push(resolve(kernel, &pred_step.test)?);
+    parent_labels.push(resolve(names, &pred_step.test)?);
     let mut pred_labels = Vec::with_capacity(pred_step.predicates.len());
     for pred in &pred_step.predicates {
         if pred.len() != 1 {
@@ -108,14 +207,14 @@ fn branching_shape(
         if only.axis != Axis::Child || !only.predicates.is_empty() {
             return None;
         }
-        pred_labels.push(resolve(kernel, &only.test)?);
+        pred_labels.push(resolve(names, &only.test)?);
     }
     Some((parent_labels, pred_labels, result_label))
 }
 
-fn resolve(kernel: &Kernel, test: &NodeTest) -> Option<LabelId> {
+fn resolve(names: &NameTable, test: &NodeTest) -> Option<LabelId> {
     match test {
-        NodeTest::Name(n) => kernel.names().lookup(n),
+        NodeTest::Name(n) => names.lookup(n),
         NodeTest::Wildcard => None,
     }
 }
@@ -185,6 +284,28 @@ mod tests {
         let mut het = HyperEdgeTable::new();
         let outcome = record_feedback(&mut het, &kernel, &parse("/a/zzz").unwrap(), 0.0, 0, None);
         assert_eq!(outcome, FeedbackOutcome::Unsupported);
+    }
+
+    #[test]
+    fn classify_agrees_with_record_feedback() {
+        let kernel = kernel();
+        for (q, expected) in [
+            ("/a/c/s", FeedbackOutcome::SimplePath),
+            ("/a/c/s[t]/p", FeedbackOutcome::Correlated),
+            ("/a/c/s[t][s]/p", FeedbackOutcome::Correlated),
+            ("//s//p", FeedbackOutcome::Unsupported),
+            ("/a/*/t", FeedbackOutcome::Unsupported),
+            ("/a/zzz", FeedbackOutcome::Unsupported),
+        ] {
+            let expr = parse(q).unwrap();
+            assert_eq!(classify(kernel.names(), &expr), expected, "classify {q}");
+            let mut het = HyperEdgeTable::new();
+            let recorded = record_feedback(&mut het, &kernel, &expr, 1.0, 2, None);
+            assert_eq!(recorded, expected, "record {q}");
+        }
+        assert_eq!(FeedbackOutcome::SimplePath.to_string(), "simple");
+        assert_eq!(FeedbackOutcome::Correlated.as_str(), "correlated");
+        assert_eq!(FeedbackOutcome::Unsupported.as_str(), "unsupported");
     }
 
     #[test]

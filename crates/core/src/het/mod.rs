@@ -34,5 +34,6 @@ pub use builder::{
     BselThresholdStrategy, CandidateContext, CandidateStrategy, HetBuildStats, HetBuilder,
     PerLevelBudgetStrategy, TopKErrorStrategy,
 };
+pub use feedback::FeedbackOutcome;
 pub use hash::{correlated_key, inc_hash, path_hash, PATH_HASH_SEED};
 pub use table::{HetEntryKind, HyperEdgeTable};

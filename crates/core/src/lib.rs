@@ -50,8 +50,10 @@ pub use estimate::{
     FrontierMemo, Matcher, StreamingMatcher, Traveler,
 };
 pub use het::{
-    BselThresholdStrategy, CandidateContext, CandidateStrategy, HetBuildStats, HetBuilder,
-    HyperEdgeTable, PerLevelBudgetStrategy, TopKErrorStrategy,
+    BselThresholdStrategy, CandidateContext, CandidateStrategy, FeedbackOutcome, HetBuildStats,
+    HetBuilder, HyperEdgeTable, PerLevelBudgetStrategy, TopKErrorStrategy,
 };
 pub use kernel::{EdgeLabel, FrozenKernel, Kernel, KernelBuilder};
-pub use synopsis::{EstimateReport, SynopsisEstimator, SynopsisSnapshot, XseedSynopsis};
+pub use synopsis::{
+    EstimateReport, FeedbackReport, SynopsisEstimator, SynopsisSnapshot, XseedSynopsis,
+};

@@ -11,7 +11,7 @@ use crate::estimate::streaming::{
     CompiledCacheStats, CompiledPlanCache, FrontierMemo, StreamingMatcher,
 };
 use crate::het::builder::{HetBuildStats, HetBuilder};
-use crate::het::feedback::{record_feedback, FeedbackOutcome};
+use crate::het::feedback::FeedbackOutcome;
 use crate::het::table::HyperEdgeTable;
 use crate::kernel::{FrozenKernel, Kernel, KernelBuilder};
 use nokstore::{NokStorage, PathTree};
@@ -29,6 +29,23 @@ pub struct EstimateReport {
     /// for this estimate — at most (and, without reachability pruning,
     /// exactly) the size of the materialized EPT.
     pub ept_nodes: usize,
+}
+
+/// Result of one feedback submission
+/// ([`XseedSynopsis::record_feedback_report`]): what was recorded plus the
+/// estimate-vs-actual delta the synopsis was carrying for the query. The
+/// `error` is the absolute-error mass a maintenance policy accumulates to
+/// decide when a synopsis has drifted far enough to rebuild its HET.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackReport {
+    /// What kind of hyper-edge entry (if any) the feedback updated.
+    pub outcome: FeedbackOutcome,
+    /// The synopsis' estimate for the query *before* the feedback applied.
+    pub estimated: f64,
+    /// The observed cardinality that was fed back.
+    pub actual: u64,
+    /// `|estimated - actual|` — the absolute error the feedback exposed.
+    pub error: f64,
 }
 
 /// The XSEED synopsis.
@@ -335,20 +352,119 @@ impl XseedSynopsis {
         actual: u64,
         base_cardinality: Option<u64>,
     ) -> FeedbackOutcome {
-        self.invalidate_snapshot();
+        self.record_feedback_report(expr, actual, base_cardinality)
+            .outcome
+    }
+
+    /// [`XseedSynopsis::record_feedback`] with full diagnostics: the
+    /// estimate the synopsis held before the feedback and the absolute
+    /// error it exposed — the quantity a maintenance policy accumulates.
+    ///
+    /// Unsupported query shapes are **side-effect free**: the shape is
+    /// classified before anything is touched (and only once — the same
+    /// analysis drives the recording), so ignored feedback neither bumps
+    /// the epoch nor invalidates published snapshots.
+    pub fn record_feedback_report(
+        &mut self,
+        expr: &PathExpr,
+        actual: u64,
+        base_cardinality: Option<u64>,
+    ) -> FeedbackReport {
         let estimated = self.estimate(expr);
+        self.apply_feedback(expr, estimated, actual, base_cardinality)
+    }
+
+    /// [`XseedSynopsis::record_feedback_report`] with the prior estimate
+    /// supplied by the caller — the serving layer computes it from the
+    /// *published* snapshot outside any writer lock (it is exactly the
+    /// estimate the feedback's client was served), so only the cheap HET
+    /// insert runs under exclusive access.
+    pub fn apply_feedback(
+        &mut self,
+        expr: &PathExpr,
+        estimated: f64,
+        actual: u64,
+        base_cardinality: Option<u64>,
+    ) -> FeedbackReport {
+        let report = self.apply_feedback_deferred(expr, estimated, actual, base_cardinality);
+        if report.outcome != FeedbackOutcome::Unsupported {
+            self.reapply_het_budget();
+        }
+        report
+    }
+
+    /// [`XseedSynopsis::apply_feedback`] without the budget re-trim —
+    /// batch callers apply many observations and re-trim once at the end
+    /// ([`XseedSynopsis::record_feedback_batch_reports`]) instead of
+    /// paying a residency rebuild per item.
+    fn apply_feedback_deferred(
+        &mut self,
+        expr: &PathExpr,
+        estimated: f64,
+        actual: u64,
+        base_cardinality: Option<u64>,
+    ) -> FeedbackReport {
+        let error = (estimated - actual as f64).abs();
+        let shape = crate::het::feedback::feedback_shape(self.kernel.names(), expr);
+        let outcome = shape.outcome();
+        if outcome == FeedbackOutcome::Unsupported {
+            return FeedbackReport {
+                outcome,
+                estimated,
+                actual,
+                error,
+            };
+        }
+        self.invalidate_snapshot();
         let het = Arc::make_mut(
             self.het
                 .get_or_insert_with(|| Arc::new(HyperEdgeTable::new())),
         );
-        let outcome = record_feedback(het, &self.kernel, expr, estimated, actual, base_cardinality);
-        // Re-apply the budget in case the new entry displaced others.
-        let budget = self
-            .config
-            .memory_budget
-            .map(|total| total.saturating_sub(self.kernel.size_bytes()));
-        het.set_budget(budget);
-        outcome
+        let recorded =
+            crate::het::feedback::record_shape(het, shape, estimated, actual, base_cardinality);
+        debug_assert_eq!(recorded, outcome);
+        FeedbackReport {
+            outcome: recorded,
+            estimated,
+            actual,
+            error,
+        }
+    }
+
+    /// Re-applies the memory budget to the HET (a new entry may displace
+    /// others once the budget re-trims residency).
+    fn reapply_het_budget(&mut self) {
+        if let Some(het) = &mut self.het {
+            let budget = self
+                .config
+                .memory_budget
+                .map(|total| total.saturating_sub(self.kernel.size_bytes()));
+            Arc::make_mut(het).set_budget(budget);
+        }
+    }
+
+    /// Applies a whole sequence of observations, estimating each against
+    /// the state left by the items before it (sequential refinement) and
+    /// re-applying the memory budget **once** at the end — the batch form
+    /// of [`XseedSynopsis::record_feedback_report`].
+    pub fn record_feedback_batch_reports<'a>(
+        &mut self,
+        items: impl IntoIterator<Item = (&'a PathExpr, u64, Option<u64>)>,
+    ) -> Vec<FeedbackReport> {
+        let reports: Vec<FeedbackReport> = items
+            .into_iter()
+            .map(|(expr, actual, base)| {
+                let estimated = self.estimate(expr);
+                self.apply_feedback_deferred(expr, estimated, actual, base)
+            })
+            .collect();
+        if reports
+            .iter()
+            .any(|r| r.outcome != FeedbackOutcome::Unsupported)
+        {
+            self.reapply_het_budget();
+        }
+        reports
     }
 
     /// Changes the total memory budget (kernel + HET) and re-trims the HET
@@ -695,6 +811,34 @@ mod tests {
         assert_eq!(outcome, FeedbackOutcome::SimplePath);
         let after = synopsis.estimate(&expr);
         assert!((after - actual as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn feedback_report_carries_error_and_skips_epoch_on_unsupported() {
+        let doc = figure4_document();
+        let storage = NokStorage::from_document(&doc);
+        let eval = Evaluator::new(&storage);
+        let mut synopsis = XseedSynopsis::build(&doc, XseedConfig::default());
+        let expr = parse("/a/b/d/e").unwrap();
+        let actual = eval.count(&expr);
+        let before = synopsis.estimate(&expr);
+        let epoch_before = synopsis.epoch();
+
+        let report = synopsis.record_feedback_report(&expr, actual, None);
+        assert_eq!(report.outcome, FeedbackOutcome::SimplePath);
+        assert_eq!(report.actual, actual);
+        assert!((report.estimated - before).abs() < 1e-12);
+        assert!((report.error - (before - actual as f64).abs()).abs() < 1e-12);
+        assert!(report.error > 1e-6, "figure 4 kernel estimate is inexact");
+        assert!(synopsis.epoch() > epoch_before, "applied feedback bumps");
+
+        // Unsupported shapes are side-effect free: no epoch bump, no new
+        // entries, and the report still carries the delta.
+        let epoch = synopsis.epoch();
+        let unsupported = synopsis.record_feedback_report(&parse("//e//f").unwrap(), 3, None);
+        assert_eq!(unsupported.outcome, FeedbackOutcome::Unsupported);
+        assert_eq!(synopsis.epoch(), epoch, "ignored feedback must not bump");
+        assert!((unsupported.error - (unsupported.estimated - 3.0).abs()).abs() < 1e-12);
     }
 
     #[test]

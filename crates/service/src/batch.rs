@@ -13,10 +13,33 @@
 //! ([`xseed_core::CompiledPlanCache`]): a plan seen before on this
 //! snapshot skips label resolution entirely, so a plan-cache hit pays
 //! neither the parse nor the compile on the hot path.
+//!
+//! Feedback also batches: a [`FeedbackItem`] slice routed through
+//! [`crate::Catalog::record_feedback_batch`] (or
+//! [`crate::Service::feedback_batch`]) applies every observation under
+//! one entry update — one epoch bump and one snapshot publication for
+//! the whole batch, with the maintenance policy evaluated once over the
+//! batch's accumulated error mass.
 
 use std::sync::Arc;
 use xpathkit::QueryPlan;
 use xseed_core::SynopsisSnapshot;
+
+/// One observed cardinality in a feedback batch: the executed query (a
+/// cached plan, so repeated feedback skips the parser) plus what the
+/// execution engine actually saw. `base` is the cardinality of the same
+/// path without predicates, when known — it lets branching feedback
+/// derive an exact correlated selectivity (see
+/// [`xseed_core::het::feedback::record_feedback`]).
+#[derive(Debug, Clone)]
+pub struct FeedbackItem {
+    /// The executed query.
+    pub query: Arc<QueryPlan>,
+    /// The observed cardinality.
+    pub actual: u64,
+    /// Cardinality of the predicate-free base path, if known.
+    pub base: Option<u64>,
+}
 
 /// Estimates every plan of `batch` over one snapshot pass, returning the
 /// estimates in input order. Matcher selection (memoized replay vs cold

@@ -9,7 +9,7 @@
 //! ```text
 //! xseed-serve [--workers N] [--queue-capacity Q] [--tcp ADDR]
 //!             [--max-connections C] [--idle-timeout SECS]
-//!             [--allow-fs-load]
+//!             [--allow-fs-load] [--maintain-error-mass X]
 //! ```
 //!
 //! * `--workers N` — estimation worker threads (default: the CPU count).
@@ -23,6 +23,11 @@
 //! * `--allow-fs-load` — permit `LOAD <name> <path>` filesystem reads for
 //!   TCP sessions (stdin sessions always may; see the security note in
 //!   `docs/PROTOCOL.md`).
+//! * `--maintain-error-mass X` — make every `LOAD` retain its document
+//!   and rebuild the HET automatically once `FEEDBACK` accumulates `X`
+//!   absolute error (per document). Without it, retention and policies
+//!   are per-document (`LOAD … retain` + `MAINTAIN`); see
+//!   `docs/OPERATIONS.md` for sizing the bound.
 //!
 //! Example session:
 //!
@@ -37,7 +42,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 use xseed_service::protocol::ProtocolOptions;
-use xseed_service::{serve_stream, Catalog, ServerConfig, Service, ServiceConfig, TcpServer};
+use xseed_service::{
+    serve_stream, Catalog, MaintenancePolicy, ServerConfig, Service, ServiceConfig, TcpServer,
+};
 
 struct Args {
     workers: Option<usize>,
@@ -46,10 +53,12 @@ struct Args {
     max_connections: usize,
     idle_timeout_secs: u64,
     allow_fs_load: bool,
+    maintain_error_mass: Option<f64>,
 }
 
 const USAGE: &str = "usage: xseed-serve [--workers N] [--queue-capacity Q] [--tcp ADDR] \
-                     [--max-connections C] [--idle-timeout SECS] [--allow-fs-load]";
+                     [--max-connections C] [--idle-timeout SECS] [--allow-fs-load] \
+                     [--maintain-error-mass X]";
 
 /// `Ok(None)` means `--help` was requested.
 fn parse_args() -> Result<Option<Args>, String> {
@@ -60,6 +69,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         max_connections: 64,
         idle_timeout_secs: 300,
         allow_fs_load: false,
+        maintain_error_mass: None,
     };
     let mut it = std::env::args().skip(1);
     let parse = |flag: &str, value: Option<String>| -> Result<u64, String> {
@@ -78,6 +88,15 @@ fn parse_args() -> Result<Option<Args>, String> {
             }
             "--idle-timeout" => args.idle_timeout_secs = parse("--idle-timeout", it.next())?,
             "--allow-fs-load" => args.allow_fs_load = true,
+            "--maintain-error-mass" => {
+                let flag = "--maintain-error-mass";
+                let v = it.next().ok_or(format!("{flag} needs a value"))?;
+                let bound: f64 = v.parse().map_err(|_| format!("bad {flag} value '{v}'"))?;
+                if !bound.is_finite() || bound <= 0.0 {
+                    return Err(format!("bad {flag} value '{v}' (want a positive number)"));
+                }
+                args.maintain_error_mass = Some(bound);
+            }
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -111,6 +130,15 @@ fn main() -> ExitCode {
         config.workers, config.queue_capacity
     );
     let service = Arc::new(Service::new(Arc::new(Catalog::new()), config));
+    let auto_maintenance = args
+        .maintain_error_mass
+        .map(MaintenancePolicy::ErrorMassBound);
+    if let Some(MaintenancePolicy::ErrorMassBound(bound)) = auto_maintenance {
+        eprintln!(
+            "xseed-serve: self-maintenance armed — every LOAD retains its document \
+             and rebuilds the HET at {bound} accumulated error"
+        );
+    }
 
     match args.tcp {
         Some(addr) => {
@@ -118,6 +146,7 @@ fn main() -> ExitCode {
             // allowed; builtin dataset scales stay capped either way.
             let mut options = ProtocolOptions::remote();
             options.allow_fs_load = args.allow_fs_load;
+            options.auto_maintenance = auto_maintenance;
             let server_config = ServerConfig {
                 max_connections: args.max_connections,
                 idle_timeout: (args.idle_timeout_secs > 0)
@@ -142,12 +171,9 @@ fn main() -> ExitCode {
         }
         None => {
             let stdin = std::io::stdin();
-            serve_stream(
-                &service,
-                &ProtocolOptions::local(),
-                stdin.lock(),
-                std::io::stdout().lock(),
-            );
+            let mut options = ProtocolOptions::local();
+            options.auto_maintenance = auto_maintenance;
+            serve_stream(&service, &options, stdin.lock(), std::io::stdout().lock());
         }
     }
     ExitCode::SUCCESS

@@ -19,17 +19,168 @@
 //! replaced entry's epoch — and removed names remember their last epoch —
 //! so `(name, epoch)` remains a valid staleness key across swaps,
 //! including remove + re-insert.
+//!
+//! ## Self-maintenance
+//!
+//! Each entry optionally **retains its source document**
+//! ([`RetentionPolicy::Retain`]), carries a [`MaintenancePolicy`], and
+//! accumulates the absolute-error mass that query feedback
+//! ([`Catalog::record_feedback`]) exposes. When the policy decides the
+//! synopsis has drifted far enough *and* the document is retained, the
+//! feedback result reports `rebuild_due` — the serving layer's
+//! maintenance thread then calls [`Catalog::rebuild_het_retained`], which
+//! rebuilds the HET from the retained document (no caller-supplied
+//! document needed) with the entry's configured
+//! [`xseed_core::CandidateStrategy`] and resets the drift accounting.
 
+use crate::batch::FeedbackItem;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 use xmlkit::tree::Document;
-use xseed_core::{SynopsisSnapshot, XseedConfig, XseedSynopsis};
+use xpathkit::ast::PathExpr;
+use xseed_core::{
+    BselThresholdStrategy, CandidateContext, CandidateStrategy, FeedbackOutcome, FeedbackReport,
+    SynopsisSnapshot, XseedConfig, XseedSynopsis,
+};
+
+/// Whether a load keeps the source [`Document`] alongside the synopsis.
+///
+/// Retention is what makes automatic HET maintenance possible: a rebuild
+/// needs the document's exact statistics, and a dropped document would
+/// force the caller back into the loop. The cost is the document's heap
+/// footprint (typically an order of magnitude above the synopsis itself —
+/// see `docs/OPERATIONS.md` for sizing guidance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetentionPolicy {
+    /// Build the synopsis and drop the document (the pre-maintenance
+    /// behavior, and the default).
+    #[default]
+    Drop,
+    /// Keep an `Arc` of the document in the entry for feedback-driven
+    /// rebuilds.
+    Retain,
+}
+
+/// When the catalog should consider a synopsis due for an automatic HET
+/// rebuild. Tracked per document; evaluated after every applied feedback.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum MaintenancePolicy {
+    /// Never triggers automatically; [`Catalog::rebuild_het_retained`] /
+    /// [`Catalog::rebuild_het`] remain available. The default.
+    #[default]
+    Manual,
+    /// Due when the accumulated absolute-error mass from feedback
+    /// (`Σ |estimated − actual|` since the last rebuild) reaches the
+    /// bound.
+    ErrorMassBound(f64),
+    /// Due every `n` applied feedbacks (a count schedule for workloads
+    /// where per-query error magnitudes are not comparable).
+    FeedbackCount(u64),
+}
+
+/// Per-entry maintenance accounting, behind its own lock so feedback
+/// bookkeeping never contends with the read path.
+struct MaintenanceState {
+    /// The retained source document, if any.
+    document: Option<Arc<Document>>,
+    policy: MaintenancePolicy,
+    /// Strategy handed to automatic rebuilds.
+    strategy: Arc<dyn CandidateStrategy + Send + Sync>,
+    /// `Σ |estimated − actual|` of applied feedback since the last rebuild.
+    error_mass: f64,
+    /// Applied feedbacks since the last rebuild (drives
+    /// [`MaintenancePolicy::FeedbackCount`]).
+    feedback_since_rebuild: u64,
+    /// Lifetime counters, surfaced through [`DocumentInfo`].
+    feedback_applied: u64,
+    feedback_ignored: u64,
+    rebuilds: u64,
+    /// A rebuild has been reported due but has not completed yet;
+    /// suppresses duplicate triggers while feedback keeps arriving.
+    rebuild_pending: bool,
+}
+
+impl MaintenanceState {
+    fn new(document: Option<Arc<Document>>, policy: MaintenancePolicy) -> Self {
+        MaintenanceState {
+            document,
+            policy,
+            strategy: Arc::new(BselThresholdStrategy),
+            error_mass: 0.0,
+            feedback_since_rebuild: 0,
+            feedback_applied: 0,
+            feedback_ignored: 0,
+            rebuilds: 0,
+            rebuild_pending: false,
+        }
+    }
+
+    /// Whether the policy says a rebuild is due right now. Requires a
+    /// retained document (nothing to rebuild from otherwise) and no
+    /// rebuild already pending.
+    fn due(&self) -> bool {
+        if self.document.is_none() || self.rebuild_pending {
+            return false;
+        }
+        match self.policy {
+            MaintenancePolicy::Manual => false,
+            MaintenancePolicy::ErrorMassBound(bound) => self.error_mass >= bound,
+            MaintenancePolicy::FeedbackCount(n) => n > 0 && self.feedback_since_rebuild >= n,
+        }
+    }
+
+    /// Accounts one feedback report; returns `true` when this report made
+    /// a rebuild due (and marks it pending so it is reported only once).
+    fn note(&mut self, report: &FeedbackReport) -> bool {
+        if report.outcome == FeedbackOutcome::Unsupported {
+            self.feedback_ignored += 1;
+            return false;
+        }
+        self.feedback_applied += 1;
+        self.feedback_since_rebuild += 1;
+        self.error_mass += report.error;
+        let due = self.due();
+        if due {
+            self.rebuild_pending = true;
+        }
+        due
+    }
+
+    /// Settles the drift accounting after a completed rebuild that
+    /// consumed `consumed_mass` error mass over `consumed_feedbacks`
+    /// feedbacks (the values read when the rebuild started). Subtracting
+    /// rather than zeroing preserves drift from feedback that raced in
+    /// *after* the rebuild captured its document — that drift applies to
+    /// the rebuilt table and must keep counting toward the next trigger.
+    fn note_rebuilt(&mut self, consumed_mass: f64, consumed_feedbacks: u64) {
+        self.error_mass = (self.error_mass - consumed_mass).max(0.0);
+        self.feedback_since_rebuild = self
+            .feedback_since_rebuild
+            .saturating_sub(consumed_feedbacks);
+        self.rebuilds += 1;
+        self.rebuild_pending = false;
+    }
+}
+
+/// Adapter letting a shared strategy handle drive
+/// [`XseedSynopsis::rebuild_het_with_strategy`] (which takes the strategy
+/// by value) without giving up the catalog's stored `Arc`.
+#[derive(Debug, Clone)]
+struct SharedStrategy(Arc<dyn CandidateStrategy + Send + Sync>);
+
+impl CandidateStrategy for SharedStrategy {
+    fn select(&self, ctx: &CandidateContext<'_>) -> Vec<nokstore::PathTreeNodeId> {
+        self.0.select(ctx)
+    }
+}
 
 struct Entry {
     /// The build/update side, locked only by writers.
     synopsis: Mutex<XseedSynopsis>,
     /// The read side: swapped atomically when an update publishes.
     published: RwLock<SynopsisSnapshot>,
+    /// Retention + maintenance accounting; see [`MaintenanceState`].
+    maintenance: Mutex<MaintenanceState>,
 }
 
 impl Entry {
@@ -38,6 +189,12 @@ impl Entry {
             .read()
             .unwrap_or_else(|poison| poison.into_inner())
             .clone()
+    }
+
+    fn maintenance(&self) -> std::sync::MutexGuard<'_, MaintenanceState> {
+        self.maintenance
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
     }
 }
 
@@ -55,7 +212,7 @@ pub struct Catalog {
 }
 
 /// Summary of one catalog entry, as reported by [`Catalog::info`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DocumentInfo {
     /// The entry's name.
     pub name: String,
@@ -72,7 +229,75 @@ pub struct DocumentInfo {
     /// Misses (compilations) of the published snapshot's compiled-query
     /// cache.
     pub compiled_misses: u64,
+    /// Whether the source document is retained for automatic rebuilds.
+    pub retained: bool,
+    /// The entry's maintenance policy.
+    pub policy: MaintenancePolicy,
+    /// Accumulated absolute-error mass since the last rebuild.
+    pub error_mass: f64,
+    /// Feedbacks applied (simple or correlated) over the entry's lifetime.
+    pub feedback_applied: u64,
+    /// Feedbacks ignored (unsupported shapes) over the entry's lifetime.
+    pub feedback_ignored: u64,
+    /// HET rebuilds performed through the maintenance path.
+    pub rebuilds: u64,
 }
+
+/// Result of routing one feedback observation through
+/// [`Catalog::record_feedback`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogFeedback {
+    /// What the synopsis recorded (outcome, prior estimate, error mass).
+    pub report: FeedbackReport,
+    /// Epoch of the snapshot published by this feedback (unchanged when
+    /// the shape was unsupported).
+    pub epoch: u64,
+    /// The entry's maintenance policy declared a rebuild due — exactly
+    /// once per crossing: further feedback keeps accumulating but will
+    /// not re-report until [`Catalog::rebuild_het_retained`] completes.
+    pub rebuild_due: bool,
+}
+
+/// Result of one feedback batch ([`Catalog::record_feedback_batch`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogFeedbackBatch {
+    /// Per-item reports, in input order.
+    pub reports: Vec<FeedbackReport>,
+    /// Epoch of the single snapshot published after the whole batch.
+    pub epoch: u64,
+    /// See [`CatalogFeedback::rebuild_due`]; evaluated once after the
+    /// whole batch is accounted.
+    pub rebuild_due: bool,
+}
+
+/// Why [`Catalog::rebuild_het_retained`] (or a queued automatic rebuild)
+/// could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RebuildError {
+    /// The name is not registered.
+    UnknownDocument,
+    /// The entry exists but retains no source document to rebuild from.
+    NotRetained,
+    /// The service shut down before the maintenance thread answered.
+    ShutDown,
+    /// The entry that triggered the rebuild was replaced (re-`LOAD`ed)
+    /// before the rebuild ran; the fresh entry starts clean and owes no
+    /// rebuild.
+    Superseded,
+}
+
+impl std::fmt::Display for RebuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RebuildError::UnknownDocument => f.write_str("unknown document"),
+            RebuildError::NotRetained => f.write_str("document not retained"),
+            RebuildError::ShutDown => f.write_str("service shut down before the rebuild ran"),
+            RebuildError::Superseded => f.write_str("document replaced before the rebuild ran"),
+        }
+    }
+}
+
+impl std::error::Error for RebuildError {}
 
 impl Catalog {
     /// Creates an empty catalog.
@@ -111,7 +336,22 @@ impl Catalog {
     /// `(name, epoch)` see the swap. The initial freeze happens outside
     /// the name-map lock.
     pub fn insert(&self, name: &str, synopsis: XseedSynopsis) -> SynopsisSnapshot {
-        self.insert_with_cap(name, synopsis, None)
+        self.insert_full(name, synopsis, None, None, MaintenancePolicy::Manual)
+            .expect("uncapped insert cannot be rejected")
+    }
+
+    /// Like [`Catalog::insert`], but also retains `document` so
+    /// feedback-driven maintenance ([`Catalog::rebuild_het_retained`])
+    /// can rebuild the entry's HET without the caller re-supplying it.
+    /// `document` must be the document `synopsis` summarizes.
+    pub fn insert_retained(
+        &self,
+        name: &str,
+        synopsis: XseedSynopsis,
+        document: Arc<Document>,
+        policy: MaintenancePolicy,
+    ) -> SynopsisSnapshot {
+        self.insert_full(name, synopsis, None, Some(document), policy)
             .expect("uncapped insert cannot be rejected")
     }
 
@@ -126,14 +366,26 @@ impl Catalog {
         synopsis: XseedSynopsis,
         max_documents: usize,
     ) -> Option<SynopsisSnapshot> {
-        self.insert_with_cap(name, synopsis, Some(max_documents))
+        self.insert_full(
+            name,
+            synopsis,
+            Some(max_documents),
+            None,
+            MaintenancePolicy::Manual,
+        )
     }
 
-    fn insert_with_cap(
+    /// The general registration path: optional capacity cap, optional
+    /// retained document, and the initial maintenance policy. Replacing a
+    /// name starts its maintenance accounting fresh (the synopsis the old
+    /// counters described is gone).
+    pub fn insert_full(
         &self,
         name: &str,
         mut synopsis: XseedSynopsis,
         max_documents: Option<usize>,
+        document: Option<Arc<Document>>,
+        policy: MaintenancePolicy,
     ) -> Option<SynopsisSnapshot> {
         // Claiming through the ledger makes the epoch unique for the name
         // even against racing publishes; the freeze inside `snapshot()`
@@ -158,6 +410,7 @@ impl Catalog {
             Arc::new(Entry {
                 synopsis: Mutex::new(synopsis),
                 published: RwLock::new(snapshot.clone()),
+                maintenance: Mutex::new(MaintenanceState::new(document, policy)),
             }),
         );
         Some(snapshot)
@@ -173,6 +426,46 @@ impl Catalog {
         self.insert(name, XseedSynopsis::build(doc, config))
     }
 
+    /// [`Catalog::load_document`] with an explicit [`RetentionPolicy`]:
+    /// `Retain` clones the document into the entry so feedback-driven
+    /// maintenance can rebuild without the caller. Callers that already
+    /// hold (or can move into) an `Arc<Document>` should prefer
+    /// [`Catalog::load_document_arc`], which retains without the deep
+    /// copy.
+    pub fn load_document_with(
+        &self,
+        name: &str,
+        doc: &Document,
+        config: XseedConfig,
+        retention: RetentionPolicy,
+        policy: MaintenancePolicy,
+    ) -> SynopsisSnapshot {
+        let synopsis = XseedSynopsis::build(doc, config);
+        let document = match retention {
+            RetentionPolicy::Drop => None,
+            RetentionPolicy::Retain => Some(Arc::new(doc.clone())),
+        };
+        self.insert_full(name, synopsis, None, document, policy)
+            .expect("uncapped insert cannot be rejected")
+    }
+
+    /// Builds and registers a synopsis from a shared document, retaining
+    /// the `Arc` itself for automatic rebuilds — no document copy, so
+    /// this is the cheap path for large retained documents (the `LOAD …
+    /// retain` protocol handler goes through the equivalent
+    /// [`Catalog::insert_full`]).
+    pub fn load_document_arc(
+        &self,
+        name: &str,
+        doc: Arc<Document>,
+        config: XseedConfig,
+        policy: MaintenancePolicy,
+    ) -> SynopsisSnapshot {
+        let synopsis = XseedSynopsis::build(&doc, config);
+        self.insert_full(name, synopsis, None, Some(doc), policy)
+            .expect("uncapped insert cannot be rejected")
+    }
+
     /// SAX-parses XML text, builds a synopsis, and registers it.
     pub fn load_xml(
         &self,
@@ -182,6 +475,31 @@ impl Catalog {
     ) -> Result<SynopsisSnapshot, xmlkit::Error> {
         let synopsis = XseedSynopsis::build_from_xml(xml, config)?;
         Ok(self.insert(name, synopsis))
+    }
+
+    /// [`Catalog::load_xml`] with an explicit [`RetentionPolicy`]. With
+    /// `Retain`, the XML is parsed into a [`Document`] first so the entry
+    /// can keep it for automatic rebuilds.
+    pub fn load_xml_with(
+        &self,
+        name: &str,
+        xml: &str,
+        config: XseedConfig,
+        retention: RetentionPolicy,
+        policy: MaintenancePolicy,
+    ) -> Result<SynopsisSnapshot, xmlkit::Error> {
+        match retention {
+            RetentionPolicy::Drop => {
+                let synopsis = XseedSynopsis::build_from_xml(xml, config)?;
+                Ok(self
+                    .insert_full(name, synopsis, None, None, policy)
+                    .expect("uncapped insert cannot be rejected"))
+            }
+            RetentionPolicy::Retain => {
+                let doc = Document::parse_str(xml)?;
+                Ok(self.load_document_with(name, &doc, config, retention, policy))
+            }
+        }
     }
 
     /// The published snapshot of `name`, if registered. This is the read
@@ -204,6 +522,22 @@ impl Catalog {
         mutate: impl FnOnce(&mut XseedSynopsis) -> R,
     ) -> Option<(R, SynopsisSnapshot)> {
         let entry = self.entry(name)?;
+        Some(self.update_entry(name, &entry, mutate))
+    }
+
+    /// The body of [`Catalog::update`], operating on an already-resolved
+    /// entry. Maintenance paths that captured an entry (its retained
+    /// document, its drift accounting) go through this so a concurrent
+    /// re-registration of `name` can never make them mutate a *different*
+    /// entry than the one their captured state belongs to — a rebuild
+    /// racing a re-`LOAD` then updates the detached old entry (harmless:
+    /// nothing serves it) instead of corrupting the fresh one.
+    fn update_entry<R>(
+        &self,
+        name: &str,
+        entry: &Arc<Entry>,
+        mutate: impl FnOnce(&mut XseedSynopsis) -> R,
+    ) -> (R, SynopsisSnapshot) {
         let mut synopsis = entry
             .synopsis
             .lock()
@@ -225,7 +559,7 @@ impl Catalog {
             .write()
             .unwrap_or_else(|poison| poison.into_inner()) = snapshot.clone();
         drop(synopsis);
-        Some((result, snapshot))
+        (result, snapshot)
     }
 
     /// Rebuilds the hyper-edge table of `name` from `doc`'s exact
@@ -244,6 +578,217 @@ impl Catalog {
         doc: &Document,
     ) -> Option<(xseed_core::HetBuildStats, SynopsisSnapshot)> {
         self.update(name, |synopsis| synopsis.rebuild_het(doc))
+    }
+
+    /// Rebuilds the hyper-edge table of `name` from its **retained**
+    /// document — the self-driving form of [`Catalog::rebuild_het`] — with
+    /// the entry's configured candidate strategy, then resets the entry's
+    /// drift accounting (error mass, feedback schedule) and counts the
+    /// rebuild. Readers keep estimating from the previously published
+    /// snapshot for the whole build, exactly like a caller-supplied
+    /// rebuild.
+    pub fn rebuild_het_retained(
+        &self,
+        name: &str,
+    ) -> Result<(xseed_core::HetBuildStats, SynopsisSnapshot), RebuildError> {
+        self.rebuild_het_retained_inner(name, false)
+    }
+
+    /// The queued-trigger form of [`Catalog::rebuild_het_retained`]: runs
+    /// only when the resolved entry still owes a rebuild
+    /// (`rebuild_pending`). A re-`LOAD` between the trigger and the
+    /// maintenance thread getting to the job installs a fresh entry with
+    /// clean accounting — rebuilding it would be pure waste (or worse,
+    /// would misreport its retention), so the job answers
+    /// [`RebuildError::Superseded`] instead.
+    pub(crate) fn rebuild_het_retained_auto(
+        &self,
+        name: &str,
+    ) -> Result<(xseed_core::HetBuildStats, SynopsisSnapshot), RebuildError> {
+        self.rebuild_het_retained_inner(name, true)
+    }
+
+    fn rebuild_het_retained_inner(
+        &self,
+        name: &str,
+        require_pending: bool,
+    ) -> Result<(xseed_core::HetBuildStats, SynopsisSnapshot), RebuildError> {
+        let entry = self.entry(name).ok_or(RebuildError::UnknownDocument)?;
+        if require_pending && !entry.maintenance().rebuild_pending {
+            return Err(RebuildError::Superseded);
+        }
+        let (doc, strategy, consumed_mass, consumed_feedbacks) = {
+            let mut m = entry.maintenance();
+            let Some(doc) = m.document.clone() else {
+                // A pending trigger cannot complete without a document;
+                // clear it so retention re-arms the policy cleanly.
+                m.rebuild_pending = false;
+                return Err(RebuildError::NotRetained);
+            };
+            (
+                doc,
+                SharedStrategy(m.strategy.clone()),
+                m.error_mass,
+                m.feedback_since_rebuild,
+            )
+        };
+        // Update through the captured entry, not by name: a concurrent
+        // re-`LOAD` must never get its fresh synopsis rebuilt from this
+        // (now stale) retained document.
+        let result = self.update_entry(name, &entry, |synopsis| {
+            synopsis.rebuild_het_with_strategy(&doc, strategy)
+        });
+        entry
+            .maintenance()
+            .note_rebuilt(consumed_mass, consumed_feedbacks);
+        Ok(result)
+    }
+
+    /// Routes one observed cardinality through the synopsis' feedback
+    /// path. The prior estimate and the shape classification run against
+    /// the **published snapshot, lock-free** — the recorded estimate is
+    /// exactly what this feedback's client was served, unsupported shapes
+    /// never touch the writer lock at all, and only the cheap HET insert
+    /// runs under exclusive access (epoch bump + fresh snapshot;
+    /// in-flight readers finish on their epoch). The entry's maintenance
+    /// accounting absorbs the exposed error and reports — once per
+    /// crossing — when its policy declares a rebuild due. Returns `None`
+    /// when `name` is not registered.
+    pub fn record_feedback(
+        &self,
+        name: &str,
+        expr: &PathExpr,
+        actual: u64,
+        base_cardinality: Option<u64>,
+    ) -> Option<CatalogFeedback> {
+        let entry = self.entry(name)?;
+        let published = entry.published();
+        let estimated = published.estimate(expr);
+        // Classified against the *published* names so the unsupported
+        // shortcut stays lock-free; `apply_feedback` re-derives the shape
+        // under the writer lock against the live synopsis' names, so the
+        // recorded keys always match the state being mutated.
+        if xseed_core::het::feedback::classify(published.names(), expr)
+            == FeedbackOutcome::Unsupported
+        {
+            let report = FeedbackReport {
+                outcome: FeedbackOutcome::Unsupported,
+                estimated,
+                actual,
+                error: (estimated - actual as f64).abs(),
+            };
+            entry.maintenance().note(&report);
+            return Some(CatalogFeedback {
+                report,
+                epoch: published.epoch(),
+                rebuild_due: false,
+            });
+        }
+        let (report, snapshot) = self.update_entry(name, &entry, |synopsis| {
+            synopsis.apply_feedback(expr, estimated, actual, base_cardinality)
+        });
+        let rebuild_due = entry.maintenance().note(&report);
+        Some(CatalogFeedback {
+            report,
+            epoch: snapshot.epoch(),
+            rebuild_due,
+        })
+    }
+
+    /// Applies a whole batch of feedback observations under **one** entry
+    /// update: any number of applied items costs a single snapshot
+    /// publication (readers see the batch atomically, never a partially
+    /// applied prefix), and the maintenance policy is evaluated once with
+    /// the batch's whole error mass absorbed. Unlike
+    /// [`Catalog::record_feedback`], each item's prior estimate reflects
+    /// the items applied before it (sequential refinement within the
+    /// batch). Returns `None` when `name` is not registered.
+    pub fn record_feedback_batch(
+        &self,
+        name: &str,
+        items: &[FeedbackItem],
+    ) -> Option<CatalogFeedbackBatch> {
+        let entry = self.entry(name)?;
+        let (reports, snapshot) = self.update_entry(name, &entry, |synopsis| {
+            synopsis.record_feedback_batch_reports(
+                items
+                    .iter()
+                    .map(|item| (item.query.expr(), item.actual, item.base)),
+            )
+        });
+        let rebuild_due = {
+            let mut m = entry.maintenance();
+            let mut due = false;
+            // Every report must be accounted (no short-circuiting);
+            // `note` marks the pending flag on the first crossing, so
+            // later items cannot re-trigger within the batch.
+            for report in &reports {
+                due |= m.note(report);
+            }
+            due
+        };
+        Some(CatalogFeedbackBatch {
+            reports,
+            epoch: snapshot.epoch(),
+            rebuild_due,
+        })
+    }
+
+    /// Sets the maintenance policy of `name`; `false` when unregistered.
+    /// Takes effect for the next feedback — an already-pending rebuild
+    /// trigger is unaffected.
+    pub fn set_maintenance_policy(&self, name: &str, policy: MaintenancePolicy) -> bool {
+        match self.entry(name) {
+            Some(entry) => {
+                entry.maintenance().policy = policy;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Sets the candidate strategy automatic rebuilds of `name` use;
+    /// `false` when unregistered.
+    pub fn set_rebuild_strategy(
+        &self,
+        name: &str,
+        strategy: impl CandidateStrategy + Send + Sync + 'static,
+    ) -> bool {
+        match self.entry(name) {
+            Some(entry) => {
+                entry.maintenance().strategy = Arc::new(strategy);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The retained source document of `name`, if any.
+    pub fn retained_document(&self, name: &str) -> Option<Arc<Document>> {
+        self.entry(name)?.maintenance().document.clone()
+    }
+
+    /// Retains (or replaces) the source document of an already-registered
+    /// entry; `false` when unregistered. `doc` must be the document the
+    /// synopsis summarizes.
+    pub fn retain_document(&self, name: &str, doc: Arc<Document>) -> bool {
+        match self.entry(name) {
+            Some(entry) => {
+                entry.maintenance().document = Some(doc);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops the retained document of `name` (reclaiming its memory;
+    /// automatic rebuilds disarm until a document is retained again).
+    /// Returns `true` when a document was actually dropped.
+    pub fn release_document(&self, name: &str) -> bool {
+        match self.entry(name) {
+            Some(entry) => entry.maintenance().document.take().is_some(),
+            None => false,
+        }
     }
 
     /// Removes an entry; returns `true` if it existed. Snapshots already
@@ -292,6 +837,7 @@ impl Catalog {
                     .unwrap_or_else(|poison| poison.into_inner())
                     .size_bytes();
                 let compiled = snapshot.compiled_cache_stats();
+                let m = e.maintenance();
                 DocumentInfo {
                     name,
                     epoch: snapshot.epoch(),
@@ -300,6 +846,12 @@ impl Catalog {
                     size_bytes,
                     compiled_hits: compiled.hits,
                     compiled_misses: compiled.misses,
+                    retained: m.document.is_some(),
+                    policy: m.policy,
+                    error_mass: m.error_mass,
+                    feedback_applied: m.feedback_applied,
+                    feedback_ignored: m.feedback_ignored,
+                    rebuilds: m.rebuilds,
                 }
             })
             .collect();
@@ -414,6 +966,256 @@ mod tests {
         assert!((fresh.estimate(&q) - 20.0).abs() < 1e-9);
         assert_eq!(catalog.snapshot("fig4").unwrap().epoch(), fresh.epoch());
         assert!(catalog.rebuild_het("missing", &doc).is_none());
+    }
+
+    #[test]
+    fn feedback_updates_het_and_accumulates_error_mass() {
+        let catalog = Catalog::new();
+        let doc = xmlkit::samples::figure4_document();
+        catalog.load_document_with(
+            "fig4",
+            &doc,
+            XseedConfig::default(),
+            RetentionPolicy::Retain,
+            MaintenancePolicy::Manual,
+        );
+        assert!(catalog.retained_document("fig4").is_some());
+        let expr = parse("/a/b/d/e").unwrap();
+        let before = catalog.snapshot("fig4").unwrap();
+
+        let fb = catalog.record_feedback("fig4", &expr, 20, None).unwrap();
+        assert_eq!(fb.report.outcome, xseed_core::FeedbackOutcome::SimplePath);
+        assert!(fb.report.error > 1e-6);
+        assert!(!fb.rebuild_due, "manual policy never triggers");
+        assert!(fb.epoch > before.epoch());
+        // The published snapshot answers the fed-back query exactly; the
+        // pre-feedback snapshot is untouched.
+        let after = catalog.snapshot("fig4").unwrap();
+        assert!((after.estimate(&expr) - 20.0).abs() < 1e-9);
+        assert!((before.estimate(&expr) - fb.report.estimated).abs() < 1e-12);
+
+        let info = &catalog.info()[0];
+        assert!(info.retained);
+        assert_eq!(info.policy, MaintenancePolicy::Manual);
+        assert_eq!(info.feedback_applied, 1);
+        assert_eq!(info.feedback_ignored, 0);
+        assert!((info.error_mass - fb.report.error).abs() < 1e-12);
+
+        // Unsupported feedback neither bumps the epoch nor adds mass.
+        let ignored = catalog
+            .record_feedback("fig4", &parse("//e//f").unwrap(), 3, None)
+            .unwrap();
+        assert_eq!(
+            ignored.report.outcome,
+            xseed_core::FeedbackOutcome::Unsupported
+        );
+        assert_eq!(ignored.epoch, fb.epoch);
+        let info = &catalog.info()[0];
+        assert_eq!(info.feedback_ignored, 1);
+        assert!((info.error_mass - fb.report.error).abs() < 1e-12);
+        assert!(catalog.record_feedback("missing", &expr, 1, None).is_none());
+    }
+
+    #[test]
+    fn error_mass_policy_reports_due_once_and_rebuild_resets() {
+        let catalog = Catalog::new();
+        let doc = xmlkit::samples::figure4_document();
+        catalog.load_document_with(
+            "fig4",
+            &doc,
+            XseedConfig::default(),
+            RetentionPolicy::Retain,
+            MaintenancePolicy::ErrorMassBound(1.0),
+        );
+        let expr = parse("/a/b/d/e").unwrap();
+        let fb = catalog.record_feedback("fig4", &expr, 20, None).unwrap();
+        assert!(fb.report.error >= 1.0, "figure 4 drift crosses the bound");
+        assert!(fb.rebuild_due, "crossing the bound reports due");
+        // Further feedback does not re-report while the rebuild is pending.
+        let again = catalog
+            .record_feedback("fig4", &parse("/a/c/d/f").unwrap(), 10, None)
+            .unwrap();
+        assert!(!again.rebuild_due);
+
+        let epoch_before = catalog.snapshot("fig4").unwrap().epoch();
+        let (stats, fresh) = catalog.rebuild_het_retained("fig4").unwrap();
+        assert!(stats.simple_entries > 0);
+        assert!(fresh.epoch() > epoch_before);
+        // The rebuild answers the fed-back query exactly and resets drift.
+        assert!((fresh.estimate(&expr) - 20.0).abs() < 1e-9);
+        let info = &catalog.info()[0];
+        assert_eq!(info.rebuilds, 1);
+        assert_eq!(info.error_mass, 0.0);
+        // The policy re-arms: new drift can trigger again.
+        let fb = catalog.record_feedback("fig4", &expr, 1, None).unwrap();
+        assert!(fb.rebuild_due, "post-rebuild drift re-triggers");
+    }
+
+    #[test]
+    fn feedback_count_policy_and_retention_controls() {
+        let catalog = sample_catalog();
+        assert!(catalog.retained_document("fig2").is_none());
+        assert!(catalog.set_maintenance_policy("fig2", MaintenancePolicy::FeedbackCount(2)));
+        let expr = parse("/a/c/s").unwrap();
+        // Without a retained document the schedule cannot arm.
+        let fb = catalog.record_feedback("fig2", &expr, 9, None).unwrap();
+        let fb2 = catalog.record_feedback("fig2", &expr, 9, None).unwrap();
+        assert!(!fb.rebuild_due && !fb2.rebuild_due);
+        assert_eq!(
+            catalog.rebuild_het_retained("fig2").err(),
+            Some(RebuildError::NotRetained)
+        );
+        assert_eq!(
+            catalog.rebuild_het_retained("missing").err(),
+            Some(RebuildError::UnknownDocument)
+        );
+
+        // Retain late: the schedule arms on the next applied feedback.
+        let doc = xmlkit::Document::parse_str(xmlkit::samples::FIGURE2_XML).unwrap();
+        assert!(catalog.retain_document("fig2", Arc::new(doc)));
+        let fb = catalog.record_feedback("fig2", &expr, 9, None).unwrap();
+        assert!(fb.rebuild_due, "count schedule crossed with retention");
+        assert!(catalog.rebuild_het_retained("fig2").is_ok());
+        // Releasing the document disarms future triggers.
+        assert!(catalog.release_document("fig2"));
+        assert!(!catalog.release_document("fig2"));
+        let fb = catalog.record_feedback("fig2", &expr, 9, None).unwrap();
+        let fb2 = catalog.record_feedback("fig2", &expr, 9, None).unwrap();
+        assert!(!fb.rebuild_due && !fb2.rebuild_due);
+        assert!(!catalog.set_maintenance_policy("missing", MaintenancePolicy::Manual));
+        assert!(!catalog.retain_document(
+            "missing",
+            Arc::new(xmlkit::Document::parse_str("<a/>").unwrap())
+        ));
+    }
+
+    #[test]
+    fn feedback_batch_applies_under_one_epoch() {
+        let catalog = Catalog::new();
+        let doc = xmlkit::samples::figure4_document();
+        catalog.load_document_with(
+            "fig4",
+            &doc,
+            XseedConfig::default(),
+            RetentionPolicy::Retain,
+            MaintenancePolicy::ErrorMassBound(1.0),
+        );
+        let epoch_before = catalog.snapshot("fig4").unwrap().epoch();
+        let items: Vec<crate::batch::FeedbackItem> = [
+            ("/a/b/d/e", 20u64, None),
+            ("/a/c/d/f", 10, None),
+            ("//e//f", 1, None), // unsupported, ignored
+        ]
+        .iter()
+        .map(|(q, actual, base)| crate::batch::FeedbackItem {
+            query: Arc::new(xpathkit::QueryPlan::parse(q).unwrap()),
+            actual: *actual,
+            base: *base,
+        })
+        .collect();
+        let batch = catalog.record_feedback_batch("fig4", &items).unwrap();
+        assert_eq!(batch.reports.len(), 3);
+        assert!(batch.epoch > epoch_before);
+        assert_eq!(
+            catalog.snapshot("fig4").unwrap().epoch(),
+            batch.epoch,
+            "whole batch publishes exactly one snapshot"
+        );
+        assert!(batch.rebuild_due, "batch error mass crossed the bound");
+        let info = &catalog.info()[0];
+        assert_eq!(info.feedback_applied, 2);
+        assert_eq!(info.feedback_ignored, 1);
+        let snap = catalog.snapshot("fig4").unwrap();
+        assert!((snap.estimate(&parse("/a/b/d/e").unwrap()) - 20.0).abs() < 1e-9);
+        assert!((snap.estimate(&parse("/a/c/d/f").unwrap()) - 10.0).abs() < 1e-9);
+        assert!(catalog.record_feedback_batch("missing", &items).is_none());
+    }
+
+    #[test]
+    fn auto_rebuild_is_superseded_by_a_concurrent_reload() {
+        let catalog = Catalog::new();
+        let doc = xmlkit::samples::figure4_document();
+        catalog.load_document_with(
+            "fig4",
+            &doc,
+            XseedConfig::default(),
+            RetentionPolicy::Retain,
+            MaintenancePolicy::ErrorMassBound(1.0),
+        );
+        let fb = catalog
+            .record_feedback("fig4", &parse("/a/b/d/e").unwrap(), 20, None)
+            .unwrap();
+        assert!(fb.rebuild_due);
+        // A re-LOAD replaces the entry before the queued rebuild runs:
+        // the fresh entry owes nothing, so the auto path must refuse
+        // (while the explicit operator path still works).
+        catalog.load_document_with(
+            "fig4",
+            &doc,
+            XseedConfig::default(),
+            RetentionPolicy::Retain,
+            MaintenancePolicy::ErrorMassBound(1.0),
+        );
+        assert_eq!(
+            catalog.rebuild_het_retained_auto("fig4").err(),
+            Some(RebuildError::Superseded)
+        );
+        assert_eq!(catalog.info()[0].rebuilds, 0, "fresh entry untouched");
+        assert!(catalog.rebuild_het_retained("fig4").is_ok());
+    }
+
+    #[test]
+    fn load_document_arc_retains_without_cloning() {
+        let catalog = Catalog::new();
+        let doc = Arc::new(xmlkit::samples::figure4_document());
+        catalog.load_document_arc(
+            "fig4",
+            doc.clone(),
+            XseedConfig::default(),
+            MaintenancePolicy::Manual,
+        );
+        let retained = catalog.retained_document("fig4").unwrap();
+        assert!(Arc::ptr_eq(&doc, &retained), "the Arc itself is retained");
+        assert!(catalog.rebuild_het_retained("fig4").is_ok());
+    }
+
+    #[test]
+    fn rebuild_settlement_preserves_racing_drift() {
+        // Drift noted between a rebuild's start and its settlement must
+        // survive: note_rebuilt subtracts what the rebuild consumed
+        // instead of zeroing.
+        let mut m = MaintenanceState::new(None, MaintenancePolicy::Manual);
+        let report = |error: f64| FeedbackReport {
+            outcome: xseed_core::FeedbackOutcome::SimplePath,
+            estimated: 0.0,
+            actual: 0,
+            error,
+        };
+        m.note(&report(10.0));
+        let (consumed_mass, consumed_feedbacks) = (m.error_mass, m.feedback_since_rebuild);
+        // A feedback races in while the rebuild runs.
+        m.note(&report(3.0));
+        m.note_rebuilt(consumed_mass, consumed_feedbacks);
+        assert!((m.error_mass - 3.0).abs() < 1e-12, "racing drift survives");
+        assert_eq!(m.feedback_since_rebuild, 1);
+        assert_eq!(m.rebuilds, 1);
+    }
+
+    #[test]
+    fn rebuild_strategy_is_configurable() {
+        let catalog = Catalog::new();
+        let doc = xmlkit::samples::figure4_document();
+        catalog.load_document_with(
+            "fig4",
+            &doc,
+            XseedConfig::default().with_bsel_threshold(0.99),
+            RetentionPolicy::Retain,
+            MaintenancePolicy::Manual,
+        );
+        assert!(catalog.set_rebuild_strategy("fig4", xseed_core::TopKErrorStrategy { k: 1 }));
+        let (stats, _) = catalog.rebuild_het_retained("fig4").unwrap();
+        assert!(stats.candidate_nodes <= 1, "strategy bounds candidates");
+        assert!(!catalog.set_rebuild_strategy("missing", xseed_core::BselThresholdStrategy));
     }
 
     #[test]

@@ -95,11 +95,15 @@ pub mod protocol;
 pub mod server;
 pub mod service;
 
-pub use batch::execute_batch;
-pub use catalog::{Catalog, DocumentInfo};
+pub use batch::{execute_batch, FeedbackItem};
+pub use catalog::{
+    Catalog, CatalogFeedback, CatalogFeedbackBatch, DocumentInfo, MaintenancePolicy, RebuildError,
+    RetentionPolicy,
+};
 pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use protocol::{handle_line, run_script, ProtocolOptions, Response};
 pub use server::{serve_stream, ServerConfig, TcpServer};
 pub use service::{
-    PendingEstimate, Service, ServiceConfig, ServiceError, ServiceStats, WorkerPause,
+    PendingEstimate, RebuildTicket, Service, ServiceConfig, ServiceError, ServiceFeedback,
+    ServiceFeedbackBatch, ServiceStats, WorkerPause,
 };

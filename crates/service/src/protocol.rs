@@ -5,12 +5,14 @@
 //! optimizer sidecar:
 //!
 //! ```text
-//! LOAD <name> <spec> [recursive]   register a document
-//! EST <name> <query>               estimate one query
-//! BATCH <name> <q1> ; <q2> ; …     estimate a batch (one snapshot pass)
-//! STATS [json]                     service + catalog counters
-//! HELP                             command summary
-//! QUIT                             close the session
+//! LOAD <name> <spec> [recursive] [retain]   register a document
+//! EST <name> <query>                        estimate one query
+//! BATCH <name> <q1> ; <q2> ; …              estimate a batch (one snapshot pass)
+//! FEEDBACK <name> <actual> [base=<n>] <q>   feed back an observed cardinality
+//! MAINTAIN <name> <policy>                  set the maintenance policy
+//! STATS [json]                              service + catalog counters
+//! HELP                                      command summary
+//! QUIT                                      close the session
 //! ```
 //!
 //! `STATS` emits `key=value` pairs; `STATS json` emits the same counters
@@ -20,8 +22,22 @@
 //! `<spec>` is either a filesystem path to an XML document or
 //! `builtin:<dataset>[@scale]` for the synthetic evaluation datasets
 //! (`xmark`, `dblp`, `treebank`, `swissprot`, `tpch`, `xbench`), e.g.
-//! `builtin:xmark@0.1`. The optional `recursive` flag (implied for the
-//! builtin Treebank) selects the paper's highly-recursive configuration.
+//! `builtin:xmark@0.1`, or one of the paper's fixed sample documents
+//! (`builtin:figure2`, `builtin:figure4` — no `@scale`). The optional
+//! `recursive` flag (implied for the builtin Treebank) selects the
+//! paper's highly-recursive configuration; `retain` keeps the source
+//! document in the catalog so `FEEDBACK`-driven maintenance can rebuild
+//! the HET without an operator (see `docs/OPERATIONS.md`).
+//!
+//! `FEEDBACK` routes an executed query's observed cardinality back into
+//! the synopsis (the paper's Figure 1 feedback arrow): the reply carries
+//! the recorded outcome (`simple` / `correlated` / `unsupported`), the
+//! estimate the synopsis held, the exposed error, and — when the
+//! document's `MAINTAIN` policy declared the drift due — the result of
+//! the automatic HET rebuild the maintenance thread ran
+//! (`rebuild=done`). `MAINTAIN` sets that policy: `manual` (default),
+//! `error-mass=<x>` (rebuild once accumulated `|estimated − actual|`
+//! reaches `x`), or `every=<n>` (rebuild every `n` applied feedbacks).
 //!
 //! `EST`/`BATCH` requests that admission control sheds (queue budget
 //! exhausted — see [`crate::service`]) get a structured
@@ -30,9 +46,12 @@
 //! queue it. The complete grammar, every reply form, and the security
 //! notes live in `docs/PROTOCOL.md`.
 
+use crate::catalog::MaintenancePolicy;
 use crate::service::{Service, ServiceError};
 use datagen::Dataset;
 use std::fmt::Write as _;
+use std::sync::Arc;
+use xmlkit::tree::Document;
 use xseed_core::{XseedConfig, XseedSynopsis};
 
 /// Outcome of one protocol line.
@@ -76,8 +95,10 @@ impl Response {
     }
 }
 
-const HELP: &str = "commands: LOAD <name> <path|builtin:dataset[@scale]> [recursive] | \
-                    EST <name> <query> | BATCH <name> <q1> ; <q2> ; ... | STATS [json] | \
+const HELP: &str = "commands: LOAD <name> <path|builtin:dataset[@scale]> [recursive] [retain] | \
+                    EST <name> <query> | BATCH <name> <q1> ; <q2> ; ... | \
+                    FEEDBACK <name> <actual> [base=<n>] <query> | \
+                    MAINTAIN <name> <manual|error-mass=<x>|every=<n>> | STATS [json] | \
                     HELP | QUIT";
 
 /// Per-session protocol policy.
@@ -96,6 +117,13 @@ pub struct ProtocolOptions {
     /// name never counts against it. Bounds total server memory a
     /// network client can pin by looping `LOAD` with fresh names.
     pub max_documents: Option<usize>,
+    /// When set, every `LOAD` in this session retains its document and
+    /// arms this maintenance policy — the daemon's
+    /// `--maintain-error-mass` flag turns a whole deployment
+    /// self-maintaining without per-document `MAINTAIN` calls. `None`
+    /// (the default) loads with [`MaintenancePolicy::Manual`] and retains
+    /// only on the explicit `retain` flag.
+    pub auto_maintenance: Option<MaintenancePolicy>,
 }
 
 impl ProtocolOptions {
@@ -105,6 +133,7 @@ impl ProtocolOptions {
             allow_fs_load: true,
             max_builtin_scale: 4.0,
             max_documents: None,
+            auto_maintenance: None,
         }
     }
 
@@ -115,6 +144,7 @@ impl ProtocolOptions {
             allow_fs_load: false,
             max_builtin_scale: 4.0,
             max_documents: Some(64),
+            auto_maintenance: None,
         }
     }
 }
@@ -140,6 +170,8 @@ pub fn handle_line(service: &Service, line: &str, options: &ProtocolOptions) -> 
         "LOAD" => handle_load(service, rest, options),
         "EST" => handle_est(service, rest),
         "BATCH" => handle_batch(service, rest),
+        "FEEDBACK" => handle_feedback(service, rest),
+        "MAINTAIN" => handle_maintain(service, rest),
         "STATS" => handle_stats(service, rest),
         "HELP" => Response::ok(HELP),
         "QUIT" | "EXIT" => Response::Quit,
@@ -153,14 +185,18 @@ fn handle_load(service: &Service, args: &str, options: &ProtocolOptions) -> Resp
         return Response::err("LOAD needs: LOAD <name> <path|builtin:dataset[@scale]>");
     };
     let mut recursive = false;
+    // An auto-maintenance session retains every load so its policy can
+    // actually fire; otherwise retention is per-LOAD opt-in.
+    let mut retain = options.auto_maintenance.is_some();
     for flag in parts {
         match flag.to_ascii_lowercase().as_str() {
             "recursive" => recursive = true,
+            "retain" => retain = true,
             other => return Response::err(format_args!("unknown LOAD flag '{other}'")),
         }
     }
     // Fast-path rejection before generating/parsing anything; the
-    // authoritative (atomic) check happens inside `insert_capped` below.
+    // authoritative (atomic) check happens inside `insert_full` below.
     if let Some(max) = options.max_documents {
         let catalog = service.catalog();
         if catalog.snapshot(name).is_none() && catalog.len() >= max {
@@ -170,9 +206,12 @@ fn handle_load(service: &Service, args: &str, options: &ProtocolOptions) -> Resp
         }
     }
 
-    let synopsis = if let Some(builtin) = spec.strip_prefix("builtin:") {
+    let (synopsis, document) = if let Some(builtin) = spec.strip_prefix("builtin:") {
         match build_builtin(builtin, recursive, options) {
-            Ok(s) => s,
+            Ok((doc, config)) => {
+                let synopsis = XseedSynopsis::build(&doc, config);
+                (synopsis, retain.then(|| Arc::new(doc)))
+            }
             Err(e) => return Response::err(e),
         }
     } else {
@@ -191,45 +230,86 @@ fn handle_load(service: &Service, args: &str, options: &ProtocolOptions) -> Resp
         } else {
             XseedConfig::default()
         };
-        match XseedSynopsis::build_from_xml(&xml, config) {
-            Ok(s) => s,
-            Err(e) => return Response::err(format_args!("cannot parse '{spec}': {e}")),
+        if retain {
+            // Retention needs the materialized document, so parse into a
+            // tree instead of the SAX-only path.
+            match Document::parse_str(&xml) {
+                Ok(doc) => {
+                    let synopsis = XseedSynopsis::build(&doc, config);
+                    (synopsis, Some(Arc::new(doc)))
+                }
+                Err(e) => return Response::err(format_args!("cannot parse '{spec}': {e}")),
+            }
+        } else {
+            match XseedSynopsis::build_from_xml(&xml, config) {
+                Ok(s) => (s, None),
+                Err(e) => return Response::err(format_args!("cannot parse '{spec}': {e}")),
+            }
         }
     };
 
-    let snapshot = match options.max_documents {
-        Some(max) => match service.catalog().insert_capped(name, synopsis, max) {
+    let retained = document.is_some();
+    let policy = options
+        .auto_maintenance
+        .unwrap_or(MaintenancePolicy::Manual);
+    let snapshot =
+        match service
+            .catalog()
+            .insert_full(name, synopsis, options.max_documents, document, policy)
+        {
             Some(snapshot) => snapshot,
             None => {
+                let max = options.max_documents.unwrap_or(0);
                 return Response::err(format_args!(
                     "catalog document limit reached ({max}); re-LOAD an existing name instead"
-                ))
+                ));
             }
-        },
-        None => service.catalog().insert(name, synopsis),
-    };
-    Response::ok(format!(
+        };
+    let mut body = format!(
         "loaded name={name} epoch={} vertices={} elements={}",
         snapshot.epoch(),
         snapshot.frozen().vertex_count(),
         snapshot.frozen().element_count(),
-    ))
+    );
+    if retained {
+        body.push_str(" retained=yes");
+    }
+    Response::ok(body)
 }
 
 fn build_builtin(
     spec: &str,
     recursive: bool,
     options: &ProtocolOptions,
-) -> Result<XseedSynopsis, String> {
+) -> Result<(Document, XseedConfig), String> {
     let (name, scale) = match spec.split_once('@') {
         Some((n, s)) => {
             let scale: f64 = s
                 .parse()
                 .map_err(|_| format!("bad builtin scale '{s}' (want e.g. 0.1)"))?;
-            (n, scale)
+            (n, Some(scale))
         }
-        None => (spec, 0.1),
+        None => (spec, None),
     };
+    // The paper's fixed sample documents: tiny, deterministic, and with
+    // known kernel misestimates — ideal for feedback/maintenance demos.
+    let sample = match name.to_ascii_lowercase().as_str() {
+        "figure2" => Some(xmlkit::samples::figure2_document()),
+        "figure4" => Some(xmlkit::samples::figure4_document()),
+        _ => None,
+    };
+    if let Some(doc) = sample {
+        if scale.is_some() {
+            return Err(format!("builtin sample '{name}' takes no @scale"));
+        }
+        let config = if recursive {
+            XseedConfig::recursive_for_size(doc.element_count())
+        } else {
+            XseedConfig::default()
+        };
+        return Ok((doc, config));
+    }
+    let scale = scale.unwrap_or(0.1);
     if !scale.is_finite() || scale <= 0.0 || scale > options.max_builtin_scale {
         return Err(format!(
             "builtin scale {scale} out of range (0, {}]",
@@ -245,7 +325,8 @@ fn build_builtin(
         "xbench" => Dataset::XBench,
         other => {
             return Err(format!(
-                "unknown builtin '{other}' (xmark|dblp|treebank|swissprot|tpch|xbench)"
+                "unknown builtin '{other}' \
+                 (xmark|dblp|treebank|swissprot|tpch|xbench|figure2|figure4)"
             ))
         }
     };
@@ -255,7 +336,7 @@ fn build_builtin(
     } else {
         XseedConfig::default()
     };
-    Ok(XseedSynopsis::build(&doc, config))
+    Ok((doc, config))
 }
 
 fn handle_est(service: &Service, args: &str) -> Response {
@@ -292,6 +373,128 @@ fn handle_batch(service: &Service, args: &str) -> Response {
     }
 }
 
+/// `FEEDBACK <name> <actual> [base=<n>] <query>` — the Figure 1 feedback
+/// arrow on the wire. When the feedback crosses the document's
+/// maintenance policy the handler waits for the triggered rebuild, so
+/// the reply (and any subsequent `EST`/`STATS` in the same session) is
+/// deterministic: `rebuild=done` means the republished synopsis already
+/// answers from the rebuilt HET.
+fn handle_feedback(service: &Service, args: &str) -> Response {
+    const USAGE: &str = "FEEDBACK needs: FEEDBACK <name> <actual> [base=<n>] <query>";
+    let Some((name, rest)) = args.split_once(char::is_whitespace) else {
+        return Response::err(USAGE);
+    };
+    let rest = rest.trim();
+    let Some((actual_text, rest)) = rest.split_once(char::is_whitespace) else {
+        return Response::err(USAGE);
+    };
+    let Ok(actual) = actual_text.parse::<u64>() else {
+        return Response::err(format_args!(
+            "bad FEEDBACK actual '{actual_text}' (want a non-negative integer)"
+        ));
+    };
+    let mut query = rest.trim();
+    let mut base = None;
+    if let Some(base_rest) = query.strip_prefix("base=") {
+        let Some((base_text, q)) = base_rest.split_once(char::is_whitespace) else {
+            return Response::err(USAGE);
+        };
+        let Ok(parsed) = base_text.parse::<u64>() else {
+            return Response::err(format_args!(
+                "bad FEEDBACK base '{base_text}' (want a non-negative integer)"
+            ));
+        };
+        base = Some(parsed);
+        query = q.trim();
+    }
+    if query.is_empty() {
+        return Response::err(USAGE);
+    }
+    match service.feedback(name, query, actual, base) {
+        Ok(fb) => {
+            let mut body = format!(
+                "feedback outcome={} estimated={} actual={} error={}",
+                fb.report.outcome,
+                format_est(fb.report.estimated),
+                fb.report.actual,
+                format_est(fb.report.error),
+            );
+            match fb.rebuild {
+                Some(ticket) => match ticket.wait() {
+                    Ok((stats, epoch)) => {
+                        let _ = write!(
+                            body,
+                            " rebuild=done entries={} epoch={epoch}",
+                            stats.simple_entries + stats.correlated_entries
+                        );
+                    }
+                    Err(e) => {
+                        let _ = write!(body, " rebuild=failed ({e}) epoch={}", fb.epoch);
+                    }
+                },
+                None => {
+                    let _ = write!(body, " rebuild=none epoch={}", fb.epoch);
+                }
+            }
+            Response::ok(body)
+        }
+        Err(e) => Response::service_err(e),
+    }
+}
+
+/// `MAINTAIN <name> manual|error-mass=<x>|every=<n>` — arms (or disarms)
+/// the document's automatic-rebuild policy.
+fn handle_maintain(service: &Service, args: &str) -> Response {
+    const USAGE: &str = "MAINTAIN needs: MAINTAIN <name> <manual|error-mass=<x>|every=<n>>";
+    let Some((name, spec)) = args.split_once(char::is_whitespace) else {
+        return Response::err(USAGE);
+    };
+    let spec = spec.trim();
+    let policy = if spec.eq_ignore_ascii_case("manual") {
+        MaintenancePolicy::Manual
+    } else if let Some(bound_text) = spec.strip_prefix("error-mass=") {
+        match bound_text.parse::<f64>() {
+            Ok(bound) if bound.is_finite() && bound > 0.0 => {
+                MaintenancePolicy::ErrorMassBound(bound)
+            }
+            _ => {
+                return Response::err(format_args!(
+                    "bad MAINTAIN error-mass bound '{bound_text}' (want a positive number)"
+                ))
+            }
+        }
+    } else if let Some(count_text) = spec.strip_prefix("every=") {
+        match count_text.parse::<u64>() {
+            Ok(count) if count > 0 => MaintenancePolicy::FeedbackCount(count),
+            _ => {
+                return Response::err(format_args!(
+                    "bad MAINTAIN schedule '{count_text}' (want a positive integer)"
+                ))
+            }
+        }
+    } else {
+        return Response::err(USAGE);
+    };
+    if !service.catalog().set_maintenance_policy(name, policy) {
+        return Response::err(format_args!("unknown document '{name}'"));
+    }
+    let retained = service.catalog().retained_document(name).is_some();
+    Response::ok(format!(
+        "maintenance name={name} policy={} retained={}",
+        policy_token(policy),
+        if retained { "yes" } else { "no" },
+    ))
+}
+
+/// The stable wire token for a maintenance policy.
+fn policy_token(policy: MaintenancePolicy) -> String {
+    match policy {
+        MaintenancePolicy::Manual => "manual".to_string(),
+        MaintenancePolicy::ErrorMassBound(bound) => format!("error-mass:{}", format_est(bound)),
+        MaintenancePolicy::FeedbackCount(count) => format!("every:{count}"),
+    }
+}
+
 fn handle_stats(service: &Service, args: &str) -> Response {
     match args.trim() {
         "" => handle_stats_flat(service),
@@ -304,9 +507,12 @@ fn handle_stats(service: &Service, args: &str) -> Response {
 
 fn handle_stats_flat(service: &Service) -> Response {
     let stats = service.stats();
+    let infos = service.catalog().info();
+    let error_mass: f64 = infos.iter().map(|i| i.error_mass).sum();
     let mut body = format!(
         "workers={} executed={} batches={} steals={} accepted={} shed={} queued={} \
-         peak_queued={} queue_capacity={} plan_hits={} plan_misses={} plan_entries={} docs={}",
+         peak_queued={} queue_capacity={} feedback_applied={} feedback_ignored={} \
+         rebuilds_triggered={} error_mass={} plan_hits={} plan_misses={} plan_entries={} docs={}",
         stats.workers,
         stats.total_executed(),
         stats.batches,
@@ -316,22 +522,29 @@ fn handle_stats_flat(service: &Service) -> Response {
         stats.queued,
         stats.peak_queued,
         stats.queue_capacity,
+        stats.feedback_applied,
+        stats.feedback_ignored,
+        stats.rebuilds_triggered,
+        format_est(error_mass),
         stats.plan_cache.hits,
         stats.plan_cache.misses,
         stats.plan_cache.entries,
-        service.catalog().len(),
+        infos.len(),
     );
-    for info in service.catalog().info() {
+    for info in &infos {
         let _ = write!(
             body,
-            " doc:{}@{}[vertices={},elements={},bytes={},compiled_hits={},compiled_misses={}]",
+            " doc:{}@{}[vertices={},elements={},bytes={},compiled_hits={},compiled_misses={},\
+             error_mass={},rebuilds={}]",
             info.name,
             info.epoch,
             info.vertices,
             info.elements,
             info.size_bytes,
             info.compiled_hits,
-            info.compiled_misses
+            info.compiled_misses,
+            format_est(info.error_mass),
+            info.rebuilds,
         );
     }
     Response::Line(format!("OK {body}"))
@@ -342,10 +555,13 @@ fn handle_stats_flat(service: &Service) -> Response {
 /// `key=value` twin, and the per-document trailer becomes a `docs` array.
 fn handle_stats_json(service: &Service) -> Response {
     let stats = service.stats();
+    let infos = service.catalog().info();
+    let error_mass: f64 = infos.iter().map(|i| i.error_mass).sum();
     let mut body = format!(
         "{{\"workers\":{},\"executed\":{},\"batches\":{},\"steals\":{},\"accepted\":{},\
          \"shed\":{},\"queued\":{},\"peak_queued\":{},\"queue_capacity\":{},\
-         \"plan_hits\":{},\"plan_misses\":{},\"plan_entries\":{},\"docs\":[",
+         \"feedback_applied\":{},\"feedback_ignored\":{},\"rebuilds_triggered\":{},\
+         \"error_mass\":{},\"plan_hits\":{},\"plan_misses\":{},\"plan_entries\":{},\"docs\":[",
         stats.workers,
         stats.total_executed(),
         stats.batches,
@@ -355,18 +571,22 @@ fn handle_stats_json(service: &Service) -> Response {
         stats.queued,
         stats.peak_queued,
         stats.queue_capacity,
+        stats.feedback_applied,
+        stats.feedback_ignored,
+        stats.rebuilds_triggered,
+        format_est(error_mass),
         stats.plan_cache.hits,
         stats.plan_cache.misses,
         stats.plan_cache.entries,
     );
-    for (i, info) in service.catalog().info().iter().enumerate() {
+    for (i, info) in infos.iter().enumerate() {
         if i > 0 {
             body.push(',');
         }
         let _ = write!(
             body,
             "{{\"name\":\"{}\",\"epoch\":{},\"vertices\":{},\"elements\":{},\"bytes\":{},\
-             \"compiled_hits\":{},\"compiled_misses\":{}}}",
+             \"compiled_hits\":{},\"compiled_misses\":{},\"error_mass\":{},\"rebuilds\":{}}}",
             json_escape(&info.name),
             info.epoch,
             info.vertices,
@@ -374,6 +594,8 @@ fn handle_stats_json(service: &Service) -> Response {
             info.size_bytes,
             info.compiled_hits,
             info.compiled_misses,
+            format_est(info.error_mass),
+            info.rebuilds,
         );
     }
     body.push_str("]}");
@@ -526,6 +748,100 @@ mod tests {
             replaced.text().unwrap().starts_with("OK loaded"),
             "{replaced:?}"
         );
+    }
+
+    #[test]
+    fn feedback_and_maintain_drive_an_auto_rebuild() {
+        let service = service();
+        let loaded = reply(&service, "LOAD fig4 builtin:figure4 retain");
+        assert!(loaded.ends_with("retained=yes"), "{loaded}");
+        assert_eq!(
+            reply(&service, "MAINTAIN fig4 error-mass=4"),
+            "OK maintenance name=fig4 policy=error-mass:4 retained=yes"
+        );
+        // The kernel misestimates the correlated Figure 4 path; feeding
+        // the truth back crosses the bound and the handler waits for the
+        // triggered rebuild, so the follow-up estimate is exact.
+        let fb = reply(&service, "FEEDBACK fig4 20 /a/b/d/e");
+        assert!(fb.starts_with("OK feedback outcome=simple"), "{fb}");
+        assert!(fb.contains(" actual=20 "), "{fb}");
+        assert!(fb.contains(" rebuild=done "), "{fb}");
+        assert_eq!(reply(&service, "EST fig4 /a/b/d/e"), "OK 20");
+        let stats = reply(&service, "STATS");
+        assert!(stats.contains("feedback_applied=1"), "{stats}");
+        assert!(stats.contains("rebuilds_triggered=1"), "{stats}");
+        assert!(stats.contains("error_mass=0"), "{stats}");
+        assert!(stats.contains(",rebuilds=1]"), "{stats}");
+    }
+
+    #[test]
+    fn feedback_without_policy_updates_without_rebuild() {
+        let service = service();
+        // Correlated feedback with an explicit base path cardinality.
+        let fb = reply(&service, "FEEDBACK fig2 4 base=9 /a/c/s[t]/p");
+        assert!(fb.starts_with("OK feedback outcome=correlated"), "{fb}");
+        assert!(fb.contains(" rebuild=none "), "{fb}");
+        // Unsupported shapes are reported and counted but change nothing.
+        let ignored = reply(&service, "FEEDBACK fig2 2 //s//p");
+        assert!(
+            ignored.starts_with("OK feedback outcome=unsupported"),
+            "{ignored}"
+        );
+        let stats = reply(&service, "STATS");
+        assert!(
+            stats.contains("feedback_applied=1 feedback_ignored=1"),
+            "{stats}"
+        );
+        assert!(stats.contains("rebuilds_triggered=0"), "{stats}");
+    }
+
+    #[test]
+    fn feedback_and_maintain_reject_malformed_requests() {
+        let service = service();
+        assert!(reply(&service, "FEEDBACK fig2").starts_with("ERR FEEDBACK needs"));
+        assert!(reply(&service, "FEEDBACK fig2 7").starts_with("ERR FEEDBACK needs"));
+        assert!(reply(&service, "FEEDBACK fig2 x /a").starts_with("ERR bad FEEDBACK actual"));
+        assert!(reply(&service, "FEEDBACK fig2 7 base=x /a").starts_with("ERR bad FEEDBACK base"));
+        assert!(reply(&service, "FEEDBACK fig2 7 base=2").starts_with("ERR FEEDBACK needs"));
+        assert!(reply(&service, "FEEDBACK nope 7 /a").starts_with("ERR unknown document"));
+        assert!(reply(&service, "FEEDBACK fig2 7 /[").starts_with("ERR parse error"));
+        assert!(reply(&service, "MAINTAIN fig2").starts_with("ERR MAINTAIN needs"));
+        assert!(reply(&service, "MAINTAIN fig2 bogus").starts_with("ERR MAINTAIN needs"));
+        assert!(reply(&service, "MAINTAIN fig2 error-mass=-1").starts_with("ERR bad MAINTAIN"));
+        assert!(reply(&service, "MAINTAIN fig2 every=0").starts_with("ERR bad MAINTAIN"));
+        assert!(reply(&service, "MAINTAIN nope manual").starts_with("ERR unknown document"));
+        // A policy without retention arms but reports it cannot fire.
+        assert_eq!(
+            reply(&service, "MAINTAIN fig2 every=3"),
+            "OK maintenance name=fig2 policy=every:3 retained=no"
+        );
+    }
+
+    #[test]
+    fn builtin_samples_load_without_scale() {
+        let service = service();
+        let loaded = reply(&service, "LOAD f2 builtin:figure2");
+        assert!(loaded.starts_with("OK loaded name=f2"), "{loaded}");
+        assert!(!loaded.contains("retained"), "{loaded}");
+        assert_eq!(reply(&service, "EST f2 /a/c/s"), "OK 5");
+        assert!(reply(&service, "LOAD f4 builtin:figure4@0.5")
+            .starts_with("ERR builtin sample 'figure4' takes no @scale"));
+    }
+
+    #[test]
+    fn auto_maintenance_sessions_retain_and_rebuild_every_load() {
+        let service = service();
+        let auto = ProtocolOptions {
+            auto_maintenance: Some(MaintenancePolicy::ErrorMassBound(4.0)),
+            ..ProtocolOptions::local()
+        };
+        let loaded = handle_line(&service, "LOAD fig4 builtin:figure4", &auto);
+        assert!(
+            loaded.text().unwrap().ends_with("retained=yes"),
+            "{loaded:?}"
+        );
+        let fb = handle_line(&service, "FEEDBACK fig4 20 /a/b/d/e", &auto);
+        assert!(fb.text().unwrap().contains("rebuild=done"), "{fb:?}");
     }
 
     #[test]

@@ -25,6 +25,14 @@
 //! everything past either bound degrades into an explicit protocol reply
 //! instead of an unbounded queue. See `docs/OPERATIONS.md` for sizing
 //! guidance.
+//!
+//! Sessions also carry the feedback loop: `FEEDBACK`/`MAINTAIN` lines
+//! route through the same [`crate::Service`], so every connected client
+//! shares one set of self-maintaining synopses — a rebuild triggered by
+//! one session's feedback serves every other session's next estimate.
+//! The per-session [`ProtocolOptions`] decide whether loads retain their
+//! documents automatically (`auto_maintenance`, set by the daemon's
+//! `--maintain-error-mass` flag).
 
 use crate::protocol::{handle_line, ProtocolOptions, Response};
 use crate::service::Service;
@@ -261,6 +269,22 @@ mod tests {
         let mut output = Vec::new();
         serve_stream(&service, &ProtocolOptions::local(), &input[..], &mut output);
         assert_eq!(String::from_utf8(output).unwrap(), "OK 5\nOK bye\n");
+    }
+
+    #[test]
+    fn serve_stream_runs_the_feedback_loop() {
+        let service = service();
+        let input = b"LOAD fig4 builtin:figure4 retain\n\
+                      MAINTAIN fig4 error-mass=4\n\
+                      FEEDBACK fig4 20 /a/b/d/e\n\
+                      EST fig4 /a/b/d/e\nQUIT\n";
+        let mut output = Vec::new();
+        serve_stream(&service, &ProtocolOptions::local(), &input[..], &mut output);
+        let output = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = output.lines().collect();
+        assert_eq!(lines.len(), 5, "{output}");
+        assert!(lines[2].contains("rebuild=done"), "{output}");
+        assert_eq!(lines[3], "OK 20", "post-rebuild estimate is exact");
     }
 
     #[test]

@@ -35,9 +35,24 @@
 //! accepted/shed/queued/peak-queued counters are surfaced through
 //! [`Service::stats`] (and the `STATS` protocol verb) so operators can
 //! see pressure before it becomes failure.
+//!
+//! ## Feedback and self-maintenance
+//!
+//! [`Service::feedback`] closes the paper's Figure 1 loop: an observed
+//! cardinality is routed through the catalog's feedback path (HET entry
+//! updated, epoch bumped, fresh snapshot published — in-flight readers
+//! untouched), and when the document's [`crate::MaintenancePolicy`]
+//! declares the accumulated error mass due, the service's **maintenance
+//! thread** rebuilds the HET from the retained document in the
+//! background. The thread is owned by the service (shutdown-safe:
+//! dropping the service releases it) and pausable like a worker
+//! ([`Service::pause_maintenance`]); callers that need the rebuild's
+//! result synchronously wait on the returned [`RebuildTicket`]. Outcomes
+//! are counted (`feedback_applied` / `feedback_ignored` /
+//! `rebuilds_triggered` in [`ServiceStats`]).
 
-use crate::batch::execute_batch;
-use crate::catalog::Catalog;
+use crate::batch::{execute_batch, FeedbackItem};
+use crate::catalog::{Catalog, CatalogFeedbackBatch, RebuildError};
 use crate::plan_cache::{PlanCache, PlanCacheStats};
 use std::collections::VecDeque;
 use std::fmt;
@@ -47,6 +62,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 use xpathkit::{ParseError, QueryPlan};
 use xseed_core::SynopsisSnapshot;
+use xseed_core::{FeedbackOutcome, FeedbackReport, HetBuildStats};
 
 /// Fallback interval at which an idle worker re-checks its siblings'
 /// queues for stealable work. Pushes notify the target queue *and* one
@@ -296,6 +312,114 @@ impl Shared {
     }
 }
 
+/// One queued maintenance action.
+enum MaintenanceWork {
+    /// Rebuild `name`'s HET from its retained document.
+    Rebuild {
+        name: String,
+        /// Receives the outcome; a dropped receiver means nobody waits.
+        done: mpsc::Sender<Result<(HetBuildStats, u64), RebuildError>>,
+    },
+    /// Parks the maintenance thread until released (mirrors the worker
+    /// fence of [`Service::pause_worker`]).
+    Fence {
+        reached: mpsc::Sender<()>,
+        release: mpsc::Receiver<()>,
+    },
+}
+
+/// State shared between the maintenance thread and the service front end.
+struct MaintenanceShared {
+    jobs: Mutex<VecDeque<MaintenanceWork>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+    /// Feedbacks whose outcome was simple/correlated (applied to a HET).
+    feedback_applied: AtomicU64,
+    /// Feedbacks whose shape the HET cannot store.
+    feedback_ignored: AtomicU64,
+    /// Automatic rebuilds completed by the maintenance thread.
+    rebuilds_triggered: AtomicU64,
+}
+
+impl MaintenanceShared {
+    fn push(&self, work: MaintenanceWork) {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .push_back(work);
+        self.ready.notify_one();
+    }
+
+    fn note_outcome(&self, outcome: FeedbackOutcome) {
+        match outcome {
+            FeedbackOutcome::Unsupported => self.feedback_ignored.fetch_add(1, Ordering::Relaxed),
+            _ => self.feedback_applied.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+}
+
+fn maintenance_loop(catalog: Arc<Catalog>, shared: Arc<MaintenanceShared>) {
+    loop {
+        let work = shared
+            .jobs
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .pop_front();
+        match work {
+            Some(MaintenanceWork::Rebuild { name, done }) => {
+                // Shutdown drains queued rebuilds *without executing
+                // them*: a multi-second build must not hold up
+                // `Service::drop`, and waiters get an honest answer.
+                let result = if shared.shutdown.load(Ordering::Acquire) {
+                    Err(RebuildError::ShutDown)
+                } else {
+                    catalog
+                        .rebuild_het_retained_auto(&name)
+                        .map(|(stats, snapshot)| (stats, snapshot.epoch()))
+                };
+                if result.is_ok() {
+                    shared.rebuilds_triggered.fetch_add(1, Ordering::Relaxed);
+                }
+                // A dropped receiver just means nobody waited.
+                let _ = done.send(result);
+                continue;
+            }
+            Some(MaintenanceWork::Fence { reached, release }) => {
+                drop(reached);
+                // Held until the pause guard releases — but never past
+                // shutdown, so dropping the service cannot hang the join.
+                loop {
+                    match release.recv_timeout(STEAL_POLL) {
+                        Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            if shared.shutdown.load(Ordering::Acquire) {
+                                break;
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            None => {}
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let guard = shared
+            .jobs
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        if guard.is_empty() && !shared.shutdown.load(Ordering::Acquire) {
+            // Bounded wait so a shutdown flag set between the check and
+            // the sleep is still noticed promptly.
+            let _ = shared
+                .ready
+                .wait_timeout(guard, STEAL_POLL)
+                .unwrap_or_else(|poison| poison.into_inner());
+        }
+    }
+}
+
 fn worker_loop(shared: Arc<Shared>, id: usize) {
     loop {
         match shared.pop_own(id).or_else(|| shared.steal(id)) {
@@ -359,6 +483,53 @@ impl PendingEstimate {
     }
 }
 
+/// A handle to an automatic rebuild the maintenance thread owes; resolve
+/// it with [`RebuildTicket::wait`] for a synchronous view (the protocol
+/// layer does, so `FEEDBACK` replies and subsequent `STATS` are
+/// deterministic), or drop it to let the rebuild finish in the
+/// background.
+pub struct RebuildTicket {
+    rx: mpsc::Receiver<Result<(HetBuildStats, u64), RebuildError>>,
+}
+
+impl RebuildTicket {
+    /// Blocks until the maintenance thread finishes the rebuild,
+    /// returning the build statistics and the epoch of the snapshot it
+    /// published. `Err` carries why the rebuild could not run (the
+    /// document was removed or its retention released in the meantime, or
+    /// the service shut down first).
+    pub fn wait(self) -> Result<(HetBuildStats, u64), RebuildError> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            // The maintenance thread dropped the sender without answering:
+            // shutdown won the race. The entry (if any) is unchanged.
+            Err(mpsc::RecvError) => Err(RebuildError::ShutDown),
+        }
+    }
+}
+
+/// Result of one [`Service::feedback`] call.
+pub struct ServiceFeedback {
+    /// What the synopsis recorded (outcome, prior estimate, error).
+    pub report: FeedbackReport,
+    /// Epoch published by the feedback itself (unchanged for unsupported
+    /// shapes; a triggered rebuild publishes a later one — see `rebuild`).
+    pub epoch: u64,
+    /// Present when this feedback crossed the document's maintenance
+    /// policy: the rebuild is already queued on the maintenance thread.
+    pub rebuild: Option<RebuildTicket>,
+}
+
+/// Result of one [`Service::feedback_batch`] call.
+pub struct ServiceFeedbackBatch {
+    /// Per-item reports, in input order.
+    pub reports: Vec<FeedbackReport>,
+    /// Epoch of the single snapshot published after the whole batch.
+    pub epoch: u64,
+    /// Present when the batch crossed the document's maintenance policy.
+    pub rebuild: Option<RebuildTicket>,
+}
+
 /// A point-in-time view of the service counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceStats {
@@ -380,6 +551,13 @@ pub struct ServiceStats {
     pub queued: usize,
     /// High-water mark of [`ServiceStats::queued`] since startup.
     pub peak_queued: usize,
+    /// Feedbacks applied to a HET (simple or correlated) via
+    /// [`Service::feedback`] / [`Service::feedback_batch`].
+    pub feedback_applied: u64,
+    /// Feedbacks ignored (unsupported query shapes).
+    pub feedback_ignored: u64,
+    /// Automatic HET rebuilds completed by the maintenance thread.
+    pub rebuilds_triggered: u64,
     /// Plan-cache counters.
     pub plan_cache: PlanCacheStats,
 }
@@ -396,7 +574,9 @@ pub struct Service {
     catalog: Arc<Catalog>,
     plans: Arc<PlanCache>,
     shared: Arc<Shared>,
+    maintenance: Arc<MaintenanceShared>,
     handles: Vec<JoinHandle<()>>,
+    maintenance_handle: Option<JoinHandle<()>>,
     next_queue: AtomicUsize,
 }
 
@@ -431,6 +611,22 @@ impl Service {
                     .expect("spawn estimation worker")
             })
             .collect();
+        let maintenance = Arc::new(MaintenanceShared {
+            jobs: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            feedback_applied: AtomicU64::new(0),
+            feedback_ignored: AtomicU64::new(0),
+            rebuilds_triggered: AtomicU64::new(0),
+        });
+        let maintenance_handle = {
+            let catalog = catalog.clone();
+            let maintenance = maintenance.clone();
+            std::thread::Builder::new()
+                .name("xseed-maintenance".to_string())
+                .spawn(move || maintenance_loop(catalog, maintenance))
+                .expect("spawn maintenance thread")
+        };
         Service {
             catalog,
             plans: Arc::new(PlanCache::new(
@@ -438,7 +634,9 @@ impl Service {
                 config.plan_cache_capacity,
             )),
             shared,
+            maintenance,
             handles,
+            maintenance_handle: Some(maintenance_handle),
             next_queue: AtomicUsize::new(0),
         }
     }
@@ -555,6 +753,130 @@ impl Service {
         self.submit(doc, query)?.wait()
     }
 
+    /// Enqueues an automatic rebuild of `doc` on the maintenance thread.
+    fn enqueue_rebuild(&self, doc: &str) -> RebuildTicket {
+        let (tx, rx) = mpsc::channel();
+        self.maintenance.push(MaintenanceWork::Rebuild {
+            name: doc.to_string(),
+            done: tx,
+        });
+        RebuildTicket { rx }
+    }
+
+    /// Reserves `cost` queries of admission budget for work that runs on
+    /// the calling thread (feedback): the same backpressure that guards
+    /// the estimate path, so a flooding feedback client sheds with
+    /// [`ServiceError::Overloaded`] instead of consuming unbounded CPU.
+    /// Returns the queue whose budget was reserved; the caller must
+    /// release it.
+    fn admit_inline(&self, cost: usize) -> Result<usize, ServiceError> {
+        let preferred = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.workers();
+        let Some(queue) = self.shared.admit(preferred, cost, false) else {
+            return Err(self.shed(cost));
+        };
+        self.shared
+            .accepted
+            .fetch_add(cost as u64, Ordering::Relaxed);
+        self.shared.note_peak();
+        Ok(queue)
+    }
+
+    /// Feeds back the observed cardinality of an executed query — the
+    /// paper's Figure 1 arrow from the optimizer back to the HET, through
+    /// the serving layer. The query resolves through the plan cache, the
+    /// prior estimate and classification run lock-free against the
+    /// published snapshot, and the observation applies under the catalog
+    /// entry's writer lock (epoch bump + fresh snapshot; unsupported
+    /// shapes change nothing). The work runs on the calling thread but is
+    /// **admission-controlled** like an estimate: it reserves one query of
+    /// queue budget for its duration and sheds with
+    /// [`ServiceError::Overloaded`] when the service is saturated. When
+    /// the document's maintenance policy declares the drift due, a
+    /// rebuild is queued on the maintenance thread and the returned
+    /// [`RebuildTicket`] resolves when it completes. `base` is the
+    /// cardinality of the same path without predicates, when known (see
+    /// [`xseed_core::het::feedback::record_feedback`]).
+    pub fn feedback(
+        &self,
+        doc: &str,
+        query: &str,
+        actual: u64,
+        base: Option<u64>,
+    ) -> Result<ServiceFeedback, ServiceError> {
+        let plan = self.plans.get_or_parse(query)?;
+        let queue = self.admit_inline(1)?;
+        let result = self
+            .catalog
+            .record_feedback(doc, plan.expr(), actual, base)
+            .ok_or_else(|| ServiceError::UnknownDocument(doc.to_string()));
+        self.shared.release(queue, 1);
+        let fb = result?;
+        self.maintenance.note_outcome(fb.report.outcome);
+        let rebuild = fb.rebuild_due.then(|| self.enqueue_rebuild(doc));
+        Ok(ServiceFeedback {
+            report: fb.report,
+            epoch: fb.epoch,
+            rebuild,
+        })
+    }
+
+    /// Feeds back a whole batch of observations in one catalog update
+    /// (one snapshot publication for the batch; see
+    /// [`crate::Catalog::record_feedback_batch`]). The maintenance policy
+    /// is evaluated once over the batch's accumulated error mass.
+    /// Admission-controlled like an estimate batch: the whole batch
+    /// reserves its query count and sheds all-or-nothing.
+    pub fn feedback_batch(
+        &self,
+        doc: &str,
+        items: &[(&str, u64, Option<u64>)],
+    ) -> Result<ServiceFeedbackBatch, ServiceError> {
+        let items = items
+            .iter()
+            .map(|&(query, actual, base)| {
+                Ok(FeedbackItem {
+                    query: self.plans.get_or_parse(query)?,
+                    actual,
+                    base,
+                })
+            })
+            .collect::<Result<Vec<_>, ServiceError>>()?;
+        let queue = self.admit_inline(items.len())?;
+        let result = self
+            .catalog
+            .record_feedback_batch(doc, &items)
+            .ok_or_else(|| ServiceError::UnknownDocument(doc.to_string()));
+        self.shared.release(queue, items.len());
+        let batch: CatalogFeedbackBatch = result?;
+        for report in &batch.reports {
+            self.maintenance.note_outcome(report.outcome);
+        }
+        let rebuild = batch.rebuild_due.then(|| self.enqueue_rebuild(doc));
+        Ok(ServiceFeedbackBatch {
+            reports: batch.reports,
+            epoch: batch.epoch,
+            rebuild,
+        })
+    }
+
+    /// Pauses the maintenance thread: a fence is enqueued and the thread
+    /// parks on it until the returned guard drops, so tests can pile up
+    /// feedback triggers and observe rebuilds draining deterministically.
+    /// Rebuild jobs queued behind the fence stay queued; shutdown
+    /// overrides the fence exactly like [`Service::pause_worker`].
+    pub fn pause_maintenance(&self) -> WorkerPause {
+        let (reached_tx, reached_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel();
+        self.maintenance.push(MaintenanceWork::Fence {
+            reached: reached_tx,
+            release: release_rx,
+        });
+        WorkerPause {
+            _release: release_tx,
+            reached: reached_rx,
+        }
+    }
+
     /// Estimates a batch of queries against one snapshot of `doc`,
     /// splitting it into per-worker chunks that execute as shared-memo
     /// snapshot passes. Results come back in input order. The whole batch
@@ -643,6 +965,9 @@ impl Service {
             shed: self.shared.shed.load(Ordering::Relaxed),
             queued: self.shared.total_queued(),
             peak_queued: self.shared.peak_queued.load(Ordering::Relaxed),
+            feedback_applied: self.maintenance.feedback_applied.load(Ordering::Relaxed),
+            feedback_ignored: self.maintenance.feedback_ignored.load(Ordering::Relaxed),
+            rebuilds_triggered: self.maintenance.rebuilds_triggered.load(Ordering::Relaxed),
             plan_cache: self.plans.stats(),
         }
     }
@@ -670,10 +995,15 @@ impl WorkerPause {
 impl Drop for Service {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
+        self.maintenance.shutdown.store(true, Ordering::Release);
         for shard in &self.shared.queues {
             shard.ready.notify_all();
         }
+        self.maintenance.ready.notify_all();
         for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.maintenance_handle.take() {
             let _ = handle.join();
         }
     }
@@ -850,6 +1180,183 @@ mod tests {
         assert_eq!(stats.executed[0], 0, "paused worker must not execute");
         assert_eq!(stats.executed[1], 8);
         drop(pause);
+    }
+
+    #[test]
+    fn feedback_applies_and_triggers_auto_rebuild() {
+        use crate::catalog::{MaintenancePolicy, RetentionPolicy};
+        let catalog = Arc::new(Catalog::new());
+        let doc = xmlkit::samples::figure4_document();
+        catalog.load_document_with(
+            "fig4",
+            &doc,
+            xseed_core::XseedConfig::default(),
+            RetentionPolicy::Retain,
+            MaintenancePolicy::ErrorMassBound(1.0),
+        );
+        let service = Service::new(catalog, ServiceConfig::with_workers(2));
+
+        let before = service.estimate("fig4", "/a/b/d/e").unwrap();
+        assert!((before - 20.0).abs() > 1e-6, "kernel estimate is inexact");
+
+        let fb = service.feedback("fig4", "/a/b/d/e", 20, None).unwrap();
+        assert_eq!(fb.report.outcome, xseed_core::FeedbackOutcome::SimplePath);
+        assert!((fb.report.estimated - before).abs() < 1e-9);
+        let ticket = fb.rebuild.expect("error mass crossed the bound");
+        let (stats, epoch) = ticket.wait().expect("rebuild runs");
+        assert!(stats.simple_entries > 0);
+        assert!(epoch > fb.epoch);
+
+        // Post-rebuild the fed-back query (and its correlated siblings)
+        // answer exactly, and the counters saw everything.
+        assert!((service.estimate("fig4", "/a/b/d/e").unwrap() - 20.0).abs() < 1e-9);
+        let unsupported = service.feedback("fig4", "//e//f", 3, None).unwrap();
+        assert_eq!(
+            unsupported.report.outcome,
+            xseed_core::FeedbackOutcome::Unsupported
+        );
+        assert!(unsupported.rebuild.is_none());
+        let stats = service.stats();
+        assert_eq!(stats.feedback_applied, 1);
+        assert_eq!(stats.feedback_ignored, 1);
+        assert_eq!(stats.rebuilds_triggered, 1);
+        assert!(matches!(
+            service.feedback("missing", "/a", 1, None),
+            Err(ServiceError::UnknownDocument(_))
+        ));
+        assert!(matches!(
+            service.feedback("fig4", "/[", 1, None),
+            Err(ServiceError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn feedback_batch_counts_and_publishes_once() {
+        use crate::catalog::{MaintenancePolicy, RetentionPolicy};
+        let catalog = Arc::new(Catalog::new());
+        let doc = xmlkit::samples::figure4_document();
+        catalog.load_document_with(
+            "fig4",
+            &doc,
+            xseed_core::XseedConfig::default(),
+            RetentionPolicy::Retain,
+            MaintenancePolicy::ErrorMassBound(1.0),
+        );
+        let service = Service::new(catalog.clone(), ServiceConfig::with_workers(1));
+        let batch = service
+            .feedback_batch(
+                "fig4",
+                &[
+                    ("/a/b/d/e", 20, None),
+                    ("/a/c/d/f", 10, None),
+                    ("//e//f", 3, None),
+                ],
+            )
+            .unwrap();
+        assert_eq!(batch.reports.len(), 3);
+        assert_eq!(catalog.snapshot("fig4").unwrap().epoch(), batch.epoch);
+        let (_, epoch) = batch
+            .rebuild
+            .expect("batch crossed the bound")
+            .wait()
+            .unwrap();
+        assert!(epoch > batch.epoch);
+        let stats = service.stats();
+        assert_eq!(stats.feedback_applied, 2);
+        assert_eq!(stats.feedback_ignored, 1);
+        assert_eq!(stats.rebuilds_triggered, 1);
+    }
+
+    #[test]
+    fn feedback_is_admission_controlled() {
+        // Fill the whole queue budget with a fenced worker: feedback must
+        // shed like an estimate would, and must not leak budget when it
+        // runs.
+        let service = fig2_service_with(ServiceConfig::with_workers(1).with_queue_capacity(2));
+        let pause = service.pause_worker(0);
+        pause.wait_until_paused();
+        let _a = service.submit("fig2", "/a/c/s").unwrap();
+        let _b = service.submit("fig2", "/a/c/s").unwrap();
+        assert!(matches!(
+            service.feedback("fig2", "/a/c/s", 5, None),
+            Err(ServiceError::Overloaded { .. })
+        ));
+        assert!(matches!(
+            service.feedback_batch("fig2", &[("/a/c/s", 5, None)]),
+            Err(ServiceError::Overloaded { .. })
+        ));
+        let shed_before = service.stats().shed;
+        assert_eq!(shed_before, 2);
+        pause.resume();
+        _a.wait().unwrap();
+        _b.wait().unwrap();
+        // Budget drained: feedback admits and releases its reservation.
+        let fb = service.feedback("fig2", "/a/c/s", 5, None).unwrap();
+        assert_eq!(fb.report.outcome, xseed_core::FeedbackOutcome::SimplePath);
+        assert_eq!(service.stats().queued, 0, "feedback releases its budget");
+    }
+
+    #[test]
+    fn pause_maintenance_defers_rebuilds_until_released() {
+        use crate::catalog::{MaintenancePolicy, RetentionPolicy};
+        let catalog = Arc::new(Catalog::new());
+        let doc = xmlkit::samples::figure4_document();
+        catalog.load_document_with(
+            "fig4",
+            &doc,
+            xseed_core::XseedConfig::default(),
+            RetentionPolicy::Retain,
+            MaintenancePolicy::ErrorMassBound(0.5),
+        );
+        let service = Service::new(catalog.clone(), ServiceConfig::with_workers(1));
+        let pause = service.pause_maintenance();
+        pause.wait_until_paused();
+
+        let fb = service.feedback("fig4", "/a/b/d/e", 20, None).unwrap();
+        let ticket = fb.rebuild.expect("bound crossed");
+        // The rebuild is queued but cannot run while paused.
+        assert_eq!(service.stats().rebuilds_triggered, 0);
+        assert_eq!(catalog.info()[0].rebuilds, 0);
+        pause.resume();
+        let (_, epoch) = ticket.wait().expect("rebuild after release");
+        assert!(epoch > fb.epoch);
+        assert_eq!(service.stats().rebuilds_triggered, 1);
+    }
+
+    #[test]
+    fn dropping_the_service_releases_a_paused_maintenance_thread() {
+        let service = fig2_service(1);
+        let pause = service.pause_maintenance();
+        pause.wait_until_paused();
+        drop(service);
+        drop(pause);
+    }
+
+    #[test]
+    fn rebuild_ticket_reports_missing_retention() {
+        use crate::catalog::{MaintenancePolicy, RetentionPolicy};
+        let catalog = Arc::new(Catalog::new());
+        let doc = xmlkit::samples::figure4_document();
+        catalog.load_document_with(
+            "fig4",
+            &doc,
+            xseed_core::XseedConfig::default(),
+            RetentionPolicy::Retain,
+            MaintenancePolicy::ErrorMassBound(0.5),
+        );
+        let service = Service::new(catalog.clone(), ServiceConfig::with_workers(1));
+        let pause = service.pause_maintenance();
+        pause.wait_until_paused();
+        let fb = service.feedback("fig4", "/a/b/d/e", 20, None).unwrap();
+        let ticket = fb.rebuild.expect("bound crossed");
+        // The document vanishes before the maintenance thread gets there.
+        assert!(catalog.release_document("fig4"));
+        pause.resume();
+        assert_eq!(
+            ticket.wait(),
+            Err(crate::catalog::RebuildError::NotRetained)
+        );
+        assert_eq!(service.stats().rebuilds_triggered, 0);
     }
 
     #[test]

@@ -46,6 +46,54 @@ fn overload_session_matches_expected_transcript() {
 }
 
 #[test]
+fn feedback_session_matches_expected_transcript() {
+    // Must mirror the smoke run: `xseed-serve --workers 1`.
+    assert_transcript(
+        "feedback_session.txt",
+        "feedback_session.expected",
+        ServiceConfig::with_workers(1),
+    );
+}
+
+#[test]
+fn feedback_session_demonstrates_the_maintenance_loop() {
+    // The committed transcript must actually show the loop closing: a
+    // triggered rebuild in the FEEDBACK reply, the post-rebuild estimate
+    // exact, and the counters recording exactly one rebuild with the
+    // error mass reset.
+    let expected = example("feedback_session.expected");
+    let lines: Vec<&str> = expected.lines().collect();
+    let feedback = lines
+        .iter()
+        .find(|l| l.starts_with("OK feedback outcome=simple"))
+        .expect("transcript carries an applied FEEDBACK reply");
+    assert!(feedback.contains("rebuild=done"), "{feedback}");
+    assert!(
+        lines.contains(&"OK 20"),
+        "post-rebuild estimate must be exact"
+    );
+    let stats = lines
+        .iter()
+        .find(|l| l.starts_with("OK workers="))
+        .expect("transcript carries STATS");
+    for needle in [
+        "feedback_applied=1",
+        "feedback_ignored=1",
+        "rebuilds_triggered=1",
+        "error_mass=0 ",
+        ",rebuilds=1]",
+    ] {
+        assert!(stats.contains(needle), "missing {needle} in {stats}");
+    }
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.starts_with("OK {") && l.contains("\"rebuilds_triggered\":1")),
+        "STATS json mirrors the maintenance counters"
+    );
+}
+
+#[test]
 fn serve_session_exercises_stats_json() {
     // The committed transcript must cover the structured STATS variant,
     // and its reply must be one well-formed JSON object per the protocol

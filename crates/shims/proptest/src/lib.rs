@@ -10,8 +10,9 @@
 //! Differences from real proptest: shrinking is **basic** rather than
 //! integrated — on a failure the runner greedily applies
 //! [`Strategy::shrink`] candidates (integers halve toward the range start,
-//! vectors drop suffixes and shrink elements, tuples shrink component-wise)
-//! until no candidate still fails, then reports the minimized input.
+//! vectors drop suffixes *and individual elements at any index* and shrink
+//! elements in place, tuples shrink component-wise) until no candidate
+//! still fails, then reports the minimized input.
 //! Strategies built with `prop_map` / `prop_recursive` do not shrink
 //! (mapping functions are not invertible), so a failing case built through
 //! them is reported as generated; the case number and the deterministic
@@ -321,8 +322,11 @@ pub mod prop {
             }
 
             /// Vectors drop suffixes (down to the size range's lower
-            /// bound, most aggressive first), then shrink elements in
-            /// place through the element strategy.
+            /// bound, most aggressive first), then drop **individual
+            /// elements at every index** (index-subset removal: a failure
+            /// caused by a non-tail element still minimizes, instead of
+            /// stalling at the shortest prefix containing it), then
+            /// shrink elements in place through the element strategy.
             fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
                 let min = self.size.lower_bound();
                 let mut out: Vec<Vec<S::Value>> = Vec::new();
@@ -335,6 +339,14 @@ pub mod prop {
                     keep(min);
                     keep(min + (value.len() - min) / 2);
                     keep(value.len() - 1);
+                    // Single-element removals, front to back. The last
+                    // index duplicates the `len - 1` suffix drop above
+                    // and is skipped.
+                    for i in 0..value.len() - 1 {
+                        let mut next = value.clone();
+                        next.remove(i);
+                        out.push(next);
+                    }
                 }
                 for (i, element) in value.iter().enumerate() {
                     for candidate in self.element.shrink(element) {
@@ -670,10 +682,37 @@ mod tests {
         assert!(candidates.contains(&vec![3, 7]));
         assert!(candidates.contains(&vec![3, 7, 1]));
         assert!(candidates.iter().all(|v| v.len() >= 2));
+        // Index-subset removals: any single element can go, not just a
+        // suffix.
+        assert!(candidates.contains(&vec![7, 1, 9]));
+        assert!(candidates.contains(&vec![3, 1, 9]));
+        assert!(candidates.contains(&vec![3, 7, 9]));
         // Element shrinks keep the length.
         assert!(candidates.contains(&vec![0, 7, 1, 9]));
         // A minimal value has no candidates.
         assert!(crate::Strategy::shrink(&strat, &vec![0, 0]).is_empty());
+    }
+
+    #[test]
+    fn shrink_failure_removes_middle_elements() {
+        // The failure is planted strictly in the middle: only the value 7
+        // matters, and it is neither first nor last. Suffix-only
+        // shrinking would stall at a prefix still containing the passing
+        // head; index-subset removal minimizes to exactly one element.
+        let strat = (prop::collection::vec(0u32..100, 0..10usize),);
+        let run = |v: &(Vec<u32>,)| {
+            if v.0.contains(&7) {
+                Err(crate::TestCaseError::fail("contains the planted value"))
+            } else {
+                Ok(())
+            }
+        };
+        let start = (vec![1, 7, 3, 4],);
+        assert!(run(&start).is_err());
+        let (minimal, _, steps) =
+            crate::shrink_failure(&strat, start, crate::TestCaseError::fail("seed"), &run);
+        assert_eq!(minimal, (vec![7],));
+        assert!(steps > 0);
     }
 
     #[test]
