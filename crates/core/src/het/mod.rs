@@ -36,4 +36,4 @@ pub use builder::{
 };
 pub use feedback::FeedbackOutcome;
 pub use hash::{correlated_key, inc_hash, path_hash, PATH_HASH_SEED};
-pub use table::{HetEntryKind, HyperEdgeTable};
+pub use table::{HetEntry, HetEntryKind, HyperEdgeTable, ENTRY_BYTES};

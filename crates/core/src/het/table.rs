@@ -192,6 +192,15 @@ impl HyperEdgeTable {
         self.resident_len() * ENTRY_BYTES
     }
 
+    /// Iterates over all entries (resident or not) in insertion order.
+    ///
+    /// Residency ties on equal error are broken by this order (the
+    /// residency sort is stable), so a serializer that preserves it —
+    /// [`crate::persist`] — reproduces the exact resident set on reload.
+    pub fn entries(&self) -> impl Iterator<Item = &HetEntry> {
+        self.entries.iter()
+    }
+
     /// Iterates over all entries (resident or not), largest error first.
     pub fn entries_by_error(&self) -> Vec<&HetEntry> {
         let mut all: Vec<&HetEntry> = self.entries.iter().collect();

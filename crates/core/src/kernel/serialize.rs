@@ -94,7 +94,10 @@ impl Kernel {
         };
         let mut kernel = Kernel::new();
         let vertex_count = cursor.read_varint()? as usize;
-        let mut ids = Vec::with_capacity(vertex_count);
+        // A hostile count cannot force a huge allocation: every vertex
+        // consumes at least one byte, so cap the reservation by what the
+        // input could actually encode.
+        let mut ids = Vec::with_capacity(vertex_count.min(cursor.remaining()));
         for _ in 0..vertex_count {
             let len = cursor.read_varint()? as usize;
             let raw = cursor.read_bytes(len)?;
@@ -119,7 +122,7 @@ impl Kernel {
             );
             let e = kernel.get_or_create_edge(u, v);
             let levels = cursor.read_varint()? as usize;
-            let mut pairs = Vec::with_capacity(levels);
+            let mut pairs = Vec::with_capacity(levels.min(cursor.remaining()));
             for _ in 0..levels {
                 let p = cursor.read_varint()?;
                 let c = cursor.read_varint()?;
@@ -137,14 +140,31 @@ impl Kernel {
     }
 }
 
-struct Cursor<'a> {
+/// Byte-stream reader shared by the kernel decoder and the snapshot
+/// decoder in [`crate::persist`].
+pub(crate) struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn read_bytes(&mut self, len: usize) -> Result<&'a [u8], DecodeError> {
-        if self.pos + len > self.bytes.len() {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    /// Bytes left in the stream.
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    pub(crate) fn is_exhausted(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    pub(crate) fn read_bytes(&mut self, len: usize) -> Result<&'a [u8], DecodeError> {
+        // `len > remaining`, phrased without `pos + len` so a hostile
+        // length near `usize::MAX` cannot overflow the check.
+        if len > self.bytes.len() - self.pos {
             return Err(DecodeError::Truncated);
         }
         let out = &self.bytes[self.pos..self.pos + len];
@@ -152,7 +172,23 @@ impl<'a> Cursor<'a> {
         Ok(out)
     }
 
-    fn read_varint(&mut self) -> Result<u64, DecodeError> {
+    pub(crate) fn read_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.read_bytes(1)?[0])
+    }
+
+    pub(crate) fn read_u32_le(&mut self) -> Result<u32, DecodeError> {
+        let raw = self.read_bytes(4)?;
+        Ok(u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]))
+    }
+
+    pub(crate) fn read_u64_le(&mut self) -> Result<u64, DecodeError> {
+        let raw = self.read_bytes(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(raw);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    pub(crate) fn read_varint(&mut self) -> Result<u64, DecodeError> {
         let mut value = 0u64;
         let mut shift = 0u32;
         loop {
@@ -171,7 +207,7 @@ impl<'a> Cursor<'a> {
 }
 
 /// Writes a LEB128 varint.
-fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+pub(crate) fn write_varint(out: &mut Vec<u8>, mut value: u64) {
     loop {
         let byte = (value & 0x7f) as u8;
         value >>= 7;

@@ -41,6 +41,7 @@ pub mod counter_stacks;
 pub mod estimate;
 pub mod het;
 pub mod kernel;
+pub mod persist;
 pub mod synopsis;
 
 pub use config::XseedConfig;
@@ -54,6 +55,7 @@ pub use het::{
     HetBuilder, HyperEdgeTable, PerLevelBudgetStrategy, TopKErrorStrategy,
 };
 pub use kernel::{EdgeLabel, FrozenKernel, Kernel, KernelBuilder};
+pub use persist::{decode_snapshot, encode_snapshot, PersistError, SnapshotParts};
 pub use synopsis::{
     EstimateReport, FeedbackReport, SynopsisEstimator, SynopsisSnapshot, XseedSynopsis,
 };

@@ -1,0 +1,618 @@
+//! Versioned, checksummed binary snapshot format for a whole synopsis.
+//!
+//! A snapshot bundles everything needed to serve a document again after a
+//! restart: the kernel bytes ([`Kernel::serialize`]), the hyper-edge table
+//! with its budget, the [`XseedConfig`], the epoch the synopsis was saved
+//! at, and optionally the retained document as XML text (so maintenance
+//! retention can spill to disk instead of holding the tree in RAM).
+//!
+//! ## Format
+//!
+//! ```text
+//! magic   "XSEEDSNP"                     (8 bytes)
+//! version u32 LE                          (currently 1)
+//! section_count varint
+//! per section:
+//!   tag      4 bytes                      ("CONF" | "KERN" | "HETB" | "DOCX")
+//!   length   varint                       (bounds-checked before any read)
+//!   crc32    u32 LE                       (IEEE CRC-32 of the payload)
+//!   payload  `length` bytes
+//! ```
+//!
+//! Sections appear in the fixed order above; `CONF` and `KERN` are
+//! required, `HETB` and `DOCX` optional. Integers inside payloads are
+//! LEB128 varints, floats are IEEE-754 bit patterns as u64 LE.
+//!
+//! ## Decoder posture
+//!
+//! Snapshot bytes on disk are the system's first untrusted-input surface,
+//! so [`decode_snapshot`] is paranoid: magic/version gates, per-section
+//! CRCs, every length field bounds-checked against the remaining input
+//! *before* any allocation, unknown/duplicate/out-of-order sections
+//! rejected, payloads that underrun or overrun their declared length
+//! rejected, non-finite floats rejected, and no trailing bytes tolerated.
+//! On any malformed input it returns `Err` — it never panics and never
+//! allocates more than the input could actually encode (the fuzz corpus
+//! in `tests/persist_corpus.rs` pins this).
+//!
+//! ## Determinism
+//!
+//! Estimates from a decoded snapshot are bit-identical to the original:
+//! the kernel round-trips its live edges in creation order, and the HET
+//! round-trips entries in insertion order, which (together with the saved
+//! budget and the stable residency sort) reproduces the exact resident
+//! set.
+
+use crate::config::XseedConfig;
+use crate::het::{HetEntry, HetEntryKind, HyperEdgeTable};
+use crate::kernel::serialize::{write_varint, Cursor, DecodeError};
+use crate::kernel::Kernel;
+
+/// Magic header identifying a snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"XSEEDSNP";
+/// Current format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Section tags in their mandatory file order.
+const TAGS: [&[u8; 4]; 4] = [b"CONF", b"KERN", b"HETB", b"DOCX"];
+const TAG_CONF: usize = 0;
+const TAG_KERN: usize = 1;
+const TAG_HETB: usize = 2;
+const TAG_DOCX: usize = 3;
+
+/// Minimum encoded size of one HET entry: 8-byte key + 1-byte kind +
+/// at-least-1-byte cardinality varint + two 8-byte floats. Used to
+/// fail-fast on hostile entry counts before any allocation.
+const MIN_HET_ENTRY_BYTES: usize = 26;
+
+/// Errors returned by [`decode_snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The magic header was missing or wrong.
+    BadMagic,
+    /// The format version is newer than this decoder understands.
+    UnsupportedVersion(u32),
+    /// The byte stream ended before a declared field or section.
+    Truncated,
+    /// A section's CRC-32 did not match its payload; names the section.
+    Checksum(&'static str),
+    /// The bytes are structurally invalid; the message says how.
+    Malformed(&'static str),
+    /// The kernel section failed to decode.
+    Kernel(DecodeError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::BadMagic => write!(f, "bad snapshot magic header"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+            PersistError::Truncated => write!(f, "snapshot is truncated"),
+            PersistError::Checksum(section) => {
+                write!(f, "checksum mismatch in {section} section")
+            }
+            PersistError::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+            PersistError::Kernel(e) => write!(f, "kernel section invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<DecodeError> for PersistError {
+    fn from(e: DecodeError) -> Self {
+        match e {
+            DecodeError::Truncated => PersistError::Truncated,
+            other => PersistError::Kernel(other),
+        }
+    }
+}
+
+/// Everything [`decode_snapshot`] recovers from a snapshot.
+#[derive(Debug, Clone)]
+pub struct SnapshotParts {
+    /// The decoded kernel.
+    pub kernel: Kernel,
+    /// The hyper-edge table, if one was saved; residency is already
+    /// rebuilt under the saved budget.
+    pub het: Option<HyperEdgeTable>,
+    /// The estimator configuration.
+    pub config: XseedConfig,
+    /// The epoch the synopsis was saved at.
+    pub epoch: u64,
+    /// The retained document as XML text, if it was spilled into the
+    /// snapshot.
+    pub document_xml: Option<String>,
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE), table generated at compile time — no external crates.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn push_section(out: &mut Vec<u8>, tag: usize, payload: &[u8]) {
+    out.extend_from_slice(TAGS[tag]);
+    write_varint(out, payload.len() as u64);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+fn encode_conf(config: &XseedConfig, epoch: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(48);
+    out.extend_from_slice(&config.card_threshold.to_bits().to_le_bytes());
+    out.extend_from_slice(&config.bsel_threshold.to_bits().to_le_bytes());
+    write_varint(&mut out, config.max_branching_predicates as u64);
+    match config.memory_budget {
+        Some(bytes) => {
+            out.push(1);
+            write_varint(&mut out, bytes as u64);
+        }
+        None => out.push(0),
+    }
+    write_varint(&mut out, config.max_ept_nodes as u64);
+    write_varint(&mut out, config.compiled_cache_capacity as u64);
+    write_varint(&mut out, epoch);
+    out
+}
+
+fn encode_het(het: &HyperEdgeTable) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + het.len() * 32);
+    match het.budget() {
+        Some(bytes) => {
+            out.push(1);
+            write_varint(&mut out, bytes as u64);
+        }
+        None => out.push(0),
+    }
+    write_varint(&mut out, het.len() as u64);
+    // Insertion order: residency ties on equal error are broken by it,
+    // so preserving it makes the reloaded resident set exact.
+    for entry in het.entries() {
+        out.extend_from_slice(&entry.key.to_le_bytes());
+        out.push(match entry.kind {
+            HetEntryKind::SimplePath => 0,
+            HetEntryKind::Correlated => 1,
+        });
+        write_varint(&mut out, entry.cardinality);
+        out.extend_from_slice(&entry.bsel.to_bits().to_le_bytes());
+        out.extend_from_slice(&entry.error.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Encodes a snapshot of the given parts. `epoch` is the synopsis epoch
+/// to restore on load; `document_xml` optionally spills the retained
+/// document into the snapshot.
+pub fn encode_snapshot(
+    kernel: &Kernel,
+    het: Option<&HyperEdgeTable>,
+    config: &XseedConfig,
+    epoch: u64,
+    document_xml: Option<&str>,
+) -> Vec<u8> {
+    let kernel_bytes = kernel.serialize();
+    let mut out = Vec::with_capacity(64 + kernel_bytes.len());
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    let sections = 2 + usize::from(het.is_some()) + usize::from(document_xml.is_some());
+    write_varint(&mut out, sections as u64);
+    push_section(&mut out, TAG_CONF, &encode_conf(config, epoch));
+    push_section(&mut out, TAG_KERN, &kernel_bytes);
+    if let Some(het) = het {
+        push_section(&mut out, TAG_HETB, &encode_het(het));
+    }
+    if let Some(xml) = document_xml {
+        push_section(&mut out, TAG_DOCX, xml.as_bytes());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+fn read_finite_f64(cursor: &mut Cursor<'_>) -> Result<f64, PersistError> {
+    let value = f64::from_bits(cursor.read_u64_le()?);
+    if !value.is_finite() {
+        return Err(PersistError::Malformed("non-finite float"));
+    }
+    Ok(value)
+}
+
+fn decode_conf(payload: &[u8]) -> Result<(XseedConfig, u64), PersistError> {
+    let mut cursor = Cursor::new(payload);
+    let card_threshold = read_finite_f64(&mut cursor)?;
+    let bsel_threshold = read_finite_f64(&mut cursor)?;
+    let max_branching_predicates = cursor.read_varint()? as usize;
+    let memory_budget = match cursor.read_u8()? {
+        0 => None,
+        1 => Some(cursor.read_varint()? as usize),
+        _ => return Err(PersistError::Malformed("bad memory-budget flag")),
+    };
+    let max_ept_nodes = cursor.read_varint()? as usize;
+    let compiled_cache_capacity = cursor.read_varint()? as usize;
+    let epoch = cursor.read_varint()?;
+    if !cursor.is_exhausted() {
+        return Err(PersistError::Malformed("trailing bytes in CONF section"));
+    }
+    Ok((
+        XseedConfig {
+            card_threshold,
+            bsel_threshold,
+            max_branching_predicates,
+            memory_budget,
+            max_ept_nodes,
+            compiled_cache_capacity,
+        },
+        epoch,
+    ))
+}
+
+fn decode_het(payload: &[u8]) -> Result<HyperEdgeTable, PersistError> {
+    let mut cursor = Cursor::new(payload);
+    let budget = match cursor.read_u8()? {
+        0 => None,
+        1 => Some(cursor.read_varint()? as usize),
+        _ => return Err(PersistError::Malformed("bad HET budget flag")),
+    };
+    let count = cursor.read_varint()? as usize;
+    // Each entry consumes at least MIN_HET_ENTRY_BYTES, so a count the
+    // remaining payload cannot possibly hold is rejected before any
+    // entry is read or stored.
+    if count > cursor.remaining() / MIN_HET_ENTRY_BYTES {
+        return Err(PersistError::Truncated);
+    }
+    let mut het = HyperEdgeTable::new();
+    for _ in 0..count {
+        let key = cursor.read_u64_le()?;
+        let kind = match cursor.read_u8()? {
+            0 => HetEntryKind::SimplePath,
+            1 => HetEntryKind::Correlated,
+            _ => return Err(PersistError::Malformed("bad HET entry kind")),
+        };
+        let cardinality = cursor.read_varint()?;
+        let bsel = read_finite_f64(&mut cursor)?;
+        let error = read_finite_f64(&mut cursor)?;
+        het.insert(HetEntry {
+            key,
+            kind,
+            cardinality,
+            bsel,
+            error,
+        });
+    }
+    if !cursor.is_exhausted() {
+        return Err(PersistError::Malformed("trailing bytes in HETB section"));
+    }
+    het.set_budget(budget);
+    Ok(het)
+}
+
+/// Decodes snapshot bytes produced by [`encode_snapshot`].
+///
+/// Returns `Err` on any malformed input; never panics.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotParts, PersistError> {
+    if bytes.len() < SNAPSHOT_MAGIC.len() || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let mut cursor = Cursor::new(&bytes[SNAPSHOT_MAGIC.len()..]);
+    let version = cursor.read_u32_le()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let section_count = cursor.read_varint()? as usize;
+    if section_count > TAGS.len() {
+        return Err(PersistError::Malformed("too many sections"));
+    }
+
+    let mut conf: Option<(XseedConfig, u64)> = None;
+    let mut kernel: Option<Kernel> = None;
+    let mut het: Option<HyperEdgeTable> = None;
+    let mut document_xml: Option<String> = None;
+    // Sections must appear in TAGS order, each at most once.
+    let mut next_tag = 0usize;
+    for _ in 0..section_count {
+        let raw_tag = cursor.read_bytes(4)?;
+        let tag = TAGS[next_tag..]
+            .iter()
+            .position(|t| t.as_slice() == raw_tag)
+            .map(|offset| next_tag + offset)
+            .ok_or(PersistError::Malformed(
+                "unknown, duplicate, or out-of-order section tag",
+            ))?;
+        next_tag = tag + 1;
+        let len = cursor.read_varint()? as usize;
+        let expected_crc = cursor.read_u32_le()?;
+        // read_bytes bounds-checks `len` against the remaining input, so
+        // a hostile length fails here before any allocation.
+        let payload = cursor.read_bytes(len)?;
+        if crc32(payload) != expected_crc {
+            return Err(PersistError::Checksum(match tag {
+                TAG_CONF => "CONF",
+                TAG_KERN => "KERN",
+                TAG_HETB => "HETB",
+                _ => "DOCX",
+            }));
+        }
+        match tag {
+            TAG_CONF => conf = Some(decode_conf(payload)?),
+            TAG_KERN => kernel = Some(Kernel::deserialize(payload)?),
+            TAG_HETB => het = Some(decode_het(payload)?),
+            _ => {
+                let xml = std::str::from_utf8(payload)
+                    .map_err(|_| PersistError::Malformed("DOCX section is not valid UTF-8"))?;
+                document_xml = Some(xml.to_string());
+            }
+        }
+    }
+    if !cursor.is_exhausted() {
+        return Err(PersistError::Malformed("trailing bytes after sections"));
+    }
+    let (config, epoch) = conf.ok_or(PersistError::Malformed("missing CONF section"))?;
+    let kernel = kernel.ok_or(PersistError::Malformed("missing KERN section"))?;
+    Ok(SnapshotParts {
+        kernel,
+        het,
+        config,
+        epoch,
+        document_xml,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+    use xmlkit::samples::figure2_document;
+
+    fn sample_kernel() -> Kernel {
+        KernelBuilder::from_document(&figure2_document())
+    }
+
+    fn sample_het() -> HyperEdgeTable {
+        let mut het = HyperEdgeTable::new();
+        het.insert_simple(11, 100, 0.5, 3.0);
+        het.insert_correlated(22, 40, 0.25, 7.0);
+        het.insert_simple(33, 9, 0.75, 7.0);
+        het.set_budget(Some(2 * crate::het::ENTRY_BYTES));
+        het
+    }
+
+    fn sample_bytes() -> Vec<u8> {
+        let config = XseedConfig::default()
+            .with_memory_budget(25 * 1024)
+            .with_card_threshold(5.0);
+        encode_snapshot(
+            &sample_kernel(),
+            Some(&sample_het()),
+            &config,
+            42,
+            Some("<a><b/></a>"),
+        )
+    }
+
+    #[test]
+    fn full_roundtrip() {
+        let parts = decode_snapshot(&sample_bytes()).unwrap();
+        assert_eq!(parts.epoch, 42);
+        assert_eq!(parts.config.card_threshold, 5.0);
+        assert_eq!(parts.config.memory_budget, Some(25 * 1024));
+        assert_eq!(parts.document_xml.as_deref(), Some("<a><b/></a>"));
+        assert_eq!(parts.kernel.to_string(), sample_kernel().to_string());
+        let het = parts.het.unwrap();
+        assert_eq!(het.len(), 3);
+        assert_eq!(het.budget(), Some(2 * crate::het::ENTRY_BYTES));
+        // Budget admits two entries; the tie at error 7.0 is broken by
+        // insertion order, same as in the original.
+        assert_eq!(het.resident_len(), 2);
+        assert_eq!(het.lookup_correlated(22), Some(0.25));
+        assert_eq!(het.lookup_simple(33), Some((9, 0.75)));
+        assert_eq!(het.lookup_simple(11), None);
+    }
+
+    #[test]
+    fn minimal_roundtrip_without_optional_sections() {
+        let bytes = encode_snapshot(&sample_kernel(), None, &XseedConfig::default(), 0, None);
+        let parts = decode_snapshot(&bytes).unwrap();
+        assert!(parts.het.is_none());
+        assert!(parts.document_xml.is_none());
+        assert_eq!(parts.epoch, 0);
+        assert_eq!(parts.config, XseedConfig::default());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(
+            decode_snapshot(b"nope").unwrap_err(),
+            PersistError::BadMagic
+        );
+        let mut bytes = sample_bytes();
+        bytes[0] ^= 0xff;
+        assert_eq!(decode_snapshot(&bytes).unwrap_err(), PersistError::BadMagic);
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut bytes = sample_bytes();
+        bytes[8] = 9;
+        assert_eq!(
+            decode_snapshot(&bytes).unwrap_err(),
+            PersistError::UnsupportedVersion(9)
+        );
+    }
+
+    #[test]
+    fn every_truncation_errors() {
+        let bytes = sample_bytes();
+        for len in 0..bytes.len() {
+            assert!(
+                decode_snapshot(&bytes[..len]).is_err(),
+                "prefix of {len} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_corruption_is_caught_by_crc() {
+        let good = sample_bytes();
+        // Flip one bit somewhere in the middle of the kernel payload.
+        let mut bytes = good.clone();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        assert!(decode_snapshot(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_section_length_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        bytes.push(1); // one section
+        bytes.extend_from_slice(b"CONF");
+        // Hostile length: ~u64::MAX as a varint.
+        bytes.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]);
+        bytes.extend_from_slice(&[0, 0, 0, 0]); // crc
+        assert_eq!(
+            decode_snapshot(&bytes).unwrap_err(),
+            PersistError::Truncated
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample_bytes();
+        bytes.push(0);
+        assert_eq!(
+            decode_snapshot(&bytes).unwrap_err(),
+            PersistError::Malformed("trailing bytes after sections")
+        );
+    }
+
+    #[test]
+    fn duplicate_section_rejected() {
+        let kernel = sample_kernel();
+        let conf = {
+            let mut out = Vec::new();
+            out.extend_from_slice(SNAPSHOT_MAGIC);
+            out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+            out.push(3);
+            let conf_payload = super::encode_conf(&XseedConfig::default(), 0);
+            super::push_section(&mut out, TAG_CONF, &conf_payload);
+            super::push_section(&mut out, TAG_CONF, &conf_payload);
+            super::push_section(&mut out, TAG_KERN, &kernel.serialize());
+            out
+        };
+        assert!(matches!(
+            decode_snapshot(&conf).unwrap_err(),
+            PersistError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn missing_required_sections_rejected() {
+        let mut out = Vec::new();
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.push(1);
+        super::push_section(
+            &mut out,
+            TAG_CONF,
+            &super::encode_conf(&XseedConfig::default(), 0),
+        );
+        assert_eq!(
+            decode_snapshot(&out).unwrap_err(),
+            PersistError::Malformed("missing KERN section")
+        );
+    }
+
+    #[test]
+    fn non_finite_float_rejected() {
+        let mut out = Vec::new();
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.push(2);
+        let mut conf = super::encode_conf(&XseedConfig::default(), 0);
+        conf[..8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        super::push_section(&mut out, TAG_CONF, &conf);
+        super::push_section(&mut out, TAG_KERN, &sample_kernel().serialize());
+        assert_eq!(
+            decode_snapshot(&out).unwrap_err(),
+            PersistError::Malformed("non-finite float")
+        );
+    }
+
+    #[test]
+    fn hostile_het_entry_count_rejected() {
+        let mut het_payload = Vec::new();
+        het_payload.push(0); // no budget
+        write_varint(&mut het_payload, u64::MAX); // hostile count
+        let mut out = Vec::new();
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.push(3);
+        super::push_section(
+            &mut out,
+            TAG_CONF,
+            &super::encode_conf(&XseedConfig::default(), 0),
+        );
+        super::push_section(&mut out, TAG_KERN, &sample_kernel().serialize());
+        super::push_section(&mut out, TAG_HETB, &het_payload);
+        assert_eq!(decode_snapshot(&out).unwrap_err(), PersistError::Truncated);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(PersistError::BadMagic.to_string().contains("magic"));
+        assert!(PersistError::UnsupportedVersion(7)
+            .to_string()
+            .contains('7'));
+        assert!(PersistError::Truncated.to_string().contains("truncated"));
+        assert!(PersistError::Checksum("KERN").to_string().contains("KERN"));
+        assert!(PersistError::Malformed("x").to_string().contains('x'));
+        assert!(PersistError::Kernel(DecodeError::BadIndex)
+            .to_string()
+            .contains("kernel"));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

@@ -186,6 +186,23 @@ impl XseedSynopsis {
         XseedSynopsis::new(kernel, None, config)
     }
 
+    /// Reassembles a synopsis from previously persisted parts — kernel,
+    /// optional HET, config, and the epoch it was saved at — without any
+    /// of the epoch bumps the mutating setters apply. Used by snapshot
+    /// restore ([`crate::persist`]): the reloaded synopsis starts at the
+    /// exact saved epoch, so published snapshot identities survive a
+    /// restart.
+    pub fn from_parts(
+        kernel: Kernel,
+        het: Option<HyperEdgeTable>,
+        config: XseedConfig,
+        epoch: u64,
+    ) -> Self {
+        let mut synopsis = XseedSynopsis::new(kernel, het.map(Arc::new), config);
+        synopsis.epoch = epoch;
+        synopsis
+    }
+
     /// Attaches (or replaces) a hyper-edge table.
     pub fn set_het(&mut self, het: HyperEdgeTable) {
         self.invalidate_snapshot();

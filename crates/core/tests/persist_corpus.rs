@@ -1,0 +1,123 @@
+//! Fuzz-style corpus for the snapshot decoder: truncated, bit-flipped,
+//! hostile-length, and plain random inputs must make [`decode_snapshot`]
+//! return `Err` — never panic, never over-allocate (length fields are
+//! bounds-checked against the remaining input before any allocation, so a
+//! hostile length cannot reserve more memory than the input itself could
+//! encode).
+//!
+//! The same hostility is pointed at [`Kernel::deserialize`] directly,
+//! since the KERN section embeds it.
+
+use proptest::prelude::*;
+use xmlkit::samples::figure2_document;
+use xseed_core::persist::{decode_snapshot, encode_snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+use xseed_core::{HyperEdgeTable, Kernel, KernelBuilder, XseedConfig};
+
+/// A representative full snapshot: kernel + budgeted HET + config +
+/// retained document XML.
+fn valid_snapshot() -> Vec<u8> {
+    let kernel = KernelBuilder::from_document(&figure2_document());
+    let mut het = HyperEdgeTable::new();
+    for i in 0..8u64 {
+        het.insert_simple(i, i * 10, 0.5, i as f64);
+        het.insert_correlated(i, i * 3, 0.25, (i as f64) / 2.0);
+    }
+    het.set_budget(Some(10 * xseed_core::het::ENTRY_BYTES));
+    let config = XseedConfig::default().with_memory_budget(64 * 1024);
+    encode_snapshot(&kernel, Some(&het), &config, 7, Some("<a><b/><b/></a>"))
+}
+
+#[test]
+fn every_truncation_of_a_valid_snapshot_errors() {
+    let bytes = valid_snapshot();
+    for len in 0..bytes.len() {
+        assert!(
+            decode_snapshot(&bytes[..len]).is_err(),
+            "truncation to {len} bytes decoded successfully"
+        );
+    }
+}
+
+#[test]
+fn every_truncation_of_a_valid_kernel_errors() {
+    let bytes = KernelBuilder::from_document(&figure2_document()).serialize();
+    for len in 0..bytes.len() {
+        assert!(
+            Kernel::deserialize(&bytes[..len]).is_err(),
+            "kernel truncation to {len} bytes decoded successfully"
+        );
+    }
+}
+
+#[test]
+fn hostile_lengths_rejected_everywhere() {
+    // A huge varint planted as each section's length in turn; the decoder
+    // must reject it via the bounds check, not attempt the allocation.
+    let huge = [0xffu8, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01];
+    for tag in [*b"CONF", *b"KERN", *b"HETB", *b"DOCX", *b"ZZZZ"] {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        bytes.push(1);
+        bytes.extend_from_slice(&tag);
+        bytes.extend_from_slice(&huge);
+        bytes.extend_from_slice(&[0u8; 4]);
+        assert!(decode_snapshot(&bytes).is_err());
+    }
+}
+
+fn check_bit_flip(seed: &[u8], byte_pick: usize, bit: usize) -> Result<(), TestCaseError> {
+    let mut bytes = seed.to_vec();
+    let idx = byte_pick % bytes.len();
+    bytes[idx] ^= 1 << bit;
+    // Every byte of the format is load-bearing: header fields are gated
+    // directly, payload bytes by their section CRC. A single-bit flip
+    // must surface as an error (and must not panic).
+    prop_assert!(
+        decode_snapshot(&bytes).is_err(),
+        "bit {bit} of byte {idx} flipped and the snapshot still decoded"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn single_bit_flips_never_decode(byte_pick in 0usize..1_000_000, bit in 0usize..8) {
+        check_bit_flip(&valid_snapshot(), byte_pick, bit)?;
+    }
+
+    #[test]
+    fn random_tails_never_panic(tail in prop::collection::vec(0usize..256, 0..200)) {
+        // Valid magic + version followed by arbitrary garbage: the decoder
+        // must return (either way) without panicking.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        bytes.extend(tail.iter().map(|&b| b as u8));
+        let _ = decode_snapshot(&bytes);
+    }
+
+    #[test]
+    fn random_bytes_never_panic(raw in prop::collection::vec(0usize..256, 0..200)) {
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        let _ = decode_snapshot(&bytes);
+        let _ = Kernel::deserialize(&bytes);
+    }
+
+    #[test]
+    fn kernel_bytes_with_garbage_prefix_replaced_never_panic(
+        raw in prop::collection::vec(0usize..256, 0..64),
+        splice in 0usize..1_000_000,
+    ) {
+        // Splice random bytes into the middle of a valid kernel stream:
+        // the decoder may reject or (for benign splices) accept, but must
+        // never panic or over-allocate.
+        let mut bytes = KernelBuilder::from_document(&figure2_document()).serialize();
+        let at = splice % bytes.len();
+        let garbage: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        bytes.splice(at..at, garbage);
+        let _ = Kernel::deserialize(&bytes);
+    }
+}

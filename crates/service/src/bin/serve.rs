@@ -10,6 +10,7 @@
 //! xseed-serve [--workers N] [--queue-capacity Q] [--tcp ADDR]
 //!             [--max-connections C] [--idle-timeout SECS]
 //!             [--allow-fs-load] [--maintain-error-mass X]
+//!             [--snapshot-dir DIR]
 //! ```
 //!
 //! * `--workers N` — estimation worker threads (default: the CPU count).
@@ -28,6 +29,11 @@
 //!   absolute error (per document). Without it, retention and policies
 //!   are per-document (`LOAD … retain` + `MAINTAIN`); see
 //!   `docs/OPERATIONS.md` for sizing the bound.
+//! * `--snapshot-dir DIR` — warm-start from `DIR` at boot: every
+//!   `*.xsnap` snapshot that decodes is served under its file stem;
+//!   every one that doesn't is quarantined (renamed to `.corrupt`,
+//!   logged, counted in `STATS`). The boot itself is never refused.
+//!   The directory is created if missing.
 //!
 //! Example session:
 //!
@@ -54,11 +60,12 @@ struct Args {
     idle_timeout_secs: u64,
     allow_fs_load: bool,
     maintain_error_mass: Option<f64>,
+    snapshot_dir: Option<String>,
 }
 
 const USAGE: &str = "usage: xseed-serve [--workers N] [--queue-capacity Q] [--tcp ADDR] \
                      [--max-connections C] [--idle-timeout SECS] [--allow-fs-load] \
-                     [--maintain-error-mass X]";
+                     [--maintain-error-mass X] [--snapshot-dir DIR]";
 
 /// `Ok(None)` means `--help` was requested.
 fn parse_args() -> Result<Option<Args>, String> {
@@ -70,6 +77,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         idle_timeout_secs: 300,
         allow_fs_load: false,
         maintain_error_mass: None,
+        snapshot_dir: None,
     };
     let mut it = std::env::args().skip(1);
     let parse = |flag: &str, value: Option<String>| -> Result<u64, String> {
@@ -96,6 +104,9 @@ fn parse_args() -> Result<Option<Args>, String> {
                     return Err(format!("bad {flag} value '{v}' (want a positive number)"));
                 }
                 args.maintain_error_mass = Some(bound);
+            }
+            "--snapshot-dir" => {
+                args.snapshot_dir = Some(it.next().ok_or("--snapshot-dir needs a directory")?)
             }
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument '{other}'")),
@@ -130,6 +141,24 @@ fn main() -> ExitCode {
         config.workers, config.queue_capacity
     );
     let service = Arc::new(Service::new(Arc::new(Catalog::new()), config));
+    if let Some(dir) = &args.snapshot_dir {
+        // Warm start is graceful degradation by design: healthy snapshots
+        // are served, corrupt ones are quarantined and logged, and even a
+        // directory-level failure only costs the warm start — never the
+        // boot.
+        match xseed_service::warm_start(service.catalog(), std::path::Path::new(dir)) {
+            Ok(warm) => {
+                service.note_warm_start(&warm);
+                eprintln!(
+                    "xseed-serve: warm start from {dir}: {} snapshot(s) restored, \
+                     {} quarantined",
+                    warm.loaded.len(),
+                    warm.quarantined.len()
+                );
+            }
+            Err(e) => eprintln!("xseed-serve: warm start from {dir} failed: {e}"),
+        }
+    }
     let auto_maintenance = args
         .maintain_error_mass
         .map(MaintenancePolicy::ErrorMassBound);

@@ -299,6 +299,47 @@ impl std::fmt::Display for RebuildError {
 
 impl std::error::Error for RebuildError {}
 
+/// Errors from [`Catalog::save_snapshot`] / [`Catalog::load_snapshot`].
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The named document is not registered.
+    UnknownDocument(String),
+    /// Reading or writing the snapshot file failed.
+    Io(std::io::Error),
+    /// The snapshot bytes did not decode (see [`xseed_core::PersistError`]).
+    Decode(xseed_core::PersistError),
+    /// The spilled document XML in the snapshot did not parse back.
+    Document(xmlkit::Error),
+    /// The catalog's document cap rejected the load.
+    CatalogFull,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::UnknownDocument(name) => write!(f, "unknown document '{name}'"),
+            SnapshotError::Io(e) => write!(f, "{e}"),
+            SnapshotError::Decode(e) => write!(f, "{e}"),
+            SnapshotError::Document(e) => write!(f, "retained document invalid: {e}"),
+            SnapshotError::CatalogFull => write!(f, "catalog document limit reached"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<xseed_core::PersistError> for SnapshotError {
+    fn from(e: xseed_core::PersistError) -> Self {
+        SnapshotError::Decode(e)
+    }
+}
+
 impl Catalog {
     /// Creates an empty catalog.
     pub fn new() -> Self {
@@ -766,6 +807,90 @@ impl Catalog {
     /// The retained source document of `name`, if any.
     pub fn retained_document(&self, name: &str) -> Option<Arc<Document>> {
         self.entry(name)?.maintenance().document.clone()
+    }
+
+    /// Writes the named entry's full state — kernel, HET, config, epoch,
+    /// and (when retained) the source document as XML — to `path` as a
+    /// crash-safe snapshot (temp file + fsync + atomic rename; see
+    /// [`crate::persist`]). Returns the snapshot size in bytes.
+    ///
+    /// The maintenance lock and the synopsis lock are taken one after the
+    /// other, never together, matching the ordering discipline of the
+    /// rest of the catalog.
+    pub fn save_snapshot(&self, name: &str, path: &std::path::Path) -> Result<u64, SnapshotError> {
+        let entry = self
+            .entry(name)
+            .ok_or_else(|| SnapshotError::UnknownDocument(name.to_string()))?;
+        let document_xml = {
+            let maintenance = entry.maintenance();
+            maintenance
+                .document
+                .as_ref()
+                .map(|doc| xmlkit::writer::to_string(doc))
+        };
+        let bytes = {
+            let synopsis = entry
+                .synopsis
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner());
+            xseed_core::persist::encode_snapshot(
+                synopsis.kernel(),
+                synopsis.het(),
+                synopsis.config(),
+                synopsis.epoch(),
+                document_xml.as_deref(),
+            )
+        };
+        crate::persist::write_snapshot_file(path, &bytes)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Reads a snapshot file and registers it under `name` (see
+    /// [`Catalog::install_snapshot`]). Returns the published snapshot and
+    /// whether a spilled document was restored into retention.
+    pub fn load_snapshot(
+        &self,
+        name: &str,
+        path: &std::path::Path,
+        max_documents: Option<usize>,
+    ) -> Result<(SynopsisSnapshot, bool), SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        self.install_snapshot(name, &bytes, max_documents)
+    }
+
+    /// Decodes snapshot bytes and registers the reassembled synopsis under
+    /// `name`, restoring its saved epoch exactly (a fresh name) or
+    /// advancing past the name's published history (a re-load) — epochs
+    /// never regress either way. A spilled document goes back into
+    /// retention, so maintenance resumes where it left off; the policy
+    /// restarts as [`MaintenancePolicy::Manual`] (policies are a serving
+    /// decision, not snapshot state).
+    pub fn install_snapshot(
+        &self,
+        name: &str,
+        bytes: &[u8],
+        max_documents: Option<usize>,
+    ) -> Result<(SynopsisSnapshot, bool), SnapshotError> {
+        let parts = xseed_core::persist::decode_snapshot(bytes)?;
+        let document = match &parts.document_xml {
+            Some(xml) => Some(Arc::new(
+                Document::parse_str(xml).map_err(SnapshotError::Document)?,
+            )),
+            None => None,
+        };
+        let retained = document.is_some();
+        let synopsis =
+            XseedSynopsis::from_parts(parts.kernel, parts.het, parts.config, parts.epoch);
+        let snapshot = self
+            .insert_full(
+                name,
+                synopsis,
+                max_documents,
+                document,
+                MaintenancePolicy::Manual,
+            )
+            .ok_or(SnapshotError::CatalogFull)?;
+        Ok((snapshot, retained))
     }
 
     /// Retains (or replaces) the source document of an already-registered

@@ -28,6 +28,9 @@
 //!   `OVERLOADED` shed reply (full reference: `docs/PROTOCOL.md`).
 //! * [`server`] — the session front ends: stdin streams and the bounded
 //!   TCP accept loop (connection limit + idle-session timeout).
+//! * [`persist`] — crash-safe snapshot files (`SAVE` / `LOAD … file:`)
+//!   and the `--snapshot-dir` warm start that restores a catalog at boot,
+//!   quarantining corrupt files instead of refusing to serve.
 //!
 //! ## Architecture
 //!
@@ -90,6 +93,7 @@
 
 pub mod batch;
 pub mod catalog;
+pub mod persist;
 pub mod plan_cache;
 pub mod protocol;
 pub mod server;
@@ -98,8 +102,9 @@ pub mod service;
 pub use batch::{execute_batch, FeedbackItem};
 pub use catalog::{
     Catalog, CatalogFeedback, CatalogFeedbackBatch, DocumentInfo, MaintenancePolicy, RebuildError,
-    RetentionPolicy,
+    RetentionPolicy, SnapshotError,
 };
+pub use persist::{warm_start, write_snapshot_file, WarmStart, SNAPSHOT_EXTENSION};
 pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use protocol::{handle_line, run_script, ProtocolOptions, Response};
 pub use server::{serve_stream, ServerConfig, TcpServer};

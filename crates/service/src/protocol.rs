@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! LOAD <name> <spec> [recursive] [retain]   register a document
+//! SAVE <name> <path>                        persist a snapshot to disk
 //! EST <name> <query>                        estimate one query
 //! BATCH <name> <q1> ; <q2> ; …              estimate a batch (one snapshot pass)
 //! FEEDBACK <name> <actual> [base=<n>] <q>   feed back an observed cardinality
@@ -19,7 +20,8 @@
 //! as one JSON object (`docs` becomes an array of per-document objects),
 //! so monitoring scrapers don't have to parse the flat form.
 //!
-//! `<spec>` is either a filesystem path to an XML document or
+//! `<spec>` is either a filesystem path to an XML document,
+//! `file:<path>` to restore a snapshot written by `SAVE`, or
 //! `builtin:<dataset>[@scale]` for the synthetic evaluation datasets
 //! (`xmark`, `dblp`, `treebank`, `swissprot`, `tpch`, `xbench`), e.g.
 //! `builtin:xmark@0.1`, or one of the paper's fixed sample documents
@@ -46,7 +48,7 @@
 //! queue it. The complete grammar, every reply form, and the security
 //! notes live in `docs/PROTOCOL.md`.
 
-use crate::catalog::MaintenancePolicy;
+use crate::catalog::{MaintenancePolicy, SnapshotError};
 use crate::service::{Service, ServiceError};
 use datagen::Dataset;
 use std::fmt::Write as _;
@@ -95,7 +97,8 @@ impl Response {
     }
 }
 
-const HELP: &str = "commands: LOAD <name> <path|builtin:dataset[@scale]> [recursive] [retain] | \
+const HELP: &str = "commands: LOAD <name> <path|builtin:dataset[@scale]|file:snapshot.xsnap> \
+                    [recursive] [retain] | SAVE <name> <path> | \
                     EST <name> <query> | BATCH <name> <q1> ; <q2> ; ... | \
                     FEEDBACK <name> <actual> [base=<n>] <query> | \
                     MAINTAIN <name> <manual|error-mass=<x>|every=<n>> | STATS [json] | \
@@ -168,6 +171,7 @@ pub fn handle_line(service: &Service, line: &str, options: &ProtocolOptions) -> 
     };
     match command.to_ascii_uppercase().as_str() {
         "LOAD" => handle_load(service, rest, options),
+        "SAVE" => handle_save(service, rest, options),
         "EST" => handle_est(service, rest),
         "BATCH" => handle_batch(service, rest),
         "FEEDBACK" => handle_feedback(service, rest),
@@ -204,6 +208,40 @@ fn handle_load(service: &Service, args: &str, options: &ProtocolOptions) -> Resp
                 "catalog document limit reached ({max}); re-LOAD an existing name instead"
             ));
         }
+    }
+
+    // `file:` specs restore a saved snapshot instead of building from XML;
+    // the snapshot carries its own config, epoch, and (optionally) the
+    // retained document, so the recursive/retain flags don't apply.
+    if let Some(path) = spec.strip_prefix("file:") {
+        if !options.allow_fs_load {
+            return Response::err(
+                "filesystem LOAD is disabled for this session (use builtin:… \
+                 or start the server with --allow-fs-load)",
+            );
+        }
+        return match service.load_snapshot(name, std::path::Path::new(path), options.max_documents)
+        {
+            Ok((snapshot, restored)) => {
+                let mut body = format!(
+                    "loaded name={name} epoch={} vertices={} elements={}",
+                    snapshot.epoch(),
+                    snapshot.frozen().vertex_count(),
+                    snapshot.frozen().element_count(),
+                );
+                if restored {
+                    body.push_str(" retained=yes");
+                }
+                Response::ok(body)
+            }
+            Err(SnapshotError::CatalogFull) => {
+                let max = options.max_documents.unwrap_or(0);
+                Response::err(format_args!(
+                    "catalog document limit reached ({max}); re-LOAD an existing name instead"
+                ))
+            }
+            Err(e) => Response::err(format_args!("cannot load snapshot '{path}': {e}")),
+        };
     }
 
     let (synopsis, document) = if let Some(builtin) = spec.strip_prefix("builtin:") {
@@ -337,6 +375,33 @@ fn build_builtin(
         XseedConfig::default()
     };
     Ok((doc, config))
+}
+
+/// `SAVE <name> <path>`: persists the document's synopsis (and retained
+/// document, if any) as a crash-safe snapshot file. Filesystem writes are
+/// a bigger hazard than reads, so the verb sits behind the same
+/// `allow_fs_load` gate as path-based `LOAD`.
+fn handle_save(service: &Service, args: &str, options: &ProtocolOptions) -> Response {
+    let mut parts = args.split_whitespace();
+    let (Some(name), Some(path)) = (parts.next(), parts.next()) else {
+        return Response::err("SAVE needs: SAVE <name> <path>");
+    };
+    if parts.next().is_some() {
+        return Response::err("SAVE needs: SAVE <name> <path>");
+    }
+    if !options.allow_fs_load {
+        return Response::err(
+            "filesystem SAVE is disabled for this session \
+             (start the server with --allow-fs-load)",
+        );
+    }
+    match service.save_snapshot(name, std::path::Path::new(path)) {
+        Ok(bytes) => Response::ok(format!("saved name={name} bytes={bytes}")),
+        Err(SnapshotError::UnknownDocument(_)) => {
+            Response::err(format_args!("unknown document '{name}'"))
+        }
+        Err(e) => Response::err(format_args!("cannot save '{path}': {e}")),
+    }
 }
 
 fn handle_est(service: &Service, args: &str) -> Response {
@@ -512,7 +577,8 @@ fn handle_stats_flat(service: &Service) -> Response {
     let mut body = format!(
         "workers={} executed={} batches={} steals={} accepted={} shed={} queued={} \
          peak_queued={} queue_capacity={} feedback_applied={} feedback_ignored={} \
-         rebuilds_triggered={} error_mass={} plan_hits={} plan_misses={} plan_entries={} docs={}",
+         rebuilds_triggered={} error_mass={} plan_hits={} plan_misses={} plan_entries={} \
+         persist_saves={} persist_loads={} persist_load_failures={} quarantined={} docs={}",
         stats.workers,
         stats.total_executed(),
         stats.batches,
@@ -529,6 +595,10 @@ fn handle_stats_flat(service: &Service) -> Response {
         stats.plan_cache.hits,
         stats.plan_cache.misses,
         stats.plan_cache.entries,
+        stats.persist_saves,
+        stats.persist_loads,
+        stats.persist_load_failures,
+        stats.quarantined,
         infos.len(),
     );
     for info in &infos {
@@ -561,7 +631,9 @@ fn handle_stats_json(service: &Service) -> Response {
         "{{\"workers\":{},\"executed\":{},\"batches\":{},\"steals\":{},\"accepted\":{},\
          \"shed\":{},\"queued\":{},\"peak_queued\":{},\"queue_capacity\":{},\
          \"feedback_applied\":{},\"feedback_ignored\":{},\"rebuilds_triggered\":{},\
-         \"error_mass\":{},\"plan_hits\":{},\"plan_misses\":{},\"plan_entries\":{},\"docs\":[",
+         \"error_mass\":{},\"plan_hits\":{},\"plan_misses\":{},\"plan_entries\":{},\
+         \"persist_saves\":{},\"persist_loads\":{},\"persist_load_failures\":{},\
+         \"quarantined\":{},\"docs\":[",
         stats.workers,
         stats.total_executed(),
         stats.batches,
@@ -578,6 +650,10 @@ fn handle_stats_json(service: &Service) -> Response {
         stats.plan_cache.hits,
         stats.plan_cache.misses,
         stats.plan_cache.entries,
+        stats.persist_saves,
+        stats.persist_loads,
+        stats.persist_load_failures,
+        stats.quarantined,
     );
     for (i, info) in infos.iter().enumerate() {
         if i > 0 {
@@ -722,6 +798,51 @@ mod tests {
         // In-range builtins still load remotely.
         let ok = handle_line(&service, "LOAD x builtin:xmark@0.05", &remote);
         assert!(ok.text().unwrap().starts_with("OK loaded"), "{ok:?}");
+    }
+
+    #[test]
+    fn save_and_load_file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("xseed-protocol-save-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("fig2.xsnap");
+        let service = service();
+        let est_before = reply(&service, "EST fig2 /a/c/s[t]/p");
+
+        let saved = reply(&service, &format!("SAVE fig2 {}", path.display()));
+        assert!(saved.starts_with("OK saved name=fig2 bytes="), "{saved}");
+        let loaded = reply(&service, &format!("LOAD copy file:{}", path.display()));
+        assert!(
+            loaded.starts_with("OK loaded name=copy epoch=0"),
+            "{loaded}"
+        );
+        assert_eq!(reply(&service, "EST copy /a/c/s[t]/p"), est_before);
+
+        assert!(reply(&service, "SAVE nope /tmp/x.xsnap").starts_with("ERR unknown document"));
+        assert!(reply(&service, "SAVE fig2").starts_with("ERR SAVE needs"));
+        let missing = reply(&service, "LOAD x file:/no/such/snap.xsnap");
+        assert!(missing.starts_with("ERR cannot load snapshot"), "{missing}");
+        let stats = reply(&service, "STATS");
+        assert!(stats.contains("persist_saves=1"), "{stats}");
+        assert!(stats.contains("persist_loads=1"), "{stats}");
+        assert!(stats.contains("persist_load_failures=1"), "{stats}");
+        assert!(stats.contains("quarantined=0"), "{stats}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remote_sessions_cannot_save_or_load_snapshots() {
+        let service = service();
+        let remote = ProtocolOptions::remote();
+        let save = handle_line(&service, "SAVE fig2 /tmp/fig2.xsnap", &remote);
+        assert!(
+            save.text().unwrap().starts_with("ERR filesystem SAVE"),
+            "{save:?}"
+        );
+        let load = handle_line(&service, "LOAD x file:/tmp/fig2.xsnap", &remote);
+        assert!(
+            load.text().unwrap().starts_with("ERR filesystem LOAD"),
+            "{load:?}"
+        );
     }
 
     #[test]

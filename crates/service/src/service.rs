@@ -52,7 +52,8 @@
 //! `rebuilds_triggered` in [`ServiceStats`]).
 
 use crate::batch::{execute_batch, FeedbackItem};
-use crate::catalog::{Catalog, CatalogFeedbackBatch, RebuildError};
+use crate::catalog::{Catalog, CatalogFeedbackBatch, RebuildError, SnapshotError};
+use crate::persist::WarmStart;
 use crate::plan_cache::{PlanCache, PlanCacheStats};
 use std::collections::VecDeque;
 use std::fmt;
@@ -558,6 +559,16 @@ pub struct ServiceStats {
     pub feedback_ignored: u64,
     /// Automatic HET rebuilds completed by the maintenance thread.
     pub rebuilds_triggered: u64,
+    /// Snapshots saved successfully ([`Service::save_snapshot`]).
+    pub persist_saves: u64,
+    /// Snapshots loaded successfully ([`Service::load_snapshot`] plus
+    /// warm-start restores).
+    pub persist_loads: u64,
+    /// Snapshot loads that failed (protocol `LOAD … file:` plus corrupt
+    /// warm-start files).
+    pub persist_load_failures: u64,
+    /// Snapshot files renamed to `.corrupt` by a warm-start scan.
+    pub quarantined: u64,
     /// Plan-cache counters.
     pub plan_cache: PlanCacheStats,
 }
@@ -569,12 +580,22 @@ impl ServiceStats {
     }
 }
 
+/// Lifetime snapshot-persistence counters (see [`ServiceStats`]).
+#[derive(Default)]
+struct PersistCounters {
+    saves: AtomicU64,
+    loads: AtomicU64,
+    load_failures: AtomicU64,
+    quarantined: AtomicU64,
+}
+
 /// The multi-threaded estimation service. See the module docs.
 pub struct Service {
     catalog: Arc<Catalog>,
     plans: Arc<PlanCache>,
     shared: Arc<Shared>,
     maintenance: Arc<MaintenanceShared>,
+    persist: PersistCounters,
     handles: Vec<JoinHandle<()>>,
     maintenance_handle: Option<JoinHandle<()>>,
     next_queue: AtomicUsize,
@@ -635,10 +656,59 @@ impl Service {
             )),
             shared,
             maintenance,
+            persist: PersistCounters::default(),
             handles,
             maintenance_handle: Some(maintenance_handle),
             next_queue: AtomicUsize::new(0),
         }
+    }
+
+    /// Saves the named document's snapshot to `path` (see
+    /// [`Catalog::save_snapshot`]); successful saves are counted in
+    /// [`ServiceStats::persist_saves`]. Returns the snapshot size in
+    /// bytes.
+    pub fn save_snapshot(&self, name: &str, path: &std::path::Path) -> Result<u64, SnapshotError> {
+        let bytes = self.catalog.save_snapshot(name, path)?;
+        self.persist.saves.fetch_add(1, Ordering::Relaxed);
+        Ok(bytes)
+    }
+
+    /// Loads a snapshot file into the catalog under `name` (see
+    /// [`Catalog::load_snapshot`]), counting the outcome in
+    /// [`ServiceStats::persist_loads`] /
+    /// [`ServiceStats::persist_load_failures`]. Returns the published
+    /// snapshot and whether a spilled document was restored.
+    pub fn load_snapshot(
+        &self,
+        name: &str,
+        path: &std::path::Path,
+        max_documents: Option<usize>,
+    ) -> Result<(SynopsisSnapshot, bool), SnapshotError> {
+        match self.catalog.load_snapshot(name, path, max_documents) {
+            Ok(loaded) => {
+                self.persist.loads.fetch_add(1, Ordering::Relaxed);
+                Ok(loaded)
+            }
+            Err(e) => {
+                self.persist.load_failures.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Folds a boot-time [`crate::persist::warm_start`] result into the
+    /// persistence counters: restored snapshots count as loads, and each
+    /// quarantined file counts as both a load failure and a quarantine.
+    pub fn note_warm_start(&self, warm: &WarmStart) {
+        self.persist
+            .loads
+            .fetch_add(warm.loaded.len() as u64, Ordering::Relaxed);
+        self.persist
+            .load_failures
+            .fetch_add(warm.quarantined.len() as u64, Ordering::Relaxed);
+        self.persist
+            .quarantined
+            .fetch_add(warm.quarantined.len() as u64, Ordering::Relaxed);
     }
 
     /// The catalog this service estimates from.
@@ -968,6 +1038,10 @@ impl Service {
             feedback_applied: self.maintenance.feedback_applied.load(Ordering::Relaxed),
             feedback_ignored: self.maintenance.feedback_ignored.load(Ordering::Relaxed),
             rebuilds_triggered: self.maintenance.rebuilds_triggered.load(Ordering::Relaxed),
+            persist_saves: self.persist.saves.load(Ordering::Relaxed),
+            persist_loads: self.persist.loads.load(Ordering::Relaxed),
+            persist_load_failures: self.persist.load_failures.load(Ordering::Relaxed),
+            quarantined: self.persist.quarantined.load(Ordering::Relaxed),
             plan_cache: self.plans.stats(),
         }
     }

@@ -1,10 +1,12 @@
 //! The example session transcripts, asserted instead of hand-maintained:
-//! `examples/serve_session.txt` / `examples/overload_session.txt` are run
-//! through the protocol layer with the same configuration the CI smoke
-//! run passes to the binary, and every reply must match the committed
-//! `.expected` transcript byte for byte. When a protocol change breaks
-//! these, regenerate the transcripts (the session files say how) instead
-//! of editing them by hand.
+//! `examples/serve_session.txt`, `examples/overload_session.txt`,
+//! `examples/feedback_session.txt`, and the two-phase
+//! `examples/persist_session.txt` / `examples/persist_restart_session.txt`
+//! pair are run through the protocol layer with the same configuration
+//! the CI smoke run passes to the binary, and every reply must match the
+//! committed `.expected` transcript byte for byte. When a protocol
+//! change breaks these, regenerate the transcripts (the session files
+//! say how) instead of editing them by hand.
 
 use std::sync::Arc;
 use xseed_service::{run_script, Catalog, Service, ServiceConfig};
@@ -91,6 +93,58 @@ fn feedback_session_demonstrates_the_maintenance_loop() {
             .any(|l| l.starts_with("OK {") && l.contains("\"rebuilds_triggered\":1")),
         "STATS json mirrors the maintenance counters"
     );
+}
+
+#[test]
+fn persist_sessions_roundtrip_across_a_restart() {
+    // Must mirror the CI smoke run: phase 1 is `xseed-serve --workers 1
+    // --snapshot-dir /tmp/xseed-persist-demo` over persist_session.txt,
+    // then a corrupt snapshot is planted, then phase 2 boots a fresh
+    // service over the same directory (the path is hardcoded in the
+    // committed session files, so the test uses it verbatim).
+    let dir = std::path::Path::new("/tmp/xseed-persist-demo");
+    let _ = std::fs::remove_dir_all(dir);
+
+    // Phase 1: warm start over the (empty, auto-created) directory,
+    // then SAVE + explicit `LOAD … file:` restore.
+    let service = Service::new(Arc::new(Catalog::new()), ServiceConfig::with_workers(1));
+    let warm = xseed_service::warm_start(service.catalog(), dir).unwrap();
+    assert!(warm.loaded.is_empty() && warm.quarantined.is_empty());
+    service.note_warm_start(&warm);
+    let phase1 = run_script(&service, &example("persist_session.txt"));
+    let expected1_text = example("persist_session.expected");
+    let expected1: Vec<&str> = expected1_text.lines().collect();
+    assert_eq!(
+        phase1, expected1,
+        "persist_session.txt drifted from persist_session.expected; \
+         regenerate the expected transcript"
+    );
+
+    // Restart: plant a corrupt snapshot next to the saved one, boot a
+    // fresh service over the directory.
+    std::fs::write(dir.join("bogus.xsnap"), b"XSEEDSNP garbage").unwrap();
+    let service = Service::new(Arc::new(Catalog::new()), ServiceConfig::with_workers(1));
+    let warm = xseed_service::warm_start(service.catalog(), dir).unwrap();
+    assert_eq!(warm.loaded, vec!["fig4".to_string()]);
+    assert_eq!(warm.quarantined, vec!["bogus.xsnap".to_string()]);
+    assert!(dir.join("bogus.xsnap.corrupt").exists());
+    service.note_warm_start(&warm);
+    let phase2 = run_script(&service, &example("persist_restart_session.txt"));
+    let expected2_text = example("persist_restart_session.expected");
+    let expected2: Vec<&str> = expected2_text.lines().collect();
+    assert_eq!(
+        phase2, expected2,
+        "persist_restart_session.txt drifted from persist_restart_session.expected; \
+         regenerate the expected transcript"
+    );
+
+    // The acceptance criterion in one line: the estimate served from
+    // the warm-started snapshot is bit-identical to the pre-restart one.
+    assert_eq!(
+        phase1[1], phase2[0],
+        "estimate drifted across the snapshot restart"
+    );
+    let _ = std::fs::remove_dir_all(dir);
 }
 
 #[test]

@@ -77,6 +77,12 @@ fn sessions_roundtrip_and_fs_load_stays_denied() {
     // Network sessions cannot read server files unless --allow-fs-load.
     client.send("LOAD x /etc/hostname");
     assert!(client.recv().starts_with("ERR filesystem LOAD"));
+    // The gate covers snapshot writes and reads too: SAVE would let a
+    // client write server-side files, LOAD file: read them.
+    client.send("SAVE fig2 /tmp/fig2.xsnap");
+    assert!(client.recv().starts_with("ERR filesystem SAVE"));
+    client.send("LOAD x file:/tmp/fig2.xsnap");
+    assert!(client.recv().starts_with("ERR filesystem LOAD"));
     client.send("QUIT");
     assert_eq!(client.recv(), "OK bye");
     assert_eq!(client.recv_eof(), None);

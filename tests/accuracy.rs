@@ -1,5 +1,5 @@
 //! Accuracy regression suite: committed golden fixtures pin the
-//! estimator's per-query output and aggregate error on the three
+//! estimator's per-query output and aggregate error on the four
 //! canonical workloads, so a future change cannot silently degrade
 //! estimation quality (cf. the regression discipline argued for by the
 //! cardinality-estimation benchmark literature).
@@ -31,7 +31,7 @@ struct Scenario {
     recursive: bool,
 }
 
-const SCENARIOS: [Scenario; 3] = [
+const SCENARIOS: [Scenario; 4] = [
     Scenario {
         name: "xmark",
         dataset: Dataset::XMark10,
@@ -49,6 +49,14 @@ const SCENARIOS: [Scenario; 3] = [
         dataset: Dataset::TreebankSmall,
         scale: 0.02,
         recursive: true,
+    },
+    // Wide, shallow records with many repeated feature children — the
+    // shape the other three scenarios don't cover.
+    Scenario {
+        name: "swissprot",
+        dataset: Dataset::SwissProt,
+        scale: 0.02,
+        recursive: false,
     },
 ];
 
@@ -219,4 +227,9 @@ fn dblp_accuracy_matches_golden() {
 #[test]
 fn treebank_accuracy_matches_golden() {
     check(&SCENARIOS[2]);
+}
+
+#[test]
+fn swissprot_accuracy_matches_golden() {
+    check(&SCENARIOS[3]);
 }
