@@ -66,6 +66,7 @@ use crate::kernel::{FrozenKernel, VertexId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use xmlkit::names::{LabelId, NameTable};
 use xpathkit::ast::{Axis, NodeTest, PathExpr};
 use xpathkit::query_tree::{QtnId, QueryTree};
@@ -613,6 +614,39 @@ impl<'a> StreamingMatcher<'a> {
                 self.run_compiled(&query)
             }
         }
+    }
+
+    /// [`StreamingMatcher::estimate_plan`], additionally reporting how
+    /// long label resolution + NFA compilation took **when this call
+    /// compiled the plan**: `None` on compiled-cache hits and
+    /// pre-traversal answers (HET fast path / empty kernel). The timing
+    /// is captured inside the cache's miss closure, so instrumented
+    /// callers can attribute compilation separately from the estimate
+    /// without a second cache round-trip (which would perturb the very
+    /// hit/miss counters they report).
+    pub fn estimate_plan_timed(&mut self, plan: &QueryPlan) -> (f64, Option<Duration>) {
+        if let Some((answer, _)) = self.answer_without_traversal(plan.expr()) {
+            return (answer, None);
+        }
+        let mut compile_time = None;
+        let estimate = match self.compiled_cache.clone() {
+            Some(cache) => {
+                let compiled = cache.get_or_compile(plan.id(), || {
+                    let started = Instant::now();
+                    let compiled = self.compile(plan.expr());
+                    compile_time = Some(started.elapsed());
+                    compiled
+                });
+                self.run_compiled(&compiled).0
+            }
+            None => {
+                let started = Instant::now();
+                let query = self.compile(plan.expr());
+                compile_time = Some(started.elapsed());
+                self.run_compiled(&query).0
+            }
+        };
+        (estimate, compile_time)
     }
 
     /// Estimates the cardinality, also reporting the number of EPT nodes

@@ -21,7 +21,9 @@
 //! the whole batch, with the maintenance policy evaluated once over the
 //! batch's accumulated error mass.
 
+use crate::metrics::{Obs, Stage};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use xpathkit::QueryPlan;
 use xseed_core::SynopsisSnapshot;
 
@@ -55,11 +57,49 @@ pub fn execute_batch(
     batch: &[Arc<QueryPlan>],
     policy_len: usize,
 ) -> Vec<f64> {
+    execute_batch_observed(snapshot, batch, policy_len, &None)
+}
+
+/// [`execute_batch`] with per-stage observability: when `obs` is present,
+/// each plan's compilation (compiled-cache misses only, captured inside
+/// the miss closure by
+/// [`xseed_core::StreamingMatcher::estimate_plan_timed`] so the cache
+/// counters see exactly one lookup per estimate) is timed into
+/// [`Stage::Compile`], and one `Instant` pair around the whole chunk
+/// records `batch.len()` [`Stage::Estimate`] samples of the per-query
+/// mean with the total compile time subtracted out, so the two stages
+/// partition the work and the warm per-query hot path pays no clock
+/// reads at all (see [`Obs::record_amortized`]). With `obs` absent this
+/// is exactly [`execute_batch`].
+pub fn execute_batch_observed(
+    snapshot: &SynopsisSnapshot,
+    batch: &[Arc<QueryPlan>],
+    policy_len: usize,
+    obs: &Option<Arc<Obs>>,
+) -> Vec<f64> {
     let mut matcher = snapshot.matcher_for_batch(policy_len.max(batch.len()));
-    batch
+    let Some(obs) = obs else {
+        return batch
+            .iter()
+            .map(|plan| matcher.estimate_plan(plan))
+            .collect();
+    };
+    let started = Instant::now();
+    let mut compile_total = Duration::ZERO;
+    let estimates: Vec<f64> = batch
         .iter()
-        .map(|plan| matcher.estimate_plan(plan))
-        .collect()
+        .map(|plan| {
+            let (estimate, compiled) = matcher.estimate_plan_timed(plan);
+            if let Some(compile_time) = compiled {
+                obs.record(Stage::Compile, compile_time);
+                compile_total += compile_time;
+            }
+            estimate
+        })
+        .collect();
+    let estimating = started.elapsed().saturating_sub(compile_total);
+    obs.record_amortized(Stage::Estimate, estimating, batch.len() as u64);
+    estimates
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 //! xseed-serve [--workers N] [--queue-capacity Q] [--tcp ADDR]
 //!             [--max-connections C] [--idle-timeout SECS]
 //!             [--allow-fs-load] [--maintain-error-mass X]
-//!             [--snapshot-dir DIR]
+//!             [--snapshot-dir DIR] [--no-observability]
 //! ```
 //!
 //! * `--workers N` — estimation worker threads (default: the CPU count).
@@ -34,6 +34,11 @@
 //!   every one that doesn't is quarantined (renamed to `.corrupt`,
 //!   logged, counted in `STATS`). The boot itself is never refused.
 //!   The directory is created if missing.
+//! * `--no-observability` — skip allocating the metrics/trace layer:
+//!   `METRICS` and `TRACE` answer `ERR observability is disabled`, and
+//!   `STATS` omits the q-error keys. On by default because the recording
+//!   cost is a handful of relaxed atomic adds per request; see
+//!   `docs/OPERATIONS.md` ("Reading the metrics").
 //!
 //! Example session:
 //!
@@ -61,11 +66,12 @@ struct Args {
     allow_fs_load: bool,
     maintain_error_mass: Option<f64>,
     snapshot_dir: Option<String>,
+    observability: bool,
 }
 
 const USAGE: &str = "usage: xseed-serve [--workers N] [--queue-capacity Q] [--tcp ADDR] \
                      [--max-connections C] [--idle-timeout SECS] [--allow-fs-load] \
-                     [--maintain-error-mass X] [--snapshot-dir DIR]";
+                     [--maintain-error-mass X] [--snapshot-dir DIR] [--no-observability]";
 
 /// `Ok(None)` means `--help` was requested.
 fn parse_args() -> Result<Option<Args>, String> {
@@ -78,6 +84,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         allow_fs_load: false,
         maintain_error_mass: None,
         snapshot_dir: None,
+        observability: true,
     };
     let mut it = std::env::args().skip(1);
     let parse = |flag: &str, value: Option<String>| -> Result<u64, String> {
@@ -108,6 +115,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--snapshot-dir" => {
                 args.snapshot_dir = Some(it.next().ok_or("--snapshot-dir needs a directory")?)
             }
+            "--no-observability" => args.observability = false,
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -135,6 +143,7 @@ fn main() -> ExitCode {
     if let Some(q) = args.queue_capacity {
         config = config.with_queue_capacity(q);
     }
+    config = config.with_observability(args.observability);
     eprintln!(
         "xseed-serve: {} estimation worker(s), queue budget {} queries/worker; \
          type HELP for commands",

@@ -34,6 +34,7 @@
 //! [`xseed_core::CandidateStrategy`] and resets the drift accounting.
 
 use crate::batch::FeedbackItem;
+use crate::metrics::{q_error_milli, HistogramSnapshot};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 use xmlkit::tree::Document;
@@ -98,6 +99,11 @@ struct MaintenanceState {
     /// A rebuild has been reported due but has not completed yet;
     /// suppresses duplicate triggers while feedback keeps arriving.
     rebuild_pending: bool,
+    /// Q-error histogram (milli-q) of this document's applied feedback —
+    /// served accuracy the way the cardinality-estimation benchmarks
+    /// grade it. Plain counts: it lives under this state's lock, which
+    /// every applied feedback already takes.
+    q_error: HistogramSnapshot,
 }
 
 impl MaintenanceState {
@@ -112,6 +118,7 @@ impl MaintenanceState {
             feedback_ignored: 0,
             rebuilds: 0,
             rebuild_pending: false,
+            q_error: HistogramSnapshot::default(),
         }
     }
 
@@ -139,6 +146,8 @@ impl MaintenanceState {
         self.feedback_applied += 1;
         self.feedback_since_rebuild += 1;
         self.error_mass += report.error;
+        self.q_error
+            .record(q_error_milli(report.estimated, report.actual));
         let due = self.due();
         if due {
             self.rebuild_pending = true;
@@ -241,6 +250,9 @@ pub struct DocumentInfo {
     pub feedback_ignored: u64,
     /// HET rebuilds performed through the maintenance path.
     pub rebuilds: u64,
+    /// Q-error histogram (milli-q values) of this document's applied
+    /// feedback; empty until feedback arrives.
+    pub q_error: HistogramSnapshot,
 }
 
 /// Result of routing one feedback observation through
@@ -977,6 +989,7 @@ impl Catalog {
                     feedback_applied: m.feedback_applied,
                     feedback_ignored: m.feedback_ignored,
                     rebuilds: m.rebuilds,
+                    q_error: m.q_error.clone(),
                 }
             })
             .collect();

@@ -31,6 +31,12 @@
 //! * [`persist`] — crash-safe snapshot files (`SAVE` / `LOAD … file:`)
 //!   and the `--snapshot-dir` warm start that restores a catalog at boot,
 //!   quarantining corrupt files instead of refusing to serve.
+//! * [`metrics`] / [`trace`] — the observability layer: hand-rolled
+//!   lock-free log-bucketed latency histograms over every pipeline stage
+//!   (parse → plan lookup → compile → estimate → rebuild → persistence),
+//!   online q-error tracking from `FEEDBACK` observations, and a
+//!   fixed-size event trace ring — surfaced by `STATS`, the
+//!   Prometheus-style `METRICS` verb, and `TRACE [n]`.
 //!
 //! ## Architecture
 //!
@@ -93,17 +99,20 @@
 
 pub mod batch;
 pub mod catalog;
+pub mod metrics;
 pub mod persist;
 pub mod plan_cache;
 pub mod protocol;
 pub mod server;
 pub mod service;
+pub mod trace;
 
-pub use batch::{execute_batch, FeedbackItem};
+pub use batch::{execute_batch, execute_batch_observed, FeedbackItem};
 pub use catalog::{
     Catalog, CatalogFeedback, CatalogFeedbackBatch, DocumentInfo, MaintenancePolicy, RebuildError,
     RetentionPolicy, SnapshotError,
 };
+pub use metrics::{q_error_milli, Histogram, HistogramSnapshot, Obs, Stage};
 pub use persist::{warm_start, write_snapshot_file, WarmStart, SNAPSHOT_EXTENSION};
 pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use protocol::{handle_line, run_script, ProtocolOptions, Response};
@@ -112,3 +121,4 @@ pub use service::{
     PendingEstimate, RebuildTicket, Service, ServiceConfig, ServiceError, ServiceFeedback,
     ServiceFeedbackBatch, ServiceStats, WorkerPause,
 };
+pub use trace::{TraceEvent, TraceKind, TraceRing};

@@ -13,10 +13,12 @@
 //! full shard (an `O(shard size)` scan, bounded by the per-shard capacity,
 //! which is small by construction).
 
+use crate::metrics::{Obs, Stage};
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 use xpathkit::{ParseError, QueryPlan};
 
 #[derive(Default)]
@@ -47,6 +49,7 @@ pub struct PlanCache {
     shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    obs: Option<Arc<Obs>>,
 }
 
 impl PlanCache {
@@ -60,7 +63,16 @@ impl PlanCache {
             shard_capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            obs: None,
         }
+    }
+
+    /// Attaches an observability registry (builder style): lookups are
+    /// then timed into [`Stage::PlanLookup`] and parses into
+    /// [`Stage::Parse`].
+    pub fn with_obs(mut self, obs: Option<Arc<Obs>>) -> Self {
+        self.obs = obs;
+        self
     }
 
     fn shard_for(&self, text: &str) -> MutexGuard<'_, Shard> {
@@ -73,8 +85,38 @@ impl PlanCache {
     }
 
     /// Returns the cached plan for `text`, parsing (and inserting) it on a
-    /// miss. Parse errors are returned without being cached.
+    /// miss. Parse errors are returned without being cached. The lookup
+    /// is timed into [`Stage::PlanLookup`].
     pub fn get_or_parse(&self, text: &str) -> Result<Arc<QueryPlan>, ParseError> {
+        let lookup_started = self.obs.as_ref().map(|_| Instant::now());
+        let plan = self.lookup(text);
+        if let (Some(obs), Some(started)) = (&self.obs, lookup_started) {
+            obs.record(Stage::PlanLookup, started.elapsed());
+        }
+        plan
+    }
+
+    /// Resolves a whole batch of texts with **one** timing pair: the
+    /// total is recorded as `texts.len()` [`Stage::PlanLookup`] samples
+    /// of the mean (see [`Obs::record_amortized`]), so batched lookups
+    /// pay no clock reads per query. Stops at (and returns) the first
+    /// parse error, recording nothing — the request fails as a whole.
+    pub fn get_or_parse_batch(&self, texts: &[&str]) -> Result<Vec<Arc<QueryPlan>>, ParseError> {
+        let lookup_started = self.obs.as_ref().map(|_| Instant::now());
+        let plans = texts
+            .iter()
+            .map(|text| self.lookup(text))
+            .collect::<Result<Vec<_>, _>>()?;
+        if let (Some(obs), Some(started)) = (&self.obs, lookup_started) {
+            obs.record_amortized(Stage::PlanLookup, started.elapsed(), texts.len() as u64);
+        }
+        Ok(plans)
+    }
+
+    /// The untimed lookup both public forms share (parses on a miss are
+    /// still timed individually into [`Stage::Parse`] — misses leave the
+    /// hot path anyway).
+    fn lookup(&self, text: &str) -> Result<Arc<QueryPlan>, ParseError> {
         {
             let mut shard = self.shard_for(text);
             shard.tick += 1;
@@ -90,7 +132,11 @@ impl PlanCache {
 
         // Miss: parse outside the lock, then insert unless another thread
         // raced us to it (their plan is identical; keeping it is fine).
+        let parse_started = self.obs.as_ref().map(|_| Instant::now());
         let plan = Arc::new(QueryPlan::parse(text)?);
+        if let (Some(obs), Some(started)) = (&self.obs, parse_started) {
+            obs.record(Stage::Parse, started.elapsed());
+        }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard_for(text);
         shard.tick += 1;

@@ -12,13 +12,21 @@
 //! FEEDBACK <name> <actual> [base=<n>] <q>   feed back an observed cardinality
 //! MAINTAIN <name> <policy>                  set the maintenance policy
 //! STATS [json]                              service + catalog counters
+//! METRICS                                   Prometheus-style text exposition
+//! TRACE [n]                                 replay the last n service events
 //! HELP                                      command summary
 //! QUIT                                      close the session
 //! ```
 //!
 //! `STATS` emits `key=value` pairs; `STATS json` emits the same counters
 //! as one JSON object (`docs` becomes an array of per-document objects),
-//! so monitoring scrapers don't have to parse the flat form.
+//! so monitoring scrapers don't have to parse the flat form. With
+//! observability on (the default), `STATS` also reports the global
+//! q-error percentiles of served estimates, `METRICS` exposes every
+//! per-stage latency histogram (p50/p90/p99/max) plus global and
+//! per-document q-error in Prometheus text format, and `TRACE [n]`
+//! replays the last `n` recorded state changes (loads, saves, rebuilds,
+//! quarantines, shed transitions, pauses) from the event trace ring.
 //!
 //! `<spec>` is either a filesystem path to an XML document,
 //! `file:<path>` to restore a snapshot written by `SAVE`, or
@@ -49,7 +57,9 @@
 //! notes live in `docs/PROTOCOL.md`.
 
 use crate::catalog::{MaintenancePolicy, SnapshotError};
+use crate::metrics::{format_milli_q, HistogramSnapshot, Stage};
 use crate::service::{Service, ServiceError};
+use crate::trace::TraceKind;
 use datagen::Dataset;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -102,7 +112,7 @@ const HELP: &str = "commands: LOAD <name> <path|builtin:dataset[@scale]|file:sna
                     EST <name> <query> | BATCH <name> <q1> ; <q2> ; ... | \
                     FEEDBACK <name> <actual> [base=<n>] <query> | \
                     MAINTAIN <name> <manual|error-mass=<x>|every=<n>> | STATS [json] | \
-                    HELP | QUIT";
+                    METRICS | TRACE [n] | HELP | QUIT";
 
 /// Per-session protocol policy.
 #[derive(Debug, Clone)]
@@ -177,6 +187,8 @@ pub fn handle_line(service: &Service, line: &str, options: &ProtocolOptions) -> 
         "FEEDBACK" => handle_feedback(service, rest),
         "MAINTAIN" => handle_maintain(service, rest),
         "STATS" => handle_stats(service, rest),
+        "METRICS" => handle_metrics(service, rest),
+        "TRACE" => handle_trace(service, rest),
         "HELP" => Response::ok(HELP),
         "QUIT" | "EXIT" => Response::Quit,
         other => Response::err(format_args!("unknown command '{other}' ({HELP})")),
@@ -303,6 +315,9 @@ fn handle_load(service: &Service, args: &str, options: &ProtocolOptions) -> Resp
                 ));
             }
         };
+    if let Some(obs) = service.obs() {
+        obs.trace().record(TraceKind::Load, name);
+    }
     let mut body = format!(
         "loaded name={name} epoch={} vertices={} elements={}",
         snapshot.epoch(),
@@ -575,11 +590,11 @@ fn handle_stats_flat(service: &Service) -> Response {
     let infos = service.catalog().info();
     let error_mass: f64 = infos.iter().map(|i| i.error_mass).sum();
     let mut body = format!(
-        "workers={} executed={} batches={} steals={} accepted={} shed={} queued={} \
-         peak_queued={} queue_capacity={} feedback_applied={} feedback_ignored={} \
-         rebuilds_triggered={} error_mass={} plan_hits={} plan_misses={} plan_entries={} \
-         persist_saves={} persist_loads={} persist_load_failures={} quarantined={} docs={}",
+        "workers={} uptime_secs={} executed={} batches={} steals={} accepted={} shed={} \
+         queued={} peak_queued={} queue_capacity={} feedback_applied={} feedback_ignored={} \
+         rebuilds_triggered={} error_mass={}",
         stats.workers,
+        stats.uptime_secs,
         stats.total_executed(),
         stats.batches,
         stats.steals,
@@ -592,6 +607,24 @@ fn handle_stats_flat(service: &Service) -> Response {
         stats.feedback_ignored,
         stats.rebuilds_triggered,
         format_est(error_mass),
+    );
+    // Served-accuracy percentiles (q-error, milli-resolution) — present
+    // only when the observability layer is on.
+    if let Some(obs) = service.obs() {
+        let q = obs.q_error();
+        let _ = write!(
+            body,
+            " qerr_count={} qerr_p50={} qerr_p90={} qerr_p99={}",
+            q.count(),
+            format_milli_q(q.percentile(0.5)),
+            format_milli_q(q.percentile(0.9)),
+            format_milli_q(q.percentile(0.99)),
+        );
+    }
+    let _ = write!(
+        body,
+        " plan_hits={} plan_misses={} plan_entries={} persist_saves={} persist_loads={} \
+         persist_load_failures={} quarantined={} docs={}",
         stats.plan_cache.hits,
         stats.plan_cache.misses,
         stats.plan_cache.entries,
@@ -628,13 +661,12 @@ fn handle_stats_json(service: &Service) -> Response {
     let infos = service.catalog().info();
     let error_mass: f64 = infos.iter().map(|i| i.error_mass).sum();
     let mut body = format!(
-        "{{\"workers\":{},\"executed\":{},\"batches\":{},\"steals\":{},\"accepted\":{},\
-         \"shed\":{},\"queued\":{},\"peak_queued\":{},\"queue_capacity\":{},\
+        "{{\"workers\":{},\"uptime_secs\":{},\"executed\":{},\"batches\":{},\"steals\":{},\
+         \"accepted\":{},\"shed\":{},\"queued\":{},\"peak_queued\":{},\"queue_capacity\":{},\
          \"feedback_applied\":{},\"feedback_ignored\":{},\"rebuilds_triggered\":{},\
-         \"error_mass\":{},\"plan_hits\":{},\"plan_misses\":{},\"plan_entries\":{},\
-         \"persist_saves\":{},\"persist_loads\":{},\"persist_load_failures\":{},\
-         \"quarantined\":{},\"docs\":[",
+         \"error_mass\":{}",
         stats.workers,
+        stats.uptime_secs,
         stats.total_executed(),
         stats.batches,
         stats.steals,
@@ -647,6 +679,22 @@ fn handle_stats_json(service: &Service) -> Response {
         stats.feedback_ignored,
         stats.rebuilds_triggered,
         format_est(error_mass),
+    );
+    if let Some(obs) = service.obs() {
+        let q = obs.q_error();
+        let _ = write!(
+            body,
+            ",\"qerr\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            q.count(),
+            format_milli_q(q.percentile(0.5)),
+            format_milli_q(q.percentile(0.9)),
+            format_milli_q(q.percentile(0.99)),
+        );
+    }
+    let _ = write!(
+        body,
+        ",\"plan_hits\":{},\"plan_misses\":{},\"plan_entries\":{},\"persist_saves\":{},\
+         \"persist_loads\":{},\"persist_load_failures\":{},\"quarantined\":{},\"docs\":[",
         stats.plan_cache.hits,
         stats.plan_cache.misses,
         stats.plan_cache.entries,
@@ -676,6 +724,142 @@ fn handle_stats_json(service: &Service) -> Response {
     }
     body.push_str("]}");
     Response::Line(format!("OK {body}"))
+}
+
+/// `METRICS`: Prometheus-style text exposition of every observability
+/// family — uptime, the service counters, per-stage latency histograms
+/// (p50/p90/p99/max/count), and global + per-document q-error. The reply
+/// is one `OK metrics lines=<n>` header followed by `n` exposition
+/// lines, so line-oriented clients know exactly how much to read.
+fn handle_metrics(service: &Service, args: &str) -> Response {
+    if !args.trim().is_empty() {
+        return Response::err("METRICS takes no arguments");
+    }
+    let Some(obs) = service.obs() else {
+        return Response::err("observability is disabled (restart without --no-observability)");
+    };
+    let stats = service.stats();
+    let infos = service.catalog().info();
+    let mut body = String::new();
+    let _ = writeln!(body, "# TYPE xseed_uptime_seconds gauge");
+    let _ = writeln!(body, "xseed_uptime_seconds {}", stats.uptime_secs);
+    for (name, value) in [
+        ("workers", stats.workers as u64),
+        ("documents", infos.len() as u64),
+        ("queued", stats.queued as u64),
+        ("peak_queued", stats.peak_queued as u64),
+        ("queue_capacity", stats.queue_capacity as u64),
+    ] {
+        let _ = writeln!(body, "# TYPE xseed_{name} gauge");
+        let _ = writeln!(body, "xseed_{name} {value}");
+    }
+    for (name, value) in [
+        ("executed", stats.total_executed()),
+        ("batches", stats.batches),
+        ("steals", stats.steals),
+        ("accepted", stats.accepted),
+        ("shed", stats.shed),
+        ("feedback_applied", stats.feedback_applied),
+        ("feedback_ignored", stats.feedback_ignored),
+        ("rebuilds", stats.rebuilds_triggered),
+        ("plan_cache_hits", stats.plan_cache.hits),
+        ("plan_cache_misses", stats.plan_cache.misses),
+        ("persist_saves", stats.persist_saves),
+        ("persist_loads", stats.persist_loads),
+        ("persist_load_failures", stats.persist_load_failures),
+        ("quarantined", stats.quarantined),
+        ("trace_events", obs.trace().recorded()),
+    ] {
+        let _ = writeln!(body, "# TYPE xseed_{name}_total counter");
+        let _ = writeln!(body, "xseed_{name}_total {value}");
+    }
+    let _ = writeln!(body, "# TYPE xseed_stage_latency_ns summary");
+    for stage in Stage::ALL {
+        let snap = obs.latency(stage);
+        let stage = stage.name();
+        for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+            let _ = writeln!(
+                body,
+                "xseed_stage_latency_ns{{stage=\"{stage}\",quantile=\"{label}\"}} {}",
+                snap.percentile(q)
+            );
+        }
+        let _ = writeln!(
+            body,
+            "xseed_stage_latency_ns_max{{stage=\"{stage}\"}} {}",
+            snap.max()
+        );
+        let _ = writeln!(
+            body,
+            "xseed_stage_latency_ns_count{{stage=\"{stage}\"}} {}",
+            snap.count()
+        );
+    }
+    let _ = writeln!(body, "# TYPE xseed_q_error summary");
+    push_q_error(&mut body, "scope=\"global\"", &obs.q_error());
+    // Per-document accuracy, only for documents that have actually been
+    // graded — silent docs would add all-zero rows for every load.
+    for info in &infos {
+        if !info.q_error.is_empty() {
+            let label = format!("doc=\"{}\"", json_escape(&info.name));
+            push_q_error(&mut body, &label, &info.q_error);
+        }
+    }
+    let lines = body.lines().count();
+    Response::Line(format!("OK metrics lines={lines}\n{}", body.trim_end()))
+}
+
+/// Appends one q-error family (quantiles, max, count) for `label`.
+fn push_q_error(body: &mut String, label: &str, snap: &HistogramSnapshot) {
+    for (q, tag) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+        let _ = writeln!(
+            body,
+            "xseed_q_error{{{label},quantile=\"{tag}\"}} {}",
+            format_milli_q(snap.percentile(q))
+        );
+    }
+    let _ = writeln!(
+        body,
+        "xseed_q_error_max{{{label}}} {}",
+        format_milli_q(snap.max())
+    );
+    let _ = writeln!(body, "xseed_q_error_count{{{label}}} {}", snap.count());
+}
+
+/// `TRACE [n]`: replays the last `n` (default 16) recorded service
+/// events, oldest first. One `OK trace n=<k> capacity=<c>` header, then
+/// `k` lines of `trace seq=… t=+…ms event=… doc=…`.
+fn handle_trace(service: &Service, args: &str) -> Response {
+    let args = args.trim();
+    let n = if args.is_empty() {
+        16
+    } else {
+        match args.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                return Response::err(format_args!(
+                    "bad TRACE count '{args}' (want a positive integer)"
+                ))
+            }
+        }
+    };
+    let Some(obs) = service.obs() else {
+        return Response::err("observability is disabled (restart without --no-observability)");
+    };
+    let ring = obs.trace();
+    let events = ring.last(n);
+    let mut body = format!("trace n={} capacity={}", events.len(), ring.capacity());
+    for event in &events {
+        let _ = write!(
+            body,
+            "\ntrace seq={} t=+{}ms event={} doc={}",
+            event.seq,
+            event.at_ms,
+            event.kind.name(),
+            event.subject,
+        );
+    }
+    Response::ok(body)
 }
 
 /// Escapes a string for embedding in a JSON string literal (document
@@ -1031,6 +1215,110 @@ mod tests {
         // The counters show the pressure; a fitting batch still runs.
         assert!(reply(&service, "STATS").contains("shed=5"));
         assert_eq!(reply(&service, "BATCH fig2 //p ; //p"), "OK n=2 17 17");
+    }
+
+    #[test]
+    fn stats_reports_uptime_and_qerr() {
+        let service = service();
+        let fb = reply(&service, "FEEDBACK fig2 20 /a/c/s");
+        assert!(fb.starts_with("OK feedback outcome=simple"), "{fb}");
+        // fig2 holds /a/c/s = 5 exactly, so q = 20/5 = 4.0 → milli-q
+        // 4000 → bucket upper edge 4095 — deterministic on the wire.
+        let stats = reply(&service, "STATS");
+        assert!(stats.contains(" uptime_secs="), "{stats}");
+        assert!(
+            stats.contains("qerr_count=1 qerr_p50=4.095 qerr_p90=4.095 qerr_p99=4.095"),
+            "{stats}"
+        );
+        let json = reply(&service, "STATS json");
+        assert!(json.contains("\"uptime_secs\":"), "{json}");
+        assert!(
+            json.contains("\"qerr\":{\"count\":1,\"p50\":4.095,\"p90\":4.095,\"p99\":4.095}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn metrics_exposes_stage_latency_and_q_error() {
+        let service = service();
+        let _ = reply(&service, "EST fig2 /a/c/s");
+        let _ = reply(&service, "FEEDBACK fig2 20 /a/c/s");
+        let metrics = reply(&service, "METRICS");
+        let mut lines = metrics.lines();
+        let header = lines.next().unwrap();
+        let declared: usize = header
+            .strip_prefix("OK metrics lines=")
+            .expect(header)
+            .parse()
+            .unwrap();
+        assert_eq!(lines.count(), declared, "{metrics}");
+        assert!(metrics.contains("xseed_uptime_seconds "), "{metrics}");
+        assert!(metrics.contains("xseed_executed_total 1"), "{metrics}");
+        assert!(
+            metrics.contains("xseed_stage_latency_ns{stage=\"estimate\",quantile=\"0.5\"} "),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("xseed_stage_latency_ns_count{stage=\"estimate\"} 1"),
+            "{metrics}"
+        );
+        // Every stage is present even before it ever fires.
+        assert!(
+            metrics.contains("xseed_stage_latency_ns_count{stage=\"het_rebuild\"} 0"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("xseed_q_error{scope=\"global\",quantile=\"0.99\"} 4.095"),
+            "{metrics}"
+        );
+        // The graded document gets its own q-error rows.
+        assert!(
+            metrics.contains("xseed_q_error{doc=\"fig2\",quantile=\"0.5\"} 4.095"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("xseed_q_error_count{doc=\"fig2\"} 1"),
+            "{metrics}"
+        );
+        assert!(reply(&service, "METRICS json").starts_with("ERR METRICS takes no"));
+    }
+
+    #[test]
+    fn trace_replays_recent_events() {
+        let service = service();
+        let _ = reply(&service, "LOAD f4 builtin:figure4 retain");
+        let _ = reply(&service, "MAINTAIN f4 error-mass=1");
+        let fb = reply(&service, "FEEDBACK f4 20 /a/b/d/e");
+        assert!(fb.contains("rebuild=done"), "{fb}");
+        let trace = reply(&service, "TRACE");
+        assert!(trace.starts_with("OK trace n=2 capacity=256"), "{trace}");
+        assert!(trace.contains("event=load doc=f4"), "{trace}");
+        assert!(trace.contains("event=rebuild doc=f4"), "{trace}");
+        // Bounded replay and argument validation.
+        let one = reply(&service, "TRACE 1");
+        assert!(one.starts_with("OK trace n=1 "), "{one}");
+        assert!(one.contains("event=rebuild"), "{one}");
+        assert!(reply(&service, "TRACE zero").starts_with("ERR bad TRACE count"));
+        assert!(reply(&service, "TRACE 0").starts_with("ERR bad TRACE count"));
+    }
+
+    #[test]
+    fn observability_off_disables_the_obs_surface() {
+        let catalog = Arc::new(Catalog::new());
+        catalog
+            .load_xml("fig2", xmlkit::samples::FIGURE2_XML, XseedConfig::default())
+            .unwrap();
+        let service = Service::new(
+            catalog,
+            ServiceConfig::with_workers(1).with_observability(false),
+        );
+        assert_eq!(reply(&service, "EST fig2 /a/c/s"), "OK 5");
+        assert!(reply(&service, "METRICS").starts_with("ERR observability is disabled"));
+        assert!(reply(&service, "TRACE").starts_with("ERR observability is disabled"));
+        let stats = reply(&service, "STATS");
+        assert!(!stats.contains("qerr_"), "{stats}");
+        assert!(stats.contains(" uptime_secs="), "uptime stays: {stats}");
+        assert!(!reply(&service, "STATS json").contains("\"qerr\""));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 use crate::protocol::{handle_line, ProtocolOptions, Response};
 use crate::service::Service;
+use crate::trace::TraceKind;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -163,6 +164,11 @@ impl TcpServer {
             max: self.config.max_connections.max(1),
         });
         let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        // Tracks whether the *previous* accept was refused, so the trace
+        // ring records the transition into (and out of) connection
+        // shedding rather than one event per refused client. The accept
+        // loop is single-threaded, so a plain bool suffices.
+        let mut refusing = false;
         for stream in self.listener.incoming() {
             let mut stream: TcpStream = match stream {
                 Ok(stream) => stream,
@@ -178,9 +184,21 @@ impl TcpServer {
                 Err(live) => {
                     // Refuse loudly: one structured line, then close.
                     let _ = writeln!(stream, "OVERLOADED connections={live} max={}", slots.max);
+                    if !refusing {
+                        refusing = true;
+                        if let Some(obs) = service.obs() {
+                            obs.trace().record(TraceKind::ShedOn, "connections");
+                        }
+                    }
                     continue;
                 }
             };
+            if refusing {
+                refusing = false;
+                if let Some(obs) = service.obs() {
+                    obs.trace().record(TraceKind::ShedOff, "connections");
+                }
+            }
             let service = service.clone();
             let options = self.config.options.clone();
             let idle = self.config.idle_timeout;

@@ -51,16 +51,18 @@
 //! are counted (`feedback_applied` / `feedback_ignored` /
 //! `rebuilds_triggered` in [`ServiceStats`]).
 
-use crate::batch::{execute_batch, FeedbackItem};
+use crate::batch::{execute_batch_observed, FeedbackItem};
 use crate::catalog::{Catalog, CatalogFeedbackBatch, RebuildError, SnapshotError};
+use crate::metrics::{Obs, Stage};
 use crate::persist::WarmStart;
 use crate::plan_cache::{PlanCache, PlanCacheStats};
+use crate::trace::TraceKind;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use xpathkit::{ParseError, QueryPlan};
 use xseed_core::SynopsisSnapshot;
 use xseed_core::{FeedbackOutcome, FeedbackReport, HetBuildStats};
@@ -133,6 +135,12 @@ pub struct ServiceConfig {
     /// Plan-cache shards; defaults to `4 × workers` to keep shard
     /// contention negligible.
     pub plan_cache_shards: usize,
+    /// Whether the observability layer (per-stage latency histograms,
+    /// q-error tracking, the event trace ring — see [`crate::metrics`])
+    /// is enabled. On by default; when off, no [`Obs`] registry is
+    /// allocated and every would-be sample is a null-pointer check, so
+    /// the disabled cost is ≈0 (pinned by the bench's `obs_off` rows).
+    pub observability: bool,
 }
 
 impl ServiceConfig {
@@ -145,12 +153,19 @@ impl ServiceConfig {
             queue_capacity: 1024,
             plan_cache_capacity: 4096,
             plan_cache_shards: workers * 4,
+            observability: true,
         }
     }
 
     /// Sets the per-worker queue budget (builder style).
     pub fn with_queue_capacity(mut self, queries: usize) -> Self {
         self.queue_capacity = queries.max(1);
+        self
+    }
+
+    /// Enables or disables the observability layer (builder style).
+    pub fn with_observability(mut self, enabled: bool) -> Self {
+        self.observability = enabled;
         self
     }
 }
@@ -207,6 +222,12 @@ struct Shared {
     shed: AtomicU64,
     peak_queued: AtomicUsize,
     executed: Vec<AtomicU64>,
+    /// The observability registry; `None` when the layer is disabled.
+    obs: Option<Arc<Obs>>,
+    /// Whether the last admission decision was a shed — drives the
+    /// `shed_on`/`shed_off` *transition* events in the trace ring (the
+    /// ring records bursts, not every rejected request).
+    shedding: AtomicBool,
 }
 
 impl Shared {
@@ -311,6 +332,26 @@ impl Shared {
         }
         None
     }
+
+    /// Marks an admission-control shed, tracing the off→on transition.
+    fn note_shed(&self) {
+        if let Some(obs) = &self.obs {
+            if !self.shedding.swap(true, Ordering::Relaxed) {
+                obs.trace().record(TraceKind::ShedOn, "admission");
+            }
+        }
+    }
+
+    /// Marks a successful admission, tracing the on→off transition. The
+    /// steady-state (non-shedding) cost is one relaxed load.
+    fn note_admitted(&self) {
+        if let Some(obs) = &self.obs {
+            if self.shedding.load(Ordering::Relaxed) && self.shedding.swap(false, Ordering::Relaxed)
+            {
+                obs.trace().record(TraceKind::ShedOff, "admission");
+            }
+        }
+    }
 }
 
 /// One queued maintenance action.
@@ -340,6 +381,8 @@ struct MaintenanceShared {
     feedback_ignored: AtomicU64,
     /// Automatic rebuilds completed by the maintenance thread.
     rebuilds_triggered: AtomicU64,
+    /// The observability registry; `None` when the layer is disabled.
+    obs: Option<Arc<Obs>>,
 }
 
 impl MaintenanceShared {
@@ -374,18 +417,29 @@ fn maintenance_loop(catalog: Arc<Catalog>, shared: Arc<MaintenanceShared>) {
                 let result = if shared.shutdown.load(Ordering::Acquire) {
                     Err(RebuildError::ShutDown)
                 } else {
-                    catalog
+                    let started = Instant::now();
+                    let result = catalog
                         .rebuild_het_retained_auto(&name)
-                        .map(|(stats, snapshot)| (stats, snapshot.epoch()))
+                        .map(|(stats, snapshot)| (stats, snapshot.epoch()));
+                    if let Some(obs) = &shared.obs {
+                        obs.record(Stage::HetRebuild, started.elapsed());
+                    }
+                    result
                 };
                 if result.is_ok() {
                     shared.rebuilds_triggered.fetch_add(1, Ordering::Relaxed);
+                    if let Some(obs) = &shared.obs {
+                        obs.trace().record(TraceKind::Rebuild, &name);
+                    }
                 }
                 // A dropped receiver just means nobody waited.
                 let _ = done.send(result);
                 continue;
             }
             Some(MaintenanceWork::Fence { reached, release }) => {
+                if let Some(obs) = &shared.obs {
+                    obs.trace().record(TraceKind::Pause, "maintenance");
+                }
                 drop(reached);
                 // Held until the pause guard releases — but never past
                 // shutdown, so dropping the service cannot hang the join.
@@ -398,6 +452,9 @@ fn maintenance_loop(catalog: Arc<Catalog>, shared: Arc<MaintenanceShared>) {
                             }
                         }
                     }
+                }
+                if let Some(obs) = &shared.obs {
+                    obs.trace().record(TraceKind::Resume, "maintenance");
                 }
                 continue;
             }
@@ -425,7 +482,14 @@ fn worker_loop(shared: Arc<Shared>, id: usize) {
     loop {
         match shared.pop_own(id).or_else(|| shared.steal(id)) {
             Some(Work::Estimate(job)) => {
-                let results = execute_batch(&job.snapshot, &job.plans, job.batch_len);
+                let started = Instant::now();
+                let results =
+                    execute_batch_observed(&job.snapshot, &job.plans, job.batch_len, &shared.obs);
+                if job.batch_len > 1 {
+                    if let Some(obs) = &shared.obs {
+                        obs.record(Stage::BatchChunk, started.elapsed());
+                    }
+                }
                 shared.executed[id].fetch_add(job.plans.len() as u64, Ordering::Relaxed);
                 shared.batches.fetch_add(1, Ordering::Relaxed);
                 // A dropped receiver just means the caller gave up waiting.
@@ -433,6 +497,10 @@ fn worker_loop(shared: Arc<Shared>, id: usize) {
                 continue;
             }
             Some(Work::Fence { reached, release }) => {
+                if let Some(obs) = &shared.obs {
+                    obs.trace()
+                        .record(TraceKind::Pause, &format!("worker-{id}"));
+                }
                 drop(reached);
                 // Held until the pause guard drops its sender — but never
                 // past shutdown, so dropping the Service while a guard is
@@ -446,6 +514,10 @@ fn worker_loop(shared: Arc<Shared>, id: usize) {
                             }
                         }
                     }
+                }
+                if let Some(obs) = &shared.obs {
+                    obs.trace()
+                        .record(TraceKind::Resume, &format!("worker-{id}"));
                 }
                 continue;
             }
@@ -571,6 +643,8 @@ pub struct ServiceStats {
     pub quarantined: u64,
     /// Plan-cache counters.
     pub plan_cache: PlanCacheStats,
+    /// Whole seconds since the service started.
+    pub uptime_secs: u64,
 }
 
 impl ServiceStats {
@@ -599,6 +673,10 @@ pub struct Service {
     handles: Vec<JoinHandle<()>>,
     maintenance_handle: Option<JoinHandle<()>>,
     next_queue: AtomicUsize,
+    /// Kept outside [`Obs`] so `uptime_secs` reports even with
+    /// observability off.
+    started: Instant,
+    obs: Option<Arc<Obs>>,
 }
 
 impl Service {
@@ -606,6 +684,12 @@ impl Service {
     /// `catalog`.
     pub fn new(catalog: Arc<Catalog>, config: ServiceConfig) -> Self {
         let workers = config.workers.max(1);
+        // Shard the histograms for the threads that record concurrently:
+        // the workers plus the submitter-side stages (parse, plan lookup,
+        // feedback) and the maintenance thread.
+        let obs = config
+            .observability
+            .then(|| Arc::new(Obs::new(workers + 2)));
         let shared = Arc::new(Shared {
             queues: (0..workers)
                 .map(|_| QueueShard {
@@ -622,6 +706,8 @@ impl Service {
             shed: AtomicU64::new(0),
             peak_queued: AtomicUsize::new(0),
             executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            obs: obs.clone(),
+            shedding: AtomicBool::new(false),
         });
         let handles = (0..workers)
             .map(|id| {
@@ -639,6 +725,7 @@ impl Service {
             feedback_applied: AtomicU64::new(0),
             feedback_ignored: AtomicU64::new(0),
             rebuilds_triggered: AtomicU64::new(0),
+            obs: obs.clone(),
         });
         let maintenance_handle = {
             let catalog = catalog.clone();
@@ -650,17 +737,26 @@ impl Service {
         };
         Service {
             catalog,
-            plans: Arc::new(PlanCache::new(
-                config.plan_cache_shards,
-                config.plan_cache_capacity,
-            )),
+            plans: Arc::new(
+                PlanCache::new(config.plan_cache_shards, config.plan_cache_capacity)
+                    .with_obs(obs.clone()),
+            ),
             shared,
             maintenance,
             persist: PersistCounters::default(),
             handles,
             maintenance_handle: Some(maintenance_handle),
             next_queue: AtomicUsize::new(0),
+            started: Instant::now(),
+            obs,
         }
+    }
+
+    /// The observability registry, when [`ServiceConfig::observability`]
+    /// is on. The protocol layer reads histograms and the trace ring
+    /// through this (`METRICS`, `TRACE`, the q-error keys of `STATS`).
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref()
     }
 
     /// Saves the named document's snapshot to `path` (see
@@ -668,8 +764,13 @@ impl Service {
     /// [`ServiceStats::persist_saves`]. Returns the snapshot size in
     /// bytes.
     pub fn save_snapshot(&self, name: &str, path: &std::path::Path) -> Result<u64, SnapshotError> {
+        let started = Instant::now();
         let bytes = self.catalog.save_snapshot(name, path)?;
         self.persist.saves.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.record(Stage::SnapshotSave, started.elapsed());
+            obs.trace().record(TraceKind::Save, name);
+        }
         Ok(bytes)
     }
 
@@ -684,9 +785,14 @@ impl Service {
         path: &std::path::Path,
         max_documents: Option<usize>,
     ) -> Result<(SynopsisSnapshot, bool), SnapshotError> {
+        let started = Instant::now();
         match self.catalog.load_snapshot(name, path, max_documents) {
             Ok(loaded) => {
                 self.persist.loads.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = &self.obs {
+                    obs.record(Stage::SnapshotLoad, started.elapsed());
+                    obs.trace().record(TraceKind::Load, name);
+                }
                 Ok(loaded)
             }
             Err(e) => {
@@ -709,6 +815,14 @@ impl Service {
         self.persist
             .quarantined
             .fetch_add(warm.quarantined.len() as u64, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            for name in &warm.loaded {
+                obs.trace().record(TraceKind::Load, name);
+            }
+            for file in &warm.quarantined {
+                obs.trace().record(TraceKind::Quarantine, file);
+            }
+        }
     }
 
     /// The catalog this service estimates from.
@@ -768,6 +882,7 @@ impl Service {
             return Err(self.shed(1));
         };
         self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+        self.shared.note_admitted();
         self.shared.note_peak();
         let (tx, rx) = mpsc::channel();
         self.shared.push(
@@ -786,6 +901,7 @@ impl Service {
     /// Records a shed of `cost` queries and builds the overload error.
     fn shed(&self, cost: usize) -> ServiceError {
         self.shared.shed.fetch_add(cost as u64, Ordering::Relaxed);
+        self.shared.note_shed();
         ServiceError::Overloaded {
             queued: self.shared.total_queued(),
             capacity: self.shared.queue_capacity * self.workers(),
@@ -823,6 +939,17 @@ impl Service {
         self.submit(doc, query)?.wait()
     }
 
+    /// Folds one applied feedback observation into the global q-error
+    /// histogram — the served-accuracy grading of `STATS`/`METRICS`.
+    /// Unsupported shapes carry no usable prior estimate and are skipped.
+    fn note_q_error(&self, report: &FeedbackReport, actual: u64) {
+        if let Some(obs) = &self.obs {
+            if report.outcome != FeedbackOutcome::Unsupported {
+                obs.record_q_error(report.estimated, actual);
+            }
+        }
+    }
+
     /// Enqueues an automatic rebuild of `doc` on the maintenance thread.
     fn enqueue_rebuild(&self, doc: &str) -> RebuildTicket {
         let (tx, rx) = mpsc::channel();
@@ -847,6 +974,7 @@ impl Service {
         self.shared
             .accepted
             .fetch_add(cost as u64, Ordering::Relaxed);
+        self.shared.note_admitted();
         self.shared.note_peak();
         Ok(queue)
     }
@@ -875,13 +1003,18 @@ impl Service {
     ) -> Result<ServiceFeedback, ServiceError> {
         let plan = self.plans.get_or_parse(query)?;
         let queue = self.admit_inline(1)?;
+        let started = Instant::now();
         let result = self
             .catalog
             .record_feedback(doc, plan.expr(), actual, base)
             .ok_or_else(|| ServiceError::UnknownDocument(doc.to_string()));
+        if let Some(obs) = &self.obs {
+            obs.record(Stage::FeedbackApply, started.elapsed());
+        }
         self.shared.release(queue, 1);
         let fb = result?;
         self.maintenance.note_outcome(fb.report.outcome);
+        self.note_q_error(&fb.report, actual);
         let rebuild = fb.rebuild_due.then(|| self.enqueue_rebuild(doc));
         Ok(ServiceFeedback {
             report: fb.report,
@@ -912,14 +1045,19 @@ impl Service {
             })
             .collect::<Result<Vec<_>, ServiceError>>()?;
         let queue = self.admit_inline(items.len())?;
+        let started = Instant::now();
         let result = self
             .catalog
             .record_feedback_batch(doc, &items)
             .ok_or_else(|| ServiceError::UnknownDocument(doc.to_string()));
+        if let Some(obs) = &self.obs {
+            obs.record(Stage::FeedbackApply, started.elapsed());
+        }
         self.shared.release(queue, items.len());
         let batch: CatalogFeedbackBatch = result?;
-        for report in &batch.reports {
+        for (report, item) in batch.reports.iter().zip(&items) {
             self.maintenance.note_outcome(report.outcome);
+            self.note_q_error(report, item.actual);
         }
         let rebuild = batch.rebuild_due.then(|| self.enqueue_rebuild(doc));
         Ok(ServiceFeedbackBatch {
@@ -960,10 +1098,7 @@ impl Service {
     /// side.
     pub fn estimate_batch(&self, doc: &str, queries: &[&str]) -> Result<Vec<f64>, ServiceError> {
         let snapshot = self.resolve(doc)?;
-        let plans = queries
-            .iter()
-            .map(|q| self.plans.get_or_parse(q))
-            .collect::<Result<Vec<_>, _>>()?;
+        let plans = self.plans.get_or_parse_batch(queries)?;
         if plans.is_empty() {
             return Ok(Vec::new());
         }
@@ -993,6 +1128,7 @@ impl Service {
         self.shared
             .accepted
             .fetch_add(plans.len() as u64, Ordering::Relaxed);
+        self.shared.note_admitted();
         self.shared.note_peak();
 
         let (tx, rx) = mpsc::channel();
@@ -1043,6 +1179,7 @@ impl Service {
             persist_load_failures: self.persist.load_failures.load(Ordering::Relaxed),
             quarantined: self.persist.quarantined.load(Ordering::Relaxed),
             plan_cache: self.plans.stats(),
+            uptime_secs: self.started.elapsed().as_secs(),
         }
     }
 }

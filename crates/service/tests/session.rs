@@ -1,12 +1,15 @@
 //! The example session transcripts, asserted instead of hand-maintained:
 //! `examples/serve_session.txt`, `examples/overload_session.txt`,
-//! `examples/feedback_session.txt`, and the two-phase
+//! `examples/feedback_session.txt`, `examples/metrics_session.txt`, and
+//! the two-phase
 //! `examples/persist_session.txt` / `examples/persist_restart_session.txt`
 //! pair are run through the protocol layer with the same configuration
 //! the CI smoke run passes to the binary, and every reply must match the
-//! committed `.expected` transcript byte for byte. When a protocol
-//! change breaks these, regenerate the transcripts (the session files
-//! say how) instead of editing them by hand.
+//! committed `.expected` transcript byte for byte — after masking the
+//! timing-dependent digits (uptime, latency histogram values, trace
+//! timestamps) to `N`, exactly as the CI sed does before its diffs.
+//! When a protocol change breaks these, regenerate the transcripts (the
+//! session files say how) instead of editing them by hand.
 
 use std::sync::Arc;
 use xseed_service::{run_script, Catalog, Service, ServiceConfig};
@@ -16,11 +19,65 @@ fn example(name: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
 }
 
+/// Replaces the digit run immediately following every `marker` with `N`.
+fn mask_digits_after(line: &str, marker: &str) -> String {
+    let mut out = String::new();
+    let mut rest = line;
+    while let Some(idx) = rest.find(marker) {
+        let boundary = idx + marker.len();
+        out.push_str(&rest[..boundary]);
+        let after = &rest[boundary..];
+        let digits = after.bytes().take_while(u8::is_ascii_digit).count();
+        if digits > 0 {
+            out.push('N');
+        }
+        rest = &after[digits..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// The Rust twin of the CI normalization sed (see
+/// `examples/metrics_session.txt`): timing values vary run to run, so
+/// both sides mask them to `N` before comparing. Counters, q-error
+/// percentiles, and trace sequence numbers stay literal — they are
+/// deterministic at `--workers 1`.
+fn normalize(line: &str) -> String {
+    let mut line = mask_digits_after(line, "uptime_secs=");
+    line = mask_digits_after(&line, "\"uptime_secs\":");
+    line = mask_digits_after(&line, "t=+");
+    // Latency quantile/max values and the uptime gauge; the `_count`
+    // rows are deterministic and deliberately not masked.
+    if line.starts_with("xseed_uptime_seconds ")
+        || line.starts_with("xseed_stage_latency_ns{")
+        || line.starts_with("xseed_stage_latency_ns_max{")
+    {
+        if let Some(idx) = line.rfind(' ') {
+            if line[idx + 1..].bytes().all(|b| b.is_ascii_digit()) && idx + 1 < line.len() {
+                line.truncate(idx + 1);
+                line.push('N');
+            }
+        }
+    }
+    line
+}
+
+/// Flattens and normalizes raw `run_script` replies: a METRICS/TRACE
+/// reply is one multi-line response, but the wire (and the committed
+/// transcript) sees its lines individually.
+fn normalized(replies: &[String]) -> Vec<String> {
+    replies
+        .iter()
+        .flat_map(|reply| reply.lines())
+        .map(normalize)
+        .collect()
+}
+
 fn assert_transcript(session_file: &str, expected_file: &str, config: ServiceConfig) {
     let service = Service::new(Arc::new(Catalog::new()), config);
-    let replies = run_script(&service, &example(session_file));
+    let replies = normalized(&run_script(&service, &example(session_file)));
     let expected_text = example(expected_file);
-    let expected: Vec<&str> = expected_text.lines().collect();
+    let expected: Vec<String> = expected_text.lines().map(normalize).collect();
     assert_eq!(
         replies, expected,
         "{session_file} drifted from {expected_file}; regenerate the expected transcript"
@@ -54,6 +111,48 @@ fn feedback_session_matches_expected_transcript() {
         "feedback_session.txt",
         "feedback_session.expected",
         ServiceConfig::with_workers(1),
+    );
+}
+
+#[test]
+fn metrics_session_matches_expected_transcript() {
+    // Must mirror the smoke run: `xseed-serve --workers 1`.
+    assert_transcript(
+        "metrics_session.txt",
+        "metrics_session.expected",
+        ServiceConfig::with_workers(1),
+    );
+}
+
+#[test]
+fn metrics_session_demonstrates_the_observability_surface() {
+    // The committed transcript must actually show the obs layer doing
+    // its job: accuracy percentiles in STATS, per-stage latency and
+    // q-error summaries in METRICS, and the load + feedback-driven
+    // rebuild replayed by TRACE.
+    let expected = example("metrics_session.expected");
+    let lines: Vec<&str> = expected.lines().collect();
+    let stats = lines
+        .iter()
+        .find(|l| l.starts_with("OK workers="))
+        .expect("transcript carries STATS");
+    assert!(stats.contains("qerr_count=2"), "{stats}");
+    for line in [
+        "xseed_stage_latency_ns_count{stage=\"estimate\"} 5",
+        "xseed_q_error{scope=\"global\",quantile=\"0.5\"} 1.023",
+        "xseed_q_error_count{doc=\"fig4\"} 2",
+        "trace seq=0 t=+Nms event=load doc=fig4",
+        "trace seq=1 t=+Nms event=rebuild doc=fig4",
+    ] {
+        assert!(lines.contains(&line), "missing {line:?} in transcript");
+    }
+    assert!(
+        lines.iter().any(|l| l.starts_with("OK metrics lines=")),
+        "transcript carries the METRICS header"
+    );
+    assert!(
+        lines.contains(&"OK trace n=2 capacity=256"),
+        "transcript carries the TRACE header"
     );
 }
 
@@ -111,9 +210,9 @@ fn persist_sessions_roundtrip_across_a_restart() {
     let warm = xseed_service::warm_start(service.catalog(), dir).unwrap();
     assert!(warm.loaded.is_empty() && warm.quarantined.is_empty());
     service.note_warm_start(&warm);
-    let phase1 = run_script(&service, &example("persist_session.txt"));
+    let phase1 = normalized(&run_script(&service, &example("persist_session.txt")));
     let expected1_text = example("persist_session.expected");
-    let expected1: Vec<&str> = expected1_text.lines().collect();
+    let expected1: Vec<String> = expected1_text.lines().map(normalize).collect();
     assert_eq!(
         phase1, expected1,
         "persist_session.txt drifted from persist_session.expected; \
@@ -129,9 +228,12 @@ fn persist_sessions_roundtrip_across_a_restart() {
     assert_eq!(warm.quarantined, vec!["bogus.xsnap".to_string()]);
     assert!(dir.join("bogus.xsnap.corrupt").exists());
     service.note_warm_start(&warm);
-    let phase2 = run_script(&service, &example("persist_restart_session.txt"));
+    let phase2 = normalized(&run_script(
+        &service,
+        &example("persist_restart_session.txt"),
+    ));
     let expected2_text = example("persist_restart_session.expected");
-    let expected2: Vec<&str> = expected2_text.lines().collect();
+    let expected2: Vec<String> = expected2_text.lines().map(normalize).collect();
     assert_eq!(
         phase2, expected2,
         "persist_restart_session.txt drifted from persist_restart_session.expected; \

@@ -1,5 +1,5 @@
 //! Accuracy regression suite: committed golden fixtures pin the
-//! estimator's per-query output and aggregate error on the four
+//! estimator's per-query output and aggregate error on the six
 //! canonical workloads, so a future change cannot silently degrade
 //! estimation quality (cf. the regression discipline argued for by the
 //! cardinality-estimation benchmark literature).
@@ -31,7 +31,7 @@ struct Scenario {
     recursive: bool,
 }
 
-const SCENARIOS: [Scenario; 4] = [
+const SCENARIOS: [Scenario; 6] = [
     Scenario {
         name: "xmark",
         dataset: Dataset::XMark10,
@@ -57,6 +57,22 @@ const SCENARIOS: [Scenario; 4] = [
         dataset: Dataset::SwissProt,
         scale: 0.02,
         recursive: false,
+    },
+    // Relational-style order/lineitem nesting: deep fan-out but zero
+    // recursion, the classic data-centric shape.
+    Scenario {
+        name: "tpch",
+        dataset: Dataset::Tpch,
+        scale: 0.02,
+        recursive: false,
+    },
+    // Text-centric articles with shallow recursion (nested sections) —
+    // between Treebank's heavy recursion and the flat record datasets.
+    Scenario {
+        name: "xbench",
+        dataset: Dataset::XBench,
+        scale: 0.02,
+        recursive: true,
     },
 ];
 
@@ -232,4 +248,14 @@ fn treebank_accuracy_matches_golden() {
 #[test]
 fn swissprot_accuracy_matches_golden() {
     check(&SCENARIOS[3]);
+}
+
+#[test]
+fn tpch_accuracy_matches_golden() {
+    check(&SCENARIOS[4]);
+}
+
+#[test]
+fn xbench_accuracy_matches_golden() {
+    check(&SCENARIOS[5]);
 }
