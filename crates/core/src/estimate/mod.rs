@@ -27,6 +27,7 @@ pub use ept::{EptNode, ExpandedPathTree};
 pub use event::EstimateEvent;
 pub use matcher::Matcher;
 pub use streaming::{
-    CompiledCacheStats, CompiledPlanCache, CompiledQuery, FrontierMemo, StreamingMatcher,
+    BoundedEstimate, CompiledCacheStats, CompiledPlanCache, CompiledQuery, FrontierMemo,
+    StreamingMatcher,
 };
 pub use traveler::Traveler;

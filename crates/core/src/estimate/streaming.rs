@@ -152,6 +152,35 @@ impl CompiledQuery {
     }
 }
 
+/// A point estimate paired with a guaranteed upper bound on the true
+/// result cardinality.
+///
+/// The bound comes from [`StreamingMatcher::estimate_bound`]'s
+/// max-out-degree propagation (see that method's docs): it is a *sound*
+/// pessimistic cardinality — the true count never exceeds it — while the
+/// point estimate is the usual average-fanout product, which can under- or
+/// overshoot. By construction `bound >= estimate` always holds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedEstimate {
+    /// The point estimate ([`StreamingMatcher::estimate`]).
+    pub estimate: f64,
+    /// A guaranteed upper bound on the true result cardinality, never
+    /// below `estimate`.
+    pub bound: f64,
+}
+
+/// The rooted-label-path identity of a bound-propagation frontier entry:
+/// `Known(h)` when every document node the entry over-counts shares the
+/// rooted label path hashing to `h` (a chain of child steps from the
+/// root), `Ambiguous` otherwise. Only `Known` entries may be clamped by
+/// HET simple-path cardinalities — those are exact per-path counts, so the
+/// clamp can never cut below the truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PathTag {
+    Known(u64),
+    Ambiguous,
+}
+
 /// One candidate value of a frontier state: a known factor times a product
 /// of not-yet-resolved predicate cells.
 #[derive(Debug, Clone, Copy)]
@@ -647,6 +676,50 @@ impl<'a> StreamingMatcher<'a> {
             }
         };
         (estimate, compile_time)
+    }
+
+    /// Estimates a path expression in **bound mode**: the usual point
+    /// estimate paired with a guaranteed upper bound on the true result
+    /// cardinality.
+    ///
+    /// The bound is computed by `compute_bound`'s max-out-degree
+    /// frontier propagation over the synopsis graph —
+    /// worst-case fan-out instead of average fan-out, exact per-label node
+    /// totals as clamps, predicates ignored (they only filter), and the
+    /// `card_threshold` / `max_ept_nodes` truncation rules deliberately
+    /// *not* applied (truncation prunes mass, which would break the
+    /// guarantee). HET entries clamp the bound downwards only — their
+    /// simple-path cardinalities are exact counts — and never inflate it.
+    /// `bound >= estimate` holds by construction.
+    pub fn estimate_bound(&mut self, expr: &PathExpr) -> BoundedEstimate {
+        let estimate = self.estimate(expr);
+        let query = self.compile(expr);
+        let raw = self.compute_bound(&query) as f64;
+        BoundedEstimate {
+            estimate,
+            bound: raw.max(estimate),
+        }
+    }
+
+    /// [`StreamingMatcher::estimate_bound`] over a cached [`QueryPlan`],
+    /// sharing the compiled form with the point path when a
+    /// [`CompiledPlanCache`] is installed.
+    pub fn estimate_plan_bound(&mut self, plan: &QueryPlan) -> BoundedEstimate {
+        let estimate = self.estimate_plan(plan);
+        let raw = match self.compiled_cache.clone() {
+            Some(cache) => {
+                let compiled = cache.get_or_compile(plan.id(), || self.compile(plan.expr()));
+                self.compute_bound(&compiled)
+            }
+            None => {
+                let query = self.compile(plan.expr());
+                self.compute_bound(&query)
+            }
+        };
+        BoundedEstimate {
+            estimate,
+            bound: (raw as f64).max(estimate),
+        }
     }
 
     /// Estimates the cardinality, also reporting the number of EPT nodes
@@ -1512,6 +1585,199 @@ impl<'a> StreamingMatcher<'a> {
         }
         total
     }
+
+    // ------------------------------------------------------------------
+    // Bound mode
+    // ------------------------------------------------------------------
+
+    /// Computes a guaranteed upper bound on the number of document nodes
+    /// matching `query`, by worst-case frontier propagation over the
+    /// synopsis graph.
+    ///
+    /// The frontier maps each synopsis vertex `v` (one per label) to
+    /// `B(v)`, an upper bound on the number of document nodes at `v`
+    /// matched by the spine prefix processed so far. Soundness rests on
+    /// per-step arguments:
+    ///
+    /// * **Exact label totals.** `total[v]` is the exact number of
+    ///   document nodes with `v`'s label: every non-root node is counted
+    ///   once as a child on exactly one `(edge, recursion level)` pair,
+    ///   plus one for the root node itself. No `B(v)` may exceed it.
+    /// * **Child steps.** A parent node on edge `u -> v` at recursion
+    ///   level `r` has at most `c_r - p_r + 1` children at `v` (all
+    ///   same-label children of one parent share one level, and each of
+    ///   the `p_r` recorded parents has at least one child), so `maxdeg`
+    ///   — the maximum of that expression over levels — bounds any single
+    ///   parent's fan-out. `B(u) * maxdeg` then bounds the matched
+    ///   children through the edge, as does the edge's total child count;
+    ///   the minimum of the two is taken. Summing over frontier vertices
+    ///   is sound because distinct vertices carry distinct labels, hence
+    ///   disjoint parent-node sets, and every child has one parent.
+    /// * **Descendant steps.** Matched nodes are strict descendants of
+    ///   some step `i-1` node, so their labels lie in the union of the
+    ///   reachable-label rows of the frontier's *children* (a self-loop
+    ///   covers same-label recursion); every vertex whose label is in
+    ///   that union gets the always-sound `B(v) = total[v]`.
+    /// * **Predicates only filter**, so ignoring them preserves the
+    ///   bound, and the point path's `card_threshold` / `max_ept_nodes`
+    ///   truncation rules are never applied (truncation drops mass).
+    /// * **HET clamps, never inflates.** A frontier entry tagged
+    ///   [`PathTag::Known`] over-counts only nodes sharing one rooted
+    ///   label path; the HET's simple-path cardinality for that path is an
+    ///   exact count, so `min`-ing with it cannot cut below the truth.
+    ///
+    /// Arithmetic saturates at `u64::MAX`; an empty kernel bounds 0.
+    fn compute_bound(&self, query: &CompiledQuery) -> u64 {
+        let frozen = self.frozen;
+        let Some(root) = frozen.root() else {
+            return 0;
+        };
+        let Some(step0) = query.spine.first() else {
+            return 0;
+        };
+        let n = frozen.vertex_count();
+
+        // Exact per-label document node totals.
+        let mut total = vec![0u64; n];
+        total[root.index()] = 1;
+        for ui in 0..n {
+            for slot in frozen.out_slots(VertexId(ui as u32)) {
+                let vi = frozen.slot_target(slot).index();
+                for level in 0..frozen.slot_levels(slot) {
+                    total[vi] = total[vi].saturating_add(frozen.slot_child_count(slot, level));
+                }
+            }
+        }
+
+        // Per-slot aggregates: total children across levels, and the
+        // worst-case single-parent fan-out.
+        let slot_count = frozen.slot_count();
+        let mut cnt_total = vec![0u64; slot_count];
+        let mut maxdeg = vec![0u64; slot_count];
+        for slot in 0..slot_count {
+            for level in 0..frozen.slot_levels(slot) {
+                let c = frozen.slot_child_count(slot, level);
+                if c == 0 {
+                    continue;
+                }
+                cnt_total[slot] = cnt_total[slot].saturating_add(c);
+                let p = frozen.slot_parent_count(slot, level);
+                let deg = c.saturating_sub(p).saturating_add(1);
+                maxdeg[slot] = maxdeg[slot].max(deg);
+            }
+        }
+
+        let het_clamp = |entry: (u64, PathTag)| -> (u64, PathTag) {
+            let (b, tag) = entry;
+            if let (Some(het), PathTag::Known(h)) = (self.het, tag) {
+                if let Some((card, _)) = het.lookup_simple(h) {
+                    return (b.min(card), tag);
+                }
+            }
+            (b, tag)
+        };
+
+        // Seed the step-0 frontier. A leading child axis matches only the
+        // root node; a leading descendant axis is at-or-below the root,
+        // i.e. every node in the document.
+        let mut frontier: Vec<Option<(u64, PathTag)>> = vec![None; n];
+        match step0.axis {
+            Axis::Child => {
+                if step0.test.matches(frozen.label(root)) {
+                    let h = inc_hash(PATH_HASH_SEED, frozen.label(root));
+                    frontier[root.index()] = Some(het_clamp((1, PathTag::Known(h))));
+                }
+            }
+            Axis::Descendant => {
+                for (vi, slot) in frontier.iter_mut().enumerate() {
+                    let v = VertexId(vi as u32);
+                    if step0.test.matches(frozen.label(v)) && total[vi] > 0 {
+                        *slot = Some((total[vi], PathTag::Ambiguous));
+                    }
+                }
+            }
+        }
+
+        for step in &query.spine[1..] {
+            let mut next: Vec<Option<(u64, PathTag)>> = vec![None; n];
+            match step.axis {
+                Axis::Child => {
+                    for (ui, entry) in frontier.iter().enumerate() {
+                        let Some((b_u, tag_u)) = *entry else {
+                            continue;
+                        };
+                        if b_u == 0 {
+                            continue;
+                        }
+                        for slot in frozen.out_slots(VertexId(ui as u32)) {
+                            let v = frozen.slot_target(slot);
+                            let label = frozen.label(v);
+                            if !step.test.matches(label) {
+                                continue;
+                            }
+                            let contribution =
+                                cnt_total[slot].min(b_u.saturating_mul(maxdeg[slot]));
+                            if contribution == 0 {
+                                continue;
+                            }
+                            let tag_v = match tag_u {
+                                PathTag::Known(h) => PathTag::Known(inc_hash(h, label)),
+                                PathTag::Ambiguous => PathTag::Ambiguous,
+                            };
+                            let vi = v.index();
+                            next[vi] = Some(match next[vi] {
+                                None => (contribution, tag_v),
+                                Some((b, t)) => (
+                                    b.saturating_add(contribution),
+                                    if t == tag_v { t } else { PathTag::Ambiguous },
+                                ),
+                            });
+                        }
+                    }
+                    for (vi, entry) in next.iter_mut().enumerate() {
+                        if let Some((b, t)) = *entry {
+                            *entry = Some(het_clamp((b.min(total[vi]), t)));
+                        }
+                    }
+                }
+                Axis::Descendant => {
+                    let words = frozen.label_words();
+                    let mut mask = vec![0u64; words];
+                    for (ui, entry) in frontier.iter().enumerate() {
+                        let Some((b_u, _)) = *entry else {
+                            continue;
+                        };
+                        if b_u == 0 {
+                            continue;
+                        }
+                        for slot in frozen.out_slots(VertexId(ui as u32)) {
+                            let child = frozen.slot_target(slot);
+                            for (m, r) in mask.iter_mut().zip(frozen.reach_row(child)) {
+                                *m |= r;
+                            }
+                        }
+                    }
+                    for (vi, entry) in next.iter_mut().enumerate() {
+                        let v = VertexId(vi as u32);
+                        let label = frozen.label(v);
+                        if !step.test.matches(label) || total[vi] == 0 {
+                            continue;
+                        }
+                        let word = label.index() / 64;
+                        if word < words && mask[word] & (1u64 << (label.index() % 64)) != 0 {
+                            *entry = Some((total[vi], PathTag::Ambiguous));
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+
+        frontier
+            .iter()
+            .flatten()
+            .fold(0u64, |acc, &(b, _)| acc.saturating_add(b))
+    }
 }
 
 #[cfg(test)]
@@ -1901,6 +2167,195 @@ mod tests {
     fn compiled_cache_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CompiledPlanCache>();
+    }
+
+    /// Differential soundness check: for every query, the bound must
+    /// dominate both the NoK oracle's true cardinality and the point
+    /// estimate.
+    fn assert_bound_sound(
+        doc: &xmlkit::Document,
+        het: Option<&HyperEdgeTable>,
+        config: &XseedConfig,
+        queries: &[&str],
+    ) {
+        let kernel = KernelBuilder::from_document(doc);
+        let frozen = FrozenKernel::freeze(&kernel);
+        let mut m = StreamingMatcher::new(&frozen, kernel.names(), config, het);
+        let storage = nokstore::NokStorage::from_document(doc);
+        let eval = nokstore::Evaluator::new(&storage);
+        for q in queries {
+            let expr = parse(q).unwrap();
+            let be = m.estimate_bound(&expr);
+            let actual = eval.count(&expr) as f64;
+            assert!(
+                be.bound + 1e-9 >= actual,
+                "{q}: bound {} < true cardinality {actual}",
+                be.bound
+            );
+            assert!(
+                be.bound + 1e-9 >= be.estimate,
+                "{q}: bound {} < point estimate {}",
+                be.bound,
+                be.estimate
+            );
+        }
+    }
+
+    const FIGURE4_QUERIES: &[&str] = &[
+        "/a/b/d/e",
+        "/a/c/d/f",
+        "/a/b/d[f]/e",
+        "/a/c/d[f]/e",
+        "//d[e][f]",
+        "//d//*",
+        "/a/*/d[e]/f",
+    ];
+
+    #[test]
+    fn bound_is_sound_on_figure2() {
+        assert_bound_sound(
+            &figure2_document(),
+            None,
+            &XseedConfig::default(),
+            FIGURE2_QUERIES,
+        );
+    }
+
+    #[test]
+    fn bound_is_sound_on_figure4() {
+        assert_bound_sound(
+            &figure4_document(),
+            None,
+            &XseedConfig::default(),
+            FIGURE4_QUERIES,
+        );
+    }
+
+    #[test]
+    fn bound_is_sound_under_truncation() {
+        // The point path truncates (card_threshold prunes low-mass edges,
+        // max_ept_nodes caps the traversal); the bound must ignore both.
+        for config in [
+            XseedConfig::default().with_card_threshold(2.0),
+            XseedConfig {
+                max_ept_nodes: 3,
+                ..XseedConfig::default()
+            },
+        ] {
+            assert_bound_sound(&figure2_document(), None, &config, FIGURE2_QUERIES);
+            assert_bound_sound(&figure4_document(), None, &config, FIGURE4_QUERIES);
+        }
+    }
+
+    #[test]
+    fn bound_is_sound_with_true_het_entries() {
+        // HET entries clamp with *true* cardinalities (as the feedback
+        // loop inserts them); the clamp must never cut below the truth.
+        let doc = figure2_document();
+        let kernel = KernelBuilder::from_document(&doc);
+        let names = kernel.names();
+        let l = |n: &str| names.lookup(n).unwrap();
+        let storage = nokstore::NokStorage::from_document(&doc);
+        let eval = nokstore::Evaluator::new(&storage);
+        let mut het = HyperEdgeTable::new();
+        for (path, query) in [
+            (vec![l("a"), l("c")], "/a/c"),
+            (vec![l("a"), l("c"), l("s")], "/a/c/s"),
+            (vec![l("a"), l("c"), l("s"), l("s")], "/a/c/s/s"),
+        ] {
+            let actual = eval.count(&parse(query).unwrap());
+            het.insert_simple(path_hash(&path), actual, 0.9, 100.0);
+        }
+        het.rebuild_residency();
+        assert_bound_sound(&doc, Some(&het), &XseedConfig::default(), FIGURE2_QUERIES);
+    }
+
+    #[test]
+    fn het_entries_tighten_the_bound() {
+        let doc = figure2_document();
+        let kernel = KernelBuilder::from_document(&doc);
+        let names = kernel.names();
+        let l = |n: &str| names.lookup(n).unwrap();
+        let frozen = FrozenKernel::freeze(&kernel);
+        let config = XseedConfig::default();
+        let storage = nokstore::NokStorage::from_document(&doc);
+        let eval = nokstore::Evaluator::new(&storage);
+        let expr = parse("/a/c/s").unwrap();
+        let actual = eval.count(&expr);
+        let loose = StreamingMatcher::new(&frozen, kernel.names(), &config, None)
+            .estimate_bound(&expr)
+            .bound;
+        let mut het = HyperEdgeTable::new();
+        het.insert_simple(path_hash(&[l("a"), l("c"), l("s")]), actual, 0.9, 100.0);
+        het.rebuild_residency();
+        let tight = StreamingMatcher::new(&frozen, kernel.names(), &config, Some(&het))
+            .estimate_bound(&expr)
+            .bound;
+        assert!(
+            tight <= loose,
+            "HET clamp inflated the bound: {tight} > {loose}"
+        );
+        assert!(tight >= actual as f64);
+    }
+
+    #[test]
+    fn bound_on_empty_kernel_and_absent_labels() {
+        let kernel = Kernel::new();
+        let frozen = FrozenKernel::freeze(&kernel);
+        let config = XseedConfig::default();
+        let mut m = StreamingMatcher::new(&frozen, kernel.names(), &config, None);
+        let be = m.estimate_bound(&parse("/a").unwrap());
+        assert_eq!(be.bound, 0.0);
+        assert_eq!(be.estimate, 0.0);
+
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        let frozen = FrozenKernel::freeze(&kernel);
+        let mut m = StreamingMatcher::new(&frozen, kernel.names(), &config, None);
+        for q in ["/zzz", "/a/zzz", "//zzz", "/a//zzz/t"] {
+            let be = m.estimate_bound(&parse(q).unwrap());
+            assert_eq!(be.bound, 0.0, "{q}: absent label must bound 0");
+        }
+    }
+
+    #[test]
+    fn known_figure2_bounds() {
+        // Pin exact bound values on Figure 2(a) so bound regressions are
+        // visible, not just soundness violations. Truths: /a/c/s has 5
+        // nodes, //p has 17, //* has 36.
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        let frozen = FrozenKernel::freeze(&kernel);
+        let config = XseedConfig::default();
+        let mut m = StreamingMatcher::new(&frozen, kernel.names(), &config, None);
+        for (q, truth) in [("/a/c/s", 5.0), ("//p", 17.0), ("//*", 36.0), ("/a", 1.0)] {
+            let be = m.estimate_bound(&parse(q).unwrap());
+            assert!(be.bound >= truth, "{q}: bound {} < truth {truth}", be.bound);
+        }
+        // //* covers every node; the per-label totals are exact, so the
+        // bound is exactly the document size.
+        assert_eq!(m.estimate_bound(&parse("//*").unwrap()).bound, 36.0);
+        // A leading child step matches only the root.
+        assert_eq!(m.estimate_bound(&parse("/a").unwrap()).bound, 1.0);
+    }
+
+    #[test]
+    fn estimate_plan_bound_matches_estimate_bound() {
+        let kernel = KernelBuilder::from_document(&figure2_document());
+        let frozen = FrozenKernel::freeze(&kernel);
+        let config = XseedConfig::default();
+        let cache = Arc::new(CompiledPlanCache::new(2, 64));
+        let mut cached = StreamingMatcher::new(&frozen, kernel.names(), &config, None);
+        cached.set_compiled_cache(cache.clone());
+        let mut plain = StreamingMatcher::new(&frozen, kernel.names(), &config, None);
+        for q in FIGURE2_QUERIES {
+            let plan = QueryPlan::parse(q).unwrap();
+            let expected = plain.estimate_bound(plan.expr());
+            for _ in 0..2 {
+                let got = cached.estimate_plan_bound(&plan);
+                assert_eq!(got.bound.to_bits(), expected.bound.to_bits(), "{q}");
+                assert_eq!(got.estimate.to_bits(), expected.estimate.to_bits(), "{q}");
+            }
+        }
+        assert!(cache.stats().hits > 0);
     }
 
     #[test]

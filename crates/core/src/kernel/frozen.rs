@@ -450,6 +450,13 @@ impl FrozenKernel {
         mask.iter().zip(row).all(|(m, r)| m & !r == 0)
     }
 
+    /// The full reachability bitset row of `v`: one bit per label that
+    /// occurs at `v` or anywhere below it, `label_words` words long.
+    #[inline]
+    pub fn reach_row(&self, v: VertexId) -> &[u64] {
+        &self.reach[v.index() * self.label_words..(v.index() + 1) * self.label_words]
+    }
+
     /// Words per reachability bitset row (for sizing query-side masks).
     #[inline]
     pub fn label_words(&self) -> usize {

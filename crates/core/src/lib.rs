@@ -47,8 +47,8 @@ pub mod synopsis;
 pub use config::XseedConfig;
 pub use counter_stacks::CounterStacks;
 pub use estimate::{
-    CompiledCacheStats, CompiledPlanCache, CompiledQuery, EstimateEvent, ExpandedPathTree,
-    FrontierMemo, Matcher, StreamingMatcher, Traveler,
+    BoundedEstimate, CompiledCacheStats, CompiledPlanCache, CompiledQuery, EstimateEvent,
+    ExpandedPathTree, FrontierMemo, Matcher, StreamingMatcher, Traveler,
 };
 pub use het::{
     BselThresholdStrategy, CandidateContext, CandidateStrategy, FeedbackOutcome, HetBuildStats,

@@ -8,7 +8,7 @@ use crate::config::XseedConfig;
 use crate::estimate::ept::ExpandedPathTree;
 use crate::estimate::matcher::Matcher;
 use crate::estimate::streaming::{
-    CompiledCacheStats, CompiledPlanCache, FrontierMemo, StreamingMatcher,
+    BoundedEstimate, CompiledCacheStats, CompiledPlanCache, FrontierMemo, StreamingMatcher,
 };
 use crate::het::builder::{HetBuildStats, HetBuilder};
 use crate::het::feedback::FeedbackOutcome;
@@ -325,6 +325,13 @@ impl XseedSynopsis {
             cardinality,
             ept_nodes,
         }
+    }
+
+    /// Estimates a path expression in bound mode: the point estimate
+    /// paired with a guaranteed upper bound on the true cardinality (see
+    /// [`StreamingMatcher::estimate_bound`]).
+    pub fn estimate_bound(&self, expr: &PathExpr) -> BoundedEstimate {
+        self.streaming_matcher().estimate_bound(expr)
     }
 
     /// Estimates a whole batch of queries over one shared frontier memo
@@ -661,6 +668,20 @@ impl SynopsisSnapshot {
         self.matcher().estimate_plan(plan)
     }
 
+    /// Estimates one query in bound mode (point estimate + guaranteed
+    /// upper bound; see [`StreamingMatcher::estimate_bound`]). One-shot
+    /// matcher; for many queries hold a [`SynopsisSnapshot::matcher`].
+    pub fn estimate_bound(&self, expr: &PathExpr) -> BoundedEstimate {
+        self.matcher().estimate_bound(expr)
+    }
+
+    /// Estimates one cached plan in bound mode through the snapshot's
+    /// compiled-query cache (see
+    /// [`StreamingMatcher::estimate_plan_bound`]).
+    pub fn estimate_plan_bound(&self, plan: &xpathkit::QueryPlan) -> BoundedEstimate {
+        self.matcher().estimate_plan_bound(plan)
+    }
+
     /// Estimates a batch of queries over the shared frontier memo,
     /// returning estimates in input order. Matcher selection follows
     /// [`SynopsisSnapshot::matcher_for_batch`].
@@ -714,6 +735,28 @@ mod tests {
         assert!(synopsis.het().is_none());
         assert!(synopsis.size_bytes() > 0);
         assert_eq!(synopsis.size_bytes(), synopsis.kernel_size_bytes());
+    }
+
+    #[test]
+    fn estimate_bound_dominates_truth_through_synopsis_and_snapshot() {
+        let doc = figure2_document();
+        let storage = NokStorage::from_document(&doc);
+        let eval = Evaluator::new(&storage);
+        let synopsis = XseedSynopsis::build(&doc, XseedConfig::default());
+        let snap = synopsis.snapshot();
+        for q in ["/a/c/s", "//p", "/a/c/s[t]/p", "//s//s//p", "/a/*"] {
+            let expr = parse(q).unwrap();
+            let actual = eval.count(&expr) as f64;
+            let be = synopsis.estimate_bound(&expr);
+            assert!(be.bound >= actual, "{q}: bound {} < {actual}", be.bound);
+            assert!(be.bound >= be.estimate, "{q}");
+            assert_eq!(snap.estimate_bound(&expr), be);
+            let plan = xpathkit::QueryPlan::parse(q).unwrap();
+            assert_eq!(
+                snap.estimate_plan_bound(&plan).bound.to_bits(),
+                be.bound.to_bits()
+            );
+        }
     }
 
     #[test]

@@ -112,7 +112,7 @@ pub use catalog::{
     Catalog, CatalogFeedback, CatalogFeedbackBatch, DocumentInfo, MaintenancePolicy, RebuildError,
     RetentionPolicy, SnapshotError,
 };
-pub use metrics::{q_error_milli, Histogram, HistogramSnapshot, Obs, Stage};
+pub use metrics::{format_milli_q, q_error_milli, Histogram, HistogramSnapshot, Obs, Stage};
 pub use persist::{warm_start, write_snapshot_file, WarmStart, SNAPSHOT_EXTENSION};
 pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use protocol::{handle_line, run_script, ProtocolOptions, Response};

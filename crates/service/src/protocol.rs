@@ -109,7 +109,7 @@ impl Response {
 
 const HELP: &str = "commands: LOAD <name> <path|builtin:dataset[@scale]|file:snapshot.xsnap> \
                     [recursive] [retain] | SAVE <name> <path> | \
-                    EST <name> <query> | BATCH <name> <q1> ; <q2> ; ... | \
+                    EST <name> [mode=bound] <query> | BATCH <name> <q1> ; <q2> ; ... | \
                     FEEDBACK <name> <actual> [base=<n>] <query> | \
                     MAINTAIN <name> <manual|error-mass=<x>|every=<n>> | STATS [json] | \
                     METRICS | TRACE [n] | HELP | QUIT";
@@ -420,10 +420,27 @@ fn handle_save(service: &Service, args: &str, options: &ProtocolOptions) -> Resp
 }
 
 fn handle_est(service: &Service, args: &str) -> Response {
-    let Some((name, query)) = args.split_once(char::is_whitespace) else {
-        return Response::err("EST needs: EST <name> <query>");
+    let Some((name, rest)) = args.split_once(char::is_whitespace) else {
+        return Response::err("EST needs: EST <name> [mode=bound] <query>");
     };
-    match service.estimate(name, query.trim()) {
+    let rest = rest.trim();
+    if let Some(moded) = rest.strip_prefix("mode=") {
+        let Some((mode, query)) = moded.split_once(char::is_whitespace) else {
+            return Response::err("EST needs: EST <name> [mode=bound] <query>");
+        };
+        if mode != "bound" {
+            return Response::err(format_args!("unknown EST mode '{mode}' (supported: bound)"));
+        }
+        return match service.estimate_bound(name, query.trim()) {
+            Ok(be) => Response::ok(format!(
+                "est={} bound={}",
+                format_est(be.estimate),
+                format_est(be.bound)
+            )),
+            Err(e) => Response::service_err(e),
+        };
+    }
+    match service.estimate(name, rest) {
         Ok(est) => Response::ok(format_est(est)),
         Err(e) => Response::service_err(e),
     }
@@ -937,6 +954,36 @@ mod tests {
         let batch = reply(&service, "BATCH fig2 /a/c/s ; //p ; /a/zzz");
         assert_eq!(batch, "OK n=3 5 17 0");
         assert!(reply(&service, "EST fig2 /a/c/s[t]/p").starts_with("OK 3.6"));
+    }
+
+    #[test]
+    fn est_mode_bound_roundtrip() {
+        let service = service();
+        // The bound reply carries both values; //* bounds exactly at the
+        // 36-node document, and /a/c/s is integral in both modes.
+        assert_eq!(
+            reply(&service, "EST fig2 mode=bound /a/c/s"),
+            "OK est=5 bound=5"
+        );
+        assert_eq!(
+            reply(&service, "EST fig2 mode=bound //*"),
+            "OK est=36 bound=36"
+        );
+        let pred = reply(&service, "EST fig2 mode=bound /a/c/s[t]/p");
+        assert!(pred.starts_with("OK est=3.6 bound="), "{pred}");
+        // Absent labels bound to zero; point mode is untouched.
+        assert_eq!(
+            reply(&service, "EST fig2 mode=bound /a/zzz"),
+            "OK est=0 bound=0"
+        );
+        assert_eq!(reply(&service, "EST fig2 /a/c/s"), "OK 5");
+        // ERR rows: unknown mode, missing query, unknown document.
+        assert!(
+            reply(&service, "EST fig2 mode=exact /a").starts_with("ERR unknown EST mode 'exact'")
+        );
+        assert!(reply(&service, "EST fig2 mode=bound").starts_with("ERR EST needs"));
+        assert!(reply(&service, "EST nope mode=bound /a").starts_with("ERR unknown document"));
+        assert!(reply(&service, "HELP").contains("mode=bound"));
     }
 
     #[test]

@@ -51,7 +51,7 @@
 //! are counted (`feedback_applied` / `feedback_ignored` /
 //! `rebuilds_triggered` in [`ServiceStats`]).
 
-use crate::batch::{execute_batch_observed, FeedbackItem};
+use crate::batch::{execute_batch_bound, execute_batch_observed, FeedbackItem};
 use crate::catalog::{Catalog, CatalogFeedbackBatch, RebuildError, SnapshotError};
 use crate::metrics::{Obs, Stage};
 use crate::persist::WarmStart;
@@ -65,7 +65,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use xpathkit::{ParseError, QueryPlan};
 use xseed_core::SynopsisSnapshot;
-use xseed_core::{FeedbackOutcome, FeedbackReport, HetBuildStats};
+use xseed_core::{BoundedEstimate, FeedbackOutcome, FeedbackReport, HetBuildStats};
 
 /// Fallback interval at which an idle worker re-checks its siblings'
 /// queues for stealable work. Pushes notify the target queue *and* one
@@ -939,6 +939,28 @@ impl Service {
         self.submit(doc, query)?.wait()
     }
 
+    /// Estimates one query in **bound mode**: the point estimate paired
+    /// with a guaranteed upper bound on the true cardinality (see
+    /// [`xseed_core::StreamingMatcher::estimate_bound`]). Runs through the
+    /// batch executor on the calling thread, admission-controlled like an
+    /// estimate — it reserves one query of queue budget and sheds with
+    /// [`ServiceError::Overloaded`] when the service is saturated.
+    pub fn estimate_bound(&self, doc: &str, query: &str) -> Result<BoundedEstimate, ServiceError> {
+        let snapshot = self.resolve(doc)?;
+        let plan = self.plans.get_or_parse(query)?;
+        let queue = self.admit_inline(1)?;
+        let started = Instant::now();
+        let bounded = execute_batch_bound(&snapshot, std::slice::from_ref(&plan), 1);
+        if let Some(obs) = &self.obs {
+            obs.record(Stage::Estimate, started.elapsed());
+        }
+        self.shared.release(queue, 1);
+        Ok(bounded
+            .into_iter()
+            .next()
+            .expect("one plan in, one bounded estimate out"))
+    }
+
     /// Folds one applied feedback observation into the global q-error
     /// histogram — the served-accuracy grading of `STATS`/`METRICS`.
     /// Unsupported shapes carry no usable prior estimate and are skipped.
@@ -1303,6 +1325,24 @@ mod tests {
         // On a multi-queue pile-up the plan cache should have one miss.
         assert_eq!(stats.plan_cache.misses, 1);
         assert_eq!(stats.plan_cache.hits, 63);
+    }
+
+    #[test]
+    fn estimate_bound_through_service() {
+        let service = fig2_service(2);
+        for q in ["/a/c/s", "//s//p", "/a/c/s[t]/p", "//*"] {
+            let point = service.estimate("fig2", q).unwrap();
+            let be = service.estimate_bound("fig2", q).unwrap();
+            assert!((be.estimate - point).abs() < 1e-9, "{q}");
+            assert!(be.bound >= be.estimate, "{q}");
+        }
+        // //* bounds exactly at the document size (per-label totals are
+        // exact); unknown documents still error.
+        assert_eq!(service.estimate_bound("fig2", "//*").unwrap().bound, 36.0);
+        assert!(matches!(
+            service.estimate_bound("nope", "/a"),
+            Err(ServiceError::UnknownDocument(_))
+        ));
     }
 
     fn fig2_service_with(config: ServiceConfig) -> Service {

@@ -1,7 +1,7 @@
 //! The example session transcripts, asserted instead of hand-maintained:
 //! `examples/serve_session.txt`, `examples/overload_session.txt`,
-//! `examples/feedback_session.txt`, `examples/metrics_session.txt`, and
-//! the two-phase
+//! `examples/feedback_session.txt`, `examples/metrics_session.txt`,
+//! `examples/bound_session.txt`, and the two-phase
 //! `examples/persist_session.txt` / `examples/persist_restart_session.txt`
 //! pair are run through the protocol layer with the same configuration
 //! the CI smoke run passes to the binary, and every reply must match the
@@ -121,6 +121,43 @@ fn metrics_session_matches_expected_transcript() {
         "metrics_session.txt",
         "metrics_session.expected",
         ServiceConfig::with_workers(1),
+    );
+}
+
+#[test]
+fn bound_session_matches_expected_transcript() {
+    // Must mirror the smoke run: `xseed-serve --workers 1`.
+    assert_transcript(
+        "bound_session.txt",
+        "bound_session.expected",
+        ServiceConfig::with_workers(1),
+    );
+}
+
+#[test]
+fn bound_session_demonstrates_bound_mode() {
+    // The committed transcript must actually show bound mode doing its
+    // job: a dual est/bound reply for every mode=bound request, the
+    // bound dominating the point estimate on each, an exact zero for an
+    // absent label, and the unknown-mode ERR row.
+    let expected = example("bound_session.expected");
+    let lines: Vec<&str> = expected.lines().collect();
+    let dual: Vec<&&str> = lines.iter().filter(|l| l.starts_with("OK est=")).collect();
+    assert!(dual.len() >= 5, "transcript carries the dual replies");
+    for line in &dual {
+        let rest = line.strip_prefix("OK est=").unwrap();
+        let (est, bound) = rest.split_once(" bound=").expect("dual reply shape");
+        let est: f64 = est.parse().unwrap();
+        let bound: f64 = bound.parse().unwrap();
+        assert!(bound >= est, "bound must dominate the estimate: {line}");
+    }
+    assert!(
+        lines.contains(&"OK est=0 bound=0"),
+        "absent label bounds to exactly zero"
+    );
+    assert!(
+        lines.iter().any(|l| l.starts_with("ERR unknown EST mode")),
+        "transcript carries the unknown-mode ERR row"
     );
 }
 

@@ -13,14 +13,24 @@
 //! vectors drop suffixes *and individual elements at any index* and shrink
 //! elements in place, tuples shrink component-wise) until no candidate
 //! still fails, then reports the minimized input.
-//! Strategies built with `prop_map` / `prop_recursive` do not shrink
-//! (mapping functions are not invertible), so a failing case built through
-//! them is reported as generated; the case number and the deterministic
-//! per-test seed always reproduce it exactly (generation is a pure
-//! function of the test name and case index).
+//! Strategies built with `prop_map` / `prop_recursive` shrink through a
+//! preimage table: [`Map`] remembers, keyed by the output's `Debug`
+//! rendering, which source value produced each output it generated, so
+//! `shrink` recovers the source, shrinks *it*, and re-maps the candidates
+//! (recording their preimages in turn, so the greedy walk keeps
+//! shrinking). Mapping functions are still not invertible — an output the
+//! table has never seen (or evicted under the size cap) simply yields no
+//! candidates and is reported as generated; the case number and the
+//! deterministic per-test seed always reproduce it exactly (generation is
+//! a pure function of the test name and case index). Distinct sources
+//! whose outputs render identically collide in the table, which is
+//! harmless: the stored source still maps to an output with that
+//! rendering, and only candidates that *re-fail* are ever adopted.
 
 #![forbid(unsafe_code)]
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
 use std::ops::Range;
 
@@ -99,7 +109,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(Self::Value) -> O,
     {
-        Map { source: self, f }
+        Map {
+            source: self,
+            f,
+            preimages: RefCell::new(HashMap::new()),
+        }
     }
 
     /// Builds a recursive strategy: `self` generates the leaves, and
@@ -150,20 +164,71 @@ impl<V> Strategy for Box<dyn Strategy<Value = V>> {
 }
 
 /// Strategy returned by [`Strategy::prop_map`].
-pub struct Map<S, F> {
+///
+/// Remembers which source value produced each generated output (keyed by
+/// the output's `Debug` rendering), so shrinking can run *through* the
+/// mapping: recover the source, shrink it, re-map the candidates. The
+/// per-value keying nests — a `Map` inside `prop::collection::vec` or a
+/// `prop_recursive` chain shrinks its own layer independently.
+pub struct Map<S: Strategy, F> {
     source: S,
     f: F,
+    /// `Debug(output) → source` for every output this strategy produced
+    /// (generated or offered as a shrink candidate). Bounded by
+    /// [`PREIMAGE_CAP`]; eviction only costs shrinkability, never
+    /// correctness.
+    preimages: RefCell<HashMap<String, S::Value>>,
+}
+
+/// Preimage-table size cap: when an exceptionally long run fills the
+/// table it is cleared wholesale (failures found afterwards simply don't
+/// shrink through this `Map`), keeping memory bounded.
+const PREIMAGE_CAP: usize = 1 << 16;
+
+impl<S: Strategy, F> Map<S, F> {
+    fn remember(&self, key: String, source: S::Value) {
+        let mut table = self.preimages.borrow_mut();
+        if table.len() >= PREIMAGE_CAP {
+            table.clear();
+        }
+        table.insert(key, source);
+    }
 }
 
 impl<S, F, O> Strategy for Map<S, F>
 where
     S: Strategy,
+    S::Value: Clone,
     F: Fn(S::Value) -> O,
+    O: fmt::Debug,
 {
     type Value = O;
 
     fn generate(&self, rng: &mut TestRng) -> O {
-        (self.f)(self.source.generate(rng))
+        let source = self.source.generate(rng);
+        let output = (self.f)(source.clone());
+        self.remember(format!("{output:?}"), source);
+        output
+    }
+
+    /// Shrinks through the mapping via the preimage table: the source
+    /// that produced `value` is shrunk and each candidate re-mapped (and
+    /// remembered, so the greedy failure walk can keep going). An output
+    /// with no recorded preimage yields no candidates.
+    fn shrink(&self, value: &O) -> Vec<O> {
+        let source = match self.preimages.borrow().get(&format!("{value:?}")) {
+            Some(source) => source.clone(),
+            None => return Vec::new(),
+        };
+        self.source
+            .shrink(&source)
+            .into_iter()
+            .map(|candidate| {
+                let output = (self.f)(candidate.clone());
+                self.remember(format!("{output:?}"), candidate);
+                output
+            })
+            .collect()
     }
 }
 
@@ -751,6 +816,73 @@ mod tests {
         // Suffix drops strip the passing tail, element halving then walks
         // the survivor down to the failure boundary.
         assert_eq!(minimal, (vec![50],));
+    }
+
+    #[test]
+    fn shrink_failure_minimizes_through_prop_map() {
+        // The strategy's output is a *mapped* type the walker cannot
+        // shrink structurally; minimization must run through the preimage
+        // table back to the u32 source. Fails for sources >= 17, so the
+        // greedy walk must land exactly on "v17".
+        let strat = ((0u32..1000).prop_map(|x| format!("v{x}")),);
+        let run = |v: &(String,)| {
+            let x: u32 = v.0[1..].parse().unwrap();
+            if x >= 17 {
+                Err(crate::TestCaseError::fail("too big"))
+            } else {
+                Ok(())
+            }
+        };
+        let mut rng = crate::TestRng::from_seed(7);
+        let start = loop {
+            let candidate = strat.generate(&mut rng);
+            if run(&candidate).is_err() {
+                break candidate;
+            }
+        };
+        let (minimal, _, steps) =
+            crate::shrink_failure(&strat, start, crate::TestCaseError::fail("seed"), &run);
+        assert_eq!(minimal, (String::from("v17"),));
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn shrink_failure_minimizes_nested_maps() {
+        // A mapped element strategy inside a vector: the vector layer
+        // drops elements while each surviving element shrinks through its
+        // own preimage entry. Fails when any wrapped value is >= 50.
+        #[derive(Debug, Clone, PartialEq)]
+        struct Wrapper(u32);
+        let strat = (prop::collection::vec(
+            (0u32..100).prop_map(Wrapper),
+            0..10usize,
+        ),);
+        let run = |v: &(Vec<Wrapper>,)| {
+            if v.0.iter().any(|w| w.0 >= 50) {
+                Err(crate::TestCaseError::fail("has a big element"))
+            } else {
+                Ok(())
+            }
+        };
+        let mut rng = crate::TestRng::from_seed(8);
+        let start = loop {
+            let candidate = strat.generate(&mut rng);
+            if run(&candidate).is_err() {
+                break candidate;
+            }
+        };
+        let (minimal, _, _) =
+            crate::shrink_failure(&strat, start, crate::TestCaseError::fail("seed"), &run);
+        assert_eq!(minimal, (vec![Wrapper(50)],));
+    }
+
+    #[test]
+    fn map_shrink_of_unseen_value_is_empty() {
+        // Graceful degradation: an output the table never produced (e.g.
+        // evicted, or constructed by hand) yields no candidates instead
+        // of panicking or shrinking a wrong preimage.
+        let strat = (0u32..1000).prop_map(|x| format!("v{x}"));
+        assert!(crate::Strategy::shrink(&strat, &String::from("v612")).is_empty());
     }
 
     #[test]

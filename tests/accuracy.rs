@@ -8,8 +8,16 @@
 //! estimation stack), runs the deterministic SP/BP/CP workload, and
 //! checks against `tests/fixtures/<name>.golden`:
 //!
-//! * every per-query estimate must match the committed value (tight
-//!   tolerance — this catches any estimator drift, better or worse);
+//! * every per-query estimate and upper bound must match the committed
+//!   values (tight tolerance — this catches any estimator drift, better
+//!   or worse);
+//! * every upper bound must dominate both the true cardinality and the
+//!   point estimate — zero violations, on every workload (the
+//!   differential soundness contract of `EST … mode=bound`);
+//! * the per-workload milli-q percentiles (p50/p90/p99, same bucket
+//!   edges as the service's online `METRICS qerr` tracking) for both
+//!   modes must match the committed `qerr_point` / `qerr_bound` lines
+//!   exactly (they are deterministic integers);
 //! * the aggregate NRMSE must not exceed the committed value by more
 //!   than 5% (the headroom exists only so a justified estimator change
 //!   can land together with regenerated fixtures).
@@ -77,9 +85,29 @@ const SCENARIOS: [Scenario; 6] = [
 ];
 
 struct Measured {
-    /// `(query text, estimate, actual)` in workload order.
-    rows: Vec<(String, f64, u64)>,
+    /// `(query text, estimate, bound, actual)` in workload order.
+    rows: Vec<(String, f64, f64, u64)>,
     nrmse: f64,
+    /// Milli-q `(p50, p90, p99)` of the point estimates.
+    qerr_point: (u64, u64, u64),
+    /// Milli-q `(p50, p90, p99)` of the upper bounds.
+    qerr_bound: (u64, u64, u64),
+}
+
+/// Milli-q p50/p90/p99 of `(estimate, actual)` pairs, on the same
+/// deterministic power-of-two bucket edges as the service's online
+/// q-error tracking.
+fn qerr_percentiles(pairs: impl Iterator<Item = (f64, u64)>) -> (u64, u64, u64) {
+    use xseed::xseed_service::{q_error_milli, HistogramSnapshot};
+    let mut hist = HistogramSnapshot::default();
+    for (est, actual) in pairs {
+        hist.record(q_error_milli(est, actual));
+    }
+    (
+        hist.percentile(0.5),
+        hist.percentile(0.9),
+        hist.percentile(0.99),
+    )
 }
 
 fn measure(scenario: &Scenario) -> Measured {
@@ -97,9 +125,12 @@ fn measure(scenario: &Scenario) -> Measured {
     let storage = NokStorage::from_document(&doc);
     let eval = Evaluator::new(&storage);
     let mut matcher = synopsis.streaming_matcher();
-    let rows: Vec<(String, f64, u64)> = workload
+    let rows: Vec<(String, f64, f64, u64)> = workload
         .all()
-        .map(|q| (q.to_string(), matcher.estimate(q), eval.count(q)))
+        .map(|q| {
+            let be = matcher.estimate_bound(q);
+            (q.to_string(), be.estimate, be.bound, eval.count(q))
+        })
         .collect();
 
     // NRMSE: root-mean-squared error normalized by the mean actual
@@ -107,13 +138,15 @@ fn measure(scenario: &Scenario) -> Measured {
     let n = rows.len() as f64;
     let mse = rows
         .iter()
-        .map(|(_, est, act)| (est - *act as f64).powi(2))
+        .map(|(_, est, _, act)| (est - *act as f64).powi(2))
         .sum::<f64>()
         / n;
-    let mean_actual = rows.iter().map(|(_, _, act)| *act as f64).sum::<f64>() / n;
+    let mean_actual = rows.iter().map(|(_, _, _, act)| *act as f64).sum::<f64>() / n;
     assert!(mean_actual > 0.0, "degenerate workload: all actuals zero");
     Measured {
         nrmse: mse.sqrt() / mean_actual,
+        qerr_point: qerr_percentiles(rows.iter().map(|(_, est, _, act)| (*est, *act))),
+        qerr_bound: qerr_percentiles(rows.iter().map(|(_, _, bound, act)| (*bound, *act))),
         rows,
     }
 }
@@ -136,20 +169,35 @@ fn render(scenario: &Scenario, measured: &Measured) -> String {
         n = measured.rows.len(),
     ));
     out.push_str(&format!("nrmse\t{:.9}\n", measured.nrmse));
-    for (query, est, actual) in &measured.rows {
-        out.push_str(&format!("q\t{query}\t{est:.9}\t{actual}\n"));
+    let (p50, p90, p99) = measured.qerr_point;
+    out.push_str(&format!("qerr_point\t{p50}\t{p90}\t{p99}\n"));
+    let (p50, p90, p99) = measured.qerr_bound;
+    out.push_str(&format!("qerr_bound\t{p50}\t{p90}\t{p99}\n"));
+    for (query, est, bound, actual) in &measured.rows {
+        out.push_str(&format!("q\t{query}\t{est:.9}\t{bound:.9}\t{actual}\n"));
     }
     out
 }
 
 struct Golden {
-    rows: Vec<(String, f64, u64)>,
+    rows: Vec<(String, f64, f64, u64)>,
     nrmse: f64,
+    qerr_point: (u64, u64, u64),
+    qerr_bound: (u64, u64, u64),
 }
 
 fn parse_golden(name: &str, text: &str) -> Golden {
     let mut rows = Vec::new();
     let mut nrmse = None;
+    let mut qerr_point = None;
+    let mut qerr_bound = None;
+    let parse_qerr = |p50: &str, p90: &str, p99: &str| {
+        (
+            p50.parse::<u64>().unwrap(),
+            p90.parse::<u64>().unwrap(),
+            p99.parse::<u64>().unwrap(),
+        )
+    };
     for line in text.lines() {
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -157,9 +205,12 @@ fn parse_golden(name: &str, text: &str) -> Golden {
         let fields: Vec<&str> = line.split('\t').collect();
         match fields.as_slice() {
             ["nrmse", value] => nrmse = Some(value.parse::<f64>().unwrap()),
-            ["q", query, est, actual] => rows.push((
+            ["qerr_point", p50, p90, p99] => qerr_point = Some(parse_qerr(p50, p90, p99)),
+            ["qerr_bound", p50, p90, p99] => qerr_bound = Some(parse_qerr(p50, p90, p99)),
+            ["q", query, est, bound, actual] => rows.push((
                 query.to_string(),
                 est.parse::<f64>().unwrap(),
+                bound.parse::<f64>().unwrap(),
                 actual.parse::<u64>().unwrap(),
             )),
             other => panic!("{name}.golden: malformed line {other:?}"),
@@ -168,6 +219,8 @@ fn parse_golden(name: &str, text: &str) -> Golden {
     Golden {
         rows,
         nrmse: nrmse.unwrap_or_else(|| panic!("{name}.golden: missing nrmse line")),
+        qerr_point: qerr_point.unwrap_or_else(|| panic!("{name}.golden: missing qerr_point line")),
+        qerr_bound: qerr_bound.unwrap_or_else(|| panic!("{name}.golden: missing qerr_bound line")),
     }
 }
 
@@ -194,7 +247,7 @@ fn check(scenario: &Scenario) {
         "{}: workload size changed (did the generator or seed change?)",
         scenario.name
     );
-    for (i, ((query, est, actual), (g_query, g_est, g_actual))) in
+    for (i, ((query, est, bound, actual), (g_query, g_est, g_bound, g_actual))) in
         measured.rows.iter().zip(&golden.rows).enumerate()
     {
         assert_eq!(
@@ -215,7 +268,35 @@ fn check(scenario: &Scenario) {
             "{}: {query}: estimate {est} drifted from golden {g_est}",
             scenario.name
         );
+        let bound_tolerance = 2e-9 + 1e-9 * bound.abs();
+        assert!(
+            (bound - g_bound).abs() <= bound_tolerance,
+            "{}: {query}: bound {bound} drifted from golden {g_bound}",
+            scenario.name
+        );
+        // The soundness contract of `EST … mode=bound`: zero violations
+        // allowed, on every workload query.
+        assert!(
+            *bound + 1e-9 >= *actual as f64,
+            "{}: {query}: bound {bound} < true cardinality {actual}",
+            scenario.name
+        );
+        assert!(
+            *bound + 1e-9 >= *est,
+            "{}: {query}: bound {bound} < point estimate {est}",
+            scenario.name
+        );
     }
+    assert_eq!(
+        measured.qerr_point, golden.qerr_point,
+        "{}: point-mode q-error percentiles drifted",
+        scenario.name
+    );
+    assert_eq!(
+        measured.qerr_bound, golden.qerr_bound,
+        "{}: bound-mode q-error percentiles drifted",
+        scenario.name
+    );
     assert!(
         measured.nrmse.is_finite(),
         "{}: NRMSE must be finite",

@@ -296,6 +296,54 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Bound-mode soundness: over random documents and random
+    /// (predicate-bearing) queries, the upper bound dominates both the
+    /// exact NoK cardinality and the point estimate — with a full HET,
+    /// without one, and under `card_threshold` / `max_ept_nodes`
+    /// truncation of the synopsis (a truncated synopsis may estimate
+    /// worse, but its bound must stay sound).
+    #[test]
+    fn bound_dominates_truth_and_estimate(
+        doc in arb_document(),
+        queries in prop::collection::vec(arb_pred_query(), 1..8),
+    ) {
+        let storage = NokStorage::from_document(&doc);
+        let evaluator = Evaluator::new(&storage);
+        let truncated = XseedConfig {
+            max_ept_nodes: 3,
+            ..XseedConfig::default()
+        };
+        let configs = [
+            XseedConfig::default(),
+            XseedConfig::default().with_card_threshold(0.5),
+            truncated,
+        ];
+        for (i, config) in configs.iter().enumerate() {
+            let bare = XseedSynopsis::build(&doc, config.clone());
+            let (with_het, _) = XseedSynopsis::build_with_het(&doc, config.clone());
+            for synopsis in [&bare, &with_het] {
+                for query in &queries {
+                    let actual = evaluator.count(query) as f64;
+                    let be = synopsis.estimate_bound(query);
+                    prop_assert!(
+                        be.bound + 1e-9 >= actual,
+                        "{} (config {}, het: {}): bound {} < true cardinality {}",
+                        query, i, synopsis.het().is_some(), be.bound, actual
+                    );
+                    prop_assert!(
+                        be.bound + 1e-9 >= be.estimate,
+                        "{} (config {}, het: {}): bound {} < point estimate {}",
+                        query, i, synopsis.het().is_some(), be.bound, be.estimate
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Builds the HET for `doc` twice — with the production streaming builder
 /// and with the retained EPT+NoK reference oracle — and asserts the two
 /// tables are entry-for-entry identical: same keys and kinds, exact
