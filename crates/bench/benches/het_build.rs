@@ -10,14 +10,24 @@
 //! the old/new speedup per dataset — are written to
 //! `BENCH_het_build.json` at the workspace root.
 //!
+//! The `partitioned_build` rows time the *full* document-to-synopsis
+//! construction (kernel + path tree + NoK storage + HET) monolithically
+//! vs partitioned across `available_parallelism()` workers
+//! ([`XseedSynopsis::build_with_het_partitioned`]); since the partitioned
+//! result is bit-identical, the speedup column is the whole story.
+//!
 //! Set `HET_BUILD_SMOKE=1` to run a single iteration per row and skip the
-//! JSON write (the CI smoke mode keeping the builder path exercised).
+//! JSON write (the CI smoke mode keeping the builder path exercised), or
+//! `PARTITION_SMOKE=1` to single-iterate only the partitioned rows plus
+//! their kernel/HET differential check.
 
 use datagen::Dataset;
 use nokstore::{NokStorage, PathTree};
 use std::time::Instant;
 use xseed_core::het::builder::reference::ReferenceHetBuilder;
-use xseed_core::{HetBuildStats, HetBuilder, HyperEdgeTable, KernelBuilder, XseedConfig};
+use xseed_core::{
+    HetBuildStats, HetBuilder, HyperEdgeTable, KernelBuilder, XseedConfig, XseedSynopsis,
+};
 
 struct Scenario {
     name: &'static str,
@@ -94,8 +104,18 @@ struct Row {
     stats: HetBuildStats,
 }
 
-fn write_report(rows: &[Row]) {
-    let mut body = String::from("{\n  \"bench\": \"het_build\",\n  \"datasets\": {\n");
+struct PartRow {
+    name: &'static str,
+    elements: usize,
+    partitions: usize,
+    monolithic_ms: f64,
+    partitioned_ms: f64,
+}
+
+fn write_report(rows: &[Row], part_rows: &[PartRow], cpus: usize) {
+    let mut body = format!(
+        "{{\n  \"bench\": \"het_build\",\n  \"cpus_available\": {cpus},\n  \"datasets\": {{\n"
+    );
     for (i, row) in rows.iter().enumerate() {
         body.push_str(&format!(
             "    \"{}\": {{\n      \"elements\": {},\n      \
@@ -118,6 +138,23 @@ fn write_report(rows: &[Row]) {
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
+    body.push_str("  },\n  \"partitioned_build\": {\n");
+    for (i, row) in part_rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    \"{}\": {{\n      \"elements\": {},\n      \
+             \"partitions\": {},\n      \
+             \"monolithic_full_build_ms\": {:.3},\n      \
+             \"partitioned_full_build_ms\": {:.3},\n      \
+             \"speedup\": {:.2}\n    }}{}\n",
+            row.name,
+            row.elements,
+            row.partitions,
+            row.monolithic_ms,
+            row.partitioned_ms,
+            row.monolithic_ms / row.partitioned_ms,
+            if i + 1 == part_rows.len() { "" } else { "," }
+        ));
+    }
     body.push_str("  }\n}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_het_build.json");
     std::fs::write(path, body).expect("write BENCH_het_build.json");
@@ -125,11 +162,19 @@ fn write_report(rows: &[Row]) {
 }
 
 fn main() {
-    let smoke = std::env::var_os("HET_BUILD_SMOKE").is_some();
+    let het_smoke = std::env::var_os("HET_BUILD_SMOKE").is_some();
+    let partition_smoke = std::env::var_os("PARTITION_SMOKE").is_some();
+    let smoke = het_smoke || partition_smoke;
     let rounds = if smoke { 1 } else { 5 };
     let mut rows = Vec::new();
 
+    // PARTITION_SMOKE runs only the partitioned section (single
+    // iteration + differential check); the builder-vs-reference rows stay
+    // with HET_BUILD_SMOKE.
     for scenario in &SCENARIOS {
+        if partition_smoke {
+            break;
+        }
         let doc = scenario.dataset.generate_scaled(scenario.scale);
         let mut config = if scenario.recursive {
             XseedConfig::recursive_for_size(doc.element_count())
@@ -182,9 +227,68 @@ fn main() {
         });
     }
 
+    // Partitioned full-build rows: document-to-synopsis, monolithic vs
+    // one worker per available CPU, on the three canonical datasets.
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let partitions = cpus.max(1);
+    let mut part_rows = Vec::new();
+    for scenario in &SCENARIOS {
+        if het_smoke && !partition_smoke {
+            break;
+        }
+        if scenario.bsel_threshold.is_some() {
+            continue; // the *_branching variants duplicate the documents
+        }
+        let doc = scenario.dataset.generate_scaled(scenario.scale);
+        let config = if scenario.recursive {
+            XseedConfig::recursive_for_size(doc.element_count())
+        } else {
+            XseedConfig::default()
+        };
+        let monolithic_ms = time_build_ms(rounds, || {
+            XseedSynopsis::build_with_het(&doc, config.clone())
+        });
+        let partitioned_ms = time_build_ms(rounds, || {
+            XseedSynopsis::build_with_het_partitioned(&doc, config.clone(), partitions)
+        });
+
+        // The differential guarantee the bench rides on: the partitioned
+        // synopsis is the monolithic one, byte for byte.
+        let (mono, _) = XseedSynopsis::build_with_het(&doc, config.clone());
+        let (part, _) = XseedSynopsis::build_with_het_partitioned(&doc, config.clone(), partitions);
+        assert_eq!(
+            mono.kernel().serialize(),
+            part.kernel().serialize(),
+            "{}: partitioned kernel diverged",
+            scenario.name
+        );
+        assert_eq!(
+            mono.het().map(HyperEdgeTable::len),
+            part.het().map(HyperEdgeTable::len),
+            "{}: partitioned HET diverged",
+            scenario.name
+        );
+
+        println!(
+            "partitioned_build/{name}: elements={el} partitions={partitions} \
+             monolithic={monolithic_ms:.3} ms partitioned={partitioned_ms:.3} ms \
+             speedup={speedup:.2}x (cpus_available={cpus})",
+            name = scenario.name,
+            el = doc.element_count(),
+            speedup = monolithic_ms / partitioned_ms,
+        );
+        part_rows.push(PartRow {
+            name: scenario.name,
+            elements: doc.element_count(),
+            partitions,
+            monolithic_ms,
+            partitioned_ms,
+        });
+    }
+
     if smoke {
-        println!("HET_BUILD_SMOKE set: skipping BENCH_het_build.json write");
+        println!("smoke mode: skipping BENCH_het_build.json write");
     } else {
-        write_report(&rows);
+        write_report(&rows, &part_rows, cpus);
     }
 }

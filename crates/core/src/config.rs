@@ -23,10 +23,16 @@ pub struct XseedConfig {
     /// Total memory budget in bytes for kernel + HET. `None` means
     /// unlimited (keep every HET entry).
     pub memory_budget: Option<usize>,
-    /// Safety bound on the number of expanded-path-tree nodes the traveler
-    /// may generate for a single estimation, guarding against degenerate
-    /// synopses. The paper controls this indirectly via `card_threshold`;
-    /// the explicit cap keeps worst cases bounded.
+    /// Bound on the number of expanded-path-tree nodes a single expansion
+    /// may contain, guarding against degenerate synopses. The bound is
+    /// enforced the way the paper controls expansion size — through the
+    /// cardinality threshold: when the expansion under `card_threshold`
+    /// would exceed this many nodes, the *effective* threshold is
+    /// escalated (to 1, then doubled) until the expansion fits. The
+    /// escalation is a pure function of the synopsis snapshot, config,
+    /// and HET, so the traveler, the streaming matcher, and the frontier
+    /// memo always prune at the same frontier — no consumer ever stops
+    /// mid-walk.
     pub max_ept_nodes: usize,
     /// Capacity (in compiled queries) of the per-snapshot compiled-query
     /// cache serving [`crate::estimate::StreamingMatcher::estimate_plan`].
@@ -103,6 +109,20 @@ impl XseedConfig {
     }
 }
 
+/// One step of the adaptive cardinality-threshold escalation used to keep
+/// expansions within [`XseedConfig::max_ept_nodes`]: thresholds below 1
+/// jump to 1 (pruning every cardinality-0 path, which is what keeps even
+/// cyclic kernels finite), then double. Every expansion consumer shares
+/// this rule, so for a fixed synopsis + config + HET they all settle on
+/// the same effective threshold and therefore the same frontier.
+pub(crate) fn escalate_card_threshold(threshold: f64) -> f64 {
+    if threshold < 1.0 {
+        1.0
+    } else {
+        threshold * 2.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,6 +141,23 @@ mod tests {
         let c = XseedConfig::recursive_document();
         assert_eq!(c.card_threshold, 20.0);
         assert_eq!(c.bsel_threshold, 0.001);
+    }
+
+    #[test]
+    fn escalation_climbs_past_any_finite_cardinality() {
+        // From any starting threshold (including negative ones, where a
+        // cardinality-0 path would never be pruned) the first step lands
+        // at 1 and doubling then exceeds any finite f64 card in finitely
+        // many steps — the escalation loop always terminates.
+        let mut t = -5.0;
+        t = escalate_card_threshold(t);
+        assert_eq!(t, 1.0);
+        for _ in 0..64 {
+            let next = escalate_card_threshold(t);
+            assert!(next > t);
+            t = next;
+        }
+        assert!(t >= 1e18);
     }
 
     #[test]

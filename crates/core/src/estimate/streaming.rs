@@ -10,8 +10,9 @@
 //! ## The event-stream matching loop
 //!
 //! The traversal is the traveler's depth-first walk (same child order, same
-//! `card_threshold` / Observation-1 / `max_ept_nodes` stopping rules, same
-//! per-path HET overrides), inlined over the frozen CSR arrays. Each open
+//! effective-`card_threshold` / Observation-1 stopping rules — including
+//! the [`max_ept_nodes`](XseedConfig::max_ept_nodes) threshold escalation —
+//! same per-path HET overrides), inlined over the frozen CSR arrays. Each open
 //! frame carries the footprint of its synopsis path (card / fsel / bsel /
 //! recursion level / path hash) plus the frontier states its children
 //! inherit — exactly the `(spine index, accumulated predicate factor)`
@@ -51,15 +52,17 @@
 //! is skipped wholesale. Skipping never changes the estimate (the skipped
 //! region cannot produce a result match), but it does mean the node count
 //! reported by [`StreamingMatcher::estimate_with_stats`] is the number of
-//! nodes *visited*, a lower bound on the materialized EPT size; when
-//! `max_ept_nodes` truncates a degenerate synopsis, the streaming and
-//! materialized paths may therefore truncate at different frontiers.
+//! nodes *visited*, a lower bound on the materialized EPT size. The
+//! expansion being pruned is always the full one under the snapshot's
+//! effective cardinality threshold — never a walk cut short mid-stride —
+//! so the streaming, memoized, and materialized paths share one frontier
+//! on every synopsis, degenerate ones included.
 //!
 //! The snapshot is valid until the kernel is mutated; see
 //! [`crate::synopsis::XseedSynopsis::kernel_mut`] for the invalidation
 //! contract.
 
-use crate::config::XseedConfig;
+use crate::config::{escalate_card_threshold, XseedConfig};
 use crate::het::hash::{correlated_key, inc_hash, PATH_HASH_SEED};
 use crate::het::table::HyperEdgeTable;
 use crate::kernel::{FrozenKernel, VertexId};
@@ -292,10 +295,10 @@ impl MemoNode {
 ///
 /// The memo is valid for exactly one frozen snapshot + config + HET
 /// combination; take a fresh one (or a fresh [`StreamingMatcher`]) after
-/// the kernel epoch changes. When `max_ept_nodes` truncates a degenerate
-/// synopsis, the memo truncates at the materialized EPT's frontier, which
-/// may differ from the cold streaming pass's pruned frontier (the same
-/// caveat as the materialized oracle; see the module docs).
+/// the kernel epoch changes. The recorded expansion is the full one under
+/// the snapshot's effective cardinality threshold (escalated as needed to
+/// fit [`XseedConfig::max_ept_nodes`]), so it is exactly the frontier the
+/// cold streaming pass and the materialized oracle walk.
 #[derive(Debug, Clone)]
 pub struct FrontierMemo {
     nodes: Vec<MemoNode>,
@@ -531,6 +534,13 @@ pub struct StreamingMatcher<'a> {
     rec_occ: Vec<u32>,
     rec_max: usize,
     opens: usize,
+    /// Cached effective cardinality threshold of the snapshot (the
+    /// configured `card_threshold`, escalated until the full expansion
+    /// fits `max_ept_nodes`). Computed lazily on the first cold traversal
+    /// or injected via
+    /// [`StreamingMatcher::set_effective_card_threshold`]; never cleared —
+    /// the snapshot is immutable for the matcher's lifetime.
+    eff_threshold: Option<f64>,
     /// When set, estimates replay the memoized expansion instead of
     /// re-deriving footprints per node (see [`FrontierMemo`]).
     memo: Option<Arc<FrontierMemo>>,
@@ -570,6 +580,7 @@ impl<'a> StreamingMatcher<'a> {
             rec_occ: Vec::new(),
             rec_max: 0,
             opens: 0,
+            eff_threshold: None,
             memo: None,
             compiled_cache: None,
         }
@@ -686,9 +697,9 @@ impl<'a> StreamingMatcher<'a> {
     /// frontier propagation over the synopsis graph —
     /// worst-case fan-out instead of average fan-out, exact per-label node
     /// totals as clamps, predicates ignored (they only filter), and the
-    /// `card_threshold` / `max_ept_nodes` truncation rules deliberately
-    /// *not* applied (truncation prunes mass, which would break the
-    /// guarantee). HET entries clamp the bound downwards only — their
+    /// point path's cardinality-threshold pruning (including its
+    /// `max_ept_nodes` escalation) deliberately *not* applied (pruning
+    /// drops mass, which would break the guarantee). HET entries clamp the bound downwards only — their
     /// simple-path cardinalities are exact counts — and never inflate it.
     /// `bound >= estimate` holds by construction.
     pub fn estimate_bound(&mut self, expr: &PathExpr) -> BoundedEstimate {
@@ -755,6 +766,15 @@ impl<'a> StreamingMatcher<'a> {
         let Some(root) = self.frozen.root() else {
             return (0.0, 0);
         };
+        // The cold pass needs the snapshot's effective threshold; resolve
+        // it before `reset()` because the counting passes dirty the
+        // recursion tracker. Memo replay bakes the thresholded frontier
+        // into the memo nodes and never re-derives footprints.
+        let threshold = if self.memo.is_none() {
+            self.effective_card_threshold()
+        } else {
+            0.0
+        };
         self.reset();
 
         // Seed the root's incoming frontier: spine index 0, factor 1.
@@ -777,7 +797,7 @@ impl<'a> StreamingMatcher<'a> {
         if let Some(memo) = self.memo.clone() {
             self.run_replay(&memo, incoming_start, incoming_end, query);
         } else {
-            self.run_stream(root, incoming_start, incoming_end, query);
+            self.run_stream(root, incoming_start, incoming_end, query, threshold);
         }
 
         let total = self.sum_contributions();
@@ -792,6 +812,7 @@ impl<'a> StreamingMatcher<'a> {
         incoming_start: u32,
         incoming_end: u32,
         query: &CompiledQuery,
+        threshold: f64,
     ) {
         let root_fp = Footprint {
             vertex: root,
@@ -812,7 +833,7 @@ impl<'a> StreamingMatcher<'a> {
         );
 
         while let Some(frame) = self.frames.last().copied() {
-            if self.opens >= self.config.max_ept_nodes || frame.next_slot >= frame.end_slot {
+            if frame.next_slot >= frame.end_slot {
                 self.close_top(query);
                 continue;
             }
@@ -821,9 +842,14 @@ impl<'a> StreamingMatcher<'a> {
             self.frames[top].next_slot += 1;
 
             let child = self.frozen.slot_target(slot);
-            let Some(fp) =
-                self.child_footprint(frame.vertex, frame.fsel, frame.path_hash, slot, child)
-            else {
+            let Some(fp) = self.child_footprint(
+                frame.vertex,
+                frame.fsel,
+                frame.path_hash,
+                slot,
+                child,
+                threshold,
+            ) else {
                 continue;
             };
             if !frame.tables_active && !self.any_state_viable(&frame, child, query) {
@@ -895,6 +921,9 @@ impl<'a> StreamingMatcher<'a> {
     /// [`FrontierMemo`]. Uses (and then resets) this matcher's recursion
     /// tracker; no query matching happens here.
     fn build_memo_nodes(&mut self) -> FrontierMemo {
+        // Resolve the effective threshold before touching the recursion
+        // tracker — the counting passes dirty it.
+        let threshold = self.effective_card_threshold();
         self.rec_counts.clear();
         self.rec_counts.resize(self.frozen.vertex_count(), 0);
         self.rec_occ.clear();
@@ -933,7 +962,7 @@ impl<'a> StreamingMatcher<'a> {
             });
 
             while let Some(top) = stack.last_mut() {
-                if nodes.len() >= self.config.max_ept_nodes || top.next_slot >= top.end_slot {
+                if top.next_slot >= top.end_slot {
                     let done = stack.pop().expect("non-empty stack");
                     self.rec_pop(done.vertex);
                     nodes[done.node as usize].subtree_end = nodes.len() as u32;
@@ -944,7 +973,7 @@ impl<'a> StreamingMatcher<'a> {
                 let (pv, pf, ph) = (top.vertex, top.fsel, top.path_hash);
 
                 let child = self.frozen.slot_target(slot);
-                let Some(fp) = self.child_footprint(pv, pf, ph, slot, child) else {
+                let Some(fp) = self.child_footprint(pv, pf, ph, slot, child, threshold) else {
                     continue;
                 };
                 self.rec_push(child);
@@ -974,6 +1003,105 @@ impl<'a> StreamingMatcher<'a> {
             vertex_count: self.frozen.vertex_count(),
             slot_count: self.frozen.slot_count(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Effective cardinality threshold (max_ept_nodes escalation)
+    // ------------------------------------------------------------------
+
+    /// The snapshot's effective cardinality threshold: the configured
+    /// `card_threshold`, escalated (see
+    /// [`escalate_card_threshold`](crate::config::escalate_card_threshold))
+    /// until the full query-independent expansion fits within
+    /// `max_ept_nodes` nodes. Cached after the first computation — the
+    /// snapshot is immutable for the matcher's lifetime, so the answer
+    /// never changes. Leaves the recursion tracker dirty; callers reset it
+    /// before traversing.
+    pub(crate) fn effective_card_threshold(&mut self) -> f64 {
+        if let Some(t) = self.eff_threshold {
+            return t;
+        }
+        let cap = self.config.max_ept_nodes.max(1);
+        let mut threshold = self.config.card_threshold;
+        while self.count_expansion(threshold, cap) > cap {
+            threshold = escalate_card_threshold(threshold);
+        }
+        self.eff_threshold = Some(threshold);
+        threshold
+    }
+
+    /// Injects a pre-computed effective threshold, letting snapshot owners
+    /// ([`crate::synopsis::SynopsisSnapshot`]) pay the counting passes
+    /// once per snapshot instead of once per matcher. The value must be
+    /// what [`StreamingMatcher::effective_card_threshold`] would compute
+    /// for the same frozen snapshot + config + HET — the same caller's
+    /// contract as [`StreamingMatcher::set_frontier_memo`].
+    pub(crate) fn set_effective_card_threshold(&mut self, threshold: f64) {
+        self.eff_threshold = Some(threshold);
+    }
+
+    /// Counts the opens of the expansion under `threshold`, aborting as
+    /// soon as the count exceeds `cap` — the escalation loop only needs
+    /// fits / doesn't-fit, so each pass costs at most `cap + 1` opens
+    /// (which also bounds the pass on expansions that would otherwise not
+    /// terminate, e.g. a negative threshold keeping cardinality-0 cycles
+    /// open forever). Dirties the recursion tracker.
+    fn count_expansion(&mut self, threshold: f64, cap: usize) -> usize {
+        let Some(root) = self.frozen.root() else {
+            return 0;
+        };
+        self.rec_counts.clear();
+        self.rec_counts.resize(self.frozen.vertex_count(), 0);
+        self.rec_occ.clear();
+        self.rec_max = 0;
+
+        struct CountFrame {
+            vertex: VertexId,
+            fsel: f64,
+            path_hash: u64,
+            next_slot: u32,
+            end_slot: u32,
+        }
+
+        let mut opens = 1usize;
+        self.rec_push(root);
+        let slots = self.frozen.out_slots(root);
+        let mut stack = vec![CountFrame {
+            vertex: root,
+            fsel: 1.0,
+            path_hash: inc_hash(PATH_HASH_SEED, self.frozen.label(root)),
+            next_slot: slots.start as u32,
+            end_slot: slots.end as u32,
+        }];
+        while let Some(top) = stack.last_mut() {
+            if top.next_slot >= top.end_slot {
+                let done = stack.pop().expect("non-empty stack");
+                self.rec_pop(done.vertex);
+                continue;
+            }
+            let slot = top.next_slot as usize;
+            top.next_slot += 1;
+            let (pv, pf, ph) = (top.vertex, top.fsel, top.path_hash);
+
+            let child = self.frozen.slot_target(slot);
+            let Some(fp) = self.child_footprint(pv, pf, ph, slot, child, threshold) else {
+                continue;
+            };
+            opens += 1;
+            if opens > cap {
+                return opens;
+            }
+            self.rec_push(child);
+            let slots = self.frozen.out_slots(fp.vertex);
+            stack.push(CountFrame {
+                vertex: fp.vertex,
+                fsel: fp.fsel,
+                path_hash: fp.path_hash,
+                next_slot: slots.start as u32,
+                end_slot: slots.end as u32,
+            });
+        }
+        opens
     }
 
     // ------------------------------------------------------------------
@@ -1163,6 +1291,7 @@ impl<'a> StreamingMatcher<'a> {
         parent_path_hash: u64,
         slot: usize,
         child: VertexId,
+        threshold: f64,
     ) -> Option<Footprint> {
         let old_level = self.rec_level();
         let new_level = self.rec_peek_push(child);
@@ -1188,7 +1317,7 @@ impl<'a> StreamingMatcher<'a> {
             }
         }
 
-        if card <= self.config.card_threshold {
+        if card <= threshold {
             return None;
         }
 
@@ -1619,8 +1748,9 @@ impl<'a> StreamingMatcher<'a> {
     ///   covers same-label recursion); every vertex whose label is in
     ///   that union gets the always-sound `B(v) = total[v]`.
     /// * **Predicates only filter**, so ignoring them preserves the
-    ///   bound, and the point path's `card_threshold` / `max_ept_nodes`
-    ///   truncation rules are never applied (truncation drops mass).
+    ///   bound, and the point path's cardinality-threshold pruning
+    ///   (`card_threshold` and its `max_ept_nodes` escalation) is never
+    ///   applied (pruning drops mass).
     /// * **HET clamps, never inflates.** A frontier entry tagged
     ///   [`PathTag::Known`] over-counts only nodes sharing one rooted
     ///   label path; the HET's simple-path cardinality for that path is an
@@ -1795,11 +1925,19 @@ mod tests {
         het: Option<&HyperEdgeTable>,
         queries: &[&str],
     ) {
-        let config = XseedConfig::default();
-        let ept = ExpandedPathTree::generate(kernel, &config, het);
+        assert_matches_materialized_with_config(kernel, het, &XseedConfig::default(), queries);
+    }
+
+    fn assert_matches_materialized_with_config(
+        kernel: &Kernel,
+        het: Option<&HyperEdgeTable>,
+        config: &XseedConfig,
+        queries: &[&str],
+    ) {
+        let ept = ExpandedPathTree::generate(kernel, config, het);
         let matcher = Matcher::new(kernel, &ept, het);
         let frozen = FrozenKernel::freeze(kernel);
-        let mut streaming = StreamingMatcher::new(&frozen, kernel.names(), &config, het);
+        let mut streaming = StreamingMatcher::new(&frozen, kernel.names(), config, het);
         for q in queries {
             let expr = parse(q).unwrap();
             let expected = matcher.estimate(&expr);
@@ -2045,6 +2183,73 @@ mod tests {
         assert!(visited <= 3);
     }
 
+    /// Asserts the three estimation paths expand one shared frontier under
+    /// a tiny `max_ept_nodes`: the materialized EPT fits the cap, the memo
+    /// records exactly that EPT, streaming agrees with the oracle on every
+    /// query, and memo replay agrees with the cold pass bit-for-bit.
+    fn assert_one_frontier_under_cap(
+        kernel: &Kernel,
+        het: Option<&HyperEdgeTable>,
+        cap: usize,
+        queries: &[&str],
+    ) {
+        let config = XseedConfig {
+            max_ept_nodes: cap,
+            ..XseedConfig::default()
+        };
+        let ept = ExpandedPathTree::generate(kernel, &config, het);
+        assert!(ept.len() <= cap, "cap {cap}: expansion must fit");
+        let frozen = FrozenKernel::freeze(kernel);
+        let memo = FrontierMemo::build(&frozen, &config, het);
+        assert_eq!(
+            memo.len(),
+            ept.len(),
+            "cap {cap}: memo and oracle frontiers differ"
+        );
+        assert_matches_materialized_with_config(kernel, het, &config, queries);
+        let mut cold = StreamingMatcher::new(&frozen, kernel.names(), &config, het);
+        let mut memoized = StreamingMatcher::new(&frozen, kernel.names(), &config, het);
+        memoized.set_frontier_memo(Arc::new(memo));
+        for q in queries {
+            let expr = parse(q).unwrap();
+            assert_eq!(
+                memoized.estimate(&expr).to_bits(),
+                cold.estimate(&expr).to_bits(),
+                "cap {cap} {q}: memo replay diverged from cold streaming"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_caps_share_one_frontier_across_all_paths() {
+        // The old hard cap stopped each consumer after `max_ept_nodes`
+        // opens of *its own* walk, so reachability pruning let the cold
+        // streaming pass truncate at a different frontier from the
+        // materialized oracle and the memo — the PR 1 divergence caveat.
+        // Threshold escalation removes the mid-walk stop entirely; these
+        // are the old failing configs.
+        let kernel2 = KernelBuilder::from_document(&figure2_document());
+        let kernel4 = KernelBuilder::from_document(&figure4_document());
+        let names = kernel2.names();
+        let l = |n: &str| names.lookup(n).unwrap();
+        let mut het = HyperEdgeTable::new();
+        het.insert_simple(path_hash(&[l("a"), l("c")]), 7, 0.9, 100.0);
+        het.rebuild_residency();
+        let figure4_queries = &[
+            "/a/b/d/e",
+            "/a/c/d/f",
+            "/a/b/d[f]/e",
+            "//d[e][f]",
+            "//d//*",
+            "/a/*/d[e]/f",
+        ];
+        for cap in [1usize, 2, 3, 5, 8] {
+            assert_one_frontier_under_cap(&kernel2, None, cap, FIGURE2_QUERIES);
+            assert_one_frontier_under_cap(&kernel2, Some(&het), cap, FIGURE2_QUERIES);
+            assert_one_frontier_under_cap(&kernel4, None, cap, figure4_queries);
+        }
+    }
+
     #[test]
     fn simple_path_estimates_match_per_query_streaming() {
         for (doc, config) in [
@@ -2233,8 +2438,9 @@ mod tests {
 
     #[test]
     fn bound_is_sound_under_truncation() {
-        // The point path truncates (card_threshold prunes low-mass edges,
-        // max_ept_nodes caps the traversal); the bound must ignore both.
+        // The point path prunes (card_threshold drops low-mass edges, and
+        // a tiny max_ept_nodes escalates that threshold further); the
+        // bound must ignore both.
         for config in [
             XseedConfig::default().with_card_threshold(2.0),
             XseedConfig {

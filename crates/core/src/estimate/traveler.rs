@@ -11,16 +11,21 @@
 //! * the recursion level of the extended path exceeds the levels recorded
 //!   on the kernel edge (the estimated cardinality is 0 — Observation 1
 //!   guarantees such paths do not exist in the document), or
-//! * the estimated cardinality falls to or below
-//!   [`card_threshold`](crate::config::XseedConfig::card_threshold), or
-//! * a global cap on generated EPT nodes is hit
-//!   ([`max_ept_nodes`](crate::config::XseedConfig::max_ept_nodes)).
+//! * the estimated cardinality falls to or below the *effective*
+//!   cardinality threshold: the configured
+//!   [`card_threshold`](crate::config::XseedConfig::card_threshold),
+//!   escalated (to 1, then doubled) until the full expansion fits within
+//!   [`max_ept_nodes`](crate::config::XseedConfig::max_ept_nodes) nodes.
+//!   The escalated threshold is found by query-independent counting
+//!   passes before the first event is emitted, so the expansion is a
+//!   deterministic function of the kernel + config + HET alone — never of
+//!   how far a particular consumer happened to walk.
 //!
 //! When a [`HyperEdgeTable`] is supplied, the estimated cardinality and
 //! backward selectivity of a simple path present in the table are replaced
 //! by the recorded actual values (Section 5, "Cardinality estimation").
 
-use crate::config::XseedConfig;
+use crate::config::{escalate_card_threshold, XseedConfig};
 use crate::counter_stacks::CounterStacks;
 use crate::estimate::event::EstimateEvent;
 use crate::het::hash::{inc_hash, PATH_HASH_SEED};
@@ -50,8 +55,11 @@ struct Footprint {
 /// Streaming generator of the expanded path tree.
 pub struct Traveler<'a> {
     kernel: &'a Kernel,
-    config: &'a XseedConfig,
     het: Option<&'a HyperEdgeTable>,
+    /// The effective cardinality threshold: the configured
+    /// `card_threshold` escalated until the expansion fits
+    /// `max_ept_nodes` (see [`Traveler::new`]).
+    card_threshold: f64,
     path: Vec<Footprint>,
     recursion: CounterStacks<VertexId>,
     started: bool,
@@ -61,16 +69,32 @@ pub struct Traveler<'a> {
 
 impl<'a> Traveler<'a> {
     /// Creates a traveler over `kernel` with the given configuration and
-    /// an optional hyper-edge table.
+    /// an optional hyper-edge table. Computes the effective cardinality
+    /// threshold up front (query-independent counting passes, each
+    /// aborting as soon as it overshoots `max_ept_nodes`), so the event
+    /// stream is the full expansion under that threshold — it never stops
+    /// mid-walk.
     pub fn new(
         kernel: &'a Kernel,
         config: &'a XseedConfig,
         het: Option<&'a HyperEdgeTable>,
     ) -> Self {
+        let threshold = effective_card_threshold(kernel, config, het);
+        Traveler::with_threshold(kernel, het, threshold)
+    }
+
+    /// Creates a traveler that expands with `card_threshold` exactly as
+    /// given, with no node bound — the primitive both [`Traveler::new`]
+    /// and the threshold-escalation counting passes are built from.
+    fn with_threshold(
+        kernel: &'a Kernel,
+        het: Option<&'a HyperEdgeTable>,
+        card_threshold: f64,
+    ) -> Self {
         Traveler {
             kernel,
-            config,
             het,
+            card_threshold,
             path: Vec::new(),
             recursion: CounterStacks::new(),
             started: false,
@@ -82,6 +106,13 @@ impl<'a> Traveler<'a> {
     /// Number of open events (EPT nodes) generated so far.
     pub fn ept_nodes_generated(&self) -> usize {
         self.open_events
+    }
+
+    /// The effective cardinality threshold this traveler expands with:
+    /// the configured `card_threshold` unless escalation was needed to
+    /// fit the expansion within `max_ept_nodes`.
+    pub fn effective_card_threshold(&self) -> f64 {
+        self.card_threshold
     }
 
     /// Produces the next event of the stream (the paper's `NEXT-EVENT`).
@@ -150,7 +181,7 @@ impl<'a> Traveler<'a> {
         loop {
             let top = self.path.last().expect("path checked non-empty");
             let out_edges = self.kernel.out_edges(top.vertex);
-            if top.next_child >= out_edges.len() || self.open_events >= self.config.max_ept_nodes {
+            if top.next_child >= out_edges.len() {
                 // All children handled: close this vertex. Once the path
                 // empties, the next call emits EOS.
                 let closed = self.path.pop().expect("path checked non-empty");
@@ -214,7 +245,7 @@ impl<'a> Traveler<'a> {
             }
         }
 
-        if card <= self.config.card_threshold {
+        if card <= self.card_threshold {
             return None;
         }
 
@@ -250,6 +281,43 @@ impl<'a> Traveler<'a> {
             level: top.level,
             path_hash: top.path_hash,
         }
+    }
+}
+
+/// The effective cardinality threshold for expanding `kernel` under
+/// `config`: the configured `card_threshold` when the full expansion
+/// already fits within `max_ept_nodes` nodes, otherwise the first
+/// escalated threshold (see
+/// [`escalate_card_threshold`](crate::config::escalate_card_threshold))
+/// whose expansion fits. Each counting pass aborts as soon as it
+/// overshoots, so it costs at most `max_ept_nodes + 1` opens. The loop
+/// terminates because the set of expanded paths shrinks monotonically as
+/// the threshold grows (per-path cardinalities do not depend on the
+/// threshold) and the root alone — which always opens — fits any bound.
+fn effective_card_threshold(
+    kernel: &Kernel,
+    config: &XseedConfig,
+    het: Option<&HyperEdgeTable>,
+) -> f64 {
+    let cap = config.max_ept_nodes.max(1);
+    let mut threshold = config.card_threshold;
+    loop {
+        let mut counter = Traveler::with_threshold(kernel, het, threshold);
+        let fits = loop {
+            match counter.next_event() {
+                EstimateEvent::Open { .. } => {
+                    if counter.open_events > cap {
+                        break false;
+                    }
+                }
+                EstimateEvent::Close { .. } => {}
+                EstimateEvent::Eos => break true,
+            }
+        };
+        if fits {
+            return threshold;
+        }
+        threshold = escalate_card_threshold(threshold);
     }
 }
 
@@ -406,6 +474,40 @@ mod tests {
             .filter(|e| matches!(e, EstimateEvent::Open { .. }))
             .count();
         assert!(opens <= 3);
+        assert!(opens >= 1, "the root always opens");
+    }
+
+    #[test]
+    fn tiny_cap_escalates_threshold_instead_of_truncating() {
+        // Under the old hard cap, a tiny `max_ept_nodes` stopped the walk
+        // mid-stride, so the generated prefix depended on traversal order.
+        // Escalation instead raises the threshold until the *entire*
+        // expansion fits: the capped event stream must be identical to the
+        // uncapped stream produced with the escalated threshold set
+        // explicitly.
+        let kernel = figure2_kernel();
+        for cap in [1usize, 2, 3, 5, 8] {
+            let config = XseedConfig {
+                max_ept_nodes: cap,
+                ..XseedConfig::default()
+            };
+            let capped = Traveler::new(&kernel, &config, None);
+            let escalated = capped.effective_card_threshold();
+            assert!(
+                escalated > config.card_threshold,
+                "figure2 has 14 EPT nodes, so cap {cap} must escalate"
+            );
+            let capped_events = capped.collect_events();
+            let explicit = XseedConfig::default().with_card_threshold(escalated);
+            let reference = Traveler::new(&kernel, &explicit, None);
+            assert_eq!(reference.effective_card_threshold(), escalated);
+            assert_eq!(capped_events, reference.collect_events());
+            let opens = capped_events
+                .iter()
+                .filter(|e| matches!(e, EstimateEvent::Open { .. }))
+                .count();
+            assert!((1..=cap).contains(&opens));
+        }
     }
 
     #[test]

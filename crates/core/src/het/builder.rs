@@ -209,6 +209,28 @@ impl<'a> HetBuilder<'a> {
     /// The table's residency is computed against the byte budget left over
     /// after the kernel (if a budget is configured).
     pub fn build(&self) -> (HyperEdgeTable, HetBuildStats) {
+        self.build_inner(None)
+    }
+
+    /// Builds the table exactly like [`build`](Self::build), but evaluates
+    /// the exact branching counts with one worker per root-child `range`
+    /// (see [`Evaluator::count_branching_batch_partitioned`]).
+    ///
+    /// The result is bit-identical to the monolithic build: candidate
+    /// selection, enumeration order, and estimate replay are untouched, and
+    /// the partitioned counter sums exact `u64` partials whose total equals
+    /// the monolithic walk's tally.
+    pub fn build_partitioned(
+        &self,
+        ranges: &[std::ops::Range<usize>],
+    ) -> (HyperEdgeTable, HetBuildStats) {
+        self.build_inner(Some(ranges))
+    }
+
+    fn build_inner(
+        &self,
+        ranges: Option<&[std::ops::Range<usize>]>,
+    ) -> (HyperEdgeTable, HetBuildStats) {
         let mut het = HyperEdgeTable::new();
         let mut stats = HetBuildStats::default();
 
@@ -233,7 +255,14 @@ impl<'a> HetBuilder<'a> {
         }
 
         if self.config.max_branching_predicates > 0 {
-            self.add_branching_entries(&mut het, &mut stats, &frozen, &memo, &simple_errors);
+            self.add_branching_entries(
+                &mut het,
+                &mut stats,
+                &frozen,
+                &memo,
+                &simple_errors,
+                ranges,
+            );
         }
 
         het.set_budget(self.remaining_budget());
@@ -250,6 +279,7 @@ impl<'a> HetBuilder<'a> {
         frozen: &FrozenKernel,
         memo: &Arc<FrontierMemo>,
         simple_errors: &[f64],
+        ranges: Option<&[std::ops::Range<usize>]>,
     ) {
         let mut selected = self.strategy.select(&CandidateContext {
             path_tree: self.path_tree,
@@ -330,7 +360,11 @@ impl<'a> HetBuilder<'a> {
             }
         }
 
-        let counts = Evaluator::new(self.storage).count_branching_batch(self.path_tree, &specs);
+        let evaluator = Evaluator::new(self.storage);
+        let counts = match ranges {
+            Some(r) => evaluator.count_branching_batch_partitioned(self.path_tree, &specs, r),
+            None => evaluator.count_branching_batch(self.path_tree, &specs),
+        };
         let mut matcher = StreamingMatcher::new(frozen, self.kernel.names(), self.config, None);
         matcher.set_frontier_memo(memo.clone());
         for (candidate, actual) in candidates.iter().zip(counts) {
@@ -485,6 +519,56 @@ mod tests {
                     .with_card_threshold(2.0),
             ] {
                 assert_matches_reference(&doc, &config);
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_build_is_bit_identical_to_monolithic() {
+        for doc in [figure2_document(), figure4_document()] {
+            for config in [
+                XseedConfig::default(),
+                XseedConfig::default().with_bsel_threshold(0.99),
+                XseedConfig::default()
+                    .with_bsel_threshold(0.99)
+                    .with_max_branching_predicates(3),
+            ] {
+                let kernel = KernelBuilder::from_document(&doc);
+                let path_tree = PathTree::from_document(&doc);
+                let storage = NokStorage::from_document(&doc);
+                let builder = HetBuilder::new(&kernel, &path_tree, &storage, &config);
+                let (mono, mono_stats) = builder.build();
+                for partitions in [1usize, 2, 4, 7] {
+                    let plan = crate::partition::PartitionPlan::for_document(&doc, partitions);
+                    let (part, part_stats) = builder.build_partitioned(plan.ranges());
+                    assert_tables_identical(&part, &mono);
+                    assert_eq!(part_stats.simple_entries, mono_stats.simple_entries);
+                    assert_eq!(part_stats.candidate_nodes, mono_stats.candidate_nodes);
+                    assert_eq!(part_stats.exact_evaluations, mono_stats.exact_evaluations);
+                    assert_eq!(part_stats.correlated_entries, mono_stats.correlated_entries);
+                    assert_eq!(part.budget(), mono.budget());
+                    // The exact counts feed the error terms verbatim, so even
+                    // the float fields must agree to the bit.
+                    let entries = |t: &HyperEdgeTable| {
+                        let mut v: Vec<_> = t
+                            .entries_by_error()
+                            .into_iter()
+                            .map(|e| {
+                                let kind = matches!(e.kind, HetEntryKind::Correlated) as u8;
+                                (
+                                    e.key,
+                                    kind,
+                                    e.cardinality,
+                                    e.bsel.to_bits(),
+                                    e.error.to_bits(),
+                                )
+                            })
+                            .collect();
+                        v.sort();
+                        v
+                    };
+                    assert_eq!(entries(&part), entries(&mono));
+                }
             }
         }
     }

@@ -99,28 +99,83 @@ impl KernelBuilder {
         self.kernel
     }
 
-    /// Builds a kernel directly from an in-memory document.
-    pub fn from_document(doc: &Document) -> Kernel {
-        let mut builder = KernelBuilder::new();
+    /// Finishes construction with the **root element still open**,
+    /// returning a [`PartialKernel`]: the per-partition half-product of
+    /// partitioned construction (see [`crate::partition`]). Everything
+    /// below the root is fully accounted; only the root's own
+    /// parent-count increments (one per distinct `(edge, level)` pair of
+    /// its children) are deferred, because in a partitioned build the
+    /// root's children are split across partitions and the increment must
+    /// happen exactly once for the *document* root, not once per
+    /// partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly the root element is open.
+    pub fn finish_suspended(mut self) -> PartialKernel {
+        assert_eq!(
+            self.path_stack.len(),
+            1,
+            "finish_suspended requires exactly the root element open, found {}",
+            self.path_stack.len()
+        );
+        let root = self.path_stack.pop().expect("length checked above");
+        self.rl_counter.pop(&root.vertex);
+        PartialKernel {
+            kernel: self.kernel,
+            root_child_edges: root.child_edges,
+        }
+    }
+
+    /// Drives the builder over the subtree rooted at `n` with an explicit
+    /// Enter/Leave stack (children pushed reversed, so subtrees are
+    /// visited in document order).
+    fn drive_subtree(&mut self, doc: &Document, n: NodeId) {
         enum Step {
             Enter(NodeId),
             Leave,
         }
-        let mut stack = vec![Step::Enter(doc.root())];
+        let mut stack = vec![Step::Enter(n)];
         while let Some(step) = stack.pop() {
             match step {
                 Step::Enter(n) => {
-                    builder.open_element(doc.name(n));
+                    self.open_element(doc.name(n));
                     stack.push(Step::Leave);
                     let children: Vec<NodeId> = doc.children(n).collect();
                     for c in children.into_iter().rev() {
                         stack.push(Step::Enter(c));
                     }
                 }
-                Step::Leave => builder.close_element(),
+                Step::Leave => self.close_element(),
             }
         }
+    }
+
+    /// Builds a kernel directly from an in-memory document.
+    pub fn from_document(doc: &Document) -> Kernel {
+        let mut builder = KernelBuilder::new();
+        builder.drive_subtree(doc, doc.root());
         builder.finish()
+    }
+
+    /// Builds the partial kernel of one partition: the document root plus
+    /// the contiguous `range` of its children (by child index), leaving
+    /// the root open ([`KernelBuilder::finish_suspended`]). The rooted
+    /// path — and therefore every recursion level — is identical to the
+    /// monolithic build, which is what makes partition merging
+    /// bit-compatible (see [`crate::partition::merge_partials`]).
+    pub fn from_document_root_range(
+        doc: &Document,
+        range: std::ops::Range<usize>,
+    ) -> PartialKernel {
+        let mut builder = KernelBuilder::new();
+        let root = doc.root();
+        builder.open_element(doc.name(root));
+        let children: Vec<NodeId> = doc.children(root).collect();
+        for &c in &children[range] {
+            builder.drive_subtree(doc, c);
+        }
+        builder.finish_suspended()
     }
 
     /// Builds a kernel by SAX-parsing XML text — the paper's construction
@@ -139,6 +194,41 @@ impl KernelBuilder {
             }
         }
         Ok(builder.finish())
+    }
+}
+
+/// A kernel whose root element is conceptually still open: the result of
+/// [`KernelBuilder::finish_suspended`] and the unit of partitioned
+/// construction.
+///
+/// The deferred state is exactly the root's distinct `(edge, recursion
+/// level)` child pairs. [`crate::partition::merge_partials`] unions those
+/// pairs across partitions; [`PartialKernel::into_kernel`] applies the
+/// one-per-pair parent-count increment the monolithic builder would have
+/// applied when the root closed.
+#[derive(Debug)]
+pub struct PartialKernel {
+    pub(crate) kernel: Kernel,
+    /// Distinct `(edge, recursion level)` pairs of the root's children, in
+    /// discovery order.
+    pub(crate) root_child_edges: Vec<(EdgeId, usize)>,
+}
+
+impl PartialKernel {
+    /// The kernel as accumulated so far (root parent counts not yet
+    /// applied).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Closes the root: applies the deferred parent-count increments and
+    /// returns the finished kernel. On a partial built from the full
+    /// child range this is bit-identical to [`KernelBuilder::finish`].
+    pub fn into_kernel(mut self) -> Kernel {
+        for (e, level) in self.root_child_edges {
+            self.kernel.edge_label_mut(e).add_parent(level, 1);
+        }
+        self.kernel
     }
 }
 
@@ -262,5 +352,51 @@ mod tests {
         let mut b = KernelBuilder::new();
         b.open_element("r");
         b.finish();
+    }
+
+    #[test]
+    fn suspended_finish_over_full_range_matches_finish() {
+        let doc = figure2_document();
+        let monolithic = KernelBuilder::from_document(&doc);
+        let child_count = doc.children(doc.root()).count();
+        let merged = KernelBuilder::from_document_root_range(&doc, 0..child_count).into_kernel();
+        assert_eq!(monolithic.to_string(), merged.to_string());
+        assert_eq!(monolithic.serialize(), merged.serialize());
+    }
+
+    #[test]
+    fn suspended_partial_defers_only_root_parent_counts() {
+        let doc = figure2_document();
+        let child_count = doc.children(doc.root()).count();
+        let partial = KernelBuilder::from_document_root_range(&doc, 0..child_count);
+        // All 36 elements are accounted before the root closes…
+        assert_eq!(partial.kernel().element_count(), 36);
+        // …but the root's parent counts are not: a -> c is (0:2) so far.
+        let a = partial.kernel().vertex_by_name("a").unwrap();
+        let c = partial.kernel().vertex_by_name("c").unwrap();
+        let label = partial.kernel().edge_label(a, c).unwrap();
+        assert_eq!(label.parent_count(0), 0);
+        assert_eq!(label.child_count(0), 2);
+        let k = partial.into_kernel();
+        assert_eq!(k.edge_label(a, c).unwrap().parent_count(0), 1);
+    }
+
+    #[test]
+    fn empty_root_range_builds_a_root_only_kernel() {
+        let doc = figure2_document();
+        let k = KernelBuilder::from_document_root_range(&doc, 0..0).into_kernel();
+        assert_eq!(k.element_count(), 1);
+        assert_eq!(k.vertex_count(), 1);
+        assert_eq!(k.live_edge_count(), 0);
+        assert_eq!(k.name(k.root().unwrap()), "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "finish_suspended requires exactly the root")]
+    fn suspended_finish_rejects_nested_open_elements() {
+        let mut b = KernelBuilder::new();
+        b.open_element("r");
+        b.open_element("x");
+        b.finish_suspended();
     }
 }

@@ -22,7 +22,7 @@ pub mod label;
 pub mod serialize;
 pub mod update;
 
-pub use builder::KernelBuilder;
+pub use builder::{KernelBuilder, PartialKernel};
 pub use frozen::{FastMap, FrozenKernel};
 pub use graph::{EdgeId, Kernel, VertexId};
 pub use label::EdgeLabel;

@@ -41,6 +41,7 @@ pub mod counter_stacks;
 pub mod estimate;
 pub mod het;
 pub mod kernel;
+pub mod partition;
 pub mod persist;
 pub mod synopsis;
 
@@ -54,7 +55,8 @@ pub use het::{
     BselThresholdStrategy, CandidateContext, CandidateStrategy, FeedbackOutcome, HetBuildStats,
     HetBuilder, HyperEdgeTable, PerLevelBudgetStrategy, TopKErrorStrategy,
 };
-pub use kernel::{EdgeLabel, FrozenKernel, Kernel, KernelBuilder};
+pub use kernel::{EdgeLabel, FrozenKernel, Kernel, KernelBuilder, PartialKernel};
+pub use partition::{build_kernel_partitioned, merge_partials, PartitionPlan};
 pub use persist::{decode_snapshot, encode_snapshot, PersistError, SnapshotParts};
 pub use synopsis::{
     EstimateReport, FeedbackReport, SynopsisEstimator, SynopsisSnapshot, XseedSynopsis,

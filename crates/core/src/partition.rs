@@ -1,0 +1,343 @@
+//! Partitioned, mergeable synopsis construction.
+//!
+//! This is the shared partitioning layer: a document is split into
+//! contiguous ranges of the root's children ([`PartitionPlan`]), each
+//! partition builds its own [`PartialKernel`] (and path tree) in
+//! parallel, and [`merge_partials`] recombines them into a kernel that is
+//! **bit-identical** to the monolithic [`KernelBuilder::from_document`]
+//! build — same vertex and edge ids, same name-table interning order,
+//! same per-level edge labels (zero-padded levels included), same
+//! serialized bytes. The idea follows the dormant
+//! `treesketch::partition`/`treesketch::merge` machinery (class
+//! partitions merged under a budget), promoted here to the construction
+//! path of the primary synopsis.
+//!
+//! Why bit-compatibility is achievable, in one paragraph: the monolithic
+//! builder walks the document left-to-right, so every kernel id is
+//! assigned at its *first occurrence* in document order. A partition is a
+//! contiguous root-child range, so the monolithic walk visits partition
+//! 0's subtrees entirely before partition 1's. Replaying each partition's
+//! local vertices/edges *in local id order, forward across partitions*
+//! therefore reproduces the exact monolithic first-occurrence order, and
+//! summing per-level label counts reproduces the exact monolithic labels
+//! (every non-root element lives wholly inside one partition; the root is
+//! handled by the deferred [`PartialKernel`] state). Recursion levels are
+//! partition-invariant because every partition keeps the full rooted
+//! path.
+
+use crate::kernel::builder::PartialKernel;
+use crate::kernel::{Kernel, KernelBuilder};
+use nokstore::{NokStorage, PathTree};
+use std::ops::Range;
+use xmlkit::tree::{Document, NodeId};
+
+/// A split of a document into contiguous ranges of the root's children,
+/// balanced by subtree size (element count).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPlan {
+    ranges: Vec<Range<usize>>,
+}
+
+impl PartitionPlan {
+    /// Plans `partitions` contiguous root-child ranges over `doc`,
+    /// balancing by subtree element counts. Always returns exactly
+    /// `max(partitions, 1)` ranges; trailing ranges may be empty when the
+    /// root has fewer children than partitions (an empty range builds a
+    /// root-only partial and merges as a no-op).
+    pub fn for_document(doc: &Document, partitions: usize) -> Self {
+        let n = partitions.max(1);
+        let sizes: Vec<usize> = doc
+            .children(doc.root())
+            .map(|c| subtree_size(doc, c))
+            .collect();
+        let total: usize = sizes.iter().sum();
+        let mut ranges = Vec::with_capacity(n);
+        let mut idx = 0usize;
+        let mut acc = 0usize;
+        for j in 0..n {
+            let start = idx;
+            if j + 1 == n {
+                idx = sizes.len();
+            } else {
+                let target = total * (j + 1) / n;
+                while idx < sizes.len() && acc < target {
+                    acc += sizes[idx];
+                    idx += 1;
+                }
+            }
+            ranges.push(start..idx);
+        }
+        PartitionPlan { ranges }
+    }
+
+    /// The planned root-child ranges, in document order.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// Number of partitions (including empty ones).
+    pub fn partition_count(&self) -> usize {
+        self.ranges.len()
+    }
+}
+
+/// Number of elements in the subtree rooted at `n`.
+fn subtree_size(doc: &Document, n: NodeId) -> usize {
+    let mut count = 0usize;
+    let mut stack = vec![n];
+    while let Some(n) = stack.pop() {
+        count += 1;
+        stack.extend(doc.children(n));
+    }
+    count
+}
+
+/// Merges per-partition partial kernels (given in **document partition
+/// order**) into one partial kernel, bit-compatibly with the monolithic
+/// build: the result of `merge_partials(parts).into_kernel()` is
+/// byte-identical (serialized form, ids, name table, labels) to
+/// [`KernelBuilder::from_document`] over the unsplit document.
+///
+/// The merge replays each partition forward: local vertices in local id
+/// order (reproducing global vertex ids and name interning order), local
+/// edges in local id order (reproducing global edge ids and adjacency
+/// push order), then per-level label sums over **all** recorded levels —
+/// including zero-padded ones, so recursion-level vector lengths survive
+/// exactly. The root's deferred `(edge, level)` child pairs are unioned
+/// in first-occurrence order; element counts sum with the root de-duped.
+///
+/// The operation is associative: a merged partial is itself a valid input
+/// partition (its ids are already in replay order).
+///
+/// # Panics
+///
+/// Panics on an empty input (a plan always yields at least one
+/// partition).
+pub fn merge_partials(parts: Vec<PartialKernel>) -> PartialKernel {
+    let mut iter = parts.into_iter();
+    let mut acc = iter.next().expect("merge_partials requires >= 1 partition");
+    for part in iter {
+        replay_into(&mut acc, &part);
+    }
+    acc
+}
+
+/// Replays `part`'s kernel into `acc` (see [`merge_partials`]).
+fn replay_into(acc: &mut PartialKernel, part: &PartialKernel) {
+    let k = part.kernel();
+    let vmap: Vec<_> = k
+        .vertices()
+        .map(|v| acc.kernel.get_or_create_vertex(k.name(v)))
+        .collect();
+    let emap: Vec<_> = k
+        .edges()
+        .map(|e| {
+            let edge = k.edge(e);
+            acc.kernel
+                .get_or_create_edge(vmap[edge.from.index()], vmap[edge.to.index()])
+        })
+        .collect();
+    for e in k.edges() {
+        let label = acc.kernel.edge_label_mut(emap[e.index()]);
+        for (level, parents, children) in k.edge(e).label.iter() {
+            label.add_child(level, children);
+            label.add_parent(level, parents);
+        }
+    }
+    // Every partition counted the shared root once.
+    acc.kernel.add_elements(k.element_count().saturating_sub(1));
+    for &(e, level) in &part.root_child_edges {
+        let pair = (emap[e.index()], level);
+        if !acc.root_child_edges.contains(&pair) {
+            acc.root_child_edges.push(pair);
+        }
+    }
+}
+
+/// Builds the per-partition partial kernels of `plan`, in parallel (one
+/// scoped thread per partition when the plan has more than one).
+pub fn build_partial_kernels(doc: &Document, plan: &PartitionPlan) -> Vec<PartialKernel> {
+    if plan.partition_count() <= 1 {
+        return plan
+            .ranges()
+            .iter()
+            .map(|r| KernelBuilder::from_document_root_range(doc, r.clone()))
+            .collect();
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = plan
+            .ranges()
+            .iter()
+            .map(|r| {
+                let range = r.clone();
+                s.spawn(move || KernelBuilder::from_document_root_range(doc, range))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition kernel build panicked"))
+            .collect()
+    })
+}
+
+/// Builds a kernel from `doc` by partitioned parallel construction —
+/// bit-identical to [`KernelBuilder::from_document`] for every plan.
+pub fn build_kernel_partitioned(doc: &Document, plan: &PartitionPlan) -> Kernel {
+    merge_partials(build_partial_kernels(doc, plan)).into_kernel()
+}
+
+/// Builds everything a partitioned HET-bearing synopsis needs: the merged
+/// kernel, the merged path tree, and the NoK storage. Per-partition
+/// kernel + path-tree builds run on scoped worker threads while the NoK
+/// storage (which is not partitioned — it backs the exact evaluator) is
+/// built concurrently on the calling thread.
+pub(crate) fn build_synopsis_inputs(
+    doc: &Document,
+    plan: &PartitionPlan,
+) -> (Kernel, PathTree, NokStorage) {
+    let (parts, storage) = if plan.partition_count() <= 1 {
+        let parts: Vec<_> = plan
+            .ranges()
+            .iter()
+            .map(|r| {
+                (
+                    KernelBuilder::from_document_root_range(doc, r.clone()),
+                    PathTree::from_document_root_range(doc, r.clone()),
+                )
+            })
+            .collect();
+        (parts, NokStorage::from_document(doc))
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = plan
+                .ranges()
+                .iter()
+                .map(|r| {
+                    let range = r.clone();
+                    s.spawn(move || {
+                        (
+                            KernelBuilder::from_document_root_range(doc, range.clone()),
+                            PathTree::from_document_root_range(doc, range),
+                        )
+                    })
+                })
+                .collect();
+            let storage = NokStorage::from_document(doc);
+            let parts: Vec<_> = handles
+                .into_iter()
+                .map(|h| h.join().expect("partition build panicked"))
+                .collect();
+            (parts, storage)
+        })
+    };
+    let (partials, trees): (Vec<_>, Vec<_>) = parts.into_iter().unzip();
+    let kernel = merge_partials(partials).into_kernel();
+    let path_tree = PathTree::merge_root_split(&trees);
+    (kernel, path_tree, storage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlkit::samples::{figure2_document, figure4_document};
+
+    fn assert_bit_identical(doc: &Document, partitions: usize) {
+        let monolithic = KernelBuilder::from_document(doc);
+        let plan = PartitionPlan::for_document(doc, partitions);
+        assert_eq!(plan.partition_count(), partitions.max(1));
+        let merged = build_kernel_partitioned(doc, &plan);
+        assert_eq!(monolithic.to_string(), merged.to_string(), "{partitions}p");
+        assert_eq!(monolithic.serialize(), merged.serialize(), "{partitions}p");
+    }
+
+    #[test]
+    fn plan_covers_all_children_in_order() {
+        let doc = figure2_document();
+        let child_count = doc.child_count(doc.root());
+        for partitions in [1, 2, 3, 4, 7] {
+            let plan = PartitionPlan::for_document(&doc, partitions);
+            let mut next = 0usize;
+            for r in plan.ranges() {
+                assert_eq!(r.start, next);
+                next = r.end;
+            }
+            assert_eq!(next, child_count);
+        }
+    }
+
+    #[test]
+    fn plan_balances_by_subtree_size() {
+        // Root with one huge child and three tiny ones: the huge subtree
+        // gets a partition of its own.
+        let doc =
+            Document::parse_str("<r><big><x/><x/><x/><x/><x/><x/><x/><x/></big><t/><t/><t/></r>")
+                .unwrap();
+        let plan = PartitionPlan::for_document(&doc, 2);
+        assert_eq!(plan.ranges(), &[0..1, 1..4]);
+    }
+
+    #[test]
+    fn merged_kernels_are_bit_identical_to_monolithic() {
+        for doc in [figure2_document(), figure4_document()] {
+            for partitions in [1, 2, 4, 7] {
+                assert_bit_identical(&doc, partitions);
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_document_merges_bit_identically() {
+        // Recursion levels cross partition boundaries only via the shared
+        // rooted path, which every partition keeps.
+        let doc = Document::parse_str(
+            "<a><s><s><s><t/></s></s></s><s><p/></s><s><s><p/><p/></s></s><c/></a>",
+        )
+        .unwrap();
+        for partitions in [1, 2, 3, 4, 7] {
+            assert_bit_identical(&doc, partitions);
+        }
+    }
+
+    #[test]
+    fn single_child_root_with_many_partitions() {
+        let doc = Document::parse_str("<r><only><x/><y/></only></r>").unwrap();
+        assert_bit_identical(&doc, 4);
+        // All but one range are empty.
+        let plan = PartitionPlan::for_document(&doc, 4);
+        assert_eq!(plan.ranges().iter().filter(|r| r.is_empty()).count(), 3);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let doc = figure2_document();
+        let plan = PartitionPlan::for_document(&doc, 3);
+        let build = || build_partial_kernels(&doc, &plan);
+        let flat = merge_partials(build()).into_kernel();
+        let mut parts = build();
+        let c = parts.pop().unwrap();
+        let left_first = merge_partials(vec![merge_partials(parts), c]).into_kernel();
+        let mut parts = build();
+        let a = parts.remove(0);
+        let right_first = merge_partials(vec![a, merge_partials(parts)]).into_kernel();
+        assert_eq!(flat.serialize(), left_first.serialize());
+        assert_eq!(flat.serialize(), right_first.serialize());
+    }
+
+    #[test]
+    fn synopsis_inputs_match_monolithic_parts() {
+        let doc = figure4_document();
+        let plan = PartitionPlan::for_document(&doc, 3);
+        let (kernel, path_tree, storage) = build_synopsis_inputs(&doc, &plan);
+        assert_eq!(
+            kernel.serialize(),
+            KernelBuilder::from_document(&doc).serialize()
+        );
+        let reference = PathTree::from_document(&doc);
+        assert_eq!(path_tree.len(), reference.len());
+        for id in reference.ids() {
+            assert_eq!(path_tree.label_path(id), reference.label_path(id));
+            assert_eq!(path_tree.cardinality(id), reference.cardinality(id));
+        }
+        assert_eq!(storage.len(), doc.element_count());
+    }
+}

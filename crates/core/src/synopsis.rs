@@ -14,6 +14,7 @@ use crate::het::builder::{HetBuildStats, HetBuilder};
 use crate::het::feedback::FeedbackOutcome;
 use crate::het::table::HyperEdgeTable;
 use crate::kernel::{FrozenKernel, Kernel, KernelBuilder};
+use crate::partition::PartitionPlan;
 use nokstore::{NokStorage, PathTree};
 use std::sync::{Arc, OnceLock};
 use xmlkit::names::NameTable;
@@ -133,6 +134,57 @@ impl XseedSynopsis {
     /// [`crate::het::builder`].
     pub fn build_with_het(doc: &Document, config: XseedConfig) -> (Self, HetBuildStats) {
         Self::build_with_het_strategy(doc, config, crate::het::BselThresholdStrategy)
+    }
+
+    /// Builds a kernel-only synopsis using `partitions` parallel workers,
+    /// each constructing a partial kernel over a contiguous range of
+    /// root-child subtrees, then merging ([`crate::partition`]). The merged
+    /// kernel is bit-identical (same serialized bytes) to the one
+    /// [`XseedSynopsis::build`] produces.
+    pub fn build_partitioned(doc: &Document, config: XseedConfig, partitions: usize) -> Self {
+        let plan = PartitionPlan::for_document(doc, partitions);
+        XseedSynopsis::new(
+            crate::partition::build_kernel_partitioned(doc, &plan),
+            None,
+            config,
+        )
+    }
+
+    /// [`XseedSynopsis::build_with_het`] using `partitions` parallel
+    /// workers for synopsis construction: per-partition kernels and path
+    /// trees are built concurrently and merged bit-compatibly, and the
+    /// exact branching counts run one worker per partition. Estimates from
+    /// the result are bit-identical to the monolithic build's.
+    pub fn build_with_het_partitioned(
+        doc: &Document,
+        config: XseedConfig,
+        partitions: usize,
+    ) -> (Self, HetBuildStats) {
+        Self::build_with_het_partitioned_strategy(
+            doc,
+            config,
+            partitions,
+            crate::het::BselThresholdStrategy,
+        )
+    }
+
+    /// [`XseedSynopsis::build_with_het_partitioned`] with an explicit
+    /// candidate strategy.
+    pub fn build_with_het_partitioned_strategy(
+        doc: &Document,
+        config: XseedConfig,
+        partitions: usize,
+        strategy: impl crate::het::CandidateStrategy + 'static,
+    ) -> (Self, HetBuildStats) {
+        let plan = PartitionPlan::for_document(doc, partitions);
+        let (kernel, path_tree, storage) = crate::partition::build_synopsis_inputs(doc, &plan);
+        let (het, stats) = HetBuilder::new(&kernel, &path_tree, &storage, &config)
+            .with_strategy(strategy)
+            .build_partitioned(plan.ranges());
+        (
+            XseedSynopsis::new(kernel, Some(Arc::new(het)), config),
+            stats,
+        )
     }
 
     /// [`XseedSynopsis::build_with_het`] with an explicit candidate
@@ -286,6 +338,7 @@ impl XseedSynopsis {
                     het: self.het.clone(),
                     memo: OnceLock::new(),
                     compiled: OnceLock::new(),
+                    eff_threshold: OnceLock::new(),
                 }),
             })
             .clone()
@@ -347,12 +400,17 @@ impl XseedSynopsis {
     /// matcher across many queries keeps its scratch buffers warm; each
     /// [`XseedSynopsis::estimate`] call otherwise creates a fresh one.
     pub fn streaming_matcher(&self) -> StreamingMatcher<'_> {
-        StreamingMatcher::new(
+        let mut matcher = StreamingMatcher::new(
             self.frozen_kernel(),
             self.kernel.names(),
             &self.config,
             self.het.as_deref(),
-        )
+        );
+        // The snapshot bundle caches the effective threshold; sharing it
+        // here means one-shot estimates skip the escalation counting
+        // passes too.
+        matcher.set_effective_card_threshold(self.snapshot().effective_card_threshold());
+        matcher
     }
 
     /// Creates a reusable estimator that materializes the EPT once — the
@@ -552,6 +610,12 @@ struct SnapshotInner {
     /// stale compilations can never outlive the label space they were
     /// resolved against.
     compiled: OnceLock<Arc<CompiledPlanCache>>,
+    /// The snapshot's effective cardinality threshold (the configured
+    /// `card_threshold`, escalated until the expansion fits
+    /// `max_ept_nodes`). Resolved once per snapshot and injected into
+    /// every matcher handed out, so the per-query cold path never pays
+    /// the counting passes itself.
+    eff_threshold: OnceLock<f64>,
 }
 
 impl SynopsisSnapshot {
@@ -590,7 +654,21 @@ impl SynopsisSnapshot {
         let mut matcher =
             StreamingMatcher::new(self.frozen(), self.names(), self.config(), self.het());
         matcher.set_compiled_cache(self.compiled_cache().clone());
+        matcher.set_effective_card_threshold(self.effective_card_threshold());
         matcher
+    }
+
+    /// The snapshot's effective cardinality threshold: the configured
+    /// `card_threshold`, escalated until the traveler's expansion fits
+    /// within `max_ept_nodes` nodes (see
+    /// [`crate::config::XseedConfig::max_ept_nodes`]). Resolved by
+    /// query-independent counting passes on first use and cached for the
+    /// snapshot's lifetime.
+    pub(crate) fn effective_card_threshold(&self) -> f64 {
+        *self.inner.eff_threshold.get_or_init(|| {
+            StreamingMatcher::new(self.frozen(), self.names(), self.config(), self.het())
+                .effective_card_threshold()
+        })
     }
 
     /// Counters of the compiled-query cache **without forcing its
@@ -628,12 +706,11 @@ impl SynopsisSnapshot {
     /// The matcher a batch of `batch_len` queries should use — the single
     /// home of the memo-activation policy: memoized replay for real
     /// batches, the cold streaming pass for 0/1 queries. Singles stay
-    /// cold even when a memo already exists: a lone query is cheaper
-    /// without the replay setup, and — more importantly — when
-    /// `max_ept_nodes` truncates a degenerate synopsis the memo and cold
-    /// frontiers can differ (see [`FrontierMemo`]), so switching a
-    /// single-query path onto the memo mid-lifetime would make one
-    /// snapshot answer the same query two ways.
+    /// cold even when a memo already exists because a lone query is
+    /// cheaper without the replay setup; the choice is purely a
+    /// performance knob, since both paths walk the same frontier (the
+    /// expansion is a deterministic function of the snapshot + config +
+    /// HET, threshold escalation included).
     pub fn matcher_for_batch(&self, batch_len: usize) -> StreamingMatcher<'_> {
         if batch_len > 1 {
             self.batch_matcher()
@@ -756,6 +833,36 @@ mod tests {
                 snap.estimate_plan_bound(&plan).bound.to_bits(),
                 be.bound.to_bits()
             );
+        }
+    }
+
+    #[test]
+    fn partitioned_build_estimates_are_bit_identical() {
+        for doc in [figure2_document(), figure4_document()] {
+            let config = XseedConfig::default().with_bsel_threshold(0.99);
+            let (mono, mono_stats) = XseedSynopsis::build_with_het(&doc, config.clone());
+            for partitions in [1usize, 2, 4, 7] {
+                let kernel_only =
+                    XseedSynopsis::build_partitioned(&doc, config.clone(), partitions);
+                assert_eq!(
+                    kernel_only.kernel().serialize(),
+                    mono.kernel().serialize(),
+                    "kernel bytes diverge at partitions={partitions}"
+                );
+                let (part, part_stats) =
+                    XseedSynopsis::build_with_het_partitioned(&doc, config.clone(), partitions);
+                assert_eq!(part_stats.simple_entries, mono_stats.simple_entries);
+                assert_eq!(part_stats.correlated_entries, mono_stats.correlated_entries);
+                assert_eq!(part.kernel().serialize(), mono.kernel().serialize());
+                for q in ["/a/c/s", "//p", "/a/c/s[t]/p", "//s//s//p", "/a/*", "//*"] {
+                    let Ok(expr) = parse(q) else { continue };
+                    assert_eq!(
+                        part.estimate(&expr).to_bits(),
+                        mono.estimate(&expr).to_bits(),
+                        "estimate diverges for {q} at partitions={partitions}"
+                    );
+                }
+            }
         }
     }
 

@@ -187,16 +187,118 @@ impl<'a> Evaluator<'a> {
         if specs.is_empty() || self.storage.is_empty() {
             return counts;
         }
-        // Candidates grouped by their anchor path-tree node.
-        let mut by_parent: Vec<Vec<u32>> = vec![Vec::new(); path_tree.len()];
-        for (i, spec) in specs.iter().enumerate() {
-            by_parent[spec.parent.index()].push(i as u32);
+        let by_parent = group_by_parent(path_tree, specs);
+        let stack = vec![(self.storage.root(), path_tree.root())];
+        self.count_branching_from(path_tree, specs, &by_parent, stack, &mut counts);
+        counts
+    }
+
+    /// [`Evaluator::count_branching_batch`] parallelized over construction
+    /// partitions: `ranges` are contiguous index ranges of the *root's
+    /// children* (the partition plan), and each partition walks only its
+    /// own subtrees on a scoped thread. The per-partition `u64` tallies
+    /// sum exactly, so the result is **bit-identical** to the monolithic
+    /// batch for every plan.
+    ///
+    /// Candidates anchored *at the root* need cross-partition sibling
+    /// knowledge, so they are answered analytically instead: the root is
+    /// a single element, hence `count(/root[q…]/r)` is the cardinality of
+    /// the depth-1 path `/root/r` when every predicate label occurs as a
+    /// depth-1 path, and 0 otherwise — exactly what the walk would tally.
+    pub fn count_branching_batch_partitioned(
+        &self,
+        path_tree: &PathTree,
+        specs: &[BranchingSpec],
+        ranges: &[std::ops::Range<usize>],
+    ) -> Vec<u64> {
+        let mut counts = vec![0u64; specs.len()];
+        if specs.is_empty() || self.storage.is_empty() {
+            return counts;
         }
+        let root_pt = path_tree.root();
+        let depth1_card = |label: LabelId| {
+            path_tree
+                .node(root_pt)
+                .children
+                .iter()
+                .copied()
+                .find(|&c| path_tree.node(c).label == label)
+                .map(|c| path_tree.cardinality(c))
+                .unwrap_or(0)
+        };
+        for (i, spec) in specs.iter().enumerate() {
+            if spec.parent == root_pt && spec.predicates.iter().all(|&p| depth1_card(p) > 0) {
+                counts[i] = depth1_card(spec.result);
+            }
+        }
+
+        let by_parent = group_by_parent(path_tree, specs);
+        let root_children: Vec<(Pos, PathTreeNodeId)> = self
+            .storage
+            .children(self.storage.root())
+            .map(|child| {
+                let label = self.storage.label(child);
+                let pt = path_tree
+                    .node(root_pt)
+                    .children
+                    .iter()
+                    .copied()
+                    .find(|&c| path_tree.node(c).label == label)
+                    .expect("path tree covers every rooted path of its document");
+                (child, pt)
+            })
+            .collect();
+        let run = |range: std::ops::Range<usize>| {
+            let mut part = vec![0u64; specs.len()];
+            // Seed reversed so subtrees pop in document order.
+            let stack: Vec<_> = root_children[range].iter().rev().copied().collect();
+            self.count_branching_from(path_tree, specs, &by_parent, stack, &mut part);
+            part
+        };
+        let partials: Vec<Vec<u64>> = if ranges.len() <= 1 {
+            ranges.iter().map(|r| run(r.clone())).collect()
+        } else {
+            std::thread::scope(|s| {
+                let run = &run;
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .map(|r| {
+                        let range = r.clone();
+                        s.spawn(move || run(range))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("partition count panicked"))
+                    .collect()
+            })
+        };
+        for part in partials {
+            for (c, p) in counts.iter_mut().zip(part) {
+                *c += p;
+            }
+        }
+        counts
+    }
+
+    /// The shared walk of the batch counters: pops `(element, path-tree
+    /// node)` pairs off `stack` and tallies every candidate anchored at a
+    /// visited element into `counts`. Elements *on* the initial stack are
+    /// tallied too; the root-anchored case of the partitioned counter is
+    /// handled by its caller precisely because the root is never pushed
+    /// there.
+    fn count_branching_from(
+        &self,
+        path_tree: &PathTree,
+        specs: &[BranchingSpec],
+        by_parent: &[Vec<u32>],
+        mut stack: Vec<(Pos, PathTreeNodeId)>,
+        counts: &mut [u64],
+    ) {
         // Reusable per-element child-label tally (stamped via `touched`).
         let mut child_counts: Vec<u64> = vec![0; self.storage.names().len()];
         let mut touched: Vec<LabelId> = Vec::new();
 
-        let mut stack: Vec<(Pos, PathTreeNodeId)> = vec![(self.storage.root(), path_tree.root())];
         while let Some((pos, pt)) = stack.pop() {
             let candidates = &by_parent[pt.index()];
             for child in self.storage.children(pos) {
@@ -229,7 +331,6 @@ impl<'a> Evaluator<'a> {
                 touched.clear();
             }
         }
-        counts
     }
 
     #[inline]
@@ -243,6 +344,15 @@ impl<'a> Evaluator<'a> {
             },
         }
     }
+}
+
+/// Candidates grouped by their anchor path-tree node.
+fn group_by_parent(path_tree: &PathTree, specs: &[BranchingSpec]) -> Vec<Vec<u32>> {
+    let mut by_parent: Vec<Vec<u32>> = vec![Vec::new(); path_tree.len()];
+    for (i, spec) in specs.iter().enumerate() {
+        by_parent[spec.parent.index()].push(i as u32);
+    }
+    by_parent
 }
 
 #[cfg(test)]
@@ -436,5 +546,61 @@ mod tests {
         assert!(Evaluator::new(&s)
             .count_branching_batch(&pt, &[])
             .is_empty());
+    }
+
+    /// Every `parent[p1][p2?]/result` candidate over sibling labels —
+    /// including root-anchored ones, which the partitioned counter
+    /// answers analytically.
+    fn enumerate_specs(path_tree: &PathTree) -> Vec<BranchingSpec> {
+        let mut specs = Vec::new();
+        for parent in path_tree.ids() {
+            let kids = &path_tree.node(parent).children;
+            for &result in kids {
+                for &p1 in kids {
+                    for &p2 in kids {
+                        let mut preds = vec![path_tree.node(p1).label];
+                        if p2 != p1 {
+                            preds.push(path_tree.node(p2).label);
+                        }
+                        specs.push(BranchingSpec {
+                            parent,
+                            predicates: preds,
+                            result: path_tree.node(result).label,
+                        });
+                    }
+                }
+            }
+        }
+        specs
+    }
+
+    #[test]
+    fn partitioned_batch_is_bit_identical_to_monolithic_batch() {
+        let docs = [
+            xmlkit::samples::figure2_document(),
+            Document::parse_str(
+                "<r><x><k/><v/><k/></x><x><k/></x><x><v/><w><k/><v/></w></x><y><x><k/><v/></x></y></r>",
+            )
+            .unwrap(),
+        ];
+        for doc in &docs {
+            let storage = NokStorage::from_document(doc);
+            let pt = PathTree::from_document(doc);
+            let eval = Evaluator::new(&storage);
+            let specs = enumerate_specs(&pt);
+            let reference = eval.count_branching_batch(&pt, &specs);
+            let cc = doc.child_count(doc.root());
+            for n in [1usize, 2, 3, 4, 7] {
+                let per = cc.div_ceil(n).max(1);
+                let ranges: Vec<std::ops::Range<usize>> = (0..n)
+                    .map(|i| (i * per).min(cc)..((i + 1) * per).min(cc))
+                    .collect();
+                assert_eq!(
+                    eval.count_branching_batch_partitioned(&pt, &specs, &ranges),
+                    reference,
+                    "{n} partitions on {doc:?}"
+                );
+            }
+        }
     }
 }

@@ -68,6 +68,137 @@ impl PathTree {
         )
     }
 
+    /// Builds the path tree of one construction partition: the document
+    /// root plus the contiguous `range` of its children (by child index).
+    /// Partition trees over the same [`Document`] share its label space,
+    /// so [`PathTree::merge_root_split`] can recombine them node-for-node
+    /// identically to [`PathTree::from_document`].
+    pub fn from_document_root_range(doc: &Document, range: std::ops::Range<usize>) -> Self {
+        let root = doc.root();
+        let all: Vec<(LabelId, usize)> = doc
+            .children(root)
+            .map(|c| (doc.label(c), c.index()))
+            .collect();
+        let keep = all[range].to_vec();
+        let root_idx = root.index();
+        Self::build(
+            doc.label(root),
+            move |node| {
+                if node == root_idx {
+                    keep.clone()
+                } else {
+                    doc.children(xmlkit::tree::NodeId(node as u32))
+                        .map(|c| (doc.label(c), c.index()))
+                        .collect()
+                }
+            },
+            root_idx,
+        )
+    }
+
+    /// Merges per-partition path trees (in **document partition order**,
+    /// as built by [`PathTree::from_document_root_range`] over contiguous
+    /// root-child ranges) into one tree with node ids, children order,
+    /// cardinalities, and `parents_with_child` counts identical to the
+    /// monolithic [`PathTree::from_document`] build.
+    ///
+    /// The replay order mirrors the builder's traversal: the builder
+    /// creates all depth-1 nodes *forward* while processing the root, then
+    /// explores the root's subtrees in *reverse* document order (stack
+    /// pops), so deeper nodes appear in reverse partition order. Hence
+    /// phase A replays each partition's depth-1 nodes forward
+    /// (`parents_with_child` pinned to 1 — the shared root is a single
+    /// element), and phase B replays each partition's deeper nodes in
+    /// reverse partition order, summing cardinalities and
+    /// `parents_with_child` (every non-root parent element lives wholly
+    /// inside one partition).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice (a plan always yields at least one
+    /// partition).
+    pub fn merge_root_split(parts: &[Self]) -> Self {
+        let first = parts
+            .first()
+            .expect("merge_root_split requires >= 1 partition");
+        let mut nodes = vec![PathTreeNode {
+            label: first.node(first.root).label,
+            parent: None,
+            children: Vec::new(),
+            cardinality: 1,
+            parents_with_child: 1,
+        }];
+        let root = PathTreeNodeId(0);
+        // Per-partition local-id -> merged-id maps, filled as we replay.
+        let mut maps: Vec<Vec<PathTreeNodeId>> =
+            parts.iter().map(|p| vec![root; p.len()]).collect();
+
+        let get_or_create = |nodes: &mut Vec<PathTreeNode>,
+                             parent: PathTreeNodeId,
+                             label: LabelId,
+                             parents_with_child: u64| {
+            match nodes[parent.index()]
+                .children
+                .iter()
+                .copied()
+                .find(|&c| nodes[c.index()].label == label)
+            {
+                Some(existing) => existing,
+                None => {
+                    let id = PathTreeNodeId(nodes.len() as u32);
+                    nodes.push(PathTreeNode {
+                        label,
+                        parent: Some(parent),
+                        children: Vec::new(),
+                        cardinality: 0,
+                        parents_with_child,
+                    });
+                    nodes[parent.index()].children.push(id);
+                    id
+                }
+            }
+        };
+
+        // Phase A: depth-1 nodes, forward partition order.
+        for (p, tree) in parts.iter().enumerate() {
+            debug_assert_eq!(
+                tree.node(tree.root).label,
+                nodes[0].label,
+                "partitions must share one document root"
+            );
+            for id in tree.ids() {
+                let node = tree.node(id);
+                if node.parent != Some(tree.root) {
+                    continue;
+                }
+                let merged = get_or_create(&mut nodes, root, node.label, 1);
+                nodes[merged.index()].cardinality += node.cardinality;
+                maps[p][id.index()] = merged;
+            }
+        }
+
+        // Phase B: deeper nodes, reverse partition order. A node's local
+        // parent id is always smaller than its own, so the parent is
+        // mapped by the time its children replay.
+        for (p, tree) in parts.iter().enumerate().rev() {
+            for id in tree.ids() {
+                let Some(parent) = tree.node(id).parent else {
+                    continue;
+                };
+                if parent == tree.root {
+                    continue;
+                }
+                let node = tree.node(id);
+                let merged = get_or_create(&mut nodes, maps[p][parent.index()], node.label, 0);
+                nodes[merged.index()].cardinality += node.cardinality;
+                nodes[merged.index()].parents_with_child += node.parents_with_child;
+                maps[p][id.index()] = merged;
+            }
+        }
+
+        PathTree { nodes, root }
+    }
+
     /// Builds the path tree directly from a [`NokStorage`].
     pub fn from_storage(storage: &NokStorage) -> Self {
         Self::build(
@@ -361,5 +492,94 @@ mod tests {
         // /a, /a/s, /a/s/s, /a/s/s/s are four distinct paths.
         assert_eq!(pt.len(), 4);
         assert!(pt.heap_bytes() > 0);
+    }
+
+    /// Node-for-node identity, including ids, children order, and both
+    /// annotations — the bit-compatibility contract of the partition
+    /// merge.
+    fn assert_trees_identical(got: &PathTree, want: &PathTree) {
+        assert_eq!(got.len(), want.len());
+        assert_eq!(got.root(), want.root());
+        for id in want.ids() {
+            let g = got.node(id);
+            let w = want.node(id);
+            assert_eq!(g.label, w.label, "label of {id:?}");
+            assert_eq!(g.parent, w.parent, "parent of {id:?}");
+            assert_eq!(g.children, w.children, "children of {id:?}");
+            assert_eq!(g.cardinality, w.cardinality, "cardinality of {id:?}");
+            assert_eq!(
+                g.parents_with_child, w.parents_with_child,
+                "parents_with_child of {id:?}"
+            );
+        }
+    }
+
+    fn assert_merge_matches_monolithic(doc: &Document, partitions: usize) {
+        let monolithic = PathTree::from_document(doc);
+        let child_count = doc.child_count(doc.root());
+        // Split the children into `partitions` contiguous ranges (possibly
+        // empty at the tail).
+        let per = child_count.div_ceil(partitions.max(1)).max(1);
+        let parts: Vec<PathTree> = (0..partitions.max(1))
+            .map(|i| {
+                let start = (i * per).min(child_count);
+                let end = ((i + 1) * per).min(child_count);
+                PathTree::from_document_root_range(doc, start..end)
+            })
+            .collect();
+        let merged = PathTree::merge_root_split(&parts);
+        assert_trees_identical(&merged, &monolithic);
+    }
+
+    #[test]
+    fn full_range_build_equals_from_document() {
+        let doc = figure2_document();
+        let child_count = doc.child_count(doc.root());
+        let pt = PathTree::from_document_root_range(&doc, 0..child_count);
+        assert_trees_identical(&pt, &PathTree::from_document(&doc));
+    }
+
+    #[test]
+    fn empty_range_build_is_root_only() {
+        let doc = figure2_document();
+        let pt = PathTree::from_document_root_range(&doc, 0..0);
+        assert_eq!(pt.len(), 1);
+        assert_eq!(pt.cardinality(pt.root()), 1);
+    }
+
+    #[test]
+    fn merge_root_split_is_bit_identical_to_monolithic() {
+        let docs = [
+            figure2_document(),
+            // Shared deep paths across partitions plus recursion: the
+            // merge must reproduce the monolithic creation order (deep
+            // nodes in reverse partition order).
+            Document::parse_str("<a><s><s><t/></s></s><s><p/></s><s><s><p/><p/></s><t/></s></a>")
+                .unwrap(),
+            Document::parse_str("<r><x><k/><k/></x><x><k/></x><x/><y><x><k/></x></y></r>").unwrap(),
+        ];
+        for doc in &docs {
+            for partitions in [1, 2, 3, 4, 7] {
+                assert_merge_matches_monolithic(doc, partitions);
+            }
+        }
+    }
+
+    #[test]
+    fn merged_bsel_matches_monolithic() {
+        let doc = Document::parse_str("<r><x><k/><k/></x><x><k/></x><x/></r>").unwrap();
+        let monolithic = PathTree::from_document(&doc);
+        let parts = vec![
+            PathTree::from_document_root_range(&doc, 0..1),
+            PathTree::from_document_root_range(&doc, 1..3),
+        ];
+        let merged = PathTree::merge_root_split(&parts);
+        for id in monolithic.ids() {
+            assert_eq!(
+                merged.bsel(id).to_bits(),
+                monolithic.bsel(id).to_bits(),
+                "bsel of {id:?}"
+            );
+        }
     }
 }

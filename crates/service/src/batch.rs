@@ -49,9 +49,9 @@ pub struct FeedbackItem {
 /// — decided by `policy_len`: the length of the whole *logical* batch,
 /// which exceeds `batch.len()` when a service batch was chunked across
 /// workers. Deciding on the logical length keeps every chunk of one
-/// batch on the same matcher kind, so a query repeated across chunks
-/// cannot get two different answers when `max_ept_nodes` truncation makes
-/// the memo and cold frontiers diverge.
+/// batch on the same matcher kind, so the memo build cost is paid (or
+/// skipped) coherently for the whole logical batch; the memoized and
+/// cold frontiers themselves are always identical.
 pub fn execute_batch(
     snapshot: &SynopsisSnapshot,
     batch: &[Arc<QueryPlan>],

@@ -10,7 +10,8 @@
 //! xseed-serve [--workers N] [--queue-capacity Q] [--tcp ADDR]
 //!             [--max-connections C] [--idle-timeout SECS]
 //!             [--allow-fs-load] [--maintain-error-mass X]
-//!             [--snapshot-dir DIR] [--no-observability]
+//!             [--build-partitions N] [--snapshot-dir DIR]
+//!             [--no-observability]
 //! ```
 //!
 //! * `--workers N` — estimation worker threads (default: the CPU count).
@@ -29,6 +30,11 @@
 //!   absolute error (per document). Without it, retention and policies
 //!   are per-document (`LOAD … retain` + `MAINTAIN`); see
 //!   `docs/OPERATIONS.md` for sizing the bound.
+//! * `--build-partitions N` — build every loaded synopsis with `N`
+//!   parallel partition workers (per-LOAD `partitions=<n>` overrides).
+//!   Partitioned builds are bit-identical to monolithic ones, so the flag
+//!   changes build latency only, never estimates; see `docs/OPERATIONS.md`
+//!   ("Partitioned construction") for measured speedups.
 //! * `--snapshot-dir DIR` — warm-start from `DIR` at boot: every
 //!   `*.xsnap` snapshot that decodes is served under its file stem;
 //!   every one that doesn't is quarantined (renamed to `.corrupt`,
@@ -65,13 +71,15 @@ struct Args {
     idle_timeout_secs: u64,
     allow_fs_load: bool,
     maintain_error_mass: Option<f64>,
+    build_partitions: Option<usize>,
     snapshot_dir: Option<String>,
     observability: bool,
 }
 
 const USAGE: &str = "usage: xseed-serve [--workers N] [--queue-capacity Q] [--tcp ADDR] \
                      [--max-connections C] [--idle-timeout SECS] [--allow-fs-load] \
-                     [--maintain-error-mass X] [--snapshot-dir DIR] [--no-observability]";
+                     [--maintain-error-mass X] [--build-partitions N] [--snapshot-dir DIR] \
+                     [--no-observability]";
 
 /// `Ok(None)` means `--help` was requested.
 fn parse_args() -> Result<Option<Args>, String> {
@@ -83,6 +91,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         idle_timeout_secs: 300,
         allow_fs_load: false,
         maintain_error_mass: None,
+        build_partitions: None,
         snapshot_dir: None,
         observability: true,
     };
@@ -111,6 +120,13 @@ fn parse_args() -> Result<Option<Args>, String> {
                     return Err(format!("bad {flag} value '{v}' (want a positive number)"));
                 }
                 args.maintain_error_mass = Some(bound);
+            }
+            "--build-partitions" => {
+                let n = parse("--build-partitions", it.next())? as usize;
+                if n == 0 {
+                    return Err("bad --build-partitions value '0' (want >= 1)".to_string());
+                }
+                args.build_partitions = Some(n);
             }
             "--snapshot-dir" => {
                 args.snapshot_dir = Some(it.next().ok_or("--snapshot-dir needs a directory")?)
@@ -185,6 +201,7 @@ fn main() -> ExitCode {
             let mut options = ProtocolOptions::remote();
             options.allow_fs_load = args.allow_fs_load;
             options.auto_maintenance = auto_maintenance;
+            options.build_partitions = args.build_partitions;
             let server_config = ServerConfig {
                 max_connections: args.max_connections,
                 idle_timeout: (args.idle_timeout_secs > 0)
@@ -211,6 +228,7 @@ fn main() -> ExitCode {
             let stdin = std::io::stdin();
             let mut options = ProtocolOptions::local();
             options.auto_maintenance = auto_maintenance;
+            options.build_partitions = args.build_partitions;
             serve_stream(&service, &options, stdin.lock(), std::io::stdout().lock());
         }
     }

@@ -502,6 +502,24 @@ impl Catalog {
             .expect("uncapped insert cannot be rejected")
     }
 
+    /// [`Catalog::load_document`] built with `partitions` parallel
+    /// partition workers ([`XseedSynopsis::build_partitioned`]). The
+    /// registered synopsis is bit-identical to the monolithic one — same
+    /// serialized kernel, same estimates — so callers pick a worker count
+    /// purely on build-latency grounds.
+    pub fn load_document_partitioned(
+        &self,
+        name: &str,
+        doc: &Document,
+        config: XseedConfig,
+        partitions: usize,
+    ) -> SynopsisSnapshot {
+        self.insert(
+            name,
+            XseedSynopsis::build_partitioned(doc, config, partitions),
+        )
+    }
+
     /// Builds and registers a synopsis from a shared document, retaining
     /// the `Arc` itself for automatic rebuilds — no document copy, so
     /// this is the cheap path for large retained documents (the `LOAD …

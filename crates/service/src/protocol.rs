@@ -108,7 +108,7 @@ impl Response {
 }
 
 const HELP: &str = "commands: LOAD <name> <path|builtin:dataset[@scale]|file:snapshot.xsnap> \
-                    [recursive] [retain] | SAVE <name> <path> | \
+                    [recursive] [retain] [partitions=<n>] | SAVE <name> <path> | \
                     EST <name> [mode=bound] <query> | BATCH <name> <q1> ; <q2> ; ... | \
                     FEEDBACK <name> <actual> [base=<n>] <query> | \
                     MAINTAIN <name> <manual|error-mass=<x>|every=<n>> | STATS [json] | \
@@ -137,6 +137,12 @@ pub struct ProtocolOptions {
     /// (the default) loads with [`MaintenancePolicy::Manual`] and retains
     /// only on the explicit `retain` flag.
     pub auto_maintenance: Option<MaintenancePolicy>,
+    /// Default worker count for partitioned synopsis construction
+    /// (`--build-partitions`). A per-LOAD `partitions=<n>` flag overrides
+    /// it; `None` (or 1) builds monolithically. Partitioned builds are
+    /// bit-identical to monolithic ones, so this only changes build
+    /// latency, never estimates.
+    pub build_partitions: Option<usize>,
 }
 
 impl ProtocolOptions {
@@ -147,6 +153,7 @@ impl ProtocolOptions {
             max_builtin_scale: 4.0,
             max_documents: None,
             auto_maintenance: None,
+            build_partitions: None,
         }
     }
 
@@ -158,6 +165,7 @@ impl ProtocolOptions {
             max_builtin_scale: 4.0,
             max_documents: Some(64),
             auto_maintenance: None,
+            build_partitions: None,
         }
     }
 }
@@ -204,13 +212,31 @@ fn handle_load(service: &Service, args: &str, options: &ProtocolOptions) -> Resp
     // An auto-maintenance session retains every load so its policy can
     // actually fire; otherwise retention is per-LOAD opt-in.
     let mut retain = options.auto_maintenance.is_some();
+    let mut explicit_partitions: Option<usize> = None;
     for flag in parts {
         match flag.to_ascii_lowercase().as_str() {
             "recursive" => recursive = true,
             "retain" => retain = true,
-            other => return Response::err(format_args!("unknown LOAD flag '{other}'")),
+            other => match other.strip_prefix("partitions=") {
+                Some(n) => match n.parse::<usize>() {
+                    Ok(n) if n >= 1 => explicit_partitions = Some(n),
+                    _ => {
+                        return Response::err(format_args!(
+                            "bad partitions value '{n}' (want an integer >= 1)"
+                        ))
+                    }
+                },
+                None => return Response::err(format_args!("unknown LOAD flag '{other}'")),
+            },
         }
     }
+    // The session default applies wherever a synopsis is actually built;
+    // an explicit flag wins. Bit-compatibility of the partitioned builder
+    // means this choice is invisible in every estimate.
+    let partitions = explicit_partitions
+        .or(options.build_partitions)
+        .unwrap_or(1)
+        .max(1);
     // Fast-path rejection before generating/parsing anything; the
     // authoritative (atomic) check happens inside `insert_full` below.
     if let Some(max) = options.max_documents {
@@ -226,6 +252,12 @@ fn handle_load(service: &Service, args: &str, options: &ProtocolOptions) -> Resp
     // the snapshot carries its own config, epoch, and (optionally) the
     // retained document, so the recursive/retain flags don't apply.
     if let Some(path) = spec.strip_prefix("file:") {
+        if explicit_partitions.is_some() {
+            return Response::err(
+                "partitions= does not apply to file: snapshots (they restore a \
+                 previously built synopsis, nothing is rebuilt)",
+            );
+        }
         if !options.allow_fs_load {
             return Response::err(
                 "filesystem LOAD is disabled for this session (use builtin:… \
@@ -256,10 +288,17 @@ fn handle_load(service: &Service, args: &str, options: &ProtocolOptions) -> Resp
         };
     }
 
+    let build = |doc: &Document, config: XseedConfig| {
+        if partitions > 1 {
+            XseedSynopsis::build_partitioned(doc, config, partitions)
+        } else {
+            XseedSynopsis::build(doc, config)
+        }
+    };
     let (synopsis, document) = if let Some(builtin) = spec.strip_prefix("builtin:") {
         match build_builtin(builtin, recursive, options) {
             Ok((doc, config)) => {
-                let synopsis = XseedSynopsis::build(&doc, config);
+                let synopsis = build(&doc, config);
                 (synopsis, retain.then(|| Arc::new(doc)))
             }
             Err(e) => return Response::err(e),
@@ -280,13 +319,14 @@ fn handle_load(service: &Service, args: &str, options: &ProtocolOptions) -> Resp
         } else {
             XseedConfig::default()
         };
-        if retain {
-            // Retention needs the materialized document, so parse into a
-            // tree instead of the SAX-only path.
+        if retain || partitions > 1 {
+            // Retention — and partitioned construction, which needs random
+            // access to root-child subtrees — require the materialized
+            // document, so parse into a tree instead of the SAX-only path.
             match Document::parse_str(&xml) {
                 Ok(doc) => {
-                    let synopsis = XseedSynopsis::build(&doc, config);
-                    (synopsis, Some(Arc::new(doc)))
+                    let synopsis = build(&doc, config);
+                    (synopsis, retain.then(|| Arc::new(doc)))
                 }
                 Err(e) => return Response::err(format_args!("cannot parse '{spec}': {e}")),
             }
@@ -326,6 +366,11 @@ fn handle_load(service: &Service, args: &str, options: &ProtocolOptions) -> Resp
     );
     if retained {
         body.push_str(" retained=yes");
+    }
+    // Monolithic loads keep the historical reply shape so committed
+    // transcripts stay stable; parallel builds advertise the worker count.
+    if partitions > 1 {
+        body.push_str(&format!(" partitions={partitions}"));
     }
     Response::ok(body)
 }
@@ -999,6 +1044,55 @@ mod tests {
         assert!(reply(&service, "LOAD x builtin:nope").starts_with("ERR "));
         assert!(reply(&service, "LOAD x builtin:xmark@huh").starts_with("ERR "));
         assert!(reply(&service, "LOAD x /no/such/file.xml").starts_with("ERR "));
+    }
+
+    #[test]
+    fn load_partitions_flag_builds_bit_identical_synopses() {
+        let service = service();
+        // Monolithic reply shape is unchanged; partitioned loads echo the
+        // worker count.
+        let mono = reply(&service, "LOAD mono builtin:figure4");
+        assert!(mono.starts_with("OK loaded name=mono"), "{mono}");
+        assert!(!mono.contains("partitions="), "{mono}");
+        let part = reply(&service, "LOAD part builtin:figure4 partitions=4");
+        assert!(part.ends_with(" partitions=4"), "{part}");
+        // partitions=1 is the monolithic build — no suffix.
+        let one = reply(&service, "LOAD one builtin:figure4 partitions=1");
+        assert!(!one.contains("partitions="), "{one}");
+        // Same vertices/elements header, and bit-identical estimates.
+        let stats = |r: &str| r.split_once(" epoch=").unwrap().1.to_string();
+        assert_eq!(stats(&mono), stats(&part).replace(" partitions=4", ""));
+        for q in ["/a/b/d", "//e", "/a/b/d[f]/e", "//*"] {
+            assert_eq!(
+                reply(&service, &format!("EST mono {q}")),
+                reply(&service, &format!("EST part {q}")),
+                "{q}"
+            );
+        }
+        // A session-wide default applies without a per-LOAD flag.
+        let defaulted = ProtocolOptions {
+            build_partitions: Some(3),
+            ..ProtocolOptions::local()
+        };
+        let d = handle_line(&service, "LOAD dflt builtin:figure4", &defaulted);
+        assert!(d.text().unwrap().ends_with(" partitions=3"), "{d:?}");
+        assert_eq!(
+            reply(&service, "EST mono /a/b/d[f]/e"),
+            reply(&service, "EST dflt /a/b/d[f]/e")
+        );
+    }
+
+    #[test]
+    fn load_partitions_flag_rejects_bad_values_and_snapshot_restores() {
+        let service = service();
+        assert!(reply(&service, "LOAD x builtin:figure2 partitions=0")
+            .starts_with("ERR bad partitions value '0'"));
+        assert!(reply(&service, "LOAD x builtin:figure2 partitions=zap")
+            .starts_with("ERR bad partitions value 'zap'"));
+        assert!(reply(&service, "LOAD x builtin:figure2 partitionz=2")
+            .starts_with("ERR unknown LOAD flag"));
+        assert!(reply(&service, "LOAD x file:/tmp/nope.xsnap partitions=2")
+            .starts_with("ERR partitions= does not apply to file: snapshots"));
     }
 
     #[test]

@@ -29,10 +29,26 @@
 
 #![forbid(unsafe_code)]
 
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::ops::Range;
+
+thread_local! {
+    /// Set when a shrink lookup missed the preimage table *after* the
+    /// table had evicted entries: the reported counterexample may then be
+    /// under-minimized. [`run_cases`] drains this to annotate the failure
+    /// report instead of staying quiet about it.
+    static SHRINK_DEGRADED: Cell<bool> = const { Cell::new(false) };
+}
+
+fn note_shrink_degraded() {
+    SHRINK_DEGRADED.with(|flag| flag.set(true));
+}
+
+fn take_shrink_degraded() -> bool {
+    SHRINK_DEGRADED.with(|flag| flag.replace(false))
+}
 
 // ---------------------------------------------------------------------------
 // RNG
@@ -112,7 +128,7 @@ pub trait Strategy {
         Map {
             source: self,
             f,
-            preimages: RefCell::new(HashMap::new()),
+            preimages: RefCell::new(PreimageTable::default()),
         }
     }
 
@@ -175,23 +191,111 @@ pub struct Map<S: Strategy, F> {
     f: F,
     /// `Debug(output) → source` for every output this strategy produced
     /// (generated or offered as a shrink candidate). Bounded by
-    /// [`PREIMAGE_CAP`]; eviction only costs shrinkability, never
-    /// correctness.
-    preimages: RefCell<HashMap<String, S::Value>>,
+    /// [`PREIMAGE_CAP`] with least-recently-used eviction; eviction only
+    /// costs shrinkability, never correctness, and a shrink that runs
+    /// into an evicted entry flags the failure report (`shrink degraded`)
+    /// so an under-minimized counterexample is never silent.
+    preimages: RefCell<PreimageTable<S::Value>>,
 }
 
-/// Preimage-table size cap: when an exceptionally long run fills the
-/// table it is cleared wholesale (failures found afterwards simply don't
-/// shrink through this `Map`), keeping memory bounded.
+/// Preimage-table size cap, keeping memory bounded on exceptionally long
+/// runs. Eviction is least-recently-used: the entries most likely to
+/// matter for shrinking — the just-generated failure and the candidates
+/// offered while minimizing it — are exactly the most recently touched.
 const PREIMAGE_CAP: usize = 1 << 16;
 
-impl<S: Strategy, F> Map<S, F> {
-    fn remember(&self, key: String, source: S::Value) {
-        let mut table = self.preimages.borrow_mut();
-        if table.len() >= PREIMAGE_CAP {
-            table.clear();
+/// The bounded LRU `Debug(output) → source` table behind [`Map`].
+///
+/// Recency is tracked with monotone stamps and a lazy queue: every touch
+/// (insert or lookup) pushes `(key, stamp)` and records the stamp in the
+/// entry; eviction pops queue fronts whose stamp is stale until it finds
+/// the entry's *current* front, which is the least recently used live
+/// entry. Each touch enqueues exactly once, so the amortized cost is
+/// O(1), and the queue is compacted when stale entries pile up.
+struct PreimageTable<V> {
+    entries: HashMap<String, (V, u64)>,
+    queue: VecDeque<(String, u64)>,
+    stamp: u64,
+    cap: usize,
+    /// An entry has been evicted: a later lookup miss may mean a degraded
+    /// shrink rather than a never-seen value.
+    evicted: bool,
+}
+
+impl<V> Default for PreimageTable<V> {
+    fn default() -> Self {
+        PreimageTable::with_cap(PREIMAGE_CAP)
+    }
+}
+
+impl<V> PreimageTable<V> {
+    fn with_cap(cap: usize) -> Self {
+        PreimageTable {
+            entries: HashMap::new(),
+            queue: VecDeque::new(),
+            stamp: 0,
+            cap,
+            evicted: false,
         }
-        table.insert(key, source);
+    }
+}
+
+impl<V: Clone> PreimageTable<V> {
+    fn touch(&mut self, key: &str) -> u64 {
+        self.stamp += 1;
+        self.queue.push_back((key.to_string(), self.stamp));
+        if self.queue.len() > 4 * self.cap {
+            self.compact();
+        }
+        self.stamp
+    }
+
+    /// Drops queue entries that no longer carry an entry's current stamp.
+    fn compact(&mut self) {
+        let entries = &self.entries;
+        self.queue
+            .retain(|(key, stamp)| entries.get(key).is_some_and(|(_, live)| live == stamp));
+    }
+
+    /// The source recorded for `key`, refreshed as most recently used.
+    fn get(&mut self, key: &str) -> Option<V> {
+        let stamp = self.touch(key);
+        let (value, live) = self.entries.get_mut(key)?;
+        *live = stamp;
+        Some(value.clone())
+    }
+
+    /// Whether a miss for a generated output can be explained by eviction.
+    fn evicted(&self) -> bool {
+        self.evicted
+    }
+
+    fn insert(&mut self, key: String, value: V) {
+        let stamp = self.touch(&key);
+        if self.entries.insert(key, (value, stamp)).is_none() && self.entries.len() > self.cap {
+            // Evict the least recently used entry: the first queue front
+            // still carrying its entry's current stamp.
+            while let Some((old_key, old_stamp)) = self.queue.pop_front() {
+                if self
+                    .entries
+                    .get(&old_key)
+                    .is_some_and(|(_, live)| *live == old_stamp)
+                {
+                    self.entries.remove(&old_key);
+                    self.evicted = true;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl<S: Strategy, F> Map<S, F>
+where
+    S::Value: Clone,
+{
+    fn remember(&self, key: String, source: S::Value) {
+        self.preimages.borrow_mut().insert(key, source);
     }
 }
 
@@ -214,11 +318,21 @@ where
     /// Shrinks through the mapping via the preimage table: the source
     /// that produced `value` is shrunk and each candidate re-mapped (and
     /// remembered, so the greedy failure walk can keep going). An output
-    /// with no recorded preimage yields no candidates.
+    /// with no recorded preimage yields no candidates — and when the
+    /// table has evicted entries, that miss flags the run as
+    /// `shrink degraded` so the failure report says so.
     fn shrink(&self, value: &O) -> Vec<O> {
-        let source = match self.preimages.borrow().get(&format!("{value:?}")) {
-            Some(source) => source.clone(),
-            None => return Vec::new(),
+        let source = {
+            let mut table = self.preimages.borrow_mut();
+            match table.get(&format!("{value:?}")) {
+                Some(source) => source,
+                None => {
+                    if table.evicted() {
+                        note_shrink_degraded();
+                    }
+                    return Vec::new();
+                }
+            }
         };
         self.source
             .shrink(&source)
@@ -548,10 +662,17 @@ where
     for case in 0..config.cases {
         let values = strategy.generate(&mut rng);
         if let Err(first) = run(&values) {
+            let _ = take_shrink_degraded();
             let (minimal, error, steps) = shrink_failure(&strategy, values, first, &run);
+            let degraded = if take_shrink_degraded() {
+                " [shrink degraded: a preimage-table entry was evicted, \
+                 so the minimal input may not be fully minimized]"
+            } else {
+                ""
+            };
             panic!(
                 "property '{name}' failed at case {}/{}: {error} \
-                 (shrunk {steps} steps; minimal input: {minimal:?})",
+                 (shrunk {steps} steps; minimal input: {minimal:?}){degraded}",
                 case + 1,
                 config.cases,
             );
@@ -874,6 +995,65 @@ mod tests {
         let (minimal, _, _) =
             crate::shrink_failure(&strat, start, crate::TestCaseError::fail("seed"), &run);
         assert_eq!(minimal, (vec![Wrapper(50)],));
+    }
+
+    #[test]
+    fn preimage_table_evicts_least_recently_used() {
+        let mut table: crate::PreimageTable<u32> = crate::PreimageTable::with_cap(3);
+        table.insert("a".into(), 1);
+        table.insert("b".into(), 2);
+        table.insert("c".into(), 3);
+        assert!(!table.evicted());
+        // Touch "a": it is now the most recently used, so filling past the
+        // cap must evict "b" (the least recently used), not "a".
+        assert_eq!(table.get("a"), Some(1));
+        table.insert("d".into(), 4);
+        assert!(table.evicted());
+        assert_eq!(table.get("a"), Some(1));
+        assert_eq!(table.get("b"), None);
+        assert_eq!(table.get("c"), Some(3));
+        assert_eq!(table.get("d"), Some(4));
+        // Re-inserting an existing key updates in place without evicting.
+        table.insert("c".into(), 33);
+        assert_eq!(table.get("c"), Some(33));
+        assert_eq!(table.get("a"), Some(1));
+    }
+
+    #[test]
+    fn preimage_queue_compaction_keeps_live_entries() {
+        let mut table: crate::PreimageTable<u32> = crate::PreimageTable::with_cap(2);
+        table.insert("a".into(), 1);
+        table.insert("b".into(), 2);
+        // Many touches of the same key force queue compaction; recency
+        // must survive it.
+        for _ in 0..64 {
+            assert_eq!(table.get("a"), Some(1));
+        }
+        assert!(table.queue.len() <= 4 * table.cap, "queue stays bounded");
+        table.insert("c".into(), 3);
+        assert_eq!(table.get("a"), Some(1), "recently used survives");
+        assert_eq!(table.get("b"), None, "least recently used is evicted");
+    }
+
+    #[test]
+    fn evicted_preimage_flags_shrink_degraded() {
+        let strat = (0u32..1000).prop_map(|x| format!("v{x}"));
+        let mut rng = crate::TestRng::from_seed(9);
+        let value = crate::Strategy::generate(&strat, &mut rng);
+        // Before any eviction, a miss stays silent (hand-built value).
+        let _ = crate::take_shrink_degraded();
+        assert!(crate::Strategy::shrink(&strat, &String::from("vnope")).is_empty());
+        assert!(!crate::take_shrink_degraded());
+        // Force an eviction, then shrink an output whose preimage is gone:
+        // the degraded flag must be raised for the failure report.
+        strat.preimages.borrow_mut().evicted = true;
+        strat
+            .preimages
+            .borrow_mut()
+            .entries
+            .remove(&format!("{value:?}"));
+        assert!(crate::Strategy::shrink(&strat, &value).is_empty());
+        assert!(crate::take_shrink_degraded());
     }
 
     #[test]

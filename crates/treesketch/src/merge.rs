@@ -24,9 +24,10 @@ use std::collections::HashMap;
 /// number of merge operations performed.
 pub fn merge_to_budget(summary: &mut SummaryGraph, budget_bytes: usize) -> usize {
     let mut merges = 0;
-    // Each pass halves (roughly) the number of classes per label; a
-    // logarithmic number of passes suffices, but guard against stalls.
-    for _ in 0..64 {
+    // Each pass halves (roughly) the number of classes per label, so the
+    // loop is logarithmic in the largest per-label class count; it runs
+    // to fixpoint — budget met, or a pass with nothing left to merge.
+    loop {
         if summary.size_bytes() <= budget_bytes {
             break;
         }
@@ -211,6 +212,37 @@ mod tests {
                 assert!(e.presence > 0.0 && e.presence <= 1.0);
             }
         }
+    }
+
+    #[test]
+    fn many_classes_per_label_merge_to_fixpoint() {
+        // A document whose <x> elements all have distinct child counts:
+        // count-stable refinement keeps every one in its own class, so a
+        // single label owns hundreds of classes. The budget loop must run
+        // however many passes that takes (it used to stop after a fixed
+        // pass cap) and land on a true fixpoint: budget met or nothing
+        // left to merge — in either case one more pass performs nothing.
+        let mut xml = String::from("<r>");
+        for i in 0..300 {
+            xml.push_str("<x>");
+            for _ in 0..i {
+                xml.push_str("<y/>");
+            }
+            xml.push_str("</x>");
+        }
+        xml.push_str("</r>");
+        let doc = Document::parse_str(&xml).unwrap();
+        let mut summary = build(&doc);
+        assert!(summary.class_count() > 300, "one class per distinct shape");
+
+        merge_to_budget(&mut summary, 1);
+        // Fixpoint: at most one class per label remains, and another pass
+        // is the identity.
+        assert!(summary.class_count() <= doc.names().len());
+        assert_eq!(merge_pass(&mut summary), 0);
+        // Element counts survive the whole cascade.
+        let total: u64 = summary.classes().map(|c| summary.class(c).count).sum();
+        assert_eq!(total, doc.element_count() as u64);
     }
 
     #[test]

@@ -27,42 +27,60 @@ impl CountStablePartition {
     pub fn compute(doc: &Document) -> Self {
         let n = doc.element_count();
         // Initial partition: by label.
-        let mut class_of: Vec<u32> = (0..n).map(|i| doc.label(NodeId(i as u32)).0).collect();
-        let mut class_count = doc.names().len();
-
+        let mut partition = CountStablePartition {
+            class_of: (0..n).map(|i| doc.label(NodeId(i as u32)).0).collect(),
+            class_count: doc.names().len(),
+        };
         loop {
-            // Signature of an element: (its class, sorted (child class, count) pairs).
-            let mut signatures: HashMap<(u32, Vec<(u32, u32)>), u32> = HashMap::new();
-            let mut next_class_of = vec![0u32; n];
-            let mut next_count = 0u32;
-            for i in 0..n {
-                let node = NodeId(i as u32);
-                let mut child_counts: HashMap<u32, u32> = HashMap::new();
-                for c in doc.children(node) {
-                    *child_counts.entry(class_of[c.index()]).or_insert(0) += 1;
-                }
-                let mut child_vec: Vec<(u32, u32)> = child_counts.into_iter().collect();
-                child_vec.sort_unstable();
-                let key = (class_of[i], child_vec);
-                let id = *signatures.entry(key).or_insert_with(|| {
-                    let id = next_count;
-                    next_count += 1;
-                    id
-                });
-                next_class_of[i] = id;
-            }
-            let stabilized = next_count as usize == class_count;
-            class_of = next_class_of;
-            class_count = next_count as usize;
-            if stabilized {
+            let before = partition.class_count;
+            partition = partition.refine_step(doc);
+            if partition.class_count == before {
                 break;
             }
         }
+        partition
+    }
 
-        CountStablePartition {
-            class_of,
-            class_count,
+    /// One signature-refinement pass: splits classes by the per-class
+    /// child-count distribution of their members, renumbering the result
+    /// classes by first occurrence in document order. At the count-stable
+    /// fixpoint this is the identity (same `class_of` vector, not merely
+    /// the same class count), because each element's signature then
+    /// determines — and is determined by — its current class, and
+    /// first-occurrence renumbering of an already first-occurrence-ordered
+    /// partition changes nothing.
+    pub fn refine_step(&self, doc: &Document) -> Self {
+        let n = self.class_of.len();
+        // Signature of an element: (its class, sorted (child class, count) pairs).
+        let mut signatures: HashMap<(u32, Vec<(u32, u32)>), u32> = HashMap::new();
+        let mut next_class_of = Vec::with_capacity(n);
+        let mut next_count = 0u32;
+        for (i, &class) in self.class_of.iter().enumerate() {
+            let node = NodeId(i as u32);
+            let mut child_counts: HashMap<u32, u32> = HashMap::new();
+            for c in doc.children(node) {
+                *child_counts.entry(self.class_of[c.index()]).or_insert(0) += 1;
+            }
+            let mut child_vec: Vec<(u32, u32)> = child_counts.into_iter().collect();
+            child_vec.sort_unstable();
+            let key = (class, child_vec);
+            let id = *signatures.entry(key).or_insert_with(|| {
+                let id = next_count;
+                next_count += 1;
+                id
+            });
+            next_class_of.push(id);
         }
+        CountStablePartition {
+            class_of: next_class_of,
+            class_count: next_count as usize,
+        }
+    }
+
+    /// Raw class-id vector, indexed by `NodeId` index. Exposed so callers
+    /// (tests, diffing tools) can compare partitions element-for-element.
+    pub fn classes(&self) -> &[u32] {
+        &self.class_of
     }
 
     /// Class of an element.
@@ -139,6 +157,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn refine_step_is_identity_at_the_fixpoint() {
+        for xml in [
+            "<r><x><k/></x><x><k/></x></r>",
+            "<r><x><k/><k/></x><x><k/></x><x/></r>",
+        ] {
+            let doc = Document::parse_str(xml).unwrap();
+            let p = CountStablePartition::compute(&doc);
+            let again = p.refine_step(&doc);
+            assert_eq!(p.classes(), again.classes());
+            assert_eq!(p.class_count(), again.class_count());
+        }
+        let doc = figure2_document();
+        let p = CountStablePartition::compute(&doc);
+        let again = p.refine_step(&doc);
+        assert_eq!(p.classes(), again.classes());
     }
 
     #[test]

@@ -265,32 +265,35 @@ proptest! {
     /// The streaming matcher over the frozen kernel produces exactly the
     /// estimates of the materialized-EPT matcher, with and without a HET
     /// attached, over random documents and random (predicate-bearing)
-    /// queries. A small positive cardinality threshold keeps the EPT of
-    /// highly recursive random documents bounded; when the node cap still
-    /// truncates generation the two paths may legitimately truncate at
-    /// different frontiers, so those rare cases are skipped.
+    /// queries — including under a tiny `max_ept_nodes`, where the old
+    /// hard cap used to let the two paths truncate at different frontiers
+    /// (those cases were skipped here before threshold escalation made
+    /// the frontier a pure function of the snapshot).
     #[test]
     fn streaming_equals_materialized_oracle(
         doc in arb_document(),
         queries in prop::collection::vec(arb_pred_query(), 1..8),
     ) {
-        let config = XseedConfig::default().with_card_threshold(0.5);
-        let bare = XseedSynopsis::build(&doc, config.clone());
-        let (with_het, _) = XseedSynopsis::build_with_het(&doc, config);
-        for synopsis in [&bare, &with_het] {
-            let oracle = synopsis.estimator();
-            if oracle.ept_len() >= synopsis.config().max_ept_nodes {
-                continue;
-            }
-            let mut streaming = synopsis.streaming_matcher();
-            for query in &queries {
-                let expected = oracle.estimate(query);
-                let got = streaming.estimate(query);
-                prop_assert!(
-                    close(expected, got),
-                    "{} (het: {}): streaming {} != materialized {}",
-                    query, synopsis.het().is_some(), got, expected
-                );
+        let configs = [
+            XseedConfig::default().with_card_threshold(0.5),
+            XseedConfig { max_ept_nodes: 5, ..XseedConfig::default() },
+        ];
+        for config in configs {
+            let bare = XseedSynopsis::build(&doc, config.clone());
+            let (with_het, _) = XseedSynopsis::build_with_het(&doc, config.clone());
+            for synopsis in [&bare, &with_het] {
+                let oracle = synopsis.estimator();
+                prop_assert!(oracle.ept_len() <= synopsis.config().max_ept_nodes.max(1));
+                let mut streaming = synopsis.streaming_matcher();
+                for query in &queries {
+                    let expected = oracle.estimate(query);
+                    let got = streaming.estimate(query);
+                    prop_assert!(
+                        close(expected, got),
+                        "{} (het: {}): streaming {} != materialized {}",
+                        query, synopsis.het().is_some(), got, expected
+                    );
+                }
             }
         }
     }
@@ -302,9 +305,9 @@ proptest! {
     /// Bound-mode soundness: over random documents and random
     /// (predicate-bearing) queries, the upper bound dominates both the
     /// exact NoK cardinality and the point estimate — with a full HET,
-    /// without one, and under `card_threshold` / `max_ept_nodes`
-    /// truncation of the synopsis (a truncated synopsis may estimate
-    /// worse, but its bound must stay sound).
+    /// without one, and under `card_threshold` pruning (including the
+    /// escalation a tiny `max_ept_nodes` forces; a heavily pruned
+    /// synopsis may estimate worse, but its bound must stay sound).
     #[test]
     fn bound_dominates_truth_and_estimate(
         doc in arb_document(),
@@ -418,9 +421,58 @@ proptest! {
             XseedConfig::default()
                 .with_bsel_threshold(0.9)
                 .with_card_threshold(2.0),
+            // A tiny node bound: both builders escalate the threshold
+            // identically, so the tables still match entry-for-entry.
+            XseedConfig { max_ept_nodes: 5, ..XseedConfig::default() },
         ] {
             assert_streaming_het_matches_reference(&doc, &config)?;
         }
+    }
+
+    /// Partitioned construction is bit-identical to the monolithic build
+    /// on random documents: same serialized kernel bytes, same HET entry
+    /// count, and bit-equal estimates for random queries, for every
+    /// partition count from degenerate to more-than-root-children.
+    #[test]
+    fn partitioned_build_is_bit_identical_on_random_docs(
+        doc in arb_document(),
+        queries in prop::collection::vec(arb_query(), 1..6),
+    ) {
+        let config = XseedConfig::default().with_bsel_threshold(0.9);
+        let (mono, mono_stats) = XseedSynopsis::build_with_het(&doc, config.clone());
+        let mono_bytes = mono.kernel().serialize();
+        for partitions in [1usize, 2, 3, 5, 9] {
+            let (part, part_stats) =
+                XseedSynopsis::build_with_het_partitioned(&doc, config.clone(), partitions);
+            prop_assert_eq!(&part.kernel().serialize(), &mono_bytes);
+            prop_assert_eq!(part_stats.simple_entries, mono_stats.simple_entries);
+            prop_assert_eq!(part_stats.correlated_entries, mono_stats.correlated_entries);
+            prop_assert_eq!(
+                part.het().map(|h| h.len()),
+                mono.het().map(|h| h.len())
+            );
+            for query in &queries {
+                prop_assert_eq!(
+                    part.estimate(query).to_bits(),
+                    mono.estimate(query).to_bits(),
+                    "estimate for {} diverges at partitions={}",
+                    query,
+                    partitions
+                );
+            }
+        }
+    }
+
+    /// `CountStablePartition::compute` lands on a true fixpoint: one more
+    /// refinement pass returns the identical class vector (not merely the
+    /// same class count) on random documents.
+    #[test]
+    fn count_stable_partition_is_a_true_fixpoint(doc in arb_document()) {
+        use xseed::treesketch::CountStablePartition;
+        let fixed = CountStablePartition::compute(&doc);
+        let refined = fixed.refine_step(&doc);
+        prop_assert_eq!(fixed.classes(), refined.classes());
+        prop_assert_eq!(fixed.class_count(), refined.class_count());
     }
 }
 
@@ -479,8 +531,8 @@ fn streaming_matches_materialized_on_datagen_workloads() {
         for synopsis in [&bare, &with_het] {
             let oracle = synopsis.estimator();
             assert!(
-                oracle.ept_len() < synopsis.config().max_ept_nodes,
-                "{dataset:?}: EPT hit the node cap; raise card_threshold in this scenario"
+                oracle.ept_len() <= synopsis.config().max_ept_nodes,
+                "{dataset:?}: threshold escalation must keep the expansion within the node bound"
             );
             let mut streaming = synopsis.streaming_matcher();
             for query in workload.all() {
