@@ -8,8 +8,12 @@
 //! pattern). Also measures the per-snapshot **compiled-query cache**
 //! (batched passes with `estimate_plan` vs compiling every estimate from
 //! its expression) and the **overload** fast-fail path (shed-decision
-//! latency and bound enforcement with the worker fenced). Results land in
-//! `BENCH_concurrent_throughput.json` at the workspace root.
+//! latency and bound enforcement with the worker fenced). The **netloop**
+//! rows push mixed hot/flood traffic and a high-connection idle soak
+//! through the real nonblocking TCP event loop, pricing per-client
+//! rate-limiter fairness and per-idle-connection memory (the numbers
+//! behind docs/OPERATIONS.md, "Sizing the network tier"). Results land
+//! in `BENCH_concurrent_throughput.json` at the workspace root.
 //!
 //! Worker scaling is bounded by the cores the container actually grants
 //! (`cpus_available` in the JSON): the snapshot sharing, queues, and
@@ -34,12 +38,14 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::{Dataset, WorkloadGenerator, WorkloadSpec};
 use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Instant;
 use xpathkit::{PathExpr, QueryClass, QueryPlan};
 use xseed_bench::report::json_throughput_entry;
 use xseed_core::{SynopsisSnapshot, XseedConfig, XseedSynopsis};
-use xseed_service::{Catalog, Service, ServiceConfig, ServiceError};
+use xseed_service::{Catalog, ServerConfig, Service, ServiceConfig, ServiceError, TcpServer};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -286,6 +292,174 @@ fn overload_scenario(synopsis: &XseedSynopsis, doc: &'static str, query: &str) -
     }
 }
 
+/// A blocking line client against the TCP event loop.
+struct NetClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl NetClient {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        NetClient {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").expect("send");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("recv");
+        reply.trim_end().to_string()
+    }
+}
+
+struct NetloopResult {
+    rate: f64,
+    burst: f64,
+    good_requests: usize,
+    good_shed: usize,
+    good_unloaded_rtt_ns: f64,
+    good_flooded_rtt_ns: f64,
+    flood_requests: usize,
+    flood_admitted: usize,
+    flood_shed: usize,
+    stats_rate_limited: u64,
+    soak_connections: usize,
+    soak_rss_bytes: u64,
+}
+
+/// Resident-set size of this process in bytes, from `/proc/self/statm`.
+fn resident_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/statm")
+        .ok()
+        .and_then(|s| s.split_whitespace().nth(1)?.parse::<u64>().ok())
+        .map(|pages| pages * 4096)
+        .unwrap_or(0)
+}
+
+/// Mixed hot/flood traffic through the real TCP event loop, then a
+/// high-connection idle soak against the same server.
+///
+/// One flooding client offers far more than its token bucket admits
+/// while a well-behaved client (staying inside its own bucket) keeps
+/// measuring request round trips. Per-client fairness is the claim
+/// under test: the flood's sheds must stay on the flood's bucket (the
+/// good client's shed count is exactly zero) and the good client's
+/// latency under flood must stay within sight of its unloaded latency,
+/// because a shed costs the loop only a bucket check plus one buffered
+/// reply line.
+fn netloop_scenario(synopsis: &XseedSynopsis) -> NetloopResult {
+    let (good_n, soak_n) = if smoke() { (48, 256) } else { (400, 5_000) };
+    // The good client's whole session (warm-up + unloaded samples +
+    // flooded samples + STATS) fits inside its initial burst, so its
+    // zero-shed outcome is deterministic, not a timing accident. The
+    // flood offers 20x its burst, so thousands of sheds are equally
+    // guaranteed.
+    let rate = 100.0;
+    let burst = (good_n + 100) as f64;
+    let flood_n = 20 * burst as usize;
+    let catalog = Arc::new(Catalog::new());
+    catalog.insert("net", synopsis.clone());
+    let service = Arc::new(Service::new(catalog, ServiceConfig::with_workers(2)));
+    let server = TcpServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: soak_n + 64,
+            client_rate: Some(rate),
+            client_burst: Some(burst),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    std::thread::spawn(move || {
+        let _ = server.run(service);
+    });
+    let query = "EST net /site/people/person";
+
+    let mut good = NetClient::connect(addr);
+    assert!(good.roundtrip(query).starts_with("OK "), "warm-up estimate");
+    let unloaded_samples = 32;
+    let start = Instant::now();
+    for _ in 0..unloaded_samples {
+        good.roundtrip(query);
+    }
+    let good_unloaded_rtt_ns = start.elapsed().as_nanos() as f64 / unloaded_samples as f64;
+
+    let flood = std::thread::spawn(move || {
+        let mut client = NetClient::connect(addr);
+        let mut admitted = 0usize;
+        let mut shed = 0usize;
+        for _ in 0..flood_n {
+            let reply = client.roundtrip(query);
+            if reply.starts_with("OVERLOADED rate=") {
+                shed += 1;
+            } else {
+                assert!(reply.starts_with("OK "), "flood got: {reply}");
+                admitted += 1;
+            }
+        }
+        (admitted, shed)
+    });
+    // Give the flood a head start so every good-client sample below is
+    // taken against a loop that is actively shedding.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let mut good_shed = 0usize;
+    let start = Instant::now();
+    for _ in 0..good_n {
+        if good.roundtrip(query).starts_with("OVERLOADED") {
+            good_shed += 1;
+        }
+    }
+    let good_flooded_rtt_ns = start.elapsed().as_nanos() as f64 / good_n as f64;
+    let (flood_admitted, flood_shed) = flood.join().expect("flood thread");
+    let stats = good.roundtrip("STATS");
+    let stats_rate_limited = stats
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix("rate_limited="))
+        .and_then(|v| v.parse().ok())
+        .expect("STATS carries rate_limited=");
+    assert_eq!(good_shed, 0, "well-behaved client was shed");
+    assert!(flood_shed > 0, "flood was never shed");
+
+    // Idle soak: park `soak_n` extra connections on the same loop and
+    // price them in resident memory.
+    let _ = netpoll::raise_nofile_limit(4 * soak_n as u64);
+    let before = resident_bytes();
+    let mut idle: Vec<TcpStream> = Vec::with_capacity(soak_n);
+    for i in 0..soak_n {
+        idle.push(TcpStream::connect(addr).unwrap_or_else(|e| panic!("soak connect {i}: {e}")));
+    }
+    // One sampled round trip proves the fully-loaded loop still serves.
+    for stream in idle.iter_mut().step_by(soak_n / 4) {
+        stream.write_all(b"EST net /site\n").expect("soak send");
+        let mut byte = [0u8; 1];
+        while byte[0] != b'\n' {
+            assert!(stream.read(&mut byte).expect("soak recv") > 0);
+        }
+    }
+    let soak_rss_bytes = resident_bytes().saturating_sub(before);
+    drop(idle);
+
+    NetloopResult {
+        rate,
+        burst,
+        good_requests: good_n,
+        good_shed,
+        good_unloaded_rtt_ns,
+        good_flooded_rtt_ns,
+        flood_requests: flood_n,
+        flood_admitted,
+        flood_shed,
+        stats_rate_limited,
+        soak_connections: soak_n,
+        soak_rss_bytes,
+    }
+}
+
 struct WorkloadResult {
     label: &'static str,
     queries: usize,
@@ -529,7 +703,7 @@ fn concurrent_benches(c: &mut Criterion) {
              \"scenario\": \"1 worker fenced, queue_capacity {} queries, then {} flooding submits\",\n    \
              \"submitted\": {},\n    \"accepted\": {},\n    \"shed\": {},\n    \
              \"peak_queued\": {},\n    \"shed_decision_ns\": {:.1},\n    \
-             \"note\": \"accepted == queue_capacity and peak_queued never exceeds it: admission is exact; shed_decision_ns is the client-side cost of one structured OVERLOADED rejection\"\n  }}\n",
+             \"note\": \"accepted == queue_capacity and peak_queued never exceeds it: admission is exact; shed_decision_ns is the client-side cost of one structured OVERLOADED rejection\"\n  }},\n",
             result.queue_capacity,
             result.submitted - result.queue_capacity,
             result.submitted,
@@ -537,6 +711,52 @@ fn concurrent_benches(c: &mut Criterion) {
             result.shed,
             result.peak_queued,
             result.shed_decision_ns,
+        );
+    }
+    // Netloop: mixed hot/flood traffic and a high-connection idle soak
+    // through the real nonblocking TCP event loop (sockets, epoll, the
+    // per-client token buckets — everything the overload section above
+    // deliberately bypasses).
+    {
+        let result = netloop_scenario(&scenarios[0].synopsis);
+        println!(
+            "netloop: good {} reqs ({} shed) rtt {:.0} ns idle / {:.0} ns flooded | \
+             flood {} reqs -> {} admitted, {} shed | soak {} conns, {} KiB RSS",
+            result.good_requests,
+            result.good_shed,
+            result.good_unloaded_rtt_ns,
+            result.good_flooded_rtt_ns,
+            result.flood_requests,
+            result.flood_admitted,
+            result.flood_shed,
+            result.soak_connections,
+            result.soak_rss_bytes / 1024,
+        );
+        let _ = write!(
+            report,
+            "  \"netloop\": {{\n    \
+             \"scenario\": \"one event loop, --client-rate {} --client-burst {}: a flooding client offers 20x its bucket while a well-behaved client (inside its own bucket) measures request round trips; then {} extra idle connections soak on the same loop\",\n    \
+             \"good_client\": {{\n      \"requests\": {},\n      \"shed\": {},\n      \
+             \"unloaded_rtt_ns\": {:.0},\n      \"flooded_rtt_ns\": {:.0}\n    }},\n    \
+             \"flooding_client\": {{\n      \"requests\": {},\n      \"admitted\": {},\n      \
+             \"shed\": {}\n    }},\n    \"stats_rate_limited\": {},\n    \
+             \"idle_soak\": {{\n      \"connections\": {},\n      \"rss_bytes\": {},\n      \
+             \"rss_per_connection_bytes\": {}\n    }},\n    \
+             \"note\": \"fairness: every shed lands on the flooding client's bucket (good_client.shed == 0 by construction, asserted); a shed costs the loop a token-bucket check plus one buffered reply line, which is why flooded_rtt stays within sight of unloaded_rtt\"\n  }}\n",
+            result.rate,
+            result.burst,
+            result.soak_connections,
+            result.good_requests,
+            result.good_shed,
+            result.good_unloaded_rtt_ns,
+            result.good_flooded_rtt_ns,
+            result.flood_requests,
+            result.flood_admitted,
+            result.flood_shed,
+            result.stats_rate_limited,
+            result.soak_connections,
+            result.soak_rss_bytes,
+            result.soak_rss_bytes / result.soak_connections.max(1) as u64,
         );
     }
     report.push('}');

@@ -1,0 +1,407 @@
+//! A minimal readiness poller over Linux `epoll`, hand-rolled for the
+//! `xseed-serve` event loop.
+//!
+//! The build environment has no network access to a crate registry, so
+//! this crate declares the four syscall wrappers it needs (`epoll_create1`,
+//! `epoll_ctl`, `epoll_wait`, `setrlimit`) directly as `extern "C"` items —
+//! the symbols come from the libc the process is already linked against —
+//! instead of depending on the `libc`/`mio` crates. It exists as its own
+//! crate because the service crate (`xseed-service`) carries
+//! `#![forbid(unsafe_code)]`: every `unsafe` block in the serving stack
+//! lives here, behind a safe API.
+//!
+//! The surface is deliberately tiny: level-triggered registration of raw
+//! fds with a caller-chosen `u64` token ([`Poller::add`] /
+//! [`Poller::modify`] / [`Poller::remove`]) and a blocking
+//! [`Poller::wait`] that fills a reusable event buffer. Level-triggered
+//! mode keeps the caller's state machine simple — an fd with unread bytes
+//! or unflushed buffer space reports ready again on the next wait, so a
+//! short read/write never strands a connection.
+//!
+//! ```no_run
+//! use netpoll::{Interest, Poller};
+//! use std::net::TcpListener;
+//! use std::os::fd::AsRawFd;
+//!
+//! let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+//! listener.set_nonblocking(true).unwrap();
+//! let poller = Poller::new().unwrap();
+//! poller.add(listener.as_raw_fd(), 0, Interest::READABLE).unwrap();
+//! let mut events = Vec::new();
+//! poller.wait(&mut events, None).unwrap();
+//! for event in &events {
+//!     assert_eq!(event.token, 0); // the listener is ready to accept
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::os::fd::{FromRawFd, OwnedFd, RawFd};
+use std::os::raw::c_int;
+use std::time::Duration;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+/// The kernel's `struct epoll_event`. On x86 the kernel ABI declares it
+/// packed (no padding between `events` and `data`); other architectures
+/// use natural alignment.
+#[repr(C)]
+#[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+}
+
+/// What an fd is registered to report: readability, writability, or both.
+/// Hangup and error conditions are always reported regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd has bytes to read (or a pending connection to
+    /// accept, or the peer closed its write side).
+    pub readable: bool,
+    /// Wake when the fd's send buffer has room.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readability only.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writability only.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    fn mask(self) -> u32 {
+        // EPOLLRDHUP distinguishes "peer half-closed" from "readable with
+        // data": a half-close still wakes a read-interested caller (the
+        // read returns 0), but the explicit bit lets callers see it even
+        // while they are write-only (e.g. draining replies to a client
+        // that already shut down its sending side).
+        let mut mask = EPOLLRDHUP;
+        if self.readable {
+            mask |= EPOLLIN;
+        }
+        if self.writable {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// The fd is readable (has bytes, a pending accept, or an EOF to
+    /// deliver).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// The peer closed its end (EPOLLHUP/EPOLLRDHUP): reads will drain
+    /// whatever is buffered and then return 0.
+    pub hangup: bool,
+    /// An error condition is pending on the fd (EPOLLERR); the next I/O
+    /// call will surface it.
+    pub error: bool,
+}
+
+/// A level-triggered epoll instance. See the crate docs.
+#[derive(Debug)]
+pub struct Poller {
+    ep: OwnedFd,
+}
+
+impl Poller {
+    /// Creates a new epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: epoll_create1 takes no pointers; a negative return is
+        // the documented error signal and the fd is otherwise fresh and
+        // owned by us alone.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: `fd` is a freshly created, valid epoll fd we own.
+        Ok(Poller {
+            ep: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, mut event: Option<EpollEvent>) -> io::Result<()> {
+        use std::os::fd::AsRawFd;
+        let ptr = event
+            .as_mut()
+            .map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+        // SAFETY: `ptr` is null (DEL) or points at a live stack value for
+        // the duration of the call; the kernel only reads it.
+        let rc = unsafe { epoll_ctl(self.ep.as_raw_fd(), op, fd, ptr) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` under `token`. The caller must keep `fd` open while
+    /// registered (the kernel drops the registration automatically when
+    /// the last descriptor for the file closes).
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_ADD,
+            fd,
+            Some(EpollEvent {
+                events: interest.mask(),
+                data: token,
+            }),
+        )
+    }
+
+    /// Changes the interest set (and token) of a registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_MOD,
+            fd,
+            Some(EpollEvent {
+                events: interest.mask(),
+                data: token,
+            }),
+        )
+    }
+
+    /// Removes a registered fd.
+    pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, None)
+    }
+
+    /// Waits for readiness, replacing the contents of `events`. `None`
+    /// blocks until something is ready; `Some(d)` returns (with however
+    /// many events arrived, possibly zero) after at most `d`, rounded up
+    /// to whole milliseconds so a short timeout never spins. A signal
+    /// interrupting the wait returns cleanly with zero events.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        use std::os::fd::AsRawFd;
+        const MAX_EVENTS: usize = 1024;
+        events.clear();
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis().max(if d.is_zero() { 0 } else { 1 });
+                ms.min(c_int::MAX as u128) as c_int
+            }
+        };
+        let mut buf = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+        // SAFETY: the buffer outlives the call and `maxevents` matches
+        // its length, so the kernel writes only into owned memory.
+        let n = unsafe {
+            epoll_wait(
+                self.ep.as_raw_fd(),
+                buf.as_mut_ptr(),
+                MAX_EVENTS as c_int,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for raw in buf.iter().take(n as usize) {
+            let bits = raw.events;
+            events.push(Event {
+                token: raw.data,
+                readable: bits & EPOLLIN != 0,
+                writable: bits & EPOLLOUT != 0,
+                hangup: bits & (EPOLLHUP | EPOLLRDHUP) != 0,
+                error: bits & EPOLLERR != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[repr(C)]
+struct Rlimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+const RLIMIT_NOFILE: c_int = 7;
+
+extern "C" {
+    fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+}
+
+/// Raises the process's open-file soft limit toward `target` (capped at
+/// the hard limit — no privileges required) and returns the resulting
+/// soft limit. High-connection tests and soaks call this so a default
+/// 1024-fd soft limit does not masquerade as a server bug; a limit
+/// already at or above `target` is left untouched.
+pub fn raise_nofile_limit(target: u64) -> io::Result<u64> {
+    let mut lim = Rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    // SAFETY: the pointer is to a live stack value the kernel fills.
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if lim.rlim_cur >= target {
+        return Ok(lim.rlim_cur);
+    }
+    let wanted = Rlimit {
+        rlim_cur: target.min(lim.rlim_max),
+        rlim_max: lim.rlim_max,
+    };
+    // SAFETY: the pointer is to a live stack value the kernel reads.
+    if unsafe { setrlimit(RLIMIT_NOFILE, &wanted) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(wanted.rlim_cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::time::Instant;
+
+    fn pair() -> (UnixStream, UnixStream) {
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn reports_readability_when_bytes_arrive() {
+        let poller = Poller::new().unwrap();
+        let (mut a, mut b) = pair();
+        poller.add(a.as_raw_fd(), 7, Interest::READABLE).unwrap();
+        let mut events = Vec::new();
+
+        // Nothing pending: a short wait returns empty.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        b.write_all(b"x").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: unread bytes report again...
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        // ...and draining them clears the readiness.
+        let mut buf = [0u8; 8];
+        assert_eq!(a.read(&mut buf).unwrap(), 1);
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn modify_switches_interest_and_remove_silences() {
+        let poller = Poller::new().unwrap();
+        let (a, mut b) = pair();
+        poller.add(a.as_raw_fd(), 1, Interest::WRITABLE).unwrap();
+        let mut events = Vec::new();
+        // A fresh socket's send buffer is writable immediately.
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].writable && !events[0].readable);
+
+        b.write_all(b"ping").unwrap();
+        poller.modify(a.as_raw_fd(), 2, Interest::READABLE).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 2);
+        assert!(events[0].readable);
+
+        poller.remove(a.as_raw_fd()).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn hangup_is_reported_when_the_peer_closes() {
+        let poller = Poller::new().unwrap();
+        let (a, b) = pair();
+        poller.add(a.as_raw_fd(), 3, Interest::READABLE).unwrap();
+        drop(b);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].hangup);
+    }
+
+    #[test]
+    fn timeout_rounds_up_instead_of_spinning() {
+        let poller = Poller::new().unwrap();
+        let (a, _b) = pair();
+        poller.add(a.as_raw_fd(), 0, Interest::READABLE).unwrap();
+        let mut events = Vec::new();
+        let start = Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_micros(100)))
+            .unwrap();
+        // Sub-millisecond timeouts become 1 ms, not 0 (a busy-loop).
+        assert!(events.is_empty());
+        assert!(start.elapsed() >= Duration::from_micros(100));
+    }
+
+    #[test]
+    fn nofile_limit_can_be_raised_toward_the_hard_cap() {
+        let current = raise_nofile_limit(64).unwrap();
+        assert!(current >= 64);
+        // Asking again for something we already have is a no-op.
+        assert_eq!(raise_nofile_limit(64).unwrap(), current);
+    }
+}

@@ -1,0 +1,160 @@
+//! `xseed-netpipe` — a line-oriented TCP session driver for `xseed-serve`.
+//!
+//! Connects to a running daemon, forwards each stdin line as one request,
+//! and prints each reply to stdout — which turns the scripted-session
+//! transcripts CI diffs over stdin into transcripts of the *TCP event
+//! loop*: `examples/netloop_session.txt` runs through this tool against a
+//! live daemon (the `NET_SMOKE` CI step) and the output is normalized and
+//! diffed like every other `examples/*_session.expected`.
+//!
+//! ```text
+//! xseed-netpipe ADDR [--retry SECS]
+//! ```
+//!
+//! * `ADDR` — the daemon's `--tcp` address, e.g. `127.0.0.1:7878`.
+//! * `--retry SECS` — keep retrying the connect for this long (default 5,
+//!   covering the daemon's startup in scripted runs).
+//!
+//! Protocol awareness is minimal but sufficient: replies are one line
+//! each, except `OK metrics lines=<n>` and `OK trace n=<k> …`, whose
+//! headers announce how many exposition lines follow (see
+//! `docs/PROTOCOL.md`) — those are read and printed too. Two directives
+//! are interpreted by the pipe itself instead of being sent:
+//!
+//! * `#RECONNECT` — drop the connection and open a fresh one (a new
+//!   session: new token bucket, same shared catalog). Lets one transcript
+//!   exercise multi-session behavior, e.g. a rate-limited session
+//!   followed by a fresh session reading `STATS`.
+//! * other `#…` lines — sent as protocol comments (the server answers
+//!   nothing, matching stdin sessions).
+//!
+//! Exits on stdin EOF (after draining replies), on `OK bye`, or when the
+//! server closes the connection.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn connect(addr: &str, retry: Duration) -> Result<TcpStream, String> {
+    let deadline = Instant::now() + retry;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => return Err(format!("cannot connect to {addr}: {e}")),
+        }
+    }
+}
+
+/// How many extra reply lines a header line announces (`OK metrics
+/// lines=<n>` and `OK trace n=<k> …`; everything else is single-line).
+fn extra_reply_lines(header: &str) -> usize {
+    for (prefix, stop_at_space) in [("OK metrics lines=", false), ("OK trace n=", true)] {
+        if let Some(rest) = header.strip_prefix(prefix) {
+            let digits = if stop_at_space {
+                rest.split_whitespace().next().unwrap_or("")
+            } else {
+                rest.trim_end()
+            };
+            return digits.parse().unwrap_or(0);
+        }
+    }
+    0
+}
+
+fn run(addr: &str, retry: Duration) -> Result<(), String> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut session: Option<(BufReader<TcpStream>, TcpStream)> = None;
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin read failed: {e}"))?;
+        if line.trim() == "#RECONNECT" {
+            session = None;
+            continue;
+        }
+        if session.is_none() {
+            let stream = connect(addr, retry)?;
+            let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+            session = Some((reader, stream));
+        }
+        let (reader, writer) = session.as_mut().expect("session just ensured");
+        writeln!(writer, "{line}").map_err(|e| format!("send failed: {e}"))?;
+        // Comments and blank lines are answered with silence; don't
+        // wait for a reply.
+        let sent = line.trim_start();
+        if sent.is_empty() || sent.starts_with('#') {
+            continue;
+        }
+        let mut reply = String::new();
+        let mut remaining = 1 + {
+            let mut first = String::new();
+            let n = reader
+                .read_line(&mut first)
+                .map_err(|e| format!("read failed: {e}"))?;
+            if n == 0 {
+                return Err("server closed the connection mid-session".to_string());
+            }
+            reply.push_str(&first);
+            extra_reply_lines(first.trim_end())
+        } - 1;
+        let quit = reply.trim_end() == "OK bye";
+        while remaining > 0 {
+            let n = reader
+                .read_line(&mut reply)
+                .map_err(|e| format!("read failed: {e}"))?;
+            if n == 0 {
+                return Err("server closed the connection mid-reply".to_string());
+            }
+            remaining -= 1;
+        }
+        out.write_all(reply.as_bytes())
+            .map_err(|e| format!("stdout write failed: {e}"))?;
+        if quit {
+            session = None;
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut addr = None;
+    let mut retry = Duration::from_secs(5);
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--retry" => {
+                let v = it.next().unwrap_or_default();
+                match v.parse::<u64>() {
+                    Ok(secs) => retry = Duration::from_secs(secs),
+                    Err(_) => {
+                        eprintln!("bad --retry value '{v}'");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: xseed-netpipe ADDR [--retry SECS]");
+                return ExitCode::SUCCESS;
+            }
+            other if addr.is_none() => addr = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("usage: xseed-netpipe ADDR [--retry SECS]");
+        return ExitCode::FAILURE;
+    };
+    if let Err(msg) = run(&addr, retry) {
+        eprintln!("xseed-netpipe: {msg}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

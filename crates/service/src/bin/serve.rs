@@ -1,14 +1,16 @@
 //! `xseed-serve` — the XSEED estimation daemon.
 //!
 //! Speaks the line protocol of [`xseed_service::protocol`] over stdin
-//! (default) or TCP (`--tcp ADDR`, one thread per admitted connection,
-//! all sharing one worker pool and catalog). The complete protocol
-//! reference lives in `docs/PROTOCOL.md`, the tuning guide in
-//! `docs/OPERATIONS.md`.
+//! (default) or TCP (`--tcp ADDR`, every connection multiplexed onto one
+//! nonblocking epoll event loop, all sharing one worker pool and
+//! catalog). The complete protocol reference lives in
+//! `docs/PROTOCOL.md`, the tuning guide in `docs/OPERATIONS.md`, the
+//! system tour in `docs/ARCHITECTURE.md`.
 //!
 //! ```text
 //! xseed-serve [--workers N] [--queue-capacity Q] [--tcp ADDR]
 //!             [--max-connections C] [--idle-timeout SECS]
+//!             [--client-rate R] [--client-burst B]
 //!             [--allow-fs-load] [--maintain-error-mass X]
 //!             [--build-partitions N] [--snapshot-dir DIR]
 //!             [--no-observability]
@@ -22,6 +24,15 @@
 //!   64); excess connections are refused with one `OVERLOADED` line.
 //! * `--idle-timeout SECS` — close TCP sessions idle for this long
 //!   (default 300; 0 disables).
+//! * `--client-rate R` — per-connection token-bucket rate limit, request
+//!   lines per second (fractional allowed; default off). A client past
+//!   its budget gets `OVERLOADED rate=… burst=…` per excess request
+//!   while every other connection keeps its own untouched budget; sheds
+//!   are counted in `STATS` (`rate_limited=`) and traced
+//!   (`rate_limit_on`/`rate_limit_off`). TCP only.
+//! * `--client-burst B` — bucket depth in requests (default: the rate,
+//!   i.e. one second of budget; clamped to ≥ 1). Requires
+//!   `--client-rate`.
 //! * `--allow-fs-load` — permit `LOAD <name> <path>` filesystem reads for
 //!   TCP sessions (stdin sessions always may; see the security note in
 //!   `docs/PROTOCOL.md`).
@@ -69,6 +80,8 @@ struct Args {
     tcp: Option<String>,
     max_connections: usize,
     idle_timeout_secs: u64,
+    client_rate: Option<f64>,
+    client_burst: Option<f64>,
     allow_fs_load: bool,
     maintain_error_mass: Option<f64>,
     build_partitions: Option<usize>,
@@ -77,9 +90,9 @@ struct Args {
 }
 
 const USAGE: &str = "usage: xseed-serve [--workers N] [--queue-capacity Q] [--tcp ADDR] \
-                     [--max-connections C] [--idle-timeout SECS] [--allow-fs-load] \
-                     [--maintain-error-mass X] [--build-partitions N] [--snapshot-dir DIR] \
-                     [--no-observability]";
+                     [--max-connections C] [--idle-timeout SECS] [--client-rate R] \
+                     [--client-burst B] [--allow-fs-load] [--maintain-error-mass X] \
+                     [--build-partitions N] [--snapshot-dir DIR] [--no-observability]";
 
 /// `Ok(None)` means `--help` was requested.
 fn parse_args() -> Result<Option<Args>, String> {
@@ -89,6 +102,8 @@ fn parse_args() -> Result<Option<Args>, String> {
         tcp: None,
         max_connections: 64,
         idle_timeout_secs: 300,
+        client_rate: None,
+        client_burst: None,
         allow_fs_load: false,
         maintain_error_mass: None,
         build_partitions: None,
@@ -111,6 +126,24 @@ fn parse_args() -> Result<Option<Args>, String> {
                 args.max_connections = parse("--max-connections", it.next())? as usize
             }
             "--idle-timeout" => args.idle_timeout_secs = parse("--idle-timeout", it.next())?,
+            "--client-rate" => {
+                let flag = "--client-rate";
+                let v = it.next().ok_or(format!("{flag} needs a value"))?;
+                let rate: f64 = v.parse().map_err(|_| format!("bad {flag} value '{v}'"))?;
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err(format!("bad {flag} value '{v}' (want a positive number)"));
+                }
+                args.client_rate = Some(rate);
+            }
+            "--client-burst" => {
+                let flag = "--client-burst";
+                let v = it.next().ok_or(format!("{flag} needs a value"))?;
+                let burst: f64 = v.parse().map_err(|_| format!("bad {flag} value '{v}'"))?;
+                if !burst.is_finite() || burst < 1.0 {
+                    return Err(format!("bad {flag} value '{v}' (want a number >= 1)"));
+                }
+                args.client_burst = Some(burst);
+            }
             "--allow-fs-load" => args.allow_fs_load = true,
             "--maintain-error-mass" => {
                 let flag = "--maintain-error-mass";
@@ -135,6 +168,9 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument '{other}'")),
         }
+    }
+    if args.client_burst.is_some() && args.client_rate.is_none() {
+        return Err("--client-burst needs --client-rate".to_string());
     }
     Ok(Some(args))
 }
@@ -202,10 +238,19 @@ fn main() -> ExitCode {
             options.allow_fs_load = args.allow_fs_load;
             options.auto_maintenance = auto_maintenance;
             options.build_partitions = args.build_partitions;
+            if let Some(rate) = args.client_rate {
+                eprintln!(
+                    "xseed-serve: per-client rate limit armed — {rate} request(s)/sec, \
+                     burst {}",
+                    args.client_burst.unwrap_or(rate).max(1.0)
+                );
+            }
             let server_config = ServerConfig {
                 max_connections: args.max_connections,
                 idle_timeout: (args.idle_timeout_secs > 0)
                     .then(|| Duration::from_secs(args.idle_timeout_secs)),
+                client_rate: args.client_rate,
+                client_burst: args.client_burst,
                 options,
             };
             let server = match TcpServer::bind(&addr, server_config) {

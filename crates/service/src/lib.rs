@@ -26,8 +26,13 @@
 //! * [`protocol`] — the line protocol (`LOAD` / `EST` / `BATCH` / `STATS`)
 //!   spoken by the `xseed-serve` binary, including the structured
 //!   `OVERLOADED` shed reply (full reference: `docs/PROTOCOL.md`).
-//! * [`server`] — the session front ends: stdin streams and the bounded
-//!   TCP accept loop (connection limit + idle-session timeout).
+//! * [`server`] — the session front ends: stdin streams and the
+//!   nonblocking TCP event loop (a hand-rolled epoll poller from the
+//!   `netpoll` crate multiplexing every connection on one thread, with
+//!   pipelining, slow-consumer backpressure, a connection limit, an
+//!   idle-session timeout, and the per-client [`limiter`]).
+//! * [`limiter`] — per-connection token-bucket rate limiting (the
+//!   `OVERLOADED rate=…` fairness reply; off by default).
 //! * [`persist`] — crash-safe snapshot files (`SAVE` / `LOAD … file:`)
 //!   and the `--snapshot-dir` warm start that restores a catalog at boot,
 //!   quarantining corrupt files instead of refusing to serve.
@@ -39,6 +44,11 @@
 //!   Prometheus-style `METRICS` verb, and `TRACE [n]`.
 //!
 //! ## Architecture
+//!
+//! The end-to-end tour of the whole system (parse → caches → streaming
+//! estimate → HET → catalog epochs → workers/admission → event loop →
+//! persistence → observability), with the per-crate map, lives in
+//! `docs/ARCHITECTURE.md`; what follows is the serving-layer slice.
 //!
 //! A request travels left to right; every stage is bounded, and each box
 //! on the estimate path is lock-free or sharded:
@@ -99,6 +109,7 @@
 
 pub mod batch;
 pub mod catalog;
+pub mod limiter;
 pub mod metrics;
 pub mod persist;
 pub mod plan_cache;
@@ -112,6 +123,7 @@ pub use catalog::{
     Catalog, CatalogFeedback, CatalogFeedbackBatch, DocumentInfo, MaintenancePolicy, RebuildError,
     RetentionPolicy, SnapshotError,
 };
+pub use limiter::{RateLimiter, TokenBucket};
 pub use metrics::{format_milli_q, q_error_milli, Histogram, HistogramSnapshot, Obs, Stage};
 pub use persist::{warm_start, write_snapshot_file, WarmStart, SNAPSHOT_EXTENSION};
 pub use plan_cache::{PlanCache, PlanCacheStats};

@@ -1,0 +1,249 @@
+//! Per-client token-bucket rate limiting for the TCP event loop.
+//!
+//! Each connection owns one [`RateLimiter`]. The bucket holds up to
+//! `burst` tokens and refills continuously at `rate` tokens per second;
+//! every request line costs one token, and a line arriving to an empty
+//! bucket is shed with a structured `OVERLOADED rate=… burst=…` reply
+//! instead of being executed. Because buckets are per connection, a
+//! flooding client exhausts only its own budget — well-behaved sessions
+//! on the same server keep theirs (the fairness property
+//! `tests/tcp_server.rs` asserts end to end).
+//!
+//! The arithmetic is deliberately pure: time enters only as a
+//! caller-supplied monotonic nanosecond timestamp, so the refill/cap
+//! behavior is unit-testable (and proptested) without sockets or sleeps.
+//! The default server configuration has no limiter at all —
+//! [`RateLimiter::Unlimited`] — and that path is a true no-op: every
+//! request admitted, no state touched.
+
+/// A token bucket: capacity `burst`, continuous refill at `rate`/second.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last_ns: u64,
+}
+
+impl TokenBucket {
+    /// Creates a bucket that starts full. `rate` is clamped to a positive
+    /// finite value and `burst` to at least one token (a bucket that can
+    /// never hold a whole token would shed everything forever).
+    pub fn new(rate: f64, burst: f64) -> TokenBucket {
+        let rate = if rate.is_finite() && rate > 0.0 {
+            rate
+        } else {
+            f64::MAX
+        };
+        let burst = if burst.is_finite() {
+            burst.max(1.0)
+        } else {
+            1.0
+        };
+        TokenBucket {
+            rate,
+            burst,
+            tokens: burst,
+            last_ns: 0,
+        }
+    }
+
+    /// Refill rate, tokens per second.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Bucket capacity, tokens.
+    pub fn burst(&self) -> f64 {
+        self.burst
+    }
+
+    /// Tokens currently available (after the most recent refill).
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+
+    /// Advances the refill clock to `now_ns` (nanoseconds on any
+    /// monotonic scale). Time never runs backwards here: a stale `now_ns`
+    /// below the last seen timestamp refills nothing and leaves the clock
+    /// alone, so out-of-order callers cannot mint tokens.
+    fn refill(&mut self, now_ns: u64) {
+        let elapsed = now_ns.saturating_sub(self.last_ns);
+        if elapsed == 0 {
+            return;
+        }
+        self.last_ns = now_ns;
+        let refill = elapsed as f64 * self.rate / 1e9;
+        self.tokens = (self.tokens + refill).min(self.burst);
+    }
+
+    /// Takes one token if available: `true` = admitted, `false` = shed.
+    pub fn try_take(&mut self, now_ns: u64) -> bool {
+        self.refill(now_ns);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The per-connection admission decision: either no limit configured
+/// (the default — a true no-op) or a [`TokenBucket`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RateLimiter {
+    /// No rate limit: every request is admitted, no state is kept.
+    Unlimited,
+    /// Token-bucket limiting.
+    Bucket(TokenBucket),
+}
+
+impl RateLimiter {
+    /// A limiter from the server configuration: `None` = unlimited.
+    pub fn from_config(rate: Option<f64>, burst: Option<f64>) -> RateLimiter {
+        match rate {
+            None => RateLimiter::Unlimited,
+            Some(rate) => RateLimiter::Bucket(TokenBucket::new(rate, burst.unwrap_or(rate))),
+        }
+    }
+
+    /// Admits or sheds one request arriving at `now_ns`.
+    pub fn admit(&mut self, now_ns: u64) -> bool {
+        match self {
+            RateLimiter::Unlimited => true,
+            RateLimiter::Bucket(bucket) => bucket.try_take(now_ns),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn a_full_bucket_admits_exactly_burst_requests_at_once() {
+        let mut bucket = TokenBucket::new(1.0, 3.0);
+        assert!(bucket.try_take(0));
+        assert!(bucket.try_take(0));
+        assert!(bucket.try_take(0));
+        assert!(!bucket.try_take(0), "fourth instantaneous request sheds");
+        // One second at 1 token/sec buys exactly one more admission.
+        assert!(bucket.try_take(SEC));
+        assert!(!bucket.try_take(SEC));
+    }
+
+    #[test]
+    fn fractional_refill_accumulates_until_a_whole_token() {
+        let mut bucket = TokenBucket::new(2.0, 1.0);
+        assert!(bucket.try_take(0));
+        // 2 tokens/sec → 0.25 s buys half a token: still shedding.
+        assert!(!bucket.try_take(SEC / 4));
+        // Another 0.25 s completes the token.
+        assert!(bucket.try_take(SEC / 2));
+    }
+
+    #[test]
+    fn degenerate_configs_are_clamped_to_something_serviceable() {
+        // Zero/negative/NaN rates must not brick the connection.
+        for rate in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            let mut bucket = TokenBucket::new(rate, 1.0);
+            assert!(bucket.try_take(0), "rate {rate} must still admit");
+        }
+        // A sub-token burst is raised to one token.
+        let bucket = TokenBucket::new(1.0, 0.25);
+        assert_eq!(bucket.burst(), 1.0);
+        assert_eq!(TokenBucket::new(1.0, f64::NAN).burst(), 1.0);
+    }
+
+    #[test]
+    fn from_config_defaults_burst_to_the_rate() {
+        match RateLimiter::from_config(Some(8.0), None) {
+            RateLimiter::Bucket(bucket) => {
+                assert_eq!(bucket.rate(), 8.0);
+                assert_eq!(bucket.burst(), 8.0);
+            }
+            RateLimiter::Unlimited => panic!("rate was configured"),
+        }
+        assert_eq!(
+            RateLimiter::from_config(None, Some(64.0)),
+            RateLimiter::Unlimited,
+            "burst without a rate configures nothing"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Refill is monotone in time and capped: observing later
+        /// timestamps never lowers the token count, never exceeds the
+        /// burst cap, and a stale (out-of-order) timestamp mints nothing.
+        #[test]
+        fn refill_is_monotone_and_capped(
+            rate_milli in 1u64..100_000,      // 0.001 ..= 100 tokens/sec
+            burst_milli in 1000u64..64_000,   // 1 ..= 64 tokens
+            steps in prop::collection::vec(0u64..10 * SEC, 1..40),
+        ) {
+            let rate = rate_milli as f64 / 1000.0;
+            let burst = burst_milli as f64 / 1000.0;
+            let mut bucket = TokenBucket::new(rate, burst);
+            // Drain the initial burst so refill has room to act.
+            let mut now = 0u64;
+            while bucket.try_take(now) {}
+            let mut previous = bucket.tokens();
+            for &step in &steps {
+                now += step;
+                let before_clock = bucket.tokens();
+                // Stale timestamp: strictly nothing changes.
+                bucket.refill(now.saturating_sub(step) / 2);
+                prop_assert_eq!(bucket.tokens(), before_clock);
+                bucket.refill(now);
+                let tokens = bucket.tokens();
+                prop_assert!(tokens + 1e-9 >= previous, "{tokens} < {previous}");
+                prop_assert!(tokens <= burst + 1e-9, "{tokens} > burst {burst}");
+                previous = tokens;
+            }
+        }
+
+        /// Burst cap: no matter how long the bucket idles, an
+        /// instantaneous volley admits at most `floor(burst)` requests
+        /// (plus at most one from fractional carry), then sheds.
+        #[test]
+        fn an_idle_bucket_never_admits_more_than_the_burst(
+            rate_milli in 1u64..1_000_000,
+            burst_milli in 1000u64..32_000,
+            idle in 0u64..1_000 * SEC,
+        ) {
+            let burst = burst_milli as f64 / 1000.0;
+            let mut bucket = TokenBucket::new(rate_milli as f64 / 1000.0, burst);
+            bucket.refill(idle);
+            let mut admitted = 0u32;
+            while bucket.try_take(idle) {
+                admitted += 1;
+                prop_assert!(
+                    admitted <= burst.floor() as u32 + 1,
+                    "volley admitted {admitted} against burst {burst}"
+                );
+            }
+            prop_assert!(!bucket.try_take(idle), "shed state is stable");
+        }
+
+        /// The unlimited default is a true no-op: any request sequence at
+        /// any timestamps is admitted in full and the limiter's state
+        /// (there is none) never changes.
+        #[test]
+        fn unlimited_admits_everything(
+            stamps in prop::collection::vec(0u64..u64::MAX / 2, 0..100),
+        ) {
+            let mut limiter = RateLimiter::from_config(None, None);
+            prop_assert_eq!(&limiter, &RateLimiter::Unlimited);
+            for &now in &stamps {
+                prop_assert!(limiter.admit(now));
+            }
+            prop_assert_eq!(&limiter, &RateLimiter::Unlimited);
+        }
+    }
+}

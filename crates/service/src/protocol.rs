@@ -683,6 +683,11 @@ fn handle_stats_flat(service: &Service) -> Response {
             format_milli_q(q.percentile(0.99)),
         );
     }
+    // Per-client rate-limiter sheds — present only when a network front
+    // end armed the limiter (`--client-rate`), like the qerr keys above.
+    if let Some(rate_limited) = stats.rate_limited {
+        let _ = write!(body, " rate_limited={rate_limited}");
+    }
     let _ = write!(
         body,
         " plan_hits={} plan_misses={} plan_entries={} persist_saves={} persist_loads={} \
@@ -752,6 +757,9 @@ fn handle_stats_json(service: &Service) -> Response {
             format_milli_q(q.percentile(0.9)),
             format_milli_q(q.percentile(0.99)),
         );
+    }
+    if let Some(rate_limited) = stats.rate_limited {
+        let _ = write!(body, ",\"rate_limited\":{rate_limited}");
     }
     let _ = write!(
         body,
@@ -834,6 +842,12 @@ fn handle_metrics(service: &Service, args: &str) -> Response {
     ] {
         let _ = writeln!(body, "# TYPE xseed_{name}_total counter");
         let _ = writeln!(body, "xseed_{name}_total {value}");
+    }
+    // Armed-only family, mirroring the STATS key: absent entirely on
+    // daemons without --client-rate.
+    if let Some(rate_limited) = stats.rate_limited {
+        let _ = writeln!(body, "# TYPE xseed_rate_limited_total counter");
+        let _ = writeln!(body, "xseed_rate_limited_total {rate_limited}");
     }
     let _ = writeln!(body, "# TYPE xseed_stage_latency_ns summary");
     for stage in Stage::ALL {

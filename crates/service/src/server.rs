@@ -1,47 +1,78 @@
-//! Session serving: stdin/stdout streams and the bounded TCP front end.
+//! Session serving: stdin/stdout streams and the nonblocking TCP event
+//! loop.
 //!
 //! [`serve_stream`] drives one protocol session over any `BufRead`/`Write`
-//! pair (the stdin mode of `xseed-serve`, and the per-connection loop of
-//! the TCP mode). [`TcpServer`] is the production front end: a bounded
-//! accept loop enforcing
+//! pair (the stdin mode of `xseed-serve`). [`TcpServer`] is the
+//! production front end: a single-threaded **epoll event loop** (via the
+//! [`netpoll`] crate — hand-rolled, no external deps) multiplexing every
+//! connection over nonblocking sockets, so ten thousand mostly-idle
+//! optimizer sessions cost ten thousand small buffers, not ten thousand
+//! threads. Estimation work still fans out across the [`Service`] worker
+//! pool; the loop thread only parses lines, dispatches them, and shuttles
+//! bytes.
+//!
+//! Per connection the loop keeps a read buffer and a write buffer, which
+//! buys the semantics a blocking thread-per-connection design gets for
+//! free — without the threads:
+//!
+//! * **pipelining** — a client may send many request lines in one
+//!   write; replies come back in order, batched into as few writes as the
+//!   socket accepts;
+//! * **partial lines** — bytes accumulate until a `\n` completes a
+//!   request (bounded by the 64 KiB line cap below);
+//! * **slow consumers** — replies the client has not drained sit in the
+//!   write buffer; past a high-water mark the loop stops *reading* from
+//!   that connection (backpressure) instead of buffering without bound,
+//!   and resumes once the client catches up;
+//! * **half-closed sockets** — a client that shuts down its write side
+//!   after pipelining requests still receives every reply before the
+//!   server closes.
+//!
+//! The loop enforces the same bounds as its thread-per-connection
+//! predecessor, with identical wire behavior:
 //!
 //! * a **connection limit** ([`ServerConfig::max_connections`]): a client
 //!   arriving past the limit receives one structured
-//!   `OVERLOADED connections=<n> max=<m>` line and is disconnected —
-//!   never silently dropped, and never admitted to grow the thread count
-//!   without bound; and
+//!   `OVERLOADED connections=<n> max=<m>` line and is disconnected;
 //! * an **idle-session timeout** ([`ServerConfig::idle_timeout`]): a
 //!   connection that sends nothing for the configured duration receives
-//!   `ERR idle timeout, closing` and is dropped, so abandoned sockets
-//!   cannot pin server threads (or their session slots) forever; and
+//!   `ERR idle timeout, closing` and is dropped;
 //! * a **request-line length cap** (64 KiB): a line that long with no
-//!   newline gets `ERR request line exceeds … bytes, closing`, so a
-//!   client trickling an endless line can neither grow the read buffer
-//!   without bound nor ride under the idle timeout indefinitely.
+//!   newline gets `ERR request line exceeds … bytes, closing`.
 //!
-//! Both bounds compose with the per-worker queue budgets inside
+//! New with the event loop is **per-client fairness**
+//! ([`ServerConfig::client_rate`] / [`ServerConfig::client_burst`], off
+//! by default): each connection gets its own token bucket
+//! ([`crate::limiter`]), and a request arriving to an empty bucket is
+//! answered `OVERLOADED rate=<r> burst=<b>` without executing — so one
+//! flooding client exhausts only its own budget while every other
+//! session keeps its full rate. Sheds are counted in `STATS`
+//! (`rate_limited=`) and shed *episodes* appear in the trace ring
+//! (`rate_limit_on`/`rate_limit_off`, subject `conn-<token>`).
+//!
+//! All bounds compose with the per-worker queue budgets inside
 //! [`crate::service`]: the connection limit caps *who may talk*, the
-//! queue budget caps *how much queued work they may pile up*, and
-//! everything past either bound degrades into an explicit protocol reply
-//! instead of an unbounded queue. See `docs/OPERATIONS.md` for sizing
-//! guidance.
+//! client rate caps *how often each may ask*, the queue budget caps *how
+//! much queued work they may pile up*, and everything past any bound
+//! degrades into an explicit protocol reply instead of an unbounded
+//! queue. See `docs/OPERATIONS.md` ("Sizing the network tier").
 //!
 //! Sessions also carry the feedback loop: `FEEDBACK`/`MAINTAIN` lines
 //! route through the same [`crate::Service`], so every connected client
 //! shares one set of self-maintaining synopses — a rebuild triggered by
 //! one session's feedback serves every other session's next estimate.
-//! The per-session [`ProtocolOptions`] decide whether loads retain their
-//! documents automatically (`auto_maintenance`, set by the daemon's
-//! `--maintain-error-mass` flag).
 
+use crate::limiter::RateLimiter;
 use crate::protocol::{handle_line, ProtocolOptions, Response};
 use crate::service::Service;
 use crate::trace::TraceKind;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use netpoll::{Interest, Poller};
+use std::collections::HashMap;
+use std::io::{BufRead, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::os::fd::AsRawFd;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`TcpServer`].
 #[derive(Debug, Clone)]
@@ -54,6 +85,13 @@ pub struct ServerConfig {
     /// (`None` = never). The client is told (`ERR idle timeout, closing`)
     /// before the socket closes.
     pub idle_timeout: Option<Duration>,
+    /// Per-client token-bucket rate, requests per second (`None` = no
+    /// limit, the default). Each connection refills independently.
+    pub client_rate: Option<f64>,
+    /// Per-client bucket depth, requests (defaults to the rate — one
+    /// second of budget — and is clamped to at least one token). Only
+    /// meaningful with `client_rate`.
+    pub client_burst: Option<f64>,
     /// Per-session protocol policy (filesystem loads, builtin scale caps,
     /// document limits).
     pub options: ProtocolOptions,
@@ -64,6 +102,8 @@ impl Default for ServerConfig {
         ServerConfig {
             max_connections: 64,
             idle_timeout: Some(Duration::from_secs(300)),
+            client_rate: None,
+            client_burst: None,
             options: ProtocolOptions::remote(),
         }
     }
@@ -72,7 +112,7 @@ impl Default for ServerConfig {
 /// Drives one protocol session: reads request lines from `input`, writes
 /// one reply line per request to `output`, returns on `QUIT`, EOF, or an
 /// I/O error. This is the stdin mode of `xseed-serve`; TCP sessions go
-/// through [`TcpServer`], which adds the idle timeout around the reads.
+/// through [`TcpServer`]'s event loop instead.
 pub fn serve_stream(
     service: &Service,
     options: &ProtocolOptions,
@@ -103,33 +143,7 @@ fn write_response(output: &mut impl Write, response: Response) -> bool {
     }
 }
 
-/// Counts live sessions; an RAII guard releases a slot when its session
-/// thread finishes, so refused connections never leak capacity.
-struct ConnectionSlots {
-    live: AtomicUsize,
-    max: usize,
-}
-
-struct SlotGuard(Arc<ConnectionSlots>);
-
-impl ConnectionSlots {
-    /// Claims a slot, or reports the occupancy that refused the claim.
-    fn try_claim(self: &Arc<Self>) -> Result<SlotGuard, usize> {
-        self.live
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |live| {
-                (live < self.max).then_some(live + 1)
-            })
-            .map(|_| SlotGuard(self.clone()))
-    }
-}
-
-impl Drop for SlotGuard {
-    fn drop(&mut self) {
-        self.0.live.fetch_sub(1, Ordering::Relaxed);
-    }
-}
-
-/// The bounded TCP front end. See the module docs.
+/// The nonblocking TCP front end. See the module docs.
 pub struct TcpServer {
     listener: TcpListener,
     config: ServerConfig,
@@ -149,118 +163,476 @@ impl TcpServer {
         self.listener.local_addr()
     }
 
-    /// Accepts and serves connections forever (one thread per admitted
-    /// session, all sharing `service`'s worker pool and catalog).
-    ///
-    /// Accept errors never take the daemon down: they are reported on
-    /// stderr and the loop continues after a short pause (transient
-    /// conditions like a client resetting between SYN and `accept`, or
-    /// fd exhaustion, resolve themselves; the pause keeps a persistent
-    /// error from spinning hot). The `io::Result` return exists for
-    /// future fatal-shutdown paths and is currently never an `Err`.
+    /// Runs the event loop forever, serving every connection multiplexed
+    /// over one poller (estimation itself runs on `service`'s worker
+    /// pool). Returns only if the poller or listener fails fatally at
+    /// setup; accept-time errors are reported on stderr and survived.
     pub fn run(&self, service: Arc<Service>) -> std::io::Result<()> {
-        let slots = Arc::new(ConnectionSlots {
-            live: AtomicUsize::new(0),
-            max: self.config.max_connections.max(1),
-        });
-        let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        // Tracks whether the *previous* accept was refused, so the trace
-        // ring records the transition into (and out of) connection
-        // shedding rather than one event per refused client. The accept
-        // loop is single-threaded, so a plain bool suffices.
-        let mut refusing = false;
-        for stream in self.listener.incoming() {
-            let mut stream: TcpStream = match stream {
-                Ok(stream) => stream,
-                Err(e) => {
-                    eprintln!("xseed-serve: accept failed (continuing): {e}");
-                    std::thread::sleep(Duration::from_millis(100));
-                    continue;
-                }
-            };
-            sessions.retain(|h| !h.is_finished());
-            let slot = match slots.try_claim() {
-                Ok(slot) => slot,
-                Err(live) => {
-                    // Refuse loudly: one structured line, then close.
-                    let _ = writeln!(stream, "OVERLOADED connections={live} max={}", slots.max);
-                    if !refusing {
-                        refusing = true;
-                        if let Some(obs) = service.obs() {
-                            obs.trace().record(TraceKind::ShedOn, "connections");
-                        }
-                    }
-                    continue;
-                }
-            };
-            if refusing {
-                refusing = false;
-                if let Some(obs) = service.obs() {
-                    obs.trace().record(TraceKind::ShedOff, "connections");
-                }
-            }
-            let service = service.clone();
-            let options = self.config.options.clone();
-            let idle = self.config.idle_timeout;
-            sessions.push(std::thread::spawn(move || {
-                serve_tcp_session(&service, &options, stream, idle);
-                drop(slot);
-            }));
-        }
-        Ok(())
+        EventLoop::new(&self.listener, self.config.clone(), service)?.run()
     }
 }
 
 /// Longest request line a TCP session may send. Far above any legitimate
 /// request (the longest verb is a `BATCH` of a few hundred queries), and
 /// it bounds the per-session read buffer: without a cap, a client
-/// trickling bytes with no `\n` would grow the line buffer without limit
+/// trickling bytes with no `\n` would grow the read buffer without limit
 /// *and* dodge the idle timeout (each byte arrives "in time").
-const MAX_LINE_BYTES: u64 = 64 * 1024;
+const MAX_LINE_BYTES: usize = 64 * 1024;
 
-/// One TCP session: [`serve_stream`] semantics plus the idle timeout and
-/// the request-line length cap.
-fn serve_tcp_session(
-    service: &Service,
-    options: &ProtocolOptions,
+/// Pending-reply bytes past which the loop stops reading from a
+/// connection until the client drains (slow-consumer backpressure). One
+/// reply can still exceed this — the buffer grows to hold whatever the
+/// requests already admitted produce — but no new requests are read
+/// while over the mark.
+const WRITE_HIGH_WATER: usize = 256 * 1024;
+
+/// How long a session whose protocol life is over (QUIT, idle timeout,
+/// oversized line, half-close) may take to drain its final buffered
+/// replies before the socket is closed regardless.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// The poller token of the listening socket; connections count up from 1.
+const LISTENER_TOKEN: u64 = 0;
+
+/// Per-connection state in the event loop.
+struct Conn {
     stream: TcpStream,
-    idle_timeout: Option<Duration>,
-) {
-    if stream.set_read_timeout(idle_timeout).is_err() {
-        return;
+    /// Bytes received but not yet consumed as complete request lines.
+    read_buf: Vec<u8>,
+    /// Reply bytes not yet accepted by the socket.
+    write_buf: Vec<u8>,
+    /// Prefix of `write_buf` already written.
+    sent: usize,
+    /// Last time a read delivered bytes (arms the idle timeout).
+    last_activity: Instant,
+    /// This connection's token bucket ([`RateLimiter::Unlimited`] when
+    /// the server has no `client_rate`).
+    limiter: RateLimiter,
+    /// Currently inside a rate-limit shed episode (for the
+    /// `rate_limit_on`/`rate_limit_off` trace transitions).
+    limited: bool,
+    /// The client closed its write side; remaining complete lines are
+    /// served, then the connection drains and closes.
+    peer_eof: bool,
+    /// Set when the session is over (QUIT, timeout, oversize, EOF):
+    /// deadline by which the final flush must finish.
+    draining: Option<Instant>,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+}
+
+impl Conn {
+    fn pending_write(&self) -> usize {
+        self.write_buf.len() - self.sent
     }
-    let mut output = match stream.try_clone() {
-        Ok(out) => out,
-        Err(_) => return,
-    };
-    let mut input = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        // The cap is re-armed per line; a line that fills it without a
-        // terminating newline is oversized (EOF exactly at the boundary
-        // is indistinguishable and closed the same way).
-        match std::io::Read::take(&mut input, MAX_LINE_BYTES).read_line(&mut line) {
-            Ok(0) => return, // EOF
-            Ok(n) => {
-                if n as u64 == MAX_LINE_BYTES && !line.ends_with('\n') {
-                    let _ = writeln!(
-                        output,
-                        "ERR request line exceeds {MAX_LINE_BYTES} bytes, closing"
-                    );
-                    return;
+
+    fn push_reply(&mut self, line: &str) {
+        self.write_buf.extend_from_slice(line.as_bytes());
+        self.write_buf.push(b'\n');
+    }
+}
+
+/// The single-threaded epoll loop: owns the listener, the poller, and
+/// every connection's buffers. See the module docs for the design.
+struct EventLoop {
+    poller: Poller,
+    listener: TcpListener,
+    service: Arc<Service>,
+    config: ServerConfig,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    /// Whether the previous accept was refused, so the trace ring records
+    /// the transition into (and out of) connection shedding rather than
+    /// one event per refused client.
+    refusing: bool,
+    /// Prototype bucket cloned into each new connection, plus the exact
+    /// refusal line; `None` when no client rate is configured.
+    limiter_template: RateLimiter,
+    overloaded_reply: Option<String>,
+    /// Monotonic origin for the limiter's nanosecond clock.
+    started: Instant,
+    max_connections: usize,
+}
+
+impl EventLoop {
+    fn new(
+        listener: &TcpListener,
+        config: ServerConfig,
+        service: Arc<Service>,
+    ) -> std::io::Result<EventLoop> {
+        let listener = listener.try_clone()?;
+        listener.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        poller.add(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READABLE)?;
+        let limiter_template = RateLimiter::from_config(config.client_rate, config.client_burst);
+        let overloaded_reply = match &limiter_template {
+            RateLimiter::Unlimited => None,
+            RateLimiter::Bucket(bucket) => {
+                service.arm_rate_limiter();
+                Some(format!(
+                    "OVERLOADED rate={} burst={}",
+                    bucket.rate(),
+                    bucket.burst()
+                ))
+            }
+        };
+        let max_connections = config.max_connections.max(1);
+        Ok(EventLoop {
+            poller,
+            listener,
+            service,
+            config,
+            conns: HashMap::new(),
+            next_token: LISTENER_TOKEN + 1,
+            refusing: false,
+            limiter_template,
+            overloaded_reply,
+            started: Instant::now(),
+            max_connections,
+        })
+    }
+
+    fn run(&mut self) -> std::io::Result<()> {
+        let mut events = Vec::new();
+        loop {
+            let timeout = self
+                .next_deadline()
+                .map(|deadline| deadline.saturating_duration_since(Instant::now()));
+            self.poller.wait(&mut events, timeout)?;
+            for event in &events {
+                if event.token == LISTENER_TOKEN {
+                    self.accept_ready();
+                    continue;
                 }
-                if !write_response(&mut output, handle_line(service, &line, options)) {
-                    return;
+                if event.error {
+                    self.close(event.token);
+                    continue;
+                }
+                // Read before write: a hangup may still carry pipelined
+                // request bytes to serve.
+                if event.readable || event.hangup {
+                    self.read_ready(event.token);
+                }
+                if event.writable {
+                    self.write_ready(event.token);
                 }
             }
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+            self.sweep_deadlines();
+        }
+    }
+
+    /// The next instant something must happen without client I/O: an
+    /// idle session timing out or a draining session's grace expiring.
+    fn next_deadline(&self) -> Option<Instant> {
+        let mut next: Option<Instant> = None;
+        for conn in self.conns.values() {
+            let deadline = match conn.draining {
+                Some(drain) => Some(drain),
+                None => self
+                    .config
+                    .idle_timeout
+                    .map(|idle| conn.last_activity + idle),
+            };
+            if let Some(d) = deadline {
+                next = Some(match next {
+                    Some(n) => n.min(d),
+                    None => d,
+                });
+            }
+        }
+        next
+    }
+
+    /// Expires idle sessions (with a goodbye) and force-closes draining
+    /// sessions whose grace ran out.
+    fn sweep_deadlines(&mut self) {
+        let now = Instant::now();
+        let mut idle = Vec::new();
+        let mut dead = Vec::new();
+        for (&token, conn) in &self.conns {
+            match (conn.draining, self.config.idle_timeout) {
+                (Some(drain), _) if now >= drain => dead.push(token),
+                (None, Some(limit)) if now >= conn.last_activity + limit => idle.push(token),
+                _ => {}
+            }
+        }
+        for token in dead {
+            self.close(token);
+        }
+        for token in idle {
+            if let Some(conn) = self.conns.get_mut(&token) {
                 // Idle too long (or a partial line stalled past the
                 // timeout): tell the client and hang up.
-                let _ = writeln!(output, "ERR idle timeout, closing");
+                conn.push_reply("ERR idle timeout, closing");
+                conn.read_buf.clear();
+                conn.draining = Some(now + DRAIN_GRACE);
+                self.flush(token);
+            }
+        }
+    }
+
+    /// Accepts every pending connection (level-triggered, so stopping at
+    /// `WouldBlock` is safe). Arrivals past the connection limit get one
+    /// structured refusal line and are dropped.
+    fn accept_ready(&mut self) {
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(accepted) => accepted,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    // Transient conditions (a client resetting between
+                    // SYN and accept, fd exhaustion) resolve themselves;
+                    // the pause keeps a persistent error from spinning
+                    // hot, and the loop simply retries on the next wake.
+                    eprintln!("xseed-serve: accept failed (continuing): {e}");
+                    std::thread::sleep(Duration::from_millis(100));
+                    return;
+                }
+            };
+            if self.conns.len() >= self.max_connections {
+                // Refuse loudly: one structured line, then close. The
+                // socket is still blocking here, but a one-line write to
+                // a fresh socket's empty send buffer cannot stall.
+                let mut stream = stream;
+                let _ = writeln!(
+                    stream,
+                    "OVERLOADED connections={} max={}",
+                    self.conns.len(),
+                    self.max_connections
+                );
+                if !self.refusing {
+                    self.refusing = true;
+                    if let Some(obs) = self.service.obs() {
+                        obs.trace().record(TraceKind::ShedOn, "connections");
+                    }
+                }
+                continue;
+            }
+            if self.refusing {
+                self.refusing = false;
+                if let Some(obs) = self.service.obs() {
+                    obs.trace().record(TraceKind::ShedOff, "connections");
+                }
+            }
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let token = self.next_token;
+            self.next_token += 1;
+            if self
+                .poller
+                .add(stream.as_raw_fd(), token, Interest::READABLE)
+                .is_err()
+            {
+                continue;
+            }
+            self.conns.insert(
+                token,
+                Conn {
+                    stream,
+                    read_buf: Vec::new(),
+                    write_buf: Vec::new(),
+                    sent: 0,
+                    last_activity: Instant::now(),
+                    limiter: self.limiter_template.clone(),
+                    limited: false,
+                    peer_eof: false,
+                    draining: None,
+                    interest: Interest::READABLE,
+                },
+            );
+        }
+    }
+
+    /// Reads whatever the socket has, then serves every complete request
+    /// line that arrived.
+    fn read_ready(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.draining.is_some() || !conn.interest.readable {
+            // Draining sessions and backpressured connections ignore new
+            // bytes; level-triggered epoll will resurface them if the
+            // connection ever reads again.
+            return;
+        }
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    conn.peer_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&scratch[..n]);
+                    conn.last_activity = Instant::now();
+                    // Stop pulling once a flood has buffered a full
+                    // line-cap's worth; what we have is processed first
+                    // and level-triggered readiness re-fires for the rest.
+                    if conn.read_buf.len() > MAX_LINE_BYTES {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(token);
+                    return;
+                }
+            }
+        }
+        self.process_lines(token);
+    }
+
+    /// Consumes complete lines from the connection's read buffer, running
+    /// each through the rate limiter and the protocol handler in order.
+    fn process_lines(&mut self, token: u64) {
+        let now_ns = self.started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let mut consumed = 0;
+        while conn.draining.is_none() {
+            let rest = &conn.read_buf[consumed..];
+            let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+                if rest.len() >= MAX_LINE_BYTES {
+                    conn.push_reply(&format!(
+                        "ERR request line exceeds {MAX_LINE_BYTES} bytes, closing"
+                    ));
+                    consumed = conn.read_buf.len();
+                    conn.draining = Some(Instant::now() + DRAIN_GRACE);
+                }
+                break;
+            };
+            if nl >= MAX_LINE_BYTES {
+                conn.push_reply(&format!(
+                    "ERR request line exceeds {MAX_LINE_BYTES} bytes, closing"
+                ));
+                consumed = conn.read_buf.len();
+                conn.draining = Some(Instant::now() + DRAIN_GRACE);
+                break;
+            }
+            let line = &rest[..nl];
+            let line = match line.last() {
+                Some(b'\r') => &line[..nl - 1],
+                _ => line,
+            };
+            let Ok(line) = std::str::from_utf8(line) else {
+                // Mirrors the blocking server: a non-UTF-8 request line
+                // ends the session without a reply.
+                self.close(token);
+                return;
+            };
+            let line = line.to_owned();
+            consumed += nl + 1;
+            // Blank lines and comments are free: they do no work and
+            // get no reply, and shedding one would inject an OVERLOADED
+            // line where stdin sessions print silence. QUIT/EXIT are
+            // never shed either — the limiter guards estimation work,
+            // and a throttled client hanging up promptly is exactly the
+            // behavior we want from it.
+            let verb = line.split_whitespace().next().unwrap_or("");
+            let is_noise = verb.is_empty() || verb.starts_with('#');
+            let is_quit = matches!(verb, "QUIT" | "EXIT");
+            if !is_noise && !is_quit && !conn.limiter.admit(now_ns) {
+                conn.push_reply(self.overloaded_reply.as_deref().unwrap_or(""));
+                self.service.note_rate_limited();
+                if !conn.limited {
+                    conn.limited = true;
+                    if let Some(obs) = self.service.obs() {
+                        obs.trace()
+                            .record(TraceKind::RateLimitOn, &format!("conn-{token}"));
+                    }
+                }
+                continue;
+            }
+            if !is_noise && conn.limited {
+                conn.limited = false;
+                if let Some(obs) = self.service.obs() {
+                    obs.trace()
+                        .record(TraceKind::RateLimitOff, &format!("conn-{token}"));
+                }
+            }
+            match handle_line(&self.service, &line, &self.config.options) {
+                Response::Line(reply) => conn.push_reply(&reply),
+                Response::Silent => {}
+                Response::Quit => {
+                    conn.push_reply("OK bye");
+                    consumed = conn.read_buf.len();
+                    conn.draining = Some(Instant::now() + DRAIN_GRACE);
+                }
+            }
+        }
+        conn.read_buf.drain(..consumed);
+        if conn.peer_eof && conn.draining.is_none() {
+            // Half-close: no further requests can arrive (an incomplete
+            // trailing line is dropped); serve what was pipelined, flush,
+            // close.
+            conn.read_buf.clear();
+            conn.draining = Some(Instant::now() + DRAIN_GRACE);
+        }
+        self.flush(token);
+    }
+
+    fn write_ready(&mut self, token: u64) {
+        self.flush(token);
+    }
+
+    /// Pushes buffered reply bytes into the socket, closes finished
+    /// draining sessions, and re-registers interest to match what is
+    /// left to do.
+    fn flush(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        while conn.sent < conn.write_buf.len() {
+            match conn.stream.write(&conn.write_buf[conn.sent..]) {
+                Ok(0) => {
+                    self.close(token);
+                    return;
+                }
+                Ok(n) => conn.sent += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(token);
+                    return;
+                }
+            }
+        }
+        if conn.sent == conn.write_buf.len() {
+            conn.write_buf.clear();
+            conn.sent = 0;
+            if conn.draining.is_some() {
+                self.close(token);
                 return;
             }
-            Err(_) => return,
+        } else if conn.sent > MAX_LINE_BYTES {
+            // Reclaim the flushed prefix of a large in-flight buffer so a
+            // slow consumer cannot pin already-delivered bytes.
+            conn.write_buf.drain(..conn.sent);
+            conn.sent = 0;
+        }
+        let want = Interest {
+            readable: conn.draining.is_none()
+                && !conn.peer_eof
+                && conn.pending_write() < WRITE_HIGH_WATER,
+            writable: conn.pending_write() > 0,
+        };
+        if want != conn.interest
+            && self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, want)
+                .is_ok()
+        {
+            conn.interest = want;
+        }
+    }
+
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.remove(conn.stream.as_raw_fd());
         }
     }
 }
@@ -319,15 +691,12 @@ mod tests {
     }
 
     #[test]
-    fn connection_slots_release_on_drop() {
-        let slots = Arc::new(ConnectionSlots {
-            live: AtomicUsize::new(0),
-            max: 2,
-        });
-        let a = slots.try_claim().unwrap();
-        let _b = slots.try_claim().unwrap();
-        assert_eq!(slots.try_claim().err(), Some(2));
-        drop(a);
-        assert!(slots.try_claim().is_ok());
+    fn default_config_has_no_rate_limit() {
+        let config = ServerConfig::default();
+        assert!(config.client_rate.is_none() && config.client_burst.is_none());
+        assert_eq!(
+            RateLimiter::from_config(config.client_rate, config.client_burst),
+            RateLimiter::Unlimited
+        );
     }
 }

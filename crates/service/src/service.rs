@@ -641,6 +641,12 @@ pub struct ServiceStats {
     pub persist_load_failures: u64,
     /// Snapshot files renamed to `.corrupt` by a warm-start scan.
     pub quarantined: u64,
+    /// Requests shed by the TCP front end's per-client token-bucket rate
+    /// limiter. `None` until a front end arms the limiter
+    /// ([`Service::arm_rate_limiter`]) — `STATS`/`METRICS` omit the key
+    /// entirely when the feature is off, `Some(0)` means armed but never
+    /// tripped.
+    pub rate_limited: Option<u64>,
     /// Plan-cache counters.
     pub plan_cache: PlanCacheStats,
     /// Whole seconds since the service started.
@@ -663,6 +669,17 @@ struct PersistCounters {
     quarantined: AtomicU64,
 }
 
+/// Counters fed by the network front end ([`crate::server`]): the event
+/// loop reports per-client rate-limit sheds here so the protocol layer
+/// surfaces them through `STATS`/`METRICS` next to the admission-control
+/// counters. `armed` gates reporting — a daemon without `--client-rate`
+/// never shows the key, keeping default transcripts stable.
+#[derive(Default)]
+struct NetCounters {
+    rate_limited: AtomicU64,
+    armed: AtomicBool,
+}
+
 /// The multi-threaded estimation service. See the module docs.
 pub struct Service {
     catalog: Arc<Catalog>,
@@ -670,6 +687,7 @@ pub struct Service {
     shared: Arc<Shared>,
     maintenance: Arc<MaintenanceShared>,
     persist: PersistCounters,
+    net: NetCounters,
     handles: Vec<JoinHandle<()>>,
     maintenance_handle: Option<JoinHandle<()>>,
     next_queue: AtomicUsize,
@@ -744,6 +762,7 @@ impl Service {
             shared,
             maintenance,
             persist: PersistCounters::default(),
+            net: NetCounters::default(),
             handles,
             maintenance_handle: Some(maintenance_handle),
             next_queue: AtomicUsize::new(0),
@@ -757,6 +776,21 @@ impl Service {
     /// through this (`METRICS`, `TRACE`, the q-error keys of `STATS`).
     pub fn obs(&self) -> Option<&Arc<Obs>> {
         self.obs.as_ref()
+    }
+
+    /// Marks the per-client rate limiter as configured. Called once by a
+    /// network front end that was started with a client rate; from then
+    /// on [`ServiceStats::rate_limited`] is `Some` and the `rate_limited`
+    /// key appears in `STATS`/`METRICS` (as zero until a client trips
+    /// it). Daemons without a limiter never show the key.
+    pub fn arm_rate_limiter(&self) {
+        self.net.armed.store(true, Ordering::Relaxed);
+    }
+
+    /// Counts one request shed by the per-client rate limiter (the
+    /// `OVERLOADED rate=…` reply path of [`crate::server`]).
+    pub fn note_rate_limited(&self) {
+        self.net.rate_limited.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Saves the named document's snapshot to `path` (see
@@ -1200,6 +1234,11 @@ impl Service {
             persist_loads: self.persist.loads.load(Ordering::Relaxed),
             persist_load_failures: self.persist.load_failures.load(Ordering::Relaxed),
             quarantined: self.persist.quarantined.load(Ordering::Relaxed),
+            rate_limited: self
+                .net
+                .armed
+                .load(Ordering::Relaxed)
+                .then(|| self.net.rate_limited.load(Ordering::Relaxed)),
             plan_cache: self.plans.stats(),
             uptime_secs: self.started.elapsed().as_secs(),
         }
@@ -1505,7 +1544,9 @@ mod tests {
             )
             .unwrap();
         assert_eq!(batch.reports.len(), 3);
-        assert_eq!(catalog.snapshot("fig4").unwrap().epoch(), batch.epoch);
+        // The triggered rebuild may already have published a newer epoch
+        // by the time we look, so "published once" is a lower bound here.
+        assert!(catalog.snapshot("fig4").unwrap().epoch() >= batch.epoch);
         let (_, epoch) = batch
             .rebuild
             .expect("batch crossed the bound")

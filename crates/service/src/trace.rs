@@ -34,6 +34,12 @@ pub enum TraceKind {
     ShedOn,
     /// The service stopped shedding (first admission after rejections).
     ShedOff,
+    /// A connection's token bucket emptied: its requests are being shed
+    /// with `OVERLOADED rate=…` (recorded once per shed episode, not per
+    /// request — a flood costs one ring slot, like [`TraceKind::ShedOn`]).
+    RateLimitOn,
+    /// The connection's bucket refilled enough to admit again.
+    RateLimitOff,
     /// A worker or the maintenance thread reached a pause fence.
     Pause,
     /// A paused thread resumed.
@@ -50,6 +56,8 @@ impl TraceKind {
             TraceKind::Quarantine => "quarantine",
             TraceKind::ShedOn => "shed_on",
             TraceKind::ShedOff => "shed_off",
+            TraceKind::RateLimitOn => "rate_limit_on",
+            TraceKind::RateLimitOff => "rate_limit_off",
             TraceKind::Pause => "pause",
             TraceKind::Resume => "resume",
         }
@@ -65,8 +73,9 @@ pub struct TraceEvent {
     pub at_ms: u64,
     /// What happened.
     pub kind: TraceKind,
-    /// The subject — a document name, `worker-N`, `maintenance`, or
-    /// `connections`.
+    /// The subject — a document name, `worker-N`, `maintenance`,
+    /// `connections`, or `conn-N` (a TCP session's token, for rate-limit
+    /// transitions).
     pub subject: String,
 }
 
@@ -225,6 +234,8 @@ mod tests {
             (TraceKind::Quarantine, "quarantine"),
             (TraceKind::ShedOn, "shed_on"),
             (TraceKind::ShedOff, "shed_off"),
+            (TraceKind::RateLimitOn, "rate_limit_on"),
+            (TraceKind::RateLimitOff, "rate_limit_off"),
             (TraceKind::Pause, "pause"),
             (TraceKind::Resume, "resume"),
         ] {

@@ -1,0 +1,91 @@
+//! Documentation ⇄ tree consistency: every file under `docs/` must be
+//! reachable from `README.md`, and every CLI flag `xseed-serve` parses
+//! must be covered by `docs/OPERATIONS.md`. Like `protocol_docs`, both
+//! sides are extracted from the sources so a new guide or a new flag
+//! cannot land unlinked or undocumented.
+
+use std::collections::BTreeSet;
+
+fn root(path: &str) -> String {
+    format!("{}/../../{path}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn read(path: &str) -> String {
+    let full = root(path);
+    std::fs::read_to_string(&full).unwrap_or_else(|e| panic!("read {full}: {e}"))
+}
+
+/// Every double-quoted string literal in `source` that is exactly one
+/// long-form CLI flag (`--lowercase-words`). Usage strings and error
+/// messages never qualify: they contain spaces or interpolations.
+fn extract_flags(source: &str) -> BTreeSet<String> {
+    let mut flags = BTreeSet::new();
+    let mut rest = source;
+    while let Some(start) = rest.find('"') {
+        let tail = &rest[start + 1..];
+        let Some(len) = tail.find('"') else { break };
+        let literal = &tail[..len];
+        if let Some(body) = literal.strip_prefix("--") {
+            if !body.is_empty() && body.bytes().all(|b| b.is_ascii_lowercase() || b == b'-') {
+                flags.insert(literal.to_string());
+            }
+        }
+        rest = &tail[len + 1..];
+    }
+    flags
+}
+
+#[test]
+fn every_docs_file_is_linked_from_the_readme() {
+    let readme = read("README.md");
+    let docs_dir = root("docs");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&docs_dir).unwrap_or_else(|e| panic!("read {docs_dir}: {e}")) {
+        let name = entry.unwrap().file_name();
+        let name = name.to_string_lossy();
+        seen += 1;
+        assert!(
+            readme.contains(&format!("docs/{name}")),
+            "docs/{name} is not linked from README.md"
+        );
+    }
+    // Guard the walk itself: the three core guides must exist.
+    assert!(
+        seen >= 3,
+        "expected ARCHITECTURE/PROTOCOL/OPERATIONS under docs/, found {seen}"
+    );
+    for guide in ["ARCHITECTURE.md", "PROTOCOL.md", "OPERATIONS.md"] {
+        assert!(
+            std::path::Path::new(&root("docs")).join(guide).exists(),
+            "docs/{guide} is missing"
+        );
+    }
+}
+
+#[test]
+fn every_serve_flag_is_documented_in_operations() {
+    let source = read("crates/service/src/bin/serve.rs");
+    let ops = read("docs/OPERATIONS.md");
+    let flags = extract_flags(&source);
+    // Guard the extraction: the flags an operator reaches for first must
+    // be among those found.
+    for expected in [
+        "--workers",
+        "--tcp",
+        "--client-rate",
+        "--client-burst",
+        "--snapshot-dir",
+        "--no-observability",
+    ] {
+        assert!(
+            flags.contains(expected),
+            "flag extraction lost {expected}: {flags:?}"
+        );
+    }
+    for flag in &flags {
+        assert!(
+            ops.contains(flag.as_str()),
+            "xseed-serve flag {flag} is not documented in docs/OPERATIONS.md"
+        );
+    }
+}
